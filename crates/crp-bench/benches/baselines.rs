@@ -1,0 +1,68 @@
+//! Bench F-BASELINE: prediction-augmented protocols vs the classical
+//! baselines across universe sizes.
+//!
+//! Prints the decay / Willard / known-size / prediction columns for a
+//! sweep of `n`, the series behind the paper's motivating comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crp_info::SizeDistribution;
+use crp_predict::ScenarioLibrary;
+use crp_protocols::{CodedSearch, Decay, FixedProbability, SortedGuess, Willard};
+use crp_sim::{measure_cd_strategy, measure_schedule, RunnerConfig};
+
+fn baselines(c: &mut Criterion) {
+    let config = RunnerConfig::with_trials(600).seeded(0x77);
+    let sizes = [1usize << 10, 1 << 12, 1 << 14, 1 << 16];
+
+    println!("\n=== Baselines vs predictions ===");
+    println!(
+        "{:>7} {:>8} {:>14} {:>9} {:>14} {:>12}",
+        "n", "decay", "sorted-guess", "willard", "coded-search", "known-size"
+    );
+    for &n in &sizes {
+        let library = ScenarioLibrary::new(n).unwrap();
+        let scenario = library.bimodal();
+        let truth = scenario.distribution();
+        let condensed = scenario.condensed();
+
+        let decay = measure_schedule(&Decay::new(n).unwrap(), truth, 64 * n, &config);
+        let sorted = SortedGuess::new(&condensed).cycling();
+        let sorted_stats = measure_schedule(&sorted, truth, 64 * n, &config);
+        let willard = Willard::new(n).unwrap();
+        let willard_stats = measure_cd_strategy(&willard, truth, willard.worst_case_rounds(), &config);
+        let coded = CodedSearch::new(&condensed).unwrap();
+        let coded_stats = measure_cd_strategy(&coded, truth, coded.horizon().max(2), &config);
+        let mode = (n / 32).max(2);
+        let known = measure_schedule(
+            &FixedProbability::new(mode).unwrap(),
+            &SizeDistribution::point_mass(n, mode).unwrap(),
+            64 * n,
+            &config,
+        );
+
+        println!(
+            "{n:>7} {:>8.2} {:>14.2} {:>9.2} {:>14.2} {:>12.2}",
+            decay.mean_rounds_overall(),
+            sorted_stats.mean_rounds_overall(),
+            willard_stats.mean_rounds_when_resolved(),
+            coded_stats.mean_rounds_when_resolved(),
+            known.mean_rounds_overall()
+        );
+    }
+
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    for &n in &sizes[..2] {
+        let library = ScenarioLibrary::new(n).unwrap();
+        let scenario = library.bimodal();
+        let decay = Decay::new(n).unwrap();
+        group.bench_with_input(BenchmarkId::new("decay", n), &n, |b, &n| {
+            let quick = RunnerConfig::with_trials(64).seeded(0x77).single_threaded();
+            b.iter(|| measure_schedule(&decay, scenario.distribution(), 16 * n, &quick));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, baselines);
+criterion_main!(benches);

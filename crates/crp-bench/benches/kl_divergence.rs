@@ -1,0 +1,60 @@
+//! Bench F-KL: the cost of miscalibrated predictions
+//! (Theorems 2.12 and 2.16's `D_KL` terms).
+//!
+//! Fixes a bimodal ground truth, generates predictions of increasing
+//! divergence, and prints the measured rounds of both §2 algorithms next
+//! to the divergence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crp_bench::{bench_truth, BENCH_TRIALS};
+use crp_info::CondensedDistribution;
+use crp_predict::noise;
+use crp_protocols::{CodedSearch, SortedGuess};
+use crp_sim::{measure_cd_strategy, measure_schedule, RunnerConfig};
+
+fn kl_divergence_bench(c: &mut Criterion) {
+    let truth = bench_truth();
+    let truth_condensed = CondensedDistribution::from_sizes(&truth);
+    let config = RunnerConfig::with_trials(BENCH_TRIALS).seeded(0x76);
+
+    let predictions = vec![
+        ("exact".to_string(), truth.clone()),
+        ("mix-0.5".to_string(), noise::towards_uniform(&truth, 0.5).unwrap()),
+        ("mix-0.9".to_string(), noise::towards_uniform(&truth, 0.9).unwrap()),
+        ("shift-2".to_string(), noise::support_shift(&truth, 2).unwrap()),
+        ("shift-3".to_string(), noise::support_shift(&truth, 3).unwrap()),
+    ];
+
+    println!("\n=== Rounds vs prediction divergence ===");
+    println!("{:<10} {:>10} {:>18} {:>12}", "prediction", "D_KL bits", "no-CD E[rounds]", "CD rounds");
+    for (label, prediction) in &predictions {
+        let condensed = CondensedDistribution::from_sizes(prediction);
+        let divergence = truth_condensed.kl_divergence(&condensed);
+        let sorted = SortedGuess::new(&condensed).cycling();
+        let no_cd = measure_schedule(&sorted, &truth, 64 * truth.max_size(), &config);
+        let coded = CodedSearch::new(&condensed).unwrap();
+        let cd = measure_cd_strategy(&coded, &truth, coded.horizon().max(2), &config);
+        println!(
+            "{:<10} {:>10.3} {:>18.2} {:>12.2}",
+            label,
+            divergence,
+            no_cd.mean_rounds_overall(),
+            cd.mean_rounds_when_resolved()
+        );
+    }
+
+    let mut group = c.benchmark_group("kl_divergence");
+    group.sample_size(10);
+    for (label, prediction) in &predictions {
+        let condensed = CondensedDistribution::from_sizes(prediction);
+        let sorted = SortedGuess::new(&condensed).cycling();
+        group.bench_with_input(BenchmarkId::from_parameter(label), prediction, |b, _| {
+            let quick = RunnerConfig::with_trials(64).seeded(0x76).single_threaded();
+            b.iter(|| measure_schedule(&sorted, &truth, 16 * truth.max_size(), &quick));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kl_divergence_bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Bench F-RF: the lower-bound machinery (RF-Construction, range-finding
+//! trees, target-distance coding) and its Source-Coding-Theorem
+//! inequalities, plus the condense-before-code ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crp_bench::bench_library;
+use crp_info::huffman_code;
+use crp_protocols::rangefinding::{
+    rf_construction, target_distance_expected_length, RangeFindingTree,
+};
+use crp_protocols::{SortedGuess, Willard};
+
+fn range_finding(c: &mut Criterion) {
+    let library = bench_library();
+    let n = library.max_size();
+    let willard = Willard::new(n).unwrap();
+
+    println!("\n=== Lower-bound machinery (n = {n}) ===");
+    println!(
+        "{:<16} {:>9} {:>14} {:>14} {:>14}",
+        "scenario", "H(c(X))", "RF E[steps]", "E[code bits]", "tree E[depth]"
+    );
+    for scenario in library.all() {
+        let condensed = scenario.condensed();
+        let protocol = SortedGuess::new(&condensed).cycling();
+        let sequence = rf_construction(&protocol, n, 4 * condensed.num_ranges());
+        let steps = sequence.expected_steps(&condensed, 2, 4 * sequence.len());
+        let bits = target_distance_expected_length(&sequence, &condensed, 2, 24);
+        let tree = RangeFindingTree::from_strategy(&willard, n, 8);
+        let depth = tree.expected_depth(&condensed, 2, 4 * tree.depth());
+        println!(
+            "{:<16} {:>9.3} {:>14.3} {:>14.3} {:>14.3}",
+            scenario.name(),
+            condensed.entropy(),
+            steps,
+            bits,
+            depth
+        );
+    }
+
+    // Ablation: expected Huffman code length for the condensed distribution
+    // versus the raw size distribution — the condensation step is what keeps
+    // the §2.6 schedule short.
+    println!("\n--- Ablation: condensed vs raw coding ---");
+    println!("{:<16} {:>22} {:>16}", "scenario", "condensed E[bits]", "raw E[bits]");
+    for scenario in library.all() {
+        let condensed = scenario.condensed();
+        let condensed_code = huffman_code(condensed.probabilities()).unwrap();
+        let condensed_bits = condensed_code.expected_length(condensed.probabilities());
+        let raw = scenario.distribution();
+        let raw_code = huffman_code(raw.masses()).unwrap();
+        let raw_bits = raw_code.expected_length(raw.masses());
+        println!("{:<16} {:>22.3} {:>16.3}", scenario.name(), condensed_bits, raw_bits);
+    }
+
+    let mut group = c.benchmark_group("range_finding");
+    group.sample_size(10);
+    for scenario in library.all().into_iter().take(3) {
+        let condensed = scenario.condensed();
+        let protocol = SortedGuess::new(&condensed).cycling();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scenario.name().to_string()),
+            &scenario,
+            |b, _| {
+                b.iter(|| {
+                    let sequence = rf_construction(&protocol, n, 4 * condensed.num_ranges());
+                    target_distance_expected_length(&sequence, &condensed, 2, 24)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, range_finding);
+criterion_main!(benches);

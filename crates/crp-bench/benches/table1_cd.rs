@@ -1,0 +1,48 @@
+//! Bench T1-CD: regenerates the collision-detection row of Table 1.
+//!
+//! Measures the §2.6 coded-search protocol with accurate predictions for
+//! every scenario and prints the measured round count next to the `H²`
+//! theory column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crp_bench::{bench_library, BENCH_TRIALS};
+use crp_protocols::CodedSearch;
+use crp_sim::{measure_cd_strategy, RunnerConfig};
+
+fn table1_cd(c: &mut Criterion) {
+    let library = bench_library();
+    let config = RunnerConfig::with_trials(BENCH_TRIALS).seeded(0x72);
+
+    println!("\n=== Table 1 / collision detection (n = {}) ===", library.max_size());
+    println!("{:<16} {:>9} {:>8} {:>14} {:>14}", "scenario", "H(c(X))", "H^2", "success rate", "mean rounds");
+
+    let mut group = c.benchmark_group("table1_cd");
+    group.sample_size(10);
+    for scenario in library.all() {
+        let condensed = scenario.condensed();
+        let protocol = CodedSearch::new(&condensed).expect("library scenarios always yield a code");
+        let budget = protocol.horizon().max(2);
+        let stats = measure_cd_strategy(&protocol, scenario.distribution(), budget, &config);
+        println!(
+            "{:<16} {:>9.3} {:>8.2} {:>14.3} {:>14.3}",
+            scenario.name(),
+            condensed.entropy(),
+            condensed.entropy() * condensed.entropy(),
+            stats.success_rate(),
+            stats.mean_rounds_when_resolved()
+        );
+
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scenario.name()),
+            &scenario,
+            |b, scenario| {
+                let quick = RunnerConfig::with_trials(64).seeded(0x72).single_threaded();
+                b.iter(|| measure_cd_strategy(&protocol, scenario.distribution(), budget, &quick));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_cd);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Bench T1-NCD: regenerates the no-collision-detection row of Table 1.
+//!
+//! For every scenario in the library (spanning condensed entropy 0 up to
+//! `log log n`), measures the §2.5 sorted-guess protocol with an accurate
+//! prediction and prints the measured constant-probability round count next
+//! to the `2^{2H}` theory column.  The criterion measurement itself times
+//! one batch of Monte-Carlo trials per scenario so regressions in the
+//! protocol or the channel executor are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crp_bench::{bench_library, BENCH_TRIALS};
+use crp_protocols::SortedGuess;
+use crp_sim::{measure_schedule, RunnerConfig};
+
+fn table1_no_cd(c: &mut Criterion) {
+    let library = bench_library();
+    let config = RunnerConfig::with_trials(BENCH_TRIALS).seeded(0x71);
+
+    println!("\n=== Table 1 / no collision detection (n = {}) ===", library.max_size());
+    println!("{:<16} {:>9} {:>10} {:>14} {:>14}", "scenario", "H(c(X))", "2^2H", "success rate", "mean rounds");
+
+    let mut group = c.benchmark_group("table1_no_cd");
+    group.sample_size(10);
+    for scenario in library.all() {
+        let condensed = scenario.condensed();
+        let protocol = SortedGuess::new(&condensed);
+        let budget = protocol.pass_length().max(1);
+        let stats = measure_schedule(&protocol, scenario.distribution(), budget, &config);
+        println!(
+            "{:<16} {:>9.3} {:>10.1} {:>14.3} {:>14.3}",
+            scenario.name(),
+            condensed.entropy(),
+            2f64.powf(2.0 * condensed.entropy()),
+            stats.success_rate(),
+            stats.mean_rounds_when_resolved()
+        );
+
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scenario.name()),
+            &scenario,
+            |b, scenario| {
+                let quick = RunnerConfig::with_trials(64).seeded(0x71).single_threaded();
+                b.iter(|| measure_schedule(&protocol, scenario.distribution(), budget, &quick));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_no_cd);
+criterion_main!(benches);

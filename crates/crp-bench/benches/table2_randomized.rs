@@ -1,0 +1,68 @@
+//! Bench T2-RAND: regenerates the randomized rows of Table 2.
+//!
+//! Sweeps the advice budget `b` and measures the truncated-decay protocol
+//! (no collision detection, theory `log n / 2^b`) and the advised Willard
+//! search (collision detection, theory `log log n − b`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crp_predict::{AdviceOracle, RangeOracle};
+use crp_protocols::{run_cd_strategy, run_schedule, AdvisedDecay, AdvisedWillard};
+use crp_sim::{run_trials, RunnerConfig};
+
+const UNIVERSE: usize = 1 << 16;
+const PARTICIPANTS: usize = 900;
+
+fn advice(b: usize) -> crp_predict::Advice {
+    RangeOracle
+        .advise(UNIVERSE, &vec![0; PARTICIPANTS], b)
+        .expect("participant list is non-empty")
+}
+
+fn measure(b: usize, trials: usize) -> (f64, f64) {
+    let config = RunnerConfig::with_trials(trials).seeded(0x74);
+    let decay = AdvisedDecay::new(UNIVERSE, &advice(b)).unwrap();
+    let decay_stats = run_trials(&config, |rng| {
+        run_schedule(&decay, PARTICIPANTS, 64 * UNIVERSE, rng).into()
+    });
+    let willard = AdvisedWillard::new(UNIVERSE, &advice(b)).unwrap();
+    let horizon = willard.worst_case_rounds().max(1);
+    let willard_stats = run_trials(&config, |rng| {
+        run_cd_strategy(&willard, PARTICIPANTS, horizon, rng).into()
+    });
+    (
+        decay_stats.mean_rounds_overall(),
+        willard_stats.mean_rounds_when_resolved(),
+    )
+}
+
+fn table2_randomized(c: &mut Criterion) {
+    let log_n = (UNIVERSE as f64).log2();
+    let log_log_n = log_n.log2();
+    println!("\n=== Table 2 / randomized (n = {UNIVERSE}, k = {PARTICIPANTS}) ===");
+    println!(
+        "{:>2} {:>12} {:>16} {:>14} {:>14}",
+        "b", "log n / 2^b", "decay E[rounds]", "loglog n - b", "willard rounds"
+    );
+    for b in 0..=(log_log_n as usize) {
+        let (decay_rounds, willard_rounds) = measure(b, 800);
+        println!(
+            "{b:>2} {:>12.2} {:>16.2} {:>14.2} {:>14.2}",
+            (log_n / 2f64.powi(b as i32)).max(1.0),
+            decay_rounds,
+            (log_log_n - b as f64).max(1.0),
+            willard_rounds
+        );
+    }
+
+    let mut group = c.benchmark_group("table2_randomized");
+    group.sample_size(10);
+    for b in [0usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bencher, &b| {
+            bencher.iter(|| measure(b, 64));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2_randomized);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! The adversary: choosing *which* nodes participate.
+//!
+//! In the paper's model the size `k` of the participant set is drawn from
+//! the random variable `X`, but the adversary still chooses *which* `k`
+//! nodes participate.  For uniform algorithms this choice is irrelevant
+//! (behaviour depends only on the shared probability schedule), but the
+//! advice-based protocols of §3 are per-node algorithms for which the
+//! identity of participants matters, so the executor lets an [`Adversary`]
+//! select the set.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ChannelError;
+use crate::participant::{ParticipantId, ParticipantSet};
+
+/// Strategies for choosing the identities of the `k` participants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdversaryStrategy {
+    /// Always pick the first `k` ids `{0, …, k−1}`.
+    FirstK,
+    /// Always pick the last `k` ids `{n−k, …, n−1}` — adversarial for
+    /// protocols that scan ids in ascending order.
+    LastK,
+    /// Pick `k` ids uniformly at random.
+    UniformRandom,
+    /// Pick `k` ids spread evenly across the universe (every `n/k`-th id),
+    /// adversarial for advice schemes that prune contiguous blocks.
+    Spread,
+}
+
+/// Chooses participant sets of a requested size from a universe of `n` ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Adversary {
+    universe_size: usize,
+    strategy: AdversaryStrategy,
+}
+
+impl Adversary {
+    /// Creates an adversary over a universe of `universe_size` ids.
+    pub fn new(universe_size: usize, strategy: AdversaryStrategy) -> Self {
+        Self {
+            universe_size,
+            strategy,
+        }
+    }
+
+    /// The universe size `n`.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> AdversaryStrategy {
+        self.strategy
+    }
+
+    /// Selects a participant set of exactly `size` members.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::EmptyParticipantSet`] if `size == 0` and
+    /// [`ChannelError::TooManyParticipants`] if `size` exceeds the universe.
+    pub fn select<R: Rng + ?Sized>(
+        &self,
+        size: usize,
+        rng: &mut R,
+    ) -> Result<ParticipantSet, ChannelError> {
+        if size == 0 {
+            return Err(ChannelError::EmptyParticipantSet);
+        }
+        if size > self.universe_size {
+            return Err(ChannelError::TooManyParticipants {
+                requested: size,
+                universe: self.universe_size,
+            });
+        }
+        let members: Vec<ParticipantId> = match self.strategy {
+            AdversaryStrategy::FirstK => (0..size).map(ParticipantId).collect(),
+            AdversaryStrategy::LastK => (self.universe_size - size..self.universe_size)
+                .map(ParticipantId)
+                .collect(),
+            AdversaryStrategy::UniformRandom => {
+                let mut ids: Vec<usize> = (0..self.universe_size).collect();
+                ids.shuffle(rng);
+                ids.truncate(size);
+                ids.into_iter().map(ParticipantId).collect()
+            }
+            AdversaryStrategy::Spread => {
+                let stride = self.universe_size as f64 / size as f64;
+                (0..size)
+                    .map(|i| ParticipantId(((i as f64 * stride) as usize).min(self.universe_size - 1)))
+                    .collect()
+            }
+        };
+        ParticipantSet::new(self.universe_size, members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn first_k_and_last_k_pick_expected_ids() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let first = Adversary::new(10, AdversaryStrategy::FirstK)
+            .select(3, &mut rng)
+            .unwrap();
+        assert_eq!(
+            first.members(),
+            &[ParticipantId(0), ParticipantId(1), ParticipantId(2)]
+        );
+        let last = Adversary::new(10, AdversaryStrategy::LastK)
+            .select(3, &mut rng)
+            .unwrap();
+        assert_eq!(
+            last.members(),
+            &[ParticipantId(7), ParticipantId(8), ParticipantId(9)]
+        );
+    }
+
+    #[test]
+    fn uniform_random_respects_size_and_universe() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let adv = Adversary::new(64, AdversaryStrategy::UniformRandom);
+        for size in [1usize, 5, 32, 64] {
+            let set = adv.select(size, &mut rng).unwrap();
+            assert_eq!(set.len(), size);
+            assert!(set.members().iter().all(|m| m.index() < 64));
+        }
+    }
+
+    #[test]
+    fn spread_selects_distinct_ids() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let adv = Adversary::new(100, AdversaryStrategy::Spread);
+        let set = adv.select(10, &mut rng).unwrap();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn select_validates_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let adv = Adversary::new(8, AdversaryStrategy::FirstK);
+        assert!(adv.select(0, &mut rng).is_err());
+        assert!(adv.select(9, &mut rng).is_err());
+        assert!(adv.select(8, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let adv = Adversary::new(16, AdversaryStrategy::Spread);
+        assert_eq!(adv.universe_size(), 16);
+        assert_eq!(adv.strategy(), AdversaryStrategy::Spread);
+    }
+}

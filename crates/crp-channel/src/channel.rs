@@ -1,0 +1,201 @@
+//! The slotted multiple-access channel.
+
+use serde::{Deserialize, Serialize};
+
+use crate::round::{Feedback, RoundOutcome};
+
+/// Whether the channel provides collision detection.
+///
+/// The paper analyses both assumptions; every protocol in `crp-protocols`
+/// declares which mode it needs and the executor checks the pairing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelMode {
+    /// All participants can distinguish collision from silence.
+    CollisionDetection,
+    /// Collisions are indistinguishable from silence for listeners.
+    NoCollisionDetection,
+}
+
+impl ChannelMode {
+    /// True if this mode provides collision detection.
+    pub fn has_collision_detection(self) -> bool {
+        matches!(self, ChannelMode::CollisionDetection)
+    }
+}
+
+impl std::fmt::Display for ChannelMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelMode::CollisionDetection => write!(f, "collision detection"),
+            ChannelMode::NoCollisionDetection => write!(f, "no collision detection"),
+        }
+    }
+}
+
+/// A synchronous slotted multiple-access channel.
+///
+/// The channel is purely reactive: each call to
+/// [`Channel::resolve_round`] takes the transmit decision of every
+/// participant, classifies the round, appends it to the channel's outcome
+/// log and returns the [`RoundOutcome`].  Per-participant observations are
+/// derived with [`Channel::feedback_for`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Channel {
+    mode: ChannelMode,
+    outcomes: Vec<RoundOutcome>,
+}
+
+impl Channel {
+    /// Creates a channel with the given detection mode and an empty history.
+    pub fn new(mode: ChannelMode) -> Self {
+        Self {
+            mode,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// The channel's detection mode.
+    pub fn mode(&self) -> ChannelMode {
+        self.mode
+    }
+
+    /// Number of rounds that have been resolved so far.
+    pub fn rounds_elapsed(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// The full outcome log, one entry per elapsed round.
+    pub fn outcomes(&self) -> &[RoundOutcome] {
+        &self.outcomes
+    }
+
+    /// Resolves one round given each participant's transmit decision
+    /// (`decisions[i]` is whether participant `i` of the current
+    /// participant set transmits).
+    ///
+    /// Returns the ground-truth outcome.  The outcome is also appended to
+    /// the channel log.
+    pub fn resolve_round(&mut self, decisions: &[bool]) -> RoundOutcome {
+        let transmitters = decisions.iter().filter(|&&d| d).count();
+        let outcome = RoundOutcome::from_transmitter_count(transmitters);
+        self.outcomes.push(outcome);
+        outcome
+    }
+
+    /// What a participant observes for a given round outcome on this
+    /// channel, depending on whether that participant transmitted.
+    ///
+    /// * A successful round is announced to everyone as
+    ///   [`Feedback::Resolved`] (the problem is defined to end there).
+    /// * With collision detection, collision and silence are reported
+    ///   faithfully.
+    /// * Without collision detection, collision and silence both appear as
+    ///   [`Feedback::NothingHeard`].  (A transmitter involved in a collision
+    ///   also learns nothing beyond the fact that it did not succeed, which
+    ///   is exactly what `NothingHeard` conveys.)
+    pub fn feedback_for(&self, outcome: RoundOutcome, _transmitted: bool) -> Feedback {
+        match (outcome, self.mode) {
+            (RoundOutcome::Success, _) => Feedback::Resolved,
+            (RoundOutcome::Collision, ChannelMode::CollisionDetection) => {
+                Feedback::CollisionDetected
+            }
+            (RoundOutcome::Silence, ChannelMode::CollisionDetection) => Feedback::SilenceDetected,
+            (RoundOutcome::Collision | RoundOutcome::Silence, ChannelMode::NoCollisionDetection) => {
+                Feedback::NothingHeard
+            }
+        }
+    }
+
+    /// True if some round in the log resolved contention.
+    pub fn resolved(&self) -> bool {
+        self.outcomes.iter().any(|o| o.is_success())
+    }
+
+    /// The 1-based round number of the first success, if any.
+    pub fn resolution_round(&self) -> Option<usize> {
+        self.outcomes.iter().position(|o| o.is_success()).map(|i| i + 1)
+    }
+
+    /// Clears the outcome log, keeping the mode.  Used when the same channel
+    /// object is reused across Monte-Carlo trials.
+    pub fn reset(&mut self) {
+        self.outcomes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_classification_matches_transmitter_count() {
+        let mut ch = Channel::new(ChannelMode::CollisionDetection);
+        assert_eq!(ch.resolve_round(&[false, false]), RoundOutcome::Silence);
+        assert_eq!(ch.resolve_round(&[true, false]), RoundOutcome::Success);
+        assert_eq!(ch.resolve_round(&[true, true]), RoundOutcome::Collision);
+        assert_eq!(ch.rounds_elapsed(), 3);
+        assert_eq!(ch.resolution_round(), Some(2));
+        assert!(ch.resolved());
+    }
+
+    #[test]
+    fn feedback_with_collision_detection_is_faithful() {
+        let ch = Channel::new(ChannelMode::CollisionDetection);
+        assert_eq!(
+            ch.feedback_for(RoundOutcome::Collision, false),
+            Feedback::CollisionDetected
+        );
+        assert_eq!(
+            ch.feedback_for(RoundOutcome::Silence, false),
+            Feedback::SilenceDetected
+        );
+        assert_eq!(
+            ch.feedback_for(RoundOutcome::Success, true),
+            Feedback::Resolved
+        );
+    }
+
+    #[test]
+    fn feedback_without_collision_detection_hides_collisions() {
+        let ch = Channel::new(ChannelMode::NoCollisionDetection);
+        assert_eq!(
+            ch.feedback_for(RoundOutcome::Collision, true),
+            Feedback::NothingHeard
+        );
+        assert_eq!(
+            ch.feedback_for(RoundOutcome::Silence, false),
+            Feedback::NothingHeard
+        );
+        assert_eq!(
+            ch.feedback_for(RoundOutcome::Success, false),
+            Feedback::Resolved
+        );
+    }
+
+    #[test]
+    fn reset_clears_history_but_keeps_mode() {
+        let mut ch = Channel::new(ChannelMode::NoCollisionDetection);
+        ch.resolve_round(&[true, true]);
+        assert_eq!(ch.rounds_elapsed(), 1);
+        ch.reset();
+        assert_eq!(ch.rounds_elapsed(), 0);
+        assert!(!ch.resolved());
+        assert_eq!(ch.mode(), ChannelMode::NoCollisionDetection);
+    }
+
+    #[test]
+    fn empty_decision_slice_is_silence() {
+        let mut ch = Channel::new(ChannelMode::CollisionDetection);
+        assert_eq!(ch.resolve_round(&[]), RoundOutcome::Silence);
+    }
+
+    #[test]
+    fn mode_display_and_predicate() {
+        assert!(ChannelMode::CollisionDetection.has_collision_detection());
+        assert!(!ChannelMode::NoCollisionDetection.has_collision_detection());
+        assert_eq!(
+            ChannelMode::CollisionDetection.to_string(),
+            "collision detection"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for the channel simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or driving the channel simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// A participant set was requested with zero participants; the problem
+    /// is defined only for non-empty participant sets.
+    EmptyParticipantSet,
+    /// A participant set was requested with more participants than the
+    /// universe contains.
+    TooManyParticipants {
+        /// Requested number of participants.
+        requested: usize,
+        /// Size of the universe `|V| = n`.
+        universe: usize,
+    },
+    /// An execution exceeded its configured round cap without resolving
+    /// contention.
+    RoundLimitExceeded {
+        /// The configured cap that was hit.
+        limit: usize,
+    },
+    /// A protocol was driven with a participant count it cannot handle
+    /// (for example zero participants).
+    InvalidConfiguration {
+        /// Human-readable description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::EmptyParticipantSet => {
+                write!(f, "participant set must be non-empty")
+            }
+            ChannelError::TooManyParticipants { requested, universe } => write!(
+                f,
+                "requested {requested} participants from a universe of {universe}"
+            ),
+            ChannelError::RoundLimitExceeded { limit } => {
+                write!(f, "execution exceeded the round limit of {limit}")
+            }
+            ChannelError::InvalidConfiguration { what } => {
+                write!(f, "invalid execution configuration: {what}")
+            }
+        }
+    }
+}
+
+impl Error for ChannelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ChannelError::EmptyParticipantSet
+            .to_string()
+            .contains("non-empty"));
+        assert!(ChannelError::TooManyParticipants {
+            requested: 10,
+            universe: 5
+        }
+        .to_string()
+        .contains("10"));
+        assert!(ChannelError::RoundLimitExceeded { limit: 64 }
+            .to_string()
+            .contains("64"));
+        assert!(ChannelError::InvalidConfiguration {
+            what: "zero rounds".into()
+        }
+        .to_string()
+        .contains("zero rounds"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-round channel outcomes and the feedback observed by participants.
+
+use serde::{Deserialize, Serialize};
+
+/// The ground-truth result of a single synchronous round on the shared
+/// channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoundOutcome {
+    /// No participant transmitted.
+    Silence,
+    /// Exactly one participant transmitted — contention is resolved.
+    Success,
+    /// Two or more participants transmitted; all messages were lost.
+    Collision,
+}
+
+impl RoundOutcome {
+    /// Classifies a round from the number of simultaneous transmitters.
+    pub fn from_transmitter_count(count: usize) -> Self {
+        match count {
+            0 => RoundOutcome::Silence,
+            1 => RoundOutcome::Success,
+            _ => RoundOutcome::Collision,
+        }
+    }
+
+    /// True if this outcome solves contention resolution.
+    pub fn is_success(self) -> bool {
+        matches!(self, RoundOutcome::Success)
+    }
+}
+
+impl std::fmt::Display for RoundOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let label = match self {
+            RoundOutcome::Silence => "silence",
+            RoundOutcome::Success => "success",
+            RoundOutcome::Collision => "collision",
+        };
+        write!(f, "{label}")
+    }
+}
+
+/// What a single participant observes at the end of a round.
+///
+/// The observation depends on the channel mode and on whether the
+/// participant itself transmitted:
+///
+/// * With collision detection, everyone (including transmitters) can tell a
+///   collision apart from silence.
+/// * Without collision detection, listeners cannot distinguish collision
+///   from silence; they only ever see [`Feedback::NothingHeard`] unless the
+///   round succeeded.  A node that transmitted alone knows it succeeded; the
+///   paper's model announces success to everyone (the problem is defined to
+///   end at that round), which we model as [`Feedback::Resolved`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Feedback {
+    /// The round resolved contention (a single transmitter was heard).
+    Resolved,
+    /// Collision detection reported a collision.
+    CollisionDetected,
+    /// Collision detection reported silence (nobody transmitted).
+    SilenceDetected,
+    /// No collision detector: the participant heard nothing useful
+    /// (the round was either silent or a collision).
+    NothingHeard,
+}
+
+impl Feedback {
+    /// True if this feedback tells the participant the problem is solved.
+    pub fn is_resolved(self) -> bool {
+        matches!(self, Feedback::Resolved)
+    }
+
+    /// Collapses the feedback to the single "collision history" bit used by
+    /// uniform collision-detection algorithms: `true` for a detected
+    /// collision, `false` for detected silence.
+    ///
+    /// Returns `None` for feedback kinds that do not correspond to a history
+    /// bit (resolution, or the no-detection "nothing heard" observation).
+    pub fn as_collision_bit(self) -> Option<bool> {
+        match self {
+            Feedback::CollisionDetected => Some(true),
+            Feedback::SilenceDetected => Some(false),
+            Feedback::Resolved | Feedback::NothingHeard => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_from_count_matches_model() {
+        assert_eq!(RoundOutcome::from_transmitter_count(0), RoundOutcome::Silence);
+        assert_eq!(RoundOutcome::from_transmitter_count(1), RoundOutcome::Success);
+        assert_eq!(RoundOutcome::from_transmitter_count(2), RoundOutcome::Collision);
+        assert_eq!(
+            RoundOutcome::from_transmitter_count(100),
+            RoundOutcome::Collision
+        );
+    }
+
+    #[test]
+    fn only_success_is_success() {
+        assert!(RoundOutcome::Success.is_success());
+        assert!(!RoundOutcome::Silence.is_success());
+        assert!(!RoundOutcome::Collision.is_success());
+    }
+
+    #[test]
+    fn display_labels_are_stable() {
+        assert_eq!(RoundOutcome::Silence.to_string(), "silence");
+        assert_eq!(RoundOutcome::Success.to_string(), "success");
+        assert_eq!(RoundOutcome::Collision.to_string(), "collision");
+    }
+
+    #[test]
+    fn feedback_collision_bits() {
+        assert_eq!(Feedback::CollisionDetected.as_collision_bit(), Some(true));
+        assert_eq!(Feedback::SilenceDetected.as_collision_bit(), Some(false));
+        assert_eq!(Feedback::Resolved.as_collision_bit(), None);
+        assert_eq!(Feedback::NothingHeard.as_collision_bit(), None);
+    }
+
+    #[test]
+    fn only_resolved_feedback_resolves() {
+        assert!(Feedback::Resolved.is_resolved());
+        assert!(!Feedback::CollisionDetected.is_resolved());
+        assert!(!Feedback::SilenceDetected.is_resolved());
+        assert!(!Feedback::NothingHeard.is_resolved());
+    }
+}

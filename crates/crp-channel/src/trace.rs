@@ -1,0 +1,122 @@
+//! Execution traces.
+//!
+//! The executor records what happened in every round so that tests, the
+//! experiment harness and the examples can inspect executions (e.g. verify
+//! that a protocol's transmission probabilities followed its schedule, or
+//! debug why a run took unusually long).
+
+use serde::{Deserialize, Serialize};
+
+use crate::round::RoundOutcome;
+
+/// Everything recorded about one round of an execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// 1-based round number.
+    pub round: usize,
+    /// Number of participants that transmitted.
+    pub transmitters: usize,
+    /// Ground-truth channel outcome.
+    pub outcome: RoundOutcome,
+}
+
+/// A full execution trace: the per-round records plus the final verdict.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<RoundRecord>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one round's record.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.records.push(record);
+    }
+
+    /// All per-round records in order.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Number of rounds recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The 1-based round at which contention was resolved, if any.
+    pub fn resolution_round(&self) -> Option<usize> {
+        self.records
+            .iter()
+            .find(|r| r.outcome.is_success())
+            .map(|r| r.round)
+    }
+
+    /// Number of collision rounds in the trace.
+    pub fn collisions(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == RoundOutcome::Collision)
+            .count()
+    }
+
+    /// Number of silent rounds in the trace.
+    pub fn silences(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == RoundOutcome::Silence)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, transmitters: usize) -> RoundRecord {
+        RoundRecord {
+            round,
+            transmitters,
+            outcome: RoundOutcome::from_transmitter_count(transmitters),
+        }
+    }
+
+    #[test]
+    fn trace_accumulates_records() {
+        let mut trace = Trace::new();
+        assert!(trace.is_empty());
+        trace.push(record(1, 3));
+        trace.push(record(2, 0));
+        trace.push(record(3, 1));
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.resolution_round(), Some(3));
+        assert_eq!(trace.collisions(), 1);
+        assert_eq!(trace.silences(), 1);
+    }
+
+    #[test]
+    fn unresolved_trace_has_no_resolution_round() {
+        let mut trace = Trace::new();
+        trace.push(record(1, 2));
+        trace.push(record(2, 5));
+        assert_eq!(trace.resolution_round(), None);
+        assert_eq!(trace.collisions(), 2);
+    }
+
+    #[test]
+    fn records_are_accessible_in_order() {
+        let mut trace = Trace::new();
+        trace.push(record(1, 0));
+        trace.push(record(2, 1));
+        let rounds: Vec<usize> = trace.records().iter().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![1, 2]);
+    }
+}

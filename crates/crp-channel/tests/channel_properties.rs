@@ -1,0 +1,96 @@
+//! Property-based tests for the channel simulator.
+
+use crp_channel::{
+    execute_uniform_schedule, Channel, ChannelMode, CollisionHistory, ExecutionConfig, Feedback,
+    ParticipantSet, RoundOutcome,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #[test]
+    fn round_outcome_depends_only_on_transmitter_count(decisions in prop::collection::vec(any::<bool>(), 0..64)) {
+        let mut channel = Channel::new(ChannelMode::CollisionDetection);
+        let outcome = channel.resolve_round(&decisions);
+        let count = decisions.iter().filter(|&&d| d).count();
+        let expected = match count {
+            0 => RoundOutcome::Silence,
+            1 => RoundOutcome::Success,
+            _ => RoundOutcome::Collision,
+        };
+        prop_assert_eq!(outcome, expected);
+    }
+
+    #[test]
+    fn feedback_is_consistent_with_mode(count in 0usize..20) {
+        let outcome = RoundOutcome::from_transmitter_count(count);
+        let cd = Channel::new(ChannelMode::CollisionDetection);
+        let nocd = Channel::new(ChannelMode::NoCollisionDetection);
+        let fb_cd = cd.feedback_for(outcome, false);
+        let fb_nocd = nocd.feedback_for(outcome, false);
+        match count {
+            1 => {
+                prop_assert_eq!(fb_cd, Feedback::Resolved);
+                prop_assert_eq!(fb_nocd, Feedback::Resolved);
+            }
+            0 => {
+                prop_assert_eq!(fb_cd, Feedback::SilenceDetected);
+                prop_assert_eq!(fb_nocd, Feedback::NothingHeard);
+            }
+            _ => {
+                prop_assert_eq!(fb_cd, Feedback::CollisionDetected);
+                prop_assert_eq!(fb_nocd, Feedback::NothingHeard);
+            }
+        }
+    }
+
+    #[test]
+    fn participant_set_len_is_bounded_by_universe(universe in 1usize..256, size in 1usize..256) {
+        let result = ParticipantSet::first_k(universe, size);
+        if size <= universe {
+            let set = result.unwrap();
+            prop_assert_eq!(set.len(), size);
+            prop_assert!(set.members().iter().all(|m| m.index() < universe));
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    #[test]
+    fn uniform_execution_never_exceeds_round_cap(
+        k in 1usize..256,
+        cap in 1usize..64,
+        prob in 0.0f64..=1.0,
+        seed in 0u64..1_000,
+    ) {
+        let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, cap);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let result = execute_uniform_schedule(k, |_, _| Some(prob), &config, &mut rng);
+        prop_assert!(result.rounds <= cap);
+        if result.resolved {
+            prop_assert!(result.rounds >= 1);
+        }
+    }
+
+    #[test]
+    fn single_participant_with_positive_probability_eventually_succeeds(
+        prob in 0.2f64..=1.0,
+        seed in 0u64..1_000,
+    ) {
+        // With one participant, any transmission is a success.
+        let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, 2_000);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let result = execute_uniform_schedule(1, |_, _| Some(prob), &config, &mut rng);
+        prop_assert!(result.resolved);
+    }
+
+    #[test]
+    fn collision_history_prefix_property(bits in prop::collection::vec(any::<bool>(), 0..32), extra in any::<bool>()) {
+        let history = CollisionHistory::from_bits(bits.clone());
+        let child = history.child(extra);
+        prop_assert!(history.is_prefix_of(&child));
+        prop_assert_eq!(child.len(), history.len() + 1);
+        prop_assert_eq!(child.to_bit_string().len(), child.len());
+    }
+}

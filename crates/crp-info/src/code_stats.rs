@@ -1,0 +1,222 @@
+//! Statistics about code-length random variables.
+//!
+//! The paper's Theorems 2.2 and 2.3 bound the *expected codeword length*
+//! when symbols from a source `X` are encoded with a code built for a
+//! (possibly different) source `Y`.  The helpers here compute and
+//! empirically sample that random variable so the experiment harness and the
+//! property tests can verify both theorems numerically.
+
+use rand::Rng;
+
+use crate::coding::PrefixCode;
+use crate::condensed::CondensedDistribution;
+
+/// Summary statistics of the code-length random variable `S = len(f(X))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeLengthStats {
+    /// Exact expected length `E[S]` under the source distribution.
+    pub expected: f64,
+    /// Shortest codeword length that has positive source probability.
+    pub min: usize,
+    /// Longest codeword length that has positive source probability.
+    pub max: usize,
+    /// Second moment `E[S²]`, useful for the `O(H²)` collision-detection
+    /// bound.
+    pub second_moment: f64,
+}
+
+/// Computes the exact distribution of code lengths when symbols are drawn
+/// from `source` (a condensed distribution over ranges) and encoded with
+/// `code` (whose symbol `i` corresponds to range `i + 1`).
+///
+/// Returns a vector where index `len` holds `Pr(S = len)`.
+///
+/// # Panics
+///
+/// Panics if the code's alphabet is smaller than the source's support.
+pub fn code_length_distribution(source: &CondensedDistribution, code: &PrefixCode) -> Vec<f64> {
+    assert!(
+        code.num_symbols() >= source.num_ranges(),
+        "code alphabet ({}) smaller than source support ({})",
+        code.num_symbols(),
+        source.num_ranges()
+    );
+    let mut dist = vec![0.0; code.max_length() + 1];
+    for range in 1..=source.num_ranges() {
+        let p = source.probability_of_range(range);
+        if p > 0.0 {
+            dist[code.length(range - 1)] += p;
+        }
+    }
+    dist
+}
+
+/// Computes [`CodeLengthStats`] for `source` encoded with `code`.
+///
+/// # Panics
+///
+/// Panics if the code's alphabet is smaller than the source's support.
+pub fn code_length_stats(source: &CondensedDistribution, code: &PrefixCode) -> CodeLengthStats {
+    let dist = code_length_distribution(source, code);
+    let mut expected = 0.0;
+    let mut second_moment = 0.0;
+    let mut min = usize::MAX;
+    let mut max = 0;
+    for (len, &p) in dist.iter().enumerate() {
+        if p > 0.0 {
+            expected += p * len as f64;
+            second_moment += p * (len as f64) * (len as f64);
+            min = min.min(len);
+            max = max.max(len);
+        }
+    }
+    if min == usize::MAX {
+        min = 0;
+    }
+    CodeLengthStats {
+        expected,
+        min,
+        max,
+        second_moment,
+    }
+}
+
+/// Estimates the expected code length by Monte-Carlo sampling `trials`
+/// ranges from `source` and encoding each with `code`.
+///
+/// Used by integration tests to cross-check the exact computation and by
+/// the experiment harness when the source is only available as a sampler.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or if the code's alphabet is smaller than the
+/// source's support.
+pub fn empirical_expected_length<R: Rng + ?Sized>(
+    source: &CondensedDistribution,
+    code: &PrefixCode,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(trials > 0, "at least one trial is required");
+    assert!(
+        code.num_symbols() >= source.num_ranges(),
+        "code alphabet smaller than source support"
+    );
+    let probs = source.probabilities();
+    let cumulative: Vec<f64> = probs
+        .iter()
+        .scan(0.0, |acc, &p| {
+            *acc += p;
+            Some(*acc)
+        })
+        .collect();
+    let mut total = 0usize;
+    for _ in 0..trials {
+        let u: f64 = rng.gen();
+        let range = cumulative
+            .iter()
+            .position(|&c| u <= c)
+            .unwrap_or(probs.len() - 1);
+        total += code.length(range);
+    }
+    total as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::SizeDistribution;
+    use crate::{huffman_code, kl_divergence};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn condensed(dist: &SizeDistribution) -> CondensedDistribution {
+        CondensedDistribution::from_sizes(dist)
+    }
+
+    #[test]
+    fn length_distribution_sums_to_one() {
+        let c = condensed(&SizeDistribution::geometric(1024, 0.15).unwrap());
+        let code = huffman_code(c.probabilities()).unwrap();
+        let dist = code_length_distribution(&c, &code);
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn source_coding_theorem_lower_bound_holds() {
+        // Theorem 2.2: H(X) <= E(S) for the optimal code built for X.
+        for dist in [
+            SizeDistribution::uniform_ranges(4096).unwrap(),
+            SizeDistribution::geometric(4096, 0.05).unwrap(),
+            SizeDistribution::zipf(4096, 1.1).unwrap(),
+            SizeDistribution::bimodal(4096, 10, 3000, 0.6).unwrap(),
+        ] {
+            let c = condensed(&dist);
+            let code = huffman_code(c.probabilities()).unwrap();
+            let stats = code_length_stats(&c, &code);
+            assert!(
+                stats.expected + 1e-9 >= c.entropy(),
+                "E[S]={} < H={}",
+                stats.expected,
+                c.entropy()
+            );
+            assert!(stats.expected <= c.entropy() + 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cross_coding_theorem_bounds_hold() {
+        // Theorem 2.3: H(X) + D_KL(X||Y) <= E(S) <= H(X) + D_KL(X||Y) + 1
+        // when the optimal code for Y encodes symbols from X.
+        let truth = condensed(&SizeDistribution::geometric(2048, 0.1).unwrap());
+        let prediction = condensed(&SizeDistribution::zipf(2048, 1.4).unwrap());
+        let code_for_prediction = huffman_code(prediction.probabilities()).unwrap();
+        let stats = code_length_stats(&truth, &code_for_prediction);
+        let h = truth.entropy();
+        let d = kl_divergence(truth.probabilities(), prediction.probabilities());
+        assert!(d.is_finite());
+        // Huffman built for Y is optimal for Y, so the upper sandwich holds
+        // with the +1 slack; the lower bound holds for any uniquely
+        // decodable code.
+        assert!(
+            stats.expected <= h + d + 1.0 + 1e-9,
+            "E[S]={} > H+D+1={}",
+            stats.expected,
+            h + d + 1.0
+        );
+        assert!(stats.expected + 1e-9 >= h, "E[S]={} < H={h}", stats.expected);
+    }
+
+    #[test]
+    fn stats_min_max_reflect_support() {
+        let c = condensed(&SizeDistribution::point_mass(1024, 100).unwrap());
+        let code = huffman_code(c.probabilities()).unwrap();
+        let stats = code_length_stats(&c, &code);
+        assert_eq!(stats.min, stats.max);
+        assert!((stats.expected - stats.min as f64).abs() < 1e-12);
+        assert!((stats.second_moment - (stats.min * stats.min) as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_estimate_matches_exact_value() {
+        let c = condensed(&SizeDistribution::bimodal(2048, 20, 900, 0.75).unwrap());
+        let code = huffman_code(c.probabilities()).unwrap();
+        let exact = code_length_stats(&c, &code).expected;
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let sampled = empirical_expected_length(&c, &code, 20_000, &mut rng);
+        assert!(
+            (sampled - exact).abs() < 0.1,
+            "sampled={sampled}, exact={exact}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn empirical_estimate_requires_trials() {
+        let c = condensed(&SizeDistribution::uniform_sizes(64).unwrap());
+        let code = huffman_code(c.probabilities()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = empirical_expected_length(&c, &code, 0, &mut rng);
+    }
+}

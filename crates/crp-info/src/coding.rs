@@ -1,0 +1,306 @@
+//! Prefix codes over a finite alphabet of symbols.
+//!
+//! The paper's lower bounds convert contention-resolution algorithms into
+//! codes for the condensed size distribution and invoke Shannon's Source
+//! Coding Theorem; its §2.6 upper bound *uses* an optimal code to schedule
+//! the collision-detection search.  [`PrefixCode`] is the shared
+//! representation: a mapping from symbol index (a range in `L(n)`) to a
+//! binary codeword.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::InfoError;
+
+/// A single binary codeword, stored as an explicit bit vector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Codeword {
+    bits: Vec<bool>,
+}
+
+impl Codeword {
+    /// Builds a codeword from explicit bits (most significant first).
+    pub fn new(bits: Vec<bool>) -> Self {
+        Self { bits }
+    }
+
+    /// Builds a codeword from an ASCII string of `'0'`/`'1'` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string contains characters other than `'0'` and `'1'`.
+    pub fn from_str_bits(s: &str) -> Self {
+        let bits = s
+            .chars()
+            .map(|c| match c {
+                '0' => false,
+                '1' => true,
+                other => panic!("codeword strings may only contain 0 and 1, found {other:?}"),
+            })
+            .collect();
+        Self { bits }
+    }
+
+    /// Length of the codeword in bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True if the codeword is empty (length zero).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The individual bits, most significant first.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// True if `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Codeword) -> bool {
+        self.bits.len() <= other.bits.len() && other.bits[..self.bits.len()] == self.bits[..]
+    }
+
+    /// Renders the codeword as a `0`/`1` string.
+    pub fn to_bit_string(&self) -> String {
+        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+    }
+}
+
+impl std::fmt::Display for Codeword {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_bit_string())
+    }
+}
+
+/// A uniquely decodable prefix code over symbols `0..len()`.
+///
+/// In this repository the symbols are the geometric ranges of a condensed
+/// distribution (symbol `i` is range `i + 1`), but the type is agnostic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefixCode {
+    codewords: Vec<Codeword>,
+}
+
+impl PrefixCode {
+    /// Builds a code from one codeword per symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::EmptySupport`] if no codewords are supplied and
+    /// [`InfoError::InvalidSize`] if the prefix property is violated (some
+    /// codeword is a prefix of another) or any codeword is empty while more
+    /// than one symbol exists.
+    pub fn new(codewords: Vec<Codeword>) -> Result<Self, InfoError> {
+        if codewords.is_empty() {
+            return Err(InfoError::EmptySupport);
+        }
+        if codewords.len() > 1 {
+            for (i, a) in codewords.iter().enumerate() {
+                if a.is_empty() {
+                    return Err(InfoError::InvalidSize {
+                        what: format!("codeword for symbol {i} is empty"),
+                    });
+                }
+                for (j, b) in codewords.iter().enumerate() {
+                    if i != j && a.is_prefix_of(b) {
+                        return Err(InfoError::InvalidSize {
+                            what: format!("codeword {i} is a prefix of codeword {j}"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Self { codewords })
+    }
+
+    /// Number of symbols in the code's alphabet.
+    pub fn num_symbols(&self) -> usize {
+        self.codewords.len()
+    }
+
+    /// The codeword assigned to `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is outside the alphabet.
+    pub fn codeword(&self, symbol: usize) -> &Codeword {
+        &self.codewords[symbol]
+    }
+
+    /// Length in bits of the codeword assigned to `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is outside the alphabet.
+    pub fn length(&self, symbol: usize) -> usize {
+        self.codewords[symbol].len()
+    }
+
+    /// All codeword lengths, indexed by symbol.
+    pub fn lengths(&self) -> Vec<usize> {
+        self.codewords.iter().map(Codeword::len).collect()
+    }
+
+    /// The longest codeword length in the code.
+    pub fn max_length(&self) -> usize {
+        self.codewords.iter().map(Codeword::len).max().unwrap_or(0)
+    }
+
+    /// Expected codeword length under the given symbol probabilities.
+    ///
+    /// This is the quantity `E(S)` in the paper's Theorems 2.2 and 2.3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probabilities.len()` differs from the alphabet size.
+    pub fn expected_length(&self, probabilities: &[f64]) -> f64 {
+        assert_eq!(
+            probabilities.len(),
+            self.codewords.len(),
+            "probability vector must match the code alphabet"
+        );
+        probabilities
+            .iter()
+            .zip(self.codewords.iter())
+            .map(|(&p, cw)| p * cw.len() as f64)
+            .sum()
+    }
+
+    /// The Kraft sum `Σ 2^{-len(symbol)}`.
+    ///
+    /// Any uniquely decodable code satisfies the Kraft inequality
+    /// (sum ≤ 1); a complete prefix code has sum exactly 1.
+    pub fn kraft_sum(&self) -> f64 {
+        self.codewords
+            .iter()
+            .map(|cw| 2f64.powi(-(cw.len() as i32)))
+            .sum()
+    }
+
+    /// Symbols grouped by codeword length: element `i` of the result holds
+    /// all symbols whose codeword has length `i + 1`, each group sorted
+    /// ascending.
+    ///
+    /// This grouping is exactly the phase structure of the §2.6
+    /// collision-detection algorithm ("consider all symbols mapped to codes
+    /// of this length, ordered smallest to largest").
+    pub fn symbols_by_length(&self) -> Vec<Vec<usize>> {
+        let max_len = self.max_length();
+        let mut groups = vec![Vec::new(); max_len];
+        for (symbol, cw) in self.codewords.iter().enumerate() {
+            if cw.is_empty() {
+                // A single-symbol code may use the empty word; treat it as
+                // length 1 for phase purposes.
+                if groups.is_empty() {
+                    groups.push(Vec::new());
+                }
+                groups[0].push(symbol);
+            } else {
+                groups[cw.len() - 1].push(symbol);
+            }
+        }
+        for g in &mut groups {
+            g.sort_unstable();
+        }
+        groups
+    }
+
+    /// Decodes a full bit string into the symbol it encodes, if the bits are
+    /// exactly one codeword.
+    pub fn decode_exact(&self, bits: &Codeword) -> Option<usize> {
+        self.codewords.iter().position(|cw| cw == bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_code() -> PrefixCode {
+        PrefixCode::new(vec![
+            Codeword::from_str_bits("0"),
+            Codeword::from_str_bits("10"),
+            Codeword::from_str_bits("11"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn codeword_prefix_relation() {
+        let a = Codeword::from_str_bits("10");
+        let b = Codeword::from_str_bits("101");
+        assert!(a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert!(a.is_prefix_of(&a));
+    }
+
+    #[test]
+    fn codeword_display_round_trips() {
+        let a = Codeword::from_str_bits("0110");
+        assert_eq!(a.to_string(), "0110");
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "only contain 0 and 1")]
+    fn codeword_rejects_non_binary() {
+        let _ = Codeword::from_str_bits("012");
+    }
+
+    #[test]
+    fn prefix_code_rejects_prefix_violations() {
+        let bad = PrefixCode::new(vec![
+            Codeword::from_str_bits("0"),
+            Codeword::from_str_bits("01"),
+        ]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn prefix_code_rejects_empty_codeword_in_multi_symbol_code() {
+        let bad = PrefixCode::new(vec![Codeword::new(vec![]), Codeword::from_str_bits("1")]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn single_symbol_code_may_be_empty() {
+        let code = PrefixCode::new(vec![Codeword::new(vec![])]).unwrap();
+        assert_eq!(code.num_symbols(), 1);
+        assert_eq!(code.max_length(), 0);
+    }
+
+    #[test]
+    fn expected_length_weighted_correctly() {
+        let code = simple_code();
+        let e = code.expected_length(&[0.5, 0.25, 0.25]);
+        assert!((e - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kraft_sum_of_complete_code_is_one() {
+        let code = simple_code();
+        assert!((code.kraft_sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symbols_by_length_groups_correctly() {
+        let code = simple_code();
+        let groups = code.symbols_by_length();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![0]);
+        assert_eq!(groups[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn decode_exact_finds_symbols() {
+        let code = simple_code();
+        assert_eq!(code.decode_exact(&Codeword::from_str_bits("10")), Some(1));
+        assert_eq!(code.decode_exact(&Codeword::from_str_bits("111")), None);
+    }
+
+    #[test]
+    fn empty_code_rejected() {
+        assert!(PrefixCode::new(vec![]).is_err());
+    }
+}

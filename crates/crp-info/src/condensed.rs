@@ -1,0 +1,313 @@
+//! The paper's condensed distribution `c(X)`.
+//!
+//! Contention resolution does not need the exact network size — an estimate
+//! within a constant factor is enough.  The paper therefore aggregates the
+//! probability mass of the size distribution `X` over `⌈log n⌉` geometric
+//! ranges: range `i ∈ L(n) = {1, …, ⌈log n⌉}` covers the sizes in
+//! `(2^{i-1}, 2^i]`.  All of the paper's bounds are stated in terms of the
+//! entropy of this condensed variable `c(X)` and the KL divergence between
+//! condensed truth and condensed prediction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distribution::SizeDistribution;
+use crate::error::InfoError;
+use crate::math::log2_ceil;
+use crate::{entropy, kl_divergence};
+
+/// Returns the range index `i ∈ L(n)` such that `size ∈ (2^{i-1}, 2^i]`.
+///
+/// Range indices are 1-based to match the paper: range 1 is `{2}`, range 2
+/// is `{3, 4}`, range 3 is `{5..8}`, and so on.  Size 1 is mapped to range 1
+/// as well (the paper assumes sizes are at least 2; an early all-transmit
+/// round removes the size-1 case, see footnote 4).
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn range_index_for_size(size: usize) -> usize {
+    assert!(size > 0, "network sizes are positive");
+    if size <= 2 {
+        1
+    } else {
+        log2_ceil(size as u64) as usize
+    }
+}
+
+/// The inclusive size interval `(2^{i-1}, 2^i]` covered by range `i`,
+/// returned as `(low, high)` with both endpoints inclusive.
+///
+/// # Panics
+///
+/// Panics if `index == 0`; ranges are 1-based.
+pub fn range_interval(index: usize) -> (usize, usize) {
+    assert!(index >= 1, "range indices are 1-based");
+    let low = (1usize << (index - 1)) + 1;
+    let high = 1usize << index;
+    if index == 1 {
+        (2, 2)
+    } else {
+        (low, high)
+    }
+}
+
+/// The condensed distribution `c(X)` over the geometric ranges `L(n)`.
+///
+/// Constructed from a [`SizeDistribution`] (or directly from range masses)
+/// and queried by the prediction-augmented protocols and by the experiment
+/// harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CondensedDistribution {
+    /// `masses[i]` is `Pr(c(X) = i + 1)`, i.e. the mass of range `i + 1`.
+    masses: Vec<f64>,
+    /// The maximum network size `n` the ranges were derived from.
+    max_size: usize,
+}
+
+impl CondensedDistribution {
+    /// Condenses a size distribution into its `⌈log n⌉` geometric ranges.
+    ///
+    /// Any mass placed on size 1 by the input is folded into range 1,
+    /// mirroring the paper's assumption that the size-1 case is eliminated
+    /// by one extra round.
+    pub fn from_sizes(dist: &SizeDistribution) -> Self {
+        let n = dist.max_size();
+        let num_ranges = (log2_ceil(n.max(2) as u64) as usize).max(1);
+        let mut masses = vec![0.0; num_ranges];
+        for size in 1..=n {
+            let p = dist.probability_of(size);
+            if p > 0.0 {
+                let idx = range_index_for_size(size).min(num_ranges);
+                masses[idx - 1] += p;
+            }
+        }
+        Self {
+            masses,
+            max_size: n,
+        }
+    }
+
+    /// Builds a condensed distribution directly from per-range masses
+    /// (`masses[i]` is the probability of range `i + 1`) for a network of
+    /// maximum size `max_size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::EmptySupport`] if the vector is empty,
+    /// [`InfoError::InvalidSize`] if the number of ranges does not equal
+    /// `⌈log max_size⌉`, and [`InfoError::InvalidMass`] if the masses are
+    /// negative or do not sum to one.
+    pub fn from_range_masses(masses: Vec<f64>, max_size: usize) -> Result<Self, InfoError> {
+        if masses.is_empty() {
+            return Err(InfoError::EmptySupport);
+        }
+        let expected = (log2_ceil(max_size.max(2) as u64) as usize).max(1);
+        if masses.len() != expected {
+            return Err(InfoError::InvalidSize {
+                what: format!(
+                    "expected {expected} ranges for n={max_size}, got {}",
+                    masses.len()
+                ),
+            });
+        }
+        if masses.iter().any(|&m| m < 0.0 || !m.is_finite()) {
+            return Err(InfoError::InvalidMass {
+                sum: masses.iter().sum(),
+            });
+        }
+        let sum: f64 = masses.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(InfoError::InvalidMass { sum });
+        }
+        let masses = masses.into_iter().map(|m| m / sum).collect();
+        Ok(Self { masses, max_size })
+    }
+
+    /// Number of ranges `⌈log n⌉` in the support.
+    pub fn num_ranges(&self) -> usize {
+        self.masses.len()
+    }
+
+    /// The maximum network size `n` this condensation was derived from.
+    pub fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    /// Probability of range `index` (1-based).  Out-of-range indices have
+    /// probability zero.
+    pub fn probability_of_range(&self, index: usize) -> f64 {
+        if index == 0 || index > self.masses.len() {
+            0.0
+        } else {
+            self.masses[index - 1]
+        }
+    }
+
+    /// The per-range probability vector (`probabilities()[i]` is the mass of
+    /// range `i + 1`).
+    pub fn probabilities(&self) -> &[f64] {
+        &self.masses
+    }
+
+    /// Shannon entropy `H(c(X))` in bits — the central quantity in all of
+    /// the paper's Table 1 bounds.
+    pub fn entropy(&self) -> f64 {
+        entropy(&self.masses)
+    }
+
+    /// Kullback–Leibler divergence `D_KL(c(self) ‖ c(other))` in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two condensed distributions have different numbers of
+    /// ranges.
+    pub fn kl_divergence(&self, other: &CondensedDistribution) -> f64 {
+        kl_divergence(&self.masses, &other.masses)
+    }
+
+    /// The maximum achievable condensed entropy for this support,
+    /// `log(⌈log n⌉)` bits (uniform over ranges).
+    pub fn max_entropy(&self) -> f64 {
+        (self.masses.len() as f64).log2()
+    }
+
+    /// Range indices sorted by decreasing probability, ties broken toward
+    /// smaller ranges.  This is the visit order `π` used by the §2.5
+    /// no-collision-detection algorithm.
+    pub fn ranges_by_likelihood(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (1..=self.masses.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.masses[b - 1]
+                .partial_cmp(&self.masses[a - 1])
+                .expect("probability masses are never NaN")
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Ranges with non-zero mass, ascending.
+    pub fn support(&self) -> Vec<usize> {
+        self.masses
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m > 0.0)
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_index_matches_paper_examples() {
+        // Paper: i=1 is {2}, i=2 is {3,4}, i=3 is {5..8}.
+        assert_eq!(range_index_for_size(2), 1);
+        assert_eq!(range_index_for_size(3), 2);
+        assert_eq!(range_index_for_size(4), 2);
+        assert_eq!(range_index_for_size(5), 3);
+        assert_eq!(range_index_for_size(8), 3);
+        assert_eq!(range_index_for_size(9), 4);
+        assert_eq!(range_index_for_size(1024), 10);
+        assert_eq!(range_index_for_size(1025), 11);
+    }
+
+    #[test]
+    fn range_interval_round_trips_with_index() {
+        for index in 1..=16 {
+            let (lo, hi) = range_interval(index);
+            assert!(lo <= hi);
+            for size in [lo, hi] {
+                assert_eq!(range_index_for_size(size), index, "size={size}");
+            }
+        }
+    }
+
+    #[test]
+    fn condensing_preserves_total_mass() {
+        for n in [4usize, 16, 100, 1024, 4096] {
+            let d = SizeDistribution::uniform_sizes(n).unwrap();
+            let c = CondensedDistribution::from_sizes(&d);
+            let total: f64 = c.probabilities().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n}");
+            assert_eq!(c.num_ranges(), log2_ceil(n as u64) as usize);
+        }
+    }
+
+    #[test]
+    fn point_mass_condenses_to_zero_entropy() {
+        let d = SizeDistribution::point_mass(4096, 700).unwrap();
+        let c = CondensedDistribution::from_sizes(&d);
+        assert_eq!(c.entropy(), 0.0);
+        assert_eq!(c.support(), vec![range_index_for_size(700)]);
+    }
+
+    #[test]
+    fn uniform_ranges_condenses_to_near_uniform() {
+        let d = SizeDistribution::uniform_ranges(1024).unwrap();
+        let c = CondensedDistribution::from_sizes(&d);
+        // 10 ranges, each with mass ~1/10.
+        assert_eq!(c.num_ranges(), 10);
+        for i in 1..=10 {
+            assert!(
+                (c.probability_of_range(i) - 0.1).abs() < 1e-9,
+                "range {i} mass {}",
+                c.probability_of_range(i)
+            );
+        }
+        assert!((c.entropy() - c.max_entropy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn condensed_entropy_never_exceeds_raw_entropy() {
+        for dist in [
+            SizeDistribution::uniform_sizes(512).unwrap(),
+            SizeDistribution::geometric(512, 0.1).unwrap(),
+            SizeDistribution::zipf(512, 1.3).unwrap(),
+            SizeDistribution::bimodal(512, 16, 300, 0.7).unwrap(),
+        ] {
+            let c = CondensedDistribution::from_sizes(&dist);
+            assert!(c.entropy() <= dist.entropy() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ranges_by_likelihood_is_sorted() {
+        let d = SizeDistribution::bimodal(1024, 8, 600, 0.8).unwrap();
+        let c = CondensedDistribution::from_sizes(&d);
+        let order = c.ranges_by_likelihood();
+        assert_eq!(order.len(), c.num_ranges());
+        for pair in order.windows(2) {
+            assert!(
+                c.probability_of_range(pair[0]) >= c.probability_of_range(pair[1]),
+                "order not non-increasing at {pair:?}"
+            );
+        }
+        // The most likely range is the one containing the primary mode (8).
+        assert_eq!(order[0], range_index_for_size(8));
+    }
+
+    #[test]
+    fn from_range_masses_validates() {
+        assert!(CondensedDistribution::from_range_masses(vec![0.5, 0.5], 4).is_ok());
+        assert!(CondensedDistribution::from_range_masses(vec![0.5, 0.5], 16).is_err());
+        assert!(CondensedDistribution::from_range_masses(vec![0.7, 0.7], 4).is_err());
+        assert!(CondensedDistribution::from_range_masses(vec![], 4).is_err());
+    }
+
+    #[test]
+    fn kl_between_condensed_distributions() {
+        let truth = CondensedDistribution::from_sizes(&SizeDistribution::geometric(256, 0.2).unwrap());
+        let pred = CondensedDistribution::from_sizes(&SizeDistribution::uniform_ranges(256).unwrap());
+        assert!(truth.kl_divergence(&pred) > 0.0);
+        assert_eq!(truth.kl_divergence(&truth), 0.0);
+    }
+
+    #[test]
+    fn probability_of_range_out_of_bounds_is_zero() {
+        let c = CondensedDistribution::from_sizes(&SizeDistribution::uniform_sizes(64).unwrap());
+        assert_eq!(c.probability_of_range(0), 0.0);
+        assert_eq!(c.probability_of_range(100), 0.0);
+    }
+}

@@ -1,0 +1,507 @@
+//! Discrete probability distributions over network sizes.
+//!
+//! The paper models the number of participants as a random variable `X`
+//! taking values in `1..=n`.  [`SizeDistribution`] stores the full
+//! probability vector and provides the information-theoretic quantities the
+//! paper's theorems are expressed with, plus sampling for the experiment
+//! harness.
+
+use rand::distributions::Distribution as _;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::InfoError;
+use crate::{entropy, kl_divergence, total_variation};
+
+/// Tolerance accepted when validating that probability masses sum to one.
+const MASS_TOLERANCE: f64 = 1e-6;
+
+/// A discrete probability distribution over network sizes `1..=n`.
+///
+/// Index `i` of the internal vector holds `Pr(X = i + 1)`, i.e. the mass of
+/// network size `i + 1`.  The distribution is validated and re-normalised on
+/// construction so that downstream entropy / divergence computations are
+/// numerically stable.
+///
+/// The paper assumes the network size is at least 2 ("there is no contention
+/// to resolve in a network of size less than 2"); the convenience
+/// constructors in this type therefore place no mass on size 1, although
+/// arbitrary vectors that include size-1 mass are still accepted via
+/// [`SizeDistribution::from_masses`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeDistribution {
+    /// `masses[i]` is the probability of network size `i + 1`.
+    masses: Vec<f64>,
+}
+
+impl SizeDistribution {
+    /// Builds a distribution from raw probability masses over sizes
+    /// `1..=masses.len()`.
+    ///
+    /// The masses are re-normalised to sum exactly to one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::EmptySupport`] for an empty vector,
+    /// [`InfoError::InvalidMass`] if any entry is negative, not finite, or
+    /// the total mass differs from one by more than `1e-6` before
+    /// re-normalisation.
+    pub fn from_masses(masses: Vec<f64>) -> Result<Self, InfoError> {
+        if masses.is_empty() {
+            return Err(InfoError::EmptySupport);
+        }
+        if masses.iter().any(|&m| m < 0.0 || !m.is_finite()) {
+            return Err(InfoError::InvalidMass {
+                sum: masses.iter().sum(),
+            });
+        }
+        let sum: f64 = masses.iter().sum();
+        if (sum - 1.0).abs() > MASS_TOLERANCE {
+            return Err(InfoError::InvalidMass { sum });
+        }
+        let masses = masses.into_iter().map(|m| m / sum).collect();
+        Ok(Self { masses })
+    }
+
+    /// Builds a distribution from *unnormalised* non-negative weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::EmptySupport`] for an empty vector and
+    /// [`InfoError::InvalidMass`] if any weight is negative, not finite, or
+    /// all weights are zero.
+    pub fn from_weights(weights: Vec<f64>) -> Result<Self, InfoError> {
+        if weights.is_empty() {
+            return Err(InfoError::EmptySupport);
+        }
+        if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+            return Err(InfoError::InvalidMass {
+                sum: weights.iter().sum(),
+            });
+        }
+        let sum: f64 = weights.iter().sum();
+        if sum <= 0.0 {
+            return Err(InfoError::InvalidMass { sum });
+        }
+        let masses = weights.into_iter().map(|w| w / sum).collect();
+        Ok(Self { masses })
+    }
+
+    /// A point mass: the network size is always exactly `size`.
+    ///
+    /// This is the "perfect prediction" extreme the paper mentions: the
+    /// condensed entropy is zero and contention can be resolved in `O(1)`
+    /// expected rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidSize`] unless `2 ≤ size ≤ n`.
+    pub fn point_mass(n: usize, size: usize) -> Result<Self, InfoError> {
+        if n < 2 || size < 2 || size > n {
+            return Err(InfoError::InvalidSize {
+                what: format!("point mass requires 2 <= size <= n, got size={size}, n={n}"),
+            });
+        }
+        let mut masses = vec![0.0; n];
+        masses[size - 1] = 1.0;
+        Ok(Self { masses })
+    }
+
+    /// Uniform distribution over all sizes `2..=n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidSize`] if `n < 2`.
+    pub fn uniform_sizes(n: usize) -> Result<Self, InfoError> {
+        if n < 2 {
+            return Err(InfoError::InvalidSize {
+                what: format!("uniform_sizes requires n >= 2, got {n}"),
+            });
+        }
+        let mut masses = vec![0.0; n];
+        let p = 1.0 / (n - 1) as f64;
+        for m in masses.iter_mut().skip(1) {
+            *m = p;
+        }
+        Ok(Self { masses })
+    }
+
+    /// Uniform distribution over the `⌈log n⌉` *geometric ranges*, with the
+    /// mass of range `i` spread uniformly over the sizes in `(2^{i-1}, 2^i]`.
+    ///
+    /// This is the maximum-condensed-entropy distribution: its condensed
+    /// version `c(X)` is uniform over `L(n)`, so `H(c(X)) ≈ log log n`, the
+    /// regime where the paper's bounds match the classical worst-case
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidSize`] if `n < 2`.
+    pub fn uniform_ranges(n: usize) -> Result<Self, InfoError> {
+        if n < 2 {
+            return Err(InfoError::InvalidSize {
+                what: format!("uniform_ranges requires n >= 2, got {n}"),
+            });
+        }
+        let num_ranges = crate::math::log2_ceil(n as u64).max(1) as usize;
+        let per_range = 1.0 / num_ranges as f64;
+        let mut masses = vec![0.0; n];
+        for range in 1..=num_ranges {
+            let lo = (1usize << (range - 1)) + 1;
+            let hi = (1usize << range).min(n);
+            if lo > hi {
+                // Last range may be clipped empty if n is not a power of two
+                // minus one; fold its mass into the previous range instead.
+                continue;
+            }
+            let count = hi - lo + 1;
+            let per_size = per_range / count as f64;
+            for size in lo..=hi {
+                masses[size - 1] += per_size;
+            }
+        }
+        Self::from_weights(masses)
+    }
+
+    /// A truncated geometric distribution over sizes `2..=n`:
+    /// `Pr(X = k) ∝ (1 − ratio)^{k − 2}`.
+    ///
+    /// Models networks that are usually small but occasionally large.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidSize`] if `n < 2` and
+    /// [`InfoError::InvalidProbability`] unless `0 < ratio < 1`.
+    pub fn geometric(n: usize, ratio: f64) -> Result<Self, InfoError> {
+        if n < 2 {
+            return Err(InfoError::InvalidSize {
+                what: format!("geometric requires n >= 2, got {n}"),
+            });
+        }
+        if !(0.0..1.0).contains(&ratio) || ratio <= 0.0 {
+            return Err(InfoError::InvalidProbability { value: ratio });
+        }
+        let mut weights = vec![0.0; n];
+        let mut w = 1.0;
+        for size in 2..=n {
+            weights[size - 1] = w;
+            w *= 1.0 - ratio;
+        }
+        Self::from_weights(weights)
+    }
+
+    /// A Zipf-like distribution over sizes `2..=n`:
+    /// `Pr(X = k) ∝ k^{-exponent}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidSize`] if `n < 2` and
+    /// [`InfoError::InvalidProbability`] if the exponent is not positive and
+    /// finite.
+    pub fn zipf(n: usize, exponent: f64) -> Result<Self, InfoError> {
+        if n < 2 {
+            return Err(InfoError::InvalidSize {
+                what: format!("zipf requires n >= 2, got {n}"),
+            });
+        }
+        if exponent <= 0.0 || !exponent.is_finite() {
+            return Err(InfoError::InvalidProbability { value: exponent });
+        }
+        let mut weights = vec![0.0; n];
+        for size in 2..=n {
+            weights[size - 1] = (size as f64).powf(-exponent);
+        }
+        Self::from_weights(weights)
+    }
+
+    /// A two-mode distribution putting mass `weight_primary` near
+    /// `primary` and the remainder near `secondary` (each mode is a small
+    /// geometric bump over a handful of adjacent sizes).
+    ///
+    /// Models, e.g., a sensor network whose active population is usually one
+    /// cluster but occasionally two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidSize`] unless `2 ≤ primary, secondary ≤ n`
+    /// and [`InfoError::InvalidProbability`] unless
+    /// `0 ≤ weight_primary ≤ 1`.
+    pub fn bimodal(
+        n: usize,
+        primary: usize,
+        secondary: usize,
+        weight_primary: f64,
+    ) -> Result<Self, InfoError> {
+        if n < 2 || primary < 2 || primary > n || secondary < 2 || secondary > n {
+            return Err(InfoError::InvalidSize {
+                what: format!(
+                    "bimodal requires 2 <= primary, secondary <= n, got primary={primary}, secondary={secondary}, n={n}"
+                ),
+            });
+        }
+        if !(0.0..=1.0).contains(&weight_primary) {
+            return Err(InfoError::InvalidProbability {
+                value: weight_primary,
+            });
+        }
+        let mut weights = vec![0.0; n];
+        let spread = |weights: &mut Vec<f64>, center: usize, total: f64| {
+            // Spread each mode over center-1..=center+1 with 25/50/25 split,
+            // clipped to the valid size range.
+            let parts = [
+                (center.saturating_sub(1).max(2), 0.25),
+                (center, 0.5),
+                ((center + 1).min(n), 0.25),
+            ];
+            let norm: f64 = parts.iter().map(|&(_, w)| w).sum();
+            for (size, w) in parts {
+                weights[size - 1] += total * w / norm;
+            }
+        };
+        spread(&mut weights, primary, weight_primary);
+        spread(&mut weights, secondary, 1.0 - weight_primary);
+        Self::from_weights(weights)
+    }
+
+    /// Maximum representable network size `n` (the length of the mass
+    /// vector).
+    pub fn max_size(&self) -> usize {
+        self.masses.len()
+    }
+
+    /// Probability that the network size equals `size`.
+    ///
+    /// Sizes outside `1..=n` have probability zero.
+    pub fn probability_of(&self, size: usize) -> f64 {
+        if size == 0 || size > self.masses.len() {
+            0.0
+        } else {
+            self.masses[size - 1]
+        }
+    }
+
+    /// The full probability vector over sizes `1..=n` (index `i` is size
+    /// `i + 1`).
+    pub fn masses(&self) -> &[f64] {
+        &self.masses
+    }
+
+    /// Shannon entropy of the raw (uncondensed) distribution, in bits.
+    pub fn entropy(&self) -> f64 {
+        entropy(&self.masses)
+    }
+
+    /// Kullback–Leibler divergence `D_KL(self ‖ other)` in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two distributions have different maximum sizes.
+    pub fn kl_divergence(&self, other: &SizeDistribution) -> f64 {
+        kl_divergence(&self.masses, &other.masses)
+    }
+
+    /// Total-variation distance between the two distributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two distributions have different maximum sizes.
+    pub fn total_variation(&self, other: &SizeDistribution) -> f64 {
+        total_variation(&self.masses, &other.masses)
+    }
+
+    /// Draws a network size from the distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        // WeightedIndex re-validates the weights; masses are already a
+        // normalised distribution so construction cannot fail here.
+        let index = rand::distributions::WeightedIndex::new(&self.masses)
+            .expect("validated masses always form a samplable distribution");
+        index.sample(rng) + 1
+    }
+
+    /// Support of the distribution: all sizes with non-zero mass, ascending.
+    pub fn support(&self) -> Vec<usize> {
+        self.masses
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m > 0.0)
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+
+    /// Mixes two distributions: `lambda · self + (1 − lambda) · other`.
+    ///
+    /// Useful for sweeping entropy between a point mass and the uniform
+    /// distribution (experiment `F-ENTROPY`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::InvalidProbability`] unless `0 ≤ lambda ≤ 1` and
+    /// [`InfoError::InvalidSize`] if the supports have different lengths.
+    pub fn mix(&self, other: &SizeDistribution, lambda: f64) -> Result<Self, InfoError> {
+        if !(0.0..=1.0).contains(&lambda) {
+            return Err(InfoError::InvalidProbability { value: lambda });
+        }
+        if self.masses.len() != other.masses.len() {
+            return Err(InfoError::InvalidSize {
+                what: format!(
+                    "mix requires equal supports, got {} and {}",
+                    self.masses.len(),
+                    other.masses.len()
+                ),
+            });
+        }
+        let masses = self
+            .masses
+            .iter()
+            .zip(other.masses.iter())
+            .map(|(&a, &b)| lambda * a + (1.0 - lambda) * b)
+            .collect();
+        Self::from_weights(masses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn from_masses_validates_sum() {
+        assert!(SizeDistribution::from_masses(vec![0.5, 0.4]).is_err());
+        assert!(SizeDistribution::from_masses(vec![0.5, 0.5]).is_ok());
+        assert!(SizeDistribution::from_masses(vec![]).is_err());
+        assert!(SizeDistribution::from_masses(vec![-0.5, 1.5]).is_err());
+    }
+
+    #[test]
+    fn from_weights_normalises() {
+        let d = SizeDistribution::from_weights(vec![2.0, 2.0]).unwrap();
+        assert!((d.probability_of(1) - 0.5).abs() < 1e-12);
+        assert!((d.probability_of(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_weights_rejects_all_zero() {
+        assert!(SizeDistribution::from_weights(vec![0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn point_mass_has_zero_entropy() {
+        let d = SizeDistribution::point_mass(1024, 37).unwrap();
+        assert_eq!(d.entropy(), 0.0);
+        assert_eq!(d.probability_of(37), 1.0);
+        assert_eq!(d.support(), vec![37]);
+    }
+
+    #[test]
+    fn point_mass_rejects_out_of_range_sizes() {
+        assert!(SizeDistribution::point_mass(16, 1).is_err());
+        assert!(SizeDistribution::point_mass(16, 17).is_err());
+        assert!(SizeDistribution::point_mass(1, 2).is_err());
+    }
+
+    #[test]
+    fn uniform_sizes_excludes_size_one() {
+        let d = SizeDistribution::uniform_sizes(16).unwrap();
+        assert_eq!(d.probability_of(1), 0.0);
+        assert!((d.probability_of(2) - 1.0 / 15.0).abs() < 1e-12);
+        let total: f64 = d.masses().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_ranges_masses_sum_to_one() {
+        for n in [2usize, 3, 7, 8, 16, 100, 1024, 1000] {
+            let d = SizeDistribution::uniform_ranges(n).unwrap();
+            let total: f64 = d.masses().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} total={total}");
+        }
+    }
+
+    #[test]
+    fn geometric_is_decreasing_in_size() {
+        let d = SizeDistribution::geometric(64, 0.3).unwrap();
+        for size in 2..63 {
+            assert!(d.probability_of(size) >= d.probability_of(size + 1));
+        }
+    }
+
+    #[test]
+    fn geometric_rejects_bad_ratio() {
+        assert!(SizeDistribution::geometric(64, 0.0).is_err());
+        assert!(SizeDistribution::geometric(64, 1.0).is_err());
+        assert!(SizeDistribution::geometric(64, -0.5).is_err());
+    }
+
+    #[test]
+    fn zipf_prefers_small_sizes() {
+        let d = SizeDistribution::zipf(128, 1.2).unwrap();
+        assert!(d.probability_of(2) > d.probability_of(100));
+    }
+
+    #[test]
+    fn bimodal_places_mass_near_both_modes() {
+        let d = SizeDistribution::bimodal(2048, 64, 1024, 0.9).unwrap();
+        let near_primary: f64 = (63..=65).map(|s| d.probability_of(s)).sum();
+        let near_secondary: f64 = (1023..=1025).map(|s| d.probability_of(s)).sum();
+        assert!((near_primary - 0.9).abs() < 1e-9);
+        assert!((near_secondary - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_respects_support() {
+        let d = SizeDistribution::bimodal(256, 16, 128, 0.5).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = d.sample(&mut rng);
+            assert!(d.probability_of(s) > 0.0, "sampled size {s} has zero mass");
+        }
+    }
+
+    #[test]
+    fn sampling_point_mass_is_deterministic() {
+        let d = SizeDistribution::point_mass(64, 9).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..20 {
+            assert_eq!(d.sample(&mut rng), 9);
+        }
+    }
+
+    #[test]
+    fn mix_interpolates_entropy() {
+        let low = SizeDistribution::point_mass(256, 17).unwrap();
+        let high = SizeDistribution::uniform_sizes(256).unwrap();
+        let mid = low.mix(&high, 0.5).unwrap();
+        assert!(mid.entropy() > low.entropy());
+        assert!(mid.entropy() < high.entropy() + 1.0);
+        assert!(low.mix(&high, 1.5).is_err());
+    }
+
+    #[test]
+    fn uniform_entropy_matches_formula() {
+        let d = SizeDistribution::uniform_sizes(1025).unwrap();
+        // 1024 equally likely sizes -> exactly 10 bits.
+        assert!((d.entropy() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kl_divergence_zero_on_self() {
+        let d = SizeDistribution::zipf(64, 1.0).unwrap();
+        assert_eq!(d.kl_divergence(&d), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = SizeDistribution::geometric(32, 0.25).unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: SizeDistribution = serde_json::from_str(&json).unwrap();
+        assert_eq!(d.max_size(), back.max_size());
+        for size in 1..=d.max_size() {
+            assert!(
+                (d.probability_of(size) - back.probability_of(size)).abs() < 1e-12,
+                "size {size} mass drifted through serde round trip"
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type shared by the information-theory substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing distributions or codes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InfoError {
+    /// A distribution was requested over an empty or degenerate support.
+    EmptySupport,
+    /// The provided probability masses do not form a distribution
+    /// (negative entries or a sum too far from one).
+    InvalidMass {
+        /// Sum of the provided masses.
+        sum: f64,
+    },
+    /// A network size parameter was outside the valid range for the request.
+    InvalidSize {
+        /// Human-readable description of the offending parameter.
+        what: String,
+    },
+    /// A mixture weight or probability parameter was outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for InfoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfoError::EmptySupport => write!(f, "distribution support is empty"),
+            InfoError::InvalidMass { sum } => {
+                write!(f, "probability masses do not sum to one (sum = {sum})")
+            }
+            InfoError::InvalidSize { what } => write!(f, "invalid size parameter: {what}"),
+            InfoError::InvalidProbability { value } => {
+                write!(f, "probability parameter {value} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for InfoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = [
+            InfoError::EmptySupport,
+            InfoError::InvalidMass { sum: 0.5 },
+            InfoError::InvalidSize {
+                what: "n must be at least 2".to_string(),
+            },
+            InfoError::InvalidProbability { value: 1.5 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_usable() {
+        let err: Box<dyn Error> = Box::new(InfoError::EmptySupport);
+        assert!(err.to_string().contains("empty"));
+    }
+}

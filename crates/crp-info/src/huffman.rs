@@ -1,0 +1,228 @@
+//! Huffman coding: optimal prefix codes for a known symbol distribution.
+//!
+//! The §2.6 algorithm "first constructs an optimal code `f` with respect to
+//! source `c(Y)`".  Huffman codes are exactly such optimal codes, and their
+//! expected length satisfies the Source Coding Theorem sandwich
+//! `H(X) ≤ E[len] ≤ H(X) + 1` (and the cross-distribution version with the
+//! KL divergence, Theorem 2.3 in the paper).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::coding::{Codeword, PrefixCode};
+use crate::error::InfoError;
+
+/// A node in the Huffman merge heap.
+#[derive(Debug, Clone)]
+struct HeapNode {
+    /// Total probability mass of this subtree.
+    weight: f64,
+    /// Tie-break counter so the heap ordering is total and deterministic.
+    order: usize,
+    /// Index into the arena.
+    node: usize,
+}
+
+impl PartialEq for HeapNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.weight == other.weight && self.order == other.order
+    }
+}
+impl Eq for HeapNode {}
+
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest weight pops first.
+        other
+            .weight
+            .partial_cmp(&self.weight)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.order.cmp(&self.order))
+    }
+}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Arena node of the Huffman tree.
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Leaf(usize),
+    Internal(usize, usize),
+}
+
+/// Builds an optimal (Huffman) prefix code for the given symbol
+/// probabilities.
+///
+/// Zero-probability symbols still receive codewords (they are merged last,
+/// so they get the longest words) because the paper's algorithms must be
+/// able to handle a target range that the prediction considered impossible.
+///
+/// # Errors
+///
+/// Returns [`InfoError::EmptySupport`] if `probabilities` is empty and
+/// [`InfoError::InvalidMass`] if any probability is negative or not finite.
+///
+/// # Example
+///
+/// ```
+/// let code = crp_info::huffman_code(&[0.5, 0.25, 0.125, 0.125]).unwrap();
+/// assert_eq!(code.length(0), 1);
+/// assert_eq!(code.length(3), 3);
+/// ```
+pub fn huffman_code(probabilities: &[f64]) -> Result<PrefixCode, InfoError> {
+    if probabilities.is_empty() {
+        return Err(InfoError::EmptySupport);
+    }
+    if probabilities.iter().any(|&p| p < 0.0 || !p.is_finite()) {
+        return Err(InfoError::InvalidMass {
+            sum: probabilities.iter().sum(),
+        });
+    }
+    if probabilities.len() == 1 {
+        // A single symbol needs one bit to be a usable (non-empty) codeword
+        // in downstream protocols.
+        return PrefixCode::new(vec![Codeword::from_str_bits("0")]);
+    }
+
+    let mut arena: Vec<TreeNode> = (0..probabilities.len()).map(TreeNode::Leaf).collect();
+    let mut heap = BinaryHeap::new();
+    for (i, &p) in probabilities.iter().enumerate() {
+        heap.push(HeapNode {
+            weight: p,
+            order: i,
+            node: i,
+        });
+    }
+    let mut order = probabilities.len();
+    while heap.len() > 1 {
+        let a = heap.pop().expect("heap has at least two entries");
+        let b = heap.pop().expect("heap has at least two entries");
+        arena.push(TreeNode::Internal(a.node, b.node));
+        heap.push(HeapNode {
+            weight: a.weight + b.weight,
+            order,
+            node: arena.len() - 1,
+        });
+        order += 1;
+    }
+    let root = heap.pop().expect("exactly one root remains").node;
+
+    let mut codewords = vec![Codeword::new(vec![]); probabilities.len()];
+    let mut stack = vec![(root, Vec::new())];
+    while let Some((node, prefix)) = stack.pop() {
+        match &arena[node] {
+            TreeNode::Leaf(symbol) => {
+                codewords[*symbol] = Codeword::new(prefix);
+            }
+            TreeNode::Internal(left, right) => {
+                let mut left_prefix = prefix.clone();
+                left_prefix.push(false);
+                let mut right_prefix = prefix;
+                right_prefix.push(true);
+                stack.push((*left, left_prefix));
+                stack.push((*right, right_prefix));
+            }
+        }
+    }
+    PrefixCode::new(codewords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entropy;
+
+    #[test]
+    fn dyadic_distribution_gets_exact_lengths() {
+        let code = huffman_code(&[0.5, 0.25, 0.125, 0.125]).unwrap();
+        assert_eq!(code.length(0), 1);
+        assert_eq!(code.length(1), 2);
+        assert_eq!(code.length(2), 3);
+        assert_eq!(code.length(3), 3);
+        let h = entropy(&[0.5, 0.25, 0.125, 0.125]);
+        assert!((code.expected_length(&[0.5, 0.25, 0.125, 0.125]) - h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_length_within_one_bit_of_entropy() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![0.9, 0.05, 0.03, 0.02],
+            vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+            vec![0.4, 0.3, 0.2, 0.05, 0.05],
+            vec![0.25; 4],
+        ];
+        for p in cases {
+            let code = huffman_code(&p).unwrap();
+            let h = entropy(&p);
+            let e = code.expected_length(&p);
+            assert!(e + 1e-12 >= h, "E[len]={e} < H={h}");
+            assert!(e <= h + 1.0 + 1e-12, "E[len]={e} > H+1={}", h + 1.0);
+        }
+    }
+
+    #[test]
+    fn kraft_sum_is_one_for_positive_masses() {
+        let code = huffman_code(&[0.2, 0.2, 0.2, 0.2, 0.2]).unwrap();
+        assert!((code.kraft_sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_zero_probability_symbols() {
+        let p = [0.5, 0.5, 0.0, 0.0];
+        let code = huffman_code(&p).unwrap();
+        assert_eq!(code.num_symbols(), 4);
+        // Zero-mass symbols get the longest codewords.
+        assert!(code.length(2) >= code.length(0));
+        assert!(code.length(3) >= code.length(1));
+    }
+
+    #[test]
+    fn single_symbol_code_is_usable() {
+        let code = huffman_code(&[1.0]).unwrap();
+        assert_eq!(code.num_symbols(), 1);
+        assert_eq!(code.length(0), 1);
+    }
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        let code = huffman_code(&[0.9, 0.1]).unwrap();
+        assert_eq!(code.length(0), 1);
+        assert_eq!(code.length(1), 1);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(huffman_code(&[]).is_err());
+        assert!(huffman_code(&[-0.1, 1.1]).is_err());
+        assert!(huffman_code(&[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn deterministic_output_for_same_input() {
+        let p = [0.3, 0.3, 0.2, 0.1, 0.1];
+        let a = huffman_code(&p).unwrap();
+        let b = huffman_code(&p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_likely_symbols_never_get_longer_codes() {
+        let p = [0.45, 0.25, 0.15, 0.1, 0.05];
+        let code = huffman_code(&p).unwrap();
+        for i in 0..p.len() {
+            for j in 0..p.len() {
+                if p[i] > p[j] {
+                    assert!(
+                        code.length(i) <= code.length(j),
+                        "symbol {i} (p={}) got a longer code than {j} (p={})",
+                        p[i],
+                        p[j]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Information-theory substrate for the *Contention Resolution with
+//! Predictions* reproduction.
+//!
+//! The paper (Gilbert, Newport, Vaidya, Weaver — PODC 2021) builds its lower
+//! and upper bounds on a connection between contention resolution and coding
+//! on noiseless channels.  Everything that connection needs lives here:
+//!
+//! * [`SizeDistribution`] — a discrete probability distribution over network
+//!   sizes `1..=n`, the random variable the paper calls `X` (or `Y` when it
+//!   is a prediction).  Provides Shannon entropy, Kullback–Leibler
+//!   divergence, total-variation distance and sampling.
+//! * [`CondensedDistribution`] — the paper's `c(X)`: probability mass
+//!   aggregated over the `⌈log n⌉` geometric size ranges `(2^{i-1}, 2^i]`.
+//! * [`PrefixCode`], [`huffman_code`], [`shannon_fano_code`] — uniquely
+//!   decodable prefix codes over an alphabet of ranges, used by the §2.6
+//!   collision-detection algorithm and by the empirical verification of the
+//!   Source Coding Theorem bounds (Theorems 2.2 and 2.3 in the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use crp_info::{SizeDistribution, CondensedDistribution, huffman_code};
+//!
+//! # fn main() -> Result<(), crp_info::InfoError> {
+//! // A network whose size is usually ~64 devices but occasionally ~1024.
+//! let dist = SizeDistribution::bimodal(2048, 64, 1024, 0.9)?;
+//! let condensed = CondensedDistribution::from_sizes(&dist);
+//! let code = huffman_code(condensed.probabilities())?;
+//! assert!(code.expected_length(condensed.probabilities()) < condensed.entropy() + 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod code_stats;
+mod coding;
+mod condensed;
+mod distribution;
+mod error;
+mod huffman;
+mod math;
+mod shannon_fano;
+
+pub use code_stats::{
+    code_length_distribution, code_length_stats, empirical_expected_length, CodeLengthStats,
+};
+pub use coding::{Codeword, PrefixCode};
+pub use condensed::{range_index_for_size, range_interval, CondensedDistribution};
+pub use distribution::SizeDistribution;
+pub use error::InfoError;
+pub use huffman::huffman_code;
+pub use math::{log2_ceil, log2_floor, xlog2x};
+pub use shannon_fano::shannon_fano_code;
+
+/// Shannon entropy (base 2) of an arbitrary probability vector.
+///
+/// Zero-probability entries contribute nothing (the usual `0 · log 0 = 0`
+/// convention).  The input does not have to be normalised exactly; small
+/// floating-point drift is tolerated because entropy is computed directly
+/// from the provided masses.
+///
+/// # Example
+///
+/// ```
+/// let h = crp_info::entropy(&[0.5, 0.5]);
+/// assert!((h - 1.0).abs() < 1e-12);
+/// ```
+pub fn entropy(probabilities: &[f64]) -> f64 {
+    probabilities.iter().map(|&p| -math::xlog2x(p)).sum()
+}
+
+/// Kullback–Leibler divergence `D_KL(p ‖ q)` in bits.
+///
+/// This is the quantity the paper uses to price miscalibrated predictions
+/// (Theorems 2.3, 2.12 and 2.16).  Entries where `p[i] = 0` contribute
+/// nothing.  If some `p[i] > 0` while `q[i] = 0` the divergence is infinite,
+/// represented as `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(
+        p.len(),
+        q.len(),
+        "kl_divergence requires equal-length distributions"
+    );
+    let mut total = 0.0;
+    for (&pi, &qi) in p.iter().zip(q.iter()) {
+        if pi <= 0.0 {
+            continue;
+        }
+        if qi <= 0.0 {
+            return f64::INFINITY;
+        }
+        total += pi * (pi / qi).log2();
+    }
+    total.max(0.0)
+}
+
+/// Total-variation distance `½ Σ |p_i − q_i|`.
+///
+/// Not used by the paper's theorems directly but handy for characterising
+/// the noise models in the experiment harness.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(
+        p.len(),
+        q.len(),
+        "total_variation requires equal-length distributions"
+    );
+    0.5 * p
+        .iter()
+        .zip(q.iter())
+        .map(|(&pi, &qi)| (pi - qi).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_uniform_pair_is_one_bit() {
+        assert!((entropy(&[0.5, 0.5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_point_mass_is_zero() {
+        assert_eq!(entropy(&[1.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_over_eight_is_three_bits() {
+        let p = vec![0.125; 8];
+        assert!((entropy(&p) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_divergence_of_identical_distributions_is_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn kl_divergence_is_positive_for_different_distributions() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        assert!(kl_divergence(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn kl_divergence_infinite_when_support_not_covered() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert!(kl_divergence(&p, &q).is_infinite());
+    }
+
+    #[test]
+    fn kl_divergence_is_asymmetric_in_general() {
+        let p = [0.8, 0.2];
+        let q = [0.3, 0.7];
+        let forward = kl_divergence(&p, &q);
+        let backward = kl_divergence(&q, &p);
+        assert!((forward - backward).abs() > 1e-6);
+    }
+
+    #[test]
+    fn total_variation_bounds() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((total_variation(&p, &q) - 1.0).abs() < 1e-12);
+        assert_eq!(total_variation(&p, &p), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn kl_divergence_panics_on_length_mismatch() {
+        let _ = kl_divergence(&[1.0], &[0.5, 0.5]);
+    }
+}

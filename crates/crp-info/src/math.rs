@@ -1,0 +1,90 @@
+//! Small numeric helpers shared across the substrate.
+
+/// `x · log2(x)` with the convention that the value is `0` at `x = 0`.
+///
+/// Used when summing entropy terms so that zero-probability outcomes do not
+/// poison the sum with NaNs.
+pub fn xlog2x(x: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        x * x.log2()
+    }
+}
+
+/// `⌈log2(v)⌉` for a positive integer, with `log2_ceil(1) = 0`.
+///
+/// # Panics
+///
+/// Panics if `v == 0`, for which the logarithm is undefined.
+pub fn log2_ceil(v: u64) -> u32 {
+    assert!(v > 0, "log2_ceil is undefined for zero");
+    if v == 1 {
+        0
+    } else {
+        64 - (v - 1).leading_zeros()
+    }
+}
+
+/// `⌊log2(v)⌋` for a positive integer.
+///
+/// # Panics
+///
+/// Panics if `v == 0`, for which the logarithm is undefined.
+pub fn log2_floor(v: u64) -> u32 {
+    assert!(v > 0, "log2_floor is undefined for zero");
+    63 - v.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xlog2x_is_zero_at_zero() {
+        assert_eq!(xlog2x(0.0), 0.0);
+        assert_eq!(xlog2x(-1.0), 0.0);
+    }
+
+    #[test]
+    fn xlog2x_matches_direct_computation() {
+        let x = 0.3_f64;
+        assert!((xlog2x(x) - x * x.log2()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn log2_ceil_small_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn log2_floor_small_values() {
+        assert_eq!(log2_floor(1), 0);
+        assert_eq!(log2_floor(2), 1);
+        assert_eq!(log2_floor(3), 1);
+        assert_eq!(log2_floor(4), 2);
+        assert_eq!(log2_floor(1023), 9);
+        assert_eq!(log2_floor(1024), 10);
+    }
+
+    #[test]
+    fn ceil_and_floor_agree_on_powers_of_two() {
+        for exp in 0..32u32 {
+            let v = 1u64 << exp;
+            assert_eq!(log2_ceil(v), exp);
+            assert_eq!(log2_floor(v), exp);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined for zero")]
+    fn log2_ceil_panics_on_zero() {
+        let _ = log2_ceil(0);
+    }
+}

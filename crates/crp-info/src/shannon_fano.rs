@@ -1,0 +1,148 @@
+//! Shannon–Fano coding.
+//!
+//! The §2.6 algorithm only needs *an* optimal-enough code; Huffman is the
+//! default, but Shannon–Fano (codeword length `⌈-log p⌉` realised through a
+//! top-down probability split) is implemented as well so the bench harness
+//! can ablate the choice of code (DESIGN.md §4).  Shannon–Fano codes also
+//! satisfy `E[len] ≤ H + 1`.
+
+use crate::coding::{Codeword, PrefixCode};
+use crate::error::InfoError;
+
+/// Builds a Shannon–Fano prefix code by recursive probability splitting.
+///
+/// Symbols are sorted by decreasing probability and the list is recursively
+/// split into two halves of (approximately) equal mass; the left half gets a
+/// `0` appended, the right half a `1`.
+///
+/// # Errors
+///
+/// Returns [`InfoError::EmptySupport`] if `probabilities` is empty and
+/// [`InfoError::InvalidMass`] if any probability is negative or not finite.
+pub fn shannon_fano_code(probabilities: &[f64]) -> Result<PrefixCode, InfoError> {
+    if probabilities.is_empty() {
+        return Err(InfoError::EmptySupport);
+    }
+    if probabilities.iter().any(|&p| p < 0.0 || !p.is_finite()) {
+        return Err(InfoError::InvalidMass {
+            sum: probabilities.iter().sum(),
+        });
+    }
+    if probabilities.len() == 1 {
+        return PrefixCode::new(vec![Codeword::from_str_bits("0")]);
+    }
+
+    let mut order: Vec<usize> = (0..probabilities.len()).collect();
+    order.sort_by(|&a, &b| {
+        probabilities[b]
+            .partial_cmp(&probabilities[a])
+            .expect("probabilities are finite")
+            .then(a.cmp(&b))
+    });
+
+    let mut bits: Vec<Vec<bool>> = vec![Vec::new(); probabilities.len()];
+    split(&order, probabilities, &mut bits);
+
+    let codewords = bits.into_iter().map(Codeword::new).collect();
+    PrefixCode::new(codewords)
+}
+
+/// Recursively splits `symbols` (sorted by decreasing probability) into two
+/// groups of near-equal total mass, appending a bit to every symbol's
+/// codeword at each level.
+fn split(symbols: &[usize], probabilities: &[f64], bits: &mut [Vec<bool>]) {
+    if symbols.len() <= 1 {
+        return;
+    }
+    let total: f64 = symbols.iter().map(|&s| probabilities[s]).sum();
+    let mut best_split = 1;
+    let mut best_diff = f64::INFINITY;
+    let mut running = 0.0;
+    for (i, &s) in symbols.iter().enumerate().take(symbols.len() - 1) {
+        running += probabilities[s];
+        let diff = (2.0 * running - total).abs();
+        if diff < best_diff {
+            best_diff = diff;
+            best_split = i + 1;
+        }
+    }
+    let (left, right) = symbols.split_at(best_split);
+    for &s in left {
+        bits[s].push(false);
+    }
+    for &s in right {
+        bits[s].push(true);
+    }
+    split(left, probabilities, bits);
+    split(right, probabilities, bits);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{entropy, huffman_code};
+
+    #[test]
+    fn dyadic_distribution_matches_entropy() {
+        let p = [0.5, 0.25, 0.125, 0.125];
+        let code = shannon_fano_code(&p).unwrap();
+        let e = code.expected_length(&p);
+        assert!((e - entropy(&p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_length_within_one_bit_of_entropy() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![0.4, 0.3, 0.2, 0.05, 0.05],
+            vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+            vec![0.7, 0.1, 0.1, 0.05, 0.05],
+            vec![0.125; 8],
+        ];
+        for p in cases {
+            let code = shannon_fano_code(&p).unwrap();
+            let h = entropy(&p);
+            let e = code.expected_length(&p);
+            assert!(e + 1e-12 >= h);
+            assert!(e <= h + 1.0 + 1e-9, "E[len]={e}, H+1={}", h + 1.0);
+        }
+    }
+
+    #[test]
+    fn never_beats_huffman() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![0.9, 0.05, 0.03, 0.02],
+            vec![0.3, 0.3, 0.2, 0.1, 0.1],
+            vec![0.25; 4],
+        ];
+        for p in cases {
+            let sf = shannon_fano_code(&p).unwrap().expected_length(&p);
+            let hf = huffman_code(&p).unwrap().expected_length(&p);
+            assert!(sf + 1e-12 >= hf, "Shannon-Fano {sf} beat Huffman {hf}");
+        }
+    }
+
+    #[test]
+    fn produces_valid_prefix_code() {
+        let p = [0.35, 0.17, 0.17, 0.16, 0.15];
+        // Construction succeeding implies the prefix property was validated.
+        let code = shannon_fano_code(&p).unwrap();
+        assert_eq!(code.num_symbols(), 5);
+        assert!(code.kraft_sum() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn single_symbol_and_errors() {
+        assert_eq!(shannon_fano_code(&[1.0]).unwrap().num_symbols(), 1);
+        assert!(shannon_fano_code(&[]).is_err());
+        assert!(shannon_fano_code(&[-1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn uniform_distribution_gets_balanced_lengths() {
+        let p = vec![0.25; 4];
+        let code = shannon_fano_code(&p).unwrap();
+        for s in 0..4 {
+            assert_eq!(code.length(s), 2);
+        }
+    }
+}

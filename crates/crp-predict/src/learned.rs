@@ -1,0 +1,211 @@
+//! A simulated learned predictor.
+//!
+//! The paper motivates predictions as the output of "machine learning
+//! models able to observe the behavior of a given environment over time".
+//! The relevant property of such a model, for every theorem in the paper,
+//! is the distribution it outputs and that distribution's divergence from
+//! the truth.  [`LearnedPredictor`] is the simplest model with exactly that
+//! behaviour: a Laplace-smoothed histogram over the geometric size ranges,
+//! fitted from observed samples of the true process.  With few samples the
+//! divergence is large; as the sample count grows the predicted
+//! distribution converges to the truth and the divergence goes to zero —
+//! giving the experiment harness a realistic "prediction quality" axis.
+
+use crp_info::{range_index_for_size, CondensedDistribution, SizeDistribution};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::PredictError;
+
+/// A histogram-over-ranges predictor with Laplace smoothing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearnedPredictor {
+    max_size: usize,
+    /// Per-range observation counts (index `i` is range `i + 1`).
+    counts: Vec<u64>,
+    /// Laplace smoothing pseudo-count added to every range.
+    smoothing: f64,
+}
+
+impl LearnedPredictor {
+    /// Creates an untrained predictor for networks of maximum size
+    /// `max_size`, with the given Laplace smoothing pseudo-count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::InvalidParameter`] if `max_size < 2` or the
+    /// smoothing constant is not positive and finite (a strictly positive
+    /// pseudo-count guarantees the predicted distribution never rules out a
+    /// range, keeping the KL divergence finite).
+    pub fn new(max_size: usize, smoothing: f64) -> Result<Self, PredictError> {
+        if max_size < 2 {
+            return Err(PredictError::InvalidParameter {
+                what: format!("predictor requires max_size >= 2, got {max_size}"),
+            });
+        }
+        if smoothing <= 0.0 || !smoothing.is_finite() {
+            return Err(PredictError::InvalidParameter {
+                what: format!("smoothing must be positive and finite, got {smoothing}"),
+            });
+        }
+        let num_ranges = range_index_for_size(max_size);
+        Ok(Self {
+            max_size,
+            counts: vec![0; num_ranges],
+            smoothing,
+        })
+    }
+
+    /// The maximum network size this predictor is defined over.
+    pub fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    /// Total number of observed samples.
+    pub fn observations(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Records one observed network size.
+    ///
+    /// Sizes are clamped into `2..=max_size` before being assigned to their
+    /// geometric range, so a predictor never panics on out-of-model
+    /// observations (it just attributes them to the boundary range).
+    pub fn observe(&mut self, size: usize) {
+        let clamped = size.clamp(2, self.max_size);
+        let range = range_index_for_size(clamped).min(self.counts.len());
+        self.counts[range - 1] += 1;
+    }
+
+    /// Trains the predictor on `samples` draws from the true distribution.
+    pub fn train<R: Rng + ?Sized>(
+        &mut self,
+        truth: &SizeDistribution,
+        samples: usize,
+        rng: &mut R,
+    ) {
+        for _ in 0..samples {
+            let size = truth.sample(rng);
+            self.observe(size);
+        }
+    }
+
+    /// The predicted condensed distribution `c(Y)` (Laplace-smoothed
+    /// relative frequencies over ranges).
+    pub fn predicted_condensed(&self) -> CondensedDistribution {
+        let total = self.observations() as f64 + self.smoothing * self.counts.len() as f64;
+        let masses: Vec<f64> = self
+            .counts
+            .iter()
+            .map(|&c| (c as f64 + self.smoothing) / total)
+            .collect();
+        CondensedDistribution::from_range_masses(masses, self.max_size)
+            .expect("smoothed histogram is always a valid distribution")
+    }
+
+    /// The predicted *size* distribution `Y`: the condensed prediction with
+    /// each range's mass spread uniformly over the sizes in that range.
+    ///
+    /// This is the object handed to protocols that take a full
+    /// [`SizeDistribution`] as input.
+    pub fn predicted_sizes(&self) -> SizeDistribution {
+        let condensed = self.predicted_condensed();
+        let mut weights = vec![0.0; self.max_size];
+        for range in 1..=condensed.num_ranges() {
+            let mass = condensed.probability_of_range(range);
+            if mass <= 0.0 {
+                continue;
+            }
+            let (lo, hi) = crp_info::range_interval(range);
+            let hi = hi.min(self.max_size);
+            let lo = lo.min(hi);
+            let count = hi - lo + 1;
+            for size in lo..=hi {
+                weights[size - 1] += mass / count as f64;
+            }
+        }
+        SizeDistribution::from_weights(weights).expect("spread histogram has positive total mass")
+    }
+
+    /// Divergence `D_KL(c(truth) ‖ c(prediction))` of the current model
+    /// from a reference truth.
+    pub fn divergence_from(&self, truth: &SizeDistribution) -> f64 {
+        CondensedDistribution::from_sizes(truth).kl_divergence(&self.predicted_condensed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn untrained_predictor_is_uniform_over_ranges() {
+        let p = LearnedPredictor::new(1024, 1.0).unwrap();
+        let condensed = p.predicted_condensed();
+        let expected = 1.0 / condensed.num_ranges() as f64;
+        for range in 1..=condensed.num_ranges() {
+            assert!((condensed.probability_of_range(range) - expected).abs() < 1e-12);
+        }
+        assert_eq!(p.observations(), 0);
+    }
+
+    #[test]
+    fn training_reduces_divergence() {
+        let truth = SizeDistribution::bimodal(2048, 40, 900, 0.8).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut few = LearnedPredictor::new(2048, 1.0).unwrap();
+        few.train(&truth, 5, &mut rng);
+        let mut many = LearnedPredictor::new(2048, 1.0).unwrap();
+        many.train(&truth, 5_000, &mut rng);
+        let d_few = few.divergence_from(&truth);
+        let d_many = many.divergence_from(&truth);
+        assert!(
+            d_many < d_few,
+            "more training should reduce divergence: few={d_few}, many={d_many}"
+        );
+        assert!(d_many < 0.2, "well-trained divergence {d_many} too large");
+    }
+
+    #[test]
+    fn divergence_is_always_finite_thanks_to_smoothing() {
+        let truth = SizeDistribution::uniform_ranges(4096).unwrap();
+        let p = LearnedPredictor::new(4096, 0.5).unwrap();
+        assert!(p.divergence_from(&truth).is_finite());
+    }
+
+    #[test]
+    fn observe_clamps_out_of_range_sizes() {
+        let mut p = LearnedPredictor::new(64, 1.0).unwrap();
+        p.observe(0);
+        p.observe(1);
+        p.observe(1_000_000);
+        assert_eq!(p.observations(), 3);
+    }
+
+    #[test]
+    fn predicted_sizes_is_a_valid_distribution() {
+        let truth = SizeDistribution::geometric(512, 0.15).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut p = LearnedPredictor::new(512, 1.0).unwrap();
+        p.train(&truth, 300, &mut rng);
+        let sizes = p.predicted_sizes();
+        let total: f64 = sizes.masses().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(sizes.max_size(), 512);
+    }
+
+    #[test]
+    fn constructor_validates_parameters() {
+        assert!(LearnedPredictor::new(1, 1.0).is_err());
+        assert!(LearnedPredictor::new(64, 0.0).is_err());
+        assert!(LearnedPredictor::new(64, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn accessor_reports_max_size() {
+        let p = LearnedPredictor::new(256, 1.0).unwrap();
+        assert_eq!(p.max_size(), 256);
+    }
+}

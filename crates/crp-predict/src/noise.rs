@@ -1,0 +1,268 @@
+//! Noise models: turning a true distribution into an imperfect prediction.
+//!
+//! The paper's upper bounds (Theorems 2.12 and 2.16) price a miscalibrated
+//! prediction `Y` through the divergence `D_KL(c(X) ‖ c(Y))`, and note that
+//! if every probability in `Y` is within a bounded constant factor of the
+//! corresponding probability in `X` the divergence is `O(1)`.  The models
+//! here generate predictions whose divergence can be dialled:
+//!
+//! * [`constant_factor_noise`] — multiply each mass by a random factor in
+//!   `[1/γ, γ]`; keeps the divergence bounded by `O(log γ)` regardless of
+//!   the distribution, exercising the paper's "good prediction" regime.
+//! * [`mass_shift`] — move a fraction of the probability mass onto the
+//!   least likely ranges, producing arbitrarily large (even unbounded)
+//!   divergence: the "bad prediction" regime.
+//! * [`support_shift`] — shift the whole distribution by a number of
+//!   geometric ranges, the classic "the model learned last week's network"
+//!   failure mode.
+//! * [`towards_uniform`] — mix with the uniform-over-ranges distribution,
+//!   smoothly trading prediction sharpness for robustness.
+
+use crp_info::{CondensedDistribution, SizeDistribution};
+use rand::Rng;
+
+use crate::error::PredictError;
+
+/// Multiplies every probability mass by an independent random factor drawn
+/// log-uniformly from `[1/gamma, gamma]`, then renormalises.
+///
+/// For `gamma` close to 1 the prediction is nearly exact; the condensed KL
+/// divergence stays bounded by roughly `2·log2(gamma)` bits for any input.
+///
+/// # Errors
+///
+/// Returns [`PredictError::InvalidParameter`] if `gamma < 1` or is not
+/// finite.
+pub fn constant_factor_noise<R: Rng + ?Sized>(
+    truth: &SizeDistribution,
+    gamma: f64,
+    rng: &mut R,
+) -> Result<SizeDistribution, PredictError> {
+    if gamma < 1.0 || !gamma.is_finite() {
+        return Err(PredictError::InvalidParameter {
+            what: format!("constant-factor noise requires gamma >= 1, got {gamma}"),
+        });
+    }
+    let log_gamma = gamma.ln();
+    let weights: Vec<f64> = truth
+        .masses()
+        .iter()
+        .map(|&m| {
+            if m <= 0.0 {
+                0.0
+            } else {
+                let exponent = rng.gen_range(-log_gamma..=log_gamma);
+                m * exponent.exp()
+            }
+        })
+        .collect();
+    Ok(SizeDistribution::from_weights(weights)?)
+}
+
+/// Moves `fraction` of the total probability mass away from where the truth
+/// puts it and spreads that mass uniformly over the sizes the truth
+/// considers *least* likely, producing a prediction that is confidently
+/// wrong.
+///
+/// With `fraction = 0` the prediction equals the truth; as `fraction → 1`
+/// the condensed divergence grows without bound (and becomes infinite when
+/// the truth's support receives zero predicted mass).
+///
+/// # Errors
+///
+/// Returns [`PredictError::InvalidParameter`] unless `0 ≤ fraction ≤ 1`.
+pub fn mass_shift(
+    truth: &SizeDistribution,
+    fraction: f64,
+) -> Result<SizeDistribution, PredictError> {
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(PredictError::InvalidParameter {
+            what: format!("mass shift fraction must be in [0,1], got {fraction}"),
+        });
+    }
+    let n = truth.max_size();
+    // Rank sizes from least to most likely under the truth (ignoring size 1,
+    // which carries no contention).
+    let mut order: Vec<usize> = (2..=n).collect();
+    order.sort_by(|&a, &b| {
+        truth
+            .probability_of(a)
+            .partial_cmp(&truth.probability_of(b))
+            .expect("masses are finite")
+    });
+    let target_count = (n / 4).max(1);
+    let targets: Vec<usize> = order.into_iter().take(target_count).collect();
+
+    let mut weights: Vec<f64> = truth
+        .masses()
+        .iter()
+        .map(|&m| m * (1.0 - fraction))
+        .collect();
+    let bonus = fraction / targets.len() as f64;
+    for size in targets {
+        weights[size - 1] += bonus;
+    }
+    Ok(SizeDistribution::from_weights(weights)?)
+}
+
+/// Shifts the entire distribution by `range_offset` geometric ranges
+/// (positive = predicts a larger network than reality), clamping at the
+/// boundaries.
+///
+/// Models a predictor trained on stale data: the *shape* of the prediction
+/// is right but its location is off by a factor of `2^range_offset`.
+///
+/// # Errors
+///
+/// Returns [`PredictError::InvalidParameter`] if the offset magnitude is at
+/// least the number of ranges in the support.
+pub fn support_shift(
+    truth: &SizeDistribution,
+    range_offset: i32,
+) -> Result<SizeDistribution, PredictError> {
+    let n = truth.max_size();
+    let num_ranges = CondensedDistribution::from_sizes(truth).num_ranges() as i32;
+    if range_offset.abs() >= num_ranges {
+        return Err(PredictError::InvalidParameter {
+            what: format!(
+                "support shift of {range_offset} ranges exceeds the {num_ranges}-range support"
+            ),
+        });
+    }
+    let factor = 2f64.powi(range_offset);
+    let mut weights = vec![0.0; n];
+    for size in 1..=n {
+        let m = truth.probability_of(size);
+        if m <= 0.0 {
+            continue;
+        }
+        let shifted = ((size as f64 * factor).round() as usize).clamp(2, n);
+        weights[shifted - 1] += m;
+    }
+    Ok(SizeDistribution::from_weights(weights)?)
+}
+
+/// Mixes the truth with the uniform-over-ranges distribution:
+/// `Y = (1 − lambda) · X + lambda · U`.
+///
+/// `lambda = 0` is a perfect prediction, `lambda = 1` is an uninformative
+/// one.  Unlike [`mass_shift`] the divergence stays finite for
+/// `lambda > 0` because the prediction never rules out any range.
+///
+/// # Errors
+///
+/// Returns [`PredictError::InvalidParameter`] unless `0 ≤ lambda ≤ 1`.
+pub fn towards_uniform(
+    truth: &SizeDistribution,
+    lambda: f64,
+) -> Result<SizeDistribution, PredictError> {
+    if !(0.0..=1.0).contains(&lambda) {
+        return Err(PredictError::InvalidParameter {
+            what: format!("mixing weight must be in [0,1], got {lambda}"),
+        });
+    }
+    let uniform = SizeDistribution::uniform_ranges(truth.max_size())?;
+    Ok(uniform.mix(truth, lambda)?)
+}
+
+/// Condensed KL divergence `D_KL(c(truth) ‖ c(prediction))` — the exact
+/// quantity appearing in the paper's upper bounds.
+pub fn condensed_divergence(truth: &SizeDistribution, prediction: &SizeDistribution) -> f64 {
+    let ct = CondensedDistribution::from_sizes(truth);
+    let cp = CondensedDistribution::from_sizes(prediction);
+    ct.kl_divergence(&cp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn truth() -> SizeDistribution {
+        SizeDistribution::bimodal(1024, 32, 600, 0.8).unwrap()
+    }
+
+    #[test]
+    fn constant_factor_noise_keeps_divergence_small() {
+        let truth = truth();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let pred = constant_factor_noise(&truth, 1.5, &mut rng).unwrap();
+        let d = condensed_divergence(&truth, &pred);
+        assert!(d.is_finite());
+        assert!(d < 2.0 * 1.5f64.log2() + 0.5, "divergence {d} too large");
+    }
+
+    #[test]
+    fn constant_factor_noise_with_gamma_one_is_exact() {
+        let truth = truth();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let pred = constant_factor_noise(&truth, 1.0, &mut rng).unwrap();
+        assert!(condensed_divergence(&truth, &pred) < 1e-9);
+    }
+
+    #[test]
+    fn constant_factor_noise_rejects_gamma_below_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert!(constant_factor_noise(&truth(), 0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn mass_shift_divergence_grows_with_fraction() {
+        let truth = truth();
+        let small = mass_shift(&truth, 0.1).unwrap();
+        let large = mass_shift(&truth, 0.9).unwrap();
+        let d_small = condensed_divergence(&truth, &small);
+        let d_large = condensed_divergence(&truth, &large);
+        assert!(d_small < d_large, "d_small={d_small}, d_large={d_large}");
+        assert!(condensed_divergence(&truth, &mass_shift(&truth, 0.0).unwrap()) < 1e-9);
+    }
+
+    #[test]
+    fn mass_shift_validates_fraction() {
+        assert!(mass_shift(&truth(), -0.1).is_err());
+        assert!(mass_shift(&truth(), 1.1).is_err());
+    }
+
+    #[test]
+    fn support_shift_moves_the_mode() {
+        let truth = SizeDistribution::point_mass(1024, 64).unwrap();
+        let shifted = support_shift(&truth, 2).unwrap();
+        // 64 * 4 = 256 is now the most likely size.
+        let best = (1..=1024)
+            .max_by(|&a, &b| {
+                shifted
+                    .probability_of(a)
+                    .partial_cmp(&shifted.probability_of(b))
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(best, 256);
+        assert!(support_shift(&truth, 100).is_err());
+    }
+
+    #[test]
+    fn support_shift_negative_direction() {
+        let truth = SizeDistribution::point_mass(1024, 64).unwrap();
+        let shifted = support_shift(&truth, -3).unwrap();
+        assert!(shifted.probability_of(8) > 0.99);
+    }
+
+    #[test]
+    fn towards_uniform_interpolates_divergence() {
+        let truth = truth();
+        let mild = towards_uniform(&truth, 0.2).unwrap();
+        let strong = towards_uniform(&truth, 0.9).unwrap();
+        let d_mild = condensed_divergence(&truth, &mild);
+        let d_strong = condensed_divergence(&truth, &strong);
+        assert!(d_mild <= d_strong + 1e-12);
+        assert!(d_strong.is_finite(), "mixing never zeroes out a range");
+        assert!(towards_uniform(&truth, 2.0).is_err());
+    }
+
+    #[test]
+    fn divergence_of_truth_with_itself_is_zero() {
+        let t = truth();
+        assert_eq!(condensed_divergence(&t, &t), 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Named ground-truth scenarios used throughout the experiments.
+//!
+//! Each [`Scenario`] wraps a [`SizeDistribution`] together with a stable
+//! name, so that experiment tables, benches and examples can refer to the
+//! same workloads consistently.
+
+use crp_info::{CondensedDistribution, SizeDistribution};
+use serde::{Deserialize, Serialize};
+
+use crate::error::PredictError;
+
+/// A named ground-truth network-size process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    name: String,
+    distribution: SizeDistribution,
+}
+
+impl Scenario {
+    /// Wraps a distribution with a display name.
+    pub fn new(name: impl Into<String>, distribution: SizeDistribution) -> Self {
+        Self {
+            name: name.into(),
+            distribution,
+        }
+    }
+
+    /// The scenario's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ground-truth size distribution `X`.
+    pub fn distribution(&self) -> &SizeDistribution {
+        &self.distribution
+    }
+
+    /// The condensed version `c(X)` of the ground truth.
+    pub fn condensed(&self) -> CondensedDistribution {
+        CondensedDistribution::from_sizes(&self.distribution)
+    }
+
+    /// Condensed entropy `H(c(X))` in bits.
+    pub fn condensed_entropy(&self) -> f64 {
+        self.condensed().entropy()
+    }
+}
+
+/// The standard library of scenarios used by the experiment harness.
+///
+/// Every scenario is defined for a maximum network size `n`, so the same
+/// set can be regenerated at different scales for the `n`-sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioLibrary {
+    max_size: usize,
+}
+
+impl ScenarioLibrary {
+    /// Creates a library for networks of maximum size `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::InvalidParameter`] if `n < 8` (the smallest
+    /// size at which all scenario families are distinguishable).
+    pub fn new(max_size: usize) -> Result<Self, PredictError> {
+        if max_size < 8 {
+            return Err(PredictError::InvalidParameter {
+                what: format!("scenario library requires n >= 8, got {max_size}"),
+            });
+        }
+        Ok(Self { max_size })
+    }
+
+    /// The maximum network size the scenarios are defined over.
+    pub fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    /// A point mass at roughly `n / 16`: the "perfect prediction" extreme
+    /// (condensed entropy 0).
+    pub fn point_mass(&self) -> Scenario {
+        let size = (self.max_size / 16).max(2);
+        Scenario::new(
+            "point-mass",
+            SizeDistribution::point_mass(self.max_size, size)
+                .expect("library sizes are validated"),
+        )
+    }
+
+    /// Uniform over the geometric ranges: the maximum-entropy extreme where
+    /// predictions are useless and the worst-case bounds apply.
+    pub fn uniform_ranges(&self) -> Scenario {
+        Scenario::new(
+            "uniform-ranges",
+            SizeDistribution::uniform_ranges(self.max_size).expect("library sizes are validated"),
+        )
+    }
+
+    /// Uniform over all sizes `2..=n` (mass concentrates in the top range).
+    pub fn uniform_sizes(&self) -> Scenario {
+        Scenario::new(
+            "uniform-sizes",
+            SizeDistribution::uniform_sizes(self.max_size).expect("library sizes are validated"),
+        )
+    }
+
+    /// A geometric distribution: the network is usually tiny.
+    pub fn geometric(&self) -> Scenario {
+        Scenario::new(
+            "geometric",
+            SizeDistribution::geometric(self.max_size, 0.2).expect("library sizes are validated"),
+        )
+    }
+
+    /// A Zipf distribution with exponent 1.2.
+    pub fn zipf(&self) -> Scenario {
+        Scenario::new(
+            "zipf",
+            SizeDistribution::zipf(self.max_size, 1.2).expect("library sizes are validated"),
+        )
+    }
+
+    /// A bimodal distribution: usually around `n/32` devices, occasionally a
+    /// burst around `n/2`.
+    pub fn bimodal(&self) -> Scenario {
+        Scenario::new(
+            "bimodal",
+            SizeDistribution::bimodal(
+                self.max_size,
+                (self.max_size / 32).max(2),
+                (self.max_size / 2).max(2),
+                0.85,
+            )
+            .expect("library sizes are validated"),
+        )
+    }
+
+    /// Every scenario in the library, in a stable order.
+    pub fn all(&self) -> Vec<Scenario> {
+        vec![
+            self.point_mass(),
+            self.geometric(),
+            self.zipf(),
+            self.bimodal(),
+            self.uniform_sizes(),
+            self.uniform_ranges(),
+        ]
+    }
+
+    /// A family of scenarios interpolating condensed entropy from ~0 to the
+    /// maximum, by mixing a point mass with the uniform-over-ranges
+    /// distribution at `steps` evenly spaced mixture weights.
+    ///
+    /// Used by the `F-ENTROPY` experiment.
+    pub fn entropy_ladder(&self, steps: usize) -> Vec<Scenario> {
+        let point = self.point_mass();
+        let uniform = self.uniform_ranges();
+        (0..steps)
+            .map(|i| {
+                let lambda = if steps <= 1 {
+                    0.0
+                } else {
+                    1.0 - i as f64 / (steps - 1) as f64
+                };
+                let mixed = point
+                    .distribution()
+                    .mix(uniform.distribution(), lambda)
+                    .expect("library distributions share a support");
+                Scenario::new(format!("mix-{i}"), mixed)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_rejects_tiny_universes() {
+        assert!(ScenarioLibrary::new(4).is_err());
+        assert!(ScenarioLibrary::new(8).is_ok());
+    }
+
+    #[test]
+    fn all_scenarios_are_valid_distributions() {
+        let lib = ScenarioLibrary::new(1024).unwrap();
+        for scenario in lib.all() {
+            let total: f64 = scenario.distribution().masses().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}", scenario.name());
+            assert!(!scenario.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn point_mass_has_zero_condensed_entropy() {
+        let lib = ScenarioLibrary::new(4096).unwrap();
+        assert_eq!(lib.point_mass().condensed_entropy(), 0.0);
+    }
+
+    #[test]
+    fn uniform_ranges_has_maximum_condensed_entropy() {
+        let lib = ScenarioLibrary::new(1024).unwrap();
+        let scenario = lib.uniform_ranges();
+        let condensed = scenario.condensed();
+        assert!((condensed.entropy() - condensed.max_entropy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_ladder_is_monotone_nondecreasing() {
+        let lib = ScenarioLibrary::new(2048).unwrap();
+        let ladder = lib.entropy_ladder(8);
+        assert_eq!(ladder.len(), 8);
+        for pair in ladder.windows(2) {
+            assert!(
+                pair[0].condensed_entropy() <= pair[1].condensed_entropy() + 1e-9,
+                "ladder not monotone: {} then {}",
+                pair[0].condensed_entropy(),
+                pair[1].condensed_entropy()
+            );
+        }
+        assert!(ladder[0].condensed_entropy() < 0.1);
+        assert!(ladder[7].condensed_entropy() > 2.0);
+    }
+
+    #[test]
+    fn scenario_exposes_condensed_view() {
+        let lib = ScenarioLibrary::new(512).unwrap();
+        let s = lib.bimodal();
+        assert_eq!(s.condensed().max_size(), 512);
+        assert!(s.condensed_entropy() > 0.0);
+    }
+}

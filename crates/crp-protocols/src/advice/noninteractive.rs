@@ -1,0 +1,191 @@
+//! Non-interactive contention resolution (paper §3.2).
+//!
+//! A scheme for the non-interactive problem consists of an advice function
+//! `f_A : P(V) → {0,1}^b` together with, for every advice string `s`, the
+//! set `V(s)` of nodes that would transmit upon hearing `s`.  The scheme is
+//! correct if for every participant set `P`, `|V(f_A(P)) ∩ P| = 1` — i.e.
+//! the advice alone suffices to pick a unique transmitter in a single
+//! round, with no interaction.
+//!
+//! Theorem 3.3 shows any correct deterministic scheme needs `b ≥ log n`
+//! bits: the sets `{V(s)}` form an `(n, n)`-strongly selective family, and
+//! such families have at least `n` members (Theorem 3.2), hence at least
+//! `log n` bits are needed to index them.  [`NonInteractiveScheme`]
+//! implements the canonical matching upper bound (advice = the id of one
+//! participant, `⌈log n⌉` bits) plus the machinery needed to *verify* the
+//! lower-bound argument numerically: converting a scheme into its selective
+//! family and checking correctness exhaustively at small scale.
+
+use crp_predict::{Advice, AdviceOracle, IdPrefixOracle, PredictError};
+
+use crate::error::ProtocolError;
+use crate::selective_family::SelectiveFamily;
+
+/// The canonical non-interactive scheme: the advice names one participant
+/// (its full `⌈log n⌉`-bit id) and exactly that node transmits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonInteractiveScheme {
+    universe_size: usize,
+}
+
+impl NonInteractiveScheme {
+    /// Creates the scheme for a universe of `universe_size` potential
+    /// participants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidParameter`] if the universe is empty.
+    pub fn new(universe_size: usize) -> Result<Self, ProtocolError> {
+        if universe_size == 0 {
+            return Err(ProtocolError::InvalidParameter {
+                what: "non-interactive scheme requires a non-empty universe".into(),
+            });
+        }
+        Ok(Self { universe_size })
+    }
+
+    /// The universe size `n`.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// Number of advice bits this scheme uses: `⌈log n⌉`, matching the
+    /// Theorem 3.3 lower bound.
+    pub fn advice_bits(&self) -> usize {
+        IdPrefixOracle::id_bits(self.universe_size)
+    }
+
+    /// The advice for a participant set: the full id of its smallest
+    /// member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::AdviceUnavailable`] for an empty set.
+    pub fn advise(&self, participants: &[usize]) -> Result<Advice, PredictError> {
+        IdPrefixOracle.advise(self.universe_size, participants, self.advice_bits())
+    }
+
+    /// The transmit set `V(s)` for an advice string: the single node whose
+    /// id the advice encodes (or nobody, if the advice decodes outside the
+    /// universe — possible only for non-power-of-two universes).
+    pub fn transmit_set(&self, advice: &Advice) -> Vec<usize> {
+        let id = advice.to_value();
+        if id < self.universe_size {
+            vec![id]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// True if `participants` running this scheme produce exactly one
+    /// transmitter in the single allowed round.
+    pub fn solves(&self, participants: &[usize]) -> bool {
+        match self.advise(participants) {
+            Ok(advice) => {
+                let transmitters: Vec<usize> = self
+                    .transmit_set(&advice)
+                    .into_iter()
+                    .filter(|id| participants.contains(id))
+                    .collect();
+                transmitters.len() == 1
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// The strongly selective family induced by this scheme: one set
+    /// `V(s)` per advice string `s` (Theorem 3.3's construction).
+    pub fn induced_family(&self) -> SelectiveFamily {
+        let bits = self.advice_bits();
+        let sets: Vec<Vec<usize>> = (0..(1usize << bits))
+            .map(|value| self.transmit_set(&Advice::from_value(value, bits)))
+            .collect();
+        SelectiveFamily::new(self.universe_size, sets)
+    }
+
+    /// Exhaustively verifies correctness over every non-empty participant
+    /// set.  Exponential in `n`; intended for tests and the small-scale
+    /// lower-bound verification experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 20`.
+    pub fn verify_exhaustively(&self) -> bool {
+        assert!(
+            self.universe_size <= 20,
+            "exhaustive verification is limited to n <= 20"
+        );
+        for mask in 1u32..(1u32 << self.universe_size) {
+            let participants: Vec<usize> = (0..self.universe_size)
+                .filter(|&i| mask & (1 << i) != 0)
+                .collect();
+            if !self.solves(&participants) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selective_family::is_strongly_selective;
+
+    #[test]
+    fn canonical_scheme_solves_every_participant_set() {
+        for n in [4usize, 8, 13, 16] {
+            let scheme = NonInteractiveScheme::new(n).unwrap();
+            assert!(scheme.verify_exhaustively(), "scheme failed for n={n}");
+        }
+    }
+
+    #[test]
+    fn advice_size_matches_theorem_3_3() {
+        let scheme = NonInteractiveScheme::new(1024).unwrap();
+        assert_eq!(scheme.advice_bits(), 10);
+        assert_eq!(scheme.universe_size(), 1024);
+    }
+
+    #[test]
+    fn induced_family_is_strongly_selective() {
+        let n = 8;
+        let scheme = NonInteractiveScheme::new(n).unwrap();
+        let family = scheme.induced_family();
+        // One set per advice string, each a singleton; the family is the
+        // singleton family and is (n, n)-strongly selective.
+        assert!(family.len() >= n, "Theorem 3.2: |F| >= n, got {}", family.len());
+        assert!(is_strongly_selective(&family, n, n));
+    }
+
+    #[test]
+    fn transmit_set_is_a_singleton_inside_the_universe() {
+        let scheme = NonInteractiveScheme::new(10).unwrap();
+        let advice = Advice::from_value(7, scheme.advice_bits());
+        assert_eq!(scheme.transmit_set(&advice), vec![7]);
+        // Advice decoding to an id outside a non-power-of-two universe
+        // transmits nobody.
+        let advice = Advice::from_value(12, scheme.advice_bits());
+        assert!(scheme.transmit_set(&advice).is_empty());
+    }
+
+    #[test]
+    fn solves_specific_sets() {
+        let scheme = NonInteractiveScheme::new(16).unwrap();
+        assert!(scheme.solves(&[3]));
+        assert!(scheme.solves(&[3, 9, 15]));
+        assert!(!scheme.solves(&[]));
+    }
+
+    #[test]
+    fn constructor_rejects_empty_universe() {
+        assert!(NonInteractiveScheme::new(0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "n <= 20")]
+    fn exhaustive_verification_refuses_large_universes() {
+        let scheme = NonInteractiveScheme::new(24).unwrap();
+        let _ = scheme.verify_exhaustively();
+    }
+}

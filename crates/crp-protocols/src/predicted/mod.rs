@@ -1,0 +1,7 @@
+//! Prediction-augmented protocols (paper §2.5 and §2.6).
+
+mod coded_search;
+mod sorted_guess;
+
+pub use coded_search::CodedSearch;
+pub use sorted_guess::SortedGuess;

@@ -1,0 +1,116 @@
+//! Target-distance coding (paper Lemma 2.5).
+//!
+//! Given a range-finding sequence `S`, the paper encodes a target
+//! `x ∈ L(n)` as the pair `(r, d)` where `r` is the first step at which `S`
+//! comes within the tolerance of `x` and `d = x − S[r]` is the residual
+//! distance.  The code length is about `log r + log(tolerance) + 1` bits,
+//! so a fast range-finding sequence yields a short code — and the Source
+//! Coding Theorem then lower-bounds the expected solving step by
+//! `2^{H} / Θ(tolerance)`.  These helpers compute the code lengths so the
+//! inequality can be checked numerically (experiment `F-RF`).
+
+use crp_info::CondensedDistribution;
+
+use super::sequence::RangeFindingSequence;
+
+/// The target-distance code length (in bits) for one target, following the
+/// accounting of Lemma 2.5: `⌈log₂(r + 1)⌉` bits for the step index plus
+/// `⌈log₂(tolerance + 1)⌉ + 1` bits for the signed residual distance.
+///
+/// Returns `None` if the sequence never solves the target.
+pub fn target_distance_code_length(
+    sequence: &RangeFindingSequence,
+    target: usize,
+    tolerance: usize,
+) -> Option<usize> {
+    let step = sequence.solves_at(target, tolerance)?;
+    let step_bits = ((step + 1) as f64).log2().ceil() as usize;
+    let distance_bits = ((tolerance + 1) as f64).log2().ceil() as usize + 1;
+    Some(step_bits.max(1) + distance_bits)
+}
+
+/// Expected target-distance code length when targets are drawn from
+/// `targets`.  Targets the sequence never solves contribute
+/// `penalty_bits` (use something comfortably larger than
+/// `log₂(sequence length)`).
+pub fn target_distance_expected_length(
+    sequence: &RangeFindingSequence,
+    targets: &CondensedDistribution,
+    tolerance: usize,
+    penalty_bits: usize,
+) -> f64 {
+    let mut expectation = 0.0;
+    for range in 1..=targets.num_ranges() {
+        let p = targets.probability_of_range(range);
+        if p <= 0.0 {
+            continue;
+        }
+        let bits =
+            target_distance_code_length(sequence, range, tolerance).unwrap_or(penalty_bits);
+        expectation += p * bits as f64;
+    }
+    expectation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::Decay;
+    use crate::rangefinding::rf_construction;
+    use crp_info::SizeDistribution;
+
+    #[test]
+    fn code_length_grows_with_solving_step() {
+        let seq = RangeFindingSequence::new((1..=16).collect());
+        let early = target_distance_code_length(&seq, 1, 0).unwrap();
+        let late = target_distance_code_length(&seq, 16, 0).unwrap();
+        assert!(early <= late);
+        assert!(target_distance_code_length(&seq, 40, 0).is_none());
+    }
+
+    #[test]
+    fn tolerance_adds_distance_bits() {
+        let seq = RangeFindingSequence::new(vec![5]);
+        let tight = target_distance_code_length(&seq, 5, 0).unwrap();
+        let loose = target_distance_code_length(&seq, 5, 7).unwrap();
+        assert!(loose > tight);
+    }
+
+    #[test]
+    fn source_coding_lower_bound_holds_for_decay() {
+        // Lemma 2.5's machinery: the expected target-distance code length
+        // must be at least the entropy of the target distribution (the code
+        // is uniquely decodable).
+        let n = 1 << 12;
+        let decay = Decay::new(n).unwrap();
+        let seq = rf_construction(&decay, n, 4 * 12);
+        for dist in [
+            SizeDistribution::uniform_ranges(n).unwrap(),
+            SizeDistribution::geometric(n, 0.1).unwrap(),
+            SizeDistribution::bimodal(n, 10, 3000, 0.5).unwrap(),
+        ] {
+            let condensed = CondensedDistribution::from_sizes(&dist);
+            let expected_bits = target_distance_expected_length(&seq, &condensed, 1, 32);
+            assert!(
+                expected_bits + 1e-9 >= condensed.entropy() - 1.0,
+                "expected code length {expected_bits} fell below H - 1 = {}",
+                condensed.entropy() - 1.0
+            );
+        }
+    }
+
+    #[test]
+    fn expected_length_prefers_well_matched_sequences() {
+        let n = 4096;
+        let truth = SizeDistribution::point_mass(n, 900).unwrap();
+        let condensed = CondensedDistribution::from_sizes(&truth);
+        let target = crp_info::range_index_for_size(900);
+        // A sequence that guesses the target immediately versus one that
+        // reaches it last.
+        let fast = RangeFindingSequence::new(vec![target, 1, 2, 3]);
+        let slow = RangeFindingSequence::new(vec![1, 2, 3, target]);
+        let fast_len = target_distance_expected_length(&fast, &condensed, 0, 16);
+        let slow_len = target_distance_expected_length(&slow, &condensed, 0, 16);
+        assert!(fast_len <= slow_len);
+    }
+}

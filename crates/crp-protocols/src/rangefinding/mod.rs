@@ -1,0 +1,26 @@
+//! Range finding (paper §2.3–§2.4): the combinatorial problem the lower
+//! bounds reduce contention resolution to.
+//!
+//! The `(n, f(n))`-range finding problem asks a strategy to hit a target
+//! range `v ∈ L(n)` to within additive error `f(n)`.  A strategy is either
+//! a *sequence* of range values (used for the no-collision-detection lower
+//! bound, Theorem 2.4) or a labelled binary *tree* (used for the
+//! collision-detection lower bound, Theorem 2.8).  A contention-resolution
+//! algorithm induces a range-finding strategy (the RF-Construction of
+//! Algorithm 1, and its tree analogue), and a range-finding strategy yields
+//! a code for the condensed size distribution via target-distance coding —
+//! at which point the Source Coding Theorem lower-bounds the expected
+//! complexity by the entropy.
+//!
+//! These constructions are implemented so the repository can *verify the
+//! lower-bound machinery numerically*: build the strategy from a real
+//! protocol, compute its expected range-finding time and the expected
+//! target-distance code length, and check the paper's inequalities.
+
+mod coding;
+mod sequence;
+mod tree;
+
+pub use coding::{target_distance_code_length, target_distance_expected_length};
+pub use sequence::{rf_construction, RangeFindingSequence};
+pub use tree::RangeFindingTree;

@@ -1,0 +1,205 @@
+//! Strongly selective families (paper §3.2, Definition 3.1).
+//!
+//! A family `F` of subsets of `[n]` is `(n, k)`-strongly selective if for
+//! every subset `Z ⊆ [n]` with `|Z| ≤ k` and every `z ∈ Z` there is a set
+//! `F ∈ F` with `Z ∩ F = {z}`.  The paper's deterministic lower bounds
+//! (Theorem 3.3) convert any correct non-interactive advice scheme into
+//! such a family and then invoke the size lower bound of Clementi, Monti
+//! and Silvestri (`|F| ≥ n` when `k ≥ √(2n)`, Theorem 3.2).
+//!
+//! This module provides the standard constructions used by the matching
+//! upper bounds and a brute-force verification predicate used in tests and
+//! in the lower-bound verification experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// A family of subsets of `{0, …, n − 1}`, each stored as a sorted id list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectiveFamily {
+    universe_size: usize,
+    sets: Vec<Vec<usize>>,
+}
+
+impl SelectiveFamily {
+    /// Builds a family from explicit member sets (each set is deduplicated
+    /// and sorted; out-of-universe ids are dropped).
+    pub fn new(universe_size: usize, sets: Vec<Vec<usize>>) -> Self {
+        let sets = sets
+            .into_iter()
+            .map(|mut s| {
+                s.retain(|&x| x < universe_size);
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        Self {
+            universe_size,
+            sets,
+        }
+    }
+
+    /// The universe size `n`.
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// Number of sets in the family — the quantity the lower bound of
+    /// Theorem 3.2 constrains.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True if the family contains no sets.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The member sets.
+    pub fn sets(&self) -> &[Vec<usize>] {
+        &self.sets
+    }
+}
+
+/// The trivial `(n, n)`-strongly selective family of all singletons
+/// `{0}, {1}, …, {n−1}` — size exactly `n`, matching the Theorem 3.2 lower
+/// bound for large `k`.
+pub fn singleton_family(n: usize) -> SelectiveFamily {
+    SelectiveFamily::new(n, (0..n).map(|i| vec![i]).collect())
+}
+
+/// The binary-representation family: for every bit position `j < ⌈log n⌉`
+/// and every bit value `v ∈ {0, 1}`, the set of ids whose `j`-th bit equals
+/// `v`.  This family of `2⌈log n⌉` sets is `(n, 2)`-strongly selective:
+/// any two distinct ids differ in some bit, and the corresponding set
+/// isolates each of them from the other.
+pub fn binary_representation_family(n: usize) -> SelectiveFamily {
+    if n == 0 {
+        return SelectiveFamily::new(0, Vec::new());
+    }
+    let bits = if n <= 1 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    };
+    let mut sets = Vec::with_capacity(2 * bits);
+    for j in 0..bits {
+        for v in [0usize, 1] {
+            let set: Vec<usize> = (0..n).filter(|&x| (x >> j) & 1 == v).collect();
+            sets.push(set);
+        }
+    }
+    SelectiveFamily::new(n, sets)
+}
+
+/// Brute-force check that `family` is `(n, k)`-strongly selective.
+///
+/// Enumerates every subset of `[n]` of size at most `k` (so it is only
+/// usable for small `n`; the cost is `O(n^k)` subsets).  Used by tests and
+/// by the lower-bound verification experiment at small scale.
+///
+/// # Panics
+///
+/// Panics if `n > 24` — the enumeration would be astronomically large and
+/// calling this at such sizes is always a harness bug.
+pub fn is_strongly_selective(family: &SelectiveFamily, n: usize, k: usize) -> bool {
+    assert!(n <= 24, "brute-force selectivity check is limited to n <= 24");
+    assert_eq!(
+        family.universe_size(),
+        n,
+        "family universe does not match the requested n"
+    );
+    // Enumerate all non-empty subsets of [n] with |Z| <= k via bit masks.
+    for mask in 1u32..(1u32 << n) {
+        let size = mask.count_ones() as usize;
+        if size > k {
+            continue;
+        }
+        let members: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+        for &z in &members {
+            let isolated = family.sets().iter().any(|set| {
+                let mut intersection = members.iter().filter(|&&m| set.binary_search(&m).is_ok());
+                matches!((intersection.next(), intersection.next()), (Some(&only), None) if only == z)
+            });
+            if !isolated {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_family_is_strongly_selective_for_all_k() {
+        let n = 10;
+        let family = singleton_family(n);
+        assert_eq!(family.len(), n);
+        assert!(is_strongly_selective(&family, n, n));
+    }
+
+    #[test]
+    fn binary_representation_family_is_n_2_selective() {
+        for n in [4usize, 7, 12, 16] {
+            let family = binary_representation_family(n);
+            assert!(
+                is_strongly_selective(&family, n, 2),
+                "binary family failed for n={n}"
+            );
+            // Size is 2⌈log n⌉, far below the singleton family's n for n ≥ 8.
+            let bits = (usize::BITS - (n - 1).leading_zeros()) as usize;
+            assert_eq!(family.len(), 2 * bits);
+        }
+    }
+
+    #[test]
+    fn binary_representation_family_is_not_n_3_selective_in_general() {
+        // With three ids {0, 1, 2}: isolating 0 from {0,1,2} needs a set
+        // containing 0 but neither 1 nor 2; bit-0=0 gives {0,2,...},
+        // bit-1=0 gives {0,1,...} — no single bit separates 0 from both,
+        // so the family cannot be (n,3)-strongly selective.
+        let n = 8;
+        let family = binary_representation_family(n);
+        assert!(!is_strongly_selective(&family, n, 3));
+    }
+
+    #[test]
+    fn small_families_fail_selectivity() {
+        // A single set can never isolate both elements of a pair.
+        let n = 6;
+        let family = SelectiveFamily::new(n, vec![vec![0, 1, 2, 3, 4, 5]]);
+        assert!(!is_strongly_selective(&family, n, 2));
+        assert!(!family.is_empty());
+    }
+
+    #[test]
+    fn theorem_3_2_shape_holds_for_constructions() {
+        // For k >= sqrt(2n) any (n,k)-strongly selective family has size
+        // >= n.  The singleton family achieves exactly n, and the binary
+        // family (size 2 log n < n) is indeed not (n, k)-selective for such
+        // large k (checked at a small scale where brute force is feasible).
+        let n = 12;
+        let k = 5; // ceil(sqrt(24)) = 5
+        assert!(is_strongly_selective(&singleton_family(n), n, k));
+        assert!(!is_strongly_selective(&binary_representation_family(n), n, k));
+    }
+
+    #[test]
+    fn construction_sanitises_inputs() {
+        let family = SelectiveFamily::new(4, vec![vec![3, 3, 9, 1], vec![]]);
+        assert_eq!(family.sets()[0], vec![1, 3]);
+        assert_eq!(family.sets()[1], Vec::<usize>::new());
+        assert_eq!(family.universe_size(), 4);
+        assert_eq!(family.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "n <= 24")]
+    fn brute_force_check_refuses_large_universes() {
+        let family = singleton_family(30);
+        let _ = is_strongly_selective(&family, 30, 2);
+    }
+}

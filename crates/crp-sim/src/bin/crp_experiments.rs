@@ -1,0 +1,124 @@
+//! Command-line entry point that regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! crp-experiments [experiment] [--trials T] [--size N] [--seed S]
+//! ```
+//!
+//! where `experiment` is one of `table1`, `table2`, `entropy`, `kl`,
+//! `baselines`, `range-finding` or `all` (the default).  Output is
+//! markdown, suitable for pasting into `EXPERIMENTS.md`.
+
+use std::process::ExitCode;
+
+use crp_sim::experiments::{baselines, entropy_sweep, kl_degradation, range_finding, table1, table2};
+use crp_sim::{RunnerConfig, SimError};
+
+/// Parsed command-line options.
+struct Options {
+    experiment: String,
+    trials: usize,
+    size: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        experiment: "all".to_string(),
+        trials: 2000,
+        size: 1 << 14,
+        seed: 0xC0FFEE,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut index = 0;
+    while index < args.len() {
+        match args[index].as_str() {
+            "--trials" => {
+                index += 1;
+                options.trials = args
+                    .get(index)
+                    .ok_or("--trials requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --trials value: {e}"))?;
+            }
+            "--size" => {
+                index += 1;
+                options.size = args
+                    .get(index)
+                    .ok_or("--size requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --size value: {e}"))?;
+            }
+            "--seed" => {
+                index += 1;
+                options.seed = args
+                    .get(index)
+                    .ok_or("--seed requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed value: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: crp-experiments [table1|table2|entropy|kl|baselines|range-finding|all] [--trials T] [--size N] [--seed S]".to_string());
+            }
+            other if !other.starts_with("--") => {
+                options.experiment = other.to_string();
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        index += 1;
+    }
+    Ok(options)
+}
+
+fn run(options: &Options) -> Result<(), SimError> {
+    let config = RunnerConfig::with_trials(options.trials).seeded(options.seed);
+    let wants = |name: &str| options.experiment == "all" || options.experiment == name;
+
+    if wants("table1") {
+        println!("{}", table1::run(options.size, &config)?.to_table().to_markdown());
+    }
+    if wants("table2") {
+        let universe = options.size.next_power_of_two().max(16);
+        let participants = (universe / 16).max(2);
+        println!(
+            "{}",
+            table2::run(universe, participants, &config)?.to_table().to_markdown()
+        );
+    }
+    if wants("entropy") {
+        println!(
+            "{}",
+            entropy_sweep::run(options.size, 8, &config)?.to_table().to_markdown()
+        );
+    }
+    if wants("kl") {
+        println!("{}", kl_degradation::run(options.size, &config)?.to_table().to_markdown());
+    }
+    if wants("baselines") {
+        let sizes = [options.size / 4, options.size, options.size * 4];
+        println!("{}", baselines::run(&sizes, &config)?.to_table().to_markdown());
+    }
+    if wants("range-finding") {
+        println!("{}", range_finding::run(options.size)?.to_table().to_markdown());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("experiment failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

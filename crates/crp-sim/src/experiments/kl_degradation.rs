@@ -1,0 +1,146 @@
+//! Experiment F-KL: the cost of miscalibrated predictions.
+//!
+//! Theorems 2.12 and 2.16 price a wrong prediction `Y` through the
+//! divergence `D = D_KL(c(X) ‖ c(Y))`: the no-CD algorithm needs
+//! `O(2^{2H + 2D})` rounds, the CD algorithm `O((H + D)²)`.  This
+//! experiment fixes a ground truth, generates predictions of increasing
+//! divergence by mixing the truth toward the uniform distribution and by
+//! shifting its support, and measures both algorithms under each
+//! prediction.
+
+use crp_info::{CondensedDistribution, SizeDistribution};
+use crp_predict::noise;
+use crp_protocols::{CodedSearch, SortedGuess};
+
+use crate::report::{fmt_f64, Table};
+use crate::runner::{measure_cd_strategy, measure_schedule, RunnerConfig};
+use crate::SimError;
+
+/// One prediction-quality point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KlPoint {
+    /// Label of the noise configuration that produced the prediction.
+    pub label: String,
+    /// Divergence `D_KL(c(X) ‖ c(Y))` in bits.
+    pub divergence: f64,
+    /// Mean rounds of the cycling §2.5 algorithm (expected time to
+    /// resolution).
+    pub no_cd_rounds: f64,
+    /// Mean rounds of the §2.6 algorithm over resolved trials.
+    pub cd_rounds: f64,
+    /// Success rate of the one-shot §2.6 attempt.
+    pub cd_success_rate: f64,
+}
+
+/// Result of the divergence sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KlSweepResult {
+    /// Maximum network size.
+    pub max_size: usize,
+    /// Points ordered by increasing divergence.
+    pub points: Vec<KlPoint>,
+}
+
+impl KlSweepResult {
+    /// Renders the sweep as a markdown table.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            format!("Prediction-divergence sweep (n = {})", self.max_size),
+            &["prediction", "D_KL(c(X)||c(Y))", "no-CD E[rounds]", "CD rounds", "CD success"],
+        );
+        for p in &self.points {
+            table.push_row(vec![
+                p.label.clone(),
+                fmt_f64(p.divergence),
+                fmt_f64(p.no_cd_rounds),
+                fmt_f64(p.cd_rounds),
+                fmt_f64(p.cd_success_rate),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs the divergence sweep against a bimodal ground truth.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if a distribution or protocol cannot be built.
+pub fn run(max_size: usize, config: &RunnerConfig) -> Result<KlSweepResult, SimError> {
+    let truth = SizeDistribution::bimodal(
+        max_size,
+        (max_size / 32).max(2),
+        (max_size / 2).max(2),
+        0.85,
+    )?;
+    let truth_condensed = CondensedDistribution::from_sizes(&truth);
+
+    // A ladder of predictions of increasing divergence.
+    let mut predictions: Vec<(String, SizeDistribution)> = vec![("exact".to_string(), truth.clone())];
+    for lambda in [0.25, 0.5, 0.75, 0.95] {
+        predictions.push((
+            format!("mixed-{lambda}"),
+            noise::towards_uniform(&truth, lambda)?,
+        ));
+    }
+    for shift in [1i32, 2, 3] {
+        predictions.push((format!("shift-{shift}"), noise::support_shift(&truth, shift)?));
+    }
+
+    let mut points = Vec::new();
+    for (label, prediction) in predictions {
+        let prediction_condensed = CondensedDistribution::from_sizes(&prediction);
+        let divergence = truth_condensed.kl_divergence(&prediction_condensed);
+
+        // Expected time of the cycling no-CD strategy built from the
+        // (possibly wrong) prediction, run against the truth.
+        let sorted = SortedGuess::new(&prediction_condensed).cycling();
+        let no_cd = measure_schedule(&sorted, &truth, 64 * sorted.pass_length().max(1), config);
+
+        let coded = CodedSearch::new(&prediction_condensed)?;
+        let cd = measure_cd_strategy(&coded, &truth, coded.horizon().max(1), config);
+
+        points.push(KlPoint {
+            label,
+            divergence,
+            no_cd_rounds: no_cd.mean_rounds_overall(),
+            cd_rounds: cd.mean_rounds_when_resolved(),
+            cd_success_rate: cd.success_rate(),
+        });
+    }
+    points.sort_by(|a, b| {
+        a.divergence
+            .partial_cmp(&b.divergence)
+            .expect("divergences are finite for these noise models")
+    });
+    Ok(KlSweepResult { max_size, points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worse_predictions_cost_more_rounds() {
+        let config = RunnerConfig::with_trials(250).seeded(23);
+        let result = run(1 << 12, &config).unwrap();
+        assert!(result.points.len() >= 6);
+
+        let exact = result.points.iter().find(|p| p.label == "exact").unwrap();
+        assert!(exact.divergence < 1e-9);
+
+        let worst = result
+            .points
+            .iter()
+            .max_by(|a, b| a.divergence.partial_cmp(&b.divergence).unwrap())
+            .unwrap();
+        assert!(worst.divergence > 0.5, "worst divergence {}", worst.divergence);
+        assert!(
+            exact.no_cd_rounds < worst.no_cd_rounds,
+            "exact {} vs worst {}",
+            exact.no_cd_rounds,
+            worst.no_cd_rounds
+        );
+        assert!(result.to_table().to_markdown().contains("divergence"));
+    }
+}

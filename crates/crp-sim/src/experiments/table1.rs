@@ -1,0 +1,182 @@
+//! Experiment T1: reproduces the paper's Table 1 empirically.
+//!
+//! Table 1 states, for a network-size random variable `X` with condensed
+//! entropy `H = H(c(X))`:
+//!
+//! * no collision detection — lower bound `Ω(2^H / log log n)` expected
+//!   rounds, upper bound `O(2^{2H})` rounds with constant probability
+//!   (achieved by [`SortedGuess`]);
+//! * collision detection — lower bound `H/2 − O(log log log log n)`,
+//!   upper bound `O(H²)` rounds with constant probability (achieved by
+//!   [`CodedSearch`]).
+//!
+//! For every scenario in the library the experiment measures both
+//! algorithms with *accurate* predictions (`Y = X`) and reports the
+//! measured constant-probability round count next to the theory columns,
+//! so the table's shape (exponential in `H` without collision detection,
+//! polynomial in `H` with it) can be checked directly.
+
+use crp_predict::ScenarioLibrary;
+use crp_protocols::{CodedSearch, SortedGuess};
+
+use crate::report::{fmt_f64, Table};
+use crate::runner::{measure_cd_strategy, measure_schedule, RunnerConfig};
+use crate::SimError;
+
+/// One scenario row of the Table 1 reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Scenario name.
+    pub scenario: String,
+    /// Condensed entropy `H(c(X))` of the scenario.
+    pub entropy: f64,
+    /// Theory column: `2^H / log log n` (no-CD lower-bound shape).
+    pub theory_no_cd_lower: f64,
+    /// Theory column: `2^{2H}` (no-CD upper-bound shape).
+    pub theory_no_cd_upper: f64,
+    /// Measured: success rate of the one-shot SortedGuess pass.
+    pub no_cd_success_rate: f64,
+    /// Measured: mean rounds of SortedGuess over resolved trials.
+    pub no_cd_rounds: f64,
+    /// Theory column: `H/2` (CD lower-bound shape).
+    pub theory_cd_lower: f64,
+    /// Theory column: `H²` (CD upper-bound shape, plus 1 so the point-mass
+    /// row is non-degenerate).
+    pub theory_cd_upper: f64,
+    /// Measured: success rate of the one-shot CodedSearch attempt.
+    pub cd_success_rate: f64,
+    /// Measured: mean rounds of CodedSearch over resolved trials.
+    pub cd_rounds: f64,
+}
+
+/// Result of the Table 1 reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Result {
+    /// Maximum network size `n` the scenarios were generated for.
+    pub max_size: usize,
+    /// One row per scenario.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Result {
+    /// Renders the result as a markdown table.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            format!("Table 1 reproduction (n = {})", self.max_size),
+            &[
+                "scenario",
+                "H(c(X))",
+                "2^H/loglog n",
+                "2^2H",
+                "no-CD success",
+                "no-CD rounds",
+                "H/2",
+                "H^2",
+                "CD success",
+                "CD rounds",
+            ],
+        );
+        for row in &self.rows {
+            table.push_row(vec![
+                row.scenario.clone(),
+                fmt_f64(row.entropy),
+                fmt_f64(row.theory_no_cd_lower),
+                fmt_f64(row.theory_no_cd_upper),
+                fmt_f64(row.no_cd_success_rate),
+                fmt_f64(row.no_cd_rounds),
+                fmt_f64(row.theory_cd_lower),
+                fmt_f64(row.theory_cd_upper),
+                fmt_f64(row.cd_success_rate),
+                fmt_f64(row.cd_rounds),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs the Table 1 reproduction for networks of maximum size `max_size`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the scenario library or a protocol cannot be
+/// constructed (e.g. `max_size < 8`).
+pub fn run(max_size: usize, config: &RunnerConfig) -> Result<Table1Result, SimError> {
+    let library = ScenarioLibrary::new(max_size)?;
+    let log_log_n = (max_size as f64).log2().log2().max(1.0);
+    let mut rows = Vec::new();
+    for scenario in library.all() {
+        let truth = scenario.distribution();
+        let condensed = scenario.condensed();
+        let entropy = condensed.entropy();
+
+        // §2.5 algorithm, accurate prediction, one-shot pass.
+        let sorted = SortedGuess::new(&condensed);
+        let no_cd_budget = sorted.pass_length().max(1);
+        let no_cd = measure_schedule(&sorted, truth, no_cd_budget, config);
+
+        // §2.6 algorithm, accurate prediction, one-shot attempt.
+        let coded = CodedSearch::new(&condensed)?;
+        let cd_budget = coded.horizon().max(1);
+        let cd = measure_cd_strategy(&coded, truth, cd_budget, config);
+
+        rows.push(Table1Row {
+            scenario: scenario.name().to_string(),
+            entropy,
+            theory_no_cd_lower: 2f64.powf(entropy) / log_log_n,
+            theory_no_cd_upper: 2f64.powf(2.0 * entropy),
+            no_cd_success_rate: no_cd.success_rate(),
+            no_cd_rounds: no_cd.mean_rounds_when_resolved(),
+            theory_cd_lower: entropy / 2.0,
+            theory_cd_upper: entropy * entropy + 1.0,
+            cd_success_rate: cd.success_rate(),
+            cd_rounds: cd.mean_rounds_when_resolved(),
+        });
+    }
+    Ok(Table1Result { max_size, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shapes_match_the_paper() {
+        let config = RunnerConfig::with_trials(300).seeded(42);
+        let result = run(1 << 12, &config).unwrap();
+        assert_eq!(result.rows.len(), 6);
+
+        // Every scenario must resolve with at least the paper's constant
+        // probability (1/16 for no-CD; we allow a generous margin above it).
+        for row in &result.rows {
+            assert!(
+                row.no_cd_success_rate > 0.2,
+                "{}: no-CD success rate {}",
+                row.scenario,
+                row.no_cd_success_rate
+            );
+            assert!(
+                row.cd_success_rate > 0.2,
+                "{}: CD success rate {}",
+                row.scenario,
+                row.cd_success_rate
+            );
+        }
+
+        // The zero-entropy scenario resolves essentially immediately, the
+        // maximum-entropy scenario takes longer — the Table 1 ordering.
+        let point = result.rows.iter().find(|r| r.scenario == "point-mass").unwrap();
+        let uniform = result
+            .rows
+            .iter()
+            .find(|r| r.scenario == "uniform-ranges")
+            .unwrap();
+        assert!(point.entropy < 0.01);
+        assert!(uniform.entropy > 3.0);
+        assert!(point.no_cd_rounds <= uniform.no_cd_rounds);
+        assert!(point.cd_rounds <= uniform.cd_rounds);
+
+        let md = result.to_table().to_markdown();
+        assert!(md.contains("Table 1"));
+        assert!(md.contains("point-mass"));
+    }
+}

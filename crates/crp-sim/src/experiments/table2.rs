@@ -1,0 +1,303 @@
+//! Experiment T2: reproduces the paper's Table 2 (perfect advice)
+//! empirically.
+//!
+//! Table 2 gives tight bounds on contention resolution with `b` bits of
+//! perfect advice:
+//!
+//! | | deterministic | randomized |
+//! |---|---|---|
+//! | no collision detection | `Θ(n^{1−b}/log n)` (≈ `n / 2^b` scan) | `Θ(log n / 2^b)` |
+//! | collision detection | `Θ(log n − b)` | `Θ(log log n − b)` |
+//!
+//! For a sweep of advice budgets the experiment measures each of the four
+//! matching upper-bound protocols against its theory column.  The
+//! deterministic protocols are measured against an adversarial participant
+//! placement (worst case); the randomized ones report expected rounds over
+//! Monte-Carlo trials.
+
+use crp_channel::{execute, ChannelMode, ExecutionConfig, ParticipantId};
+use crp_predict::{AdviceOracle, IdPrefixOracle, RangeOracle};
+use crp_protocols::{
+    AdvisedDecay, AdvisedWillard, DeterministicCdAdvice, DeterministicNoCdAdvice,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::report::{fmt_f64, Table};
+use crate::runner::{run_trials, RunnerConfig};
+use crate::SimError;
+
+/// One advice-budget row of the Table 2 reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Advice budget `b` in bits.
+    pub advice_bits: usize,
+    /// Theory column `n / 2^b` (deterministic, no CD).
+    pub theory_det_no_cd: f64,
+    /// Measured worst-case rounds of the deterministic no-CD protocol.
+    pub det_no_cd_rounds: f64,
+    /// Theory column `log n − b` (deterministic, CD).
+    pub theory_det_cd: f64,
+    /// Measured worst-case rounds of the deterministic CD protocol.
+    pub det_cd_rounds: f64,
+    /// Theory column `log n / 2^b` (randomized, no CD).
+    pub theory_rand_no_cd: f64,
+    /// Measured expected rounds of the randomized no-CD protocol.
+    pub rand_no_cd_rounds: f64,
+    /// Theory column `max(log log n − b, 1)` (randomized, CD).
+    pub theory_rand_cd: f64,
+    /// Measured expected rounds (conditioned on success within the budget)
+    /// of the randomized CD protocol.
+    pub rand_cd_rounds: f64,
+}
+
+/// Result of the Table 2 reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Result {
+    /// Universe size `n`.
+    pub universe_size: usize,
+    /// One row per advice budget.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2Result {
+    /// Renders the result as a markdown table.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            format!("Table 2 reproduction (n = {})", self.universe_size),
+            &[
+                "b",
+                "n/2^b",
+                "det no-CD rounds",
+                "log n - b",
+                "det CD rounds",
+                "log n / 2^b",
+                "rand no-CD E[rounds]",
+                "loglog n - b",
+                "rand CD rounds",
+            ],
+        );
+        for row in &self.rows {
+            table.push_row(vec![
+                row.advice_bits.to_string(),
+                fmt_f64(row.theory_det_no_cd),
+                fmt_f64(row.det_no_cd_rounds),
+                fmt_f64(row.theory_det_cd),
+                fmt_f64(row.det_cd_rounds),
+                fmt_f64(row.theory_rand_no_cd),
+                fmt_f64(row.rand_no_cd_rounds),
+                fmt_f64(row.theory_rand_cd),
+                fmt_f64(row.rand_cd_rounds),
+            ]);
+        }
+        table
+    }
+}
+
+/// Picks a worst-ish-case participant set of size `k` for the deterministic
+/// scan protocols: the designated (smallest) id sits at the end of its
+/// advice interval so the scan pays its full length.
+fn adversarial_participants(universe: usize, k: usize, advice_bits: usize) -> Vec<usize> {
+    let interval = universe >> advice_bits.min(universe.trailing_zeros() as usize);
+    let designated = interval.saturating_sub(1).max(0);
+    let mut participants = vec![designated];
+    let mut next = designated + interval.max(1);
+    while participants.len() < k && next < universe {
+        participants.push(next);
+        next += 7;
+    }
+    let mut fill = designated + 1;
+    while participants.len() < k && fill < universe {
+        if !participants.contains(&fill) {
+            participants.push(fill);
+        }
+        fill += 1;
+    }
+    participants.sort_unstable();
+    participants.dedup();
+    participants
+}
+
+/// Measures the deterministic no-CD protocol's rounds for one placement.
+fn det_no_cd_rounds(universe: usize, participants: &[usize], advice_bits: usize) -> usize {
+    let advice = IdPrefixOracle
+        .advise(universe, participants, advice_bits)
+        .expect("participants are non-empty");
+    let mut nodes: Vec<DeterministicNoCdAdvice> = participants
+        .iter()
+        .map(|&id| {
+            DeterministicNoCdAdvice::new(universe, ParticipantId(id), &advice)
+                .expect("ids are within the universe")
+        })
+        .collect();
+    let budget = nodes[0].worst_case_rounds().max(1);
+    let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, budget);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let exec = execute(&mut nodes, &config, &mut rng);
+    assert!(exec.resolved, "deterministic protocol must always resolve");
+    exec.rounds
+}
+
+/// Measures the deterministic CD protocol's rounds for one placement.
+fn det_cd_rounds(universe: usize, participants: &[usize], advice_bits: usize) -> usize {
+    let advice = IdPrefixOracle
+        .advise(universe, participants, advice_bits)
+        .expect("participants are non-empty");
+    let mut nodes: Vec<DeterministicCdAdvice> = participants
+        .iter()
+        .map(|&id| {
+            DeterministicCdAdvice::new(universe, ParticipantId(id), &advice)
+                .expect("ids are within the universe")
+        })
+        .collect();
+    let budget = nodes[0].worst_case_rounds().max(1);
+    let config = ExecutionConfig::new(ChannelMode::CollisionDetection, budget);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let exec = execute(&mut nodes, &config, &mut rng);
+    assert!(exec.resolved, "deterministic protocol must always resolve");
+    exec.rounds
+}
+
+/// Runs the Table 2 reproduction for a universe of size `universe_size`
+/// (must be a power of two ≥ 16) and a true participant count of
+/// `participants`.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] for non-power-of-two or too-small
+/// universes.
+pub fn run(
+    universe_size: usize,
+    participants: usize,
+    config: &RunnerConfig,
+) -> Result<Table2Result, SimError> {
+    if universe_size < 16 || !universe_size.is_power_of_two() {
+        return Err(SimError::InvalidParameter {
+            what: format!("table 2 requires a power-of-two universe >= 16, got {universe_size}"),
+        });
+    }
+    if participants < 2 || participants > universe_size {
+        return Err(SimError::InvalidParameter {
+            what: format!(
+                "participants must be in [2, n], got {participants} for n = {universe_size}"
+            ),
+        });
+    }
+    let log_n = (universe_size as f64).log2();
+    let log_log_n = log_n.log2();
+    let max_bits = log_n as usize;
+
+    let mut rows = Vec::new();
+    for b in 0..=max_bits {
+        // Deterministic protocols: adversarial placement, single run
+        // (they are deterministic, so one run is the worst case for that
+        // placement).
+        let adversarial = adversarial_participants(universe_size, participants.min(16), b);
+        let det_no_cd = det_no_cd_rounds(universe_size, &adversarial, b);
+        let det_cd = det_cd_rounds(universe_size, &adversarial, b);
+
+        // Randomized, no CD: truncated decay with range advice; expected
+        // rounds over random participant counts near `participants`.
+        let range_advice = RangeOracle
+            .advise(universe_size, &vec![0; participants], b)
+            .expect("participant list is non-empty");
+        let advised_decay = AdvisedDecay::new(universe_size, &range_advice)?;
+        let rand_no_cd = run_trials(config, |rng| {
+            let k = jitter_size(participants, universe_size, rng);
+            crp_protocols::run_schedule(&advised_decay, k, 64 * universe_size, rng).into()
+        });
+
+        // Randomized, CD: Willard restricted to the advised ranges; the
+        // paper's bound is on the expected rounds of the repeated search,
+        // measured here as rounds conditioned on success within the search
+        // budget.
+        let advised_willard = AdvisedWillard::new(universe_size, &range_advice)?;
+        let horizon = advised_willard.worst_case_rounds().max(1);
+        let rand_cd = run_trials(config, |rng| {
+            let k = jitter_size(participants, universe_size, rng);
+            crp_protocols::run_cd_strategy(&advised_willard, k, horizon, rng).into()
+        });
+
+        rows.push(Table2Row {
+            advice_bits: b,
+            theory_det_no_cd: (universe_size as f64) / 2f64.powi(b as i32),
+            det_no_cd_rounds: det_no_cd as f64,
+            theory_det_cd: (log_n - b as f64).max(1.0),
+            det_cd_rounds: det_cd as f64,
+            theory_rand_no_cd: (log_n / 2f64.powi(b as i32)).max(1.0),
+            rand_no_cd_rounds: rand_no_cd.mean_rounds_overall(),
+            theory_rand_cd: (log_log_n - b as f64).max(1.0),
+            rand_cd_rounds: rand_cd.mean_rounds_when_resolved(),
+        });
+    }
+    Ok(Table2Result {
+        universe_size,
+        rows,
+    })
+}
+
+/// Jitters the participant count within its geometric range so the
+/// randomized trials are not all identical, while keeping the range advice
+/// valid.
+fn jitter_size<R: Rng + ?Sized>(participants: usize, universe: usize, rng: &mut R) -> usize {
+    let range = crp_info::range_index_for_size(participants.max(2));
+    let (lo, hi) = crp_info::range_interval(range);
+    let hi = hi.min(universe);
+    if lo >= hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_inputs() {
+        let config = RunnerConfig::with_trials(10).single_threaded();
+        assert!(run(10, 4, &config).is_err());
+        assert!(run(64, 1, &config).is_err());
+        assert!(run(64, 100, &config).is_err());
+    }
+
+    #[test]
+    fn table2_shapes_match_the_paper() {
+        let config = RunnerConfig::with_trials(150).seeded(5);
+        let n = 1 << 10;
+        let result = run(n, 60, &config).unwrap();
+        assert_eq!(result.rows.len(), 11);
+
+        for row in &result.rows {
+            // Deterministic bounds are worst-case guarantees: the measured
+            // rounds never exceed the theory column (within +1 slack for
+            // ceilings).
+            assert!(
+                row.det_no_cd_rounds <= row.theory_det_no_cd + 1.0,
+                "b={}: det no-CD {} > {}",
+                row.advice_bits,
+                row.det_no_cd_rounds,
+                row.theory_det_no_cd
+            );
+            assert!(
+                row.det_cd_rounds <= row.theory_det_cd + 1.0,
+                "b={}: det CD {} > {}",
+                row.advice_bits,
+                row.det_cd_rounds,
+                row.theory_det_cd
+            );
+        }
+
+        // More advice never hurts (monotone non-increasing measured rounds,
+        // allowing small statistical noise for the randomized rows).
+        let first = &result.rows[0];
+        let last = result.rows.last().unwrap();
+        assert!(last.det_no_cd_rounds <= first.det_no_cd_rounds);
+        assert!(last.det_cd_rounds <= first.det_cd_rounds);
+        assert!(last.rand_no_cd_rounds <= first.rand_no_cd_rounds + 1.0);
+
+        let md = result.to_table().to_markdown();
+        assert!(md.contains("Table 2"));
+    }
+}

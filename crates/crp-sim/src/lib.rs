@@ -1,0 +1,111 @@
+//! Monte-Carlo experiment harness for the *Contention Resolution with
+//! Predictions* reproduction.
+//!
+//! The harness has three layers:
+//!
+//! * [`runner`] — a deterministic, optionally multi-threaded trial runner
+//!   ([`run_trials`], [`measure_schedule`], [`measure_cd_strategy`]) whose
+//!   results are independent of the thread count thanks to per-trial
+//!   seeding.
+//! * [`stats`] / [`report`] — summary statistics and markdown table
+//!   rendering.
+//! * [`experiments`] — one module per table / figure of the paper (see
+//!   `DESIGN.md` for the experiment index); the `crp-experiments` binary
+//!   runs them all and prints the tables recorded in `EXPERIMENTS.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use crp_info::SizeDistribution;
+//! use crp_protocols::Decay;
+//! use crp_sim::{measure_schedule, RunnerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let truth = SizeDistribution::geometric(1024, 0.2)?;
+//! let decay = Decay::new(1024)?;
+//! let stats = measure_schedule(
+//!     &decay,
+//!     &truth,
+//!     10_000,
+//!     &RunnerConfig::with_trials(200).seeded(1),
+//! );
+//! assert!(stats.success_rate() > 0.99);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod report;
+mod runner;
+mod stats;
+
+use std::error::Error;
+use std::fmt;
+
+pub use report::{fmt_f64, Table};
+pub use runner::{
+    measure_cd_strategy, measure_schedule, run_trials, sample_contending_size, RunnerConfig,
+    TrialOutcome,
+};
+pub use stats::{SummaryStats, TrialStats};
+
+/// Errors produced by the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A parameter of an experiment was outside its valid range.
+    InvalidParameter {
+        /// Human-readable description of the offending parameter.
+        what: String,
+    },
+    /// A substrate construction (distribution, prediction, protocol)
+    /// failed.
+    Substrate(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            SimError::Substrate(msg) => write!(f, "substrate error: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<crp_info::InfoError> for SimError {
+    fn from(err: crp_info::InfoError) -> Self {
+        SimError::Substrate(err.to_string())
+    }
+}
+
+impl From<crp_predict::PredictError> for SimError {
+    fn from(err: crp_predict::PredictError) -> Self {
+        SimError::Substrate(err.to_string())
+    }
+}
+
+impl From<crp_protocols::ProtocolError> for SimError {
+    fn from(err: crp_protocols::ProtocolError) -> Self {
+        SimError::Substrate(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_error_display_and_conversions() {
+        let err = SimError::InvalidParameter {
+            what: "trials must be positive".into(),
+        };
+        assert!(err.to_string().contains("trials"));
+        let err: SimError = crp_info::InfoError::EmptySupport.into();
+        assert!(matches!(err, SimError::Substrate(_)));
+        assert!(err.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,254 @@
+//! The Monte-Carlo trial runner.
+//!
+//! Trials are embarrassingly parallel; the runner shards them across
+//! threads with a *per-trial* deterministic seed (`base_seed` xor trial
+//! index), so the result set is identical regardless of how many threads
+//! executed it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crp_channel::Execution;
+use crp_info::SizeDistribution;
+use crp_protocols::{run_cd_strategy, run_schedule, CdStrategy, NoCdSchedule};
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::stats::{SummaryStats, TrialStats};
+
+/// Outcome of a single Monte-Carlo trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// Whether contention was resolved within the round budget.
+    pub resolved: bool,
+    /// Rounds elapsed (equals the budget when unresolved).
+    pub rounds: usize,
+}
+
+impl From<Execution> for TrialOutcome {
+    fn from(execution: Execution) -> Self {
+        TrialOutcome {
+            resolved: execution.resolved,
+            rounds: execution.rounds,
+        }
+    }
+}
+
+/// Configuration of a batch of trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunnerConfig {
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Base seed; trial `i` uses seed `base_seed ^ i`.
+    pub base_seed: u64,
+    /// Number of worker threads (1 = run inline).
+    pub threads: usize,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            trials: 1000,
+            base_seed: 0xC0FFEE,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// Convenience constructor for a given trial count with the default
+    /// seed and thread count.
+    pub fn with_trials(trials: usize) -> Self {
+        Self {
+            trials,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with a different base seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Returns a copy pinned to a single thread (useful in tests).
+    pub fn single_threaded(mut self) -> Self {
+        self.threads = 1;
+        self
+    }
+}
+
+/// Runs `config.trials` independent trials of `trial`, which receives a
+/// deterministically seeded RNG, and aggregates the outcomes.
+///
+/// The aggregation is order-insensitive, so the statistics are identical
+/// regardless of thread count.
+pub fn run_trials<F>(config: &RunnerConfig, trial: F) -> TrialStats
+where
+    F: Fn(&mut ChaCha8Rng) -> TrialOutcome + Sync,
+{
+    let outcomes: Vec<TrialOutcome> = if config.threads <= 1 || config.trials < 64 {
+        (0..config.trials)
+            .map(|i| {
+                let mut rng = ChaCha8Rng::seed_from_u64(config.base_seed ^ i as u64);
+                trial(&mut rng)
+            })
+            .collect()
+    } else {
+        let results = Mutex::new(vec![
+            TrialOutcome {
+                resolved: false,
+                rounds: 0
+            };
+            config.trials
+        ]);
+        let next = AtomicUsize::new(0);
+        let workers = config.threads.min(config.trials);
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= config.trials {
+                        break;
+                    }
+                    let mut rng = ChaCha8Rng::seed_from_u64(config.base_seed ^ index as u64);
+                    let outcome = trial(&mut rng);
+                    results.lock()[index] = outcome;
+                });
+            }
+        })
+        .expect("trial worker threads never panic");
+        results.into_inner()
+    };
+
+    let resolved: Vec<f64> = outcomes
+        .iter()
+        .filter(|o| o.resolved)
+        .map(|o| o.rounds as f64)
+        .collect();
+    let all: Vec<f64> = outcomes.iter().map(|o| o.rounds as f64).collect();
+    TrialStats {
+        trials: outcomes.len(),
+        resolved: resolved.len(),
+        rounds_when_resolved: SummaryStats::from_samples(&resolved),
+        rounds_overall: SummaryStats::from_samples(&all),
+    }
+}
+
+/// Measures a uniform no-collision-detection schedule against a true size
+/// distribution: each trial samples `k ~ truth` and runs the schedule for
+/// at most `max_rounds` rounds.
+pub fn measure_schedule<S>(
+    schedule: &S,
+    truth: &SizeDistribution,
+    max_rounds: usize,
+    config: &RunnerConfig,
+) -> TrialStats
+where
+    S: NoCdSchedule + Sync + ?Sized,
+{
+    run_trials(config, |rng| {
+        let k = sample_contending_size(truth, rng);
+        run_schedule(schedule, k, max_rounds, rng).into()
+    })
+}
+
+/// Measures a uniform collision-detection strategy against a true size
+/// distribution.
+pub fn measure_cd_strategy<S>(
+    strategy: &S,
+    truth: &SizeDistribution,
+    max_rounds: usize,
+    config: &RunnerConfig,
+) -> TrialStats
+where
+    S: CdStrategy + Sync + ?Sized,
+{
+    run_trials(config, |rng| {
+        let k = sample_contending_size(truth, rng);
+        run_cd_strategy(strategy, k, max_rounds, rng).into()
+    })
+}
+
+/// Samples a network size from `truth`, re-drawing (or clamping) so the
+/// result is at least 2 — the paper assumes at least two participants,
+/// since size 1 has no contention to resolve.
+pub fn sample_contending_size(truth: &SizeDistribution, rng: &mut ChaCha8Rng) -> usize {
+    for _ in 0..16 {
+        let k = truth.sample(rng);
+        if k >= 2 {
+            return k;
+        }
+    }
+    2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_protocols::{Decay, FixedProbability, Willard};
+
+    #[test]
+    fn trial_results_are_independent_of_thread_count() {
+        let truth = SizeDistribution::bimodal(1024, 30, 500, 0.8).unwrap();
+        let decay = Decay::new(1024).unwrap();
+        let serial = measure_schedule(
+            &decay,
+            &truth,
+            10_000,
+            &RunnerConfig::with_trials(200).seeded(7).single_threaded(),
+        );
+        let mut parallel_config = RunnerConfig::with_trials(200).seeded(7);
+        parallel_config.threads = 4;
+        let parallel = measure_schedule(&decay, &truth, 10_000, &parallel_config);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn correct_estimate_beats_decay() {
+        let n = 4096;
+        let k = 300;
+        let truth = SizeDistribution::point_mass(n, k).unwrap();
+        let config = RunnerConfig::with_trials(300).seeded(11);
+        let fixed = measure_schedule(
+            &FixedProbability::new(k).unwrap(),
+            &truth,
+            10_000,
+            &config,
+        );
+        let decay = measure_schedule(&Decay::new(n).unwrap(), &truth, 10_000, &config);
+        assert!(fixed.success_rate() > 0.99);
+        assert!(decay.success_rate() > 0.99);
+        assert!(fixed.mean_rounds_overall() < decay.mean_rounds_overall());
+    }
+
+    #[test]
+    fn cd_strategy_measurement_reports_constant_probability_success() {
+        let n = 1 << 14;
+        let truth = SizeDistribution::uniform_ranges(n).unwrap();
+        let willard = Willard::new(n).unwrap();
+        let config = RunnerConfig::with_trials(400).seeded(3);
+        let stats = measure_cd_strategy(&willard, &truth, willard.worst_case_rounds(), &config);
+        assert!(stats.success_rate() > 0.3, "rate {}", stats.success_rate());
+        assert!(stats.mean_rounds_when_resolved() <= willard.worst_case_rounds() as f64);
+    }
+
+    #[test]
+    fn sample_contending_size_never_returns_less_than_two() {
+        let truth = SizeDistribution::uniform_sizes(64).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert!(sample_contending_size(&truth, &mut rng) >= 2);
+        }
+    }
+
+    #[test]
+    fn runner_config_builders() {
+        let config = RunnerConfig::with_trials(10).seeded(5).single_threaded();
+        assert_eq!(config.trials, 10);
+        assert_eq!(config.base_seed, 5);
+        assert_eq!(config.threads, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Summary statistics over Monte-Carlo trial outcomes.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of per-trial round counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub std_dev: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl SummaryStats {
+    /// Computes summary statistics from raw samples.
+    ///
+    /// Returns `None` for an empty sample.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let variance = if count > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("round counts are finite"));
+        let quantile = |q: f64| -> f64 {
+            let pos = q * (count - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                let frac = pos - lo as f64;
+                sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+            }
+        };
+        Some(Self {
+            count,
+            mean,
+            std_dev: variance.sqrt(),
+            median: quantile(0.5),
+            p10: quantile(0.1),
+            p90: quantile(0.9),
+            min: sorted[0],
+            max: sorted[count - 1],
+        })
+    }
+
+    /// The half-width of an approximate 95% confidence interval for the
+    /// mean (`1.96 · s / √n`).
+    pub fn confidence_95(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.count as f64).sqrt()
+        }
+    }
+}
+
+/// Outcome statistics of a batch of contention-resolution trials.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialStats {
+    /// Total number of trials run.
+    pub trials: usize,
+    /// Number of trials that resolved contention within their round budget.
+    pub resolved: usize,
+    /// Round-count statistics over *resolved* trials only (the paper's §2
+    /// algorithms are one-shot, constant-probability attempts, so the
+    /// interesting quantity is how fast resolution happens when it does).
+    pub rounds_when_resolved: Option<SummaryStats>,
+    /// Round-count statistics over all trials, counting unresolved trials
+    /// at their full round budget (the natural quantity for the repeating /
+    /// expected-time protocols).
+    pub rounds_overall: Option<SummaryStats>,
+}
+
+impl TrialStats {
+    /// Fraction of trials that resolved.
+    pub fn success_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.resolved as f64 / self.trials as f64
+        }
+    }
+
+    /// Mean rounds over resolved trials, or `NaN` if nothing resolved.
+    pub fn mean_rounds_when_resolved(&self) -> f64 {
+        self.rounds_when_resolved
+            .as_ref()
+            .map(|s| s.mean)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// Mean rounds over all trials (unresolved trials count their budget),
+    /// or `NaN` if there were no trials.
+    pub fn mean_rounds_overall(&self) -> f64 {
+        self.rounds_overall
+            .as_ref()
+            .map(|s| s.mean)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let stats = SummaryStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(stats.count, 5);
+        assert!((stats.mean - 3.0).abs() < 1e-12);
+        assert!((stats.median - 3.0).abs() < 1e-12);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 5.0);
+        assert!((stats.std_dev - 1.5811388).abs() < 1e-6);
+        assert!(stats.confidence_95() > 0.0);
+    }
+
+    #[test]
+    fn empty_sample_yields_none() {
+        assert!(SummaryStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let stats = SummaryStats::from_samples(&[7.0]).unwrap();
+        assert_eq!(stats.std_dev, 0.0);
+        assert_eq!(stats.median, 7.0);
+        assert_eq!(stats.p10, 7.0);
+        assert_eq!(stats.p90, 7.0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let samples: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let stats = SummaryStats::from_samples(&samples).unwrap();
+        assert!(stats.p10 <= stats.median);
+        assert!(stats.median <= stats.p90);
+        assert!(stats.p90 <= stats.max);
+    }
+
+    #[test]
+    fn trial_stats_rates() {
+        let stats = TrialStats {
+            trials: 10,
+            resolved: 7,
+            rounds_when_resolved: SummaryStats::from_samples(&[1.0, 2.0, 3.0]),
+            rounds_overall: SummaryStats::from_samples(&[1.0, 2.0, 3.0, 50.0]),
+        };
+        assert!((stats.success_rate() - 0.7).abs() < 1e-12);
+        assert!((stats.mean_rounds_when_resolved() - 2.0).abs() < 1e-12);
+        assert!((stats.mean_rounds_overall() - 14.0).abs() < 1e-12);
+        let empty = TrialStats {
+            trials: 0,
+            resolved: 0,
+            rounds_when_resolved: None,
+            rounds_overall: None,
+        };
+        assert_eq!(empty.success_rate(), 0.0);
+        assert!(empty.mean_rounds_when_resolved().is_nan());
+    }
+}

@@ -1,0 +1,61 @@
+//! Domain scenario: an IoT gateway whose sensor population follows a daily
+//! pattern that a simple histogram model can learn.
+//!
+//! Each morning a varying subset of battery-powered sensors wakes up and
+//! contends for the uplink slot.  The gateway trains a
+//! [`LearnedPredictor`] on the sizes it observed on previous mornings and
+//! hands the predicted distribution to the §2.5 sorted-guess protocol.
+//! The example shows how the expected resolution time drops as the model
+//! sees more history — the "predictions improve for free" story from the
+//! paper's introduction.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example iot_sensor_burst
+//! ```
+
+use contention_predictions::info::SizeDistribution;
+use contention_predictions::predict::LearnedPredictor;
+use contention_predictions::protocols::SortedGuess;
+use contention_predictions::sim::{measure_schedule, RunnerConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 8192;
+
+    // Ground truth the gateway does not know: most mornings ~120 sensors
+    // report (routine telemetry), but after a cold night ~3000 wake at once.
+    let truth = SizeDistribution::bimodal(n, 120, 3000, 0.8)?;
+    let mut training_rng = ChaCha8Rng::seed_from_u64(7);
+
+    println!("training mornings | D_KL(c(X)||c(Y)) bits | E[rounds to uplink]");
+    println!("------------------|------------------------|--------------------");
+
+    let config = RunnerConfig::with_trials(2000).seeded(99);
+    for &mornings in &[0usize, 5, 20, 100, 1000] {
+        // Train the histogram model on `mornings` observed wake-ups.
+        let mut model = LearnedPredictor::new(n, 1.0)?;
+        model.train(&truth, mornings, &mut training_rng);
+        let divergence = model.divergence_from(&truth);
+
+        // Build the prediction-augmented protocol from the model's output
+        // and measure it against the real wake-up process.
+        let protocol = SortedGuess::new(&model.predicted_condensed()).cycling();
+        let stats = measure_schedule(&protocol, &truth, 64 * n, &config);
+
+        println!(
+            "{mornings:>17} | {divergence:>22.3} | {:>18.2}",
+            stats.mean_rounds_overall()
+        );
+    }
+
+    println!();
+    println!(
+        "More training history means a lower divergence from the true wake-up \
+         distribution, and the uplink slot is won in fewer rounds — without \
+         changing a line of the protocol."
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Domain scenario: what a *wrong* prediction costs.
+//!
+//! Theorems 2.12 and 2.16 price miscalibration through the KL divergence
+//! between the condensed truth and the condensed prediction.  This example
+//! fixes a ground-truth Wi-Fi contention scenario and feeds the protocols
+//! progressively worse predictions — from exact, through smoothed, to a
+//! stale model that believes the network is 8× larger than it really is —
+//! and prints the measured cost next to the divergence.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example miscalibrated_predictor
+//! ```
+
+use contention_predictions::info::{CondensedDistribution, SizeDistribution};
+use contention_predictions::predict::noise;
+use contention_predictions::protocols::{CodedSearch, SortedGuess};
+use contention_predictions::sim::{measure_cd_strategy, measure_schedule, RunnerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 4096;
+    // Ground truth: an access point that usually serves ~40 stations,
+    // with rare evening peaks around 1500.
+    let truth = SizeDistribution::bimodal(n, 40, 1500, 0.85)?;
+    let truth_condensed = CondensedDistribution::from_sizes(&truth);
+
+    let predictions: Vec<(&str, SizeDistribution)> = vec![
+        ("exact", truth.clone()),
+        ("mildly smoothed", noise::towards_uniform(&truth, 0.3)?),
+        ("heavily smoothed", noise::towards_uniform(&truth, 0.9)?),
+        ("stale (2x too large)", noise::support_shift(&truth, 1)?),
+        ("stale (8x too large)", noise::support_shift(&truth, 3)?),
+    ];
+
+    let config = RunnerConfig::with_trials(2000).seeded(2024);
+    println!(
+        "{:<22} | {:>10} | {:>18} | {:>14} | {:>10}",
+        "prediction", "D_KL bits", "no-CD E[rounds]", "CD rounds", "CD success"
+    );
+    println!("{}", "-".repeat(88));
+
+    for (label, prediction) in predictions {
+        let prediction_condensed = CondensedDistribution::from_sizes(&prediction);
+        let divergence = truth_condensed.kl_divergence(&prediction_condensed);
+
+        let sorted = SortedGuess::new(&prediction_condensed).cycling();
+        let no_cd = measure_schedule(&sorted, &truth, 64 * n, &config);
+
+        let coded = CodedSearch::new(&prediction_condensed)?;
+        let cd = measure_cd_strategy(&coded, &truth, coded.horizon().max(4), &config);
+
+        println!(
+            "{label:<22} | {divergence:>10.3} | {:>18.2} | {:>14.2} | {:>9.0}%",
+            no_cd.mean_rounds_overall(),
+            cd.mean_rounds_when_resolved(),
+            100.0 * cd.success_rate()
+        );
+    }
+
+    println!();
+    println!(
+        "Bounded-divergence predictions (smoothing) cost only a constant factor, \
+         exactly as the paper's D_KL terms predict; predictions whose support has \
+         drifted cost far more."
+    );
+    Ok(())
+}

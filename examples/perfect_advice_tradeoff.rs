@@ -1,0 +1,102 @@
+//! Domain scenario: how many advice bits buy how much speed (paper §3).
+//!
+//! A coordinator with perfect knowledge of tonight's participant set can
+//! hand every node the same `b`-bit hint before the contention window
+//! opens.  Table 2 of the paper gives the tight trade-offs; this example
+//! sweeps `b` and prints the measured rounds for all four protocol
+//! variants next to their theory columns.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example perfect_advice_tradeoff
+//! ```
+
+use contention_predictions::channel::{execute, ChannelMode, ExecutionConfig, ParticipantId};
+use contention_predictions::predict::{AdviceOracle, IdPrefixOracle, RangeOracle};
+use contention_predictions::protocols::{
+    run_cd_strategy, run_schedule, AdvisedDecay, AdvisedWillard, DeterministicCdAdvice,
+    DeterministicNoCdAdvice,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1024usize; // log n = 10, log log n ≈ 3.3
+    let active: Vec<usize> = vec![97, 130, 255, 256, 700, 701, 900];
+    let k = active.len();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+
+    println!("universe n = {n}, |P| = {k} active nodes");
+    println!(
+        "{:>2} | {:>14} | {:>12} | {:>16} | {:>13}",
+        "b", "det no-CD", "det CD", "rand no-CD E[r]", "rand CD E[r]"
+    );
+    println!("{}", "-".repeat(70));
+
+    for b in 0..=10usize {
+        // Deterministic protocols use an id-prefix advice function.
+        let id_advice = IdPrefixOracle.advise(n, &active, b)?;
+        let mut scan_nodes: Vec<DeterministicNoCdAdvice> = active
+            .iter()
+            .map(|&id| DeterministicNoCdAdvice::new(n, ParticipantId(id), &id_advice))
+            .collect::<Result<_, _>>()?;
+        let scan_budget = scan_nodes[0].worst_case_rounds().max(1);
+        let scan = execute(
+            &mut scan_nodes,
+            &ExecutionConfig::new(ChannelMode::NoCollisionDetection, scan_budget),
+            &mut rng,
+        );
+
+        let mut tree_nodes: Vec<DeterministicCdAdvice> = active
+            .iter()
+            .map(|&id| DeterministicCdAdvice::new(n, ParticipantId(id), &id_advice))
+            .collect::<Result<_, _>>()?;
+        let tree_budget = tree_nodes[0].worst_case_rounds().max(1);
+        let tree = execute(
+            &mut tree_nodes,
+            &ExecutionConfig::new(ChannelMode::CollisionDetection, tree_budget),
+            &mut rng,
+        );
+
+        // Randomized protocols use a range advice function; average their
+        // rounds over repetitions.
+        let range_advice = RangeOracle.advise(n, &active, b)?;
+        let advised_decay = AdvisedDecay::new(n, &range_advice)?;
+        let advised_willard = AdvisedWillard::new(n, &range_advice)?;
+        let reps = 500;
+        let mut decay_total = 0usize;
+        let mut willard_total = 0usize;
+        let mut willard_hits = 0usize;
+        for _ in 0..reps {
+            decay_total += run_schedule(&advised_decay, k, 64 * n, &mut rng).rounds;
+            let outcome = run_cd_strategy(
+                &advised_willard,
+                k,
+                advised_willard.worst_case_rounds().max(1),
+                &mut rng,
+            );
+            if outcome.resolved {
+                willard_total += outcome.rounds;
+                willard_hits += 1;
+            }
+        }
+
+        println!(
+            "{b:>2} | {:>6} (≤{:>4}) | {:>4} (≤{:>3}) | {:>16.2} | {:>13.2}",
+            scan.rounds,
+            scan_budget,
+            tree.rounds,
+            tree_budget,
+            decay_total as f64 / reps as f64,
+            willard_total as f64 / willard_hits.max(1) as f64,
+        );
+    }
+
+    println!();
+    println!(
+        "The deterministic columns track n/2^b and log n - b; the randomized \
+         columns track log n / 2^b and log log n - b, as in Table 2 of the paper."
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: resolve contention on a shared channel with a learned
+//! network-size prediction.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use contention_predictions::info::{CondensedDistribution, SizeDistribution};
+use contention_predictions::protocols::{
+    run_cd_strategy, run_schedule, CodedSearch, Decay, SortedGuess, Willard,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Universe of up to 4096 stations; tonight 70 of them are active.
+    let n = 4096;
+    let active_stations = 70;
+
+    // A prediction learned from past activations: usually ~64 stations,
+    // occasionally a burst of ~2048.
+    let prediction = SizeDistribution::bimodal(n, 64, 2048, 0.9)?;
+    let condensed = CondensedDistribution::from_sizes(&prediction);
+    println!("predicted condensed entropy H(c(Y)) = {:.3} bits", condensed.entropy());
+
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+
+    // --- No collision detection ------------------------------------------
+    // The paper's §2.5 algorithm visits size ranges in order of predicted
+    // likelihood; compare it against the classical decay strategy.
+    let sorted_guess = SortedGuess::new(&condensed).cycling();
+    let decay = Decay::new(n)?;
+
+    let with_prediction = run_schedule(&sorted_guess, active_stations, 64 * n, &mut rng);
+    let without_prediction = run_schedule(&decay, active_stations, 64 * n, &mut rng);
+    println!(
+        "no collision detection: sorted-guess resolved in {} rounds, decay in {} rounds",
+        with_prediction.rounds, without_prediction.rounds
+    );
+
+    // --- Collision detection ----------------------------------------------
+    // The §2.6 algorithm searches ranges phase-by-phase in order of optimal
+    // codeword length; compare it against Willard's blind binary search.
+    let coded_search = CodedSearch::new(&condensed)?;
+    let willard = Willard::new(n)?;
+
+    let with_prediction = run_cd_strategy(
+        &coded_search,
+        active_stations,
+        coded_search.horizon().max(4),
+        &mut rng,
+    );
+    let without_prediction = run_cd_strategy(
+        &willard,
+        active_stations,
+        willard.worst_case_rounds(),
+        &mut rng,
+    );
+    println!(
+        "collision detection: coded-search {} in {} rounds, willard {} in {} rounds",
+        if with_prediction.resolved { "resolved" } else { "did not resolve" },
+        with_prediction.rounds,
+        if without_prediction.resolved { "resolved" } else { "did not resolve" },
+        without_prediction.rounds
+    );
+
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! # Contention Resolution with Predictions
+//!
+//! A full reproduction of *"Contention Resolution with Predictions"*
+//! (Gilbert, Newport, Vaidya, Weaver — PODC 2021) as a Rust workspace:
+//! the multiple-access channel model, the information-theoretic machinery
+//! the paper's bounds are built on, the prediction-augmented and
+//! perfect-advice protocols, and the Monte-Carlo harness that regenerates
+//! the paper's result tables.
+//!
+//! This crate is a thin facade that re-exports the workspace crates under
+//! stable module names:
+//!
+//! * [`info`] (`crp-info`) — size distributions, condensed distributions,
+//!   entropy, KL divergence, Huffman / Shannon–Fano codes.
+//! * [`channel`] (`crp-channel`) — the synchronous slotted channel, with
+//!   and without collision detection, and the execution engine.
+//! * [`predict`] (`crp-predict`) — scenario library, noise models, the
+//!   learned histogram predictor and perfect-advice oracles.
+//! * [`protocols`] (`crp-protocols`) — decay, Willard, the §2.5 / §2.6
+//!   prediction-augmented algorithms, the §3 advice algorithms and the
+//!   range-finding lower-bound machinery.
+//! * [`sim`] (`crp-sim`) — the Monte-Carlo experiment harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use contention_predictions::info::SizeDistribution;
+//! use contention_predictions::protocols::{run_schedule, SortedGuess};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A learned prediction: the network usually has ~64 active stations.
+//! let prediction = SizeDistribution::bimodal(4096, 64, 2048, 0.9)?;
+//! let protocol = SortedGuess::from_sizes(&prediction);
+//!
+//! // Tonight the network actually has 70 active stations.
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let outcome = run_schedule(&protocol, 70, 1024, &mut rng);
+//! assert!(outcome.resolved);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and experiment index, and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Information-theory substrate (re-export of `crp-info`).
+pub use crp_info as info;
+
+/// Multiple-access channel simulator (re-export of `crp-channel`).
+pub use crp_channel as channel;
+
+/// Prediction substrate (re-export of `crp-predict`).
+pub use crp_predict as predict;
+
+/// Contention-resolution protocols (re-export of `crp-protocols`).
+pub use crp_protocols as protocols;
+
+/// Monte-Carlo experiment harness (re-export of `crp-sim`).
+pub use crp_sim as sim;

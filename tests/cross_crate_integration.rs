@@ -1,0 +1,209 @@
+//! Integration tests spanning the whole workspace: distributions →
+//! predictions → protocols → channel → statistics.
+
+use contention_predictions::channel::{execute, ChannelMode, ExecutionConfig, ParticipantId};
+use contention_predictions::info::{CondensedDistribution, SizeDistribution};
+use contention_predictions::predict::{
+    AdviceOracle, IdPrefixOracle, LearnedPredictor, RangeOracle, ScenarioLibrary,
+};
+use contention_predictions::protocols::{
+    run_cd_strategy, run_schedule, AdvisedDecay, AdvisedWillard, CodedSearch, Decay,
+    DeterministicCdAdvice, DeterministicNoCdAdvice, FixedProbability, SortedGuess, Willard,
+};
+use contention_predictions::sim::{measure_cd_strategy, measure_schedule, RunnerConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const N: usize = 1 << 12;
+
+fn trial_config() -> RunnerConfig {
+    RunnerConfig::with_trials(300).seeded(0xFEED)
+}
+
+#[test]
+fn every_uniform_protocol_resolves_every_scenario() {
+    // Cycle-style (unbounded) protocols must always resolve, for every
+    // scenario in the library and a spread of true sizes.
+    let library = ScenarioLibrary::new(N).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for scenario in library.all() {
+        let condensed = scenario.condensed();
+        let sorted = SortedGuess::new(&condensed).cycling();
+        let decay = Decay::new(N).unwrap();
+        for k in [2usize, 17, 300, 2500] {
+            let a = run_schedule(&sorted, k, 64 * N, &mut rng);
+            assert!(a.resolved, "{}: sorted-guess failed for k={k}", scenario.name());
+            let b = run_schedule(&decay, k, 64 * N, &mut rng);
+            assert!(b.resolved, "decay failed for k={k}");
+        }
+    }
+}
+
+#[test]
+fn prediction_quality_orders_expected_rounds_end_to_end() {
+    // Train two histogram models with very different amounts of data and
+    // verify the better-trained one yields faster contention resolution.
+    let truth = SizeDistribution::bimodal(N, 50, 2000, 0.8).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+
+    let mut weak = LearnedPredictor::new(N, 1.0).unwrap();
+    weak.train(&truth, 3, &mut rng);
+    let mut strong = LearnedPredictor::new(N, 1.0).unwrap();
+    strong.train(&truth, 3000, &mut rng);
+    assert!(strong.divergence_from(&truth) < weak.divergence_from(&truth));
+
+    let config = trial_config();
+    let weak_protocol = SortedGuess::new(&weak.predicted_condensed()).cycling();
+    let strong_protocol = SortedGuess::new(&strong.predicted_condensed()).cycling();
+    let weak_stats = measure_schedule(&weak_protocol, &truth, 64 * N, &config);
+    let strong_stats = measure_schedule(&strong_protocol, &truth, 64 * N, &config);
+    assert!(
+        strong_stats.mean_rounds_overall() <= weak_stats.mean_rounds_overall() + 0.5,
+        "strong model ({}) should not be slower than weak model ({})",
+        strong_stats.mean_rounds_overall(),
+        weak_stats.mean_rounds_overall()
+    );
+}
+
+#[test]
+fn collision_detection_beats_no_collision_detection_at_high_entropy() {
+    // With an uninformative prediction the CD algorithm (poly in H) should
+    // need far fewer rounds than the no-CD algorithm (exponential in H).
+    let library = ScenarioLibrary::new(N).unwrap();
+    let scenario = library.uniform_ranges();
+    let condensed = scenario.condensed();
+    let config = trial_config();
+
+    let sorted = SortedGuess::new(&condensed);
+    let no_cd = measure_schedule(&sorted, scenario.distribution(), sorted.pass_length(), &config);
+
+    let coded = CodedSearch::new(&condensed).unwrap();
+    let cd = measure_cd_strategy(&coded, scenario.distribution(), coded.horizon(), &config);
+
+    assert!(no_cd.success_rate() > 0.2);
+    assert!(cd.success_rate() > 0.2);
+    assert!(
+        cd.mean_rounds_when_resolved() <= no_cd.mean_rounds_when_resolved() + 1.0,
+        "CD ({}) should beat no-CD ({}) at maximum entropy",
+        cd.mean_rounds_when_resolved(),
+        no_cd.mean_rounds_when_resolved()
+    );
+}
+
+#[test]
+fn known_size_is_the_floor_for_all_prediction_protocols() {
+    let k = 500;
+    let truth = SizeDistribution::point_mass(N, k).unwrap();
+    let condensed = CondensedDistribution::from_sizes(&truth);
+    let config = trial_config();
+
+    let known = FixedProbability::new(k).unwrap();
+    let floor = measure_schedule(&known, &truth, 64 * N, &config);
+
+    let sorted = SortedGuess::new(&condensed).cycling();
+    let predicted = measure_schedule(&sorted, &truth, 64 * N, &config);
+
+    // The prediction-augmented protocol with a perfect point prediction is
+    // within a small constant factor of the known-size floor.
+    assert!(predicted.mean_rounds_overall() <= 4.0 * floor.mean_rounds_overall() + 2.0);
+}
+
+#[test]
+fn willard_and_coded_search_agree_on_point_predictions() {
+    // With a point prediction the coded search has a single one-range
+    // phase, so its behaviour collapses to the optimal single probe;
+    // Willard needs its full binary search.
+    let k = 900;
+    let truth = SizeDistribution::point_mass(N, k).unwrap();
+    let condensed = CondensedDistribution::from_sizes(&truth);
+    let config = trial_config();
+
+    let coded = CodedSearch::new(&condensed).unwrap();
+    let willard = Willard::new(N).unwrap();
+    let coded_stats = measure_cd_strategy(&coded, &truth, coded.horizon().max(2), &config);
+    let willard_stats = measure_cd_strategy(&willard, &truth, willard.worst_case_rounds(), &config);
+
+    assert!(coded_stats.success_rate() > 0.2);
+    assert!(willard_stats.success_rate() > 0.2);
+    assert!(
+        coded_stats.mean_rounds_when_resolved() <= willard_stats.mean_rounds_when_resolved(),
+        "point-prediction coded search ({}) should not be slower than Willard ({})",
+        coded_stats.mean_rounds_when_resolved(),
+        willard_stats.mean_rounds_when_resolved()
+    );
+}
+
+#[test]
+fn advice_protocols_respect_their_table_2_budgets_end_to_end() {
+    let universe = 1 << 10;
+    let active = vec![131usize, 132, 600, 601, 980];
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+
+    for b in 0..=10usize {
+        // Deterministic no-CD: scan of the remaining candidate interval.
+        let id_advice = IdPrefixOracle.advise(universe, &active, b).unwrap();
+        let mut scan: Vec<DeterministicNoCdAdvice> = active
+            .iter()
+            .map(|&id| DeterministicNoCdAdvice::new(universe, ParticipantId(id), &id_advice).unwrap())
+            .collect();
+        let scan_budget = scan[0].worst_case_rounds().max(1);
+        assert!(scan_budget <= (universe >> b.min(10)).max(1));
+        let exec = execute(
+            &mut scan,
+            &ExecutionConfig::new(ChannelMode::NoCollisionDetection, scan_budget),
+            &mut rng,
+        );
+        assert!(exec.resolved, "det no-CD failed at b={b}");
+
+        // Deterministic CD: tree descent over the remaining interval.
+        let mut descent: Vec<DeterministicCdAdvice> = active
+            .iter()
+            .map(|&id| DeterministicCdAdvice::new(universe, ParticipantId(id), &id_advice).unwrap())
+            .collect();
+        let descent_budget = descent[0].worst_case_rounds().max(1);
+        assert!(descent_budget <= 10usize.saturating_sub(b).max(1) + 1);
+        let exec = execute(
+            &mut descent,
+            &ExecutionConfig::new(ChannelMode::CollisionDetection, descent_budget),
+            &mut rng,
+        );
+        assert!(exec.resolved, "det CD failed at b={b}");
+
+        // Randomized protocols: the advice must always keep the true range.
+        let range_advice = RangeOracle.advise(universe, &active, b).unwrap();
+        let advised_decay = AdvisedDecay::new(universe, &range_advice).unwrap();
+        assert!(advised_decay.covers_size(active.len()));
+        let exec = run_schedule(&advised_decay, active.len(), 64 * universe, &mut rng);
+        assert!(exec.resolved, "advised decay failed at b={b}");
+
+        let advised_willard = AdvisedWillard::new(universe, &range_advice).unwrap();
+        let (lo, hi) = advised_willard.candidate_ranges();
+        let true_range = contention_predictions::info::range_index_for_size(active.len());
+        assert!(lo <= true_range && true_range <= hi, "b={b}: advice lost the range");
+        // The restricted search succeeds with constant probability within
+        // its budget; over repetitions it certainly succeeds at least once.
+        let resolved_once = (0..50).any(|_| {
+            run_cd_strategy(
+                &advised_willard,
+                active.len(),
+                advised_willard.worst_case_rounds().max(1),
+                &mut rng,
+            )
+            .resolved
+        });
+        assert!(resolved_once, "advised willard never resolved at b={b}");
+    }
+}
+
+#[test]
+fn facade_reexports_are_usable_together() {
+    // Compile-and-run smoke test across every re-exported module.
+    let truth = SizeDistribution::geometric(256, 0.2).unwrap();
+    let condensed = CondensedDistribution::from_sizes(&truth);
+    assert!(condensed.entropy() >= 0.0);
+    let library = ScenarioLibrary::new(256).unwrap();
+    assert_eq!(library.all().len(), 6);
+    let decay = Decay::new(256).unwrap();
+    let stats = measure_schedule(&decay, &truth, 10_000, &trial_config());
+    assert!(stats.success_rate() > 0.99);
+}
