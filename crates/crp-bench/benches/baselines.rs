@@ -3,12 +3,30 @@
 //!
 //! Prints the decay / Willard / known-size / prediction columns for a
 //! sweep of `n`, the series behind the paper's motivating comparison.
+//! Every protocol is constructed by name through the registry and run
+//! through the `Simulation` builder.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crp_info::SizeDistribution;
 use crp_predict::ScenarioLibrary;
-use crp_protocols::{CodedSearch, Decay, FixedProbability, SortedGuess, Willard};
-use crp_sim::{measure_cd_strategy, measure_schedule, RunnerConfig};
+use crp_protocols::ProtocolSpec;
+use crp_sim::{RunnerConfig, Simulation, TrialStats};
+
+fn measure(
+    spec: ProtocolSpec,
+    truth: SizeDistribution,
+    budget: Option<usize>,
+    config: &RunnerConfig,
+) -> TrialStats {
+    let mut builder = Simulation::builder()
+        .protocol(spec)
+        .truth(truth)
+        .runner(*config);
+    if let Some(budget) = budget {
+        builder = builder.max_rounds(budget);
+    }
+    builder.run().expect("bench configurations are valid")
+}
 
 fn baselines(c: &mut Criterion) {
     let config = RunnerConfig::with_trials(600).seeded(0x77);
@@ -22,30 +40,53 @@ fn baselines(c: &mut Criterion) {
     for &n in &sizes {
         let library = ScenarioLibrary::new(n).unwrap();
         let scenario = library.bimodal();
-        let truth = scenario.distribution();
+        let truth = scenario.distribution().clone();
         let condensed = scenario.condensed();
 
-        let decay = measure_schedule(&Decay::new(n).unwrap(), truth, 64 * n, &config);
-        let sorted = SortedGuess::new(&condensed).cycling();
-        let sorted_stats = measure_schedule(&sorted, truth, 64 * n, &config);
-        let willard = Willard::new(n).unwrap();
-        let willard_stats = measure_cd_strategy(&willard, truth, willard.worst_case_rounds(), &config);
-        let coded = CodedSearch::new(&condensed).unwrap();
-        let coded_stats = measure_cd_strategy(&coded, truth, coded.horizon().max(2), &config);
+        let decay = measure(
+            ProtocolSpec::new("decay").universe(n),
+            truth.clone(),
+            Some(64 * n),
+            &config,
+        );
+        let sorted = measure(
+            ProtocolSpec::new("sorted-guess-cycling")
+                .universe(n)
+                .prediction(condensed.clone()),
+            truth.clone(),
+            Some(64 * n),
+            &config,
+        );
+        let willard = measure(
+            ProtocolSpec::new("willard").universe(n),
+            truth.clone(),
+            None,
+            &config,
+        );
+        let coded = measure(
+            ProtocolSpec::new("coded-search")
+                .universe(n)
+                .prediction(condensed.clone()),
+            truth.clone(),
+            None,
+            &config,
+        );
         let mode = (n / 32).max(2);
-        let known = measure_schedule(
-            &FixedProbability::new(mode).unwrap(),
-            &SizeDistribution::point_mass(n, mode).unwrap(),
-            64 * n,
+        let known = measure(
+            ProtocolSpec::new("fixed-probability")
+                .universe(n)
+                .estimate(mode),
+            SizeDistribution::point_mass(n, mode).unwrap(),
+            Some(64 * n),
             &config,
         );
 
         println!(
             "{n:>7} {:>8.2} {:>14.2} {:>9.2} {:>14.2} {:>12.2}",
             decay.mean_rounds_overall(),
-            sorted_stats.mean_rounds_overall(),
-            willard_stats.mean_rounds_when_resolved(),
-            coded_stats.mean_rounds_when_resolved(),
+            sorted.mean_rounds_overall(),
+            willard.mean_rounds_when_resolved(),
+            coded.mean_rounds_when_resolved(),
             known.mean_rounds_overall()
         );
     }
@@ -55,10 +96,18 @@ fn baselines(c: &mut Criterion) {
     for &n in &sizes[..2] {
         let library = ScenarioLibrary::new(n).unwrap();
         let scenario = library.bimodal();
-        let decay = Decay::new(n).unwrap();
         group.bench_with_input(BenchmarkId::new("decay", n), &n, |b, &n| {
+            // Construct once; the measured loop times only the Monte-Carlo
+            // execution, as the pre-registry benches did.
             let quick = RunnerConfig::with_trials(64).seeded(0x77).single_threaded();
-            b.iter(|| measure_schedule(&decay, scenario.distribution(), 16 * n, &quick));
+            let simulation = Simulation::builder()
+                .protocol(ProtocolSpec::new("decay").universe(n))
+                .truth(scenario.distribution().clone())
+                .max_rounds(16 * n)
+                .runner(quick)
+                .build()
+                .unwrap();
+            b.iter(|| simulation.run().unwrap());
         });
     }
     group.finish();

@@ -2,31 +2,47 @@
 //!
 //! Sweeps the entropy ladder (point mass mixed toward uniform-over-ranges)
 //! and prints the measured rounds of both §2 algorithms, the series a
-//! figure of the paper's Table 1 bounds would plot.
+//! figure of the paper's Table 1 bounds would plot.  Protocols are built
+//! by name through the registry.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crp_bench::{bench_library, BENCH_TRIALS};
-use crp_protocols::{CodedSearch, SortedGuess};
-use crp_sim::{measure_cd_strategy, measure_schedule, RunnerConfig};
+use crp_protocols::ProtocolSpec;
+use crp_sim::{RunnerConfig, Simulation};
 
 fn entropy_scaling(c: &mut Criterion) {
     let library = bench_library();
+    let n = library.max_size();
     let config = RunnerConfig::with_trials(BENCH_TRIALS).seeded(0x75);
     let ladder = library.entropy_ladder(8);
 
-    println!("\n=== Rounds vs condensed entropy (n = {}) ===", library.max_size());
-    println!("{:>9} {:>16} {:>14}", "H(c(X))", "no-CD rounds", "CD rounds");
+    println!("\n=== Rounds vs condensed entropy (n = {n}) ===");
+    println!(
+        "{:>9} {:>16} {:>14}",
+        "H(c(X))", "no-CD rounds", "CD rounds"
+    );
     for scenario in &ladder {
         let condensed = scenario.condensed();
-        let sorted = SortedGuess::new(&condensed);
-        let no_cd = measure_schedule(
-            &sorted,
-            scenario.distribution(),
-            sorted.pass_length().max(1),
-            &config,
-        );
-        let coded = CodedSearch::new(&condensed).unwrap();
-        let cd = measure_cd_strategy(&coded, scenario.distribution(), coded.horizon().max(2), &config);
+        let no_cd = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("sorted-guess")
+                    .universe(n)
+                    .prediction(condensed.clone()),
+            )
+            .truth(scenario.distribution().clone())
+            .runner(config)
+            .run()
+            .unwrap();
+        let cd = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("coded-search")
+                    .universe(n)
+                    .prediction(condensed.clone()),
+            )
+            .truth(scenario.distribution().clone())
+            .runner(config)
+            .run()
+            .unwrap();
         println!(
             "{:>9.3} {:>16.3} {:>14.3}",
             condensed.entropy(),
@@ -38,12 +54,20 @@ fn entropy_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("entropy_scaling");
     group.sample_size(10);
     for (i, scenario) in ladder.iter().enumerate().step_by(3) {
-        let condensed = scenario.condensed();
-        let sorted = SortedGuess::new(&condensed);
-        let budget = sorted.pass_length().max(1);
+        let spec = ProtocolSpec::new("sorted-guess")
+            .universe(n)
+            .prediction(scenario.condensed());
         group.bench_with_input(BenchmarkId::from_parameter(i), scenario, |b, scenario| {
+            // Construct once; the measured loop times only the Monte-Carlo
+            // execution, as the pre-registry benches did.
             let quick = RunnerConfig::with_trials(64).seeded(0x75).single_threaded();
-            b.iter(|| measure_schedule(&sorted, scenario.distribution(), budget, &quick));
+            let simulation = Simulation::builder()
+                .protocol(spec.clone())
+                .truth(scenario.distribution().clone())
+                .runner(quick)
+                .build()
+                .unwrap();
+            b.iter(|| simulation.run().unwrap());
         });
     }
     group.finish();

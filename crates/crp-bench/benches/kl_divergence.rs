@@ -3,37 +3,70 @@
 //!
 //! Fixes a bimodal ground truth, generates predictions of increasing
 //! divergence, and prints the measured rounds of both §2 algorithms next
-//! to the divergence.
+//! to the divergence.  Protocols are built by name through the registry.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crp_bench::{bench_truth, BENCH_TRIALS};
 use crp_info::CondensedDistribution;
 use crp_predict::noise;
-use crp_protocols::{CodedSearch, SortedGuess};
-use crp_sim::{measure_cd_strategy, measure_schedule, RunnerConfig};
+use crp_protocols::ProtocolSpec;
+use crp_sim::{RunnerConfig, Simulation};
 
 fn kl_divergence_bench(c: &mut Criterion) {
     let truth = bench_truth();
+    let n = truth.max_size();
     let truth_condensed = CondensedDistribution::from_sizes(&truth);
     let config = RunnerConfig::with_trials(BENCH_TRIALS).seeded(0x76);
 
     let predictions = vec![
         ("exact".to_string(), truth.clone()),
-        ("mix-0.5".to_string(), noise::towards_uniform(&truth, 0.5).unwrap()),
-        ("mix-0.9".to_string(), noise::towards_uniform(&truth, 0.9).unwrap()),
-        ("shift-2".to_string(), noise::support_shift(&truth, 2).unwrap()),
-        ("shift-3".to_string(), noise::support_shift(&truth, 3).unwrap()),
+        (
+            "mix-0.5".to_string(),
+            noise::towards_uniform(&truth, 0.5).unwrap(),
+        ),
+        (
+            "mix-0.9".to_string(),
+            noise::towards_uniform(&truth, 0.9).unwrap(),
+        ),
+        (
+            "shift-2".to_string(),
+            noise::support_shift(&truth, 2).unwrap(),
+        ),
+        (
+            "shift-3".to_string(),
+            noise::support_shift(&truth, 3).unwrap(),
+        ),
     ];
 
     println!("\n=== Rounds vs prediction divergence ===");
-    println!("{:<10} {:>10} {:>18} {:>12}", "prediction", "D_KL bits", "no-CD E[rounds]", "CD rounds");
+    println!(
+        "{:<10} {:>10} {:>18} {:>12}",
+        "prediction", "D_KL bits", "no-CD E[rounds]", "CD rounds"
+    );
     for (label, prediction) in &predictions {
         let condensed = CondensedDistribution::from_sizes(prediction);
         let divergence = truth_condensed.kl_divergence(&condensed);
-        let sorted = SortedGuess::new(&condensed).cycling();
-        let no_cd = measure_schedule(&sorted, &truth, 64 * truth.max_size(), &config);
-        let coded = CodedSearch::new(&condensed).unwrap();
-        let cd = measure_cd_strategy(&coded, &truth, coded.horizon().max(2), &config);
+        let no_cd = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("sorted-guess-cycling")
+                    .universe(n)
+                    .prediction(condensed.clone()),
+            )
+            .truth(truth.clone())
+            .max_rounds(64 * n)
+            .runner(config)
+            .run()
+            .unwrap();
+        let cd = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("coded-search")
+                    .universe(n)
+                    .prediction(condensed.clone()),
+            )
+            .truth(truth.clone())
+            .runner(config)
+            .run()
+            .unwrap();
         println!(
             "{:<10} {:>10.3} {:>18.2} {:>12.2}",
             label,
@@ -47,10 +80,21 @@ fn kl_divergence_bench(c: &mut Criterion) {
     group.sample_size(10);
     for (label, prediction) in &predictions {
         let condensed = CondensedDistribution::from_sizes(prediction);
-        let sorted = SortedGuess::new(&condensed).cycling();
+        let spec = ProtocolSpec::new("sorted-guess-cycling")
+            .universe(n)
+            .prediction(condensed);
         group.bench_with_input(BenchmarkId::from_parameter(label), prediction, |b, _| {
+            // Construct once; the measured loop times only the Monte-Carlo
+            // execution, as the pre-registry benches did.
             let quick = RunnerConfig::with_trials(64).seeded(0x76).single_threaded();
-            b.iter(|| measure_schedule(&sorted, &truth, 16 * truth.max_size(), &quick));
+            let simulation = Simulation::builder()
+                .protocol(spec.clone())
+                .truth(truth.clone())
+                .max_rounds(16 * n)
+                .runner(quick)
+                .build()
+                .unwrap();
+            b.iter(|| simulation.run().unwrap());
         });
     }
     group.finish();

@@ -1,6 +1,11 @@
 //! Bench F-RF: the lower-bound machinery (RF-Construction, range-finding
 //! trees, target-distance coding) and its Source-Coding-Theorem
 //! inequalities, plus the condense-before-code ablation from DESIGN.md.
+//!
+//! This bench analyses protocol *constructions* (the reductions behind the
+//! lower bounds) rather than running protocols against the channel, so it
+//! instantiates the concrete `SortedGuess` / `Willard` types directly
+//! instead of going through the registry's `dyn Protocol` objects.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crp_bench::bench_library;
@@ -42,7 +47,10 @@ fn range_finding(c: &mut Criterion) {
     // versus the raw size distribution — the condensation step is what keeps
     // the §2.6 schedule short.
     println!("\n--- Ablation: condensed vs raw coding ---");
-    println!("{:<16} {:>22} {:>16}", "scenario", "condensed E[bits]", "raw E[bits]");
+    println!(
+        "{:<16} {:>22} {:>16}",
+        "scenario", "condensed E[bits]", "raw E[bits]"
+    );
     for scenario in library.all() {
         let condensed = scenario.condensed();
         let condensed_code = huffman_code(condensed.probabilities()).unwrap();
@@ -50,7 +58,12 @@ fn range_finding(c: &mut Criterion) {
         let raw = scenario.distribution();
         let raw_code = huffman_code(raw.masses()).unwrap();
         let raw_bits = raw_code.expected_length(raw.masses());
-        println!("{:<16} {:>22.3} {:>16.3}", scenario.name(), condensed_bits, raw_bits);
+        println!(
+            "{:<16} {:>22.3} {:>16.3}",
+            scenario.name(),
+            condensed_bits,
+            raw_bits
+        );
     }
 
     let mut group = c.benchmark_group("range_finding");

@@ -2,27 +2,38 @@
 //!
 //! Measures the §2.6 coded-search protocol with accurate predictions for
 //! every scenario and prints the measured round count next to the `H²`
-//! theory column.
+//! theory column.  Protocols are built by name through the registry; the
+//! one-shot round budget is the protocol's own horizon.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crp_bench::{bench_library, BENCH_TRIALS};
-use crp_protocols::CodedSearch;
-use crp_sim::{measure_cd_strategy, RunnerConfig};
+use crp_protocols::ProtocolSpec;
+use crp_sim::{RunnerConfig, Simulation};
 
 fn table1_cd(c: &mut Criterion) {
     let library = bench_library();
+    let n = library.max_size();
     let config = RunnerConfig::with_trials(BENCH_TRIALS).seeded(0x72);
 
-    println!("\n=== Table 1 / collision detection (n = {}) ===", library.max_size());
-    println!("{:<16} {:>9} {:>8} {:>14} {:>14}", "scenario", "H(c(X))", "H^2", "success rate", "mean rounds");
+    println!("\n=== Table 1 / collision detection (n = {n}) ===");
+    println!(
+        "{:<16} {:>9} {:>8} {:>14} {:>14}",
+        "scenario", "H(c(X))", "H^2", "success rate", "mean rounds"
+    );
 
     let mut group = c.benchmark_group("table1_cd");
     group.sample_size(10);
     for scenario in library.all() {
         let condensed = scenario.condensed();
-        let protocol = CodedSearch::new(&condensed).expect("library scenarios always yield a code");
-        let budget = protocol.horizon().max(2);
-        let stats = measure_cd_strategy(&protocol, scenario.distribution(), budget, &config);
+        let spec = ProtocolSpec::new("coded-search")
+            .universe(n)
+            .prediction(condensed.clone());
+        let stats = Simulation::builder()
+            .protocol(spec.clone())
+            .truth(scenario.distribution().clone())
+            .runner(config)
+            .run()
+            .expect("library scenarios always yield a code");
         println!(
             "{:<16} {:>9.3} {:>8.2} {:>14.3} {:>14.3}",
             scenario.name(),
@@ -36,8 +47,16 @@ fn table1_cd(c: &mut Criterion) {
             BenchmarkId::from_parameter(scenario.name()),
             &scenario,
             |b, scenario| {
+                // Construct once; the measured loop times only the
+                // Monte-Carlo execution, as the pre-registry benches did.
                 let quick = RunnerConfig::with_trials(64).seeded(0x72).single_threaded();
-                b.iter(|| measure_cd_strategy(&protocol, scenario.distribution(), budget, &quick));
+                let simulation = Simulation::builder()
+                    .protocol(spec.clone())
+                    .truth(scenario.distribution().clone())
+                    .runner(quick)
+                    .build()
+                    .unwrap();
+                b.iter(|| simulation.run().unwrap());
             },
         );
     }

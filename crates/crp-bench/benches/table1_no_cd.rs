@@ -3,29 +3,38 @@
 //! For every scenario in the library (spanning condensed entropy 0 up to
 //! `log log n`), measures the §2.5 sorted-guess protocol with an accurate
 //! prediction and prints the measured constant-probability round count next
-//! to the `2^{2H}` theory column.  The criterion measurement itself times
-//! one batch of Monte-Carlo trials per scenario so regressions in the
-//! protocol or the channel executor are caught.
+//! to the `2^{2H}` theory column.  Protocols are built by name through the
+//! registry; the one-shot round budget is the protocol's own horizon.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crp_bench::{bench_library, BENCH_TRIALS};
-use crp_protocols::SortedGuess;
-use crp_sim::{measure_schedule, RunnerConfig};
+use crp_protocols::ProtocolSpec;
+use crp_sim::{RunnerConfig, Simulation};
 
 fn table1_no_cd(c: &mut Criterion) {
     let library = bench_library();
+    let n = library.max_size();
     let config = RunnerConfig::with_trials(BENCH_TRIALS).seeded(0x71);
 
-    println!("\n=== Table 1 / no collision detection (n = {}) ===", library.max_size());
-    println!("{:<16} {:>9} {:>10} {:>14} {:>14}", "scenario", "H(c(X))", "2^2H", "success rate", "mean rounds");
+    println!("\n=== Table 1 / no collision detection (n = {n}) ===");
+    println!(
+        "{:<16} {:>9} {:>10} {:>14} {:>14}",
+        "scenario", "H(c(X))", "2^2H", "success rate", "mean rounds"
+    );
 
     let mut group = c.benchmark_group("table1_no_cd");
     group.sample_size(10);
     for scenario in library.all() {
         let condensed = scenario.condensed();
-        let protocol = SortedGuess::new(&condensed);
-        let budget = protocol.pass_length().max(1);
-        let stats = measure_schedule(&protocol, scenario.distribution(), budget, &config);
+        let spec = ProtocolSpec::new("sorted-guess")
+            .universe(n)
+            .prediction(condensed.clone());
+        let stats = Simulation::builder()
+            .protocol(spec.clone())
+            .truth(scenario.distribution().clone())
+            .runner(config)
+            .run()
+            .expect("library scenarios always yield a protocol");
         println!(
             "{:<16} {:>9.3} {:>10.1} {:>14.3} {:>14.3}",
             scenario.name(),
@@ -39,8 +48,16 @@ fn table1_no_cd(c: &mut Criterion) {
             BenchmarkId::from_parameter(scenario.name()),
             &scenario,
             |b, scenario| {
+                // Construct once; the measured loop times only the
+                // Monte-Carlo execution, as the pre-registry benches did.
                 let quick = RunnerConfig::with_trials(64).seeded(0x71).single_threaded();
-                b.iter(|| measure_schedule(&protocol, scenario.distribution(), budget, &quick));
+                let simulation = Simulation::builder()
+                    .protocol(spec.clone())
+                    .truth(scenario.distribution().clone())
+                    .runner(quick)
+                    .build()
+                    .unwrap();
+                b.iter(|| simulation.run().unwrap());
             },
         );
     }

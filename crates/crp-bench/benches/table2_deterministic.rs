@@ -3,14 +3,12 @@
 //! Sweeps the advice budget `b` and, for an adversarial participant
 //! placement, measures the deterministic scan (no collision detection,
 //! theory `n / 2^b`) and the deterministic tree descent (collision
-//! detection, theory `log n − b`).
+//! detection, theory `log n − b`).  The measurement is the table2
+//! experiment module's own `det_rounds` helper, so bench and experiment
+//! cannot drift apart.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use crp_channel::{execute, ChannelMode, ExecutionConfig, ParticipantId};
-use crp_predict::{AdviceOracle, IdPrefixOracle};
-use crp_protocols::{DeterministicCdAdvice, DeterministicNoCdAdvice};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use crp_sim::experiments::table2::det_rounds;
 
 const UNIVERSE: usize = 1 << 12;
 
@@ -18,51 +16,25 @@ fn active_set() -> Vec<usize> {
     vec![255, 256, 900, 901, 2047, 3000, 4000]
 }
 
-fn scan_rounds(b: usize) -> usize {
-    let active = active_set();
-    let advice = IdPrefixOracle.advise(UNIVERSE, &active, b).unwrap();
-    let mut nodes: Vec<DeterministicNoCdAdvice> = active
-        .iter()
-        .map(|&id| DeterministicNoCdAdvice::new(UNIVERSE, ParticipantId(id), &advice).unwrap())
-        .collect();
-    let budget = nodes[0].worst_case_rounds().max(1);
-    let mut rng = ChaCha8Rng::seed_from_u64(0);
-    execute(
-        &mut nodes,
-        &ExecutionConfig::new(ChannelMode::NoCollisionDetection, budget),
-        &mut rng,
-    )
-    .rounds
-}
-
-fn descent_rounds(b: usize) -> usize {
-    let active = active_set();
-    let advice = IdPrefixOracle.advise(UNIVERSE, &active, b).unwrap();
-    let mut nodes: Vec<DeterministicCdAdvice> = active
-        .iter()
-        .map(|&id| DeterministicCdAdvice::new(UNIVERSE, ParticipantId(id), &advice).unwrap())
-        .collect();
-    let budget = nodes[0].worst_case_rounds().max(1);
-    let mut rng = ChaCha8Rng::seed_from_u64(0);
-    execute(
-        &mut nodes,
-        &ExecutionConfig::new(ChannelMode::CollisionDetection, budget),
-        &mut rng,
-    )
-    .rounds
+fn rounds(name: &str, b: usize) -> f64 {
+    det_rounds(name, UNIVERSE, &active_set(), b)
+        .expect("deterministic advice protocols always resolve within their budget")
 }
 
 fn table2_deterministic(c: &mut Criterion) {
     let log_n = (UNIVERSE as f64).log2();
     println!("\n=== Table 2 / deterministic (n = {UNIVERSE}) ===");
-    println!("{:>2} {:>10} {:>12} {:>12} {:>12}", "b", "n/2^b", "scan rounds", "log n - b", "descent rnds");
+    println!(
+        "{:>2} {:>10} {:>12} {:>12} {:>12}",
+        "b", "n/2^b", "scan rounds", "log n - b", "descent rnds"
+    );
     for b in 0..=(log_n as usize) {
         println!(
             "{b:>2} {:>10.0} {:>12} {:>12.1} {:>12}",
             UNIVERSE as f64 / 2f64.powi(b as i32),
-            scan_rounds(b),
+            rounds("det-advice-no-cd", b),
             (log_n - b as f64).max(1.0),
-            descent_rounds(b)
+            rounds("det-advice-cd", b)
         );
     }
 
@@ -70,10 +42,10 @@ fn table2_deterministic(c: &mut Criterion) {
     group.sample_size(10);
     for b in [0usize, 4, 8, 12] {
         group.bench_with_input(BenchmarkId::new("scan", b), &b, |bencher, &b| {
-            bencher.iter(|| scan_rounds(b));
+            bencher.iter(|| rounds("det-advice-no-cd", b));
         });
         group.bench_with_input(BenchmarkId::new("descent", b), &b, |bencher, &b| {
-            bencher.iter(|| descent_rounds(b));
+            bencher.iter(|| rounds("det-advice-cd", b));
         });
     }
     group.finish();

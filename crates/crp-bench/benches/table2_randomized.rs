@@ -2,33 +2,43 @@
 //!
 //! Sweeps the advice budget `b` and measures the truncated-decay protocol
 //! (no collision detection, theory `log n / 2^b`) and the advised Willard
-//! search (collision detection, theory `log log n − b`).
+//! search (collision detection, theory `log log n − b`), both built by
+//! name through the registry.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use crp_predict::{AdviceOracle, RangeOracle};
-use crp_protocols::{run_cd_strategy, run_schedule, AdvisedDecay, AdvisedWillard};
-use crp_sim::{run_trials, RunnerConfig};
+use crp_protocols::ProtocolSpec;
+use crp_sim::experiments::table2::jitter_truth;
+use crp_sim::{RunnerConfig, Simulation};
 
 const UNIVERSE: usize = 1 << 16;
 const PARTICIPANTS: usize = 900;
 
-fn advice(b: usize) -> crp_predict::Advice {
-    RangeOracle
-        .advise(UNIVERSE, &vec![0; PARTICIPANTS], b)
-        .expect("participant list is non-empty")
-}
-
 fn measure(b: usize, trials: usize) -> (f64, f64) {
     let config = RunnerConfig::with_trials(trials).seeded(0x74);
-    let decay = AdvisedDecay::new(UNIVERSE, &advice(b)).unwrap();
-    let decay_stats = run_trials(&config, |rng| {
-        run_schedule(&decay, PARTICIPANTS, 64 * UNIVERSE, rng).into()
-    });
-    let willard = AdvisedWillard::new(UNIVERSE, &advice(b)).unwrap();
-    let horizon = willard.worst_case_rounds().max(1);
-    let willard_stats = run_trials(&config, |rng| {
-        run_cd_strategy(&willard, PARTICIPANTS, horizon, rng).into()
-    });
+    let truth = jitter_truth(PARTICIPANTS, UNIVERSE).unwrap();
+    let decay_stats = Simulation::builder()
+        .protocol(
+            ProtocolSpec::new("advised-decay")
+                .universe(UNIVERSE)
+                .participants(PARTICIPANTS)
+                .advice_bits(b),
+        )
+        .truth(truth.clone())
+        .max_rounds(64 * UNIVERSE)
+        .runner(config)
+        .run()
+        .unwrap();
+    let willard_stats = Simulation::builder()
+        .protocol(
+            ProtocolSpec::new("advised-willard")
+                .universe(UNIVERSE)
+                .participants(PARTICIPANTS)
+                .advice_bits(b),
+        )
+        .truth(truth)
+        .runner(config)
+        .run()
+        .unwrap();
     (
         decay_stats.mean_rounds_overall(),
         willard_stats.mean_rounds_when_resolved(),

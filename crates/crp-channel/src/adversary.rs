@@ -10,13 +10,12 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::error::ChannelError;
 use crate::participant::{ParticipantId, ParticipantSet};
 
 /// Strategies for choosing the identities of the `k` participants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdversaryStrategy {
     /// Always pick the first `k` ids `{0, …, k−1}`.
     FirstK,
@@ -31,7 +30,7 @@ pub enum AdversaryStrategy {
 }
 
 /// Chooses participant sets of a requested size from a universe of `n` ids.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Adversary {
     universe_size: usize,
     strategy: AdversaryStrategy,
@@ -90,7 +89,9 @@ impl Adversary {
             AdversaryStrategy::Spread => {
                 let stride = self.universe_size as f64 / size as f64;
                 (0..size)
-                    .map(|i| ParticipantId(((i as f64 * stride) as usize).min(self.universe_size - 1)))
+                    .map(|i| {
+                        ParticipantId(((i as f64 * stride) as usize).min(self.universe_size - 1))
+                    })
                     .collect()
             }
         };

@@ -1,14 +1,12 @@
 //! The slotted multiple-access channel.
 
-use serde::{Deserialize, Serialize};
-
 use crate::round::{Feedback, RoundOutcome};
 
 /// Whether the channel provides collision detection.
 ///
 /// The paper analyses both assumptions; every protocol in `crp-protocols`
 /// declares which mode it needs and the executor checks the pairing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChannelMode {
     /// All participants can distinguish collision from silence.
     CollisionDetection,
@@ -39,7 +37,7 @@ impl std::fmt::Display for ChannelMode {
 /// participant, classifies the round, appends it to the channel's outcome
 /// log and returns the [`RoundOutcome`].  Per-participant observations are
 /// derived with [`Channel::feedback_for`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Channel {
     mode: ChannelMode,
     outcomes: Vec<RoundOutcome>,
@@ -100,9 +98,10 @@ impl Channel {
                 Feedback::CollisionDetected
             }
             (RoundOutcome::Silence, ChannelMode::CollisionDetection) => Feedback::SilenceDetected,
-            (RoundOutcome::Collision | RoundOutcome::Silence, ChannelMode::NoCollisionDetection) => {
-                Feedback::NothingHeard
-            }
+            (
+                RoundOutcome::Collision | RoundOutcome::Silence,
+                ChannelMode::NoCollisionDetection,
+            ) => Feedback::NothingHeard,
         }
     }
 
@@ -113,7 +112,10 @@ impl Channel {
 
     /// The 1-based round number of the first success, if any.
     pub fn resolution_round(&self) -> Option<usize> {
-        self.outcomes.iter().position(|o| o.is_success()).map(|i| i + 1)
+        self.outcomes
+            .iter()
+            .position(|o| o.is_success())
+            .map(|i| i + 1)
     }
 
     /// Clears the outcome log, keeping the mode.  Used when the same channel

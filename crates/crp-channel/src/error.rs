@@ -37,7 +37,10 @@ impl fmt::Display for ChannelError {
             ChannelError::EmptyParticipantSet => {
                 write!(f, "participant set must be non-empty")
             }
-            ChannelError::TooManyParticipants { requested, universe } => write!(
+            ChannelError::TooManyParticipants {
+                requested,
+                universe,
+            } => write!(
                 f,
                 "requested {requested} participants from a universe of {universe}"
             ),

@@ -20,6 +20,7 @@ use rand::Rng;
 use rand::RngCore;
 
 use crate::channel::{Channel, ChannelMode};
+use crate::error::ChannelError;
 use crate::history::CollisionHistory;
 use crate::round::{Feedback, RoundOutcome};
 use crate::trace::{RoundRecord, Trace};
@@ -117,15 +118,38 @@ impl Execution {
 ///
 /// # Panics
 ///
-/// Panics if `nodes` is empty or `config.max_rounds == 0`; both indicate a
-/// harness bug rather than a recoverable condition.
+/// Panics if `nodes` is empty or `config.max_rounds == 0`.  Library code
+/// that wants an `Err` instead should call [`try_execute`].
 pub fn execute<P: NodeProtocol, R: Rng>(
     nodes: &mut [P],
     config: &ExecutionConfig,
     rng: &mut R,
 ) -> Execution {
-    assert!(!nodes.is_empty(), "execute requires at least one participant");
-    assert!(config.max_rounds > 0, "execute requires a positive round cap");
+    try_execute(nodes, config, rng).expect("execution configuration is valid")
+}
+
+/// Fallible variant of [`execute`]: returns a typed error instead of
+/// panicking on an empty node list or a zero round cap.
+///
+/// # Errors
+///
+/// Returns [`ChannelError::InvalidConfiguration`] if `nodes` is empty or
+/// `config.max_rounds == 0`.
+pub fn try_execute<P: NodeProtocol, R: Rng>(
+    nodes: &mut [P],
+    config: &ExecutionConfig,
+    rng: &mut R,
+) -> Result<Execution, ChannelError> {
+    if nodes.is_empty() {
+        return Err(ChannelError::InvalidConfiguration {
+            what: "execution requires at least one participant".into(),
+        });
+    }
+    if config.max_rounds == 0 {
+        return Err(ChannelError::InvalidConfiguration {
+            what: "execution requires a positive round cap".into(),
+        });
+    }
 
     let mut channel = Channel::new(config.mode);
     let mut trace = Trace::new();
@@ -144,29 +168,29 @@ pub fn execute<P: NodeProtocol, R: Rng>(
             });
         }
         if outcome.is_success() {
-            return Execution {
+            return Ok(Execution {
                 resolved: true,
                 rounds: round,
                 trace,
-            };
+            });
         }
         for (node, &decision) in nodes.iter_mut().zip(decisions.iter()) {
             let feedback = channel.feedback_for(outcome, decision);
             node.observe(round, feedback);
         }
         if nodes.iter().all(|n| n.finished()) {
-            return Execution {
+            return Ok(Execution {
                 resolved: false,
                 rounds: round,
                 trace,
-            };
+            });
         }
     }
-    Execution {
+    Ok(Execution {
         resolved: false,
         rounds: config.max_rounds,
         trace,
-    }
+    })
 }
 
 /// Drives a *uniform* protocol: all `k` participants transmit with the same
@@ -185,9 +209,14 @@ pub fn execute<P: NodeProtocol, R: Rng>(
 ///
 /// Panics if `k == 0`, `config.max_rounds == 0`, or a returned probability
 /// is outside `[0, 1]`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use try_execute_uniform_schedule (or the crp-sim Simulation builder), which returns \
+            a typed error instead of panicking"
+)]
 pub fn execute_uniform_schedule<F, R>(
     k: usize,
-    mut probability_for_round: F,
+    probability_for_round: F,
     config: &ExecutionConfig,
     rng: &mut R,
 ) -> Execution
@@ -195,24 +224,55 @@ where
     F: FnMut(usize, &CollisionHistory) -> Option<f64>,
     R: Rng + ?Sized,
 {
-    assert!(k > 0, "uniform execution requires at least one participant");
-    assert!(config.max_rounds > 0, "execution requires a positive round cap");
+    try_execute_uniform_schedule(k, probability_for_round, config, rng)
+        .expect("execution configuration is valid")
+}
+
+/// Fallible variant of the uniform executor: returns a typed error instead
+/// of panicking on invalid configurations.
+///
+/// # Errors
+///
+/// Returns [`ChannelError::InvalidConfiguration`] if `k == 0`,
+/// `config.max_rounds == 0`, or the protocol produces a probability
+/// outside `[0, 1]`.
+pub fn try_execute_uniform_schedule<F, R>(
+    k: usize,
+    mut probability_for_round: F,
+    config: &ExecutionConfig,
+    rng: &mut R,
+) -> Result<Execution, ChannelError>
+where
+    F: FnMut(usize, &CollisionHistory) -> Option<f64>,
+    R: Rng + ?Sized,
+{
+    if k == 0 {
+        return Err(ChannelError::InvalidConfiguration {
+            what: "uniform execution requires at least one participant".into(),
+        });
+    }
+    if config.max_rounds == 0 {
+        return Err(ChannelError::InvalidConfiguration {
+            what: "execution requires a positive round cap".into(),
+        });
+    }
 
     let mut history = CollisionHistory::new();
     let mut trace = Trace::new();
 
     for round in 1..=config.max_rounds {
         let Some(p) = probability_for_round(round, &history) else {
-            return Execution {
+            return Ok(Execution {
                 resolved: false,
                 rounds: round - 1,
                 trace,
-            };
+            });
         };
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "transmission probability {p} outside [0, 1] in round {round}"
-        );
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ChannelError::InvalidConfiguration {
+                what: format!("transmission probability {p} outside [0, 1] in round {round}"),
+            });
+        }
         let outcome = sample_uniform_outcome(k, p, rng);
         if config.record_trace {
             // Transmitter counts other than 0/1 are not reconstructed when
@@ -229,21 +289,21 @@ where
             });
         }
         if outcome.is_success() {
-            return Execution {
+            return Ok(Execution {
                 resolved: true,
                 rounds: round,
                 trace,
-            };
+            });
         }
         if config.mode.has_collision_detection() {
             history.push(outcome == RoundOutcome::Collision);
         }
     }
-    Execution {
+    Ok(Execution {
         resolved: false,
         rounds: config.max_rounds,
         trace,
-    }
+    })
 }
 
 /// Samples the outcome category of a round in which `k` participants each
@@ -332,8 +392,14 @@ mod tests {
     #[test]
     fn distinct_transmit_rounds_resolve_at_the_earliest() {
         let mut nodes = vec![
-            TransmitOnce { round: 3, done: false },
-            TransmitOnce { round: 5, done: false },
+            TransmitOnce {
+                round: 3,
+                done: false,
+            },
+            TransmitOnce {
+                round: 5,
+                done: false,
+            },
         ];
         let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, 10).with_trace();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
@@ -346,8 +412,14 @@ mod tests {
     #[test]
     fn execution_stops_when_all_nodes_finish() {
         let mut nodes = vec![
-            TransmitOnce { round: 2, done: false },
-            TransmitOnce { round: 2, done: false },
+            TransmitOnce {
+                round: 2,
+                done: false,
+            },
+            TransmitOnce {
+                round: 2,
+                done: false,
+            },
         ];
         let config = ExecutionConfig::new(ChannelMode::CollisionDetection, 100);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
@@ -366,8 +438,12 @@ mod tests {
         let trials = 200;
         for _ in 0..trials {
             let result =
-                execute_uniform_schedule(k, |_, _| Some(1.0 / k as f64), &config, &mut rng);
-            assert!(result.resolved, "1/k schedule should always resolve quickly");
+                try_execute_uniform_schedule(k, |_, _| Some(1.0 / k as f64), &config, &mut rng)
+                    .unwrap();
+            assert!(
+                result.resolved,
+                "1/k schedule should always resolve quickly"
+            );
             total_rounds += result.rounds;
         }
         let mean = total_rounds as f64 / trials as f64;
@@ -380,12 +456,13 @@ mod tests {
     fn uniform_schedule_exhaustion_ends_execution() {
         let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, 100);
         let mut rng = ChaCha8Rng::seed_from_u64(6);
-        let result = execute_uniform_schedule(
+        let result = try_execute_uniform_schedule(
             8,
             |round, _| if round <= 3 { Some(0.0) } else { None },
             &config,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert!(!result.resolved);
         assert_eq!(result.rounds, 3);
     }
@@ -395,7 +472,7 @@ mod tests {
         let config = ExecutionConfig::new(ChannelMode::CollisionDetection, 10);
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let mut observed_lengths = Vec::new();
-        let _ = execute_uniform_schedule(
+        let _ = try_execute_uniform_schedule(
             4,
             |round, history| {
                 observed_lengths.push(history.len());
@@ -405,7 +482,8 @@ mod tests {
             },
             &config,
             &mut rng,
-        );
+        )
+        .unwrap();
         // History grows by one collision bit every round.
         assert_eq!(observed_lengths, (0..10).collect::<Vec<_>>());
     }
@@ -414,7 +492,7 @@ mod tests {
     fn uniform_schedule_hides_history_without_detection() {
         let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, 5);
         let mut rng = ChaCha8Rng::seed_from_u64(8);
-        let _ = execute_uniform_schedule(
+        let _ = try_execute_uniform_schedule(
             4,
             |_, history| {
                 assert!(history.is_empty(), "no-CD schedules must not see history");
@@ -422,18 +500,25 @@ mod tests {
             },
             &config,
             &mut rng,
-        );
+        )
+        .unwrap();
     }
 
     #[test]
     fn sample_uniform_outcome_edge_probabilities() {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        assert_eq!(sample_uniform_outcome(5, 0.0, &mut rng), RoundOutcome::Silence);
+        assert_eq!(
+            sample_uniform_outcome(5, 0.0, &mut rng),
+            RoundOutcome::Silence
+        );
         assert_eq!(
             sample_uniform_outcome(5, 1.0, &mut rng),
             RoundOutcome::Collision
         );
-        assert_eq!(sample_uniform_outcome(1, 1.0, &mut rng), RoundOutcome::Success);
+        assert_eq!(
+            sample_uniform_outcome(1, 1.0, &mut rng),
+            RoundOutcome::Success
+        );
     }
 
     #[test]
@@ -457,17 +542,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one participant")]
-    fn execute_rejects_empty_node_list() {
+    fn try_execute_rejects_empty_node_list() {
         let mut nodes: Vec<FixedProbability> = vec![];
         let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, 5);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let _ = execute(&mut nodes, &config, &mut rng);
+        let err = try_execute(&mut nodes, &config, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("at least one participant"));
     }
 
     #[test]
+    fn try_execute_rejects_zero_round_cap() {
+        let mut nodes = vec![FixedProbability { p: 0.5 }];
+        let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(try_execute(&mut nodes, &config, &mut rng).is_err());
+    }
+
+    #[test]
+    fn try_uniform_schedule_rejects_bad_probability() {
+        let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, 5);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let err = try_execute_uniform_schedule(2, |_, _| Some(1.5), &config, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("outside [0, 1]"));
+    }
+
+    #[test]
+    fn try_uniform_schedule_rejects_zero_participants_and_rounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, 5);
+        assert!(try_execute_uniform_schedule(0, |_, _| Some(0.5), &config, &mut rng).is_err());
+        let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, 0);
+        assert!(try_execute_uniform_schedule(2, |_, _| Some(0.5), &config, &mut rng).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "outside [0, 1]")]
-    fn uniform_schedule_rejects_bad_probability() {
+    fn deprecated_uniform_shim_still_panics() {
         let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, 5);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let _ = execute_uniform_schedule(2, |_, _| Some(1.5), &config, &mut rng);

@@ -6,13 +6,11 @@
 //! bit string `b₁b₂…b_r` with `b_i = 1` when round `i` was a collision.
 //! [`CollisionHistory`] is that bit string.
 
-use serde::{Deserialize, Serialize};
-
 use crate::round::Feedback;
 
 /// The collision/silence history observed by all participants under
 /// collision detection, as a bit string (`true` = collision).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct CollisionHistory {
     bits: Vec<bool>,
 }
@@ -82,7 +80,10 @@ impl CollisionHistory {
 
     /// Renders the history as a `0`/`1` string (oldest round first).
     pub fn to_bit_string(&self) -> String {
-        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+        self.bits
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
     }
 
     /// True if `self` is a (non-strict) prefix of `other`.

@@ -51,7 +51,11 @@ mod trace;
 pub use adversary::{Adversary, AdversaryStrategy};
 pub use channel::{Channel, ChannelMode};
 pub use error::ChannelError;
-pub use execution::{execute, execute_uniform_schedule, Execution, ExecutionConfig, NodeProtocol};
+#[allow(deprecated)]
+pub use execution::execute_uniform_schedule;
+pub use execution::{
+    execute, try_execute, try_execute_uniform_schedule, Execution, ExecutionConfig, NodeProtocol,
+};
 pub use history::CollisionHistory;
 pub use participant::{ParticipantId, ParticipantSet};
 pub use round::{Feedback, RoundOutcome};

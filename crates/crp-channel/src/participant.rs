@@ -1,14 +1,10 @@
 //! Participants and participant sets.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ChannelError;
 
 /// Identifier of a potential participant, i.e. an element of the universe
 /// `V = {0, 1, …, n − 1}`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ParticipantId(pub usize);
 
 impl ParticipantId {
@@ -34,7 +30,7 @@ impl std::fmt::Display for ParticipantId {
 ///
 /// Stored as a sorted, de-duplicated list of ids so that iteration order is
 /// deterministic and membership checks are `O(log |P|)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParticipantSet {
     universe_size: usize,
     members: Vec<ParticipantId>,

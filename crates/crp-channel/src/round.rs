@@ -1,10 +1,8 @@
 //! Per-round channel outcomes and the feedback observed by participants.
 
-use serde::{Deserialize, Serialize};
-
 /// The ground-truth result of a single synchronous round on the shared
 /// channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RoundOutcome {
     /// No participant transmitted.
     Silence,
@@ -53,7 +51,7 @@ impl std::fmt::Display for RoundOutcome {
 ///   round succeeded.  A node that transmitted alone knows it succeeded; the
 ///   paper's model announces success to everyone (the problem is defined to
 ///   end at that round), which we model as [`Feedback::Resolved`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Feedback {
     /// The round resolved contention (a single transmitter was heard).
     Resolved,
@@ -93,9 +91,18 @@ mod tests {
 
     #[test]
     fn outcome_from_count_matches_model() {
-        assert_eq!(RoundOutcome::from_transmitter_count(0), RoundOutcome::Silence);
-        assert_eq!(RoundOutcome::from_transmitter_count(1), RoundOutcome::Success);
-        assert_eq!(RoundOutcome::from_transmitter_count(2), RoundOutcome::Collision);
+        assert_eq!(
+            RoundOutcome::from_transmitter_count(0),
+            RoundOutcome::Silence
+        );
+        assert_eq!(
+            RoundOutcome::from_transmitter_count(1),
+            RoundOutcome::Success
+        );
+        assert_eq!(
+            RoundOutcome::from_transmitter_count(2),
+            RoundOutcome::Collision
+        );
         assert_eq!(
             RoundOutcome::from_transmitter_count(100),
             RoundOutcome::Collision

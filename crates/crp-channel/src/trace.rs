@@ -5,12 +5,10 @@
 //! that a protocol's transmission probabilities followed its schedule, or
 //! debug why a run took unusually long).
 
-use serde::{Deserialize, Serialize};
-
 use crate::round::RoundOutcome;
 
 /// Everything recorded about one round of an execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundRecord {
     /// 1-based round number.
     pub round: usize,
@@ -21,7 +19,7 @@ pub struct RoundRecord {
 }
 
 /// A full execution trace: the per-round records plus the final verdict.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trace {
     records: Vec<RoundRecord>,
 }

@@ -1,16 +1,20 @@
-//! Property-based tests for the channel simulator.
+//! Property-style tests for the channel simulator, driven by deterministic
+//! seeded sweeps (the environment has no `proptest`, so cases are
+//! enumerated explicitly).
 
 use crp_channel::{
-    execute_uniform_schedule, Channel, ChannelMode, CollisionHistory, ExecutionConfig, Feedback,
-    ParticipantSet, RoundOutcome,
+    try_execute_uniform_schedule, Channel, ChannelMode, CollisionHistory, ExecutionConfig,
+    Feedback, ParticipantSet, RoundOutcome,
 };
-use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-proptest! {
-    #[test]
-    fn round_outcome_depends_only_on_transmitter_count(decisions in prop::collection::vec(any::<bool>(), 0..64)) {
+#[test]
+fn round_outcome_depends_only_on_transmitter_count() {
+    let mut rng = ChaCha8Rng::seed_from_u64(101);
+    for case in 0..200 {
+        let len = case % 64;
+        let decisions: Vec<bool> = (0..len).map(|_| rng.gen_bool(0.5)).collect();
         let mut channel = Channel::new(ChannelMode::CollisionDetection);
         let outcome = channel.resolve_round(&decisions);
         let count = decisions.iter().filter(|&&d| d).count();
@@ -19,11 +23,13 @@ proptest! {
             1 => RoundOutcome::Success,
             _ => RoundOutcome::Collision,
         };
-        prop_assert_eq!(outcome, expected);
+        assert_eq!(outcome, expected);
     }
+}
 
-    #[test]
-    fn feedback_is_consistent_with_mode(count in 0usize..20) {
+#[test]
+fn feedback_is_consistent_with_mode() {
+    for count in 0usize..20 {
         let outcome = RoundOutcome::from_transmitter_count(count);
         let cd = Channel::new(ChannelMode::CollisionDetection);
         let nocd = Channel::new(ChannelMode::NoCollisionDetection);
@@ -31,66 +37,76 @@ proptest! {
         let fb_nocd = nocd.feedback_for(outcome, false);
         match count {
             1 => {
-                prop_assert_eq!(fb_cd, Feedback::Resolved);
-                prop_assert_eq!(fb_nocd, Feedback::Resolved);
+                assert_eq!(fb_cd, Feedback::Resolved);
+                assert_eq!(fb_nocd, Feedback::Resolved);
             }
             0 => {
-                prop_assert_eq!(fb_cd, Feedback::SilenceDetected);
-                prop_assert_eq!(fb_nocd, Feedback::NothingHeard);
+                assert_eq!(fb_cd, Feedback::SilenceDetected);
+                assert_eq!(fb_nocd, Feedback::NothingHeard);
             }
             _ => {
-                prop_assert_eq!(fb_cd, Feedback::CollisionDetected);
-                prop_assert_eq!(fb_nocd, Feedback::NothingHeard);
+                assert_eq!(fb_cd, Feedback::CollisionDetected);
+                assert_eq!(fb_nocd, Feedback::NothingHeard);
             }
         }
     }
+}
 
-    #[test]
-    fn participant_set_len_is_bounded_by_universe(universe in 1usize..256, size in 1usize..256) {
-        let result = ParticipantSet::first_k(universe, size);
-        if size <= universe {
-            let set = result.unwrap();
-            prop_assert_eq!(set.len(), size);
-            prop_assert!(set.members().iter().all(|m| m.index() < universe));
-        } else {
-            prop_assert!(result.is_err());
+#[test]
+fn participant_set_len_is_bounded_by_universe() {
+    for universe in [1usize, 2, 7, 64, 255] {
+        for size in [1usize, 2, 7, 64, 255] {
+            let result = ParticipantSet::first_k(universe, size);
+            if size <= universe {
+                let set = result.unwrap();
+                assert_eq!(set.len(), size);
+                assert!(set.members().iter().all(|m| m.index() < universe));
+            } else {
+                assert!(result.is_err());
+            }
         }
     }
+}
 
-    #[test]
-    fn uniform_execution_never_exceeds_round_cap(
-        k in 1usize..256,
-        cap in 1usize..64,
-        prob in 0.0f64..=1.0,
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn uniform_execution_never_exceeds_round_cap() {
+    let mut rng = ChaCha8Rng::seed_from_u64(202);
+    for case in 0..300u64 {
+        let k = 1 + (case as usize * 7) % 255;
+        let cap = 1 + (case as usize * 13) % 63;
+        let prob = (case as f64 / 300.0).clamp(0.0, 1.0);
         let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, cap);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let result = execute_uniform_schedule(k, |_, _| Some(prob), &config, &mut rng);
-        prop_assert!(result.rounds <= cap);
+        let result = try_execute_uniform_schedule(k, |_, _| Some(prob), &config, &mut rng).unwrap();
+        assert!(result.rounds <= cap);
         if result.resolved {
-            prop_assert!(result.rounds >= 1);
+            assert!(result.rounds >= 1);
         }
     }
+}
 
-    #[test]
-    fn single_participant_with_positive_probability_eventually_succeeds(
-        prob in 0.2f64..=1.0,
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn single_participant_with_positive_probability_eventually_succeeds() {
+    for seed in 0u64..50 {
+        let prob = 0.2 + 0.8 * (seed as f64 / 50.0);
         // With one participant, any transmission is a success.
         let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, 2_000);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let result = execute_uniform_schedule(1, |_, _| Some(prob), &config, &mut rng);
-        prop_assert!(result.resolved);
+        let result = try_execute_uniform_schedule(1, |_, _| Some(prob), &config, &mut rng).unwrap();
+        assert!(result.resolved);
     }
+}
 
-    #[test]
-    fn collision_history_prefix_property(bits in prop::collection::vec(any::<bool>(), 0..32), extra in any::<bool>()) {
+#[test]
+fn collision_history_prefix_property() {
+    let mut rng = ChaCha8Rng::seed_from_u64(303);
+    for case in 0..100 {
+        let len = case % 32;
+        let bits: Vec<bool> = (0..len).map(|_| rng.gen_bool(0.5)).collect();
+        let extra = rng.gen_bool(0.5);
         let history = CollisionHistory::from_bits(bits.clone());
         let child = history.child(extra);
-        prop_assert!(history.is_prefix_of(&child));
-        prop_assert_eq!(child.len(), history.len() + 1);
-        prop_assert_eq!(child.to_bit_string().len(), child.len());
+        assert!(history.is_prefix_of(&child));
+        assert_eq!(child.len(), history.len() + 1);
+        assert_eq!(child.to_bit_string().len(), child.len());
     }
 }

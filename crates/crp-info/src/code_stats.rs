@@ -185,7 +185,11 @@ mod tests {
             stats.expected,
             h + d + 1.0
         );
-        assert!(stats.expected + 1e-9 >= h, "E[S]={} < H={h}", stats.expected);
+        assert!(
+            stats.expected + 1e-9 >= h,
+            "E[S]={} < H={h}",
+            stats.expected
+        );
     }
 
     #[test]

@@ -7,12 +7,10 @@
 //! representation: a mapping from symbol index (a range in `L(n)`) to a
 //! binary codeword.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::InfoError;
 
 /// A single binary codeword, stored as an explicit bit vector.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Codeword {
     bits: Vec<bool>,
 }
@@ -62,7 +60,10 @@ impl Codeword {
 
     /// Renders the codeword as a `0`/`1` string.
     pub fn to_bit_string(&self) -> String {
-        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+        self.bits
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
     }
 }
 
@@ -76,7 +77,7 @@ impl std::fmt::Display for Codeword {
 ///
 /// In this repository the symbols are the geometric ranges of a condensed
 /// distribution (symbol `i` is range `i + 1`), but the type is agnostic.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PrefixCode {
     codewords: Vec<Codeword>,
 }

@@ -8,8 +8,6 @@
 //! entropy of this condensed variable `c(X)` and the KL divergence between
 //! condensed truth and condensed prediction.
 
-use serde::{Deserialize, Serialize};
-
 use crate::distribution::SizeDistribution;
 use crate::error::InfoError;
 use crate::math::log2_ceil;
@@ -56,7 +54,7 @@ pub fn range_interval(index: usize) -> (usize, usize) {
 /// Constructed from a [`SizeDistribution`] (or directly from range masses)
 /// and queried by the prediction-augmented protocols and by the experiment
 /// harness.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CondensedDistribution {
     /// `masses[i]` is `Pr(c(X) = i + 1)`, i.e. the mass of range `i + 1`.
     masses: Vec<f64>,
@@ -298,8 +296,10 @@ mod tests {
 
     #[test]
     fn kl_between_condensed_distributions() {
-        let truth = CondensedDistribution::from_sizes(&SizeDistribution::geometric(256, 0.2).unwrap());
-        let pred = CondensedDistribution::from_sizes(&SizeDistribution::uniform_ranges(256).unwrap());
+        let truth =
+            CondensedDistribution::from_sizes(&SizeDistribution::geometric(256, 0.2).unwrap());
+        let pred =
+            CondensedDistribution::from_sizes(&SizeDistribution::uniform_ranges(256).unwrap());
         assert!(truth.kl_divergence(&pred) > 0.0);
         assert_eq!(truth.kl_divergence(&truth), 0.0);
     }

@@ -1,31 +1,37 @@
-//! Property-based tests for the information-theory substrate.
+//! Property-style tests for the information-theory substrate, driven by
+//! deterministic seeded sweeps (the environment has no `proptest`, so cases
+//! are generated from a seeded RNG instead of shrunk strategies).
 
 use crp_info::{
-    entropy, huffman_code, kl_divergence, range_index_for_size, range_interval,
-    shannon_fano_code, total_variation, CondensedDistribution, SizeDistribution,
+    entropy, huffman_code, kl_divergence, range_index_for_size, range_interval, shannon_fano_code,
+    total_variation, CondensedDistribution, SizeDistribution,
 };
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-/// Strategy: a vector of positive weights usable as an unnormalised
-/// distribution over sizes `1..=len`.
-fn weight_vector(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.01f64..10.0, 2..max_len)
+/// A vector of positive weights usable as an unnormalised distribution over
+/// sizes `1..=len`, with `len` in `[2, max_len)`.
+fn weight_vector(rng: &mut ChaCha8Rng, max_len: usize) -> Vec<f64> {
+    let len = rng.gen_range(2..max_len);
+    (0..len).map(|_| rng.gen_range(0.01f64..10.0)).collect()
 }
 
-proptest! {
-    #[test]
-    fn entropy_is_nonnegative_and_bounded_by_log_support(weights in weight_vector(64)) {
-        let dist = SizeDistribution::from_weights(weights).unwrap();
+#[test]
+fn entropy_is_nonnegative_and_bounded_by_log_support() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    for _ in 0..100 {
+        let dist = SizeDistribution::from_weights(weight_vector(&mut rng, 64)).unwrap();
         let h = dist.entropy();
-        prop_assert!(h >= -1e-12);
-        prop_assert!(h <= (dist.max_size() as f64).log2() + 1e-9);
+        assert!(h >= -1e-12);
+        assert!(h <= (dist.max_size() as f64).log2() + 1e-9);
     }
+}
 
-    #[test]
-    fn kl_divergence_is_nonnegative(
-        p_weights in weight_vector(32),
-        q_seed in 1u64..1000,
-    ) {
+#[test]
+fn kl_divergence_is_nonnegative() {
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    for q_seed in 1u64..100 {
+        let p_weights = weight_vector(&mut rng, 32);
         let p = SizeDistribution::from_weights(p_weights.clone()).unwrap();
         // Build q on the same support by rotating the weights deterministically.
         let rotation = (q_seed as usize) % p_weights.len();
@@ -33,14 +39,16 @@ proptest! {
         q_weights.rotate_left(rotation);
         let q = SizeDistribution::from_weights(q_weights).unwrap();
         let d = kl_divergence(p.masses(), q.masses());
-        prop_assert!(d >= -1e-12, "KL divergence {d} negative");
+        assert!(d >= -1e-12, "KL divergence {d} negative");
     }
+}
 
-    #[test]
-    fn total_variation_is_within_unit_interval(
-        p_weights in weight_vector(32),
-        q_weights in weight_vector(32),
-    ) {
+#[test]
+fn total_variation_is_within_unit_interval() {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    for _ in 0..100 {
+        let p_weights = weight_vector(&mut rng, 32);
+        let q_weights = weight_vector(&mut rng, 32);
         // Pad to a common support length.
         let len = p_weights.len().max(q_weights.len());
         let pad = |mut v: Vec<f64>| {
@@ -50,71 +58,95 @@ proptest! {
         let p = SizeDistribution::from_weights(pad(p_weights)).unwrap();
         let q = SizeDistribution::from_weights(pad(q_weights)).unwrap();
         let tv = total_variation(p.masses(), q.masses());
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&tv));
+        assert!((0.0..=1.0 + 1e-9).contains(&tv));
     }
+}
 
-    #[test]
-    fn condensing_conserves_mass_and_never_raises_entropy(weights in weight_vector(256)) {
-        let dist = SizeDistribution::from_weights(weights).unwrap();
+#[test]
+fn condensing_conserves_mass_and_never_raises_entropy() {
+    let mut rng = ChaCha8Rng::seed_from_u64(14);
+    for _ in 0..100 {
+        let dist = SizeDistribution::from_weights(weight_vector(&mut rng, 256)).unwrap();
         let condensed = CondensedDistribution::from_sizes(&dist);
         let total: f64 = condensed.probabilities().iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-6);
-        prop_assert!(condensed.entropy() <= dist.entropy() + 1e-9);
-        prop_assert!(condensed.entropy() <= condensed.max_entropy() + 1e-9);
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!(condensed.entropy() <= dist.entropy() + 1e-9);
+        assert!(condensed.entropy() <= condensed.max_entropy() + 1e-9);
     }
+}
 
-    #[test]
-    fn range_index_is_consistent_with_interval(size in 2usize..100_000) {
+#[test]
+fn range_index_is_consistent_with_interval() {
+    let mut rng = ChaCha8Rng::seed_from_u64(15);
+    for _ in 0..500 {
+        let size = rng.gen_range(2usize..100_000);
         let index = range_index_for_size(size);
         let (lo, hi) = range_interval(index);
-        prop_assert!(size >= lo && size <= hi, "size {size} not in range {index} = [{lo}, {hi}]");
+        assert!(
+            size >= lo && size <= hi,
+            "size {size} not in range {index} = [{lo}, {hi}]"
+        );
     }
+}
 
-    #[test]
-    fn huffman_satisfies_source_coding_sandwich(weights in weight_vector(24)) {
+#[test]
+fn huffman_satisfies_source_coding_sandwich() {
+    let mut rng = ChaCha8Rng::seed_from_u64(16);
+    for _ in 0..100 {
+        let weights = weight_vector(&mut rng, 24);
         let total: f64 = weights.iter().sum();
         let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
         let code = huffman_code(&probs).unwrap();
         let h = entropy(&probs);
         let e = code.expected_length(&probs);
-        prop_assert!(e + 1e-9 >= h, "E[len]={e} < H={h}");
-        prop_assert!(e <= h + 1.0 + 1e-9, "E[len]={e} > H+1");
-        prop_assert!(code.kraft_sum() <= 1.0 + 1e-9);
+        assert!(e + 1e-9 >= h, "E[len]={e} < H={h}");
+        assert!(e <= h + 1.0 + 1e-9, "E[len]={e} > H+1");
+        assert!(code.kraft_sum() <= 1.0 + 1e-9);
     }
+}
 
-    #[test]
-    fn shannon_fano_never_beats_huffman_and_respects_kraft(weights in weight_vector(20)) {
+#[test]
+fn shannon_fano_never_beats_huffman_and_respects_kraft() {
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    for _ in 0..100 {
+        let weights = weight_vector(&mut rng, 20);
         let total: f64 = weights.iter().sum();
         let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
         let sf = shannon_fano_code(&probs).unwrap();
         let hf = huffman_code(&probs).unwrap();
-        prop_assert!(sf.expected_length(&probs) + 1e-9 >= hf.expected_length(&probs));
-        prop_assert!(sf.kraft_sum() <= 1.0 + 1e-9);
+        assert!(sf.expected_length(&probs) + 1e-9 >= hf.expected_length(&probs));
+        assert!(sf.kraft_sum() <= 1.0 + 1e-9);
     }
+}
 
-    #[test]
-    fn huffman_codeword_count_matches_alphabet(weights in weight_vector(24)) {
+#[test]
+fn huffman_codeword_count_matches_alphabet() {
+    let mut rng = ChaCha8Rng::seed_from_u64(18);
+    for _ in 0..100 {
+        let weights = weight_vector(&mut rng, 24);
         let total: f64 = weights.iter().sum();
         let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
         let code = huffman_code(&probs).unwrap();
-        prop_assert_eq!(code.num_symbols(), probs.len());
+        assert_eq!(code.num_symbols(), probs.len());
         // Every symbol decodes back to itself.
         for s in 0..probs.len() {
-            prop_assert_eq!(code.decode_exact(code.codeword(s)), Some(s));
+            assert_eq!(code.decode_exact(code.codeword(s)), Some(s));
         }
     }
+}
 
-    #[test]
-    fn mixing_moves_entropy_monotonically_toward_uniform(
-        size_exp in 3u32..9,
-        lambda in 0.0f64..1.0,
-    ) {
+#[test]
+fn mixing_moves_entropy_monotonically_toward_uniform() {
+    let mut rng = ChaCha8Rng::seed_from_u64(19);
+    for _ in 0..100 {
+        let size_exp = rng.gen_range(3u32..9);
+        let lambda = rng.gen_range(0.0f64..1.0);
         let n = 1usize << size_exp;
         let point = SizeDistribution::point_mass(n, 2).unwrap();
         let uniform = SizeDistribution::uniform_sizes(n).unwrap();
         let mixed = point.mix(&uniform, lambda).unwrap();
-        prop_assert!(mixed.entropy() <= uniform.entropy() + 1e-9);
+        assert!(mixed.entropy() <= uniform.entropy() + 1e-9);
         // Mixture entropy is at least the entropy contributed by the uniform part.
-        prop_assert!(mixed.entropy() + 1e-9 >= (1.0 - lambda) * uniform.entropy() - 1.0);
+        assert!(mixed.entropy() + 1e-9 >= (1.0 - lambda) * uniform.entropy() - 1.0);
     }
 }

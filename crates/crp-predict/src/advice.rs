@@ -20,13 +20,12 @@
 //!   guesses down to `⌈log n⌉ / 2^b`.
 
 use crp_info::{log2_ceil, range_index_for_size};
-use serde::{Deserialize, Serialize};
 
 use crate::error::PredictError;
 
 /// A bounded-length advice string (the `b` bits handed to every
 /// participant).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Advice {
     bits: Vec<bool>,
 }
@@ -76,7 +75,10 @@ impl Advice {
 
     /// Renders the advice as a `0`/`1` string.
     pub fn to_bit_string(&self) -> String {
-        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+        self.bits
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
     }
 }
 
@@ -118,7 +120,7 @@ pub trait AdviceOracle {
 /// problem is solvable in one round; with fewer bits it halves the
 /// candidate set per bit, which is the paper's matching upper bound for
 /// Theorems 3.4 and 3.5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IdPrefixOracle;
 
 impl IdPrefixOracle {
@@ -182,7 +184,7 @@ impl AdviceOracle for IdPrefixOracle {
 ///
 /// This prunes the set of `⌈log n⌉` geometric size guesses by a factor of
 /// `2^b`, matching the randomized upper bounds of Theorems 3.6 and 3.7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RangeOracle;
 
 impl RangeOracle {
@@ -266,7 +268,9 @@ mod tests {
     fn id_prefix_full_budget_identifies_the_participant() {
         let oracle = IdPrefixOracle;
         let n = 256;
-        let advice = oracle.advise(n, &[137, 200], IdPrefixOracle::id_bits(n)).unwrap();
+        let advice = oracle
+            .advise(n, &[137, 200], IdPrefixOracle::id_bits(n))
+            .unwrap();
         let (lo, hi) = IdPrefixOracle::candidate_interval(n, &advice);
         assert_eq!((lo, hi), (137, 138));
     }
@@ -279,7 +283,10 @@ mod tests {
         for b in 0..=10 {
             let advice = oracle.advise(n, &[target], b).unwrap();
             let (lo, hi) = IdPrefixOracle::candidate_interval(n, &advice);
-            assert!(lo <= target && target < hi, "b={b}: {target} not in [{lo},{hi})");
+            assert!(
+                lo <= target && target < hi,
+                "b={b}: {target} not in [{lo},{hi})"
+            );
             assert_eq!(hi - lo, n >> b, "b={b}: wrong candidate count");
         }
     }

@@ -13,12 +13,11 @@
 
 use crp_info::{range_index_for_size, CondensedDistribution, SizeDistribution};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::error::PredictError;
 
 /// A histogram-over-ranges predictor with Laplace smoothing.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LearnedPredictor {
     max_size: usize,
     /// Per-range observation counts (index `i` is range `i + 1`).

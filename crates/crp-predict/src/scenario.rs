@@ -5,12 +5,11 @@
 //! same workloads consistently.
 
 use crp_info::{CondensedDistribution, SizeDistribution};
-use serde::{Deserialize, Serialize};
 
 use crate::error::PredictError;
 
 /// A named ground-truth network-size process.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     name: String,
     distribution: SizeDistribution,
@@ -82,8 +81,7 @@ impl ScenarioLibrary {
         let size = (self.max_size / 16).max(2);
         Scenario::new(
             "point-mass",
-            SizeDistribution::point_mass(self.max_size, size)
-                .expect("library sizes are validated"),
+            SizeDistribution::point_mass(self.max_size, size).expect("library sizes are validated"),
         )
     }
 

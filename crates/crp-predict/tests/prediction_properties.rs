@@ -1,20 +1,19 @@
-//! Property-based tests over the prediction substrate.
+//! Property-style tests over the prediction substrate, driven by
+//! deterministic seeded sweeps (the environment has no `proptest`).
 
 use crp_info::{CondensedDistribution, SizeDistribution};
 use crp_predict::{noise, LearnedPredictor, ScenarioLibrary};
-use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-proptest! {
-    #[test]
-    fn noise_models_always_produce_valid_distributions(
-        exp in 4u32..13,
-        lambda in 0.0f64..=1.0,
-        fraction in 0.0f64..=1.0,
-        gamma in 1.0f64..4.0,
-        seed in 0u64..500,
-    ) {
+#[test]
+fn noise_models_always_produce_valid_distributions() {
+    let mut outer = ChaCha8Rng::seed_from_u64(21);
+    for seed in 0u64..40 {
+        let exp = outer.gen_range(4u32..13);
+        let lambda = outer.gen_range(0.0f64..=1.0);
+        let fraction = outer.gen_range(0.0f64..=1.0);
+        let gamma = outer.gen_range(1.0f64..4.0);
         let n = 1usize << exp;
         let truth = SizeDistribution::geometric(n, 0.2).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -24,93 +23,99 @@ proptest! {
             noise::constant_factor_noise(&truth, gamma, &mut rng).unwrap(),
         ] {
             let total: f64 = prediction.masses().iter().sum();
-            prop_assert!((total - 1.0).abs() < 1e-6);
-            prop_assert_eq!(prediction.max_size(), n);
+            assert!((total - 1.0).abs() < 1e-6);
+            assert_eq!(prediction.max_size(), n);
         }
     }
+}
 
-    #[test]
-    fn constant_factor_noise_keeps_divergence_bounded_by_log_gamma(
-        exp in 5u32..13,
-        gamma in 1.0f64..3.0,
-        seed in 0u64..200,
-    ) {
+#[test]
+fn constant_factor_noise_keeps_divergence_bounded_by_log_gamma() {
+    let mut outer = ChaCha8Rng::seed_from_u64(22);
+    for seed in 0u64..40 {
+        let exp = outer.gen_range(5u32..13);
+        let gamma = outer.gen_range(1.0f64..3.0);
         let n = 1usize << exp;
         let truth = SizeDistribution::bimodal(n, (n / 16).max(2), (n / 2).max(2), 0.8).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let prediction = noise::constant_factor_noise(&truth, gamma, &mut rng).unwrap();
         let d = noise::condensed_divergence(&truth, &prediction);
-        prop_assert!(d.is_finite());
+        assert!(d.is_finite());
         // Each per-size factor is within [1/gamma, gamma]; after
         // renormalisation the per-range ratio stays within gamma^2, so the
         // divergence is at most 2 log2(gamma).
-        prop_assert!(d <= 2.0 * gamma.log2() + 1e-6, "d = {d}, gamma = {gamma}");
+        assert!(d <= 2.0 * gamma.log2() + 1e-6, "d = {d}, gamma = {gamma}");
     }
+}
 
-    #[test]
-    fn towards_uniform_divergence_is_monotone_in_lambda(
-        exp in 5u32..12,
-        low in 0.0f64..0.5,
-        delta in 0.0f64..0.5,
-    ) {
+#[test]
+fn towards_uniform_divergence_is_monotone_in_lambda() {
+    let mut outer = ChaCha8Rng::seed_from_u64(23);
+    for _ in 0..40 {
+        let exp = outer.gen_range(5u32..12);
+        let low = outer.gen_range(0.0f64..0.5);
+        let delta = outer.gen_range(0.0f64..0.5);
         let n = 1usize << exp;
         let truth = SizeDistribution::zipf(n, 1.3).unwrap();
         let mild = noise::towards_uniform(&truth, low).unwrap();
         let strong = noise::towards_uniform(&truth, low + delta).unwrap();
         let d_mild = noise::condensed_divergence(&truth, &mild);
         let d_strong = noise::condensed_divergence(&truth, &strong);
-        prop_assert!(d_mild <= d_strong + 1e-9);
+        assert!(d_mild <= d_strong + 1e-9);
     }
+}
 
-    #[test]
-    fn learned_predictor_observations_equal_training_samples(
-        exp in 4u32..12,
-        samples in 0usize..400,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn learned_predictor_observations_equal_training_samples() {
+    let mut outer = ChaCha8Rng::seed_from_u64(24);
+    for seed in 0u64..30 {
+        let exp = outer.gen_range(4u32..12);
+        let samples = outer.gen_range(0usize..400);
         let n = 1usize << exp;
         let truth = SizeDistribution::uniform_sizes(n).unwrap();
         let mut model = LearnedPredictor::new(n, 1.0).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         model.train(&truth, samples, &mut rng);
-        prop_assert_eq!(model.observations(), samples as u64);
+        assert_eq!(model.observations(), samples as u64);
         let condensed = model.predicted_condensed();
         let total: f64 = condensed.probabilities().iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        prop_assert!(model.divergence_from(&truth).is_finite());
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(model.divergence_from(&truth).is_finite());
     }
+}
 
-    #[test]
-    fn scenario_library_scales_with_universe_size(exp in 3u32..16) {
+#[test]
+fn scenario_library_scales_with_universe_size() {
+    for exp in 3u32..16 {
         let n = 1usize << exp;
         let library = ScenarioLibrary::new(n).unwrap();
         for scenario in library.all() {
-            prop_assert_eq!(scenario.distribution().max_size(), n);
+            assert_eq!(scenario.distribution().max_size(), n);
             let condensed = scenario.condensed();
-            prop_assert!(condensed.entropy() <= condensed.max_entropy() + 1e-9);
-            prop_assert!(scenario.condensed_entropy() >= -1e-12);
+            assert!(condensed.entropy() <= condensed.max_entropy() + 1e-9);
+            assert!(scenario.condensed_entropy() >= -1e-12);
         }
     }
+}
 
-    #[test]
-    fn support_shift_round_trips_within_one_range(
-        exp in 6u32..13,
-        shift in 1i32..3,
-    ) {
-        // Shifting up then down returns the mass to within one geometric
-        // range of where it started (rounding can move it by one).
-        let n = 1usize << exp;
-        let original_size = (n / 8).max(2);
-        let truth = SizeDistribution::point_mass(n, original_size).unwrap();
-        let up = noise::support_shift(&truth, shift).unwrap();
-        let back = noise::support_shift(&up, -shift).unwrap();
-        let original_range = CondensedDistribution::from_sizes(&truth)
-            .support()[0];
-        let recovered_range = CondensedDistribution::from_sizes(&back)
-            .support()
-            .first()
-            .copied()
-            .unwrap();
-        prop_assert!(original_range.abs_diff(recovered_range) <= 1);
+#[test]
+fn support_shift_round_trips_within_one_range() {
+    for exp in 6u32..13 {
+        for shift in 1i32..3 {
+            // Shifting up then down returns the mass to within one geometric
+            // range of where it started (rounding can move it by one).
+            let n = 1usize << exp;
+            let original_size = (n / 8).max(2);
+            let truth = SizeDistribution::point_mass(n, original_size).unwrap();
+            let up = noise::support_shift(&truth, shift).unwrap();
+            let back = noise::support_shift(&up, -shift).unwrap();
+            let original_range = CondensedDistribution::from_sizes(&truth).support()[0];
+            let recovered_range = CondensedDistribution::from_sizes(&back)
+                .support()
+                .first()
+                .copied()
+                .unwrap();
+            assert!(original_range.abs_diff(recovered_range) <= 1);
+        }
     }
 }

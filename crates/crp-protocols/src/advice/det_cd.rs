@@ -141,7 +141,9 @@ mod tests {
         active: &[usize],
         budget_bits: usize,
     ) -> Vec<DeterministicCdAdvice> {
-        let advice = IdPrefixOracle.advise(universe, active, budget_bits).unwrap();
+        let advice = IdPrefixOracle
+            .advise(universe, active, budget_bits)
+            .unwrap();
         active
             .iter()
             .map(|&id| DeterministicCdAdvice::new(universe, ParticipantId(id), &advice).unwrap())
@@ -163,7 +165,11 @@ mod tests {
             let mut rng = ChaCha8Rng::seed_from_u64(0);
             let exec = execute(&mut nodes, &config, &mut rng);
             assert!(exec.resolved, "budget {budget} failed");
-            assert!(exec.rounds <= worst, "budget {budget}: {} > {worst}", exec.rounds);
+            assert!(
+                exec.rounds <= worst,
+                "budget {budget}: {} > {worst}",
+                exec.rounds
+            );
         }
     }
 
@@ -190,7 +196,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let exec = execute(&mut nodes, &config, &mut rng);
         assert!(exec.resolved);
-        assert!(exec.trace.collisions() > 0, "expected at least one collision");
+        assert!(
+            exec.trace.collisions() > 0,
+            "expected at least one collision"
+        );
     }
 
     #[test]

@@ -48,9 +48,7 @@ impl DeterministicNoCdAdvice {
     ) -> Result<Self, ProtocolError> {
         if id.index() >= universe_size {
             return Err(ProtocolError::InvalidParameter {
-                what: format!(
-                    "participant {id} outside universe of size {universe_size}"
-                ),
+                what: format!("participant {id} outside universe of size {universe_size}"),
             });
         }
         let (interval_start, interval_end) =
@@ -93,11 +91,7 @@ impl NodeProtocol for DeterministicNoCdAdvice {
     }
 
     fn finished(&self) -> bool {
-        self.resolved
-            || match self.own_round() {
-                Some(_) => false,
-                None => true,
-            }
+        self.resolved || self.own_round().is_none()
     }
 }
 
@@ -115,12 +109,12 @@ mod tests {
         active: &[usize],
         budget_bits: usize,
     ) -> Vec<DeterministicNoCdAdvice> {
-        let advice = IdPrefixOracle.advise(universe, active, budget_bits).unwrap();
+        let advice = IdPrefixOracle
+            .advise(universe, active, budget_bits)
+            .unwrap();
         active
             .iter()
-            .map(|&id| {
-                DeterministicNoCdAdvice::new(universe, ParticipantId(id), &advice).unwrap()
-            })
+            .map(|&id| DeterministicNoCdAdvice::new(universe, ParticipantId(id), &advice).unwrap())
             .collect()
     }
 
@@ -172,8 +166,7 @@ mod tests {
         let universe = 128;
         let active = vec![40, 41];
         let mut nodes = build_nodes(universe, &active, 3);
-        let config =
-            ExecutionConfig::new(ChannelMode::NoCollisionDetection, 32).with_trace();
+        let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, 32).with_trace();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let exec = execute(&mut nodes, &config, &mut rng);
         assert!(exec.resolved);

@@ -154,7 +154,11 @@ mod tests {
         let family = scheme.induced_family();
         // One set per advice string, each a singleton; the family is the
         // singleton family and is (n, n)-strongly selective.
-        assert!(family.len() >= n, "Theorem 3.2: |F| >= n, got {}", family.len());
+        assert!(
+            family.len() >= n,
+            "Theorem 3.2: |F| >= n, got {}",
+            family.len()
+        );
         assert!(is_strongly_selective(&family, n, n));
     }
 

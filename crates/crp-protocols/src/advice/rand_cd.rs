@@ -65,7 +65,7 @@ impl CdStrategy for AdvisedWillard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::run_cd_strategy;
+    use crate::traits::try_run_cd_strategy;
     use crp_predict::AdviceOracle;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -101,11 +101,18 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let trials = 300;
         let resolved = (0..trials)
-            .filter(|_| run_cd_strategy(&protocol, k, 1, &mut rng).resolved)
+            .filter(|_| {
+                try_run_cd_strategy(&protocol, k, 1, &mut rng)
+                    .unwrap()
+                    .resolved
+            })
             .count();
         // Single round with probability 2^-⌈log k⌉ succeeds with constant
         // probability (Lemma 2.13 gives >= 1/8; empirically ~0.35).
-        assert!(resolved as f64 / trials as f64 > 0.15, "resolved {resolved}/{trials}");
+        assert!(
+            resolved as f64 / trials as f64 > 0.15,
+            "resolved {resolved}/{trials}"
+        );
     }
 
     #[test]
@@ -118,7 +125,11 @@ mod tests {
             let horizon = protocol.worst_case_rounds();
             let trials = 300;
             let resolved = (0..trials)
-                .filter(|_| run_cd_strategy(&protocol, k, horizon, &mut rng).resolved)
+                .filter(|_| {
+                    try_run_cd_strategy(&protocol, k, horizon, &mut rng)
+                        .unwrap()
+                        .resolved
+                })
                 .count();
             assert!(
                 resolved as f64 / trials as f64 > 0.2,

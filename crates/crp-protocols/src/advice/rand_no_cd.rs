@@ -74,7 +74,7 @@ impl NoCdSchedule for AdvisedDecay {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::run_schedule;
+    use crate::traits::try_run_schedule;
     use crp_predict::AdviceOracle;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -91,7 +91,10 @@ mod tests {
         let mut widths = Vec::new();
         for budget in 0..=4 {
             let schedule = AdvisedDecay::new(n, &advice_for(n, k, budget)).unwrap();
-            assert!(schedule.covers_size(k), "budget {budget} lost the true range");
+            assert!(
+                schedule.covers_size(k),
+                "budget {budget} lost the true range"
+            );
             widths.push(schedule.sweep_length());
         }
         assert_eq!(widths[0], 16);
@@ -110,7 +113,7 @@ mod tests {
         let mean_for = |budget: usize, rng: &mut ChaCha8Rng| {
             let schedule = AdvisedDecay::new(n, &advice_for(n, k, budget)).unwrap();
             let total: usize = (0..trials)
-                .map(|_| run_schedule(&schedule, k, 50_000, rng).rounds)
+                .map(|_| try_run_schedule(&schedule, k, 50_000, rng).unwrap().rounds)
                 .sum();
             total as f64 / trials as f64
         };
@@ -122,7 +125,10 @@ mod tests {
         );
         // With the exact range pinned the schedule is a constant-probability
         // protocol: a handful of rounds in expectation.
-        assert!(full_advice < 6.0, "full-advice mean {full_advice} too large");
+        assert!(
+            full_advice < 6.0,
+            "full-advice mean {full_advice} too large"
+        );
     }
 
     #[test]
@@ -144,7 +150,7 @@ mod tests {
         for k in [2usize, 60, 500, 3000] {
             let schedule = AdvisedDecay::new(n, &advice_for(n, k, 2)).unwrap();
             assert!(schedule.covers_size(k));
-            let exec = run_schedule(&schedule, k, 20_000, &mut rng);
+            let exec = try_run_schedule(&schedule, k, 20_000, &mut rng).unwrap();
             assert!(exec.resolved, "k={k} did not resolve");
         }
     }

@@ -255,7 +255,7 @@ impl CdStrategy for WillardSearch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{run_cd_strategy, run_schedule};
+    use crate::traits::{try_run_cd_strategy, try_run_schedule};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -281,7 +281,7 @@ mod tests {
         let decay = Decay::new(4096).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         for k in [2usize, 10, 100, 1000, 4000] {
-            let exec = run_schedule(&decay, k, 10_000, &mut rng);
+            let exec = try_run_schedule(&decay, k, 10_000, &mut rng).unwrap();
             assert!(exec.resolved, "decay failed to resolve with k={k}");
         }
     }
@@ -293,7 +293,7 @@ mod tests {
         let mean_rounds = |n: usize, k: usize, rng: &mut ChaCha8Rng| {
             let decay = Decay::new(n).unwrap();
             let total: usize = (0..trials)
-                .map(|_| run_schedule(&decay, k, 100_000, rng).rounds)
+                .map(|_| try_run_schedule(&decay, k, 100_000, rng).unwrap().rounds)
                 .sum();
             total as f64 / trials as f64
         };
@@ -315,17 +315,27 @@ mod tests {
         assert_eq!(protocol.estimate(), k);
         let trials = 400;
         let total: usize = (0..trials)
-            .map(|_| run_schedule(&protocol, k, 10_000, &mut rng).rounds)
+            .map(|_| {
+                try_run_schedule(&protocol, k, 10_000, &mut rng)
+                    .unwrap()
+                    .rounds
+            })
             .sum();
         let mean = total as f64 / trials as f64;
         // Success probability per round is ~1/e, so the mean is ~e.
-        assert!(mean < 5.0, "mean rounds {mean} too large for a correct estimate");
+        assert!(
+            mean < 5.0,
+            "mean rounds {mean} too large for a correct estimate"
+        );
     }
 
     #[test]
     fn fixed_probability_rejects_zero_estimate() {
         assert!(FixedProbability::new(0).is_err());
-        assert_eq!(FixedProbability::new(8).unwrap().name(), "fixed-probability");
+        assert_eq!(
+            FixedProbability::new(8).unwrap().name(),
+            "fixed-probability"
+        );
     }
 
     #[test]
@@ -339,7 +349,10 @@ mod tests {
         // Then silence at median 12: true range below 12.
         assert_eq!(search.state_after(&[true, false]), Some((9, 11)));
         // Exhausting the interval returns None.
-        assert_eq!(search.state_after(&[false, false, false, false, false]), None);
+        assert_eq!(
+            search.state_after(&[false, false, false, false, false]),
+            None
+        );
     }
 
     #[test]
@@ -351,7 +364,7 @@ mod tests {
         let trials = 300;
         let mut total_rounds = 0;
         for _ in 0..trials {
-            let exec = run_cd_strategy(&willard, 3000, 200, &mut rng);
+            let exec = try_run_cd_strategy(&willard, 3000, 200, &mut rng).unwrap();
             if exec.resolved {
                 resolved += 1;
                 total_rounds += exec.rounds;

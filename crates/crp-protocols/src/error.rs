@@ -19,6 +19,21 @@ pub enum ProtocolError {
     Info(InfoError),
     /// The advice substrate failed to produce usable advice.
     Predict(PredictError),
+    /// A protocol name was not found in the registry.
+    UnknownProtocol {
+        /// The unrecognised name.
+        name: String,
+        /// Comma-separated list of the names the registry does know.
+        known: String,
+    },
+    /// A registry constructor was invoked without a parameter the protocol
+    /// needs.
+    MissingParameter {
+        /// The protocol being constructed.
+        protocol: String,
+        /// Which parameter is missing.
+        what: String,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -27,6 +42,15 @@ impl fmt::Display for ProtocolError {
             ProtocolError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
             ProtocolError::Info(err) => write!(f, "information-theory error: {err}"),
             ProtocolError::Predict(err) => write!(f, "prediction error: {err}"),
+            ProtocolError::UnknownProtocol { name, known } => {
+                write!(
+                    f,
+                    "unknown protocol {name:?}; registered protocols: {known}"
+                )
+            }
+            ProtocolError::MissingParameter { protocol, what } => {
+                write!(f, "protocol {protocol:?} requires {what}")
+            }
         }
     }
 }
@@ -36,7 +60,9 @@ impl Error for ProtocolError {
         match self {
             ProtocolError::Info(err) => Some(err),
             ProtocolError::Predict(err) => Some(err),
-            ProtocolError::InvalidParameter { .. } => None,
+            ProtocolError::InvalidParameter { .. }
+            | ProtocolError::UnknownProtocol { .. }
+            | ProtocolError::MissingParameter { .. } => None,
         }
     }
 }
@@ -68,9 +94,7 @@ mod tests {
         let e = ProtocolError::from(InfoError::EmptySupport);
         assert!(e.source().is_some());
 
-        let e = ProtocolError::from(PredictError::InvalidParameter {
-            what: "x".into(),
-        });
+        let e = ProtocolError::from(PredictError::InvalidParameter { what: "x".into() });
         assert!(e.to_string().contains("prediction"));
     }
 }

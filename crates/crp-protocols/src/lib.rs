@@ -25,21 +25,35 @@
 //! * **Strongly selective families** (paper §3.2): constructions and the
 //!   verification predicate used by the non-interactive lower bound.
 //!
+//! # The unified `Protocol` API
+//!
+//! Every algorithm above is reachable through one object-safe trait,
+//! [`Protocol`], and one catalogue, [`ProtocolRegistry`]: a protocol is
+//! constructed from a *name plus parameters* ([`ProtocolSpec`]) and then
+//! driven uniformly, regardless of whether it is a fixed schedule, a
+//! collision-history strategy, or a per-node advice algorithm.  The legacy
+//! traits ([`NoCdSchedule`], [`CdStrategy`]) remain as the implementation
+//! surface and slot into the unified API through the [`ScheduleProtocol`]
+//! and [`StrategyProtocol`] adapters.
+//!
 //! # Example
 //!
 //! ```
-//! use crp_info::SizeDistribution;
-//! use crp_protocols::{run_schedule, SortedGuess};
+//! use crp_info::{CondensedDistribution, SizeDistribution};
+//! use crp_protocols::{try_run_protocol, ProtocolSpec};
 //! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let n = 1024;
 //! // The learned prediction says the network is usually ~32 devices.
 //! let prediction = SizeDistribution::bimodal(n, 32, 512, 0.9)?;
-//! let protocol = SortedGuess::from_sizes(&prediction);
+//! let protocol = ProtocolSpec::new("sorted-guess-cycling")
+//!     .universe(n)
+//!     .prediction(CondensedDistribution::from_sizes(&prediction))
+//!     .build()?;
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
 //! // The true network happens to have 30 active devices.
-//! let outcome = run_schedule(&protocol, 30, 4 * n, &mut rng);
+//! let outcome = try_run_protocol(protocol.as_ref(), 30, 4 * n, &mut rng)?;
 //! assert!(outcome.resolved);
 //! # Ok(())
 //! # }
@@ -52,7 +66,9 @@ pub mod advice;
 mod baselines;
 mod error;
 pub mod predicted;
+mod protocol;
 pub mod rangefinding;
+mod registry;
 mod selective_family;
 mod traits;
 
@@ -62,8 +78,17 @@ pub use advice::{
 };
 pub use baselines::{Decay, FixedProbability, Willard};
 pub use error::ProtocolError;
-pub use predicted::{CodedSearch, SortedGuess};
+pub use predicted::{CodeChoice, CodedSearch, SortedGuess};
+pub use protocol::{
+    required_channel_mode, try_run_protocol, try_run_protocol_with, Behavior, NodeFactory,
+    Protocol, ScheduleProtocol, StrategyProtocol, UniformPolicy,
+};
+pub use registry::{
+    DeterministicAdviceProtocol, ProtocolEntry, ProtocolParams, ProtocolRegistry, ProtocolSpec,
+};
 pub use selective_family::{
     binary_representation_family, is_strongly_selective, singleton_family, SelectiveFamily,
 };
-pub use traits::{run_cd_strategy, run_schedule, CdStrategy, NoCdSchedule, ProtocolKind};
+#[allow(deprecated)]
+pub use traits::{run_cd_strategy, run_schedule};
+pub use traits::{try_run_cd_strategy, try_run_schedule, CdStrategy, NoCdSchedule, ProtocolKind};

@@ -14,8 +14,10 @@
 //! function of the collision history, implemented by replaying the history
 //! through the phase/search state machine on every probability query.
 
-use crp_info::{huffman_code, shannon_fano_code, CondensedDistribution, PrefixCode, SizeDistribution};
 use crp_channel::CollisionHistory;
+use crp_info::{
+    huffman_code, shannon_fano_code, CondensedDistribution, PrefixCode, SizeDistribution,
+};
 
 use crate::baselines::WillardSearch;
 use crate::error::ProtocolError;
@@ -186,7 +188,7 @@ impl CdStrategy for CodedSearch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::run_cd_strategy;
+    use crate::traits::try_run_cd_strategy;
     use crp_info::range_index_for_size;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -236,7 +238,8 @@ mod tests {
         let mut resolved = 0;
         let mut total_rounds = 0;
         for _ in 0..trials {
-            let exec = run_cd_strategy(&protocol, k, protocol.horizon().max(4), &mut rng);
+            let exec =
+                try_run_cd_strategy(&protocol, k, protocol.horizon().max(4), &mut rng).unwrap();
             if exec.resolved {
                 resolved += 1;
                 total_rounds += exec.rounds;
@@ -248,7 +251,10 @@ mod tests {
         );
         let mean = total_rounds as f64 / resolved as f64;
         // A point prediction means one phase of one range: ~1-2 rounds.
-        assert!(mean < 4.0, "mean rounds {mean} too large for a point prediction");
+        assert!(
+            mean < 4.0,
+            "mean rounds {mean} too large for a point prediction"
+        );
     }
 
     #[test]
@@ -264,7 +270,7 @@ mod tests {
             let mut rounds = 0usize;
             let mut count = 0usize;
             for _ in 0..trials {
-                let exec = run_cd_strategy(p, k, p.horizon().max(4), rng);
+                let exec = try_run_cd_strategy(p, k, p.horizon().max(4), rng).unwrap();
                 if exec.resolved {
                     rounds += exec.rounds;
                     count += 1;
@@ -288,7 +294,8 @@ mod tests {
         let protocol = CodedSearch::with_code_choice(&condensed, CodeChoice::ShannonFano).unwrap();
         assert_eq!(protocol.name(), "coded-search-shannon-fano");
         let mut rng = ChaCha8Rng::seed_from_u64(10);
-        let exec = run_cd_strategy(&protocol, 4, 10 * protocol.horizon().max(4), &mut rng);
+        let exec =
+            try_run_cd_strategy(&protocol, 4, 10 * protocol.horizon().max(4), &mut rng).unwrap();
         // 4 participants fall in range 2; the protocol covers every range,
         // so across a generous budget it should usually resolve.
         let _ = exec; // statistical behaviour covered by other tests

@@ -3,5 +3,5 @@
 mod coded_search;
 mod sorted_guess;
 
-pub use coded_search::CodedSearch;
+pub use coded_search::{CodeChoice, CodedSearch};
 pub use sorted_guess::SortedGuess;

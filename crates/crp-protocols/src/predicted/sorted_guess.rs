@@ -67,7 +67,10 @@ impl SortedGuess {
     /// The 1-based position at which range `range` is visited within a
     /// pass, if it is ever visited.
     pub fn position_of_range(&self, range: usize) -> Option<usize> {
-        self.visit_order.iter().position(|&r| r == range).map(|i| i + 1)
+        self.visit_order
+            .iter()
+            .position(|&r| r == range)
+            .map(|i| i + 1)
     }
 }
 
@@ -101,7 +104,7 @@ impl NoCdSchedule for SortedGuess {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::run_schedule;
+    use crate::traits::try_run_schedule;
     use crp_info::range_index_for_size;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -156,7 +159,7 @@ mod tests {
         let trials = 500;
         let mut resolved_in_first_round = 0;
         for _ in 0..trials {
-            let exec = run_schedule(&protocol, k, protocol.pass_length(), &mut rng);
+            let exec = try_run_schedule(&protocol, k, protocol.pass_length(), &mut rng).unwrap();
             if exec.resolved && exec.rounds == 1 {
                 resolved_in_first_round += 1;
             }
@@ -181,7 +184,7 @@ mod tests {
         let mean = |p: &SortedGuess, rng: &mut ChaCha8Rng| {
             let total: usize = (0..trials)
                 .map(|_| {
-                    let exec = run_schedule(&p.clone().cycling(), k, 10_000, rng);
+                    let exec = try_run_schedule(&p.clone().cycling(), k, 10_000, rng).unwrap();
                     exec.rounds
                 })
                 .sum();
@@ -202,7 +205,7 @@ mod tests {
         let protocol = SortedGuess::from_sizes(&prediction).cycling();
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         for k in [2usize, 57, 513, 4000] {
-            let exec = run_schedule(&protocol, k, 50_000, &mut rng);
+            let exec = try_run_schedule(&protocol, k, 50_000, &mut rng).unwrap();
             assert!(exec.resolved, "cycling sorted-guess failed for k={k}");
         }
     }

@@ -45,8 +45,7 @@ pub fn target_distance_expected_length(
         if p <= 0.0 {
             continue;
         }
-        let bits =
-            target_distance_code_length(sequence, range, tolerance).unwrap_or(penalty_bits);
+        let bits = target_distance_code_length(sequence, range, tolerance).unwrap_or(penalty_bits);
         expectation += p * bits as f64;
     }
     expectation

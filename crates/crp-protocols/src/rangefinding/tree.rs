@@ -73,12 +73,11 @@ impl RangeFindingTree {
         let mut next_range = 1usize;
         let mut d = graft_depth;
         while next_range <= num_ranges && d < levels.len() {
-            let width = levels[d].len();
-            for node in 0..width {
+            for label in levels[d].iter_mut() {
                 if next_range > num_ranges {
                     break;
                 }
-                levels[d][node] = Some(next_range);
+                *label = Some(next_range);
                 next_range += 1;
             }
             d += 1;
@@ -193,9 +192,8 @@ mod tests {
         let willard = Willard::new(n).unwrap();
         let tree = RangeFindingTree::from_strategy(&willard, n, 5);
         // A point mass on the root's probe range has expected depth 1.
-        let easy = CondensedDistribution::from_sizes(
-            &SizeDistribution::point_mass(n, 1 << 5).unwrap(),
-        );
+        let easy =
+            CondensedDistribution::from_sizes(&SizeDistribution::point_mass(n, 1 << 5).unwrap());
         let expected = tree.expected_depth(&easy, 0, 100);
         assert!(expected <= 2.0, "expected depth {expected} too large");
     }

@@ -11,10 +11,8 @@
 //! upper bounds and a brute-force verification predicate used in tests and
 //! in the lower-bound verification experiment.
 
-use serde::{Deserialize, Serialize};
-
 /// A family of subsets of `{0, …, n − 1}`, each stored as a sorted id list.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SelectiveFamily {
     universe_size: usize,
     sets: Vec<Vec<usize>>,
@@ -103,7 +101,10 @@ pub fn binary_representation_family(n: usize) -> SelectiveFamily {
 /// Panics if `n > 24` — the enumeration would be astronomically large and
 /// calling this at such sizes is always a harness bug.
 pub fn is_strongly_selective(family: &SelectiveFamily, n: usize, k: usize) -> bool {
-    assert!(n <= 24, "brute-force selectivity check is limited to n <= 24");
+    assert!(
+        n <= 24,
+        "brute-force selectivity check is limited to n <= 24"
+    );
     assert_eq!(
         family.universe_size(),
         n,
@@ -184,7 +185,11 @@ mod tests {
         let n = 12;
         let k = 5; // ceil(sqrt(24)) = 5
         assert!(is_strongly_selective(&singleton_family(n), n, k));
-        assert!(!is_strongly_selective(&binary_representation_family(n), n, k));
+        assert!(!is_strongly_selective(
+            &binary_representation_family(n),
+            n,
+            k
+        ));
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! `crp_channel::NodeProtocol` directly instead.
 
 use crp_channel::{
-    execute_uniform_schedule, ChannelMode, CollisionHistory, Execution, ExecutionConfig,
+    try_execute_uniform_schedule, ChannelMode, CollisionHistory, Execution, ExecutionConfig,
 };
 use rand::Rng;
+
+use crate::error::ProtocolError;
 
 /// Which channel assumption a protocol is designed for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,33 +66,80 @@ pub trait CdStrategy {
 /// Runs a [`NoCdSchedule`] with `k` participants for at most `max_rounds`
 /// rounds on a channel without collision detection.
 ///
+/// # Errors
+///
+/// Returns [`ProtocolError::InvalidParameter`] if `k == 0`,
+/// `max_rounds == 0`, or the schedule emits a probability outside `[0, 1]`.
+pub fn try_run_schedule<S: NoCdSchedule + ?Sized, R: Rng>(
+    schedule: &S,
+    k: usize,
+    max_rounds: usize,
+    rng: &mut R,
+) -> Result<Execution, ProtocolError> {
+    let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, max_rounds);
+    try_execute_uniform_schedule(k, |round, _| schedule.probability(round), &config, rng).map_err(
+        |err| ProtocolError::InvalidParameter {
+            what: err.to_string(),
+        },
+    )
+}
+
+/// Runs a [`CdStrategy`] with `k` participants for at most `max_rounds`
+/// rounds on a channel with collision detection.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::InvalidParameter`] if `k == 0`,
+/// `max_rounds == 0`, or the strategy emits a probability outside `[0, 1]`.
+pub fn try_run_cd_strategy<S: CdStrategy + ?Sized, R: Rng>(
+    strategy: &S,
+    k: usize,
+    max_rounds: usize,
+    rng: &mut R,
+) -> Result<Execution, ProtocolError> {
+    let config = ExecutionConfig::new(ChannelMode::CollisionDetection, max_rounds);
+    try_execute_uniform_schedule(k, |_, history| strategy.probability(history), &config, rng)
+        .map_err(|err| ProtocolError::InvalidParameter {
+            what: err.to_string(),
+        })
+}
+
+/// Deprecated panicking shim around [`try_run_schedule`].
+///
 /// # Panics
 ///
 /// Panics if `k == 0` or `max_rounds == 0`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use try_run_schedule (or the crp-sim Simulation builder), which returns a typed \
+            error instead of panicking"
+)]
 pub fn run_schedule<S: NoCdSchedule + ?Sized, R: Rng>(
     schedule: &S,
     k: usize,
     max_rounds: usize,
     rng: &mut R,
 ) -> Execution {
-    let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, max_rounds);
-    execute_uniform_schedule(k, |round, _| schedule.probability(round), &config, rng)
+    try_run_schedule(schedule, k, max_rounds, rng).expect("schedule configuration is valid")
 }
 
-/// Runs a [`CdStrategy`] with `k` participants for at most `max_rounds`
-/// rounds on a channel with collision detection.
+/// Deprecated panicking shim around [`try_run_cd_strategy`].
 ///
 /// # Panics
 ///
 /// Panics if `k == 0` or `max_rounds == 0`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use try_run_cd_strategy (or the crp-sim Simulation builder), which returns a typed \
+            error instead of panicking"
+)]
 pub fn run_cd_strategy<S: CdStrategy + ?Sized, R: Rng>(
     strategy: &S,
     k: usize,
     max_rounds: usize,
     rng: &mut R,
 ) -> Execution {
-    let config = ExecutionConfig::new(ChannelMode::CollisionDetection, max_rounds);
-    execute_uniform_schedule(k, |_, history| strategy.probability(history), &config, rng)
+    try_run_cd_strategy(strategy, k, max_rounds, rng).expect("strategy configuration is valid")
 }
 
 #[cfg(test)]
@@ -136,7 +185,7 @@ mod tests {
     #[test]
     fn run_schedule_resolves_single_participant() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let exec = run_schedule(&ConstantSchedule(0.8), 1, 100, &mut rng);
+        let exec = try_run_schedule(&ConstantSchedule(0.8), 1, 100, &mut rng).unwrap();
         assert!(exec.resolved);
     }
 
@@ -145,6 +194,25 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         // 8 participants starting at p=1/2: collisions push the probability
         // down until a lone transmitter emerges.
+        let exec = try_run_cd_strategy(&HalvingStrategy, 8, 500, &mut rng).unwrap();
+        assert!(exec.resolved);
+    }
+
+    #[test]
+    fn degenerate_configurations_yield_typed_errors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert!(try_run_schedule(&ConstantSchedule(0.5), 0, 100, &mut rng).is_err());
+        assert!(try_run_schedule(&ConstantSchedule(0.5), 4, 0, &mut rng).is_err());
+        assert!(try_run_cd_strategy(&HalvingStrategy, 0, 100, &mut rng).is_err());
+        assert!(try_run_cd_strategy(&HalvingStrategy, 4, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_run_valid_configurations() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let exec = run_schedule(&ConstantSchedule(0.8), 1, 100, &mut rng);
+        assert!(exec.resolved);
         let exec = run_cd_strategy(&HalvingStrategy, 8, 500, &mut rng);
         assert!(exec.resolved);
     }

@@ -1,4 +1,5 @@
-//! Property-based tests over the protocol layer.
+//! Property-style tests over the protocol layer, driven by deterministic
+//! seeded sweeps (the environment has no `proptest`).
 
 use crp_channel::CollisionHistory;
 use crp_info::{range_index_for_size, CondensedDistribution, SizeDistribution};
@@ -8,131 +9,158 @@ use crp_protocols::{
     AdvisedDecay, AdvisedWillard, CdStrategy, CodedSearch, Decay, NoCdSchedule, SortedGuess,
     Willard,
 };
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-/// Strategy: an arbitrary normalised condensed distribution for a network
-/// of size `2^exp`.
-fn condensed_distribution() -> impl Strategy<Value = CondensedDistribution> {
-    (3u32..12, prop::collection::vec(0.01f64..10.0, 1..12)).prop_map(|(exp, mut weights)| {
-        let n = 1usize << exp;
-        let num_ranges = range_index_for_size(n);
-        weights.resize(num_ranges, 0.05);
-        let total: f64 = weights.iter().sum();
-        let masses: Vec<f64> = weights.iter().map(|w| w / total).collect();
-        CondensedDistribution::from_range_masses(masses, n)
-            .expect("normalised masses over the correct number of ranges")
-    })
+/// An arbitrary normalised condensed distribution for a network of size
+/// `2^exp` with `exp` in `[3, 12)`.
+fn condensed_distribution(rng: &mut ChaCha8Rng) -> CondensedDistribution {
+    let exp = rng.gen_range(3u32..12);
+    let len = rng.gen_range(1usize..12);
+    let mut weights: Vec<f64> = (0..len).map(|_| rng.gen_range(0.01f64..10.0)).collect();
+    let n = 1usize << exp;
+    let num_ranges = range_index_for_size(n);
+    weights.resize(num_ranges, 0.05);
+    let total: f64 = weights.iter().sum();
+    let masses: Vec<f64> = weights.iter().map(|w| w / total).collect();
+    CondensedDistribution::from_range_masses(masses, n)
+        .expect("normalised masses over the correct number of ranges")
 }
 
-proptest! {
-    #[test]
-    fn decay_probabilities_are_always_valid_and_periodic(
-        exp in 1u32..20,
-        round in 1usize..10_000,
-    ) {
+fn random_bits(rng: &mut ChaCha8Rng, max_len: usize) -> Vec<bool> {
+    let len = rng.gen_range(0..max_len);
+    (0..len).map(|_| rng.gen_bool(0.5)).collect()
+}
+
+#[test]
+fn decay_probabilities_are_always_valid_and_periodic() {
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    for _ in 0..200 {
+        let exp = rng.gen_range(1u32..20);
+        let round = rng.gen_range(1usize..10_000);
         let n = 1usize << exp;
         let decay = Decay::new(n.max(2)).unwrap();
         let p = decay.probability(round).unwrap();
-        prop_assert!(p > 0.0 && p <= 0.5);
+        assert!(p > 0.0 && p <= 0.5);
         let period = decay.sweep_length();
-        prop_assert_eq!(decay.probability(round), decay.probability(round + period));
+        assert_eq!(decay.probability(round), decay.probability(round + period));
     }
+}
 
-    #[test]
-    fn sorted_guess_visits_every_range_exactly_once(condensed in condensed_distribution()) {
+#[test]
+fn sorted_guess_visits_every_range_exactly_once() {
+    let mut rng = ChaCha8Rng::seed_from_u64(32);
+    for _ in 0..100 {
+        let condensed = condensed_distribution(&mut rng);
         let protocol = SortedGuess::new(&condensed);
         let mut seen = protocol.visit_order().to_vec();
         seen.sort_unstable();
         let expected: Vec<usize> = (1..=condensed.num_ranges()).collect();
-        prop_assert_eq!(seen, expected);
+        assert_eq!(seen, expected);
         // Every scheduled probability is the power of two of its range.
         for round in 1..=protocol.pass_length() {
             let p = protocol.probability(round).unwrap();
             let range = protocol.visit_order()[round - 1];
-            prop_assert!((p - 2f64.powi(-(range as i32))).abs() < 1e-15);
+            assert!((p - 2f64.powi(-(range as i32))).abs() < 1e-15);
         }
-        prop_assert_eq!(protocol.probability(protocol.pass_length() + 1), None);
+        assert_eq!(protocol.probability(protocol.pass_length() + 1), None);
     }
+}
 
-    #[test]
-    fn sorted_guess_orders_ranges_by_predicted_mass(condensed in condensed_distribution()) {
+#[test]
+fn sorted_guess_orders_ranges_by_predicted_mass() {
+    let mut rng = ChaCha8Rng::seed_from_u64(33);
+    for _ in 0..100 {
+        let condensed = condensed_distribution(&mut rng);
         let protocol = SortedGuess::new(&condensed);
         let order = protocol.visit_order();
         for pair in order.windows(2) {
-            prop_assert!(
+            assert!(
                 condensed.probability_of_range(pair[0]) >= condensed.probability_of_range(pair[1])
             );
         }
     }
+}
 
-    #[test]
-    fn coded_search_covers_every_range_within_its_horizon(condensed in condensed_distribution()) {
+#[test]
+fn coded_search_covers_every_range_within_its_horizon() {
+    let mut rng = ChaCha8Rng::seed_from_u64(34);
+    for _ in 0..100 {
+        let condensed = condensed_distribution(&mut rng);
         let protocol = CodedSearch::new(&condensed).unwrap();
         for range in 1..=condensed.num_ranges() {
             let rounds = protocol.rounds_until_range_phase(range);
-            prop_assert!(rounds.is_some(), "range {range} unreachable");
-            prop_assert!(rounds.unwrap() <= protocol.horizon());
+            assert!(rounds.is_some(), "range {range} unreachable");
+            assert!(rounds.unwrap() <= protocol.horizon());
         }
     }
+}
 
-    #[test]
-    fn coded_search_probabilities_are_valid_along_any_history(
-        condensed in condensed_distribution(),
-        bits in prop::collection::vec(any::<bool>(), 0..24),
-    ) {
+#[test]
+fn coded_search_probabilities_are_valid_along_any_history() {
+    let mut rng = ChaCha8Rng::seed_from_u64(35);
+    for _ in 0..100 {
+        let condensed = condensed_distribution(&mut rng);
+        let bits = random_bits(&mut rng, 24);
         let protocol = CodedSearch::new(&condensed).unwrap();
         let mut history = CollisionHistory::new();
         for &bit in bits.iter().take(protocol.horizon()) {
             match protocol.probability(&history) {
-                Some(p) => prop_assert!((0.0..=1.0).contains(&p)),
+                Some(p) => assert!((0.0..=1.0).contains(&p)),
                 None => break,
             }
             history.push(bit);
         }
     }
+}
 
-    #[test]
-    fn willard_probability_is_a_valid_power_of_two_for_any_history(
-        exp in 2u32..20,
-        bits in prop::collection::vec(any::<bool>(), 0..10),
-    ) {
+#[test]
+fn willard_probability_is_a_valid_power_of_two_for_any_history() {
+    let mut rng = ChaCha8Rng::seed_from_u64(36);
+    for _ in 0..200 {
+        let exp = rng.gen_range(2u32..20);
+        let bits = random_bits(&mut rng, 10);
         let n = 1usize << exp;
         let willard = Willard::new(n).unwrap();
         let history = CollisionHistory::from_bits(bits);
         if let Some(p) = willard.probability(&history) {
-            prop_assert!(p > 0.0 && p <= 0.5 + 1e-12);
+            assert!(p > 0.0 && p <= 0.5 + 1e-12);
             let range = (1.0 / p).log2().round() as usize;
-            prop_assert!(range >= 1 && range <= range_index_for_size(n));
+            assert!(range >= 1 && range <= range_index_for_size(n));
         }
     }
+}
 
-    #[test]
-    fn advice_oracles_never_exceed_their_budget_and_never_lose_the_target(
-        exp in 4u32..16,
-        k in 2usize..2000,
-        budget in 0usize..20,
-    ) {
+#[test]
+fn advice_oracles_never_exceed_their_budget_and_never_lose_the_target() {
+    let mut rng = ChaCha8Rng::seed_from_u64(37);
+    for _ in 0..150 {
+        let exp = rng.gen_range(4u32..16);
+        let k = rng.gen_range(2usize..2000);
+        let budget = rng.gen_range(0usize..20);
         let n = 1usize << exp;
         let k = k.min(n);
         let participants: Vec<usize> = (0..k).collect();
 
         let id_advice = IdPrefixOracle.advise(n, &participants, budget).unwrap();
-        prop_assert!(id_advice.len() <= budget);
+        assert!(id_advice.len() <= budget);
         let (lo, hi) = IdPrefixOracle::candidate_interval(n, &id_advice);
-        prop_assert!(lo <= participants[0] && participants[0] < hi);
+        assert!(lo <= participants[0] && participants[0] < hi);
 
         let range_advice = RangeOracle.advise(n, &participants, budget).unwrap();
-        prop_assert!(range_advice.len() <= budget);
+        assert!(range_advice.len() <= budget);
         let (rlo, rhi) = RangeOracle::candidate_ranges(n, &range_advice);
         let true_range = range_index_for_size(k);
-        prop_assert!(rlo <= true_range && true_range <= rhi);
+        assert!(rlo <= true_range && true_range <= rhi);
     }
+}
 
-    #[test]
-    fn advised_protocols_shrink_monotonically_with_budget(
-        exp in 6u32..16,
-        k in 2usize..2000,
-    ) {
+#[test]
+fn advised_protocols_shrink_monotonically_with_budget() {
+    let mut rng = ChaCha8Rng::seed_from_u64(38);
+    for _ in 0..60 {
+        let exp = rng.gen_range(6u32..16);
+        let k = rng.gen_range(2usize..2000);
         let n = 1usize << exp;
         let k = k.min(n);
         let participants: Vec<usize> = (0..k).collect();
@@ -141,54 +169,60 @@ proptest! {
         for budget in 0..=6usize {
             let advice = RangeOracle.advise(n, &participants, budget).unwrap();
             let decay = AdvisedDecay::new(n, &advice).unwrap();
-            prop_assert!(decay.covers_size(k));
-            prop_assert!(decay.sweep_length() <= last_sweep);
+            assert!(decay.covers_size(k));
+            assert!(decay.sweep_length() <= last_sweep);
             last_sweep = decay.sweep_length();
 
             let willard = AdvisedWillard::new(n, &advice).unwrap();
-            prop_assert!(willard.worst_case_rounds() <= last_search);
+            assert!(willard.worst_case_rounds() <= last_search);
             last_search = willard.worst_case_rounds();
         }
     }
+}
 
-    #[test]
-    fn rf_construction_sequence_solves_every_range_within_two_sweeps(
-        condensed in condensed_distribution(),
-    ) {
+#[test]
+fn rf_construction_sequence_solves_every_range_within_two_sweeps() {
+    let mut rng = ChaCha8Rng::seed_from_u64(39);
+    for _ in 0..60 {
         // The cycling sorted-guess schedule contains every range within one
         // pass, so the interleaved RF sequence solves every target exactly
         // (tolerance 0) within 2 passes.
+        let condensed = condensed_distribution(&mut rng);
         let n = condensed.max_size();
         let protocol = SortedGuess::new(&condensed).cycling();
         let sequence = rf_construction(&protocol, n, 2 * condensed.num_ranges());
         for range in 1..=condensed.num_ranges() {
             let step = sequence.solves_at(range, 0);
-            prop_assert!(step.is_some(), "range {range} unsolved");
-            prop_assert!(step.unwrap() <= 4 * condensed.num_ranges());
+            assert!(step.is_some(), "range {range} unsolved");
+            assert!(step.unwrap() <= 4 * condensed.num_ranges());
         }
     }
+}
 
-    #[test]
-    fn empty_advice_reduces_to_the_classical_protocols(exp in 4u32..16) {
+#[test]
+fn empty_advice_reduces_to_the_classical_protocols() {
+    for exp in 4u32..16 {
         let n = 1usize << exp;
         let decay = Decay::new(n).unwrap();
         let advised = AdvisedDecay::new(n, &Advice::empty()).unwrap();
-        prop_assert_eq!(advised.sweep_length(), decay.sweep_length());
+        assert_eq!(advised.sweep_length(), decay.sweep_length());
         for round in 1..=decay.sweep_length() {
-            prop_assert_eq!(advised.probability(round), decay.probability(round));
+            assert_eq!(advised.probability(round), decay.probability(round));
         }
         let willard = Willard::new(n).unwrap();
         let advised = AdvisedWillard::new(n, &Advice::empty()).unwrap();
-        prop_assert_eq!(advised.worst_case_rounds(), willard.worst_case_rounds());
+        assert_eq!(advised.worst_case_rounds(), willard.worst_case_rounds());
     }
+}
 
-    #[test]
-    fn condensing_then_sorting_is_stable_under_size_noise(
-        exp in 6u32..12,
-        center in 0.05f64..0.95,
-    ) {
+#[test]
+fn condensing_then_sorting_is_stable_under_size_noise() {
+    let mut rng = ChaCha8Rng::seed_from_u64(40);
+    for _ in 0..60 {
         // Perturbing which exact size carries the mass inside one geometric
         // range never changes the sorted-guess visit order.
+        let exp = rng.gen_range(6u32..12);
+        let center = rng.gen_range(0.05f64..0.95);
         let n = 1usize << exp;
         let range = (range_index_for_size(n) as f64 * center).ceil().max(1.0) as usize;
         let (lo, hi) = crp_info::range_interval(range);
@@ -197,6 +231,6 @@ proptest! {
         let b = SizeDistribution::point_mass(n, hi.max(2)).unwrap();
         let order_a = SortedGuess::from_sizes(&a).visit_order().to_vec();
         let order_b = SortedGuess::from_sizes(&b).visit_order().to_vec();
-        prop_assert_eq!(order_a, order_b);
+        assert_eq!(order_a, order_b);
     }
 }

@@ -1,24 +1,28 @@
 //! Command-line entry point that regenerates every table and figure of the
-//! paper's evaluation.
+//! paper's evaluation, plus a `list` subcommand that enumerates the
+//! protocol registry.
 //!
 //! Usage:
 //!
 //! ```text
-//! crp-experiments [experiment] [--trials T] [--size N] [--seed S]
+//! crp_experiments [command] [--trials T] [--size N] [--seed S]
 //! ```
 //!
-//! where `experiment` is one of `table1`, `table2`, `entropy`, `kl`,
-//! `baselines`, `range-finding` or `all` (the default).  Output is
-//! markdown, suitable for pasting into `EXPERIMENTS.md`.
+//! where `command` is one of `list`, `table1`, `table2`, `entropy`, `kl`,
+//! `baselines`, `range-finding` or `all` (the default).  Experiment output
+//! is markdown, suitable for pasting into `EXPERIMENTS.md`.
 
 use std::process::ExitCode;
 
-use crp_sim::experiments::{baselines, entropy_sweep, kl_degradation, range_finding, table1, table2};
-use crp_sim::{RunnerConfig, SimError};
+use crp_protocols::ProtocolRegistry;
+use crp_sim::experiments::{
+    baselines, entropy_sweep, kl_degradation, range_finding, table1, table2,
+};
+use crp_sim::{RunnerConfig, SimError, Table};
 
 /// Parsed command-line options.
 struct Options {
-    experiment: String,
+    command: String,
     trials: usize,
     size: usize,
     seed: u64,
@@ -26,7 +30,7 @@ struct Options {
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
-        experiment: "all".to_string(),
+        command: "all".to_string(),
         trials: 2000,
         size: 1 << 14,
         seed: 0xC0FFEE,
@@ -60,10 +64,29 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("invalid --seed value: {e}"))?;
             }
             "--help" | "-h" => {
-                return Err("usage: crp-experiments [table1|table2|entropy|kl|baselines|range-finding|all] [--trials T] [--size N] [--seed S]".to_string());
+                return Err(
+                    "usage: crp_experiments [list|table1|table2|entropy|kl|baselines|range-finding|all] [--trials T] [--size N] [--seed S]"
+                        .to_string(),
+                );
             }
             other if !other.starts_with("--") => {
-                options.experiment = other.to_string();
+                const KNOWN: [&str; 8] = [
+                    "list",
+                    "table1",
+                    "table2",
+                    "entropy",
+                    "kl",
+                    "baselines",
+                    "range-finding",
+                    "all",
+                ];
+                if !KNOWN.contains(&other) {
+                    return Err(format!(
+                        "unknown command {other:?}; expected one of: {}",
+                        KNOWN.join(", ")
+                    ));
+                }
+                options.command = other.to_string();
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -72,36 +95,79 @@ fn parse_args() -> Result<Options, String> {
     Ok(options)
 }
 
+/// Renders the protocol registry as a markdown table.
+fn registry_table() -> Table {
+    let registry = ProtocolRegistry::standard();
+    let mut table = Table::new(
+        format!("Registered protocols ({})", registry.len()),
+        &["name", "channel", "summary"],
+    );
+    for entry in registry.entries() {
+        let channel = match entry.kind {
+            crp_protocols::ProtocolKind::NoCollisionDetection => "no-CD",
+            crp_protocols::ProtocolKind::CollisionDetection => "CD",
+        };
+        table.push_row(vec![
+            entry.name.to_string(),
+            channel.to_string(),
+            entry.summary.to_string(),
+        ]);
+    }
+    table
+}
+
 fn run(options: &Options) -> Result<(), SimError> {
     let config = RunnerConfig::with_trials(options.trials).seeded(options.seed);
-    let wants = |name: &str| options.experiment == "all" || options.experiment == name;
+    let wants = |name: &str| options.command == "all" || options.command == name;
 
+    if options.command == "list" {
+        println!("{}", registry_table().to_markdown());
+        return Ok(());
+    }
     if wants("table1") {
-        println!("{}", table1::run(options.size, &config)?.to_table().to_markdown());
+        println!(
+            "{}",
+            table1::run(options.size, &config)?.to_table().to_markdown()
+        );
     }
     if wants("table2") {
         let universe = options.size.next_power_of_two().max(16);
         let participants = (universe / 16).max(2);
         println!(
             "{}",
-            table2::run(universe, participants, &config)?.to_table().to_markdown()
+            table2::run(universe, participants, &config)?
+                .to_table()
+                .to_markdown()
         );
     }
     if wants("entropy") {
         println!(
             "{}",
-            entropy_sweep::run(options.size, 8, &config)?.to_table().to_markdown()
+            entropy_sweep::run(options.size, 8, &config)?
+                .to_table()
+                .to_markdown()
         );
     }
     if wants("kl") {
-        println!("{}", kl_degradation::run(options.size, &config)?.to_table().to_markdown());
+        println!(
+            "{}",
+            kl_degradation::run(options.size, &config)?
+                .to_table()
+                .to_markdown()
+        );
     }
     if wants("baselines") {
         let sizes = [options.size / 4, options.size, options.size * 4];
-        println!("{}", baselines::run(&sizes, &config)?.to_table().to_markdown());
+        println!(
+            "{}",
+            baselines::run(&sizes, &config)?.to_table().to_markdown()
+        );
     }
     if wants("range-finding") {
-        println!("{}", range_finding::run(options.size)?.to_table().to_markdown());
+        println!(
+            "{}",
+            range_finding::run(options.size)?.to_table().to_markdown()
+        );
     }
     Ok(())
 }

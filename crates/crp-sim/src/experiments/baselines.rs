@@ -10,10 +10,11 @@
 
 use crp_info::SizeDistribution;
 use crp_predict::ScenarioLibrary;
-use crp_protocols::{CodedSearch, Decay, FixedProbability, SortedGuess, Willard};
+use crp_protocols::ProtocolSpec;
 
 use crate::report::{fmt_f64, Table};
-use crate::runner::{measure_cd_strategy, measure_schedule, RunnerConfig};
+use crate::runner::RunnerConfig;
+use crate::simulation::Simulation;
 use crate::SimError;
 
 /// Measurements for one universe size.
@@ -82,26 +83,57 @@ pub fn run(universe_sizes: &[usize], config: &RunnerConfig) -> Result<BaselineRe
         let truth = scenario.distribution();
         let condensed = scenario.condensed();
 
-        let decay = Decay::new(n)?;
-        let decay_stats = measure_schedule(&decay, truth, 64 * n, config);
+        let decay_stats = Simulation::builder()
+            .protocol(ProtocolSpec::new("decay").universe(n))
+            .truth(truth.clone())
+            .max_rounds(64 * n)
+            .runner(*config)
+            .run()?;
 
-        let sorted = SortedGuess::new(&condensed).cycling();
-        let sorted_stats = measure_schedule(&sorted, truth, 64 * n, config);
+        let sorted_stats = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("sorted-guess-cycling")
+                    .universe(n)
+                    .prediction(condensed.clone()),
+            )
+            .truth(truth.clone())
+            .max_rounds(64 * n)
+            .runner(*config)
+            .run()?;
 
-        let willard = Willard::new(n)?;
-        let willard_stats =
-            measure_cd_strategy(&willard, truth, willard.worst_case_rounds(), config);
+        // The round budgets of the CD protocols default to their horizons
+        // (Willard's worst-case search length, coded search's phase sum).
+        let willard_stats = Simulation::builder()
+            .protocol(ProtocolSpec::new("willard").universe(n))
+            .truth(truth.clone())
+            .runner(*config)
+            .run()?;
 
-        let coded = CodedSearch::new(&condensed)?;
-        let coded_stats = measure_cd_strategy(&coded, truth, coded.horizon().max(1), config);
+        let coded_stats = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("coded-search")
+                    .universe(n)
+                    .prediction(condensed.clone()),
+            )
+            .truth(truth.clone())
+            .runner(*config)
+            .run()?;
 
         // The O(1) floor: a fresh known-size protocol per trial would need
         // the sampled k; instead measure it at the distribution's primary
         // mode, which the bimodal scenario hits 85% of the time.
         let primary_mode = (n / 32).max(2);
-        let known = FixedProbability::new(primary_mode)?;
         let known_truth = SizeDistribution::point_mass(n, primary_mode)?;
-        let known_stats = measure_schedule(&known, &known_truth, 64 * n, config);
+        let known_stats = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("fixed-probability")
+                    .universe(n)
+                    .estimate(primary_mode),
+            )
+            .truth(known_truth)
+            .max_rounds(64 * n)
+            .runner(*config)
+            .run()?;
 
         points.push(BaselinePoint {
             universe_size: n,

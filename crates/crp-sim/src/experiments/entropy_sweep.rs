@@ -9,10 +9,11 @@
 //! figure would plot.
 
 use crp_predict::ScenarioLibrary;
-use crp_protocols::{CodedSearch, SortedGuess};
+use crp_protocols::ProtocolSpec;
 
 use crate::report::{fmt_f64, Table};
-use crate::runner::{measure_cd_strategy, measure_schedule, RunnerConfig};
+use crate::runner::RunnerConfig;
+use crate::simulation::Simulation;
 use crate::SimError;
 
 /// One entropy-ladder point.
@@ -71,18 +72,36 @@ impl EntropySweepResult {
 ///
 /// Returns [`SimError`] if the scenario library or a protocol cannot be
 /// constructed.
-pub fn run(max_size: usize, steps: usize, config: &RunnerConfig) -> Result<EntropySweepResult, SimError> {
+pub fn run(
+    max_size: usize,
+    steps: usize,
+    config: &RunnerConfig,
+) -> Result<EntropySweepResult, SimError> {
     let library = ScenarioLibrary::new(max_size)?;
     let mut points = Vec::new();
     for scenario in library.entropy_ladder(steps.max(2)) {
         let condensed = scenario.condensed();
         let truth = scenario.distribution();
 
-        let sorted = SortedGuess::new(&condensed);
-        let no_cd = measure_schedule(&sorted, truth, sorted.pass_length().max(1), config);
+        let no_cd = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("sorted-guess")
+                    .universe(max_size)
+                    .prediction(condensed.clone()),
+            )
+            .truth(truth.clone())
+            .runner(*config)
+            .run()?;
 
-        let coded = CodedSearch::new(&condensed)?;
-        let cd = measure_cd_strategy(&coded, truth, coded.horizon().max(1), config);
+        let cd = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("coded-search")
+                    .universe(max_size)
+                    .prediction(condensed.clone()),
+            )
+            .truth(truth.clone())
+            .runner(*config)
+            .run()?;
 
         points.push(EntropyPoint {
             entropy: condensed.entropy(),
@@ -92,7 +111,11 @@ pub fn run(max_size: usize, steps: usize, config: &RunnerConfig) -> Result<Entro
             cd_success_rate: cd.success_rate(),
         });
     }
-    points.sort_by(|a, b| a.entropy.partial_cmp(&b.entropy).expect("entropy is finite"));
+    points.sort_by(|a, b| {
+        a.entropy
+            .partial_cmp(&b.entropy)
+            .expect("entropy is finite")
+    });
     Ok(EntropySweepResult { max_size, points })
 }
 

@@ -10,10 +10,11 @@
 
 use crp_info::{CondensedDistribution, SizeDistribution};
 use crp_predict::noise;
-use crp_protocols::{CodedSearch, SortedGuess};
+use crp_protocols::ProtocolSpec;
 
 use crate::report::{fmt_f64, Table};
-use crate::runner::{measure_cd_strategy, measure_schedule, RunnerConfig};
+use crate::runner::RunnerConfig;
+use crate::simulation::Simulation;
 use crate::SimError;
 
 /// One prediction-quality point.
@@ -46,7 +47,13 @@ impl KlSweepResult {
     pub fn to_table(&self) -> Table {
         let mut table = Table::new(
             format!("Prediction-divergence sweep (n = {})", self.max_size),
-            &["prediction", "D_KL(c(X)||c(Y))", "no-CD E[rounds]", "CD rounds", "CD success"],
+            &[
+                "prediction",
+                "D_KL(c(X)||c(Y))",
+                "no-CD E[rounds]",
+                "CD rounds",
+                "CD success",
+            ],
         );
         for p in &self.points {
             table.push_row(vec![
@@ -76,7 +83,8 @@ pub fn run(max_size: usize, config: &RunnerConfig) -> Result<KlSweepResult, SimE
     let truth_condensed = CondensedDistribution::from_sizes(&truth);
 
     // A ladder of predictions of increasing divergence.
-    let mut predictions: Vec<(String, SizeDistribution)> = vec![("exact".to_string(), truth.clone())];
+    let mut predictions: Vec<(String, SizeDistribution)> =
+        vec![("exact".to_string(), truth.clone())];
     for lambda in [0.25, 0.5, 0.75, 0.95] {
         predictions.push((
             format!("mixed-{lambda}"),
@@ -84,7 +92,10 @@ pub fn run(max_size: usize, config: &RunnerConfig) -> Result<KlSweepResult, SimE
         ));
     }
     for shift in [1i32, 2, 3] {
-        predictions.push((format!("shift-{shift}"), noise::support_shift(&truth, shift)?));
+        predictions.push((
+            format!("shift-{shift}"),
+            noise::support_shift(&truth, shift)?,
+        ));
     }
 
     let mut points = Vec::new();
@@ -94,11 +105,27 @@ pub fn run(max_size: usize, config: &RunnerConfig) -> Result<KlSweepResult, SimE
 
         // Expected time of the cycling no-CD strategy built from the
         // (possibly wrong) prediction, run against the truth.
-        let sorted = SortedGuess::new(&prediction_condensed).cycling();
-        let no_cd = measure_schedule(&sorted, &truth, 64 * sorted.pass_length().max(1), config);
+        let pass_length = prediction_condensed.num_ranges().max(1);
+        let no_cd = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("sorted-guess-cycling")
+                    .universe(max_size)
+                    .prediction(prediction_condensed.clone()),
+            )
+            .truth(truth.clone())
+            .max_rounds(64 * pass_length)
+            .runner(*config)
+            .run()?;
 
-        let coded = CodedSearch::new(&prediction_condensed)?;
-        let cd = measure_cd_strategy(&coded, &truth, coded.horizon().max(1), config);
+        let cd = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("coded-search")
+                    .universe(max_size)
+                    .prediction(prediction_condensed.clone()),
+            )
+            .truth(truth.clone())
+            .runner(*config)
+            .run()?;
 
         points.push(KlPoint {
             label,
@@ -134,7 +161,11 @@ mod tests {
             .iter()
             .max_by(|a, b| a.divergence.partial_cmp(&b.divergence).unwrap())
             .unwrap();
-        assert!(worst.divergence > 0.5, "worst divergence {}", worst.divergence);
+        assert!(
+            worst.divergence > 0.5,
+            "worst divergence {}",
+            worst.divergence
+        );
         assert!(
             exact.no_cd_rounds < worst.no_cd_rounds,
             "exact {} vs worst {}",

@@ -12,10 +12,10 @@
 //! This experiment builds both constructions from real protocols and
 //! checks the resulting inequalities for every scenario in the library.
 
+use crp_predict::ScenarioLibrary;
 use crp_protocols::rangefinding::{
     rf_construction, target_distance_expected_length, RangeFindingTree,
 };
-use crp_predict::ScenarioLibrary;
 use crp_protocols::{Decay, SortedGuess, Willard};
 
 use crate::report::{fmt_f64, Table};
@@ -105,8 +105,7 @@ pub fn run(max_size: usize) -> Result<RangeFindingResult, SimError> {
         let horizon = sorted.pass_length().max(1) + 2 * decay.sweep_length();
         let sequence = rf_construction(&sorted.clone().cycling(), max_size, horizon);
         let penalty_steps = 4 * sequence.len().max(1);
-        let expected_steps =
-            sequence.expected_steps(&condensed, tolerance, penalty_steps);
+        let expected_steps = sequence.expected_steps(&condensed, tolerance, penalty_steps);
         let expected_code_bits = target_distance_expected_length(
             &sequence,
             &condensed,

@@ -5,10 +5,10 @@
 //!
 //! * no collision detection — lower bound `Ω(2^H / log log n)` expected
 //!   rounds, upper bound `O(2^{2H})` rounds with constant probability
-//!   (achieved by [`SortedGuess`]);
+//!   (achieved by the registry's `sorted-guess` protocol);
 //! * collision detection — lower bound `H/2 − O(log log log log n)`,
 //!   upper bound `O(H²)` rounds with constant probability (achieved by
-//!   [`CodedSearch`]).
+//!   `coded-search`).
 //!
 //! For every scenario in the library the experiment measures both
 //! algorithms with *accurate* predictions (`Y = X`) and reports the
@@ -17,10 +17,11 @@
 //! polynomial in `H` with it) can be checked directly.
 
 use crp_predict::ScenarioLibrary;
-use crp_protocols::{CodedSearch, SortedGuess};
+use crp_protocols::ProtocolSpec;
 
 use crate::report::{fmt_f64, Table};
-use crate::runner::{measure_cd_strategy, measure_schedule, RunnerConfig};
+use crate::runner::RunnerConfig;
+use crate::simulation::Simulation;
 use crate::SimError;
 
 /// One scenario row of the Table 1 reproduction.
@@ -109,15 +110,28 @@ pub fn run(max_size: usize, config: &RunnerConfig) -> Result<Table1Result, SimEr
         let condensed = scenario.condensed();
         let entropy = condensed.entropy();
 
-        // §2.5 algorithm, accurate prediction, one-shot pass.
-        let sorted = SortedGuess::new(&condensed);
-        let no_cd_budget = sorted.pass_length().max(1);
-        let no_cd = measure_schedule(&sorted, truth, no_cd_budget, config);
+        // §2.5 algorithm, accurate prediction, one-shot pass (the round
+        // budget defaults to the protocol's own horizon).
+        let no_cd = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("sorted-guess")
+                    .universe(max_size)
+                    .prediction(condensed.clone()),
+            )
+            .truth(truth.clone())
+            .runner(*config)
+            .run()?;
 
         // §2.6 algorithm, accurate prediction, one-shot attempt.
-        let coded = CodedSearch::new(&condensed)?;
-        let cd_budget = coded.horizon().max(1);
-        let cd = measure_cd_strategy(&coded, truth, cd_budget, config);
+        let cd = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("coded-search")
+                    .universe(max_size)
+                    .prediction(condensed.clone()),
+            )
+            .truth(truth.clone())
+            .runner(*config)
+            .run()?;
 
         rows.push(Table1Row {
             scenario: scenario.name().to_string(),
@@ -164,7 +178,11 @@ mod tests {
 
         // The zero-entropy scenario resolves essentially immediately, the
         // maximum-entropy scenario takes longer — the Table 1 ordering.
-        let point = result.rows.iter().find(|r| r.scenario == "point-mass").unwrap();
+        let point = result
+            .rows
+            .iter()
+            .find(|r| r.scenario == "point-mass")
+            .unwrap();
         let uniform = result
             .rows
             .iter()

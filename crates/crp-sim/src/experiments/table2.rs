@@ -15,16 +15,12 @@
 //! placement (worst case); the randomized ones report expected rounds over
 //! Monte-Carlo trials.
 
-use crp_channel::{execute, ChannelMode, ExecutionConfig, ParticipantId};
-use crp_predict::{AdviceOracle, IdPrefixOracle, RangeOracle};
-use crp_protocols::{
-    AdvisedDecay, AdvisedWillard, DeterministicCdAdvice, DeterministicNoCdAdvice,
-};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crp_info::SizeDistribution;
+use crp_protocols::ProtocolSpec;
 
 use crate::report::{fmt_f64, Table};
-use crate::runner::{run_trials, RunnerConfig};
+use crate::runner::RunnerConfig;
+use crate::simulation::Simulation;
 use crate::SimError;
 
 /// One advice-budget row of the Table 2 reproduction.
@@ -99,7 +95,7 @@ impl Table2Result {
 /// advice interval so the scan pays its full length.
 fn adversarial_participants(universe: usize, k: usize, advice_bits: usize) -> Vec<usize> {
     let interval = universe >> advice_bits.min(universe.trailing_zeros() as usize);
-    let designated = interval.saturating_sub(1).max(0);
+    let designated = interval.saturating_sub(1);
     let mut participants = vec![designated];
     let mut next = designated + interval.max(1);
     while participants.len() < k && next < universe {
@@ -118,44 +114,52 @@ fn adversarial_participants(universe: usize, k: usize, advice_bits: usize) -> Ve
     participants
 }
 
-/// Measures the deterministic no-CD protocol's rounds for one placement.
-fn det_no_cd_rounds(universe: usize, participants: &[usize], advice_bits: usize) -> usize {
-    let advice = IdPrefixOracle
-        .advise(universe, participants, advice_bits)
-        .expect("participants are non-empty");
-    let mut nodes: Vec<DeterministicNoCdAdvice> = participants
-        .iter()
-        .map(|&id| {
-            DeterministicNoCdAdvice::new(universe, ParticipantId(id), &advice)
-                .expect("ids are within the universe")
-        })
-        .collect();
-    let budget = nodes[0].worst_case_rounds().max(1);
-    let config = ExecutionConfig::new(ChannelMode::NoCollisionDetection, budget);
-    let mut rng = ChaCha8Rng::seed_from_u64(0);
-    let exec = execute(&mut nodes, &config, &mut rng);
-    assert!(exec.resolved, "deterministic protocol must always resolve");
-    exec.rounds
+/// Measures one deterministic advice protocol's rounds for one placement:
+/// a single-trial [`Simulation`] whose round budget defaults to the
+/// protocol's declared worst case.
+///
+/// `name` is a registry name (`det-advice-no-cd` / `det-advice-cd`).
+/// Public so the benches measure exactly what the experiment measures.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the protocol cannot be built or fails to
+/// resolve within its worst-case budget (a protocol bug by definition).
+pub fn det_rounds(
+    name: &str,
+    universe: usize,
+    participants: &[usize],
+    advice_bits: usize,
+) -> Result<f64, SimError> {
+    let stats = Simulation::builder()
+        .protocol(
+            ProtocolSpec::new(name)
+                .universe(universe)
+                .advice_bits(advice_bits),
+        )
+        .participant_ids(participants.to_vec())
+        .trials(1)
+        .seed(0)
+        .run()?;
+    if stats.success_rate() < 1.0 {
+        return Err(SimError::InvalidParameter {
+            what: format!("deterministic protocol {name} failed to resolve within its budget"),
+        });
+    }
+    Ok(stats.mean_rounds_overall())
 }
 
-/// Measures the deterministic CD protocol's rounds for one placement.
-fn det_cd_rounds(universe: usize, participants: &[usize], advice_bits: usize) -> usize {
-    let advice = IdPrefixOracle
-        .advise(universe, participants, advice_bits)
-        .expect("participants are non-empty");
-    let mut nodes: Vec<DeterministicCdAdvice> = participants
-        .iter()
-        .map(|&id| {
-            DeterministicCdAdvice::new(universe, ParticipantId(id), &advice)
-                .expect("ids are within the universe")
-        })
+/// The ground truth used by the randomized rows: uniform over the
+/// geometric size range containing `participants`, so every sampled size
+/// is consistent with the range advice while the trials still vary.
+pub fn jitter_truth(participants: usize, universe: usize) -> Result<SizeDistribution, SimError> {
+    let range = crp_info::range_index_for_size(participants.max(2));
+    let (lo, hi) = crp_info::range_interval(range);
+    let hi = hi.min(universe).max(lo);
+    let weights: Vec<f64> = (1..=hi)
+        .map(|size| if size >= lo { 1.0 } else { 0.0 })
         .collect();
-    let budget = nodes[0].worst_case_rounds().max(1);
-    let config = ExecutionConfig::new(ChannelMode::CollisionDetection, budget);
-    let mut rng = ChaCha8Rng::seed_from_u64(0);
-    let exec = execute(&mut nodes, &config, &mut rng);
-    assert!(exec.resolved, "deterministic protocol must always resolve");
-    exec.rounds
+    Ok(SizeDistribution::from_weights(weights)?)
 }
 
 /// Runs the Table 2 reproduction for a universe of size `universe_size`
@@ -187,43 +191,52 @@ pub fn run(
     let log_log_n = log_n.log2();
     let max_bits = log_n as usize;
 
+    let jitter = jitter_truth(participants, universe_size)?;
+
     let mut rows = Vec::new();
     for b in 0..=max_bits {
         // Deterministic protocols: adversarial placement, single run
         // (they are deterministic, so one run is the worst case for that
         // placement).
         let adversarial = adversarial_participants(universe_size, participants.min(16), b);
-        let det_no_cd = det_no_cd_rounds(universe_size, &adversarial, b);
-        let det_cd = det_cd_rounds(universe_size, &adversarial, b);
+        let det_no_cd = det_rounds("det-advice-no-cd", universe_size, &adversarial, b)?;
+        let det_cd = det_rounds("det-advice-cd", universe_size, &adversarial, b)?;
 
         // Randomized, no CD: truncated decay with range advice; expected
         // rounds over random participant counts near `participants`.
-        let range_advice = RangeOracle
-            .advise(universe_size, &vec![0; participants], b)
-            .expect("participant list is non-empty");
-        let advised_decay = AdvisedDecay::new(universe_size, &range_advice)?;
-        let rand_no_cd = run_trials(config, |rng| {
-            let k = jitter_size(participants, universe_size, rng);
-            crp_protocols::run_schedule(&advised_decay, k, 64 * universe_size, rng).into()
-        });
+        let rand_no_cd = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("advised-decay")
+                    .universe(universe_size)
+                    .participants(participants)
+                    .advice_bits(b),
+            )
+            .truth(jitter.clone())
+            .max_rounds(64 * universe_size)
+            .runner(*config)
+            .run()?;
 
         // Randomized, CD: Willard restricted to the advised ranges; the
         // paper's bound is on the expected rounds of the repeated search,
         // measured here as rounds conditioned on success within the search
-        // budget.
-        let advised_willard = AdvisedWillard::new(universe_size, &range_advice)?;
-        let horizon = advised_willard.worst_case_rounds().max(1);
-        let rand_cd = run_trials(config, |rng| {
-            let k = jitter_size(participants, universe_size, rng);
-            crp_protocols::run_cd_strategy(&advised_willard, k, horizon, rng).into()
-        });
+        // budget (the protocol's horizon, used as the default).
+        let rand_cd = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("advised-willard")
+                    .universe(universe_size)
+                    .participants(participants)
+                    .advice_bits(b),
+            )
+            .truth(jitter.clone())
+            .runner(*config)
+            .run()?;
 
         rows.push(Table2Row {
             advice_bits: b,
             theory_det_no_cd: (universe_size as f64) / 2f64.powi(b as i32),
-            det_no_cd_rounds: det_no_cd as f64,
+            det_no_cd_rounds: det_no_cd,
             theory_det_cd: (log_n - b as f64).max(1.0),
-            det_cd_rounds: det_cd as f64,
+            det_cd_rounds: det_cd,
             theory_rand_no_cd: (log_n / 2f64.powi(b as i32)).max(1.0),
             rand_no_cd_rounds: rand_no_cd.mean_rounds_overall(),
             theory_rand_cd: (log_log_n - b as f64).max(1.0),
@@ -234,20 +247,6 @@ pub fn run(
         universe_size,
         rows,
     })
-}
-
-/// Jitters the participant count within its geometric range so the
-/// randomized trials are not all identical, while keeping the range advice
-/// valid.
-fn jitter_size<R: Rng + ?Sized>(participants: usize, universe: usize, rng: &mut R) -> usize {
-    let range = crp_info::range_index_for_size(participants.max(2));
-    let (lo, hi) = crp_info::range_interval(range);
-    let hi = hi.min(universe);
-    if lo >= hi {
-        lo
-    } else {
-        rng.gen_range(lo..=hi)
-    }
 }
 
 #[cfg(test)]

@@ -1,34 +1,39 @@
 //! Monte-Carlo experiment harness for the *Contention Resolution with
 //! Predictions* reproduction.
 //!
-//! The harness has three layers:
+//! The harness has four layers:
 //!
+//! * [`Simulation`] — the builder-style front-end: pick a protocol by
+//!   registry spec (or hand in a custom object), choose a workload (fixed
+//!   `k`, an explicit placement, or a sampled ground truth), and run a
+//!   validated Monte-Carlo batch.  All misconfigurations — zero
+//!   participants, zero round budgets, protocol/channel-mode mismatches —
+//!   are typed [`SimError`]s raised at build time, never panics.
 //! * [`runner`] — a deterministic, optionally multi-threaded trial runner
-//!   ([`run_trials`], [`measure_schedule`], [`measure_cd_strategy`]) whose
-//!   results are independent of the thread count thanks to per-trial
-//!   seeding.
+//!   ([`run_batch`], [`run_trials`]) whose results are independent of the
+//!   thread count thanks to per-trial seeding.  `run_batch` amortises
+//!   protocol construction: the protocol is built once and shared across
+//!   every trial.
 //! * [`stats`] / [`report`] — summary statistics and markdown table
 //!   rendering.
-//! * [`experiments`] — one module per table / figure of the paper (see
-//!   `DESIGN.md` for the experiment index); the `crp-experiments` binary
-//!   runs them all and prints the tables recorded in `EXPERIMENTS.md`.
+//! * [`experiments`] — one module per table / figure of the paper; the
+//!   `crp_experiments` binary runs them all (and its `list` subcommand
+//!   prints the protocol registry).
 //!
 //! # Example
 //!
 //! ```
-//! use crp_info::SizeDistribution;
-//! use crp_protocols::Decay;
-//! use crp_sim::{measure_schedule, RunnerConfig};
+//! use crp_protocols::ProtocolSpec;
+//! use crp_sim::Simulation;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let truth = SizeDistribution::geometric(1024, 0.2)?;
-//! let decay = Decay::new(1024)?;
-//! let stats = measure_schedule(
-//!     &decay,
-//!     &truth,
-//!     10_000,
-//!     &RunnerConfig::with_trials(200).seeded(1),
-//! );
+//! # fn main() -> Result<(), crp_sim::SimError> {
+//! let stats = Simulation::builder()
+//!     .protocol(ProtocolSpec::new("decay").universe(1024))
+//!     .participants(70)
+//!     .max_rounds(10_000)
+//!     .trials(200)
+//!     .seed(1)
+//!     .run()?;
 //! assert!(stats.success_rate() > 0.99);
 //! # Ok(())
 //! # }
@@ -40,25 +45,42 @@
 pub mod experiments;
 mod report;
 mod runner;
+mod simulation;
 mod stats;
 
 use std::error::Error;
 use std::fmt;
 
+use crp_channel::ChannelMode;
+
 pub use report::{fmt_f64, Table};
 pub use runner::{
-    measure_cd_strategy, measure_schedule, run_trials, sample_contending_size, RunnerConfig,
-    TrialOutcome,
+    measure_cd_strategy, measure_schedule, run_batch, run_trials, sample_contending_size,
+    RunnerConfig, TrialOutcome,
 };
+pub use simulation::{Simulation, SimulationBuilder};
 pub use stats::{SummaryStats, TrialStats};
 
 /// Errors produced by the experiment harness.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
-    /// A parameter of an experiment was outside its valid range.
+    /// A parameter of an experiment or simulation was outside its valid
+    /// range (zero participants, zero trials, zero round budget, …).
     InvalidParameter {
         /// Human-readable description of the offending parameter.
         what: String,
+    },
+    /// A [`Simulation`] was built without selecting a protocol.
+    MissingProtocol,
+    /// The selected protocol cannot run on the requested channel mode
+    /// (e.g. a collision-detection strategy on a no-CD channel).
+    ModeMismatch {
+        /// The protocol's registry / display name.
+        protocol: String,
+        /// The mode the protocol requires.
+        required: ChannelMode,
+        /// The mode the caller requested.
+        requested: ChannelMode,
     },
     /// A substrate construction (distribution, prediction, protocol)
     /// failed.
@@ -69,6 +91,21 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            SimError::MissingProtocol => {
+                write!(
+                    f,
+                    "no protocol selected: call protocol(spec) or protocol_object(..)"
+                )
+            }
+            SimError::ModeMismatch {
+                protocol,
+                required,
+                requested,
+            } => write!(
+                f,
+                "protocol {protocol:?} requires channel mode {required:?} but {requested:?} \
+                 was requested"
+            ),
             SimError::Substrate(msg) => write!(f, "substrate error: {msg}"),
         }
     }
@@ -94,6 +131,12 @@ impl From<crp_protocols::ProtocolError> for SimError {
     }
 }
 
+impl From<crp_channel::ChannelError> for SimError {
+    fn from(err: crp_channel::ChannelError) -> Self {
+        SimError::Substrate(err.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +150,12 @@ mod tests {
         let err: SimError = crp_info::InfoError::EmptySupport.into();
         assert!(matches!(err, SimError::Substrate(_)));
         assert!(err.to_string().contains("empty"));
+        assert!(SimError::MissingProtocol.to_string().contains("protocol"));
+        let err = SimError::ModeMismatch {
+            protocol: "willard".into(),
+            required: ChannelMode::CollisionDetection,
+            requested: ChannelMode::NoCollisionDetection,
+        };
+        assert!(err.to_string().contains("willard"));
     }
 }

@@ -4,17 +4,25 @@
 //! threads with a *per-trial* deterministic seed (`base_seed` xor trial
 //! index), so the result set is identical regardless of how many threads
 //! executed it.
+//!
+//! Two entry points are provided: [`run_trials`] for infallible trial
+//! closures and [`run_batch`] — the engine under the [`crate::Simulation`]
+//! builder — whose closures may fail with a typed error.  `run_batch` is
+//! where protocol construction is amortised: the caller builds the
+//! protocol once and every trial only *drives* it, which is what keeps
+//! Monte-Carlo sweeps at `trials = 10^4…10^6` cheap.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crp_channel::Execution;
 use crp_info::SizeDistribution;
-use crp_protocols::{run_cd_strategy, run_schedule, CdStrategy, NoCdSchedule};
-use parking_lot::Mutex;
+use crp_protocols::{try_run_cd_strategy, try_run_schedule, CdStrategy, NoCdSchedule};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::stats::{SummaryStats, TrialStats};
+use crate::SimError;
 
 /// Outcome of a single Monte-Carlo trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,7 +97,27 @@ pub fn run_trials<F>(config: &RunnerConfig, trial: F) -> TrialStats
 where
     F: Fn(&mut ChaCha8Rng) -> TrialOutcome + Sync,
 {
-    let outcomes: Vec<TrialOutcome> = if config.threads <= 1 || config.trials < 64 {
+    run_batch(config, |rng| Ok(trial(rng))).expect("infallible trials cannot fail")
+}
+
+/// Fallible batch runner: like [`run_trials`], but a trial may return a
+/// typed error, which aborts the batch.
+///
+/// This is the amortised execution entry point used by
+/// [`crate::Simulation`]: protocols are constructed once by the caller and
+/// shared (immutably) across every trial and worker thread.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] any trial produced.  Which trial's error
+/// is reported is deterministic for a fixed configuration (the lowest
+/// trial index that failed).
+pub fn run_batch<F>(config: &RunnerConfig, trial: F) -> Result<TrialStats, SimError>
+where
+    F: Fn(&mut ChaCha8Rng) -> Result<TrialOutcome, SimError> + Sync,
+{
+    let outcomes: Vec<Result<TrialOutcome, SimError>> = if config.threads <= 1 || config.trials < 64
+    {
         (0..config.trials)
             .map(|i| {
                 let mut rng = ChaCha8Rng::seed_from_u64(config.base_seed ^ i as u64);
@@ -97,49 +125,63 @@ where
             })
             .collect()
     } else {
-        let results = Mutex::new(vec![
-            TrialOutcome {
-                resolved: false,
-                rounds: 0
-            };
-            config.trials
-        ]);
+        let results: Mutex<Vec<Result<TrialOutcome, SimError>>> =
+            Mutex::new(vec![
+                Ok(TrialOutcome {
+                    resolved: false,
+                    rounds: 0
+                });
+                config.trials
+            ]);
         let next = AtomicUsize::new(0);
         let workers = config.threads.min(config.trials);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     if index >= config.trials {
                         break;
                     }
                     let mut rng = ChaCha8Rng::seed_from_u64(config.base_seed ^ index as u64);
                     let outcome = trial(&mut rng);
-                    results.lock()[index] = outcome;
+                    results
+                        .lock()
+                        .expect("no worker panics while holding the lock")[index] = outcome;
                 });
             }
-        })
-        .expect("trial worker threads never panic");
-        results.into_inner()
+        });
+        results
+            .into_inner()
+            .expect("no worker panics while holding the lock")
     };
 
-    let resolved: Vec<f64> = outcomes
+    // Report the lowest-index error deterministically.
+    let mut collected = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        collected.push(outcome?);
+    }
+
+    let resolved: Vec<f64> = collected
         .iter()
         .filter(|o| o.resolved)
         .map(|o| o.rounds as f64)
         .collect();
-    let all: Vec<f64> = outcomes.iter().map(|o| o.rounds as f64).collect();
-    TrialStats {
-        trials: outcomes.len(),
+    let all: Vec<f64> = collected.iter().map(|o| o.rounds as f64).collect();
+    Ok(TrialStats {
+        trials: collected.len(),
         resolved: resolved.len(),
         rounds_when_resolved: SummaryStats::from_samples(&resolved),
         rounds_overall: SummaryStats::from_samples(&all),
-    }
+    })
 }
 
 /// Measures a uniform no-collision-detection schedule against a true size
 /// distribution: each trial samples `k ~ truth` and runs the schedule for
 /// at most `max_rounds` rounds.
+///
+/// Convenience wrapper over [`run_batch`]; new code should prefer the
+/// [`crate::Simulation`] builder, which also validates the configuration
+/// up front.
 pub fn measure_schedule<S>(
     schedule: &S,
     truth: &SizeDistribution,
@@ -149,14 +191,20 @@ pub fn measure_schedule<S>(
 where
     S: NoCdSchedule + Sync + ?Sized,
 {
-    run_trials(config, |rng| {
+    run_batch(config, |rng| {
         let k = sample_contending_size(truth, rng);
-        run_schedule(schedule, k, max_rounds, rng).into()
+        try_run_schedule(schedule, k, max_rounds, rng)
+            .map(TrialOutcome::from)
+            .map_err(SimError::from)
     })
+    .expect("schedule measurement over a positive budget cannot fail")
 }
 
 /// Measures a uniform collision-detection strategy against a true size
 /// distribution.
+///
+/// Convenience wrapper over [`run_batch`]; new code should prefer the
+/// [`crate::Simulation`] builder.
 pub fn measure_cd_strategy<S>(
     strategy: &S,
     truth: &SizeDistribution,
@@ -166,10 +214,13 @@ pub fn measure_cd_strategy<S>(
 where
     S: CdStrategy + Sync + ?Sized,
 {
-    run_trials(config, |rng| {
+    run_batch(config, |rng| {
         let k = sample_contending_size(truth, rng);
-        run_cd_strategy(strategy, k, max_rounds, rng).into()
+        try_run_cd_strategy(strategy, k, max_rounds, rng)
+            .map(TrialOutcome::from)
+            .map_err(SimError::from)
     })
+    .expect("strategy measurement over a positive budget cannot fail")
 }
 
 /// Samples a network size from `truth`, re-drawing (or clamping) so the
@@ -189,6 +240,7 @@ pub fn sample_contending_size(truth: &SizeDistribution, rng: &mut ChaCha8Rng) ->
 mod tests {
     use super::*;
     use crp_protocols::{Decay, FixedProbability, Willard};
+    use rand::Rng;
 
     #[test]
     fn trial_results_are_independent_of_thread_count() {
@@ -212,12 +264,7 @@ mod tests {
         let k = 300;
         let truth = SizeDistribution::point_mass(n, k).unwrap();
         let config = RunnerConfig::with_trials(300).seeded(11);
-        let fixed = measure_schedule(
-            &FixedProbability::new(k).unwrap(),
-            &truth,
-            10_000,
-            &config,
-        );
+        let fixed = measure_schedule(&FixedProbability::new(k).unwrap(), &truth, 10_000, &config);
         let decay = measure_schedule(&Decay::new(n).unwrap(), &truth, 10_000, &config);
         assert!(fixed.success_rate() > 0.99);
         assert!(decay.success_rate() > 0.99);
@@ -233,6 +280,34 @@ mod tests {
         let stats = measure_cd_strategy(&willard, &truth, willard.worst_case_rounds(), &config);
         assert!(stats.success_rate() > 0.3, "rate {}", stats.success_rate());
         assert!(stats.mean_rounds_when_resolved() <= willard.worst_case_rounds() as f64);
+    }
+
+    #[test]
+    fn run_batch_surfaces_trial_errors() {
+        let config = RunnerConfig::with_trials(10).seeded(0).single_threaded();
+        let result = run_batch(&config, |_| {
+            Err(SimError::InvalidParameter {
+                what: "forced failure".into(),
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn run_batch_matches_run_trials_for_infallible_closures() {
+        let config = RunnerConfig::with_trials(50).seeded(13).single_threaded();
+        let via_trials = run_trials(&config, |rng| TrialOutcome {
+            resolved: true,
+            rounds: 1 + (rng.gen::<u64>() % 5) as usize,
+        });
+        let via_batch = run_batch(&config, |rng| {
+            Ok(TrialOutcome {
+                resolved: true,
+                rounds: 1 + (rng.gen::<u64>() % 5) as usize,
+            })
+        })
+        .unwrap();
+        assert_eq!(via_trials, via_batch);
     }
 
     #[test]

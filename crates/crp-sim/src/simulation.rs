@@ -1,0 +1,480 @@
+//! The builder-style `Simulation` front-end.
+//!
+//! One fluent path from "which protocol, which workload" to aggregated
+//! Monte-Carlo statistics:
+//!
+//! ```
+//! use crp_protocols::ProtocolSpec;
+//! use crp_sim::Simulation;
+//!
+//! # fn main() -> Result<(), crp_sim::SimError> {
+//! let stats = Simulation::builder()
+//!     .protocol(ProtocolSpec::new("decay").universe(1024))
+//!     .participants(70)
+//!     .max_rounds(10_000)
+//!     .trials(500)
+//!     .seed(7)
+//!     .run()?;
+//! assert!(stats.success_rate() > 0.99);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The builder validates everything *before* any trial runs and returns
+//! typed [`SimError`]s instead of panicking: zero participants, a zero
+//! round budget, a missing protocol, and protocol/channel-mode mismatches
+//! are all rejected at [`SimulationBuilder::build`] time.
+
+use crp_channel::{ChannelMode, ParticipantId};
+use crp_info::SizeDistribution;
+use crp_protocols::{try_run_protocol, try_run_protocol_with, Behavior, Protocol, ProtocolSpec};
+use rand_chacha::ChaCha8Rng;
+
+use crate::runner::{run_batch, sample_contending_size, RunnerConfig, TrialOutcome};
+use crate::stats::TrialStats;
+use crate::SimError;
+
+/// How the per-trial participant set is chosen.
+enum Population {
+    /// A fixed participant count; uniform protocols ignore identities and
+    /// per-node protocols get the ids `0, …, k−1`.
+    Fixed(usize),
+    /// An explicit id placement (per-node protocols under adversarial
+    /// placements).
+    Placed(Vec<ParticipantId>),
+    /// The participant count is sampled from a ground-truth distribution
+    /// each trial (clamped to at least 2, the smallest size with
+    /// contention).
+    Sampled(SizeDistribution),
+}
+
+/// Fluent configuration for a [`Simulation`].
+///
+/// Obtained from [`Simulation::builder`]; consumed by
+/// [`SimulationBuilder::build`] or [`SimulationBuilder::run`].
+pub struct SimulationBuilder {
+    spec: Option<ProtocolSpec>,
+    protocol: Option<Box<dyn Protocol>>,
+    population: Option<Population>,
+    max_rounds: Option<usize>,
+    channel_mode: Option<ChannelMode>,
+    config: RunnerConfig,
+}
+
+impl SimulationBuilder {
+    fn new() -> Self {
+        Self {
+            spec: None,
+            protocol: None,
+            population: None,
+            max_rounds: None,
+            channel_mode: None,
+            config: RunnerConfig::default(),
+        }
+    }
+
+    /// Selects the protocol by registry spec (name plus parameters).
+    pub fn protocol(mut self, spec: ProtocolSpec) -> Self {
+        self.spec = Some(spec);
+        self.protocol = None;
+        self
+    }
+
+    /// Supplies an already-constructed protocol object (for custom
+    /// protocols not in the registry).
+    pub fn protocol_object(mut self, protocol: Box<dyn Protocol>) -> Self {
+        self.protocol = Some(protocol);
+        self.spec = None;
+        self
+    }
+
+    /// Fixes the participant count for every trial.
+    pub fn participants(mut self, count: usize) -> Self {
+        self.population = Some(Population::Fixed(count));
+        self
+    }
+
+    /// Fixes an explicit participant-id placement for every trial (needed
+    /// for adversarial placements of the per-node §3 protocols).
+    pub fn participant_ids(mut self, ids: Vec<usize>) -> Self {
+        self.population = Some(Population::Placed(
+            ids.into_iter().map(ParticipantId).collect(),
+        ));
+        self
+    }
+
+    /// Samples the participant count from `truth` each trial.
+    pub fn truth(mut self, truth: SizeDistribution) -> Self {
+        self.population = Some(Population::Sampled(truth));
+        self
+    }
+
+    /// Caps every trial at `max_rounds` rounds.  Defaults to the
+    /// protocol's own horizon when it has one.
+    pub fn max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Pins the channel mode explicitly.  Only needed to *assert* a mode:
+    /// building fails with [`SimError::ModeMismatch`] if the protocol
+    /// requires the other mode.
+    pub fn channel_mode(mut self, mode: ChannelMode) -> Self {
+        self.channel_mode = Some(mode);
+        self
+    }
+
+    /// Number of Monte-Carlo trials.
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.config.trials = trials;
+        self
+    }
+
+    /// Base seed; trial `i` derives its own RNG from `seed ^ i`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.base_seed = seed;
+        self
+    }
+
+    /// Number of worker threads (1 = run inline).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the whole runner configuration at once.
+    pub fn runner(mut self, config: RunnerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Validates the configuration and constructs the [`Simulation`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::MissingProtocol`] — neither a spec nor a protocol
+    ///   object was supplied.  (A spec the registry rejects — unknown
+    ///   name, missing construction parameter — surfaces as the
+    ///   converted [`crp_protocols::ProtocolError`] instead.)
+    /// * [`SimError::InvalidParameter`] — zero participants, zero trials,
+    ///   a zero round budget, or no budget at all for an unbounded
+    ///   protocol.
+    /// * [`SimError::ModeMismatch`] — an explicitly pinned channel mode
+    ///   contradicts the protocol's [`crp_protocols::ProtocolKind`].
+    pub fn build(self) -> Result<Simulation, SimError> {
+        let protocol = match (self.protocol, &self.spec) {
+            (Some(protocol), _) => protocol,
+            (None, Some(spec)) => spec.build()?,
+            (None, None) => return Err(SimError::MissingProtocol),
+        };
+
+        let required_mode = protocol.kind().channel_mode();
+        if let Some(requested) = self.channel_mode {
+            if requested != required_mode {
+                return Err(SimError::ModeMismatch {
+                    protocol: protocol.name().to_string(),
+                    required: required_mode,
+                    requested,
+                });
+            }
+        }
+
+        let population = self.population.ok_or_else(|| SimError::InvalidParameter {
+            what: "a population is required: call participants(k), participant_ids(ids) or \
+                   truth(distribution)"
+                .to_string(),
+        })?;
+        match &population {
+            Population::Fixed(0) => {
+                return Err(SimError::InvalidParameter {
+                    what: "participants(0): contention resolution needs at least one participant"
+                        .to_string(),
+                });
+            }
+            Population::Placed(ids) if ids.is_empty() => {
+                return Err(SimError::InvalidParameter {
+                    what: "participant_ids([]): the placement must be non-empty".to_string(),
+                });
+            }
+            _ => {}
+        }
+
+        let max_rounds = match self.max_rounds {
+            Some(0) => {
+                return Err(SimError::InvalidParameter {
+                    what: "max_rounds(0): every trial needs a positive round budget".to_string(),
+                });
+            }
+            Some(rounds) => rounds,
+            None => match (protocol.horizon(), &population) {
+                (Some(horizon), _) => horizon.max(1),
+                (None, Population::Placed(ids)) => {
+                    per_node_budget(protocol.as_ref(), ids).ok_or_else(budget_required)?
+                }
+                (None, Population::Fixed(k)) => {
+                    let ids: Vec<ParticipantId> = (0..*k).map(ParticipantId).collect();
+                    per_node_budget(protocol.as_ref(), &ids).ok_or_else(budget_required)?
+                }
+                (None, Population::Sampled(_)) => return Err(budget_required()),
+            },
+        };
+
+        if self.config.trials == 0 {
+            return Err(SimError::InvalidParameter {
+                what: "trials(0): at least one trial is required".to_string(),
+            });
+        }
+
+        Ok(Simulation {
+            protocol,
+            population,
+            max_rounds,
+            config: self.config,
+        })
+    }
+
+    /// Builds and immediately runs the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimulationBuilder::build`] and [`Simulation::run`]
+    /// errors.
+    pub fn run(self) -> Result<TrialStats, SimError> {
+        self.build()?.run()
+    }
+}
+
+fn budget_required() -> SimError {
+    SimError::InvalidParameter {
+        what: "the protocol has no bounded horizon; call max_rounds(..) explicitly".to_string(),
+    }
+}
+
+/// The worst-case budget a per-node protocol declares for a placement.
+fn per_node_budget(protocol: &dyn Protocol, ids: &[ParticipantId]) -> Option<usize> {
+    match protocol.behavior() {
+        Behavior::PerNode(factory) => factory.round_budget(ids),
+        Behavior::Uniform(_) => None,
+    }
+}
+
+/// A fully validated Monte-Carlo simulation: one protocol, one workload,
+/// one runner configuration.
+pub struct Simulation {
+    protocol: Box<dyn Protocol>,
+    population: Population,
+    max_rounds: usize,
+    config: RunnerConfig,
+}
+
+impl Simulation {
+    /// Starts a new builder.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::new()
+    }
+
+    /// The protocol under simulation.
+    pub fn protocol(&self) -> &dyn Protocol {
+        self.protocol.as_ref()
+    }
+
+    /// The channel mode every trial runs on (always consistent with the
+    /// protocol's kind — mismatches are rejected at build time).
+    pub fn channel_mode(&self) -> ChannelMode {
+        self.protocol.kind().channel_mode()
+    }
+
+    /// The per-trial round budget.
+    pub fn max_rounds(&self) -> usize {
+        self.max_rounds
+    }
+
+    /// The runner configuration (trials, seed, threads).
+    pub fn config(&self) -> &RunnerConfig {
+        &self.config
+    }
+
+    /// Runs the configured number of trials and aggregates the outcomes.
+    ///
+    /// The protocol is constructed once (at build time) and shared across
+    /// all trials and worker threads; each trial only drives it, which
+    /// amortises construction over the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if any trial fails (e.g. a per-node factory
+    /// rejects a sampled participant set).
+    pub fn run(&self) -> Result<TrialStats, SimError> {
+        let protocol = self.protocol.as_ref();
+        let max_rounds = self.max_rounds;
+        run_batch(&self.config, move |rng| {
+            let outcome = match &self.population {
+                Population::Fixed(k) => run_with_count(protocol, *k, max_rounds, rng)?,
+                Population::Placed(ids) => try_run_protocol_with(protocol, ids, max_rounds, rng)
+                    .map(TrialOutcome::from)
+                    .map_err(SimError::from)?,
+                Population::Sampled(truth) => {
+                    let k = sample_contending_size(truth, rng);
+                    run_with_count(protocol, k, max_rounds, rng)?
+                }
+            };
+            Ok(outcome)
+        })
+    }
+}
+
+fn run_with_count(
+    protocol: &dyn Protocol,
+    k: usize,
+    max_rounds: usize,
+    rng: &mut ChaCha8Rng,
+) -> Result<TrialOutcome, SimError> {
+    try_run_protocol(protocol, k, max_rounds, rng)
+        .map(TrialOutcome::from)
+        .map_err(SimError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_info::CondensedDistribution;
+
+    #[test]
+    fn builder_runs_a_registry_protocol_end_to_end() {
+        let stats = Simulation::builder()
+            .protocol(ProtocolSpec::new("decay").universe(1024))
+            .participants(70)
+            .max_rounds(10_000)
+            .trials(300)
+            .seed(7)
+            .run()
+            .unwrap();
+        assert!(stats.success_rate() > 0.99);
+    }
+
+    #[test]
+    fn missing_protocol_is_a_typed_error() {
+        let err = Simulation::builder()
+            .participants(10)
+            .max_rounds(100)
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SimError::MissingProtocol);
+    }
+
+    #[test]
+    fn zero_participants_is_rejected_at_build_time() {
+        let err = Simulation::builder()
+            .protocol(ProtocolSpec::new("decay").universe(64))
+            .participants(0)
+            .max_rounds(100)
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn zero_round_budget_is_rejected_at_build_time() {
+        let err = Simulation::builder()
+            .protocol(ProtocolSpec::new("decay").universe(64))
+            .participants(4)
+            .max_rounds(0)
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn cd_protocol_on_a_no_cd_channel_is_rejected() {
+        let err = Simulation::builder()
+            .protocol(ProtocolSpec::new("willard").universe(1 << 12))
+            .channel_mode(ChannelMode::NoCollisionDetection)
+            .participants(40)
+            .trials(10)
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        match err {
+            SimError::ModeMismatch {
+                protocol,
+                required,
+                requested,
+            } => {
+                assert_eq!(protocol, "willard");
+                assert_eq!(required, ChannelMode::CollisionDetection);
+                assert_eq!(requested, ChannelMode::NoCollisionDetection);
+            }
+            other => panic!("expected ModeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_protocol_without_budget_is_rejected() {
+        let prediction = crp_info::SizeDistribution::point_mass(256, 30).unwrap();
+        let err = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("sorted-guess-cycling")
+                    .universe(256)
+                    .prediction(CondensedDistribution::from_sizes(&prediction)),
+            )
+            .participants(30)
+            .trials(10)
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn one_shot_protocols_default_to_their_horizon() {
+        let prediction = crp_info::SizeDistribution::point_mass(1024, 60).unwrap();
+        let simulation = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("sorted-guess")
+                    .universe(1024)
+                    .prediction(CondensedDistribution::from_sizes(&prediction)),
+            )
+            .participants(60)
+            .trials(50)
+            .seed(3)
+            .build()
+            .unwrap();
+        // The §2.5 one-shot pass is bounded by the number of ranges.
+        assert_eq!(simulation.max_rounds(), 10);
+        assert_eq!(simulation.channel_mode(), ChannelMode::NoCollisionDetection);
+        let stats = simulation.run().unwrap();
+        assert_eq!(stats.trials, 50);
+    }
+
+    #[test]
+    fn per_node_protocols_run_under_explicit_placements() {
+        let stats = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("det-advice-cd")
+                    .universe(256)
+                    .advice_bits(2),
+            )
+            .participant_ids(vec![100, 130, 200])
+            .trials(1)
+            .seed(0)
+            .run()
+            .unwrap();
+        assert!((stats.success_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_truth_population_runs() {
+        let truth = crp_info::SizeDistribution::bimodal(512, 16, 256, 0.9).unwrap();
+        let stats = Simulation::builder()
+            .protocol(ProtocolSpec::new("decay").universe(512))
+            .truth(truth)
+            .max_rounds(50_000)
+            .trials(200)
+            .seed(5)
+            .run()
+            .unwrap();
+        assert!(stats.success_rate() > 0.99);
+    }
+}

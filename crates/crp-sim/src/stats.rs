@@ -1,9 +1,7 @@
 //! Summary statistics over Monte-Carlo trial outcomes.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics of a sample of per-trial round counts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SummaryStats {
     /// Number of samples.
     pub count: usize,
@@ -75,7 +73,7 @@ impl SummaryStats {
 }
 
 /// Outcome statistics of a batch of contention-resolution trials.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialStats {
     /// Total number of trials run.
     pub trials: usize,

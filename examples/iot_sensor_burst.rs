@@ -4,10 +4,10 @@
 //! Each morning a varying subset of battery-powered sensors wakes up and
 //! contends for the uplink slot.  The gateway trains a
 //! [`LearnedPredictor`] on the sizes it observed on previous mornings and
-//! hands the predicted distribution to the §2.5 sorted-guess protocol.
-//! The example shows how the expected resolution time drops as the model
-//! sees more history — the "predictions improve for free" story from the
-//! paper's introduction.
+//! hands the predicted distribution to the §2.5 sorted-guess protocol via
+//! the registry.  The example shows how the expected resolution time drops
+//! as the model sees more history — the "predictions improve for free"
+//! story from the paper's introduction.
 //!
 //! Run with:
 //!
@@ -17,8 +17,8 @@
 
 use contention_predictions::info::SizeDistribution;
 use contention_predictions::predict::LearnedPredictor;
-use contention_predictions::protocols::SortedGuess;
-use contention_predictions::sim::{measure_schedule, RunnerConfig};
+use contention_predictions::protocols::ProtocolSpec;
+use contention_predictions::sim::Simulation;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -33,7 +33,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training mornings | D_KL(c(X)||c(Y)) bits | E[rounds to uplink]");
     println!("------------------|------------------------|--------------------");
 
-    let config = RunnerConfig::with_trials(2000).seeded(99);
     for &mornings in &[0usize, 5, 20, 100, 1000] {
         // Train the histogram model on `mornings` observed wake-ups.
         let mut model = LearnedPredictor::new(n, 1.0)?;
@@ -42,8 +41,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Build the prediction-augmented protocol from the model's output
         // and measure it against the real wake-up process.
-        let protocol = SortedGuess::new(&model.predicted_condensed()).cycling();
-        let stats = measure_schedule(&protocol, &truth, 64 * n, &config);
+        let stats = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("sorted-guess-cycling")
+                    .universe(n)
+                    .prediction(model.predicted_condensed()),
+            )
+            .truth(truth.clone())
+            .max_rounds(64 * n)
+            .trials(2000)
+            .seed(99)
+            .run()?;
 
         println!(
             "{mornings:>17} | {divergence:>22.3} | {:>18.2}",

@@ -15,8 +15,8 @@
 
 use contention_predictions::info::{CondensedDistribution, SizeDistribution};
 use contention_predictions::predict::noise;
-use contention_predictions::protocols::{CodedSearch, SortedGuess};
-use contention_predictions::sim::{measure_cd_strategy, measure_schedule, RunnerConfig};
+use contention_predictions::protocols::ProtocolSpec;
+use contention_predictions::sim::Simulation;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 4096;
@@ -33,7 +33,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("stale (8x too large)", noise::support_shift(&truth, 3)?),
     ];
 
-    let config = RunnerConfig::with_trials(2000).seeded(2024);
     println!(
         "{:<22} | {:>10} | {:>18} | {:>14} | {:>10}",
         "prediction", "D_KL bits", "no-CD E[rounds]", "CD rounds", "CD success"
@@ -44,11 +43,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let prediction_condensed = CondensedDistribution::from_sizes(&prediction);
         let divergence = truth_condensed.kl_divergence(&prediction_condensed);
 
-        let sorted = SortedGuess::new(&prediction_condensed).cycling();
-        let no_cd = measure_schedule(&sorted, &truth, 64 * n, &config);
+        let no_cd = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("sorted-guess-cycling")
+                    .universe(n)
+                    .prediction(prediction_condensed.clone()),
+            )
+            .truth(truth.clone())
+            .max_rounds(64 * n)
+            .trials(2000)
+            .seed(2024)
+            .run()?;
 
-        let coded = CodedSearch::new(&prediction_condensed)?;
-        let cd = measure_cd_strategy(&coded, &truth, coded.horizon().max(4), &config);
+        // The coded-search budget defaults to the protocol's own horizon.
+        let cd = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("coded-search")
+                    .universe(n)
+                    .prediction(prediction_condensed),
+            )
+            .truth(truth.clone())
+            .trials(2000)
+            .seed(2024)
+            .run()?;
 
         println!(
             "{label:<22} | {divergence:>10.3} | {:>18.2} | {:>14.2} | {:>9.0}%",

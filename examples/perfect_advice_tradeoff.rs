@@ -4,7 +4,10 @@
 //! hand every node the same `b`-bit hint before the contention window
 //! opens.  Table 2 of the paper gives the tight trade-offs; this example
 //! sweeps `b` and prints the measured rounds for all four protocol
-//! variants next to their theory columns.
+//! variants next to their theory columns.  All four are constructed by
+//! name through the registry and run through the `Simulation` builder —
+//! the deterministic pair as per-node protocols under an explicit
+//! placement, the randomized pair as uniform protocols.
 //!
 //! Run with:
 //!
@@ -12,84 +15,78 @@
 //! cargo run --example perfect_advice_tradeoff
 //! ```
 
-use contention_predictions::channel::{execute, ChannelMode, ExecutionConfig, ParticipantId};
-use contention_predictions::predict::{AdviceOracle, IdPrefixOracle, RangeOracle};
-use contention_predictions::protocols::{
-    run_cd_strategy, run_schedule, AdvisedDecay, AdvisedWillard, DeterministicCdAdvice,
-    DeterministicNoCdAdvice,
-};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use contention_predictions::protocols::ProtocolSpec;
+use contention_predictions::sim::Simulation;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 1024usize; // log n = 10, log log n ≈ 3.3
     let active: Vec<usize> = vec![97, 130, 255, 256, 700, 701, 900];
     let k = active.len();
-    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let reps = 500;
 
     println!("universe n = {n}, |P| = {k} active nodes");
     println!(
-        "{:>2} | {:>14} | {:>12} | {:>16} | {:>13}",
+        "{:>2} | {:>10} | {:>10} | {:>16} | {:>13}",
         "b", "det no-CD", "det CD", "rand no-CD E[r]", "rand CD E[r]"
     );
     println!("{}", "-".repeat(70));
 
     for b in 0..=10usize {
-        // Deterministic protocols use an id-prefix advice function.
-        let id_advice = IdPrefixOracle.advise(n, &active, b)?;
-        let mut scan_nodes: Vec<DeterministicNoCdAdvice> = active
-            .iter()
-            .map(|&id| DeterministicNoCdAdvice::new(n, ParticipantId(id), &id_advice))
-            .collect::<Result<_, _>>()?;
-        let scan_budget = scan_nodes[0].worst_case_rounds().max(1);
-        let scan = execute(
-            &mut scan_nodes,
-            &ExecutionConfig::new(ChannelMode::NoCollisionDetection, scan_budget),
-            &mut rng,
-        );
+        // Deterministic protocols: per-node state machines driven once
+        // under the fixed placement (their budgets default to the declared
+        // worst case).
+        let scan = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("det-advice-no-cd")
+                    .universe(n)
+                    .advice_bits(b),
+            )
+            .participant_ids(active.clone())
+            .trials(1)
+            .seed(5)
+            .run()?;
+        let tree = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("det-advice-cd")
+                    .universe(n)
+                    .advice_bits(b),
+            )
+            .participant_ids(active.clone())
+            .trials(1)
+            .seed(5)
+            .run()?;
 
-        let mut tree_nodes: Vec<DeterministicCdAdvice> = active
-            .iter()
-            .map(|&id| DeterministicCdAdvice::new(n, ParticipantId(id), &id_advice))
-            .collect::<Result<_, _>>()?;
-        let tree_budget = tree_nodes[0].worst_case_rounds().max(1);
-        let tree = execute(
-            &mut tree_nodes,
-            &ExecutionConfig::new(ChannelMode::CollisionDetection, tree_budget),
-            &mut rng,
-        );
-
-        // Randomized protocols use a range advice function; average their
-        // rounds over repetitions.
-        let range_advice = RangeOracle.advise(n, &active, b)?;
-        let advised_decay = AdvisedDecay::new(n, &range_advice)?;
-        let advised_willard = AdvisedWillard::new(n, &range_advice)?;
-        let reps = 500;
-        let mut decay_total = 0usize;
-        let mut willard_total = 0usize;
-        let mut willard_hits = 0usize;
-        for _ in 0..reps {
-            decay_total += run_schedule(&advised_decay, k, 64 * n, &mut rng).rounds;
-            let outcome = run_cd_strategy(
-                &advised_willard,
-                k,
-                advised_willard.worst_case_rounds().max(1),
-                &mut rng,
-            );
-            if outcome.resolved {
-                willard_total += outcome.rounds;
-                willard_hits += 1;
-            }
-        }
+        // Randomized protocols: expected rounds over repetitions.
+        let decay = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("advised-decay")
+                    .universe(n)
+                    .participants(k)
+                    .advice_bits(b),
+            )
+            .participants(k)
+            .max_rounds(64 * n)
+            .trials(reps)
+            .seed(6)
+            .run()?;
+        let willard = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("advised-willard")
+                    .universe(n)
+                    .participants(k)
+                    .advice_bits(b),
+            )
+            .participants(k)
+            .trials(reps)
+            .seed(6)
+            .run()?;
 
         println!(
-            "{b:>2} | {:>6} (≤{:>4}) | {:>4} (≤{:>3}) | {:>16.2} | {:>13.2}",
-            scan.rounds,
-            scan_budget,
-            tree.rounds,
-            tree_budget,
-            decay_total as f64 / reps as f64,
-            willard_total as f64 / willard_hits.max(1) as f64,
+            "{b:>2} | {:>10.0} | {:>10.0} | {:>16.2} | {:>13.2}",
+            scan.mean_rounds_overall(),
+            tree.mean_rounds_overall(),
+            decay.mean_rounds_overall(),
+            willard.mean_rounds_when_resolved(),
         );
     }
 

@@ -1,5 +1,6 @@
 //! Quickstart: resolve contention on a shared channel with a learned
-//! network-size prediction.
+//! network-size prediction, through the unified protocol registry and the
+//! `Simulation` builder.
 //!
 //! Run with:
 //!
@@ -8,62 +9,78 @@
 //! ```
 
 use contention_predictions::info::{CondensedDistribution, SizeDistribution};
-use contention_predictions::protocols::{
-    run_cd_strategy, run_schedule, CodedSearch, Decay, SortedGuess, Willard,
-};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use contention_predictions::protocols::ProtocolSpec;
+use contention_predictions::sim::Simulation;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Universe of up to 4096 stations; tonight 70 of them are active.
     let n = 4096;
     let active_stations = 70;
+    let trials = 2000;
 
     // A prediction learned from past activations: usually ~64 stations,
     // occasionally a burst of ~2048.
     let prediction = SizeDistribution::bimodal(n, 64, 2048, 0.9)?;
     let condensed = CondensedDistribution::from_sizes(&prediction);
-    println!("predicted condensed entropy H(c(Y)) = {:.3} bits", condensed.entropy());
-
-    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    println!(
+        "predicted condensed entropy H(c(Y)) = {:.3} bits",
+        condensed.entropy()
+    );
 
     // --- No collision detection ------------------------------------------
     // The paper's §2.5 algorithm visits size ranges in order of predicted
     // likelihood; compare it against the classical decay strategy.
-    let sorted_guess = SortedGuess::new(&condensed).cycling();
-    let decay = Decay::new(n)?;
-
-    let with_prediction = run_schedule(&sorted_guess, active_stations, 64 * n, &mut rng);
-    let without_prediction = run_schedule(&decay, active_stations, 64 * n, &mut rng);
+    let with_prediction = Simulation::builder()
+        .protocol(
+            ProtocolSpec::new("sorted-guess-cycling")
+                .universe(n)
+                .prediction(condensed.clone()),
+        )
+        .participants(active_stations)
+        .max_rounds(64 * n)
+        .trials(trials)
+        .seed(42)
+        .run()?;
+    let without_prediction = Simulation::builder()
+        .protocol(ProtocolSpec::new("decay").universe(n))
+        .participants(active_stations)
+        .max_rounds(64 * n)
+        .trials(trials)
+        .seed(42)
+        .run()?;
     println!(
-        "no collision detection: sorted-guess resolved in {} rounds, decay in {} rounds",
-        with_prediction.rounds, without_prediction.rounds
+        "no collision detection: sorted-guess E[rounds] = {:.2}, decay E[rounds] = {:.2}",
+        with_prediction.mean_rounds_overall(),
+        without_prediction.mean_rounds_overall()
     );
 
     // --- Collision detection ----------------------------------------------
     // The §2.6 algorithm searches ranges phase-by-phase in order of optimal
     // codeword length; compare it against Willard's blind binary search.
-    let coded_search = CodedSearch::new(&condensed)?;
-    let willard = Willard::new(n)?;
-
-    let with_prediction = run_cd_strategy(
-        &coded_search,
-        active_stations,
-        coded_search.horizon().max(4),
-        &mut rng,
-    );
-    let without_prediction = run_cd_strategy(
-        &willard,
-        active_stations,
-        willard.worst_case_rounds(),
-        &mut rng,
-    );
+    // Both round budgets default to the protocols' own horizons.
+    let with_prediction = Simulation::builder()
+        .protocol(
+            ProtocolSpec::new("coded-search")
+                .universe(n)
+                .prediction(condensed),
+        )
+        .participants(active_stations)
+        .trials(trials)
+        .seed(43)
+        .run()?;
+    let without_prediction = Simulation::builder()
+        .protocol(ProtocolSpec::new("willard").universe(n))
+        .participants(active_stations)
+        .trials(trials)
+        .seed(43)
+        .run()?;
     println!(
-        "collision detection: coded-search {} in {} rounds, willard {} in {} rounds",
-        if with_prediction.resolved { "resolved" } else { "did not resolve" },
-        with_prediction.rounds,
-        if without_prediction.resolved { "resolved" } else { "did not resolve" },
-        without_prediction.rounds
+        "collision detection: coded-search resolved {:.0}% in {:.2} mean rounds, \
+         willard resolved {:.0}% in {:.2} mean rounds",
+        100.0 * with_prediction.success_rate(),
+        with_prediction.mean_rounds_when_resolved(),
+        100.0 * without_prediction.success_rate(),
+        without_prediction.mean_rounds_when_resolved()
     );
 
     Ok(())

@@ -17,33 +17,48 @@
 //! * [`predict`] (`crp-predict`) — scenario library, noise models, the
 //!   learned histogram predictor and perfect-advice oracles.
 //! * [`protocols`] (`crp-protocols`) — decay, Willard, the §2.5 / §2.6
-//!   prediction-augmented algorithms, the §3 advice algorithms and the
-//!   range-finding lower-bound machinery.
-//! * [`sim`] (`crp-sim`) — the Monte-Carlo experiment harness.
+//!   prediction-augmented algorithms, the §3 advice algorithms, the
+//!   range-finding lower-bound machinery, and the unified
+//!   [`protocols::Protocol`] API with its name-based
+//!   [`protocols::ProtocolRegistry`].
+//! * [`sim`] (`crp-sim`) — the Monte-Carlo experiment harness, fronted by
+//!   the builder-style [`sim::Simulation`].
 //!
 //! # Quickstart
 //!
+//! Protocols are constructed *by name* through the registry and run
+//! through the `Simulation` builder, which validates the configuration —
+//! participant counts, round budgets, protocol/channel-mode compatibility
+//! — before a single trial executes:
+//!
 //! ```
-//! use contention_predictions::info::SizeDistribution;
-//! use contention_predictions::protocols::{run_schedule, SortedGuess};
-//! use rand::SeedableRng;
+//! use contention_predictions::info::{CondensedDistribution, SizeDistribution};
+//! use contention_predictions::protocols::ProtocolSpec;
+//! use contention_predictions::sim::Simulation;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A learned prediction: the network usually has ~64 active stations.
 //! let prediction = SizeDistribution::bimodal(4096, 64, 2048, 0.9)?;
-//! let protocol = SortedGuess::from_sizes(&prediction);
 //!
 //! // Tonight the network actually has 70 active stations.
-//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
-//! let outcome = run_schedule(&protocol, 70, 1024, &mut rng);
-//! assert!(outcome.resolved);
+//! let stats = Simulation::builder()
+//!     .protocol(
+//!         ProtocolSpec::new("sorted-guess-cycling")
+//!             .universe(4096)
+//!             .prediction(CondensedDistribution::from_sizes(&prediction)),
+//!     )
+//!     .participants(70)
+//!     .max_rounds(4096)
+//!     .trials(200)
+//!     .seed(1)
+//!     .run()?;
+//! assert!(stats.success_rate() > 0.99);
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! See `README.md` for the architecture overview, `DESIGN.md` for the
-//! system inventory and experiment index, and `EXPERIMENTS.md` for the
-//! paper-vs-measured record.
+//! Run `cargo run --bin crp_experiments -- list` to enumerate every
+//! registered protocol, and see `README.md` for the architecture overview.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

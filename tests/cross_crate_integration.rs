@@ -1,23 +1,31 @@
 //! Integration tests spanning the whole workspace: distributions →
-//! predictions → protocols → channel → statistics.
+//! predictions → protocols (via the registry) → channel → statistics.
 
-use contention_predictions::channel::{execute, ChannelMode, ExecutionConfig, ParticipantId};
+use contention_predictions::channel::ChannelMode;
 use contention_predictions::info::{CondensedDistribution, SizeDistribution};
-use contention_predictions::predict::{
-    AdviceOracle, IdPrefixOracle, LearnedPredictor, RangeOracle, ScenarioLibrary,
-};
-use contention_predictions::protocols::{
-    run_cd_strategy, run_schedule, AdvisedDecay, AdvisedWillard, CodedSearch, Decay,
-    DeterministicCdAdvice, DeterministicNoCdAdvice, FixedProbability, SortedGuess, Willard,
-};
-use contention_predictions::sim::{measure_cd_strategy, measure_schedule, RunnerConfig};
+use contention_predictions::predict::{LearnedPredictor, ScenarioLibrary};
+use contention_predictions::protocols::{try_run_protocol, ProtocolSpec};
+use contention_predictions::sim::Simulation;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 const N: usize = 1 << 12;
+const TRIALS: usize = 300;
 
-fn trial_config() -> RunnerConfig {
-    RunnerConfig::with_trials(300).seeded(0xFEED)
+fn run_measured(
+    spec: ProtocolSpec,
+    truth: &SizeDistribution,
+    budget: Option<usize>,
+) -> contention_predictions::sim::TrialStats {
+    let mut builder = Simulation::builder()
+        .protocol(spec)
+        .truth(truth.clone())
+        .trials(TRIALS)
+        .seed(0xFEED);
+    if let Some(budget) = budget {
+        builder = builder.max_rounds(budget);
+    }
+    builder.run().expect("integration configurations are valid")
 }
 
 #[test]
@@ -26,14 +34,21 @@ fn every_uniform_protocol_resolves_every_scenario() {
     // scenario in the library and a spread of true sizes.
     let library = ScenarioLibrary::new(N).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let decay = ProtocolSpec::new("decay").universe(N).build().unwrap();
     for scenario in library.all() {
-        let condensed = scenario.condensed();
-        let sorted = SortedGuess::new(&condensed).cycling();
-        let decay = Decay::new(N).unwrap();
+        let sorted = ProtocolSpec::new("sorted-guess-cycling")
+            .universe(N)
+            .prediction(scenario.condensed())
+            .build()
+            .unwrap();
         for k in [2usize, 17, 300, 2500] {
-            let a = run_schedule(&sorted, k, 64 * N, &mut rng);
-            assert!(a.resolved, "{}: sorted-guess failed for k={k}", scenario.name());
-            let b = run_schedule(&decay, k, 64 * N, &mut rng);
+            let a = try_run_protocol(sorted.as_ref(), k, 64 * N, &mut rng).unwrap();
+            assert!(
+                a.resolved,
+                "{}: sorted-guess failed for k={k}",
+                scenario.name()
+            );
+            let b = try_run_protocol(decay.as_ref(), k, 64 * N, &mut rng).unwrap();
             assert!(b.resolved, "decay failed for k={k}");
         }
     }
@@ -52,11 +67,20 @@ fn prediction_quality_orders_expected_rounds_end_to_end() {
     strong.train(&truth, 3000, &mut rng);
     assert!(strong.divergence_from(&truth) < weak.divergence_from(&truth));
 
-    let config = trial_config();
-    let weak_protocol = SortedGuess::new(&weak.predicted_condensed()).cycling();
-    let strong_protocol = SortedGuess::new(&strong.predicted_condensed()).cycling();
-    let weak_stats = measure_schedule(&weak_protocol, &truth, 64 * N, &config);
-    let strong_stats = measure_schedule(&strong_protocol, &truth, 64 * N, &config);
+    let weak_stats = run_measured(
+        ProtocolSpec::new("sorted-guess-cycling")
+            .universe(N)
+            .prediction(weak.predicted_condensed()),
+        &truth,
+        Some(64 * N),
+    );
+    let strong_stats = run_measured(
+        ProtocolSpec::new("sorted-guess-cycling")
+            .universe(N)
+            .prediction(strong.predicted_condensed()),
+        &truth,
+        Some(64 * N),
+    );
     assert!(
         strong_stats.mean_rounds_overall() <= weak_stats.mean_rounds_overall() + 0.5,
         "strong model ({}) should not be slower than weak model ({})",
@@ -72,13 +96,22 @@ fn collision_detection_beats_no_collision_detection_at_high_entropy() {
     let library = ScenarioLibrary::new(N).unwrap();
     let scenario = library.uniform_ranges();
     let condensed = scenario.condensed();
-    let config = trial_config();
 
-    let sorted = SortedGuess::new(&condensed);
-    let no_cd = measure_schedule(&sorted, scenario.distribution(), sorted.pass_length(), &config);
-
-    let coded = CodedSearch::new(&condensed).unwrap();
-    let cd = measure_cd_strategy(&coded, scenario.distribution(), coded.horizon(), &config);
+    // Both one-shot budgets default to the protocols' own horizons.
+    let no_cd = run_measured(
+        ProtocolSpec::new("sorted-guess")
+            .universe(N)
+            .prediction(condensed.clone()),
+        scenario.distribution(),
+        None,
+    );
+    let cd = run_measured(
+        ProtocolSpec::new("coded-search")
+            .universe(N)
+            .prediction(condensed),
+        scenario.distribution(),
+        None,
+    );
 
     assert!(no_cd.success_rate() > 0.2);
     assert!(cd.success_rate() > 0.2);
@@ -95,13 +128,21 @@ fn known_size_is_the_floor_for_all_prediction_protocols() {
     let k = 500;
     let truth = SizeDistribution::point_mass(N, k).unwrap();
     let condensed = CondensedDistribution::from_sizes(&truth);
-    let config = trial_config();
 
-    let known = FixedProbability::new(k).unwrap();
-    let floor = measure_schedule(&known, &truth, 64 * N, &config);
-
-    let sorted = SortedGuess::new(&condensed).cycling();
-    let predicted = measure_schedule(&sorted, &truth, 64 * N, &config);
+    let floor = run_measured(
+        ProtocolSpec::new("fixed-probability")
+            .universe(N)
+            .estimate(k),
+        &truth,
+        Some(64 * N),
+    );
+    let predicted = run_measured(
+        ProtocolSpec::new("sorted-guess-cycling")
+            .universe(N)
+            .prediction(condensed),
+        &truth,
+        Some(64 * N),
+    );
 
     // The prediction-augmented protocol with a perfect point prediction is
     // within a small constant factor of the known-size floor.
@@ -116,12 +157,15 @@ fn willard_and_coded_search_agree_on_point_predictions() {
     let k = 900;
     let truth = SizeDistribution::point_mass(N, k).unwrap();
     let condensed = CondensedDistribution::from_sizes(&truth);
-    let config = trial_config();
 
-    let coded = CodedSearch::new(&condensed).unwrap();
-    let willard = Willard::new(N).unwrap();
-    let coded_stats = measure_cd_strategy(&coded, &truth, coded.horizon().max(2), &config);
-    let willard_stats = measure_cd_strategy(&willard, &truth, willard.worst_case_rounds(), &config);
+    let coded_stats = run_measured(
+        ProtocolSpec::new("coded-search")
+            .universe(N)
+            .prediction(condensed),
+        &truth,
+        None,
+    );
+    let willard_stats = run_measured(ProtocolSpec::new("willard").universe(N), &truth, None);
 
     assert!(coded_stats.success_rate() > 0.2);
     assert!(willard_stats.success_rate() > 0.2);
@@ -137,61 +181,73 @@ fn willard_and_coded_search_agree_on_point_predictions() {
 fn advice_protocols_respect_their_table_2_budgets_end_to_end() {
     let universe = 1 << 10;
     let active = vec![131usize, 132, 600, 601, 980];
-    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let k = active.len();
 
     for b in 0..=10usize {
-        // Deterministic no-CD: scan of the remaining candidate interval.
-        let id_advice = IdPrefixOracle.advise(universe, &active, b).unwrap();
-        let mut scan: Vec<DeterministicNoCdAdvice> = active
-            .iter()
-            .map(|&id| DeterministicNoCdAdvice::new(universe, ParticipantId(id), &id_advice).unwrap())
-            .collect();
-        let scan_budget = scan[0].worst_case_rounds().max(1);
-        assert!(scan_budget <= (universe >> b.min(10)).max(1));
-        let exec = execute(
-            &mut scan,
-            &ExecutionConfig::new(ChannelMode::NoCollisionDetection, scan_budget),
-            &mut rng,
-        );
-        assert!(exec.resolved, "det no-CD failed at b={b}");
+        // Deterministic protocols: per-node state machines under a fixed
+        // placement; budgets default to the declared worst cases.
+        for (name, bound) in [
+            ("det-advice-no-cd", (universe >> b.min(10)).max(1)),
+            ("det-advice-cd", 10usize.saturating_sub(b).max(1) + 1),
+        ] {
+            let simulation = Simulation::builder()
+                .protocol(ProtocolSpec::new(name).universe(universe).advice_bits(b))
+                .participant_ids(active.clone())
+                .trials(1)
+                .seed(3)
+                .build()
+                .unwrap();
+            assert!(
+                simulation.max_rounds() <= bound,
+                "{name} at b={b}: budget {} exceeds {bound}",
+                simulation.max_rounds()
+            );
+            let stats = simulation.run().unwrap();
+            assert!(
+                (stats.success_rate() - 1.0).abs() < 1e-12,
+                "{name} failed at b={b}"
+            );
+        }
 
-        // Deterministic CD: tree descent over the remaining interval.
-        let mut descent: Vec<DeterministicCdAdvice> = active
-            .iter()
-            .map(|&id| DeterministicCdAdvice::new(universe, ParticipantId(id), &id_advice).unwrap())
-            .collect();
-        let descent_budget = descent[0].worst_case_rounds().max(1);
-        assert!(descent_budget <= 10usize.saturating_sub(b).max(1) + 1);
-        let exec = execute(
-            &mut descent,
-            &ExecutionConfig::new(ChannelMode::CollisionDetection, descent_budget),
-            &mut rng,
-        );
-        assert!(exec.resolved, "det CD failed at b={b}");
-
-        // Randomized protocols: the advice must always keep the true range.
-        let range_advice = RangeOracle.advise(universe, &active, b).unwrap();
-        let advised_decay = AdvisedDecay::new(universe, &range_advice).unwrap();
-        assert!(advised_decay.covers_size(active.len()));
-        let exec = run_schedule(&advised_decay, active.len(), 64 * universe, &mut rng);
-        assert!(exec.resolved, "advised decay failed at b={b}");
-
-        let advised_willard = AdvisedWillard::new(universe, &range_advice).unwrap();
-        let (lo, hi) = advised_willard.candidate_ranges();
-        let true_range = contention_predictions::info::range_index_for_size(active.len());
-        assert!(lo <= true_range && true_range <= hi, "b={b}: advice lost the range");
-        // The restricted search succeeds with constant probability within
-        // its budget; over repetitions it certainly succeeds at least once.
-        let resolved_once = (0..50).any(|_| {
-            run_cd_strategy(
-                &advised_willard,
-                active.len(),
-                advised_willard.worst_case_rounds().max(1),
-                &mut rng,
+        // Randomized protocols: the advice must always keep the true range,
+        // so a cycling advised decay resolves every time…
+        let stats = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("advised-decay")
+                    .universe(universe)
+                    .participants(k)
+                    .advice_bits(b),
             )
-            .resolved
-        });
-        assert!(resolved_once, "advised willard never resolved at b={b}");
+            .participants(k)
+            .max_rounds(64 * universe)
+            .trials(50)
+            .seed(4)
+            .run()
+            .unwrap();
+        assert!(
+            (stats.success_rate() - 1.0).abs() < 1e-12,
+            "advised decay failed at b={b}"
+        );
+
+        // …and the restricted Willard search succeeds with constant
+        // probability within its own budget: over repetitions it certainly
+        // succeeds at least once.
+        let stats = Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("advised-willard")
+                    .universe(universe)
+                    .participants(k)
+                    .advice_bits(b),
+            )
+            .participants(k)
+            .trials(50)
+            .seed(5)
+            .run()
+            .unwrap();
+        assert!(
+            stats.resolved > 0,
+            "advised willard never resolved at b={b}"
+        );
     }
 }
 
@@ -203,7 +259,15 @@ fn facade_reexports_are_usable_together() {
     assert!(condensed.entropy() >= 0.0);
     let library = ScenarioLibrary::new(256).unwrap();
     assert_eq!(library.all().len(), 6);
-    let decay = Decay::new(256).unwrap();
-    let stats = measure_schedule(&decay, &truth, 10_000, &trial_config());
+    let simulation = Simulation::builder()
+        .protocol(ProtocolSpec::new("decay").universe(256))
+        .truth(truth)
+        .max_rounds(10_000)
+        .trials(TRIALS)
+        .seed(0xFEED)
+        .build()
+        .unwrap();
+    assert_eq!(simulation.channel_mode(), ChannelMode::NoCollisionDetection);
+    let stats = simulation.run().unwrap();
     assert!(stats.success_rate() > 0.99);
 }

@@ -9,12 +9,27 @@ use contention_predictions::predict::{noise, ScenarioLibrary};
 use contention_predictions::protocols::rangefinding::{
     rf_construction, target_distance_expected_length,
 };
-use contention_predictions::protocols::{CodedSearch, SortedGuess};
+use contention_predictions::protocols::{ProtocolSpec, SortedGuess};
 use contention_predictions::sim::experiments::{entropy_sweep, kl_degradation, table1, table2};
-use contention_predictions::sim::{measure_cd_strategy, measure_schedule, RunnerConfig};
+use contention_predictions::sim::{RunnerConfig, Simulation, TrialStats};
 
-fn config() -> RunnerConfig {
-    RunnerConfig::with_trials(400).seeded(0xABCD)
+const TRIALS: usize = 400;
+const SEED: u64 = 0xABCD;
+
+/// Runs a prediction-augmented protocol against a scenario's truth; a
+/// `budget` of `None` uses the protocol's own horizon.
+fn run_spec(spec: ProtocolSpec, truth: &SizeDistribution, budget: Option<usize>) -> TrialStats {
+    let mut builder = Simulation::builder()
+        .protocol(spec)
+        .truth(truth.clone())
+        .trials(TRIALS)
+        .seed(SEED);
+    if let Some(budget) = budget {
+        builder = builder.max_rounds(budget);
+    }
+    builder
+        .run()
+        .expect("theorem-shape configurations are valid")
 }
 
 #[test]
@@ -28,8 +43,13 @@ fn theorem_2_12_shape_no_cd_rounds_grow_exponentially_with_entropy() {
     let high = library.uniform_ranges();
 
     let run_with_budget = |scenario: &contention_predictions::predict::Scenario, budget: usize| {
-        let protocol = SortedGuess::new(&scenario.condensed());
-        measure_schedule(&protocol, scenario.distribution(), budget.max(1), &config())
+        run_spec(
+            ProtocolSpec::new("sorted-guess")
+                .universe(n)
+                .prediction(scenario.condensed()),
+            scenario.distribution(),
+            Some(budget.max(1)),
+        )
     };
 
     // Zero condensed entropy: a single round already succeeds with the
@@ -45,7 +65,7 @@ fn theorem_2_12_shape_no_cd_rounds_grow_exponentially_with_entropy() {
     // protocol needs a budget on the order of 2^{Θ(H)} (here, the whole
     // pass over the range ladder) to reach the same constant probability.
     let high_one_round = run_with_budget(&high, 1);
-    let high_full_pass = run_with_budget(&high, SortedGuess::new(&high.condensed()).pass_length());
+    let high_full_pass = run_with_budget(&high, high.condensed().num_ranges());
     assert!(
         high_one_round.success_rate() < low_one_round.success_rate() / 2.0,
         "one round should not suffice at maximum entropy: {} vs {}",
@@ -67,12 +87,12 @@ fn theorem_2_16_shape_cd_rounds_grow_polynomially_with_entropy() {
     let high = library.uniform_ranges();
 
     let run = |scenario: &contention_predictions::predict::Scenario| {
-        let protocol = CodedSearch::new(&scenario.condensed()).unwrap();
-        measure_cd_strategy(
-            &protocol,
+        run_spec(
+            ProtocolSpec::new("coded-search")
+                .universe(n)
+                .prediction(scenario.condensed()),
             scenario.distribution(),
-            protocol.horizon().max(2),
-            &config(),
+            None,
         )
     };
     let low_stats = run(&low);
@@ -108,8 +128,14 @@ fn divergence_penalty_is_monotone_in_kl() {
         let divergence = truth_condensed.kl_divergence(&condensed);
         assert!(divergence >= previous_divergence - 1e-9);
         previous_divergence = divergence;
-        let protocol = SortedGuess::new(&condensed).cycling();
-        rounds.push(measure_schedule(&protocol, &truth, 64 * n, &config()).mean_rounds_overall());
+        let stats = run_spec(
+            ProtocolSpec::new("sorted-guess-cycling")
+                .universe(n)
+                .prediction(condensed),
+            &truth,
+            Some(64 * n),
+        );
+        rounds.push(stats.mean_rounds_overall());
     }
     // The exact and mildly-smoothed predictions (both with small, bounded
     // divergence) are within noise of each other; the support-shifted
@@ -184,8 +210,8 @@ fn lemma_2_5_source_coding_bound_holds_for_protocol_induced_sequences() {
 #[test]
 fn experiment_modules_produce_consistent_tables_at_small_scale() {
     // Smoke-test the experiment drivers end-to-end at a reduced scale so
-    // the full pipeline (scenario -> protocol -> channel -> statistics ->
-    // markdown) is exercised in one place.
+    // the full pipeline (scenario -> registry -> Simulation -> channel ->
+    // statistics -> markdown) is exercised in one place.
     let config = RunnerConfig::with_trials(120).seeded(7);
     let t1 = table1::run(1 << 10, &config).unwrap();
     assert_eq!(t1.rows.len(), 6);
