@@ -7,15 +7,70 @@
 //! instantiates the concrete `SortedGuess` / `Willard` types directly
 //! instead of going through the registry's `dyn Protocol` objects.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use crp_bench::bench_library;
-use crp_info::huffman_code;
+use crp_info::{huffman_code, SizeDistribution};
 use crp_protocols::rangefinding::{
     rf_construction, target_distance_expected_length, RangeFindingTree,
 };
 use crp_protocols::{SortedGuess, Willard};
+use rand::distributions::Distribution as _;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Micro-bench of the sampling hot path: 1M draws from a 4096-point
+/// distribution through the cached alias table versus the seed
+/// implementation's rebuild-the-`WeightedIndex`-per-draw path.  Asserts the
+/// alias path is at least 10× faster (in practice it is orders of
+/// magnitude: O(1) versus O(n) per draw).
+fn sampling_hot_path() {
+    const DRAWS: usize = 1_000_000;
+    let truth = SizeDistribution::zipf(4096, 1.1).unwrap();
+
+    // Warm the alias table outside the timed region.
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    black_box(truth.sample(&mut rng));
+
+    let alias_start = Instant::now();
+    let mut alias_sum = 0usize;
+    for _ in 0..DRAWS {
+        alias_sum += truth.sample(&mut rng);
+    }
+    let alias_time = alias_start.elapsed();
+    black_box(alias_sum);
+
+    // The seed path, reproduced here: rebuild the cumulative table for
+    // every single draw.  1M full rebuilds is prohibitively slow, so it is
+    // timed over a subsample and scaled.
+    const SEED_DRAWS: usize = 10_000;
+    let seed_start = Instant::now();
+    let mut seed_sum = 0usize;
+    for _ in 0..SEED_DRAWS {
+        let index = rand::distributions::WeightedIndex::new(truth.masses())
+            .expect("masses form a distribution");
+        seed_sum += index.sample(&mut rng) + 1;
+    }
+    let seed_time = seed_start
+        .elapsed()
+        .mul_f64(DRAWS as f64 / SEED_DRAWS as f64);
+    black_box(seed_sum);
+
+    let speedup = seed_time.as_secs_f64() / alias_time.as_secs_f64().max(1e-12);
+    println!(
+        "\n=== Sampling hot path (4096-point distribution, {DRAWS} draws) ===\n\
+         alias table: {alias_time:?}   per-draw WeightedIndex rebuild (scaled): {seed_time:?}   \
+         speedup: {speedup:.1}x"
+    );
+    assert!(
+        speedup >= 10.0,
+        "alias-table sampling must be at least 10x faster than the seed path, got {speedup:.1}x"
+    );
+}
 
 fn range_finding(c: &mut Criterion) {
+    sampling_hot_path();
     let library = bench_library();
     let n = library.max_size();
     let willard = Willard::new(n).unwrap();

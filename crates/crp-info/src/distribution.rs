@@ -6,7 +6,8 @@
 //! paper's theorems are expressed with, plus sampling for the experiment
 //! harness.
 
-use rand::distributions::Distribution as _;
+use std::sync::OnceLock;
+
 use rand::Rng;
 
 use crate::error::InfoError;
@@ -14,6 +15,73 @@ use crate::{entropy, kl_divergence, total_variation};
 
 /// Tolerance accepted when validating that probability masses sum to one.
 const MASS_TOLERANCE: f64 = 1e-6;
+
+/// A Vose alias table: O(1) sampling from a discrete distribution.
+///
+/// Construction is O(n); each draw consumes a single uniform variate, which
+/// is split into a column index and an in-column coin.  This replaces the
+/// seed implementation's per-call `WeightedIndex` rebuild (O(n) *per
+/// sample*) on the Monte-Carlo hot path.
+#[derive(Debug, Clone)]
+struct AliasTable {
+    /// Acceptance threshold of each column, scaled to `[0, 1]`.
+    prob: Vec<f64>,
+    /// Donor index sampled when the in-column coin rejects.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from a normalised probability vector.
+    fn new(masses: &[f64]) -> Self {
+        let n = masses.len();
+        let scale = n as f64;
+        let mut residual: Vec<f64> = masses.iter().map(|&m| m * scale).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias: Vec<usize> = (0..n).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (index, &r) in residual.iter().enumerate() {
+            if r < 1.0 {
+                small.push(index);
+            } else {
+                large.push(index);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = *large.last().expect("checked non-empty");
+            prob[s] = residual[s];
+            alias[s] = l;
+            residual[l] = (residual[l] + residual[s]) - 1.0;
+            if residual[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Whatever remains has residual 1 up to floating-point error (the
+        // residuals always sum to the number of unassigned columns).
+        for l in large {
+            prob[l] = 1.0;
+        }
+        for s in small {
+            prob[s] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Draws one index, consuming exactly one uniform variate.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let scaled = u * self.prob.len() as f64;
+        let column = (scaled as usize).min(self.prob.len() - 1);
+        let coin = scaled - column as f64;
+        if coin < self.prob[column] {
+            column
+        } else {
+            self.alias[column]
+        }
+    }
+}
 
 /// A discrete probability distribution over network sizes `1..=n`.
 ///
@@ -27,13 +95,32 @@ const MASS_TOLERANCE: f64 = 1e-6;
 /// constructors in this type therefore place no mass on size 1, although
 /// arbitrary vectors that include size-1 mass are still accepted via
 /// [`SizeDistribution::from_masses`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SizeDistribution {
     /// `masses[i]` is the probability of network size `i + 1`.
     masses: Vec<f64>,
+    /// Alias table for O(1) sampling, built lazily on the first draw so
+    /// distributions that are only analysed (entropy, divergence) pay
+    /// nothing.
+    alias: OnceLock<AliasTable>,
+}
+
+/// Equality is defined by the probability masses alone; whether the sampling
+/// table has been materialised yet is an implementation detail.
+impl PartialEq for SizeDistribution {
+    fn eq(&self, other: &Self) -> bool {
+        self.masses == other.masses
+    }
 }
 
 impl SizeDistribution {
+    /// Wraps an already-normalised mass vector.
+    fn from_normalised(masses: Vec<f64>) -> Self {
+        Self {
+            masses,
+            alias: OnceLock::new(),
+        }
+    }
     /// Builds a distribution from raw probability masses over sizes
     /// `1..=masses.len()`.
     ///
@@ -59,7 +146,7 @@ impl SizeDistribution {
             return Err(InfoError::InvalidMass { sum });
         }
         let masses = masses.into_iter().map(|m| m / sum).collect();
-        Ok(Self { masses })
+        Ok(Self::from_normalised(masses))
     }
 
     /// Builds a distribution from *unnormalised* non-negative weights.
@@ -83,7 +170,7 @@ impl SizeDistribution {
             return Err(InfoError::InvalidMass { sum });
         }
         let masses = weights.into_iter().map(|w| w / sum).collect();
-        Ok(Self { masses })
+        Ok(Self::from_normalised(masses))
     }
 
     /// A point mass: the network size is always exactly `size`.
@@ -103,7 +190,7 @@ impl SizeDistribution {
         }
         let mut masses = vec![0.0; n];
         masses[size - 1] = 1.0;
-        Ok(Self { masses })
+        Ok(Self::from_normalised(masses))
     }
 
     /// Uniform distribution over all sizes `2..=n`.
@@ -122,7 +209,7 @@ impl SizeDistribution {
         for m in masses.iter_mut().skip(1) {
             *m = p;
         }
-        Ok(Self { masses })
+        Ok(Self::from_normalised(masses))
     }
 
     /// Uniform distribution over the `⌈log n⌉` *geometric ranges*, with the
@@ -262,6 +349,44 @@ impl SizeDistribution {
         Self::from_weights(weights)
     }
 
+    /// A mixture of point masses: the network size is exactly `size` with
+    /// probability proportional to `weight`, for each `(size, weight)`
+    /// component.
+    ///
+    /// Models bursty arrival workloads where the active population jumps
+    /// between a handful of discrete levels (idle cluster, regular load,
+    /// synchronized burst) with nothing in between.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::EmptySupport`] for an empty component list,
+    /// [`InfoError::InvalidSize`] unless every component size is in
+    /// `[2, n]`, and [`InfoError::InvalidMass`] if any weight is negative,
+    /// not finite, or all weights are zero.
+    pub fn mixture_of_point_masses(
+        n: usize,
+        components: &[(usize, f64)],
+    ) -> Result<Self, InfoError> {
+        if components.is_empty() {
+            return Err(InfoError::EmptySupport);
+        }
+        let mut weights = vec![0.0; n.max(2)];
+        for &(size, weight) in components {
+            if size < 2 || size > n {
+                return Err(InfoError::InvalidSize {
+                    what: format!(
+                        "mixture component requires 2 <= size <= n, got size={size}, n={n}"
+                    ),
+                });
+            }
+            if weight < 0.0 || !weight.is_finite() {
+                return Err(InfoError::InvalidMass { sum: weight });
+            }
+            weights[size - 1] += weight;
+        }
+        Self::from_weights(weights)
+    }
+
     /// Maximum representable network size `n` (the length of the mass
     /// vector).
     pub fn max_size(&self) -> usize {
@@ -308,13 +433,19 @@ impl SizeDistribution {
         total_variation(&self.masses, &other.masses)
     }
 
-    /// Draws a network size from the distribution.
+    /// Draws a network size from the distribution in O(1).
+    ///
+    /// The first draw builds a Vose alias table (O(n)); every subsequent
+    /// draw is constant-time and consumes exactly one uniform variate.
+    /// (The seed implementation rebuilt a `WeightedIndex` cumulative table
+    /// on every call, making each draw O(n).)
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        // WeightedIndex re-validates the weights; masses are already a
-        // normalised distribution so construction cannot fail here.
-        let index = rand::distributions::WeightedIndex::new(&self.masses)
-            .expect("validated masses always form a samplable distribution");
-        index.sample(rng) + 1
+        self.alias_table().sample(rng) + 1
+    }
+
+    /// The cached alias table, built on first use.
+    fn alias_table(&self) -> &AliasTable {
+        self.alias.get_or_init(|| AliasTable::new(&self.masses))
     }
 
     /// Support of the distribution: all sizes with non-zero mass, ascending.
@@ -488,6 +619,50 @@ mod tests {
     fn kl_divergence_zero_on_self() {
         let d = SizeDistribution::zipf(64, 1.0).unwrap();
         assert_eq!(d.kl_divergence(&d), 0.0);
+    }
+
+    #[test]
+    fn mixture_of_point_masses_places_exact_mass() {
+        let d = SizeDistribution::mixture_of_point_masses(1024, &[(8, 0.6), (64, 0.3), (512, 0.1)])
+            .unwrap();
+        assert!((d.probability_of(8) - 0.6).abs() < 1e-12);
+        assert!((d.probability_of(64) - 0.3).abs() < 1e-12);
+        assert!((d.probability_of(512) - 0.1).abs() < 1e-12);
+        assert_eq!(d.support(), vec![8, 64, 512]);
+        assert!(SizeDistribution::mixture_of_point_masses(1024, &[]).is_err());
+        assert!(SizeDistribution::mixture_of_point_masses(16, &[(32, 1.0)]).is_err());
+        assert!(SizeDistribution::mixture_of_point_masses(16, &[(4, -1.0)]).is_err());
+        assert!(SizeDistribution::mixture_of_point_masses(16, &[(4, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn alias_sampling_matches_masses_in_frequency() {
+        let d = SizeDistribution::from_masses(vec![0.0, 0.5, 0.25, 0.25]).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut counts = [0usize; 4];
+        let draws = 40_000;
+        for _ in 0..draws {
+            counts[d.sample(&mut rng) - 1] += 1;
+        }
+        assert_eq!(counts[0], 0, "zero-mass size was sampled");
+        for (index, &count) in counts.iter().enumerate().skip(1) {
+            let expected = d.probability_of(index + 1);
+            let observed = count as f64 / draws as f64;
+            assert!(
+                (observed - expected).abs() < 0.02,
+                "size {}: observed {observed}, expected {expected}",
+                index + 1
+            );
+        }
+    }
+
+    #[test]
+    fn equality_ignores_sampling_cache() {
+        let a = SizeDistribution::geometric(64, 0.3).unwrap();
+        let b = a.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = a.sample(&mut rng); // builds a's alias table only
+        assert_eq!(a, b);
     }
 
     #[test]

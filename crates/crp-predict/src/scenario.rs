@@ -8,19 +8,42 @@ use crp_info::{CondensedDistribution, SizeDistribution};
 
 use crate::error::PredictError;
 
-/// A named ground-truth network-size process.
+/// A named ground-truth network-size process, optionally paired with a
+/// *fixed* advice distribution that differs from the truth.
+///
+/// For ordinary scenarios the advice *is* the truth (the accurate-prediction
+/// setting of the paper's upper bounds).  Drift scenarios model a predictor
+/// whose advice was fit to an earlier truth: trials sample from the current
+/// (shifted) truth while protocols keep consulting the stale advice.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     name: String,
     distribution: SizeDistribution,
+    advice: Option<SizeDistribution>,
 }
 
 impl Scenario {
-    /// Wraps a distribution with a display name.
+    /// Wraps a distribution with a display name; the advice equals the
+    /// truth.
     pub fn new(name: impl Into<String>, distribution: SizeDistribution) -> Self {
         Self {
             name: name.into(),
             distribution,
+            advice: None,
+        }
+    }
+
+    /// Wraps a truth distribution together with a fixed advice distribution
+    /// that prediction-consuming protocols should use instead of the truth.
+    pub fn with_advice(
+        name: impl Into<String>,
+        distribution: SizeDistribution,
+        advice: SizeDistribution,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            distribution,
+            advice: Some(advice),
         }
     }
 
@@ -34,14 +57,36 @@ impl Scenario {
         &self.distribution
     }
 
+    /// The advice distribution `Y` protocols should build predictions from
+    /// (equal to the truth unless the scenario models prediction drift).
+    pub fn advice(&self) -> &SizeDistribution {
+        self.advice.as_ref().unwrap_or(&self.distribution)
+    }
+
+    /// Whether the advice differs from the truth.
+    pub fn has_drifted_advice(&self) -> bool {
+        self.advice.is_some()
+    }
+
     /// The condensed version `c(X)` of the ground truth.
     pub fn condensed(&self) -> CondensedDistribution {
         CondensedDistribution::from_sizes(&self.distribution)
     }
 
+    /// The condensed version `c(Y)` of the advice distribution.
+    pub fn advice_condensed(&self) -> CondensedDistribution {
+        CondensedDistribution::from_sizes(self.advice())
+    }
+
     /// Condensed entropy `H(c(X))` in bits.
     pub fn condensed_entropy(&self) -> f64 {
         self.condensed().entropy()
+    }
+
+    /// Divergence `D_KL(c(X) ‖ c(Y))` between truth and advice, in bits
+    /// (zero when the advice is accurate).
+    pub fn advice_divergence(&self) -> f64 {
+        self.condensed().kl_divergence(&self.advice_condensed())
     }
 }
 
@@ -133,7 +178,62 @@ impl ScenarioLibrary {
         )
     }
 
-    /// Every scenario in the library, in a stable order.
+    /// A bursty-arrival workload: a mixture of point masses at three
+    /// discrete activity levels (idle cluster, regular load, synchronized
+    /// burst), with nothing in between.
+    pub fn bursty(&self) -> Scenario {
+        let n = self.max_size;
+        Scenario::new(
+            "bursty",
+            SizeDistribution::mixture_of_point_masses(
+                n,
+                &[
+                    ((n / 64).max(2), 0.6),
+                    ((n / 16).max(2), 0.3),
+                    ((n / 4).max(2), 0.1),
+                ],
+            )
+            .expect("library sizes are validated"),
+        )
+    }
+
+    /// The advice distribution the drift scenarios were "trained" on: the
+    /// bimodal workload smoothed with 5% uniform-over-ranges mass, the way
+    /// a real histogram predictor smooths its estimate.  The smoothing
+    /// keeps every range in the advice's support, so the drift scenarios'
+    /// divergence `D_KL(c(X) ‖ c(Y))` is large but *finite* — directly
+    /// comparable against the paper's `O(2^{2H + 2D})` / `O((H + D)²)`
+    /// bounds instead of degenerating to `inf`.
+    fn drift_advice(&self) -> SizeDistribution {
+        let bimodal = self.bimodal().distribution().clone();
+        let uniform =
+            SizeDistribution::uniform_ranges(self.max_size).expect("library sizes are validated");
+        bimodal
+            .mix(&uniform, 0.95)
+            .expect("library distributions share a support")
+    }
+
+    /// Correlated-prediction drift: the advice was fit to the bimodal
+    /// workload, but the truth has since shifted one geometric range up
+    /// (the network doubled).  The advice stays fixed while every trial
+    /// samples from the shifted truth.
+    pub fn correlated_drift(&self) -> Scenario {
+        let advice = self.drift_advice();
+        let truth = crate::noise::support_shift(&advice, 1)
+            .expect("library universes have more than one range");
+        Scenario::with_advice("correlated-drift", truth, advice)
+    }
+
+    /// Adversarial drift: truth mass moves onto the sizes the advice
+    /// distribution covers *worst* (its least likely sizes), modelling an
+    /// adversary steering arrivals where the predictor is most wrong.
+    pub fn adversarial_drift(&self) -> Scenario {
+        let advice = self.drift_advice();
+        let truth = crate::noise::mass_shift(&advice, 0.5).expect("0.5 is a valid shift fraction");
+        Scenario::with_advice("adversarial-drift", truth, advice)
+    }
+
+    /// Every accurate-advice scenario in the library, in a stable order.
     pub fn all(&self) -> Vec<Scenario> {
         vec![
             self.point_mass(),
@@ -143,6 +243,58 @@ impl ScenarioLibrary {
             self.uniform_sizes(),
             self.uniform_ranges(),
         ]
+    }
+
+    /// Every scenario including the drifted-advice workloads ([`all`]
+    /// plus bursty arrivals and the two drift generators).
+    ///
+    /// [`all`]: ScenarioLibrary::all
+    pub fn extended(&self) -> Vec<Scenario> {
+        let mut scenarios = self.all();
+        scenarios.push(self.bursty());
+        scenarios.push(self.correlated_drift());
+        scenarios.push(self.adversarial_drift());
+        scenarios
+    }
+
+    /// The names [`ScenarioLibrary::by_name`] accepts, in a stable order.
+    pub fn names() -> &'static [&'static str] {
+        &[
+            "point-mass",
+            "geometric",
+            "zipf",
+            "bimodal",
+            "uniform-sizes",
+            "uniform-ranges",
+            "bursty",
+            "correlated-drift",
+            "adversarial-drift",
+        ]
+    }
+
+    /// Looks a scenario up by its stable name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::InvalidParameter`] for an unknown name.
+    pub fn by_name(&self, name: &str) -> Result<Scenario, PredictError> {
+        match name {
+            "point-mass" => Ok(self.point_mass()),
+            "geometric" => Ok(self.geometric()),
+            "zipf" => Ok(self.zipf()),
+            "bimodal" => Ok(self.bimodal()),
+            "uniform-sizes" => Ok(self.uniform_sizes()),
+            "uniform-ranges" => Ok(self.uniform_ranges()),
+            "bursty" => Ok(self.bursty()),
+            "correlated-drift" => Ok(self.correlated_drift()),
+            "adversarial-drift" => Ok(self.adversarial_drift()),
+            other => Err(PredictError::InvalidParameter {
+                what: format!(
+                    "unknown scenario {other:?}; expected one of: {}",
+                    Self::names().join(", ")
+                ),
+            }),
+        }
     }
 
     /// A family of scenarios interpolating condensed entropy from ~0 to the
@@ -219,6 +371,62 @@ mod tests {
         }
         assert!(ladder[0].condensed_entropy() < 0.1);
         assert!(ladder[7].condensed_entropy() > 2.0);
+    }
+
+    #[test]
+    fn extended_library_adds_drift_scenarios() {
+        let lib = ScenarioLibrary::new(1024).unwrap();
+        let extended = lib.extended();
+        assert_eq!(extended.len(), lib.all().len() + 3);
+        for scenario in &extended {
+            let total: f64 = scenario.distribution().masses().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}", scenario.name());
+        }
+    }
+
+    #[test]
+    fn drift_scenarios_keep_advice_fixed_while_truth_moves() {
+        let lib = ScenarioLibrary::new(1024).unwrap();
+        for scenario in [lib.correlated_drift(), lib.adversarial_drift()] {
+            assert!(scenario.has_drifted_advice(), "{}", scenario.name());
+            assert_ne!(scenario.distribution(), scenario.advice());
+            let divergence = scenario.advice_divergence();
+            assert!(
+                divergence > 0.1,
+                "{} should diverge, got {divergence}",
+                scenario.name()
+            );
+            // The smoothed advice keeps every range in its support, so the
+            // divergence is meaningful (finite), not degenerate.
+            assert!(
+                divergence.is_finite(),
+                "{} divergence must be finite, got {divergence}",
+                scenario.name()
+            );
+        }
+        // Accurate scenarios report zero divergence and advice == truth.
+        let bimodal = lib.bimodal();
+        assert!(!bimodal.has_drifted_advice());
+        assert_eq!(bimodal.advice(), bimodal.distribution());
+        assert!(bimodal.advice_divergence().abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_is_a_three_level_mixture() {
+        let lib = ScenarioLibrary::new(1024).unwrap();
+        let bursty = lib.bursty();
+        assert_eq!(bursty.distribution().support(), vec![16, 64, 256]);
+        assert!((bursty.distribution().probability_of(16) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn by_name_round_trips_every_listed_scenario() {
+        let lib = ScenarioLibrary::new(512).unwrap();
+        for &name in ScenarioLibrary::names() {
+            let scenario = lib.by_name(name).unwrap();
+            assert_eq!(scenario.name(), name);
+        }
+        assert!(lib.by_name("no-such-scenario").is_err());
     }
 
     #[test]

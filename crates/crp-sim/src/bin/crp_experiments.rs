@@ -1,24 +1,28 @@
 //! Command-line entry point that regenerates every table and figure of the
 //! paper's evaluation, plus a `list` subcommand that enumerates the
-//! protocol registry.
+//! protocol registry and a `sweep` subcommand that runs an arbitrary
+//! (registry protocol × scenario) grid.
 //!
 //! Usage:
 //!
 //! ```text
 //! crp_experiments [command] [--trials T] [--size N] [--seed S]
+//!                 [--protocols a,b,..] [--scenarios x,y,..] [--csv]
 //! ```
 //!
 //! where `command` is one of `list`, `table1`, `table2`, `entropy`, `kl`,
-//! `baselines`, `range-finding` or `all` (the default).  Experiment output
-//! is markdown, suitable for pasting into `EXPERIMENTS.md`.
+//! `baselines`, `range-finding`, `sweep` or `all` (the default).
+//! Experiment output is markdown, suitable for pasting into
+//! `EXPERIMENTS.md`; `sweep --csv` emits CSV instead.
 
 use std::process::ExitCode;
 
-use crp_protocols::ProtocolRegistry;
+use crp_predict::ScenarioLibrary;
+use crp_protocols::{ProtocolRegistry, ProtocolSpec};
 use crp_sim::experiments::{
     baselines, entropy_sweep, kl_degradation, range_finding, table1, table2,
 };
-use crp_sim::{RunnerConfig, SimError, Table};
+use crp_sim::{RunnerConfig, SimError, SweepMatrix, SweepProtocol, Table};
 
 /// Parsed command-line options.
 struct Options {
@@ -26,7 +30,14 @@ struct Options {
     trials: usize,
     size: usize,
     seed: u64,
+    protocols: Vec<String>,
+    scenarios: Vec<String>,
+    csv: bool,
 }
+
+const USAGE: &str = "usage: crp_experiments \
+[list|table1|table2|entropy|kl|baselines|range-finding|sweep|all] \
+[--trials T] [--size N] [--seed S] [--protocols a,b,..] [--scenarios x,y,..] [--csv]";
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
@@ -34,6 +45,17 @@ fn parse_args() -> Result<Options, String> {
         trials: 2000,
         size: 1 << 14,
         seed: 0xC0FFEE,
+        protocols: vec![
+            "decay".into(),
+            "willard".into(),
+            "sorted-guess-cycling".into(),
+        ],
+        scenarios: vec![
+            "bimodal".into(),
+            "bursty".into(),
+            "adversarial-drift".into(),
+        ],
+        csv: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut index = 0;
@@ -63,14 +85,34 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("invalid --seed value: {e}"))?;
             }
+            "--protocols" => {
+                index += 1;
+                options.protocols = args
+                    .get(index)
+                    .ok_or("--protocols requires a comma-separated list")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.to_string())
+                    .collect();
+            }
+            "--scenarios" => {
+                index += 1;
+                options.scenarios = args
+                    .get(index)
+                    .ok_or("--scenarios requires a comma-separated list")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.to_string())
+                    .collect();
+            }
+            "--csv" => {
+                options.csv = true;
+            }
             "--help" | "-h" => {
-                return Err(
-                    "usage: crp_experiments [list|table1|table2|entropy|kl|baselines|range-finding|all] [--trials T] [--size N] [--seed S]"
-                        .to_string(),
-                );
+                return Err(USAGE.to_string());
             }
             other if !other.starts_with("--") => {
-                const KNOWN: [&str; 8] = [
+                const KNOWN: [&str; 9] = [
                     "list",
                     "table1",
                     "table2",
@@ -78,6 +120,7 @@ fn parse_args() -> Result<Options, String> {
                     "kl",
                     "baselines",
                     "range-finding",
+                    "sweep",
                     "all",
                 ];
                 if !KNOWN.contains(&other) {
@@ -116,6 +159,77 @@ fn registry_table() -> Table {
     table
 }
 
+/// Builds the sweep column for one registry protocol: universe, accurate
+/// prediction, and a default population-size estimate are filled from each
+/// scenario; protocols without a bounded horizon get a `64·n` round budget.
+fn cli_column(name: &str) -> Result<SweepProtocol, SimError> {
+    if ProtocolRegistry::standard().entry(name).is_none() {
+        return Err(SimError::InvalidParameter {
+            what: format!("unknown protocol {name:?}; run `crp_experiments list` for the registry"),
+        });
+    }
+    let spec_for = {
+        let name = name.to_string();
+        move |s: &crp_predict::Scenario| {
+            let n = s.distribution().max_size();
+            ProtocolSpec::new(name.clone())
+                .universe(n)
+                .prediction(s.advice_condensed())
+                .participants((n / 16).max(2))
+                .advice_bits(2)
+        }
+    };
+    // Whether a protocol bounds its own horizon is a property of the
+    // protocol type, not of the scenario, so probe it once with a small
+    // representative scenario instead of rebuilding the protocol per cell.
+    // A probe that fails to build falls into the 64·n-budget branch; the
+    // real build error (if any) surfaces from the matrix's compile step.
+    let has_horizon = spec_for(&ScenarioLibrary::new(64)?.bimodal())
+        .build()
+        .ok()
+        .and_then(|protocol| protocol.horizon())
+        .is_some();
+    Ok(
+        SweepProtocol::from_scenario(name, spec_for).max_rounds_with(move |s| {
+            // Horizon-bounded protocols default to their own horizon; the
+            // unbounded ones (decay, cycling passes, fixed-probability)
+            // get a generous sweep budget.
+            if has_horizon {
+                None
+            } else {
+                Some(64 * s.distribution().max_size())
+            }
+        }),
+    )
+}
+
+/// Runs an arbitrary (registry protocol × scenario) grid declared from the
+/// command line.
+fn run_sweep(options: &Options) -> Result<(), SimError> {
+    let library = ScenarioLibrary::new(options.size)?;
+    let mut matrix =
+        SweepMatrix::new().runner(RunnerConfig::with_trials(options.trials).seeded(options.seed));
+    for name in &options.scenarios {
+        matrix = matrix.scenario(library.by_name(name)?);
+    }
+    for name in &options.protocols {
+        matrix = matrix.protocol(cli_column(name)?);
+    }
+    let results = matrix.run()?;
+    if options.csv {
+        print!("{}", results.to_csv());
+    } else {
+        println!(
+            "{}",
+            results.to_markdown(format!(
+                "Sweep (n = {}, trials = {})",
+                options.size, options.trials
+            ))
+        );
+    }
+    Ok(())
+}
+
 fn run(options: &Options) -> Result<(), SimError> {
     let config = RunnerConfig::with_trials(options.trials).seeded(options.seed);
     let wants = |name: &str| options.command == "all" || options.command == name;
@@ -123,6 +237,9 @@ fn run(options: &Options) -> Result<(), SimError> {
     if options.command == "list" {
         println!("{}", registry_table().to_markdown());
         return Ok(());
+    }
+    if options.command == "sweep" {
+        return run_sweep(options);
     }
     if wants("table1") {
         println!(

@@ -9,12 +9,12 @@
 //! where the prediction-augmented algorithms land between those extremes.
 
 use crp_info::SizeDistribution;
-use crp_predict::ScenarioLibrary;
+use crp_predict::{Scenario, ScenarioLibrary};
 use crp_protocols::ProtocolSpec;
 
 use crate::report::{fmt_f64, Table};
 use crate::runner::RunnerConfig;
-use crate::simulation::Simulation;
+use crate::sweep::{SweepMatrix, SweepPopulation, SweepProtocol};
 use crate::SimError;
 
 /// Measurements for one universe size.
@@ -75,73 +75,93 @@ impl BaselineResult {
 /// # Errors
 ///
 /// Returns [`SimError`] if a distribution or protocol cannot be built.
+/// The universe size a baseline scenario was generated for.
+fn universe_of(scenario: &Scenario) -> usize {
+    scenario.distribution().max_size()
+}
+
+/// The bimodal workload's primary mode at universe size `n`.
+fn primary_mode(n: usize) -> usize {
+    (n / 32).max(2)
+}
+
+/// Runs the baseline comparison over the given universe sizes.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if a distribution or protocol cannot be built.
 pub fn run(universe_sizes: &[usize], config: &RunnerConfig) -> Result<BaselineResult, SimError> {
-    let mut points = Vec::new();
-    for &n in universe_sizes {
-        let library = ScenarioLibrary::new(n)?;
-        let scenario = library.bimodal();
-        let truth = scenario.distribution();
-        let condensed = scenario.condensed();
-
-        let decay_stats = Simulation::builder()
-            .protocol(ProtocolSpec::new("decay").universe(n))
-            .truth(truth.clone())
-            .max_rounds(64 * n)
-            .runner(*config)
-            .run()?;
-
-        let sorted_stats = Simulation::builder()
-            .protocol(
+    // The scenario axis is the bimodal workload regenerated at each
+    // universe size (labelled by `n`); the protocol axis holds the two
+    // classical baselines, the two prediction-augmented algorithms, and
+    // the known-size floor.
+    let mut matrix = SweepMatrix::new()
+        .protocol(
+            SweepProtocol::from_scenario("decay", |s| {
+                ProtocolSpec::new("decay").universe(universe_of(s))
+            })
+            .max_rounds_with(|s| Some(64 * universe_of(s))),
+        )
+        .protocol(
+            SweepProtocol::from_scenario("sorted-guess", |s| {
                 ProtocolSpec::new("sorted-guess-cycling")
-                    .universe(n)
-                    .prediction(condensed.clone()),
-            )
-            .truth(truth.clone())
-            .max_rounds(64 * n)
-            .runner(*config)
-            .run()?;
-
-        // The round budgets of the CD protocols default to their horizons
+                    .universe(universe_of(s))
+                    .prediction(s.advice_condensed())
+            })
+            .max_rounds_with(|s| Some(64 * universe_of(s))),
+        )
+        // The CD protocols' round budgets default to their horizons
         // (Willard's worst-case search length, coded search's phase sum).
-        let willard_stats = Simulation::builder()
-            .protocol(ProtocolSpec::new("willard").universe(n))
-            .truth(truth.clone())
-            .runner(*config)
-            .run()?;
-
-        let coded_stats = Simulation::builder()
-            .protocol(
-                ProtocolSpec::new("coded-search")
-                    .universe(n)
-                    .prediction(condensed.clone()),
-            )
-            .truth(truth.clone())
-            .runner(*config)
-            .run()?;
-
+        .protocol(SweepProtocol::from_scenario("willard", |s| {
+            ProtocolSpec::new("willard").universe(universe_of(s))
+        }))
+        .protocol(SweepProtocol::from_scenario("coded-search", |s| {
+            ProtocolSpec::new("coded-search")
+                .universe(universe_of(s))
+                .prediction(s.advice_condensed())
+        }))
         // The O(1) floor: a fresh known-size protocol per trial would need
         // the sampled k; instead measure it at the distribution's primary
         // mode, which the bimodal scenario hits 85% of the time.
-        let primary_mode = (n / 32).max(2);
-        let known_truth = SizeDistribution::point_mass(n, primary_mode)?;
-        let known_stats = Simulation::builder()
-            .protocol(
+        .protocol(
+            SweepProtocol::from_scenario("known-size", |s| {
                 ProtocolSpec::new("fixed-probability")
-                    .universe(n)
-                    .estimate(primary_mode),
-            )
-            .truth(known_truth)
-            .max_rounds(64 * n)
-            .runner(*config)
-            .run()?;
+                    .universe(universe_of(s))
+                    .estimate(primary_mode(universe_of(s)))
+            })
+            .population_with(|s| {
+                let n = universe_of(s);
+                SweepPopulation::Distribution(
+                    SizeDistribution::point_mass(n, primary_mode(n))
+                        .expect("the primary mode is a valid size"),
+                )
+            })
+            .max_rounds_with(|s| Some(64 * universe_of(s))),
+        )
+        .runner(*config);
+    for &n in universe_sizes {
+        let library = ScenarioLibrary::new(n)?;
+        matrix = matrix.scenario(Scenario::new(
+            format!("bimodal-{n}"),
+            library.bimodal().distribution().clone(),
+        ));
+    }
+    let results = matrix.run()?;
 
+    let mut points = Vec::new();
+    for &n in universe_sizes {
+        let cell = |protocol: &str| {
+            results
+                .get(&format!("bimodal-{n}"), protocol)
+                .expect("the grid covers every (size, protocol) pair")
+        };
         points.push(BaselinePoint {
             universe_size: n,
-            decay_rounds: decay_stats.mean_rounds_overall(),
-            sorted_guess_rounds: sorted_stats.mean_rounds_overall(),
-            willard_rounds: willard_stats.mean_rounds_when_resolved(),
-            coded_search_rounds: coded_stats.mean_rounds_when_resolved(),
-            known_size_rounds: known_stats.mean_rounds_overall(),
+            decay_rounds: cell("decay").stats.mean_rounds_overall(),
+            sorted_guess_rounds: cell("sorted-guess").stats.mean_rounds_overall(),
+            willard_rounds: cell("willard").stats.mean_rounds_when_resolved(),
+            coded_search_rounds: cell("coded-search").stats.mean_rounds_when_resolved(),
+            known_size_rounds: cell("known-size").stats.mean_rounds_overall(),
         });
     }
     Ok(BaselineResult { points })

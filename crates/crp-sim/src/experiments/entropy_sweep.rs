@@ -13,7 +13,7 @@ use crp_protocols::ProtocolSpec;
 
 use crate::report::{fmt_f64, Table};
 use crate::runner::RunnerConfig;
-use crate::simulation::Simulation;
+use crate::sweep::{SweepMatrix, SweepProtocol};
 use crate::SimError;
 
 /// One entropy-ladder point.
@@ -78,37 +78,38 @@ pub fn run(
     config: &RunnerConfig,
 ) -> Result<EntropySweepResult, SimError> {
     let library = ScenarioLibrary::new(max_size)?;
+
+    // The grid: the entropy ladder × both prediction-augmented algorithms
+    // with accurate predictions and their own horizons as budgets.
+    let matrix = SweepMatrix::new()
+        .scenarios(library.entropy_ladder(steps.max(2)))
+        .protocol(SweepProtocol::from_scenario("no-cd", |s| {
+            ProtocolSpec::new("sorted-guess")
+                .universe(s.distribution().max_size())
+                .prediction(s.advice_condensed())
+        }))
+        .protocol(SweepProtocol::from_scenario("cd", |s| {
+            ProtocolSpec::new("coded-search")
+                .universe(s.distribution().max_size())
+                .prediction(s.advice_condensed())
+        }))
+        .runner(*config);
+    let results = matrix.run()?;
+
     let mut points = Vec::new();
-    for scenario in library.entropy_ladder(steps.max(2)) {
-        let condensed = scenario.condensed();
-        let truth = scenario.distribution();
-
-        let no_cd = Simulation::builder()
-            .protocol(
-                ProtocolSpec::new("sorted-guess")
-                    .universe(max_size)
-                    .prediction(condensed.clone()),
-            )
-            .truth(truth.clone())
-            .runner(*config)
-            .run()?;
-
-        let cd = Simulation::builder()
-            .protocol(
-                ProtocolSpec::new("coded-search")
-                    .universe(max_size)
-                    .prediction(condensed.clone()),
-            )
-            .truth(truth.clone())
-            .runner(*config)
-            .run()?;
-
+    for scenario in matrix.scenario_axis() {
+        let no_cd = results
+            .get(scenario.name(), "no-cd")
+            .expect("the grid covers every ladder step");
+        let cd = results
+            .get(scenario.name(), "cd")
+            .expect("the grid covers every ladder step");
         points.push(EntropyPoint {
-            entropy: condensed.entropy(),
-            no_cd_rounds: no_cd.mean_rounds_when_resolved(),
-            no_cd_success_rate: no_cd.success_rate(),
-            cd_rounds: cd.mean_rounds_when_resolved(),
-            cd_success_rate: cd.success_rate(),
+            entropy: no_cd.condensed_entropy,
+            no_cd_rounds: no_cd.stats.mean_rounds_when_resolved(),
+            no_cd_success_rate: no_cd.stats.success_rate(),
+            cd_rounds: cd.stats.mean_rounds_when_resolved(),
+            cd_success_rate: cd.stats.success_rate(),
         });
     }
     points.sort_by(|a, b| {

@@ -8,13 +8,13 @@
 //! shifting its support, and measures both algorithms under each
 //! prediction.
 
-use crp_info::{CondensedDistribution, SizeDistribution};
-use crp_predict::noise;
+use crp_info::SizeDistribution;
+use crp_predict::{noise, Scenario};
 use crp_protocols::ProtocolSpec;
 
 use crate::report::{fmt_f64, Table};
 use crate::runner::RunnerConfig;
-use crate::simulation::Simulation;
+use crate::sweep::{SweepMatrix, SweepProtocol};
 use crate::SimError;
 
 /// One prediction-quality point.
@@ -80,59 +80,61 @@ pub fn run(max_size: usize, config: &RunnerConfig) -> Result<KlSweepResult, SimE
         (max_size / 2).max(2),
         0.85,
     )?;
-    let truth_condensed = CondensedDistribution::from_sizes(&truth);
 
-    // A ladder of predictions of increasing divergence.
-    let mut predictions: Vec<(String, SizeDistribution)> =
-        vec![("exact".to_string(), truth.clone())];
+    // The scenario axis is a ladder of *advice* distributions of
+    // increasing divergence over the same fixed ground truth: each step is
+    // a drifted-advice scenario whose trials sample from the truth while
+    // the protocols consult the (possibly wrong) prediction.
+    let mut scenarios: Vec<Scenario> = vec![Scenario::new("exact", truth.clone())];
     for lambda in [0.25, 0.5, 0.75, 0.95] {
-        predictions.push((
+        scenarios.push(Scenario::with_advice(
             format!("mixed-{lambda}"),
+            truth.clone(),
             noise::towards_uniform(&truth, lambda)?,
         ));
     }
     for shift in [1i32, 2, 3] {
-        predictions.push((
+        scenarios.push(Scenario::with_advice(
             format!("shift-{shift}"),
+            truth.clone(),
             noise::support_shift(&truth, shift)?,
         ));
     }
 
-    let mut points = Vec::new();
-    for (label, prediction) in predictions {
-        let prediction_condensed = CondensedDistribution::from_sizes(&prediction);
-        let divergence = truth_condensed.kl_divergence(&prediction_condensed);
-
-        // Expected time of the cycling no-CD strategy built from the
-        // (possibly wrong) prediction, run against the truth.
-        let pass_length = prediction_condensed.num_ranges().max(1);
-        let no_cd = Simulation::builder()
-            .protocol(
+    let matrix = SweepMatrix::new()
+        .scenarios(scenarios)
+        .protocol(
+            // Expected time of the cycling no-CD strategy built from the
+            // prediction, run against the truth.
+            SweepProtocol::from_scenario("no-cd", |s| {
                 ProtocolSpec::new("sorted-guess-cycling")
-                    .universe(max_size)
-                    .prediction(prediction_condensed.clone()),
-            )
-            .truth(truth.clone())
-            .max_rounds(64 * pass_length)
-            .runner(*config)
-            .run()?;
+                    .universe(s.distribution().max_size())
+                    .prediction(s.advice_condensed())
+            })
+            .max_rounds_with(|s| Some(64 * s.advice_condensed().num_ranges().max(1))),
+        )
+        .protocol(SweepProtocol::from_scenario("cd", |s| {
+            ProtocolSpec::new("coded-search")
+                .universe(s.distribution().max_size())
+                .prediction(s.advice_condensed())
+        }))
+        .runner(*config);
+    let results = matrix.run()?;
 
-        let cd = Simulation::builder()
-            .protocol(
-                ProtocolSpec::new("coded-search")
-                    .universe(max_size)
-                    .prediction(prediction_condensed.clone()),
-            )
-            .truth(truth.clone())
-            .runner(*config)
-            .run()?;
-
+    let mut points = Vec::new();
+    for scenario in matrix.scenario_axis() {
+        let no_cd = results
+            .get(scenario.name(), "no-cd")
+            .expect("the grid covers every prediction");
+        let cd = results
+            .get(scenario.name(), "cd")
+            .expect("the grid covers every prediction");
         points.push(KlPoint {
-            label,
-            divergence,
-            no_cd_rounds: no_cd.mean_rounds_overall(),
-            cd_rounds: cd.mean_rounds_when_resolved(),
-            cd_success_rate: cd.success_rate(),
+            label: scenario.name().to_string(),
+            divergence: no_cd.advice_divergence,
+            no_cd_rounds: no_cd.stats.mean_rounds_overall(),
+            cd_rounds: cd.stats.mean_rounds_when_resolved(),
+            cd_success_rate: cd.stats.success_rate(),
         });
     }
     points.sort_by(|a, b| {

@@ -4,6 +4,12 @@
 //! one row per configuration, plus a `to_table` rendering used by the
 //! `crp-experiments` binary and recorded in `EXPERIMENTS.md`.
 //!
+//! Every module declares its (protocol × scenario) grid through the
+//! [`crate::SweepMatrix`] engine instead of hand-rolled nested loops: the
+//! matrix compiles the axes to validated simulation cells, executes them
+//! through the sharded runner, and the module reshapes the resulting grid
+//! into its paper-specific row type.
+//!
 //! | module | DESIGN.md experiment id | paper artefact |
 //! |---|---|---|
 //! | [`table1`] | T1-NCD, T1-CD | Table 1 (network-size predictions) |

@@ -19,6 +19,7 @@ use crp_protocols::rangefinding::{
 use crp_protocols::{Decay, SortedGuess, Willard};
 
 use crate::report::{fmt_f64, Table};
+use crate::sweep::SweepMatrix;
 use crate::SimError;
 
 /// One scenario row of the lower-bound verification.
@@ -94,8 +95,13 @@ pub fn run(max_size: usize) -> Result<RangeFindingResult, SimError> {
     let willard = Willard::new(max_size)?;
     let decay = Decay::new(max_size)?;
 
+    // This experiment is analytic (it evaluates the lower-bound reductions
+    // in closed form rather than running trials), but its scenario grid is
+    // still declared through the same matrix as the Monte-Carlo sweeps.
+    let matrix = SweepMatrix::new().scenarios(library.all());
+
     let mut rows = Vec::new();
-    for scenario in library.all() {
+    for scenario in matrix.scenario_axis() {
         let condensed = scenario.condensed();
 
         // No-CD reduction: RF-Construction applied to the sorted-guess

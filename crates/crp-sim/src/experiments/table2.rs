@@ -16,11 +16,13 @@
 //! Monte-Carlo trials.
 
 use crp_info::SizeDistribution;
+use crp_predict::Scenario;
 use crp_protocols::ProtocolSpec;
 
 use crate::report::{fmt_f64, Table};
 use crate::runner::RunnerConfig;
 use crate::simulation::Simulation;
+use crate::sweep::{SweepMatrix, SweepPopulation, SweepProtocol};
 use crate::SimError;
 
 /// One advice-budget row of the Table 2 reproduction.
@@ -141,9 +143,17 @@ pub fn det_rounds(
         .trials(1)
         .seed(0)
         .run()?;
+    det_rounds_from_stats(name, &stats)
+}
+
+/// The worst-case rounds of a deterministic protocol's measured stats;
+/// failing to resolve within the declared budget is a protocol bug by
+/// definition.  Shared by [`det_rounds`] and the sweep-grid assembly in
+/// [`run`] so the two paths cannot diverge.
+fn det_rounds_from_stats(label: &str, stats: &crate::TrialStats) -> Result<f64, SimError> {
     if stats.success_rate() < 1.0 {
         return Err(SimError::InvalidParameter {
-            what: format!("deterministic protocol {name} failed to resolve within its budget"),
+            what: format!("deterministic protocol {label} failed to resolve within its budget"),
         });
     }
     Ok(stats.mean_rounds_overall())
@@ -193,54 +203,85 @@ pub fn run(
 
     let jitter = jitter_truth(participants, universe_size)?;
 
-    let mut rows = Vec::new();
+    // One scenario (the jittered truth); the advice-budget axis unrolls
+    // into four protocol columns per budget.  Deterministic protocols run
+    // a single trial against their adversarial placement (they are
+    // deterministic, so one run is the worst case for that placement);
+    // randomized ones keep the Monte-Carlo budget.
+    let mut matrix = SweepMatrix::new()
+        .scenario(Scenario::new("jitter", jitter))
+        .runner(*config);
     for b in 0..=max_bits {
-        // Deterministic protocols: adversarial placement, single run
-        // (they are deterministic, so one run is the worst case for that
-        // placement).
         let adversarial = adversarial_participants(universe_size, participants.min(16), b);
-        let det_no_cd = det_rounds("det-advice-no-cd", universe_size, &adversarial, b)?;
-        let det_cd = det_rounds("det-advice-cd", universe_size, &adversarial, b)?;
-
-        // Randomized, no CD: truncated decay with range advice; expected
-        // rounds over random participant counts near `participants`.
-        let rand_no_cd = Simulation::builder()
+        matrix = matrix
             .protocol(
-                ProtocolSpec::new("advised-decay")
-                    .universe(universe_size)
-                    .participants(participants)
-                    .advice_bits(b),
+                SweepProtocol::new(
+                    format!("det-no-cd-b{b}"),
+                    ProtocolSpec::new("det-advice-no-cd")
+                        .universe(universe_size)
+                        .advice_bits(b),
+                )
+                .population(SweepPopulation::Placed(adversarial.clone()))
+                .trials(1),
             )
-            .truth(jitter.clone())
-            .max_rounds(64 * universe_size)
-            .runner(*config)
-            .run()?;
-
-        // Randomized, CD: Willard restricted to the advised ranges; the
-        // paper's bound is on the expected rounds of the repeated search,
-        // measured here as rounds conditioned on success within the search
-        // budget (the protocol's horizon, used as the default).
-        let rand_cd = Simulation::builder()
             .protocol(
+                SweepProtocol::new(
+                    format!("det-cd-b{b}"),
+                    ProtocolSpec::new("det-advice-cd")
+                        .universe(universe_size)
+                        .advice_bits(b),
+                )
+                .population(SweepPopulation::Placed(adversarial))
+                .trials(1),
+            )
+            // Randomized, no CD: truncated decay with range advice;
+            // expected rounds over random participant counts near
+            // `participants`.
+            .protocol(
+                SweepProtocol::new(
+                    format!("rand-no-cd-b{b}"),
+                    ProtocolSpec::new("advised-decay")
+                        .universe(universe_size)
+                        .participants(participants)
+                        .advice_bits(b),
+                )
+                .max_rounds(64 * universe_size),
+            )
+            // Randomized, CD: Willard restricted to the advised ranges;
+            // the paper's bound is on the expected rounds of the repeated
+            // search, measured here as rounds conditioned on success
+            // within the search budget (the protocol's horizon, used as
+            // the default).
+            .protocol(SweepProtocol::new(
+                format!("rand-cd-b{b}"),
                 ProtocolSpec::new("advised-willard")
                     .universe(universe_size)
                     .participants(participants)
                     .advice_bits(b),
-            )
-            .truth(jitter.clone())
-            .runner(*config)
-            .run()?;
+            ));
+    }
+    let results = matrix.run()?;
 
+    let mut rows = Vec::new();
+    for b in 0..=max_bits {
+        let cell = |label: String| {
+            results
+                .get("jitter", &label)
+                .expect("the grid covers every advice budget")
+        };
+        let det = |label: String| det_rounds_from_stats(&label, &cell(label.clone()).stats);
         rows.push(Table2Row {
             advice_bits: b,
             theory_det_no_cd: (universe_size as f64) / 2f64.powi(b as i32),
-            det_no_cd_rounds: det_no_cd,
+            det_no_cd_rounds: det(format!("det-no-cd-b{b}"))?,
             theory_det_cd: (log_n - b as f64).max(1.0),
-            det_cd_rounds: det_cd,
+            det_cd_rounds: det(format!("det-cd-b{b}"))?,
             theory_rand_no_cd: (log_n / 2f64.powi(b as i32)).max(1.0),
-            rand_no_cd_rounds: rand_no_cd.mean_rounds_overall(),
+            rand_no_cd_rounds: cell(format!("rand-no-cd-b{b}")).stats.mean_rounds_overall(),
             theory_rand_cd: (log_log_n - b as f64).max(1.0),
-            rand_cd_rounds: rand_cd.mean_rounds_when_resolved(),
+            rand_cd_rounds: cell(format!("rand-cd-b{b}"))
+                .stats
+                .mean_rounds_when_resolved(),
         });
     }
     Ok(Table2Result {

@@ -1,24 +1,33 @@
 //! Monte-Carlo experiment harness for the *Contention Resolution with
 //! Predictions* reproduction.
 //!
-//! The harness has four layers:
+//! The harness has five layers:
 //!
+//! * [`SweepMatrix`] — the declarative sweep engine: a (protocol ×
+//!   scenario × trial-budget) grid compiled to validated [`Simulation`]
+//!   cells and executed through the sharded runner, with markdown / CSV
+//!   export.  Every experiment module declares its grid this way.
 //! * [`Simulation`] — the builder-style front-end: pick a protocol by
 //!   registry spec (or hand in a custom object), choose a workload (fixed
 //!   `k`, an explicit placement, or a sampled ground truth), and run a
 //!   validated Monte-Carlo batch.  All misconfigurations — zero
 //!   participants, zero round budgets, protocol/channel-mode mismatches —
 //!   are typed [`SimError`]s raised at build time, never panics.
-//! * [`runner`] — a deterministic, optionally multi-threaded trial runner
-//!   ([`run_batch`], [`run_trials`]) whose results are independent of the
-//!   thread count thanks to per-trial seeding.  `run_batch` amortises
-//!   protocol construction: the protocol is built once and shared across
-//!   every trial.
-//! * [`stats`] / [`report`] — summary statistics and markdown table
-//!   rendering.
+//! * [`runner`] — the sharded trial runner ([`run_batch`], [`run_trials`],
+//!   [`run_batch_with_progress`]): trials split into thread-count-
+//!   independent shards ([`ShardPlan`]) with per-shard `ChaCha8Rng`
+//!   streams, folded into mergeable accumulators and merged in shard
+//!   order, so the statistics are bit-identical for any thread count.
+//!   `run_batch` amortises protocol construction: the protocol is built
+//!   once and shared across every trial.
+//! * [`stats`] / [`report`] — the mergeable streaming accumulator
+//!   ([`TrialAccumulator`]: Welford moments, exact min/max, a
+//!   log-bucketed [`QuantileSketch`]), the finalised [`TrialStats`] view,
+//!   and markdown / CSV table rendering.
 //! * [`experiments`] — one module per table / figure of the paper; the
-//!   `crp_experiments` binary runs them all (and its `list` subcommand
-//!   prints the protocol registry).
+//!   `crp_experiments` binary runs them all (its `list` subcommand prints
+//!   the protocol registry, its `sweep` subcommand runs arbitrary
+//!   registry-name × scenario-name grids).
 //!
 //! # Example
 //!
@@ -47,6 +56,7 @@ mod report;
 mod runner;
 mod simulation;
 mod stats;
+mod sweep;
 
 use std::error::Error;
 use std::fmt;
@@ -55,11 +65,15 @@ use crp_channel::ChannelMode;
 
 pub use report::{fmt_f64, Table};
 pub use runner::{
-    measure_cd_strategy, measure_schedule, run_batch, run_trials, sample_contending_size,
-    RunnerConfig, TrialOutcome,
+    measure_cd_strategy, measure_schedule, run_batch, run_batch_with_progress, run_trials,
+    sample_contending_size, BatchProgress, ProgressFn, RunnerConfig, ShardPlan, TrialOutcome,
 };
 pub use simulation::{Simulation, SimulationBuilder};
-pub use stats::{SummaryStats, TrialStats};
+pub use stats::{QuantileSketch, StreamAccumulator, SummaryStats, TrialAccumulator, TrialStats};
+pub use sweep::{
+    SweepCell, SweepCellResult, SweepMatrix, SweepPopulation, SweepProgress, SweepProtocol,
+    SweepResults,
+};
 
 /// Errors produced by the experiment harness.
 #[derive(Debug, Clone, PartialEq)]

@@ -41,6 +41,33 @@ impl Table {
         &self.title
     }
 
+    /// Renders the table as RFC-4180-style CSV (header row first; fields
+    /// containing commas, quotes or newlines are quoted).
+    pub fn to_csv(&self) -> String {
+        fn escape(field: &str) -> String {
+            if field.contains(',') || field.contains('"') || field.contains('\n') {
+                format!("\"{}\"", field.replace('"', "\"\""))
+            } else {
+                field.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
     /// Renders the table as markdown.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
@@ -85,6 +112,18 @@ mod tests {
         assert!(md.contains("| a | b |"));
         assert!(md.contains("| 1 | 2 |"));
         assert!(md.contains("| 3 |  |"));
+    }
+
+    #[test]
+    fn table_renders_csv_with_escaping() {
+        let mut table = Table::new("Demo", &["name", "value"]);
+        table.push_row(vec!["plain".into(), "1".into()]);
+        table.push_row(vec!["with,comma".into(), "say \"hi\"".into()]);
+        let csv = table.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",\"say \"\"hi\"\"\"");
     }
 
     #[test]

@@ -1,17 +1,24 @@
-//! The Monte-Carlo trial runner.
+//! The sharded Monte-Carlo trial runner.
 //!
-//! Trials are embarrassingly parallel; the runner shards them across
-//! threads with a *per-trial* deterministic seed (`base_seed` xor trial
-//! index), so the result set is identical regardless of how many threads
-//! executed it.
+//! Trials are embarrassingly parallel.  A batch is split by a [`ShardPlan`]
+//! into fixed-size shards — a function of the trial count only, never of
+//! the thread count — and each shard draws its randomness from its own
+//! `ChaCha8Rng` stream derived from `(base_seed, shard_index)`.  Worker
+//! threads claim whole shards from a work queue and fold each shard's
+//! outcomes into a private [`TrialAccumulator`]; the driver then merges the
+//! shard accumulators *in shard order*.  Because the plan, the streams and
+//! the merge order are all independent of scheduling, the resulting
+//! [`TrialStats`] are bit-identical for any thread count.
 //!
-//! Two entry points are provided: [`run_trials`] for infallible trial
-//! closures and [`run_batch`] — the engine under the [`crate::Simulation`]
-//! builder — whose closures may fail with a typed error.  `run_batch` is
-//! where protocol construction is amortised: the caller builds the
-//! protocol once and every trial only *drives* it, which is what keeps
-//! Monte-Carlo sweeps at `trials = 10^4…10^6` cheap.
+//! Three entry points are provided: [`run_trials`] for infallible trial
+//! closures, [`run_batch`] — the engine under the [`crate::Simulation`]
+//! builder — whose closures may fail with a typed error, and
+//! [`run_batch_with_progress`] which additionally reports per-shard
+//! completion.  `run_batch` is where protocol construction is amortised:
+//! the caller builds the protocol once and every trial only *drives* it,
+//! which is what keeps Monte-Carlo sweeps at `trials = 10^4…10^6` cheap.
 
+use std::convert::Infallible;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -21,7 +28,7 @@ use crp_protocols::{try_run_cd_strategy, try_run_schedule, CdStrategy, NoCdSched
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::stats::{SummaryStats, TrialStats};
+use crate::stats::{TrialAccumulator, TrialStats};
 use crate::SimError;
 
 /// Outcome of a single Monte-Carlo trial.
@@ -47,9 +54,11 @@ impl From<Execution> for TrialOutcome {
 pub struct RunnerConfig {
     /// Number of independent trials.
     pub trials: usize,
-    /// Base seed; trial `i` uses seed `base_seed ^ i`.
+    /// Base seed; shard `s` of the batch draws from a `ChaCha8Rng` stream
+    /// derived from `(base_seed, s)`.
     pub base_seed: u64,
-    /// Number of worker threads (1 = run inline).
+    /// Number of worker threads (1 = run inline).  The statistics do not
+    /// depend on this value, only the wall-clock time does.
     pub threads: usize,
 }
 
@@ -88,16 +97,201 @@ impl RunnerConfig {
     }
 }
 
+/// How a batch of trials is split into deterministic shards.
+///
+/// The plan is a function of the trial count alone — never of the thread
+/// count — so the same configuration always yields the same shards, the
+/// same per-shard RNG streams, and therefore bit-identical statistics no
+/// matter how many threads execute it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    trials: usize,
+    shard_size: usize,
+}
+
+impl ShardPlan {
+    /// Default number of trials per shard: small enough to load-balance
+    /// across threads, large enough to amortise accumulator merging.
+    pub const DEFAULT_SHARD_SIZE: usize = 256;
+
+    /// Plans `trials` trials with the default shard size.
+    pub fn new(trials: usize) -> Self {
+        Self::with_shard_size(trials, Self::DEFAULT_SHARD_SIZE)
+    }
+
+    /// Plans `trials` trials in shards of at most `shard_size` (clamped to
+    /// at least 1).
+    pub fn with_shard_size(trials: usize, shard_size: usize) -> Self {
+        Self {
+            trials,
+            shard_size: shard_size.max(1),
+        }
+    }
+
+    /// Total number of trials planned.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.trials.div_ceil(self.shard_size)
+    }
+
+    /// Number of trials in shard `shard` (the last shard may be short).
+    pub fn shard_trials(&self, shard: usize) -> usize {
+        let start = shard * self.shard_size;
+        self.trials.saturating_sub(start).min(self.shard_size)
+    }
+
+    /// The deterministic RNG stream of shard `shard`: a `ChaCha8Rng` whose
+    /// 256-bit seed encodes `(base_seed, shard)` plus a fixed domain salt,
+    /// so distinct shards get statistically independent streams.
+    pub fn shard_rng(&self, base_seed: u64, shard: usize) -> ChaCha8Rng {
+        let mut seed = [0u8; 32];
+        seed[..8].copy_from_slice(&base_seed.to_le_bytes());
+        seed[8..16].copy_from_slice(&(shard as u64).to_le_bytes());
+        seed[16..32].copy_from_slice(b"crp-shard-stream");
+        ChaCha8Rng::from_seed(seed)
+    }
+}
+
+/// Progress of a sharded batch, reported once per completed shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchProgress {
+    /// Shards finished so far.
+    pub completed_shards: usize,
+    /// Total shards in the plan.
+    pub total_shards: usize,
+    /// Trials finished so far.
+    pub completed_trials: usize,
+    /// Total trials in the plan.
+    pub total_trials: usize,
+}
+
+/// A shard-completion callback; see [`run_batch_with_progress`].
+pub type ProgressFn<'a> = &'a (dyn Fn(BatchProgress) + Sync);
+
+/// Folds one shard of the plan into a fresh accumulator, stopping at the
+/// first failed trial.
+fn run_shard<F, E>(
+    plan: &ShardPlan,
+    base_seed: u64,
+    shard: usize,
+    trial: &F,
+) -> Result<TrialAccumulator, E>
+where
+    F: Fn(&mut ChaCha8Rng) -> Result<TrialOutcome, E> + Sync,
+{
+    let mut rng = plan.shard_rng(base_seed, shard);
+    let mut accumulator = TrialAccumulator::new();
+    for _ in 0..plan.shard_trials(shard) {
+        let outcome = trial(&mut rng)?;
+        accumulator.record(outcome.resolved, outcome.rounds as u64);
+    }
+    Ok(accumulator)
+}
+
+/// The generic sharded engine under every public entry point.
+///
+/// Shards are executed by `config.threads` workers pulling from a shared
+/// queue, then merged sequentially in shard order, which makes the result
+/// independent of scheduling.  On failure the error of the lowest-indexed
+/// failing shard (and, within it, the first failing trial) is reported.
+fn run_shards<F, E>(
+    config: &RunnerConfig,
+    trial: F,
+    progress: Option<ProgressFn<'_>>,
+) -> Result<TrialStats, E>
+where
+    F: Fn(&mut ChaCha8Rng) -> Result<TrialOutcome, E> + Sync,
+    E: Send,
+{
+    let plan = ShardPlan::new(config.trials);
+    let num_shards = plan.num_shards();
+    // Both counters advance under one lock so every callback observes a
+    // consistent (shards, trials) pair and the last delivered callback
+    // always reports 100% (the lock is taken once per completed shard).
+    let completed: Mutex<(usize, usize)> = Mutex::new((0, 0));
+    let report = |shard: usize| {
+        if let Some(callback) = progress {
+            let (shards_done, trials_done) = {
+                let mut done = completed.lock().expect("no panics while counting progress");
+                done.0 += 1;
+                done.1 += plan.shard_trials(shard);
+                *done
+            };
+            callback(BatchProgress {
+                completed_shards: shards_done,
+                total_shards: num_shards,
+                completed_trials: trials_done,
+                total_trials: plan.trials(),
+            });
+        }
+    };
+
+    let shard_results: Vec<Result<TrialAccumulator, E>> = if config.threads <= 1 || num_shards <= 1
+    {
+        (0..num_shards)
+            .map(|shard| {
+                let result = run_shard(&plan, config.base_seed, shard, &trial);
+                report(shard);
+                result
+            })
+            .collect()
+    } else {
+        let slots: Mutex<Vec<Option<Result<TrialAccumulator, E>>>> =
+            Mutex::new((0..num_shards).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let workers = config.threads.min(num_shards);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let shard = next.fetch_add(1, Ordering::Relaxed);
+                    if shard >= num_shards {
+                        break;
+                    }
+                    let result = run_shard(&plan, config.base_seed, shard, &trial);
+                    slots
+                        .lock()
+                        .expect("no worker panics while holding the lock")[shard] = Some(result);
+                    report(shard);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("no worker panics while holding the lock")
+            .into_iter()
+            .map(|slot| slot.expect("every shard index was claimed by a worker"))
+            .collect()
+    };
+
+    // Merge in shard order: deterministic for any thread count, and the
+    // lowest-indexed shard error wins.
+    let mut merged = TrialAccumulator::new();
+    for result in shard_results {
+        merged.merge(&result?);
+    }
+    Ok(merged.finalize())
+}
+
 /// Runs `config.trials` independent trials of `trial`, which receives a
 /// deterministically seeded RNG, and aggregates the outcomes.
 ///
-/// The aggregation is order-insensitive, so the statistics are identical
-/// regardless of thread count.
+/// The trial closure is infallible, and so is this wrapper: it delegates
+/// to the same sharded engine as [`run_batch`] instantiated with the
+/// [`Infallible`] error type, so there is no panic path to reach — the
+/// impossible-error arm is discharged by the type system rather than an
+/// `expect`.
 pub fn run_trials<F>(config: &RunnerConfig, trial: F) -> TrialStats
 where
     F: Fn(&mut ChaCha8Rng) -> TrialOutcome + Sync,
 {
-    run_batch(config, |rng| Ok(trial(rng))).expect("infallible trials cannot fail")
+    match run_shards::<_, Infallible>(config, |rng| Ok(trial(rng)), None) {
+        Ok(stats) => stats,
+        Err(never) => match never {},
+    }
 }
 
 /// Fallible batch runner: like [`run_trials`], but a trial may return a
@@ -110,69 +304,31 @@ where
 /// # Errors
 ///
 /// Returns the first [`SimError`] any trial produced.  Which trial's error
-/// is reported is deterministic for a fixed configuration (the lowest
-/// trial index that failed).
+/// is reported is deterministic for a fixed configuration (the first
+/// failing trial of the lowest-indexed failing shard).
 pub fn run_batch<F>(config: &RunnerConfig, trial: F) -> Result<TrialStats, SimError>
 where
     F: Fn(&mut ChaCha8Rng) -> Result<TrialOutcome, SimError> + Sync,
 {
-    let outcomes: Vec<Result<TrialOutcome, SimError>> = if config.threads <= 1 || config.trials < 64
-    {
-        (0..config.trials)
-            .map(|i| {
-                let mut rng = ChaCha8Rng::seed_from_u64(config.base_seed ^ i as u64);
-                trial(&mut rng)
-            })
-            .collect()
-    } else {
-        let results: Mutex<Vec<Result<TrialOutcome, SimError>>> =
-            Mutex::new(vec![
-                Ok(TrialOutcome {
-                    resolved: false,
-                    rounds: 0
-                });
-                config.trials
-            ]);
-        let next = AtomicUsize::new(0);
-        let workers = config.threads.min(config.trials);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= config.trials {
-                        break;
-                    }
-                    let mut rng = ChaCha8Rng::seed_from_u64(config.base_seed ^ index as u64);
-                    let outcome = trial(&mut rng);
-                    results
-                        .lock()
-                        .expect("no worker panics while holding the lock")[index] = outcome;
-                });
-            }
-        });
-        results
-            .into_inner()
-            .expect("no worker panics while holding the lock")
-    };
+    run_shards(config, trial, None)
+}
 
-    // Report the lowest-index error deterministically.
-    let mut collected = Vec::with_capacity(outcomes.len());
-    for outcome in outcomes {
-        collected.push(outcome?);
-    }
-
-    let resolved: Vec<f64> = collected
-        .iter()
-        .filter(|o| o.resolved)
-        .map(|o| o.rounds as f64)
-        .collect();
-    let all: Vec<f64> = collected.iter().map(|o| o.rounds as f64).collect();
-    Ok(TrialStats {
-        trials: collected.len(),
-        resolved: resolved.len(),
-        rounds_when_resolved: SummaryStats::from_samples(&resolved),
-        rounds_overall: SummaryStats::from_samples(&all),
-    })
+/// Like [`run_batch`], but invokes `progress` after every completed shard
+/// (from whichever worker thread finished it), for long sweeps that want a
+/// live progress display.
+///
+/// # Errors
+///
+/// As [`run_batch`].
+pub fn run_batch_with_progress<F>(
+    config: &RunnerConfig,
+    trial: F,
+    progress: ProgressFn<'_>,
+) -> Result<TrialStats, SimError>
+where
+    F: Fn(&mut ChaCha8Rng) -> Result<TrialOutcome, SimError> + Sync,
+{
+    run_shards(config, trial, Some(progress))
 }
 
 /// Measures a uniform no-collision-detection schedule against a true size
@@ -256,6 +412,86 @@ mod tests {
         parallel_config.threads = 4;
         let parallel = measure_schedule(&decay, &truth, 10_000, &parallel_config);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sharded_stats_are_bit_identical_for_threads_1_2_and_8() {
+        // The acceptance criterion of the sharded driver: same seed, same
+        // trial count, any thread count -> the SAME TrialStats, field for
+        // field, including every floating-point bit (PartialEq on f64).
+        let truth = SizeDistribution::bimodal(2048, 40, 900, 0.8).unwrap();
+        let decay = Decay::new(2048).unwrap();
+        // 1000 trials spans multiple shards (shard size 256), so the merge
+        // path is genuinely exercised.
+        let run = |threads: usize| {
+            let mut config = RunnerConfig::with_trials(1000).seeded(99);
+            config.threads = threads;
+            measure_schedule(&decay, &truth, 50_000, &config)
+        };
+        let single = run(1);
+        let double = run(2);
+        let eight = run(8);
+        assert_eq!(single, double);
+        assert_eq!(single, eight);
+        assert_eq!(single.trials, 1000);
+    }
+
+    #[test]
+    fn shard_plan_is_a_function_of_the_trial_count_only() {
+        let plan = ShardPlan::new(1000);
+        assert_eq!(plan.trials(), 1000);
+        assert_eq!(plan.num_shards(), 4);
+        assert_eq!(plan.shard_trials(0), 256);
+        assert_eq!(plan.shard_trials(3), 1000 - 3 * 256);
+        assert_eq!(plan.shard_trials(4), 0);
+        assert_eq!(ShardPlan::new(0).num_shards(), 0);
+        assert_eq!(ShardPlan::new(1).num_shards(), 1);
+        let custom = ShardPlan::with_shard_size(10, 0);
+        assert_eq!(custom.num_shards(), 10, "shard size clamps to 1");
+    }
+
+    #[test]
+    fn shard_rng_streams_differ_per_shard_and_seed() {
+        use rand::RngCore;
+        let plan = ShardPlan::new(512);
+        let mut a = plan.shard_rng(7, 0);
+        let mut b = plan.shard_rng(7, 1);
+        let mut c = plan.shard_rng(8, 0);
+        let mut a2 = plan.shard_rng(7, 0);
+        let first: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        assert_eq!(first, (0..4).map(|_| a2.next_u64()).collect::<Vec<_>>());
+        assert_ne!(first, (0..4).map(|_| b.next_u64()).collect::<Vec<_>>());
+        assert_ne!(first, (0..4).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn progress_callback_reports_every_shard() {
+        use std::sync::atomic::AtomicUsize;
+        let config = RunnerConfig::with_trials(1000).seeded(3).single_threaded();
+        let calls = AtomicUsize::new(0);
+        let last_trials = AtomicUsize::new(0);
+        let stats = run_batch_with_progress(
+            &config,
+            |_| {
+                Ok(TrialOutcome {
+                    resolved: true,
+                    rounds: 1,
+                })
+            },
+            &|progress: BatchProgress| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                last_trials.store(progress.completed_trials, Ordering::Relaxed);
+                assert_eq!(progress.total_shards, ShardPlan::new(1000).num_shards());
+                assert_eq!(progress.total_trials, 1000);
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.trials, 1000);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            ShardPlan::new(1000).num_shards()
+        );
+        assert_eq!(last_trials.load(Ordering::Relaxed), 1000);
     }
 
     #[test]
