@@ -1,0 +1,141 @@
+//! Bench F-SCHED: the work-stealing sweep scheduler versus sequential
+//! cell execution.
+//!
+//! The workload is the shape the scheduler exists for: a 16-cell grid of
+//! *small* cells (4 scenarios × 4 decay columns, two 256-trial shards
+//! each) on a multi-threaded runner.  Sequentially, each cell spins up a
+//! thread scope for its own two shards and tears it down again — at most
+//! two workers are ever busy, sixteen times over.  The work-stealing
+//! scheduler feeds all 32 `(cell, shard)` jobs into one global queue
+//! under a single thread scope, so every worker stays busy until the
+//! grid is done.
+//!
+//! The bench times both strategies over a few repetitions (taking the
+//! minimum, which is robust against scheduling noise) and asserts the
+//! work-stealing scheduler is no slower than sequential cells, modulo a
+//! small tolerance for timer jitter on single-core machines where the two
+//! strategies are equivalent.
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use crp_protocols::ProtocolSpec;
+use crp_sim::{RunnerConfig, SweepMatrix, SweepProtocol, SweepResults};
+
+/// Grid scale: 4 × 4 = 16 cells, each two 256-trial shards (32 jobs).
+const SCENARIOS: usize = 4;
+const COLUMNS: usize = 4;
+const TRIALS_PER_CELL: usize = 512;
+const UNIVERSE: usize = 1 << 10;
+const REPETITIONS: usize = 7;
+
+/// Sequential execution may be up to this factor faster before the
+/// assertion fires; it absorbs timer jitter without masking a real
+/// scheduler regression.
+const TOLERANCE: f64 = 1.15;
+
+fn grid() -> SweepMatrix {
+    let library = crp_predict::ScenarioLibrary::new(UNIVERSE).expect("bench universe is valid");
+    let scenarios = [
+        library.bimodal(),
+        library.geometric(),
+        library.bursty(),
+        library.adversarial_drift(),
+    ];
+    assert_eq!(scenarios.len(), SCENARIOS);
+    let mut matrix = SweepMatrix::new()
+        .scenarios(scenarios)
+        .trials(TRIALS_PER_CELL)
+        .runner(RunnerConfig::with_trials(TRIALS_PER_CELL).seeded(17));
+    for column in 0..COLUMNS {
+        matrix = matrix.protocol(
+            SweepProtocol::from_scenario(format!("decay-{column}"), |s| {
+                ProtocolSpec::new("decay").universe(s.distribution().max_size())
+            })
+            .max_rounds_with(|s| Some(64 * s.distribution().max_size())),
+        );
+    }
+    matrix
+}
+
+/// The pre-refactor strategy: run each compiled cell's simulation to
+/// completion before starting the next (each cell internally parallel).
+fn run_sequential_cells(matrix: &SweepMatrix) -> Vec<crp_sim::TrialStats> {
+    matrix
+        .compile()
+        .expect("bench grid compiles")
+        .iter()
+        .map(|cell| cell.simulation.run().expect("bench cell runs"))
+        .collect()
+}
+
+/// The work-stealing scheduler: all (cell, shard) jobs in one queue.
+fn run_work_stealing(matrix: &SweepMatrix) -> SweepResults {
+    matrix.run().expect("bench grid runs")
+}
+
+fn time_min<T>(mut body: impl FnMut() -> T) -> Duration {
+    // One warm-up, then the minimum over the repetitions.
+    black_box(body());
+    (0..REPETITIONS)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(body());
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one repetition")
+}
+
+fn scheduler_comparison() {
+    let matrix = grid();
+    assert_eq!(matrix.len(), SCENARIOS * COLUMNS);
+
+    // Same statistics either way — the scheduler only changes wall clock.
+    let sequential_stats = run_sequential_cells(&matrix);
+    let scheduled = run_work_stealing(&matrix);
+    for (alone, cell) in sequential_stats.iter().zip(scheduled.cells()) {
+        assert_eq!(
+            alone, &cell.stats,
+            "work stealing changed {}/{}",
+            cell.scenario, cell.protocol
+        );
+    }
+
+    let sequential = time_min(|| run_sequential_cells(&matrix));
+    let stealing = time_min(|| run_work_stealing(&matrix));
+    let ratio = stealing.as_secs_f64() / sequential.as_secs_f64().max(1e-12);
+    println!(
+        "\n=== Sweep scheduler ({} cells of {} trials) ===\n\
+         sequential cells: {sequential:?}   work stealing: {stealing:?}   \
+         stealing/sequential: {ratio:.2}x",
+        SCENARIOS * COLUMNS,
+        TRIALS_PER_CELL
+    );
+    assert!(
+        ratio <= TOLERANCE,
+        "the work-stealing scheduler must be no slower than sequential cells \
+         (ratio {ratio:.2}x > tolerance {TOLERANCE}x)"
+    );
+}
+
+fn sweep_scheduler(c: &mut Criterion) {
+    scheduler_comparison();
+    let matrix = grid();
+    let mut group = c.benchmark_group("sweep_scheduler");
+    group.sample_size(5);
+    group.bench_with_input(
+        criterion::BenchmarkId::new("sequential-cells", matrix.len()),
+        &matrix,
+        |b, m| b.iter(|| run_sequential_cells(m)),
+    );
+    group.bench_with_input(
+        criterion::BenchmarkId::new("work-stealing", matrix.len()),
+        &matrix,
+        |b, m| b.iter(|| run_work_stealing(m)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, sweep_scheduler);
+criterion_main!(benches);

@@ -96,6 +96,24 @@ impl CondensedDistribution {
     /// `⌈log max_size⌉`, and [`InfoError::InvalidMass`] if the masses are
     /// negative or do not sum to one.
     pub fn from_range_masses(masses: Vec<f64>, max_size: usize) -> Result<Self, InfoError> {
+        let exact = Self::from_range_masses_exact(masses, max_size)?;
+        let sum: f64 = exact.masses.iter().sum();
+        Ok(Self {
+            masses: exact.masses.into_iter().map(|m| m / sum).collect(),
+            max_size,
+        })
+    }
+
+    /// Builds a condensed distribution from an *already-normalised* range
+    /// mass vector without re-normalising, so `d.probabilities()`
+    /// round-trips bit-exactly through this constructor (the requirement of
+    /// serialisation layers such as the multi-process shard backend in
+    /// `crp-sim`).
+    ///
+    /// # Errors
+    ///
+    /// As [`CondensedDistribution::from_range_masses`].
+    pub fn from_range_masses_exact(masses: Vec<f64>, max_size: usize) -> Result<Self, InfoError> {
         if masses.is_empty() {
             return Err(InfoError::EmptySupport);
         }
@@ -117,7 +135,6 @@ impl CondensedDistribution {
         if (sum - 1.0).abs() > 1e-6 {
             return Err(InfoError::InvalidMass { sum });
         }
-        let masses = masses.into_iter().map(|m| m / sum).collect();
         Ok(Self { masses, max_size })
     }
 
@@ -209,6 +226,34 @@ mod tests {
         assert_eq!(range_index_for_size(9), 4);
         assert_eq!(range_index_for_size(1024), 10);
         assert_eq!(range_index_for_size(1025), 11);
+    }
+
+    #[test]
+    fn from_range_masses_exact_round_trips_bit_exactly() {
+        let sizes =
+            SizeDistribution::from_weights(vec![0.3, 1.0, 2.0, 4.0, 1.7, 0.2, 0.9]).unwrap();
+        let condensed = CondensedDistribution::from_sizes(&sizes);
+        let round_tripped = CondensedDistribution::from_range_masses_exact(
+            condensed.probabilities().to_vec(),
+            condensed.max_size(),
+        )
+        .unwrap();
+        let bits: Vec<u64> = condensed
+            .probabilities()
+            .iter()
+            .map(|m| m.to_bits())
+            .collect();
+        let rt_bits: Vec<u64> = round_tripped
+            .probabilities()
+            .iter()
+            .map(|m| m.to_bits())
+            .collect();
+        assert_eq!(bits, rt_bits, "every range mass must survive bit-for-bit");
+        assert_eq!(round_tripped.max_size(), condensed.max_size());
+        // Validation still applies: wrong range count and bad masses fail.
+        assert!(CondensedDistribution::from_range_masses_exact(vec![1.0], 1024).is_err());
+        assert!(CondensedDistribution::from_range_masses_exact(vec![0.5, 0.4], 4).is_err());
+        assert!(CondensedDistribution::from_range_masses_exact(vec![], 4).is_err());
     }
 
     #[test]

@@ -133,6 +133,28 @@ impl SizeDistribution {
     /// the total mass differs from one by more than `1e-6` before
     /// re-normalisation.
     pub fn from_masses(masses: Vec<f64>) -> Result<Self, InfoError> {
+        let exact = Self::from_masses_exact(masses)?;
+        let sum: f64 = exact.masses.iter().sum();
+        let masses = exact.masses.into_iter().map(|m| m / sum).collect();
+        Ok(Self::from_normalised(masses))
+    }
+
+    /// Builds a distribution from an *already-normalised* mass vector
+    /// without re-normalising, so `d.masses()` round-trips bit-exactly
+    /// through this constructor.
+    ///
+    /// This is the constructor serialisation layers (e.g. the multi-process
+    /// shard backend in `crp-sim`) must use: [`SizeDistribution::from_masses`]
+    /// divides every entry by the observed sum, which can perturb the last
+    /// bits of each mass and would make deserialised distributions sample
+    /// differently from the originals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfoError::EmptySupport`] for an empty vector and
+    /// [`InfoError::InvalidMass`] if any entry is negative, not finite, or
+    /// the total mass differs from one by more than `1e-6`.
+    pub fn from_masses_exact(masses: Vec<f64>) -> Result<Self, InfoError> {
         if masses.is_empty() {
             return Err(InfoError::EmptySupport);
         }
@@ -145,7 +167,6 @@ impl SizeDistribution {
         if (sum - 1.0).abs() > MASS_TOLERANCE {
             return Err(InfoError::InvalidMass { sum });
         }
-        let masses = masses.into_iter().map(|m| m / sum).collect();
         Ok(Self::from_normalised(masses))
     }
 
@@ -502,6 +523,29 @@ mod tests {
         assert!(SizeDistribution::from_masses(vec![0.5, 0.5]).is_ok());
         assert!(SizeDistribution::from_masses(vec![]).is_err());
         assert!(SizeDistribution::from_masses(vec![-0.5, 1.5]).is_err());
+    }
+
+    #[test]
+    fn from_masses_exact_round_trips_bit_exactly() {
+        // from_weights produces masses whose sum is not exactly 1.0 in
+        // general; from_masses would re-normalise (and perturb) them,
+        // from_masses_exact must not.
+        let d = SizeDistribution::from_weights(vec![1.0, 2.0, 4.0, 0.1, 7.3]).unwrap();
+        let round_tripped = SizeDistribution::from_masses_exact(d.masses().to_vec()).unwrap();
+        assert_eq!(d.masses(), round_tripped.masses());
+        let bits: Vec<u64> = d.masses().iter().map(|m| m.to_bits()).collect();
+        let rt_bits: Vec<u64> = round_tripped.masses().iter().map(|m| m.to_bits()).collect();
+        assert_eq!(bits, rt_bits, "every mass must survive bit-for-bit");
+        // Same masses -> same samples from the same stream.
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), round_tripped.sample(&mut b));
+        }
+        // Validation still applies.
+        assert!(SizeDistribution::from_masses_exact(vec![]).is_err());
+        assert!(SizeDistribution::from_masses_exact(vec![0.5, 0.4]).is_err());
+        assert!(SizeDistribution::from_masses_exact(vec![-0.5, 1.5]).is_err());
     }
 
     #[test]

@@ -89,6 +89,4 @@ pub use registry::{
 pub use selective_family::{
     binary_representation_family, is_strongly_selective, singleton_family, SelectiveFamily,
 };
-#[allow(deprecated)]
-pub use traits::{run_cd_strategy, run_schedule};
 pub use traits::{try_run_cd_strategy, try_run_schedule, CdStrategy, NoCdSchedule, ProtocolKind};

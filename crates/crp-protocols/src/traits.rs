@@ -104,44 +104,6 @@ pub fn try_run_cd_strategy<S: CdStrategy + ?Sized, R: Rng>(
         })
 }
 
-/// Deprecated panicking shim around [`try_run_schedule`].
-///
-/// # Panics
-///
-/// Panics if `k == 0` or `max_rounds == 0`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use try_run_schedule (or the crp-sim Simulation builder), which returns a typed \
-            error instead of panicking"
-)]
-pub fn run_schedule<S: NoCdSchedule + ?Sized, R: Rng>(
-    schedule: &S,
-    k: usize,
-    max_rounds: usize,
-    rng: &mut R,
-) -> Execution {
-    try_run_schedule(schedule, k, max_rounds, rng).expect("schedule configuration is valid")
-}
-
-/// Deprecated panicking shim around [`try_run_cd_strategy`].
-///
-/// # Panics
-///
-/// Panics if `k == 0` or `max_rounds == 0`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use try_run_cd_strategy (or the crp-sim Simulation builder), which returns a typed \
-            error instead of panicking"
-)]
-pub fn run_cd_strategy<S: CdStrategy + ?Sized, R: Rng>(
-    strategy: &S,
-    k: usize,
-    max_rounds: usize,
-    rng: &mut R,
-) -> Execution {
-    try_run_cd_strategy(strategy, k, max_rounds, rng).expect("strategy configuration is valid")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,16 +167,6 @@ mod tests {
         assert!(try_run_schedule(&ConstantSchedule(0.5), 4, 0, &mut rng).is_err());
         assert!(try_run_cd_strategy(&HalvingStrategy, 0, 100, &mut rng).is_err());
         assert!(try_run_cd_strategy(&HalvingStrategy, 4, 0, &mut rng).is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_run_valid_configurations() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let exec = run_schedule(&ConstantSchedule(0.8), 1, 100, &mut rng);
-        assert!(exec.resolved);
-        let exec = run_cd_strategy(&HalvingStrategy, 8, 500, &mut rng);
-        assert!(exec.resolved);
     }
 
     #[test]

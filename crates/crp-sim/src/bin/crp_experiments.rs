@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! crp_experiments [command] [--trials T] [--size N] [--seed S]
+//!                 [--backend serial|thread|process] [--threads T]
 //!                 [--protocols a,b,..] [--scenarios x,y,..] [--csv]
 //! ```
 //!
@@ -14,7 +15,17 @@
 //! `baselines`, `range-finding`, `sweep` or `all` (the default).
 //! Experiment output is markdown, suitable for pasting into
 //! `EXPERIMENTS.md`; `sweep --csv` emits CSV instead.
+//!
+//! `--backend` selects the shard backend every experiment executes on
+//! (statistics are bit-identical across backends); `--threads` pins the
+//! worker count and wins over the `CRP_THREADS` environment variable.
+//!
+//! There is also a hidden `shard-worker` subcommand — the entry point the
+//! process backend spawns: it reads a shard spec from stdin, executes that
+//! one shard, and writes the serialised accumulator to stdout.  It is not
+//! meant to be invoked by hand.
 
+use std::io::Read;
 use std::process::ExitCode;
 
 use crp_predict::ScenarioLibrary;
@@ -22,7 +33,9 @@ use crp_protocols::{ProtocolRegistry, ProtocolSpec};
 use crp_sim::experiments::{
     baselines, entropy_sweep, kl_degradation, range_finding, table1, table2,
 };
-use crp_sim::{RunnerConfig, SimError, SweepMatrix, SweepProtocol, Table};
+use crp_sim::{
+    run_shard_worker, BackendChoice, RunnerConfig, SimError, SweepMatrix, SweepProtocol, Table,
+};
 
 /// Parsed command-line options.
 struct Options {
@@ -30,6 +43,8 @@ struct Options {
     trials: usize,
     size: usize,
     seed: u64,
+    backend: BackendChoice,
+    threads: Option<usize>,
     protocols: Vec<String>,
     scenarios: Vec<String>,
     csv: bool,
@@ -37,7 +52,8 @@ struct Options {
 
 const USAGE: &str = "usage: crp_experiments \
 [list|table1|table2|entropy|kl|baselines|range-finding|sweep|all] \
-[--trials T] [--size N] [--seed S] [--protocols a,b,..] [--scenarios x,y,..] [--csv]";
+[--trials T] [--size N] [--seed S] [--backend serial|thread|process] [--threads T] \
+[--protocols a,b,..] [--scenarios x,y,..] [--csv]";
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
@@ -45,6 +61,8 @@ fn parse_args() -> Result<Options, String> {
         trials: 2000,
         size: 1 << 14,
         seed: 0xC0FFEE,
+        backend: BackendChoice::default(),
+        threads: None,
         protocols: vec![
             "decay".into(),
             "willard".into(),
@@ -84,6 +102,25 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("--seed requires a value")?
                     .parse()
                     .map_err(|e| format!("invalid --seed value: {e}"))?;
+            }
+            "--backend" => {
+                index += 1;
+                options.backend = args
+                    .get(index)
+                    .ok_or("--backend requires one of: serial, thread, process")?
+                    .parse()?;
+            }
+            "--threads" => {
+                index += 1;
+                let threads: usize = args
+                    .get(index)
+                    .ok_or("--threads requires a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --threads value: {e}"))?;
+                if threads == 0 {
+                    return Err("--threads requires a positive value".to_string());
+                }
+                options.threads = Some(threads);
             }
             "--protocols" => {
                 index += 1;
@@ -207,8 +244,7 @@ fn cli_column(name: &str) -> Result<SweepProtocol, SimError> {
 /// command line.
 fn run_sweep(options: &Options) -> Result<(), SimError> {
     let library = ScenarioLibrary::new(options.size)?;
-    let mut matrix =
-        SweepMatrix::new().runner(RunnerConfig::with_trials(options.trials).seeded(options.seed));
+    let mut matrix = SweepMatrix::new().runner(cli_config(options));
     for name in &options.scenarios {
         matrix = matrix.scenario(library.by_name(name)?);
     }
@@ -230,8 +266,21 @@ fn run_sweep(options: &Options) -> Result<(), SimError> {
     Ok(())
 }
 
+/// The runner configuration the command line describes: `--threads` wins
+/// over the `CRP_THREADS` environment variable (which
+/// [`RunnerConfig::default`] already honours).
+fn cli_config(options: &Options) -> RunnerConfig {
+    let mut config = RunnerConfig::with_trials(options.trials)
+        .seeded(options.seed)
+        .with_backend(options.backend);
+    if let Some(threads) = options.threads {
+        config = config.with_threads(threads);
+    }
+    config
+}
+
 fn run(options: &Options) -> Result<(), SimError> {
-    let config = RunnerConfig::with_trials(options.trials).seeded(options.seed);
+    let config = cli_config(options);
     let wants = |name: &str| options.command == "all" || options.command == name;
 
     if options.command == "list" {
@@ -289,7 +338,30 @@ fn run(options: &Options) -> Result<(), SimError> {
     Ok(())
 }
 
+/// The hidden subcommand the process backend spawns: spec in on stdin,
+/// accumulator out on stdout, errors on stderr with a nonzero exit.
+fn shard_worker() -> ExitCode {
+    let mut input = String::new();
+    if let Err(err) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("shard-worker: failed to read stdin: {err}");
+        return ExitCode::FAILURE;
+    }
+    match run_shard_worker(&input) {
+        Ok(response) => {
+            print!("{response}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("shard-worker: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("shard-worker") {
+        return shard_worker();
+    }
     let options = match parse_args() {
         Ok(options) => options,
         Err(message) => {

@@ -85,7 +85,8 @@ fn primary_mode(n: usize) -> usize {
     (n / 32).max(2)
 }
 
-/// Runs the baseline comparison over the given universe sizes.
+/// Runs the baseline comparison over the given universe sizes on the
+/// shard backend `config` selects.
 ///
 /// # Errors
 ///

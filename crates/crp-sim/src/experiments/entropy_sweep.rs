@@ -66,7 +66,8 @@ impl EntropySweepResult {
     }
 }
 
-/// Runs the entropy sweep with `steps` ladder points.
+/// Runs the entropy sweep with `steps` ladder points on the shard backend
+/// `config` selects.
 ///
 /// # Errors
 ///

@@ -68,7 +68,8 @@ impl KlSweepResult {
     }
 }
 
-/// Runs the divergence sweep against a bimodal ground truth.
+/// Runs the divergence sweep against a bimodal ground truth on the shard
+/// backend `config` selects.
 ///
 /// # Errors
 ///

@@ -6,9 +6,12 @@
 //!
 //! Every module declares its (protocol × scenario) grid through the
 //! [`crate::SweepMatrix`] engine instead of hand-rolled nested loops: the
-//! matrix compiles the axes to validated simulation cells, executes them
-//! through the sharded runner, and the module reshapes the resulting grid
-//! into its paper-specific row type.
+//! matrix compiles the axes to validated simulation cells, the
+//! work-stealing sweep scheduler executes every cell's shards through the
+//! [`crate::ShardBackend`] the supplied [`crate::RunnerConfig`] selects
+//! (serial, scoped threads, or `shard-worker` subprocesses — statistics
+//! are bit-identical across all three), and the module reshapes the
+//! resulting grid into its paper-specific row type.
 //!
 //! | module | DESIGN.md experiment id | paper artefact |
 //! |---|---|---|

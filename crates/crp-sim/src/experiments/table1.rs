@@ -95,7 +95,8 @@ impl Table1Result {
     }
 }
 
-/// Runs the Table 1 reproduction for networks of maximum size `max_size`.
+/// Runs the Table 1 reproduction for networks of maximum size `max_size`
+/// on the shard backend `config` selects.
 ///
 /// # Errors
 ///

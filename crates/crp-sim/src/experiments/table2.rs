@@ -174,7 +174,7 @@ pub fn jitter_truth(participants: usize, universe: usize) -> Result<SizeDistribu
 
 /// Runs the Table 2 reproduction for a universe of size `universe_size`
 /// (must be a power of two ≥ 16) and a true participant count of
-/// `participants`.
+/// `participants`, on the shard backend `config` selects.
 ///
 /// # Errors
 ///

@@ -13,13 +13,17 @@
 //!   validated Monte-Carlo batch.  All misconfigurations — zero
 //!   participants, zero round budgets, protocol/channel-mode mismatches —
 //!   are typed [`SimError`]s raised at build time, never panics.
-//! * [`runner`] — the sharded trial runner ([`run_batch`], [`run_trials`],
-//!   [`run_batch_with_progress`]): trials split into thread-count-
-//!   independent shards ([`ShardPlan`]) with per-shard `ChaCha8Rng`
-//!   streams, folded into mergeable accumulators and merged in shard
-//!   order, so the statistics are bit-identical for any thread count.
-//!   `run_batch` amortises protocol construction: the protocol is built
-//!   once and shared across every trial.
+//! * [`runner`] — the sharded trial runner: trials split into
+//!   thread-count-independent shards ([`ShardPlan`]) with per-shard
+//!   `ChaCha8Rng` streams, folded into mergeable accumulators and merged
+//!   in shard order.  Execution is delegated to an object-safe
+//!   [`ShardBackend`] — [`SerialBackend`] inline, [`ThreadBackend`]
+//!   (scoped worker threads stealing shards from a shared queue), or
+//!   [`ProcessBackend`] (`crp_experiments shard-worker` subprocesses fed a
+//!   [`ShardSpec`] on stdin) — and the statistics are bit-identical for
+//!   any backend and any worker count.  [`run_batch`] amortises protocol
+//!   construction: the protocol is built once and shared across every
+//!   trial.
 //! * [`stats`] / [`report`] — the mergeable streaming accumulator
 //!   ([`TrialAccumulator`]: Welford moments, exact min/max, a
 //!   log-bucketed [`QuantileSketch`]), the finalised [`TrialStats`] view,
@@ -65,8 +69,10 @@ use crp_channel::ChannelMode;
 
 pub use report::{fmt_f64, Table};
 pub use runner::{
-    measure_cd_strategy, measure_schedule, run_batch, run_batch_with_progress, run_trials,
-    sample_contending_size, BatchProgress, ProgressFn, RunnerConfig, ShardPlan, TrialOutcome,
+    measure_cd_strategy, measure_schedule, run_batch, run_batch_with_progress, run_shard_worker,
+    run_trials, sample_contending_size, BackendChoice, BatchProgress, JobDoneFn, ProcessBackend,
+    ProgressFn, RunnerConfig, SerialBackend, ShardBackend, ShardJob, ShardPlan, ShardSpec,
+    ThreadBackend, TrialFn, TrialOutcome,
 };
 pub use simulation::{Simulation, SimulationBuilder};
 pub use stats::{QuantileSketch, StreamAccumulator, SummaryStats, TrialAccumulator, TrialStats};
@@ -99,6 +105,13 @@ pub enum SimError {
     /// A substrate construction (distribution, prediction, protocol)
     /// failed.
     Substrate(String),
+    /// A shard backend could not execute its jobs: the process backend was
+    /// handed work it cannot re-describe to a worker, a worker subprocess
+    /// could not be spawned or failed, or a wire message was malformed.
+    Backend {
+        /// Human-readable description of the failure.
+        what: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -121,6 +134,7 @@ impl fmt::Display for SimError {
                  was requested"
             ),
             SimError::Substrate(msg) => write!(f, "substrate error: {msg}"),
+            SimError::Backend { what } => write!(f, "backend error: {what}"),
         }
     }
 }
@@ -171,5 +185,9 @@ mod tests {
             requested: ChannelMode::NoCollisionDetection,
         };
         assert!(err.to_string().contains("willard"));
+        let err = SimError::Backend {
+            what: "worker went away".into(),
+        };
+        assert!(err.to_string().contains("worker went away"));
     }
 }

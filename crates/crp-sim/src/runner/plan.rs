@@ -1,0 +1,230 @@
+//! Deterministic batch planning: [`RunnerConfig`], [`BackendChoice`],
+//! [`ShardPlan`] and the progress/outcome value types.
+//!
+//! Everything here is a pure function of the configuration — never of the
+//! thread count, the backend, or scheduling — which is what makes the
+//! statistics of a batch bit-identical however it is executed.
+
+use std::str::FromStr;
+
+use crp_channel::Execution;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Outcome of a single Monte-Carlo trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// Whether contention was resolved within the round budget.
+    pub resolved: bool,
+    /// Rounds elapsed (equals the budget when unresolved).
+    pub rounds: usize,
+}
+
+impl From<Execution> for TrialOutcome {
+    fn from(execution: Execution) -> Self {
+        TrialOutcome {
+            resolved: execution.resolved,
+            rounds: execution.rounds,
+        }
+    }
+}
+
+/// Which [`crate::ShardBackend`] executes the shards of a batch or sweep.
+///
+/// The choice affects wall-clock time and process topology only, never the
+/// statistics: shard plans, RNG streams and merge order are all
+/// backend-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// Run every shard inline on the calling thread.
+    Serial,
+    /// Scoped worker threads stealing shards from a shared queue (the
+    /// default).
+    #[default]
+    Thread,
+    /// `crp_experiments shard-worker` subprocesses, one per shard job.
+    Process,
+}
+
+impl BackendChoice {
+    /// The stable CLI names, in declaration order.
+    pub const NAMES: [&'static str; 3] = ["serial", "thread", "process"];
+}
+
+impl FromStr for BackendChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "serial" => Ok(BackendChoice::Serial),
+            "thread" => Ok(BackendChoice::Thread),
+            "process" => Ok(BackendChoice::Process),
+            other => Err(format!(
+                "unknown backend {other:?}; expected one of: {}",
+                Self::NAMES.join(", ")
+            )),
+        }
+    }
+}
+
+/// Configuration of a batch of trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunnerConfig {
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Base seed; shard `s` of the batch draws from a `ChaCha8Rng` stream
+    /// derived from `(base_seed, s)`.
+    pub base_seed: u64,
+    /// Number of worker threads or processes (1 = run inline).  The
+    /// statistics do not depend on this value, only the wall-clock time
+    /// does.  Defaults to the `CRP_THREADS` environment variable when set
+    /// to a positive integer, otherwise to the machine's available
+    /// parallelism; explicit calls to [`RunnerConfig::threads`]-setting
+    /// builders (and CLI flags built on them) win over the environment.
+    pub threads: usize,
+    /// Which shard backend executes the batch.
+    pub backend: BackendChoice,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            trials: 1000,
+            base_seed: 0xC0FFEE,
+            threads: default_threads(),
+            backend: BackendChoice::default(),
+        }
+    }
+}
+
+/// The default worker count: `CRP_THREADS` when set to a positive integer
+/// (so CI and benches can pin parallelism without code changes), otherwise
+/// the available hardware parallelism.
+fn default_threads() -> usize {
+    if let Ok(value) = std::env::var("CRP_THREADS") {
+        if let Ok(threads) = value.trim().parse::<usize>() {
+            if threads >= 1 {
+                return threads;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+impl RunnerConfig {
+    /// Convenience constructor for a given trial count with the default
+    /// seed and thread count.
+    pub fn with_trials(trials: usize) -> Self {
+        Self {
+            trials,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with a different base seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Returns a copy pinned to a single thread (useful in tests).
+    pub fn single_threaded(mut self) -> Self {
+        self.threads = 1;
+        self
+    }
+
+    /// Returns a copy with an explicit worker count (wins over the
+    /// `CRP_THREADS` default).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Returns a copy selecting a different shard backend.
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+/// How a batch of trials is split into deterministic shards.
+///
+/// The plan is a function of the trial count alone — never of the thread
+/// count — so the same configuration always yields the same shards, the
+/// same per-shard RNG streams, and therefore bit-identical statistics no
+/// matter how many threads execute it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    trials: usize,
+    shard_size: usize,
+}
+
+impl ShardPlan {
+    /// Default number of trials per shard: small enough to load-balance
+    /// across threads, large enough to amortise accumulator merging.
+    pub const DEFAULT_SHARD_SIZE: usize = 256;
+
+    /// Plans `trials` trials with the default shard size.
+    pub fn new(trials: usize) -> Self {
+        Self::with_shard_size(trials, Self::DEFAULT_SHARD_SIZE)
+    }
+
+    /// Plans `trials` trials in shards of at most `shard_size` (clamped to
+    /// at least 1).
+    pub fn with_shard_size(trials: usize, shard_size: usize) -> Self {
+        Self {
+            trials,
+            shard_size: shard_size.max(1),
+        }
+    }
+
+    /// Total number of trials planned.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// The maximum shard size of the plan.
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.trials.div_ceil(self.shard_size)
+    }
+
+    /// Number of trials in shard `shard` (the last shard may be short).
+    pub fn shard_trials(&self, shard: usize) -> usize {
+        let start = shard * self.shard_size;
+        self.trials.saturating_sub(start).min(self.shard_size)
+    }
+
+    /// The deterministic RNG stream of shard `shard`: a `ChaCha8Rng` whose
+    /// 256-bit seed encodes `(base_seed, shard)` plus a fixed domain salt,
+    /// so distinct shards get statistically independent streams.
+    pub fn shard_rng(&self, base_seed: u64, shard: usize) -> ChaCha8Rng {
+        let mut seed = [0u8; 32];
+        seed[..8].copy_from_slice(&base_seed.to_le_bytes());
+        seed[8..16].copy_from_slice(&(shard as u64).to_le_bytes());
+        seed[16..32].copy_from_slice(b"crp-shard-stream");
+        ChaCha8Rng::from_seed(seed)
+    }
+}
+
+/// Progress of a sharded batch, reported once per completed shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchProgress {
+    /// Shards finished so far.
+    pub completed_shards: usize,
+    /// Total shards in the plan.
+    pub total_shards: usize,
+    /// Trials finished so far.
+    pub completed_trials: usize,
+    /// Total trials in the plan.
+    pub total_trials: usize,
+}
+
+/// A shard-completion callback; see [`crate::run_batch_with_progress`].
+pub type ProgressFn<'a> = &'a (dyn Fn(BatchProgress) + Sync);

@@ -1,0 +1,440 @@
+//! The multi-process shard backend and its wire protocol.
+//!
+//! [`ProcessBackend`] executes each [`ShardJob`] in a `crp_experiments
+//! shard-worker` subprocess: the parent writes a [`ShardSpec`] (a fully
+//! serialised description of the cell — protocol spec, population, round
+//! budget — plus the job's plan coordinates) to the child's stdin, and the
+//! child answers with a serialised [`TrialAccumulator`] on stdout.
+//! Because the shard plan, the per-shard RNG streams and the merge order
+//! are all decided by the parent, a worker only ever *computes one shard
+//! accumulator*; the statistics are therefore bit-identical to the serial
+//! and threaded backends (floats cross the process boundary as IEEE-754
+//! bit patterns, never as decimal text).
+//!
+//! The wire format is a deliberately boring line-based text protocol (the
+//! workspace is offline and vendors no serde); see [`ShardSpec::to_wire`].
+//! One subprocess is spawned per shard job — fine for the shard sizes the
+//! planner produces, and the stepping stone to the remote/fleet dispatch
+//! the ROADMAP names as the next frontier.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+use crp_info::{CondensedDistribution, SizeDistribution};
+use crp_protocols::ProtocolSpec;
+
+use crate::runner::backend::{steal_jobs, JobDoneFn, ShardBackend, ShardJob};
+use crate::runner::plan::ShardPlan;
+use crate::simulation::Simulation;
+use crate::stats::TrialAccumulator;
+use crate::SimError;
+
+/// How a cell chooses its per-trial participant population, in
+/// serialisable form.
+pub(crate) enum WirePopulation {
+    /// A fixed participant count.
+    Fixed(usize),
+    /// An explicit participant-id placement.
+    Placed(Vec<usize>),
+    /// The participant count is sampled from this ground truth each trial.
+    Sampled(SizeDistribution),
+}
+
+/// A fully serialisable description of one cell's work: everything a
+/// `shard-worker` subprocess needs to reconstruct the cell's
+/// [`Simulation`] and execute any shard of it.
+///
+/// Obtained from a [`Simulation`] that was built from a registry
+/// [`ProtocolSpec`] (cells built around custom protocol *objects* have no
+/// serialisable description and cannot run on the process backend).
+pub struct ShardSpec {
+    pub(crate) protocol: ProtocolSpec,
+    pub(crate) population: WirePopulation,
+    pub(crate) max_rounds: usize,
+}
+
+/// Encodes an `f64` as its IEEE-754 bit pattern in fixed-width hex.
+fn f64_hex(value: f64) -> String {
+    format!("{:016x}", value.to_bits())
+}
+
+/// Decodes [`f64_hex`].
+fn parse_f64_hex(token: &str) -> Result<f64, SimError> {
+    u64::from_str_radix(token, 16)
+        .map(f64::from_bits)
+        .map_err(|e| wire_error(format!("invalid float bits {token:?}: {e}")))
+}
+
+fn wire_error(what: impl Into<String>) -> SimError {
+    SimError::Backend { what: what.into() }
+}
+
+fn parse_usize(token: &str, label: &str) -> Result<usize, SimError> {
+    token
+        .parse::<usize>()
+        .map_err(|e| wire_error(format!("invalid {label} {token:?}: {e}")))
+}
+
+/// Appends the hex-encoded masses of a slice of probabilities.
+fn push_masses(out: &mut String, masses: &[f64]) {
+    for &mass in masses {
+        out.push(' ');
+        out.push_str(&f64_hex(mass));
+    }
+}
+
+fn parse_masses(tokens: std::str::SplitAsciiWhitespace<'_>) -> Result<Vec<f64>, SimError> {
+    tokens.map(parse_f64_hex).collect()
+}
+
+impl ShardSpec {
+    /// Serialises this spec plus the coordinates of one shard job into the
+    /// message a `shard-worker` subprocess consumes on stdin.
+    pub fn to_wire(&self, plan: ShardPlan, base_seed: u64, shard: usize) -> String {
+        let mut out = String::new();
+        out.push_str("crp-shard-spec v1\n");
+        out.push_str(&format!("protocol {}\n", self.protocol.name()));
+        let params = self.protocol.params();
+        out.push_str(&format!("universe {}\n", params.universe));
+        out.push_str(&format!("advice-bits {}\n", params.advice_bits));
+        match params.participants {
+            Some(k) => out.push_str(&format!("participants {k}\n")),
+            None => out.push_str("participants none\n"),
+        }
+        match params.estimate {
+            Some(k) => out.push_str(&format!("estimate {k}\n")),
+            None => out.push_str("estimate none\n"),
+        }
+        match &params.prediction {
+            Some(prediction) => {
+                out.push_str(&format!("prediction {}", prediction.max_size()));
+                push_masses(&mut out, prediction.probabilities());
+                out.push('\n');
+            }
+            None => out.push_str("prediction none\n"),
+        }
+        match &self.population {
+            WirePopulation::Fixed(k) => out.push_str(&format!("population fixed {k}\n")),
+            WirePopulation::Placed(ids) => {
+                out.push_str("population placed");
+                for id in ids {
+                    out.push_str(&format!(" {id}"));
+                }
+                out.push('\n');
+            }
+            WirePopulation::Sampled(truth) => {
+                out.push_str("population sampled");
+                push_masses(&mut out, truth.masses());
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!("max-rounds {}\n", self.max_rounds));
+        out.push_str(&format!("trials {}\n", plan.trials()));
+        out.push_str(&format!("shard-size {}\n", plan.shard_size()));
+        out.push_str(&format!("base-seed {base_seed}\n"));
+        out.push_str(&format!("shard {shard}\n"));
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses the message produced by [`ShardSpec::to_wire`], returning the
+    /// spec and the job coordinates `(plan, base_seed, shard)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Backend`] describing the first malformed line.
+    pub fn from_wire(input: &str) -> Result<(Self, ShardPlan, u64, usize), SimError> {
+        fn expect<'a>(lines: &mut std::str::Lines<'a>, label: &str) -> Result<&'a str, SimError> {
+            let line = lines
+                .next()
+                .ok_or_else(|| wire_error(format!("missing {label} line")))?;
+            line.strip_prefix(label)
+                .map(str::trim_start)
+                .ok_or_else(|| wire_error(format!("expected a {label} line, got {line:?}")))
+        }
+
+        let mut lines = input.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| wire_error("empty shard-spec message"))?;
+        if header != "crp-shard-spec v1" {
+            return Err(wire_error(format!("unexpected spec header {header:?}")));
+        }
+        let lines = &mut lines;
+        let name = expect(lines, "protocol")?.to_string();
+        let universe = parse_usize(expect(lines, "universe")?, "universe")?;
+        let advice_bits = parse_usize(expect(lines, "advice-bits")?, "advice-bits")?;
+        let participants = match expect(lines, "participants")? {
+            "none" => None,
+            token => Some(parse_usize(token, "participants")?),
+        };
+        let estimate = match expect(lines, "estimate")? {
+            "none" => None,
+            token => Some(parse_usize(token, "estimate")?),
+        };
+        let prediction = match expect(lines, "prediction")? {
+            "none" => None,
+            payload => {
+                let mut tokens = payload.split_ascii_whitespace();
+                let max_size = parse_usize(
+                    tokens
+                        .next()
+                        .ok_or_else(|| wire_error("prediction line is missing its max size"))?,
+                    "prediction max size",
+                )?;
+                let masses = parse_masses(tokens)?;
+                Some(
+                    CondensedDistribution::from_range_masses_exact(masses, max_size)
+                        .map_err(|e| wire_error(format!("invalid prediction masses: {e}")))?,
+                )
+            }
+        };
+        let population = {
+            let payload = expect(lines, "population")?;
+            let mut tokens = payload.split_ascii_whitespace();
+            match tokens.next() {
+                Some("fixed") => WirePopulation::Fixed(parse_usize(
+                    tokens
+                        .next()
+                        .ok_or_else(|| wire_error("population fixed is missing its count"))?,
+                    "population count",
+                )?),
+                Some("placed") => WirePopulation::Placed(
+                    tokens
+                        .map(|t| parse_usize(t, "participant id"))
+                        .collect::<Result<Vec<usize>, SimError>>()?,
+                ),
+                Some("sampled") => WirePopulation::Sampled(
+                    SizeDistribution::from_masses_exact(parse_masses(tokens)?)
+                        .map_err(|e| wire_error(format!("invalid population masses: {e}")))?,
+                ),
+                other => {
+                    return Err(wire_error(format!("unknown population kind {other:?}")));
+                }
+            }
+        };
+        let max_rounds = parse_usize(expect(lines, "max-rounds")?, "max-rounds")?;
+        let trials = parse_usize(expect(lines, "trials")?, "trials")?;
+        let shard_size = parse_usize(expect(lines, "shard-size")?, "shard-size")?;
+        let base_seed = expect(lines, "base-seed")?
+            .parse::<u64>()
+            .map_err(|e| wire_error(format!("invalid base seed: {e}")))?;
+        let shard = parse_usize(expect(lines, "shard")?, "shard")?;
+        if !expect(lines, "end")?.is_empty() {
+            return Err(wire_error("trailing content after the end marker"));
+        }
+
+        let mut protocol = ProtocolSpec::new(name)
+            .universe(universe)
+            .advice_bits(advice_bits);
+        if let Some(k) = participants {
+            protocol = protocol.participants(k);
+        }
+        if let Some(k) = estimate {
+            protocol = protocol.estimate(k);
+        }
+        if let Some(prediction) = prediction {
+            protocol = protocol.prediction(prediction);
+        }
+        Ok((
+            Self {
+                protocol,
+                population,
+                max_rounds,
+            },
+            ShardPlan::with_shard_size(trials, shard_size),
+            base_seed,
+            shard,
+        ))
+    }
+
+    /// Reconstructs the cell's validated [`Simulation`] (single-threaded —
+    /// a worker only ever runs one shard inline).
+    pub(crate) fn to_simulation(
+        &self,
+        trials: usize,
+        base_seed: u64,
+    ) -> Result<Simulation, SimError> {
+        let mut builder = Simulation::builder()
+            .protocol(self.protocol.clone())
+            .max_rounds(self.max_rounds)
+            .trials(trials)
+            .seed(base_seed)
+            .threads(1);
+        builder = match &self.population {
+            WirePopulation::Fixed(k) => builder.participants(*k),
+            WirePopulation::Placed(ids) => builder.participant_ids(ids.clone()),
+            WirePopulation::Sampled(truth) => builder.truth(truth.clone()),
+        };
+        builder.build()
+    }
+}
+
+/// The entry point of the hidden `crp_experiments shard-worker`
+/// subcommand: parses a [`ShardSpec`] message, executes the one shard it
+/// names, and returns the serialised [`TrialAccumulator`] to write to
+/// stdout.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for malformed input or a failing trial; the worker
+/// process reports it on stderr and exits nonzero.
+pub fn run_shard_worker(input: &str) -> Result<String, SimError> {
+    let (spec, plan, base_seed, shard) = ShardSpec::from_wire(input)?;
+    if shard >= plan.num_shards() {
+        return Err(wire_error(format!(
+            "shard {shard} out of range for a plan of {} shards",
+            plan.num_shards()
+        )));
+    }
+    let simulation = spec.to_simulation(plan.trials(), base_seed)?;
+    let trial = simulation.trial_fn();
+    let job = ShardJob {
+        cell: 0,
+        shard,
+        plan,
+        base_seed,
+        trial: &trial,
+        spec: None,
+    };
+    Ok(job.run_inline()?.to_wire())
+}
+
+/// Executes shard jobs in `crp_experiments shard-worker` subprocesses, up
+/// to `workers` of them concurrently.
+///
+/// The worker binary is resolved in order from: an explicit
+/// [`ProcessBackend::with_command`] path, the `CRP_SHARD_WORKER_BIN`
+/// environment variable, the current executable itself (when it *is*
+/// `crp_experiments`), or a `crp_experiments` binary next to (or one
+/// directory above) the current executable — which finds the right binary
+/// from `cargo test` and `cargo bench` processes in the same target
+/// directory.
+pub struct ProcessBackend {
+    workers: usize,
+    command: Option<PathBuf>,
+}
+
+impl ProcessBackend {
+    /// A backend spawning at most `workers` concurrent subprocesses
+    /// (clamped to at least 1), resolving the worker binary automatically.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            command: None,
+        }
+    }
+
+    /// Overrides the worker binary to spawn.
+    pub fn with_command(mut self, command: impl Into<PathBuf>) -> Self {
+        self.command = Some(command.into());
+        self
+    }
+
+    /// The configured concurrency.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn worker_command(&self) -> Result<PathBuf, SimError> {
+        if let Some(command) = &self.command {
+            return Ok(command.clone());
+        }
+        if let Ok(path) = std::env::var("CRP_SHARD_WORKER_BIN") {
+            if !path.trim().is_empty() {
+                return Ok(PathBuf::from(path));
+            }
+        }
+        let exe = std::env::current_exe()
+            .map_err(|e| wire_error(format!("cannot resolve the current executable: {e}")))?;
+        let worker_name = format!("crp_experiments{}", std::env::consts::EXE_SUFFIX);
+        if exe.file_stem().and_then(|s| s.to_str()) == Some("crp_experiments") {
+            return Ok(exe);
+        }
+        let parent = exe.parent();
+        for dir in [parent, parent.and_then(Path::parent)]
+            .into_iter()
+            .flatten()
+        {
+            let candidate = dir.join(&worker_name);
+            if candidate.is_file() {
+                return Ok(candidate);
+            }
+        }
+        Err(wire_error(
+            "cannot locate the crp_experiments shard-worker binary; build it \
+             (cargo build --bin crp_experiments) or set CRP_SHARD_WORKER_BIN",
+        ))
+    }
+}
+
+/// Runs one job in one subprocess: spec in on stdin, accumulator out on
+/// stdout.
+fn run_job_in_subprocess(command: &Path, job: &ShardJob<'_>) -> Result<TrialAccumulator, SimError> {
+    let spec = job.spec.ok_or_else(|| {
+        wire_error(format!(
+            "the process backend requires a registry-described simulation, but cell {} \
+         was built from a raw closure or a custom protocol object; use the serial \
+         or thread backend for it",
+            job.cell
+        ))
+    })?;
+    let input = spec.to_wire(job.plan, job.base_seed, job.shard);
+
+    let mut child = Command::new(command)
+        .arg("shard-worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| wire_error(format!("failed to spawn shard worker {command:?}: {e}")))?;
+    // A worker that rejects the spec can exit while the parent is still
+    // streaming it, failing this write with a broken pipe — so don't bail
+    // out yet: collect the child's output first, because its stderr
+    // carries the actionable diagnostic.
+    let write_result = {
+        let mut stdin = child.stdin.take().expect("stdin was piped");
+        stdin.write_all(input.as_bytes())
+        // Dropping stdin here sends EOF.
+    };
+    let output = child
+        .wait_with_output()
+        .map_err(|e| wire_error(format!("failed to collect shard-worker output: {e}")))?;
+    if !output.status.success() {
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        return Err(wire_error(format!(
+            "shard worker for (cell {}, shard {}) failed ({}): {}",
+            job.cell,
+            job.shard,
+            output.status,
+            stderr.trim()
+        )));
+    }
+    if let Err(e) = write_result {
+        return Err(wire_error(format!(
+            "failed to write the shard spec to the worker: {e}"
+        )));
+    }
+    let stdout = std::str::from_utf8(&output.stdout)
+        .map_err(|e| wire_error(format!("shard-worker output is not UTF-8: {e}")))?;
+    TrialAccumulator::from_wire(stdout)
+        .map_err(|e| wire_error(format!("malformed shard-worker accumulator: {e}")))
+}
+
+impl ShardBackend for ProcessBackend {
+    fn name(&self) -> &'static str {
+        "process"
+    }
+
+    fn execute(
+        &self,
+        jobs: &[ShardJob<'_>],
+        done: JobDoneFn<'_>,
+    ) -> Result<Vec<TrialAccumulator>, SimError> {
+        let command = self.worker_command()?;
+        steal_jobs(self.workers, jobs, done, |job| {
+            run_job_in_subprocess(&command, job)
+        })
+    }
+}

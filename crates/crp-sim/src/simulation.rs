@@ -30,7 +30,12 @@ use crp_info::SizeDistribution;
 use crp_protocols::{try_run_protocol, try_run_protocol_with, Behavior, Protocol, ProtocolSpec};
 use rand_chacha::ChaCha8Rng;
 
-use crate::runner::{run_batch, sample_contending_size, RunnerConfig, TrialOutcome};
+use crate::runner::backend::{backend_for, execute_and_merge};
+use crate::runner::process::{ShardSpec, WirePopulation};
+use crate::runner::{
+    sample_contending_size, BackendChoice, RunnerConfig, ShardBackend, ShardJob, ShardPlan,
+    TrialOutcome,
+};
 use crate::stats::TrialStats;
 use crate::SimError;
 
@@ -142,6 +147,12 @@ impl SimulationBuilder {
         self
     }
 
+    /// Selects the shard backend [`Simulation::run`] executes on.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
     /// Replaces the whole runner configuration at once.
     pub fn runner(mut self, config: RunnerConfig) -> Self {
         self.config = config;
@@ -162,6 +173,7 @@ impl SimulationBuilder {
     /// * [`SimError::ModeMismatch`] — an explicitly pinned channel mode
     ///   contradicts the protocol's [`crp_protocols::ProtocolKind`].
     pub fn build(self) -> Result<Simulation, SimError> {
+        let spec = self.spec.clone();
         let protocol = match (self.protocol, &self.spec) {
             (Some(protocol), _) => protocol,
             (None, Some(spec)) => spec.build()?,
@@ -226,6 +238,7 @@ impl SimulationBuilder {
         }
 
         Ok(Simulation {
+            spec,
             protocol,
             population,
             max_rounds,
@@ -261,6 +274,10 @@ fn per_node_budget(protocol: &dyn Protocol, ids: &[ParticipantId]) -> Option<usi
 /// A fully validated Monte-Carlo simulation: one protocol, one workload,
 /// one runner configuration.
 pub struct Simulation {
+    /// The registry spec the protocol was built from, kept so the
+    /// simulation can be re-described to out-of-process backends (`None`
+    /// when a custom protocol object was supplied).
+    spec: Option<ProtocolSpec>,
     protocol: Box<dyn Protocol>,
     population: Population,
     max_rounds: usize,
@@ -294,31 +311,88 @@ impl Simulation {
         &self.config
     }
 
-    /// Runs the configured number of trials and aggregates the outcomes.
+    /// Runs the configured number of trials on the backend the
+    /// configuration selects and aggregates the outcomes.
     ///
     /// The protocol is constructed once (at build time) and shared across
     /// all trials and worker threads; each trial only drives it, which
-    /// amortises construction over the whole batch.
+    /// amortises construction over the whole batch.  The statistics are
+    /// bit-identical across backends and worker counts.
     ///
     /// # Errors
     ///
     /// Returns a [`SimError`] if any trial fails (e.g. a per-node factory
-    /// rejects a sampled participant set).
+    /// rejects a sampled participant set), or a [`SimError::Backend`] if
+    /// the process backend was selected but the simulation was built from
+    /// a custom protocol object it cannot re-describe.
     pub fn run(&self) -> Result<TrialStats, SimError> {
+        self.run_on(backend_for(&self.config).as_ref())
+    }
+
+    /// Like [`Simulation::run`], but on an explicit [`ShardBackend`]
+    /// (ignoring the configured [`BackendChoice`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::run`].
+    pub fn run_on(&self, backend: &dyn ShardBackend) -> Result<TrialStats, SimError> {
+        let plan = ShardPlan::new(self.config.trials);
+        let spec = self.shard_spec();
+        let trial = self.trial_fn();
+        let trial_ref: &(dyn Fn(&mut ChaCha8Rng) -> Result<TrialOutcome, SimError> + Sync) = &trial;
+        let jobs: Vec<ShardJob<'_>> = (0..plan.num_shards())
+            .map(|shard| ShardJob {
+                cell: 0,
+                shard,
+                plan,
+                base_seed: self.config.base_seed,
+                trial: trial_ref,
+                spec: spec.as_ref(),
+            })
+            .collect();
+        let stats = execute_and_merge(backend, &jobs, 1, &|_| {})?;
+        Ok(stats
+            .into_iter()
+            .next()
+            .expect("execute_and_merge returns one TrialStats per cell"))
+    }
+
+    /// The per-trial closure of this simulation: samples or places the
+    /// participant population and drives the (shared, immutable) protocol
+    /// for one trial with the supplied RNG.
+    pub(crate) fn trial_fn(
+        &self,
+    ) -> impl Fn(&mut ChaCha8Rng) -> Result<TrialOutcome, SimError> + Sync + '_ {
         let protocol = self.protocol.as_ref();
         let max_rounds = self.max_rounds;
-        run_batch(&self.config, move |rng| {
-            let outcome = match &self.population {
-                Population::Fixed(k) => run_with_count(protocol, *k, max_rounds, rng)?,
-                Population::Placed(ids) => try_run_protocol_with(protocol, ids, max_rounds, rng)
-                    .map(TrialOutcome::from)
-                    .map_err(SimError::from)?,
-                Population::Sampled(truth) => {
-                    let k = sample_contending_size(truth, rng);
-                    run_with_count(protocol, k, max_rounds, rng)?
-                }
-            };
-            Ok(outcome)
+        move |rng| match &self.population {
+            Population::Fixed(k) => run_with_count(protocol, *k, max_rounds, rng),
+            Population::Placed(ids) => try_run_protocol_with(protocol, ids, max_rounds, rng)
+                .map(TrialOutcome::from)
+                .map_err(SimError::from),
+            Population::Sampled(truth) => {
+                let k = sample_contending_size(truth, rng);
+                run_with_count(protocol, k, max_rounds, rng)
+            }
+        }
+    }
+
+    /// The serialisable description out-of-process backends ship to their
+    /// workers, or `None` when the simulation was built around a custom
+    /// protocol object.
+    pub(crate) fn shard_spec(&self) -> Option<ShardSpec> {
+        let protocol = self.spec.clone()?;
+        let population = match &self.population {
+            Population::Fixed(k) => WirePopulation::Fixed(*k),
+            Population::Placed(ids) => {
+                WirePopulation::Placed(ids.iter().map(|id| id.index()).collect())
+            }
+            Population::Sampled(truth) => WirePopulation::Sampled(truth.clone()),
+        };
+        Some(ShardSpec {
+            protocol,
+            population,
+            max_rounds: self.max_rounds,
         })
     }
 }

@@ -289,6 +289,132 @@ impl TrialAccumulator {
             rounds_overall: self.overall.finalize(),
         }
     }
+
+    /// Serialises the accumulator into the line-based wire format the
+    /// multi-process shard backend ships over worker stdout.
+    ///
+    /// Floating-point fields are encoded as IEEE-754 bit patterns (hex), so
+    /// [`TrialAccumulator::from_wire`] reconstructs a *bit-identical*
+    /// accumulator — the property that keeps [`TrialStats`] byte-for-byte
+    /// equal no matter which process computed a shard.
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        out.push_str("crp-shard-accumulator v1\n");
+        out.push_str(&format!("trials {}\n", self.trials));
+        wire_stream(&mut out, "resolved", &self.resolved);
+        wire_stream(&mut out, "overall", &self.overall);
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses the wire format produced by [`TrialAccumulator::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed line.
+    pub fn from_wire(input: &str) -> Result<Self, String> {
+        let mut lines = input.lines();
+        let header = lines.next().ok_or("empty accumulator message")?;
+        if header != "crp-shard-accumulator v1" {
+            return Err(format!("unexpected accumulator header {header:?}"));
+        }
+        let trials = parse_field(lines.next(), "trials")?
+            .parse::<u64>()
+            .map_err(|e| format!("invalid trials count: {e}"))?;
+        let resolved = parse_stream(&mut lines, "resolved")?;
+        let overall = parse_stream(&mut lines, "overall")?;
+        match lines.next() {
+            Some("end") => Ok(Self {
+                trials,
+                resolved,
+                overall,
+            }),
+            other => Err(format!("expected end marker, got {other:?}")),
+        }
+    }
+}
+
+/// Appends one `StreamAccumulator` as two wire lines (moments + sketch).
+fn wire_stream(out: &mut String, label: &str, stream: &StreamAccumulator) {
+    out.push_str(&format!(
+        "{label} {} {:016x} {:016x} {} {}\n",
+        stream.count,
+        stream.mean.to_bits(),
+        stream.m2.to_bits(),
+        stream.min,
+        stream.max
+    ));
+    out.push_str(&format!("{label}-counts {}", stream.sketch.total));
+    for &count in &stream.sketch.counts {
+        out.push_str(&format!(" {count}"));
+    }
+    out.push('\n');
+}
+
+/// Extracts the payload of the line `"<label> <payload>"`.
+fn parse_field<'a>(line: Option<&'a str>, label: &str) -> Result<&'a str, String> {
+    let line = line.ok_or_else(|| format!("missing {label} line"))?;
+    line.strip_prefix(label)
+        .map(str::trim_start)
+        .ok_or_else(|| format!("expected a {label} line, got {line:?}"))
+}
+
+/// Parses the two lines emitted by [`wire_stream`].
+fn parse_stream<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+    label: &str,
+) -> Result<StreamAccumulator, String> {
+    let moments = parse_field(lines.next(), label)?;
+    let mut tokens = moments.split_ascii_whitespace();
+    let mut next = |what: &str| {
+        tokens
+            .next()
+            .ok_or_else(|| format!("{label} line is missing {what}"))
+    };
+    let count = next("count")?
+        .parse::<u64>()
+        .map_err(|e| format!("invalid {label} count: {e}"))?;
+    let mean = parse_f64_bits(next("mean")?, label)?;
+    let m2 = parse_f64_bits(next("m2")?, label)?;
+    let min = next("min")?
+        .parse::<u64>()
+        .map_err(|e| format!("invalid {label} min: {e}"))?;
+    let max = next("max")?
+        .parse::<u64>()
+        .map_err(|e| format!("invalid {label} max: {e}"))?;
+
+    let counts_label = format!("{label}-counts");
+    let sketch_line = parse_field(lines.next(), &counts_label)?;
+    let mut tokens = sketch_line.split_ascii_whitespace();
+    let total = tokens
+        .next()
+        .ok_or_else(|| format!("{counts_label} line is missing its total"))?
+        .parse::<u64>()
+        .map_err(|e| format!("invalid {counts_label} total: {e}"))?;
+    let counts = tokens
+        .map(|t| {
+            t.parse::<u64>()
+                .map_err(|e| format!("invalid {counts_label} bucket: {e}"))
+        })
+        .collect::<Result<Vec<u64>, String>>()?;
+    if counts.iter().sum::<u64>() != total {
+        return Err(format!("{counts_label} buckets do not sum to the total"));
+    }
+    Ok(StreamAccumulator {
+        count,
+        mean,
+        m2,
+        min,
+        max,
+        sketch: QuantileSketch { counts, total },
+    })
+}
+
+/// Parses a 16-digit hex IEEE-754 bit pattern back into an `f64`.
+fn parse_f64_bits(token: &str, label: &str) -> Result<f64, String> {
+    u64::from_str_radix(token, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("invalid {label} float bits {token:?}: {e}"))
 }
 
 /// Summary statistics of a sample of per-trial round counts.
@@ -601,6 +727,39 @@ mod tests {
         // Quantiles agree exactly here: all values sit in exact buckets.
         assert_eq!(streamed.median, reference.median);
         assert_eq!(stats.resolved, samples.len());
+    }
+
+    #[test]
+    fn wire_round_trip_is_bit_identical() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for case in 0..20 {
+            use rand::Rng;
+            let mut acc = TrialAccumulator::new();
+            for _ in 0..rng.gen_range(0usize..300) {
+                acc.record(rng.gen_bool(0.8), 1 + rng.gen_range(0u64..100_000));
+            }
+            let round_tripped = TrialAccumulator::from_wire(&acc.to_wire())
+                .unwrap_or_else(|e| panic!("case {case}: {e}"));
+            // Structural equality covers every f64 bit (PartialEq on the
+            // raw fields) and the full sketch bucket vector.
+            assert_eq!(acc, round_tripped, "case {case}");
+            assert_eq!(acc.finalize(), round_tripped.finalize(), "case {case}");
+        }
+    }
+
+    #[test]
+    fn wire_parse_rejects_malformed_messages() {
+        assert!(TrialAccumulator::from_wire("").is_err());
+        assert!(TrialAccumulator::from_wire("bogus header\n").is_err());
+        let mut acc = TrialAccumulator::new();
+        acc.record(true, 42);
+        let wire = acc.to_wire();
+        // Truncated message.
+        let truncated: String = wire.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(TrialAccumulator::from_wire(&truncated).is_err());
+        // Corrupted bucket total.
+        let corrupted = wire.replace("overall-counts 1", "overall-counts 7");
+        assert!(TrialAccumulator::from_wire(&corrupted).is_err());
     }
 
     #[test]

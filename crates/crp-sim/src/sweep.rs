@@ -21,6 +21,14 @@
 //! seed and its grid position, so results are reproducible and independent
 //! of execution order.
 //!
+//! Execution is a *work-stealing sweep scheduler*: every cell of the grid
+//! is decomposed into `(cell, shard)` jobs feeding one global queue on the
+//! configured [`crate::ShardBackend`], so grids of many small cells keep
+//! every worker busy instead of draining cell by cell.  Per-cell
+//! accumulators are merged in shard order, which keeps each cell's
+//! [`TrialStats`] bit-identical to running that cell alone — on any
+//! backend, with any worker count.
+//!
 //! ```
 //! use crp_predict::ScenarioLibrary;
 //! use crp_protocols::ProtocolSpec;
@@ -46,12 +54,15 @@
 //! # }
 //! ```
 
+use std::sync::Mutex;
+
 use crp_info::SizeDistribution;
 use crp_predict::Scenario;
 use crp_protocols::ProtocolSpec;
 
 use crate::report::{fmt_f64, Table};
-use crate::runner::RunnerConfig;
+use crate::runner::backend::{backend_for, execute_and_merge};
+use crate::runner::{RunnerConfig, ShardBackend, ShardJob, ShardPlan};
 use crate::simulation::Simulation;
 use crate::stats::TrialStats;
 use crate::SimError;
@@ -193,17 +204,24 @@ pub struct SweepCellResult {
     pub stats: TrialStats,
 }
 
-/// Progress of a sweep, reported once per completed cell.
+/// Progress of a sweep, reported once per completed `(cell, shard)` job —
+/// from whichever worker finished it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepProgress {
-    /// Cells finished so far.
+    /// Cells whose shards have all finished so far.
     pub completed_cells: usize,
     /// Total cells in the grid.
     pub total_cells: usize,
-    /// Scenario label of the just-finished cell.
+    /// Shard jobs finished so far, across all cells.
+    pub completed_shards: usize,
+    /// Total shard jobs in the grid.
+    pub total_shards: usize,
+    /// Scenario label of the cell the just-finished shard belongs to.
     pub scenario: String,
-    /// Protocol label of the just-finished cell.
+    /// Protocol label of the cell the just-finished shard belongs to.
     pub protocol: String,
+    /// True when the just-finished shard completed its cell.
+    pub cell_completed: bool,
 }
 
 /// The declarative experiment matrix; see the [module docs](self).
@@ -329,9 +347,11 @@ impl SweepMatrix {
 
                     let mut builder = Simulation::builder()
                         .protocol((protocol.spec)(scenario))
-                        .trials(trials)
-                        .seed(seed)
-                        .threads(self.config.threads);
+                        .runner(RunnerConfig {
+                            trials,
+                            base_seed: seed,
+                            ..self.config
+                        });
                     let population = protocol
                         .population
                         .as_ref()
@@ -364,45 +384,131 @@ impl SweepMatrix {
         Ok(cells)
     }
 
-    /// Compiles and executes every cell, in grid order.
+    /// Compiles and executes every cell through the work-stealing
+    /// scheduler on the configured backend.
     ///
     /// # Errors
     ///
-    /// Propagates the first compilation or execution [`SimError`].
+    /// Propagates the first compilation or execution [`SimError`] (in
+    /// deterministic grid order: the lowest failing `(cell, shard)` job).
     pub fn run(&self) -> Result<SweepResults, SimError> {
         self.run_with_progress(|_| {})
     }
 
     /// Like [`SweepMatrix::run`], but invokes `progress` after each
-    /// completed cell.
+    /// completed `(cell, shard)` job — possibly from a worker thread,
+    /// hence the `Sync` bound.
     ///
     /// # Errors
     ///
     /// As [`SweepMatrix::run`].
     pub fn run_with_progress(
         &self,
-        progress: impl Fn(SweepProgress),
+        progress: impl Fn(SweepProgress) + Sync,
+    ) -> Result<SweepResults, SimError> {
+        self.run_on_with_progress(backend_for(&self.config).as_ref(), progress)
+    }
+
+    /// Runs the grid on an explicit [`ShardBackend`] (ignoring the
+    /// configured [`crate::BackendChoice`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepMatrix::run`].
+    pub fn run_on(&self, backend: &dyn ShardBackend) -> Result<SweepResults, SimError> {
+        self.run_on_with_progress(backend, |_| {})
+    }
+
+    /// The work-stealing sweep scheduler: decomposes every cell of the
+    /// grid into `(cell, shard)` jobs feeding one global queue on
+    /// `backend`, merges each cell's accumulators in shard order, and
+    /// reports per-shard and per-cell completion through `progress`.
+    ///
+    /// # Errors
+    ///
+    /// As [`SweepMatrix::run`].
+    pub fn run_on_with_progress(
+        &self,
+        backend: &dyn ShardBackend,
+        progress: impl Fn(SweepProgress) + Sync,
     ) -> Result<SweepResults, SimError> {
         let cells = self.compile()?;
         let total_cells = cells.len();
-        let mut results = Vec::with_capacity(total_cells);
-        for (done, cell) in cells.into_iter().enumerate() {
-            let stats = cell.simulation.run()?;
+
+        // Per-cell execution state borrowed by the job list: shard plans,
+        // trial closures and (for out-of-process backends) shard specs.
+        let plans: Vec<ShardPlan> = cells
+            .iter()
+            .map(|cell| ShardPlan::new(cell.simulation.config().trials))
+            .collect();
+        let specs: Vec<_> = cells.iter().map(|c| c.simulation.shard_spec()).collect();
+        let trials: Vec<_> = cells.iter().map(|c| c.simulation.trial_fn()).collect();
+
+        let mut jobs: Vec<ShardJob<'_>> = Vec::new();
+        for (index, cell) in cells.iter().enumerate() {
+            for shard in 0..plans[index].num_shards() {
+                jobs.push(ShardJob {
+                    cell: index,
+                    shard,
+                    plan: plans[index],
+                    base_seed: cell.simulation.config().base_seed,
+                    trial: &trials[index],
+                    spec: specs[index].as_ref(),
+                });
+            }
+        }
+        let total_shards = jobs.len();
+
+        // Progress bookkeeping under one lock: remaining shards per cell
+        // plus the global counters, so every callback observes a
+        // consistent snapshot and cell completion fires exactly once.
+        let remaining: Vec<usize> = plans.iter().map(ShardPlan::num_shards).collect();
+        let state: Mutex<(Vec<usize>, usize, usize)> = Mutex::new((remaining, 0, 0));
+        let jobs_ref = &jobs;
+        let cells_ref = &cells;
+        let on_done = move |job_index: usize| {
+            let job = &jobs_ref[job_index];
+            let cell = &cells_ref[job.cell];
+            // The callback runs while the lock is held so deliveries are
+            // serialised and the counters observers see are monotonic.
+            let mut state = state.lock().expect("no panics while counting progress");
+            state.0[job.cell] -= 1;
+            let cell_completed = state.0[job.cell] == 0;
+            state.1 += 1;
+            if cell_completed {
+                state.2 += 1;
+            }
             progress(SweepProgress {
-                completed_cells: done + 1,
+                completed_cells: state.2,
                 total_cells,
+                completed_shards: state.1,
+                total_shards,
                 scenario: cell.scenario.clone(),
                 protocol: cell.protocol.clone(),
+                cell_completed,
             });
-            results.push(SweepCellResult {
+        };
+
+        let stats = execute_and_merge(backend, &jobs, cells.len(), &on_done)?;
+        // End the borrows of `cells` (job list, per-cell closures, specs)
+        // before moving its entries into the results.
+        drop(on_done);
+        drop(jobs);
+        drop(trials);
+        drop(specs);
+
+        let results = cells
+            .into_iter()
+            .zip(stats)
+            .map(|(cell, stats)| SweepCellResult {
                 scenario: cell.scenario,
                 protocol: cell.protocol,
                 trials: cell.trials,
                 condensed_entropy: cell.condensed_entropy,
                 advice_divergence: cell.advice_divergence,
                 stats,
-            });
-        }
+            })
+            .collect();
         Ok(SweepResults { cells: results })
     }
 }
@@ -612,18 +718,57 @@ mod tests {
     }
 
     #[test]
-    fn progress_is_reported_per_cell() {
-        use std::cell::RefCell;
+    fn progress_reports_shard_and_cell_completion() {
+        use std::sync::Mutex;
         let library = ScenarioLibrary::new(256).unwrap();
-        let seen: RefCell<Vec<(usize, usize)>> = RefCell::new(Vec::new());
+        // 300 trials per cell = 2 shards per cell, 2 cells = 4 shard jobs.
+        let seen: Mutex<Vec<SweepProgress>> = Mutex::new(Vec::new());
         SweepMatrix::new()
             .scenarios([library.bimodal(), library.geometric()])
             .protocol(decay_column())
-            .trials(20)
+            .trials(300)
             .run_with_progress(|p| {
-                seen.borrow_mut().push((p.completed_cells, p.total_cells));
+                seen.lock().unwrap().push(p);
             })
             .unwrap();
-        assert_eq!(*seen.borrow(), vec![(1, 2), (2, 2)]);
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 4, "one callback per (cell, shard) job");
+        assert!(seen.iter().all(|p| p.total_cells == 2));
+        assert!(seen.iter().all(|p| p.total_shards == 4));
+        assert_eq!(
+            seen.iter().filter(|p| p.cell_completed).count(),
+            2,
+            "each cell completes exactly once"
+        );
+        let last = seen.last().unwrap();
+        assert_eq!(last.completed_shards, 4);
+        assert_eq!(last.completed_cells, 2);
+        assert!(last.cell_completed);
+    }
+
+    #[test]
+    fn work_stealing_scheduler_matches_sequential_cell_execution() {
+        // The sweep-level determinism criterion: interleaving every cell's
+        // shards through the global queue must leave each cell's stats
+        // bit-identical to running that cell's simulation alone.
+        let library = ScenarioLibrary::new(256).unwrap();
+        let build = || {
+            SweepMatrix::new()
+                .scenarios([library.bimodal(), library.geometric(), library.bursty()])
+                .protocol(decay_column())
+                .trials(300)
+                .seed(21)
+                .runner(RunnerConfig::with_trials(300).seeded(21).with_threads(4))
+        };
+        let scheduled = build().run().unwrap();
+        let cells = build().compile().unwrap();
+        for (cell, result) in cells.iter().zip(scheduled.cells()) {
+            let alone = cell.simulation.run().unwrap();
+            assert_eq!(
+                alone, result.stats,
+                "{}/{} diverged under work stealing",
+                cell.scenario, cell.protocol
+            );
+        }
     }
 }

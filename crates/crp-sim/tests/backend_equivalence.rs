@@ -1,0 +1,146 @@
+//! The acceptance criterion of the executor-agnostic backend refactor:
+//! `SerialBackend`, `ThreadBackend` (1/2/8 workers) and `ProcessBackend`
+//! must produce **bit-identical** `TrialStats` for the same configuration
+//! — for a single `Simulation` and for a whole `SweepMatrix` executed
+//! through the work-stealing scheduler.
+//!
+//! The process backend spawns the real `crp_experiments shard-worker`
+//! binary (cargo exposes its path to integration tests via
+//! `CARGO_BIN_EXE_crp_experiments`), so these tests exercise the full
+//! wire round trip: spec out on stdin, accumulator back on stdout.
+
+use crp_predict::ScenarioLibrary;
+use crp_protocols::ProtocolSpec;
+use crp_sim::{
+    ProcessBackend, SerialBackend, ShardBackend, Simulation, SweepMatrix, SweepProtocol,
+    ThreadBackend,
+};
+
+/// The worker binary cargo built alongside this test.
+fn process_backend(workers: usize) -> ProcessBackend {
+    ProcessBackend::new(workers).with_command(env!("CARGO_BIN_EXE_crp_experiments"))
+}
+
+/// Every backend the equivalence criterion quantifies over.
+fn all_backends() -> Vec<(&'static str, Box<dyn ShardBackend>)> {
+    vec![
+        ("serial", Box::new(SerialBackend)),
+        ("thread-1", Box::new(ThreadBackend::new(1))),
+        ("thread-2", Box::new(ThreadBackend::new(2))),
+        ("thread-8", Box::new(ThreadBackend::new(8))),
+        ("process-2", Box::new(process_backend(2))),
+    ]
+}
+
+#[test]
+fn simulation_stats_are_bit_identical_across_all_backends() {
+    // 700 trials = 3 shards, so the merge path is genuinely exercised;
+    // a sampled population exercises the distribution wire codec.
+    let library = ScenarioLibrary::new(512).unwrap();
+    let scenario = library.bimodal();
+    let simulation = Simulation::builder()
+        .protocol(
+            ProtocolSpec::new("sorted-guess-cycling")
+                .universe(512)
+                .prediction(scenario.advice_condensed()),
+        )
+        .truth(scenario.distribution().clone())
+        .max_rounds(64 * 512)
+        .trials(700)
+        .seed(0xFEED)
+        .build()
+        .unwrap();
+
+    let reference = simulation.run_on(&SerialBackend).unwrap();
+    assert_eq!(reference.trials, 700);
+    for (name, backend) in all_backends() {
+        let stats = simulation.run_on(backend.as_ref()).unwrap();
+        // PartialEq on TrialStats compares every field, including every
+        // f64 bit of the Welford moments and sketch quantiles.
+        assert_eq!(reference, stats, "backend {name} diverged");
+    }
+}
+
+#[test]
+fn sweep_stats_are_bit_identical_across_all_backends_and_seeds() {
+    // Property-style: several seeds over a multi-cell grid (2 scenarios x
+    // 2 protocols), each cell spanning multiple shards, executed through
+    // the work-stealing (cell, shard) queue on every backend.
+    let library = ScenarioLibrary::new(256).unwrap();
+    for seed in [1u64, 99, 0xC0FFEE] {
+        let matrix = SweepMatrix::new()
+            .scenarios([library.bimodal(), library.adversarial_drift()])
+            .protocol(
+                SweepProtocol::from_scenario("decay", |s| {
+                    ProtocolSpec::new("decay").universe(s.distribution().max_size())
+                })
+                .max_rounds_with(|s| Some(64 * s.distribution().max_size())),
+            )
+            .protocol(
+                SweepProtocol::from_scenario("sorted-guess", |s| {
+                    ProtocolSpec::new("sorted-guess-cycling")
+                        .universe(s.distribution().max_size())
+                        .prediction(s.advice_condensed())
+                })
+                .max_rounds_with(|s| Some(64 * s.distribution().max_size())),
+            )
+            .trials(300)
+            .seed(seed);
+
+        let reference = matrix.run_on(&SerialBackend).unwrap();
+        assert_eq!(reference.cells().len(), 4);
+        for (name, backend) in all_backends() {
+            let results = matrix.run_on(backend.as_ref()).unwrap();
+            assert_eq!(reference, results, "backend {name} diverged at seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn per_node_placements_survive_the_process_boundary() {
+    // The deterministic §3 protocols run under explicit placements; the
+    // placement must round-trip through the wire spec.
+    let simulation = Simulation::builder()
+        .protocol(
+            ProtocolSpec::new("det-advice-cd")
+                .universe(256)
+                .advice_bits(2),
+        )
+        .participant_ids(vec![100, 130, 200])
+        .trials(3)
+        .seed(7)
+        .build()
+        .unwrap();
+    let serial = simulation.run_on(&SerialBackend).unwrap();
+    let process = simulation.run_on(&process_backend(2)).unwrap();
+    assert_eq!(serial, process);
+    assert!((serial.success_rate() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn custom_protocol_objects_are_rejected_by_the_process_backend() {
+    use crp_protocols::{NoCdSchedule, ScheduleProtocol};
+    struct Constant;
+    impl NoCdSchedule for Constant {
+        fn probability(&self, _round: usize) -> Option<f64> {
+            Some(0.5)
+        }
+        fn name(&self) -> &str {
+            "constant"
+        }
+    }
+    let simulation = Simulation::builder()
+        .protocol_object(Box::new(ScheduleProtocol(Constant)))
+        .participants(4)
+        .max_rounds(1000)
+        .trials(10)
+        .seed(0)
+        .build()
+        .unwrap();
+    // In-process backends run it fine...
+    assert_eq!(simulation.run_on(&SerialBackend).unwrap().trials, 10);
+    // ...but it has no serialisable description, so the process backend
+    // reports a typed error instead of silently falling back.
+    let err = simulation.run_on(&process_backend(2)).unwrap_err();
+    assert!(matches!(err, crp_sim::SimError::Backend { .. }));
+}

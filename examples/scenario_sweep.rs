@@ -53,11 +53,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         matrix.scenario_axis().len(),
         matrix.protocol_labels().len()
     );
+    // Progress now arrives per completed (cell, shard) job — the
+    // work-stealing scheduler interleaves every cell's shards — so print a
+    // line only when a shard completes its whole cell.
     let results = matrix.run_with_progress(|p| {
-        eprintln!(
-            "  [{}/{}] {} / {}",
-            p.completed_cells, p.total_cells, p.scenario, p.protocol
-        );
+        if p.cell_completed {
+            eprintln!(
+                "  [cells {}/{}, shards {}/{}] finished {} / {}",
+                p.completed_cells,
+                p.total_cells,
+                p.completed_shards,
+                p.total_shards,
+                p.scenario,
+                p.protocol
+            );
+        }
     })?;
 
     println!(
