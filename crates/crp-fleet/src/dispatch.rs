@@ -1,0 +1,600 @@
+//! The fleet dispatcher: a batch of opaque jobs scheduled over a pool of
+//! worker endpoints.
+//!
+//! Scheduling keeps the work-stealing semantics of the in-process shard
+//! queue: one thread per endpoint claims the next unassigned job from a
+//! shared queue, so whichever worker is free takes the next job.  On top
+//! of that, the dispatcher handles the failure modes a pool of real
+//! processes and sockets adds:
+//!
+//! * **Dead workers** — a connect failure, a closed stream, or a
+//!   malformed answer makes the job go back on the queue for another
+//!   worker; the connection is dropped and re-established (local workers
+//!   are respawned) up to a per-thread limit before the thread gives up.
+//! * **Stragglers** — once the queue is empty, idle workers re-dispatch
+//!   the jobs still outstanding on other workers (preferring the least
+//!   duplicated job, and only after a short grace period so an ordinary
+//!   batch tail is not duplicated pointlessly).  Whichever copy answers
+//!   first wins.  A TCP worker blocked on an already-settled job is
+//!   abandoned at the next read-timeout poll; a *local* (pipe) worker's
+//!   read is blocking, so while its jobs settle promptly via
+//!   re-dispatch, a local worker wedged forever delays the final return
+//!   of [`Dispatcher::dispatch`] until it answers or dies.
+//! * **Poisoned answers** — [`Dispatcher::dispatch_validated`] checks
+//!   every answer before its job settles; a well-framed reply whose body
+//!   fails validation is retried elsewhere like any transport failure.
+//! * **Dedup by job id** — every completion is recorded at most once, so
+//!   duplicated answers from straggler re-dispatch (or a slow worker
+//!   racing its replacement) are dropped and the per-job completion
+//!   callback fires exactly once.
+//!
+//! Because a job's answer is required to be a deterministic function of
+//! its payload (shard answers are — that is the whole bit-identical
+//! merge guarantee), *which* worker answers never changes the result,
+//! only the wall-clock time.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::endpoint::{CallOutcome, Connection, WorkerEndpoint};
+use crate::FleetError;
+
+/// Per-thread cap on transport failures (failed connects, dropped
+/// connections) before the thread stops retrying its endpoint.
+const RECONNECT_LIMIT: usize = 3;
+
+/// How long a job must have been in flight before an idle worker may
+/// speculatively re-dispatch it.  Without a grace period, every batch
+/// tail would duplicate its last jobs onto all idle workers the instant
+/// the queue drains.
+const STRAGGLER_GRACE: Duration = Duration::from_millis(250);
+
+/// Validates a worker's answer *before* the job settles: return `Err`
+/// and the answer is treated exactly like a transport failure — the
+/// connection is dropped and the job re-dispatched — instead of
+/// poisoning the batch.  This is how `crp-sim` rejects a well-framed
+/// `done` whose accumulator body is corrupt.
+pub type AnswerValidator<'a> = &'a (dyn Fn(u64, &str) -> Result<(), String> + Sync);
+
+/// Schedules batches of jobs over a fixed pool of [`WorkerEndpoint`]s.
+pub struct Dispatcher {
+    endpoints: Vec<WorkerEndpoint>,
+    max_attempts: usize,
+}
+
+/// Shared scheduling state, all under one lock.
+struct State {
+    /// Jobs waiting for a (first or retry) dispatch.
+    queue: VecDeque<usize>,
+    /// How many workers are currently running each job.
+    in_flight: Vec<usize>,
+    /// Calls actually made per job (connect failures do not count).
+    attempts: Vec<usize>,
+    /// When each job was last claimed, for the straggler grace period.
+    claimed_at: Vec<Option<Instant>>,
+    /// Successful answers, in job order.
+    results: Vec<Option<String>>,
+    /// Permanent failures (worker-reported, or retries exhausted).
+    failures: Vec<Option<FleetError>>,
+    /// The most recent transport-level failure, for diagnostics.
+    last_transport_error: Option<String>,
+}
+
+impl State {
+    fn is_settled(&self, job: usize) -> bool {
+        self.results[job].is_some() || self.failures[job].is_some()
+    }
+}
+
+/// The shared state plus the condition variable idle workers sleep on —
+/// any event that could unblock a claim (a settle, a requeue) notifies
+/// it, so batch tails end the instant the last job settles instead of on
+/// a poll tick.
+struct Scheduler {
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+impl Scheduler {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().expect("no dispatcher panics")
+    }
+}
+
+impl Dispatcher {
+    /// A dispatcher over the given pool.  Each job is attempted at most
+    /// `max(3, 2 × pool size)` times before it is declared failed.
+    pub fn new(endpoints: Vec<WorkerEndpoint>) -> Self {
+        let max_attempts = (2 * endpoints.len()).max(3);
+        Self {
+            endpoints,
+            max_attempts,
+        }
+    }
+
+    /// Overrides the per-job attempt cap (tests).
+    pub fn with_max_attempts(mut self, max_attempts: usize) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// The pool this dispatcher schedules over.
+    pub fn endpoints(&self) -> &[WorkerEndpoint] {
+        &self.endpoints
+    }
+
+    /// Runs every payload to completion on the pool and returns the
+    /// answers in job order.  `done(job)` is invoked exactly once per
+    /// completed job, in completion order, possibly from a worker
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing job: [`FleetError::Job`]
+    /// when a worker rejected the payload deterministically, otherwise
+    /// [`FleetError::Exhausted`] describing the transport failures that
+    /// used up the job's attempts (or left the pool unreachable).
+    pub fn dispatch(
+        &self,
+        payloads: &[String],
+        done: &(dyn Fn(usize) + Sync),
+    ) -> Result<Vec<String>, FleetError> {
+        self.dispatch_validated(payloads, done, &|_, _| Ok(()))
+    }
+
+    /// Like [`Dispatcher::dispatch`], but every answer must pass
+    /// `validate` before its job settles; a rejected answer is retried
+    /// on another worker like any transport failure.
+    ///
+    /// # Errors
+    ///
+    /// As [`Dispatcher::dispatch`].
+    pub fn dispatch_validated(
+        &self,
+        payloads: &[String],
+        done: &(dyn Fn(usize) + Sync),
+        validate: AnswerValidator<'_>,
+    ) -> Result<Vec<String>, FleetError> {
+        if payloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.endpoints.is_empty() {
+            return Err(FleetError::Connect {
+                endpoint: "fleet pool".to_string(),
+                reason: "no worker endpoints configured".to_string(),
+            });
+        }
+        let scheduler = Scheduler {
+            state: Mutex::new(State {
+                queue: (0..payloads.len()).collect(),
+                in_flight: vec![0; payloads.len()],
+                attempts: vec![0; payloads.len()],
+                claimed_at: vec![None; payloads.len()],
+                results: vec![None; payloads.len()],
+                failures: vec![None; payloads.len()],
+                last_transport_error: None,
+            }),
+            wake: Condvar::new(),
+        };
+
+        std::thread::scope(|scope| {
+            for endpoint in &self.endpoints {
+                let scheduler = &scheduler;
+                scope
+                    .spawn(move || self.worker_loop(endpoint, scheduler, payloads, done, validate));
+            }
+        });
+
+        let state = scheduler.state.into_inner().expect("no dispatcher panics");
+        for job in 0..payloads.len() {
+            if let Some(error) = &state.failures[job] {
+                return Err(error.clone());
+            }
+            if state.results[job].is_none() {
+                // Every worker thread gave up before this job ran.
+                return Err(FleetError::Exhausted {
+                    id: job as u64,
+                    attempts: state.attempts[job],
+                    last: state
+                        .last_transport_error
+                        .clone()
+                        .unwrap_or_else(|| "no workers reachable".to_string()),
+                });
+            }
+        }
+        Ok(state
+            .results
+            .into_iter()
+            .map(|slot| slot.expect("every unsettled job was reported above"))
+            .collect())
+    }
+
+    /// One endpoint's thread: claim, connect, call, record — retrying
+    /// transport failures until the batch settles or the reconnect
+    /// budget is spent.
+    fn worker_loop(
+        &self,
+        endpoint: &WorkerEndpoint,
+        scheduler: &Scheduler,
+        payloads: &[String],
+        done: &(dyn Fn(usize) + Sync),
+        validate: AnswerValidator<'_>,
+    ) {
+        let mut connection: Option<Connection> = None;
+        let mut transport_failures = 0usize;
+        while let Some(job) = self.claim_next(scheduler) {
+            if connection.is_none() {
+                match endpoint.connect() {
+                    Ok(live) => connection = Some(live),
+                    Err(error) => {
+                        self.release_unattempted(scheduler, job, &error);
+                        transport_failures += 1;
+                        if transport_failures >= RECONNECT_LIMIT {
+                            return;
+                        }
+                        // Back off briefly so a dead endpoint is not
+                        // hammered in a tight loop.
+                        std::thread::sleep(Duration::from_millis(20 * transport_failures as u64));
+                        continue;
+                    }
+                }
+            }
+            let live = connection.as_mut().expect("connected above");
+            let should_abandon = || scheduler.lock().is_settled(job);
+            match live.call(job as u64, &payloads[job], &should_abandon) {
+                Ok(CallOutcome::Done(payload)) => {
+                    // A well-framed answer whose body fails validation is
+                    // as untrustworthy as garbage bytes: drop the
+                    // connection and re-dispatch elsewhere instead of
+                    // settling the job with a poisoned answer.
+                    if let Err(reason) = validate(job as u64, &payload) {
+                        connection = None;
+                        self.requeue_or_fail(
+                            scheduler,
+                            job,
+                            &FleetError::Malformed(format!(
+                                "answer to job {job} failed validation: {reason}"
+                            )),
+                        );
+                        transport_failures += 1;
+                        if transport_failures >= RECONNECT_LIMIT {
+                            return;
+                        }
+                        continue;
+                    }
+                    {
+                        let mut state = scheduler.lock();
+                        state.in_flight[job] -= 1;
+                        if !state.is_settled(job) {
+                            state.results[job] = Some(payload);
+                            // Deliver while holding the lock so
+                            // completions are serialised, exactly like
+                            // the in-process progress callbacks.
+                            done(job);
+                        }
+                    }
+                    scheduler.wake.notify_all();
+                }
+                Ok(CallOutcome::Failed(message)) => {
+                    {
+                        let mut state = scheduler.lock();
+                        state.in_flight[job] -= 1;
+                        if !state.is_settled(job) {
+                            state.failures[job] = Some(FleetError::Job {
+                                id: job as u64,
+                                message,
+                            });
+                        }
+                    }
+                    scheduler.wake.notify_all();
+                }
+                Ok(CallOutcome::Abandoned) => {
+                    // The job settled elsewhere while this worker was
+                    // still chewing on it.  The connection has a stale
+                    // answer in flight, so drop it and start fresh.
+                    scheduler.lock().in_flight[job] -= 1;
+                    scheduler.wake.notify_all();
+                    connection = None;
+                }
+                Err(error) => {
+                    connection = None;
+                    self.requeue_or_fail(scheduler, job, &error);
+                    transport_failures += 1;
+                    if transport_failures >= RECONNECT_LIMIT {
+                        return;
+                    }
+                }
+            }
+        }
+        if let Some(mut live) = connection {
+            live.shutdown();
+        }
+    }
+
+    /// Claims the next job: first from the retry/fresh queue, then — once
+    /// the queue is dry — the least-duplicated job still outstanding on
+    /// another worker for longer than [`STRAGGLER_GRACE`] (straggler
+    /// re-dispatch; the grace period keeps an ordinary batch tail from
+    /// being duplicated onto every idle worker the moment the queue
+    /// drains).  Sleeps on the scheduler's condition variable while
+    /// in-flight jobs exist that may yet become re-dispatchable; returns
+    /// `None` once this worker can never contribute again.
+    fn claim_next(&self, scheduler: &Scheduler) -> Option<usize> {
+        let mut state = scheduler.lock();
+        loop {
+            while let Some(job) = state.queue.pop_front() {
+                // A queued retry may have settled via a duplicate in the
+                // meantime; skip it.
+                if !state.is_settled(job) {
+                    state.attempts[job] += 1;
+                    state.in_flight[job] += 1;
+                    state.claimed_at[job] = Some(Instant::now());
+                    return Some(job);
+                }
+            }
+            // The queue is dry: look for a straggler whose grace period
+            // has expired, and otherwise note when the earliest one will
+            // become claimable.
+            let now = Instant::now();
+            let mut eligible: Option<usize> = None;
+            let mut next_ready: Option<Instant> = None;
+            for job in 0..state.results.len() {
+                if state.is_settled(job)
+                    || state.in_flight[job] == 0
+                    || state.attempts[job] >= self.max_attempts
+                {
+                    continue;
+                }
+                let ready_at =
+                    state.claimed_at[job].map_or(now, |claimed| claimed + STRAGGLER_GRACE);
+                if ready_at <= now {
+                    let better = eligible.is_none_or(|best| {
+                        (state.in_flight[job], state.attempts[job], job)
+                            < (state.in_flight[best], state.attempts[best], best)
+                    });
+                    if better {
+                        eligible = Some(job);
+                    }
+                } else {
+                    next_ready = Some(next_ready.map_or(ready_at, |t: Instant| t.min(ready_at)));
+                }
+            }
+            if let Some(job) = eligible {
+                state.attempts[job] += 1;
+                state.in_flight[job] += 1;
+                state.claimed_at[job] = Some(now);
+                return Some(job);
+            }
+            // Nothing left this worker could ever run: the batch is
+            // settled, or the stragglers are out of attempts and their
+            // fate rests with the copies in flight.
+            let deadline = next_ready?;
+            // In-grace stragglers exist: sleep until the earliest grace
+            // expiry or the next settle/requeue notification, whichever
+            // comes first.
+            let (guard, _) = scheduler
+                .wake
+                .wait_timeout(state, deadline.saturating_duration_since(now))
+                .expect("no dispatcher panics");
+            state = guard;
+        }
+    }
+
+    /// Returns a job whose worker could not even be reached: the claim is
+    /// undone (connect failures do not count as attempts) and the job
+    /// goes back to the front of the queue.
+    fn release_unattempted(&self, scheduler: &Scheduler, job: usize, error: &FleetError) {
+        {
+            let mut state = scheduler.lock();
+            state.attempts[job] -= 1;
+            state.in_flight[job] -= 1;
+            state.last_transport_error = Some(error.to_string());
+            if !state.is_settled(job) {
+                state.queue.push_front(job);
+            }
+        }
+        scheduler.wake.notify_all();
+    }
+
+    /// Records a transport failure mid-job: re-dispatch on another worker
+    /// while attempts remain, otherwise (and only once no copy is still
+    /// in flight) declare the job failed.
+    fn requeue_or_fail(&self, scheduler: &Scheduler, job: usize, error: &FleetError) {
+        {
+            let mut state = scheduler.lock();
+            state.in_flight[job] -= 1;
+            state.last_transport_error = Some(error.to_string());
+            if !state.is_settled(job) {
+                if state.attempts[job] < self.max_attempts {
+                    state.queue.push_back(job);
+                } else if state.in_flight[job] == 0 {
+                    state.failures[job] = Some(FleetError::Exhausted {
+                        id: job as u64,
+                        attempts: state.attempts[job],
+                        last: error.to_string(),
+                    });
+                }
+            }
+        }
+        scheduler.wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpWorker;
+    use crate::worker::ServeOptions;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// An echo worker whose handler can also reject (`fail:<message>`)
+    /// or straggle (`slow-once:<ms>:<text>` sleeps on its *first*
+    /// execution in this process only, so a re-dispatched copy of the
+    /// same payload answers promptly — the answer text stays identical
+    /// either way, like a shard answer does).
+    fn scripted(payload: &str) -> Result<String, String> {
+        static SLOWED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+        if let Some(message) = payload.strip_prefix("fail:") {
+            return Err(message.to_string());
+        }
+        let payload = if let Some(rest) = payload.strip_prefix("slow-once:") {
+            let (ms, text) = rest.split_once(':').expect("slow-once:<ms>:<text>");
+            if !SLOWED.swap(true, Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(ms.parse().expect("sleep ms")));
+            }
+            text
+        } else {
+            payload
+        };
+        Ok(format!("echo:{payload}"))
+    }
+
+    fn spawn_worker() -> String {
+        let worker = TcpWorker::bind("127.0.0.1:0").unwrap();
+        let addr = worker.local_addr().unwrap().to_string();
+        std::thread::spawn(move || worker.serve_forever(&scripted, &ServeOptions::default()));
+        addr
+    }
+
+    fn dead_endpoint() -> WorkerEndpoint {
+        let port = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port();
+        WorkerEndpoint::tcp(format!("127.0.0.1:{port}"))
+    }
+
+    #[test]
+    fn a_pool_answers_a_batch_in_job_order() {
+        let endpoints = (0..3)
+            .map(|_| WorkerEndpoint::tcp(spawn_worker()))
+            .collect();
+        let payloads: Vec<String> = (0..20).map(|i| format!("job-{i}")).collect();
+        let completions = AtomicUsize::new(0);
+        let answers = Dispatcher::new(endpoints)
+            .dispatch(&payloads, &|_| {
+                completions.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        let expected: Vec<String> = (0..20).map(|i| format!("echo:job-{i}")).collect();
+        assert_eq!(answers, expected);
+        assert_eq!(
+            completions.load(Ordering::Relaxed),
+            20,
+            "done fires exactly once per job, duplicates are dropped"
+        );
+    }
+
+    #[test]
+    fn a_dead_endpoint_does_not_lose_jobs() {
+        let endpoints = vec![dead_endpoint(), WorkerEndpoint::tcp(spawn_worker())];
+        let payloads: Vec<String> = (0..8).map(|i| format!("j{i}")).collect();
+        let answers = Dispatcher::new(endpoints)
+            .dispatch(&payloads, &|_| {})
+            .unwrap();
+        assert_eq!(answers[7], "echo:j7");
+        assert_eq!(answers.len(), 8);
+    }
+
+    #[test]
+    fn stragglers_are_redispatched_and_duplicates_deduped() {
+        // Worker A gets stuck on the slow job; worker B drains the rest
+        // of the queue and then re-dispatches the straggler.  The batch
+        // must complete in well under the slow worker's sleep.
+        let endpoints = vec![
+            WorkerEndpoint::tcp(spawn_worker()),
+            WorkerEndpoint::tcp(spawn_worker()),
+        ];
+        let mut payloads = vec!["slow-once:4000:tortoise".to_string()];
+        payloads.extend((0..6).map(|i| format!("hare-{i}")));
+        let completions = AtomicUsize::new(0);
+        let start = std::time::Instant::now();
+        let answers = Dispatcher::new(endpoints)
+            .dispatch(&payloads, &|_| {
+                completions.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_millis(3500),
+            "the straggling copy must not gate completion (took {:?})",
+            start.elapsed()
+        );
+        assert_eq!(answers[0], "echo:tortoise");
+        assert_eq!(completions.load(Ordering::Relaxed), payloads.len());
+    }
+
+    #[test]
+    fn worker_reported_failures_are_permanent_and_lowest_index_wins() {
+        let endpoints = vec![WorkerEndpoint::tcp(spawn_worker())];
+        let payloads = vec![
+            "fine".to_string(),
+            "fail:second is bad".to_string(),
+            "fail:third is bad".to_string(),
+        ];
+        let err = Dispatcher::new(endpoints)
+            .dispatch(&payloads, &|_| {})
+            .unwrap_err();
+        match err {
+            FleetError::Job { id, message } => {
+                assert_eq!(id, 1);
+                assert_eq!(message, "second is bad");
+            }
+            other => panic!("expected a worker-reported job failure, got {other}"),
+        }
+    }
+
+    #[test]
+    fn an_unreachable_pool_is_a_typed_error_not_a_hang() {
+        let err = Dispatcher::new(vec![dead_endpoint(), dead_endpoint()])
+            .dispatch(&["x".to_string()], &|_| {})
+            .unwrap_err();
+        assert!(matches!(err, FleetError::Exhausted { .. }), "got {err}");
+        let err = Dispatcher::new(Vec::new())
+            .dispatch(&["x".to_string()], &|_| {})
+            .unwrap_err();
+        assert!(matches!(err, FleetError::Connect { .. }));
+    }
+
+    #[test]
+    fn rejected_answers_are_retried_like_transport_failures() {
+        // The validator refuses the first answer it sees for job 0, so
+        // the dispatcher must drop that connection and recompute the job
+        // — the final answer set is still complete and correct.
+        let endpoints = vec![
+            WorkerEndpoint::tcp(spawn_worker()),
+            WorkerEndpoint::tcp(spawn_worker()),
+        ];
+        let payloads: Vec<String> = (0..4).map(|i| format!("v{i}")).collect();
+        let rejected_once = std::sync::atomic::AtomicBool::new(false);
+        let answers = Dispatcher::new(endpoints)
+            .dispatch_validated(&payloads, &|_| {}, &|id, _| {
+                if id == 0 && !rejected_once.swap(true, Ordering::SeqCst) {
+                    Err("first answer rejected".to_string())
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap();
+        assert_eq!(answers[0], "echo:v0");
+        assert_eq!(answers.len(), 4);
+        assert!(rejected_once.load(Ordering::SeqCst));
+
+        // A validator that never accepts exhausts the job's attempts
+        // into a typed error instead of settling a poisoned answer.
+        let err = Dispatcher::new(vec![WorkerEndpoint::tcp(spawn_worker())])
+            .dispatch_validated(&["x".to_string()], &|_| {}, &|_, _| Err("no".into()))
+            .unwrap_err();
+        assert!(matches!(err, FleetError::Exhausted { .. }), "got {err}");
+    }
+
+    #[test]
+    fn empty_batches_are_a_no_op() {
+        let answers = Dispatcher::new(vec![dead_endpoint()])
+            .dispatch(&[], &|_| {})
+            .unwrap();
+        assert!(answers.is_empty());
+    }
+}

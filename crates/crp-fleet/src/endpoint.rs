@@ -1,0 +1,461 @@
+//! Worker endpoints, connections, and the fleet manifest.
+//!
+//! A [`WorkerEndpoint`] says where one worker lives: a local subprocess
+//! the dispatcher spawns and talks to over piped stdio, or a `host:port`
+//! it dials over TCP (a worker started on another machine with
+//! `crp_experiments worker --listen`).  [`FleetManifest`] is the textual
+//! pool description carried by the `CRP_FLEET` environment variable and
+//! the `--fleet` CLI flag: comma-separated entries, each either
+//! `local[:N]` (N spawned subprocess workers) or `host:port` (one remote
+//! worker).
+
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::frame::{read_frame, wait_readable, write_frame};
+use crate::protocol::{Message, PROTOCOL_VERSION};
+use crate::FleetError;
+
+/// Poll interval for straggler checks on TCP connections.
+const TCP_POLL: Duration = Duration::from_millis(100);
+/// How long a fresh connection may take to deliver its hello.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Where one fleet worker lives and how to reach it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerEndpoint {
+    /// A subprocess the dispatcher spawns, speaking frames over piped
+    /// stdio.
+    Local {
+        /// The worker binary.
+        program: PathBuf,
+        /// Arguments selecting its worker mode (e.g. `worker --stdio`).
+        args: Vec<String>,
+        /// Extra environment for the child — how tests inject faults
+        /// into one specific worker of a pool.
+        envs: Vec<(String, String)>,
+    },
+    /// A remote worker reached over TCP.
+    Tcp {
+        /// The `host:port` to dial.
+        addr: String,
+    },
+}
+
+impl WorkerEndpoint {
+    /// A local subprocess endpoint.
+    pub fn local(program: impl Into<PathBuf>, args: Vec<String>) -> Self {
+        WorkerEndpoint::Local {
+            program: program.into(),
+            args,
+            envs: Vec::new(),
+        }
+    }
+
+    /// A local subprocess endpoint with extra environment variables (the
+    /// fault-injection hook).
+    pub fn local_with_env(
+        program: impl Into<PathBuf>,
+        args: Vec<String>,
+        envs: Vec<(String, String)>,
+    ) -> Self {
+        WorkerEndpoint::Local {
+            program: program.into(),
+            args,
+            envs,
+        }
+    }
+
+    /// A TCP endpoint.
+    pub fn tcp(addr: impl Into<String>) -> Self {
+        WorkerEndpoint::Tcp { addr: addr.into() }
+    }
+
+    /// A short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            WorkerEndpoint::Local { program, .. } => {
+                format!("local worker {}", program.display())
+            }
+            WorkerEndpoint::Tcp { addr } => format!("tcp worker {addr}"),
+        }
+    }
+
+    /// Connects and completes the hello handshake.
+    pub(crate) fn connect(&self) -> Result<Connection, FleetError> {
+        let connect_error = |reason: String| FleetError::Connect {
+            endpoint: self.describe(),
+            reason,
+        };
+        match self {
+            WorkerEndpoint::Local {
+                program,
+                args,
+                envs,
+            } => {
+                let mut command = Command::new(program);
+                command
+                    .args(args)
+                    .stdin(Stdio::piped())
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::inherit());
+                for (key, value) in envs {
+                    command.env(key, value);
+                }
+                let mut child = command.spawn().map_err(|e| connect_error(e.to_string()))?;
+                let stdout = child.stdout.take().expect("stdout was piped");
+                let stdin = child.stdin.take().expect("stdin was piped");
+                // Pipe reads have no timeout, so enforce the handshake
+                // deadline with a helper thread: a spawned binary that
+                // never says hello must become a typed connect error,
+                // not a dispatcher hang.  On timeout the child is
+                // killed, which closes the pipe and unblocks (and ends)
+                // the helper.
+                let mut reader: BufReader<Box<dyn Read + Send>> = BufReader::new(Box::new(stdout));
+                let (sender, receiver) = std::sync::mpsc::channel();
+                std::thread::spawn(move || {
+                    let result = read_hello(&mut reader);
+                    let _ = sender.send((result, reader));
+                });
+                match receiver.recv_timeout(HANDSHAKE_TIMEOUT) {
+                    Ok((Ok(()), reader)) => Ok(Connection {
+                        reader,
+                        writer: Box::new(stdin),
+                        child: Some(child),
+                        polls: false,
+                    }),
+                    Ok((Err(error), _)) => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        Err(connect_error(error.to_string()))
+                    }
+                    Err(_) => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        Err(connect_error(
+                            "timed out waiting for the worker hello".to_string(),
+                        ))
+                    }
+                }
+            }
+            WorkerEndpoint::Tcp { addr } => {
+                let resolved = addr
+                    .to_socket_addrs()
+                    .map_err(|e| connect_error(format!("cannot resolve {addr:?}: {e}")))?
+                    .next()
+                    .ok_or_else(|| connect_error(format!("{addr:?} resolves to no address")))?;
+                let stream = TcpStream::connect_timeout(&resolved, HANDSHAKE_TIMEOUT)
+                    .map_err(|e| connect_error(e.to_string()))?;
+                stream.set_nodelay(true).ok();
+                stream
+                    .set_read_timeout(Some(TCP_POLL))
+                    .map_err(|e| connect_error(e.to_string()))?;
+                let writer = stream
+                    .try_clone()
+                    .map_err(|e| connect_error(e.to_string()))?;
+                let mut connection = Connection {
+                    reader: BufReader::new(Box::new(stream)),
+                    writer: Box::new(writer),
+                    child: None,
+                    polls: true,
+                };
+                connection
+                    .expect_hello()
+                    .map_err(|e| connect_error(e.to_string()))?;
+                Ok(connection)
+            }
+        }
+    }
+}
+
+/// Reads and validates a worker hello off a blocking stream.
+fn read_hello(reader: &mut BufReader<Box<dyn Read + Send>>) -> Result<(), FleetError> {
+    let frame = read_frame(reader)?.ok_or(FleetError::Closed)?;
+    match Message::decode(&frame)? {
+        Message::Hello { version, .. } if version == PROTOCOL_VERSION => Ok(()),
+        Message::Hello { version, .. } => Err(FleetError::Handshake(format!(
+            "worker speaks protocol v{version}, dispatcher requires v{PROTOCOL_VERSION}"
+        ))),
+        other => Err(FleetError::Handshake(format!(
+            "expected hello, worker sent {other:?}"
+        ))),
+    }
+}
+
+/// What one [`Connection::call`] produced.
+pub(crate) enum CallOutcome {
+    /// The worker answered the job.
+    Done(String),
+    /// The worker reported a deterministic job failure.
+    Failed(String),
+    /// The caller abandoned the straggling call because the job was
+    /// completed elsewhere (TCP transports only).
+    Abandoned,
+}
+
+/// One live, handshake-checked conversation with a worker.
+pub(crate) struct Connection {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+    child: Option<Child>,
+    /// True when the underlying stream has a read timeout, enabling the
+    /// between-frames straggler poll.
+    polls: bool,
+}
+
+impl Connection {
+    /// Reads and validates the worker's hello on a polling (TCP) stream,
+    /// enforcing [`HANDSHAKE_TIMEOUT`] through the read-timeout poll.
+    /// (Pipe connections enforce the same deadline with a helper thread
+    /// at connect time.)
+    fn expect_hello(&mut self) -> Result<(), FleetError> {
+        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        while self.polls && !wait_readable(&mut self.reader)? {
+            if Instant::now() >= deadline {
+                return Err(FleetError::Handshake(
+                    "timed out waiting for the worker hello".to_string(),
+                ));
+            }
+        }
+        read_hello(&mut self.reader)
+    }
+
+    /// Sends one job and waits for its answer.  While waiting on a TCP
+    /// transport, `should_abandon` is polled between read timeouts so a
+    /// straggling call can be given up once the job has completed on
+    /// another worker.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FleetError`] here means the *connection* is unusable (closed
+    /// stream, malformed frame, wrong job id) — the job itself may still
+    /// succeed elsewhere.
+    pub(crate) fn call(
+        &mut self,
+        id: u64,
+        payload: &str,
+        should_abandon: &dyn Fn() -> bool,
+    ) -> Result<CallOutcome, FleetError> {
+        write_frame(
+            &mut self.writer,
+            &Message::Job {
+                id,
+                payload: payload.to_string(),
+            }
+            .encode(),
+        )?;
+        loop {
+            if self.polls && !wait_readable(&mut self.reader)? {
+                if should_abandon() {
+                    return Ok(CallOutcome::Abandoned);
+                }
+                continue;
+            }
+            let frame = read_frame(&mut self.reader)?.ok_or(FleetError::Closed)?;
+            return match Message::decode(&frame)? {
+                Message::Done { id: got, payload } if got == id => Ok(CallOutcome::Done(payload)),
+                Message::Failed { id: got, message } if got == id => {
+                    Ok(CallOutcome::Failed(message))
+                }
+                // A pong from an earlier health check may still be in
+                // flight; skip it and keep waiting for the answer.
+                Message::Pong { .. } => continue,
+                other => Err(FleetError::Malformed(format!(
+                    "expected the answer to job {id}, got {other:?}"
+                ))),
+            };
+        }
+    }
+}
+
+impl Connection {
+    /// Best-effort goodbye so a stdio worker exits instead of being
+    /// killed by [`Drop`].
+    pub(crate) fn shutdown(&mut self) {
+        let _ = write_frame(&mut self.writer, &Message::Shutdown.encode());
+        if let Some(child) = &mut self.child {
+            let _ = child.wait();
+            self.child = None;
+        }
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// One entry of a [`FleetManifest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetEntry {
+    /// `local[:N]` — N dispatcher-spawned subprocess workers.
+    Local {
+        /// Pool size (at least 1).
+        workers: usize,
+    },
+    /// `host:port` — one remote TCP worker.
+    Tcp {
+        /// The address to dial.
+        addr: String,
+    },
+}
+
+/// A parsed fleet pool description (`CRP_FLEET` / `--fleet`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetManifest {
+    entries: Vec<FleetEntry>,
+}
+
+impl FleetManifest {
+    /// Parses `local[:N]` and `host:port` entries from a comma-separated
+    /// manifest, e.g. `local:4,10.0.0.7:9311,10.0.0.8:9311`.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Manifest`] naming the first offending entry: empty
+    /// manifests and entries, `local:0`, an unparsable local count, a
+    /// missing or out-of-range port, or an empty host.
+    pub fn parse(text: &str) -> Result<Self, FleetError> {
+        let reject = |entry: &str, reason: &str| FleetError::Manifest {
+            entry: entry.to_string(),
+            reason: reason.to_string(),
+        };
+        let mut entries = Vec::new();
+        for raw in text.split(',') {
+            let entry = raw.trim();
+            if entry.is_empty() {
+                return Err(reject(raw, "empty entry"));
+            }
+            if entry == "local" {
+                entries.push(FleetEntry::Local { workers: 1 });
+            } else if let Some(count) = entry.strip_prefix("local:") {
+                let workers = count
+                    .parse::<usize>()
+                    .map_err(|_| reject(entry, "expected local:<positive worker count>"))?;
+                if workers == 0 {
+                    return Err(reject(entry, "a local pool needs at least one worker"));
+                }
+                entries.push(FleetEntry::Local { workers });
+            } else {
+                let (host, port) = entry
+                    .rsplit_once(':')
+                    .ok_or_else(|| reject(entry, "expected local[:N] or host:port"))?;
+                if host.is_empty() {
+                    return Err(reject(entry, "empty host"));
+                }
+                port.parse::<u16>()
+                    .map_err(|_| reject(entry, "expected a port in 0..=65535"))?;
+                entries.push(FleetEntry::Tcp {
+                    addr: entry.to_string(),
+                });
+            }
+        }
+        if entries.is_empty() {
+            return Err(reject(text, "empty manifest"));
+        }
+        Ok(Self { entries })
+    }
+
+    /// The parsed entries, in manifest order.
+    pub fn entries(&self) -> &[FleetEntry] {
+        &self.entries
+    }
+
+    /// Expands the manifest into endpoints: each `local:N` entry becomes
+    /// N subprocess endpoints running `program args`, each `host:port`
+    /// entry one TCP endpoint.
+    pub fn endpoints(&self, program: impl Into<PathBuf>, args: Vec<String>) -> Vec<WorkerEndpoint> {
+        let program = program.into();
+        let mut endpoints = Vec::new();
+        for entry in &self.entries {
+            match entry {
+                FleetEntry::Local { workers } => {
+                    for _ in 0..*workers {
+                        endpoints.push(WorkerEndpoint::local(program.clone(), args.clone()));
+                    }
+                }
+                FleetEntry::Tcp { addr } => endpoints.push(WorkerEndpoint::tcp(addr.clone())),
+            }
+        }
+        endpoints
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifests_parse_local_pools_and_remote_addresses() {
+        let manifest = FleetManifest::parse("local:3, 10.0.0.7:9311 ,local,worker-a:80").unwrap();
+        assert_eq!(
+            manifest.entries(),
+            &[
+                FleetEntry::Local { workers: 3 },
+                FleetEntry::Tcp {
+                    addr: "10.0.0.7:9311".into()
+                },
+                FleetEntry::Local { workers: 1 },
+                FleetEntry::Tcp {
+                    addr: "worker-a:80".into()
+                },
+            ]
+        );
+        let endpoints = manifest.endpoints("/bin/worker", vec!["worker".into(), "--stdio".into()]);
+        assert_eq!(endpoints.len(), 3 + 1 + 1 + 1);
+        assert_eq!(
+            endpoints[0], endpoints[2],
+            "local entries expand to N clones"
+        );
+        assert_eq!(
+            endpoints[3],
+            WorkerEndpoint::tcp("10.0.0.7:9311"),
+            "manifest order: all local:3 workers first, then the remotes in order"
+        );
+    }
+
+    #[test]
+    fn bad_manifest_entries_name_the_offender() {
+        for (text, needle) in [
+            ("", "empty"),
+            ("local:4,", "empty entry"),
+            ("local:0", "at least one"),
+            ("local:x", "positive worker count"),
+            ("just-a-host", "host:port"),
+            (":9311", "empty host"),
+            ("host:notaport", "port"),
+            ("host:99999", "port"),
+        ] {
+            match FleetManifest::parse(text) {
+                Err(FleetError::Manifest { reason, .. }) => {
+                    assert!(reason.contains(needle), "{text:?}: reason {reason:?}");
+                }
+                other => panic!("{text:?} parsed to {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn endpoint_descriptions_are_human_readable() {
+        assert!(WorkerEndpoint::tcp("h:1").describe().contains("h:1"));
+        assert!(WorkerEndpoint::local("/bin/w", vec![])
+            .describe()
+            .contains("/bin/w"));
+    }
+
+    #[test]
+    fn connecting_to_a_missing_local_binary_is_a_typed_error() {
+        let endpoint = WorkerEndpoint::local("/no/such/binary", vec![]);
+        assert!(matches!(
+            endpoint.connect(),
+            Err(FleetError::Connect { .. })
+        ));
+    }
+}

@@ -1,0 +1,167 @@
+//! Fleet dispatch: long-lived workers, a straggler-retrying dispatcher,
+//! and a framed wire protocol over stdio or TCP.
+//!
+//! The crate is deliberately *payload-agnostic*: jobs are opaque strings
+//! shipped to workers, answers are opaque strings shipped back, and a
+//! worker is anything that serves the framed protocol with a
+//! `Fn(&str) -> Result<String, String>` handler.  `crp-sim` layers its
+//! `ShardSpec` / `TrialAccumulator` codec on top to get a remote shard
+//! backend; nothing here knows about shards, which keeps the dependency
+//! arrow pointing one way (`crp-sim` → `crp-fleet`) and lets the
+//! `crp_experiments` binary host the worker mode.
+//!
+//! The layers, bottom up:
+//!
+//! * [`frame`] — length-prefixed framing over any byte stream (a header
+//!   line carrying the payload size, then exactly that many bytes), with
+//!   truncation and oversize rejection.
+//! * [`protocol`] — the messages inside frames: a versioned
+//!   [`protocol::Message::Hello`] handshake, `job` / `done` / `failed`
+//!   requests and answers keyed by job id, and a `ping` / `pong` health
+//!   check.
+//! * [`worker`] — the long-lived worker loop: [`worker::serve`] answers a
+//!   stream of jobs over any `(Read, Write)` pair — N jobs per process
+//!   instead of one — with [`worker::ServeOptions`] carrying the
+//!   fault-injection knobs the failure tests use.  [`worker::serve_stdio`]
+//!   binds it to a subprocess's stdio; [`tcp::TcpWorker`] binds it to a
+//!   listening socket, one connection per dispatcher.
+//! * [`endpoint`] — [`endpoint::WorkerEndpoint`]: where a worker lives
+//!   (a local subprocess to spawn, or a `host:port` to dial) and the
+//!   handshake-checked [connection](endpoint::WorkerEndpoint::describe)
+//!   lifecycle, plus the [`endpoint::FleetManifest`] (`local:4,host:9000`)
+//!   the `CRP_FLEET` environment variable and `--fleet` flag carry.
+//! * [`dispatch`] — [`dispatch::Dispatcher`]: schedules a batch of jobs
+//!   over a pool of endpoints with work-stealing semantics (idle workers
+//!   claim the next unassigned job), **re-dispatches the outstanding jobs
+//!   of dead or straggling workers**, and deduplicates completions by job
+//!   id, so duplicated answers are dropped and results always come back
+//!   in job order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dispatch;
+pub mod endpoint;
+pub mod frame;
+pub mod protocol;
+pub mod tcp;
+pub mod worker;
+
+use std::error::Error;
+use std::fmt;
+
+pub use dispatch::Dispatcher;
+pub use endpoint::{FleetEntry, FleetManifest, WorkerEndpoint};
+pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+pub use protocol::{Message, PROTOCOL_VERSION};
+pub use tcp::TcpWorker;
+pub use worker::{serve, serve_stdio, JobHandler, ServeOptions};
+
+/// Errors produced by the fleet transport and dispatcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// An I/O operation on a transport failed.
+    Io(String),
+    /// The peer closed the stream mid-conversation.
+    Closed,
+    /// A frame or message was malformed (truncated, oversized, bad
+    /// header, unknown message, wrong job id).
+    Malformed(String),
+    /// The handshake failed (missing hello, protocol version mismatch).
+    Handshake(String),
+    /// A fleet manifest entry could not be parsed.
+    Manifest {
+        /// The offending manifest entry.
+        entry: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A worker endpoint could not be reached (spawn or dial failure).
+    Connect {
+        /// Human-readable endpoint description.
+        endpoint: String,
+        /// The underlying failure.
+        reason: String,
+    },
+    /// A worker answered a job with a deterministic failure (the job
+    /// itself is bad, so re-dispatching it cannot help).
+    Job {
+        /// The failing job id.
+        id: u64,
+        /// The worker-reported failure message.
+        message: String,
+    },
+    /// A job could not be completed on any worker.
+    Exhausted {
+        /// The job id that ran out of workers.
+        id: u64,
+        /// Attempts made before giving up.
+        attempts: usize,
+        /// The last transport or connect failure observed.
+        last: String,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Io(what) => write!(f, "fleet transport I/O error: {what}"),
+            FleetError::Closed => write!(f, "the peer closed the fleet stream"),
+            FleetError::Malformed(what) => write!(f, "malformed fleet frame: {what}"),
+            FleetError::Handshake(what) => write!(f, "fleet handshake failed: {what}"),
+            FleetError::Manifest { entry, reason } => {
+                write!(f, "invalid fleet manifest entry {entry:?}: {reason}")
+            }
+            FleetError::Connect { endpoint, reason } => {
+                write!(f, "cannot reach fleet worker {endpoint}: {reason}")
+            }
+            FleetError::Job { id, message } => {
+                write!(f, "fleet job {id} failed on the worker: {message}")
+            }
+            FleetError::Exhausted { id, attempts, last } => write!(
+                f,
+                "fleet job {id} failed on every worker ({attempts} attempts; last error: {last})"
+            ),
+        }
+    }
+}
+
+impl Error for FleetError {}
+
+impl From<std::io::Error> for FleetError {
+    fn from(err: std::io::Error) -> Self {
+        FleetError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_names_the_failure() {
+        assert!(FleetError::Closed.to_string().contains("closed"));
+        assert!(FleetError::Io("broken pipe".into())
+            .to_string()
+            .contains("broken pipe"));
+        assert!(FleetError::Malformed("bad header".into())
+            .to_string()
+            .contains("bad header"));
+        assert!(FleetError::Handshake("version 9".into())
+            .to_string()
+            .contains("version 9"));
+        let err = FleetError::Manifest {
+            entry: "local:x".into(),
+            reason: "bad count".into(),
+        };
+        assert!(err.to_string().contains("local:x"));
+        let err = FleetError::Exhausted {
+            id: 3,
+            attempts: 4,
+            last: "connection refused".into(),
+        };
+        assert!(err.to_string().contains("connection refused"));
+        let err: FleetError = std::io::Error::other("oops").into();
+        assert!(matches!(err, FleetError::Io(_)));
+    }
+}

@@ -1,0 +1,235 @@
+//! The messages inside fleet frames.
+//!
+//! Every frame payload is UTF-8 text: a head line naming the message
+//! (and carrying its job id where applicable), then an optional body.
+//! Bodies are opaque to this crate — `crp-sim` puts its `ShardSpec` and
+//! `TrialAccumulator` wire text there unchanged.
+//!
+//! The conversation on one connection:
+//!
+//! ```text
+//! worker     -> dispatcher   hello v1 capacity 1        (handshake)
+//! dispatcher -> worker       job 17\n<payload>
+//! worker     -> dispatcher   done 17\n<payload>         (or: failed 17\n<message>)
+//! dispatcher -> worker       ping 99
+//! worker     -> dispatcher   pong 99                    (health check)
+//! dispatcher -> worker       shutdown                   (or just closes the stream)
+//! ```
+
+use crate::FleetError;
+
+/// Version of the fleet wire protocol; sent in the [`Message::Hello`]
+/// handshake and checked by the dispatcher, so a stale worker binary is
+/// rejected with a typed error instead of misparsing frames.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One fleet protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Worker → dispatcher, first message on every connection.
+    Hello {
+        /// The worker's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// How many jobs the worker is willing to run concurrently on
+        /// this connection (currently always 1; reserved for pipelining).
+        capacity: usize,
+    },
+    /// Dispatcher → worker: execute this payload.
+    Job {
+        /// Dispatcher-chosen id echoed back in the answer.
+        id: u64,
+        /// Opaque job description.
+        payload: String,
+    },
+    /// Worker → dispatcher: the job's successful answer.
+    Done {
+        /// Echo of the job id.
+        id: u64,
+        /// Opaque answer.
+        payload: String,
+    },
+    /// Worker → dispatcher: the job failed deterministically (the payload
+    /// itself is bad; re-dispatching cannot help).
+    Failed {
+        /// Echo of the job id.
+        id: u64,
+        /// Human-readable failure.
+        message: String,
+    },
+    /// Dispatcher → worker health check.
+    Ping {
+        /// Echoed in the matching [`Message::Pong`].
+        id: u64,
+    },
+    /// Worker → dispatcher health-check answer.
+    Pong {
+        /// Echo of the ping id.
+        id: u64,
+    },
+    /// Dispatcher → worker: finish up and close the connection.
+    Shutdown,
+}
+
+impl Message {
+    /// Encodes the message into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Message::Hello { version, capacity } => {
+                format!("hello v{version} capacity {capacity}")
+            }
+            Message::Job { id, payload } => format!("job {id}\n{payload}"),
+            Message::Done { id, payload } => format!("done {id}\n{payload}"),
+            Message::Failed { id, message } => format!("failed {id}\n{message}"),
+            Message::Ping { id } => format!("ping {id}"),
+            Message::Pong { id } => format!("pong {id}"),
+            Message::Shutdown => "shutdown".to_string(),
+        }
+        .into_bytes()
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Malformed`] for non-UTF-8 payloads, unknown message
+    /// names, and missing or unparsable ids.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FleetError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| FleetError::Malformed(format!("message is not UTF-8: {e}")))?;
+        let (head, body) = match text.split_once('\n') {
+            Some((head, body)) => (head, body),
+            None => (text, ""),
+        };
+        let mut tokens = head.split_ascii_whitespace();
+        let name = tokens
+            .next()
+            .ok_or_else(|| FleetError::Malformed("empty message".to_string()))?;
+        let mut id = |label: &str| -> Result<u64, FleetError> {
+            tokens
+                .next()
+                .ok_or_else(|| FleetError::Malformed(format!("{label} is missing its id")))?
+                .parse::<u64>()
+                .map_err(|e| FleetError::Malformed(format!("bad {label} id: {e}")))
+        };
+        match name {
+            "hello" => {
+                let version = tokens
+                    .next()
+                    .and_then(|token| token.strip_prefix('v'))
+                    .and_then(|token| token.parse::<u32>().ok())
+                    .ok_or_else(|| {
+                        FleetError::Malformed(format!("bad hello version in {head:?}"))
+                    })?;
+                let capacity = match (tokens.next(), tokens.next()) {
+                    (Some("capacity"), Some(token)) => token
+                        .parse::<usize>()
+                        .map_err(|e| FleetError::Malformed(format!("bad hello capacity: {e}")))?,
+                    (None, _) => 1,
+                    _ => {
+                        return Err(FleetError::Malformed(format!(
+                            "unexpected hello trailer in {head:?}"
+                        )))
+                    }
+                };
+                Ok(Message::Hello { version, capacity })
+            }
+            "job" => Ok(Message::Job {
+                id: id("job")?,
+                payload: body.to_string(),
+            }),
+            "done" => Ok(Message::Done {
+                id: id("done")?,
+                payload: body.to_string(),
+            }),
+            "failed" => Ok(Message::Failed {
+                id: id("failed")?,
+                message: body.to_string(),
+            }),
+            "ping" => Ok(Message::Ping { id: id("ping")? }),
+            "pong" => Ok(Message::Pong { id: id("pong")? }),
+            "shutdown" => Ok(Message::Shutdown),
+            other => Err(FleetError::Malformed(format!("unknown message {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_round_trip() {
+        let messages = [
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+                capacity: 4,
+            },
+            Message::Job {
+                id: 17,
+                payload: "crp-shard-spec v1\nprotocol decay\nend\n".to_string(),
+            },
+            Message::Done {
+                id: 17,
+                payload: "crp-shard-accumulator v1\ntrials 3\nend\n".to_string(),
+            },
+            Message::Failed {
+                id: 9,
+                message: "unknown protocol \"nope\"".to_string(),
+            },
+            Message::Ping { id: 1 },
+            Message::Pong { id: 1 },
+            Message::Shutdown,
+        ];
+        for message in messages {
+            assert_eq!(Message::decode(&message.encode()).unwrap(), message);
+        }
+    }
+
+    #[test]
+    fn hello_without_capacity_defaults_to_one() {
+        let hello = Message::decode(b"hello v1").unwrap();
+        assert_eq!(
+            hello,
+            Message::Hello {
+                version: 1,
+                capacity: 1
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected() {
+        for bad in [
+            b"".as_slice(),
+            b"job",
+            b"job x\npayload",
+            b"done",
+            b"hello",
+            b"hello 1",
+            b"hello vx",
+            b"hello v1 cap 2",
+            b"hello v1 capacity x",
+            b"warp 9",
+            &[0xFF, 0xFE],
+        ] {
+            assert!(
+                matches!(Message::decode(bad), Err(FleetError::Malformed(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn bodies_preserve_embedded_newlines() {
+        let payload = "a\nb\n\nc";
+        let encoded = Message::Job {
+            id: 0,
+            payload: payload.to_string(),
+        }
+        .encode();
+        match Message::decode(&encoded).unwrap() {
+            Message::Job { payload: got, .. } => assert_eq!(got, payload),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The TCP worker transport: a listening socket serving one fleet
+//! conversation per accepted connection.
+//!
+//! This is the loopback/remote half of the subsystem: start
+//! `crp_experiments worker --listen host:port` on any machine, point a
+//! dispatcher at `host:port` via the fleet manifest, and the same framed
+//! protocol that runs over subprocess stdio runs over the socket.
+
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+
+use crate::worker::{serve, JobHandler, ServeOptions};
+use crate::FleetError;
+
+/// A bound TCP worker: accepts dispatcher connections and serves each on
+/// its own thread (several dispatchers — or several connections of one
+/// dispatcher — can be in flight at once).
+pub struct TcpWorker {
+    listener: TcpListener,
+}
+
+impl TcpWorker {
+    /// Binds the listener.  `addr` may use port 0 to let the OS pick
+    /// (read the result back with [`TcpWorker::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Connect`] when the address cannot be resolved or
+    /// bound.
+    pub fn bind(addr: impl ToSocketAddrs + std::fmt::Debug) -> Result<Self, FleetError> {
+        let listener = TcpListener::bind(&addr).map_err(|e| FleetError::Connect {
+            endpoint: format!("listener {addr:?}"),
+            reason: e.to_string(),
+        })?;
+        Ok(Self { listener })
+    }
+
+    /// The actually bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] if the socket cannot report its address.
+    pub fn local_addr(&self) -> Result<SocketAddr, FleetError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Accepts and serves connections until the process is killed.
+    /// Per-connection errors are reported on stderr and do not stop the
+    /// accept loop — one misbehaving dispatcher must not take the worker
+    /// down for everyone else.
+    pub fn serve_forever(&self, handler: JobHandler<'_>, options: &ServeOptions) -> ! {
+        std::thread::scope(|scope| loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    scope.spawn(move || {
+                        stream.set_nodelay(true).ok();
+                        let mut reader = std::io::BufReader::new(
+                            stream.try_clone().expect("accepted sockets clone"),
+                        );
+                        let mut writer = stream;
+                        match serve(&mut reader, &mut writer, handler, options) {
+                            Ok(served) => {
+                                eprintln!("fleet worker: {peer} disconnected after {served} jobs");
+                            }
+                            Err(err) => eprintln!("fleet worker: connection {peer}: {err}"),
+                        }
+                    });
+                }
+                Err(err) => eprintln!("fleet worker: accept failed: {err}"),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{CallOutcome, WorkerEndpoint};
+
+    fn echo(payload: &str) -> Result<String, String> {
+        Ok(format!("echo:{payload}"))
+    }
+
+    /// Binds a loopback worker on an ephemeral port and serves it from a
+    /// detached thread for the rest of the test process's life.
+    pub(crate) fn spawn_echo_worker() -> SocketAddr {
+        let worker = TcpWorker::bind("127.0.0.1:0").unwrap();
+        let addr = worker.local_addr().unwrap();
+        std::thread::spawn(move || worker.serve_forever(&echo, &ServeOptions::default()));
+        addr
+    }
+
+    #[test]
+    fn tcp_round_trip_through_a_real_socket() {
+        let addr = spawn_echo_worker();
+        let endpoint = WorkerEndpoint::tcp(addr.to_string());
+        let mut connection = endpoint.connect().unwrap();
+        for id in 0..3u64 {
+            match connection
+                .call(id, &format!("job-{id}"), &|| false)
+                .unwrap()
+            {
+                CallOutcome::Done(payload) => assert_eq!(payload, format!("echo:job-{id}")),
+                _ => panic!("echo worker must answer done"),
+            }
+        }
+    }
+
+    #[test]
+    fn two_connections_are_served_concurrently() {
+        let addr = spawn_echo_worker();
+        let endpoint = WorkerEndpoint::tcp(addr.to_string());
+        let mut a = endpoint.connect().unwrap();
+        let mut b = endpoint.connect().unwrap();
+        // Interleave calls across both live connections.
+        assert!(matches!(
+            a.call(1, "x", &|| false).unwrap(),
+            CallOutcome::Done(_)
+        ));
+        assert!(matches!(
+            b.call(2, "y", &|| false).unwrap(),
+            CallOutcome::Done(_)
+        ));
+        assert!(matches!(
+            a.call(3, "z", &|| false).unwrap(),
+            CallOutcome::Done(_)
+        ));
+    }
+
+    #[test]
+    fn dialing_a_dead_port_is_a_typed_connect_error() {
+        // Bind-then-drop guarantees the port is closed.
+        let port = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port();
+        let endpoint = WorkerEndpoint::tcp(format!("127.0.0.1:{port}"));
+        assert!(matches!(
+            endpoint.connect(),
+            Err(FleetError::Connect { .. })
+        ));
+    }
+}

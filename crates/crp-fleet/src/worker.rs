@@ -1,0 +1,270 @@
+//! The long-lived worker loop.
+//!
+//! A worker serves a *stream* of jobs on one connection — N jobs per
+//! process instead of the one-spec-one-subprocess lifecycle of the
+//! `shard-worker` pipe — which amortises process spawn, binary load and
+//! allocator warm-up over the whole batch.  The loop itself is transport
+//! agnostic: [`serve`] takes any `(Read, Write)` pair, [`serve_stdio`]
+//! binds it to the process's stdio (the local-pool transport), and
+//! [`crate::TcpWorker`] binds it to an accepted socket (the remote
+//! transport).
+
+use std::io::{BufRead, Write};
+
+use crate::frame::{read_frame, write_frame};
+use crate::protocol::{Message, PROTOCOL_VERSION};
+use crate::FleetError;
+
+/// A job handler: opaque payload in, opaque answer (or a deterministic
+/// failure message) out.
+pub type JobHandler<'a> = &'a (dyn Fn(&str) -> Result<String, String> + Sync);
+
+/// Options of one serve loop, including the fault-injection knobs the
+/// dispatcher's failure tests (and CI smoke jobs) drive via the
+/// environment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// Kill the whole process (exit code 17) when the N-th job *arrives*,
+    /// after writing a deliberately truncated frame — a worker dying
+    /// mid-stream, from `CRP_FLEET_DIE_AFTER`.
+    pub die_after: Option<usize>,
+    /// Answer every job from the N-th onwards with bytes that are not a
+    /// frame at all — a worker gone haywire, from
+    /// `CRP_FLEET_GARBAGE_AFTER`.
+    pub garbage_after: Option<usize>,
+    /// Answer every job from the N-th onwards with a *well-framed* `done`
+    /// whose body is nonsense — a worker whose answers frame correctly
+    /// but fail payload validation, from `CRP_FLEET_MANGLE_AFTER`.
+    pub mangle_after: Option<usize>,
+}
+
+impl ServeOptions {
+    /// Reads the fault-injection knobs from `CRP_FLEET_DIE_AFTER`,
+    /// `CRP_FLEET_GARBAGE_AFTER` and `CRP_FLEET_MANGLE_AFTER` (unset or
+    /// unparsable values disable the corresponding fault).
+    pub fn from_env() -> Self {
+        let knob = |name: &str| std::env::var(name).ok().and_then(|v| v.trim().parse().ok());
+        Self {
+            die_after: knob("CRP_FLEET_DIE_AFTER"),
+            garbage_after: knob("CRP_FLEET_GARBAGE_AFTER"),
+            mangle_after: knob("CRP_FLEET_MANGLE_AFTER"),
+        }
+    }
+}
+
+/// Serves one connection: sends the hello handshake, then answers jobs
+/// (and pings) until the peer shuts the stream down.  Returns the number
+/// of jobs answered.
+///
+/// # Errors
+///
+/// [`FleetError`] for transport failures and malformed or unexpected
+/// incoming messages.
+pub fn serve(
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    handler: JobHandler<'_>,
+    options: &ServeOptions,
+) -> Result<usize, FleetError> {
+    write_frame(
+        writer,
+        &Message::Hello {
+            version: PROTOCOL_VERSION,
+            capacity: 1,
+        }
+        .encode(),
+    )?;
+    let mut served = 0usize;
+    loop {
+        let Some(payload) = read_frame(reader)? else {
+            return Ok(served);
+        };
+        match Message::decode(&payload)? {
+            Message::Job { id, payload } => {
+                if options.die_after == Some(served) {
+                    // Die mid-answer: a frame header promising more bytes
+                    // than ever arrive, then a hard exit.  The dispatcher
+                    // must treat this worker as dead and re-dispatch.
+                    let _ = writer.write_all(b"frame 4096\ntruncat");
+                    let _ = writer.flush();
+                    std::process::exit(17);
+                }
+                if matches!(options.garbage_after, Some(n) if served >= n) {
+                    writer.write_all(b"!!fleet-garbage!!\n")?;
+                    writer.flush()?;
+                    served += 1;
+                    continue;
+                }
+                if matches!(options.mangle_after, Some(n) if served >= n) {
+                    let mangled = Message::Done {
+                        id,
+                        payload: "!!mangled-answer!!".to_string(),
+                    };
+                    write_frame(writer, &mangled.encode())?;
+                    served += 1;
+                    continue;
+                }
+                let answer = match handler(&payload) {
+                    Ok(payload) => Message::Done { id, payload },
+                    Err(message) => Message::Failed { id, message },
+                };
+                write_frame(writer, &answer.encode())?;
+                served += 1;
+            }
+            Message::Ping { id } => write_frame(writer, &Message::Pong { id }.encode())?,
+            Message::Shutdown => return Ok(served),
+            other => {
+                return Err(FleetError::Malformed(format!(
+                    "worker received an unexpected {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// Serves the process's stdin/stdout — the transport of a
+/// dispatcher-spawned local pool worker.
+///
+/// # Errors
+///
+/// As [`serve`].
+pub fn serve_stdio(handler: JobHandler<'_>, options: &ServeOptions) -> Result<usize, FleetError> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve(&mut stdin.lock(), &mut stdout.lock(), handler, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn echo(payload: &str) -> Result<String, String> {
+        match payload.strip_prefix("fail:") {
+            Some(message) => Err(message.to_string()),
+            None => Ok(format!("echo:{payload}")),
+        }
+    }
+
+    /// Runs a scripted conversation against the serve loop and returns
+    /// the worker's decoded answers (skipping the hello).
+    fn converse(messages: &[Message]) -> (Result<usize, FleetError>, Vec<Message>) {
+        let mut request_bytes = Vec::new();
+        for message in messages {
+            write_frame(&mut request_bytes, &message.encode()).unwrap();
+        }
+        let mut reader = BufReader::new(request_bytes.as_slice());
+        let mut response_bytes = Vec::new();
+        let served = serve(
+            &mut reader,
+            &mut response_bytes,
+            &echo,
+            &ServeOptions::default(),
+        );
+        let mut responses = Vec::new();
+        let mut response_reader = BufReader::new(response_bytes.as_slice());
+        while let Some(frame) = read_frame(&mut response_reader).unwrap() {
+            responses.push(Message::decode(&frame).unwrap());
+        }
+        let hello = responses.remove(0);
+        assert!(matches!(hello, Message::Hello { version, .. } if version == PROTOCOL_VERSION));
+        (served, responses)
+    }
+
+    #[test]
+    fn worker_answers_a_stream_of_jobs_on_one_connection() {
+        let (served, responses) = converse(&[
+            Message::Job {
+                id: 5,
+                payload: "alpha".into(),
+            },
+            Message::Ping { id: 42 },
+            Message::Job {
+                id: 6,
+                payload: "beta\nwith body".into(),
+            },
+            Message::Job {
+                id: 7,
+                payload: "fail:bad spec".into(),
+            },
+            Message::Shutdown,
+        ]);
+        assert_eq!(served.unwrap(), 3, "three jobs on one connection");
+        assert_eq!(
+            responses,
+            vec![
+                Message::Done {
+                    id: 5,
+                    payload: "echo:alpha".into()
+                },
+                Message::Pong { id: 42 },
+                Message::Done {
+                    id: 6,
+                    payload: "echo:beta\nwith body".into()
+                },
+                Message::Failed {
+                    id: 7,
+                    message: "bad spec".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn worker_stops_cleanly_on_eof() {
+        let (served, responses) = converse(&[Message::Job {
+            id: 1,
+            payload: "only".into(),
+        }]);
+        assert_eq!(served.unwrap(), 1);
+        assert_eq!(responses.len(), 1);
+    }
+
+    #[test]
+    fn worker_rejects_messages_only_a_dispatcher_may_send() {
+        let (served, _) = converse(&[Message::Pong { id: 9 }]);
+        assert!(matches!(served, Err(FleetError::Malformed(_))));
+    }
+
+    #[test]
+    fn garbage_injection_answers_with_unframable_bytes() {
+        let mut request_bytes = Vec::new();
+        write_frame(
+            &mut request_bytes,
+            &Message::Job {
+                id: 0,
+                payload: "x".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        let mut reader = BufReader::new(request_bytes.as_slice());
+        let mut response_bytes = Vec::new();
+        serve(
+            &mut reader,
+            &mut response_bytes,
+            &echo,
+            &ServeOptions {
+                garbage_after: Some(0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut response_reader = BufReader::new(response_bytes.as_slice());
+        // The hello is fine...
+        assert!(read_frame(&mut response_reader).unwrap().is_some());
+        // ...but the answer is not a frame.
+        assert!(read_frame(&mut response_reader).is_err());
+    }
+
+    #[test]
+    fn serve_options_parse_the_environment() {
+        std::env::set_var("CRP_FLEET_DIE_AFTER", "2");
+        std::env::set_var("CRP_FLEET_GARBAGE_AFTER", "nope");
+        let options = ServeOptions::from_env();
+        assert_eq!(options.die_after, Some(2));
+        assert_eq!(options.garbage_after, None);
+        std::env::remove_var("CRP_FLEET_DIE_AFTER");
+        std::env::remove_var("CRP_FLEET_GARBAGE_AFTER");
+    }
+}

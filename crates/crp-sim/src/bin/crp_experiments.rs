@@ -7,34 +7,47 @@
 //!
 //! ```text
 //! crp_experiments [command] [--trials T] [--size N] [--seed S]
-//!                 [--backend serial|thread|process] [--threads T]
+//!                 [--backend serial|thread|process|fleet] [--threads T]
+//!                 [--workers N] [--fleet MANIFEST]
 //!                 [--protocols a,b,..] [--scenarios x,y,..] [--csv]
 //! ```
 //!
 //! where `command` is one of `list`, `table1`, `table2`, `entropy`, `kl`,
-//! `baselines`, `range-finding`, `sweep` or `all` (the default).
-//! Experiment output is markdown, suitable for pasting into
+//! `baselines`, `range-finding`, `sweep`, `worker` or `all` (the
+//! default).  Experiment output is markdown, suitable for pasting into
 //! `EXPERIMENTS.md`; `sweep --csv` emits CSV instead.
 //!
 //! `--backend` selects the shard backend every experiment executes on
-//! (statistics are bit-identical across backends); `--threads` pins the
-//! worker count and wins over the `CRP_THREADS` environment variable.
+//! (statistics are bit-identical across backends); `--threads` / its
+//! alias `--workers` pins the worker count and wins over the
+//! `CRP_THREADS` environment variable.  `--backend fleet` dispatches to
+//! the pool the `--fleet` manifest (or the `CRP_FLEET` environment
+//! variable) describes — comma-separated `local[:N]` and `host:port`
+//! entries — and `--fleet` by itself implies `--backend fleet`.
+//!
+//! The `worker` subcommand runs the long-lived fleet worker: it answers a
+//! framed stream of shard specs — many shards per process — over stdio
+//! (the default, used by the dispatcher-spawned local pools) or over TCP
+//! with `worker --listen host:port` (start one per remote machine and
+//! list the addresses in the manifest).
 //!
 //! There is also a hidden `shard-worker` subcommand — the entry point the
-//! process backend spawns: it reads a shard spec from stdin, executes that
-//! one shard, and writes the serialised accumulator to stdout.  It is not
-//! meant to be invoked by hand.
+//! legacy one-shot process backend spawns: it reads a single shard spec
+//! from stdin, executes that one shard, and writes the serialised
+//! accumulator to stdout.  It is not meant to be invoked by hand.
 
 use std::io::Read;
 use std::process::ExitCode;
 
+use crp_fleet::{FleetManifest, ServeOptions, TcpWorker};
 use crp_predict::ScenarioLibrary;
 use crp_protocols::{ProtocolRegistry, ProtocolSpec};
 use crp_sim::experiments::{
     baselines, entropy_sweep, kl_degradation, range_finding, table1, table2,
 };
 use crp_sim::{
-    run_shard_worker, BackendChoice, RunnerConfig, SimError, SweepMatrix, SweepProtocol, Table,
+    env_worker_threads, run_shard_worker, BackendChoice, RunnerConfig, SimError, SweepMatrix,
+    SweepProtocol, Table,
 };
 
 /// Parsed command-line options.
@@ -45,14 +58,16 @@ struct Options {
     seed: u64,
     backend: BackendChoice,
     threads: Option<usize>,
+    fleet: Option<String>,
     protocols: Vec<String>,
     scenarios: Vec<String>,
     csv: bool,
 }
 
 const USAGE: &str = "usage: crp_experiments \
-[list|table1|table2|entropy|kl|baselines|range-finding|sweep|all] \
-[--trials T] [--size N] [--seed S] [--backend serial|thread|process] [--threads T] \
+[list|table1|table2|entropy|kl|baselines|range-finding|sweep|worker|all] \
+[--trials T] [--size N] [--seed S] [--backend serial|thread|process|fleet] \
+[--threads T] [--workers N] [--fleet local[:N],host:port,..] \
 [--protocols a,b,..] [--scenarios x,y,..] [--csv]";
 
 fn parse_args() -> Result<Options, String> {
@@ -63,6 +78,7 @@ fn parse_args() -> Result<Options, String> {
         seed: 0xC0FFEE,
         backend: BackendChoice::default(),
         threads: None,
+        fleet: None,
         protocols: vec![
             "decay".into(),
             "willard".into(),
@@ -76,6 +92,7 @@ fn parse_args() -> Result<Options, String> {
         csv: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut backend_explicit = false;
     let mut index = 0;
     while index < args.len() {
         match args[index].as_str() {
@@ -107,20 +124,29 @@ fn parse_args() -> Result<Options, String> {
                 index += 1;
                 options.backend = args
                     .get(index)
-                    .ok_or("--backend requires one of: serial, thread, process")?
+                    .ok_or("--backend requires one of: serial, thread, process, fleet")?
                     .parse()?;
+                backend_explicit = true;
             }
-            "--threads" => {
+            flag @ ("--threads" | "--workers") => {
                 index += 1;
                 let threads: usize = args
                     .get(index)
-                    .ok_or("--threads requires a value")?
+                    .ok_or_else(|| format!("{flag} requires a value"))?
                     .parse()
-                    .map_err(|e| format!("invalid --threads value: {e}"))?;
+                    .map_err(|e| format!("invalid {flag} value: {e}"))?;
                 if threads == 0 {
-                    return Err("--threads requires a positive value".to_string());
+                    return Err(format!("{flag} requires a positive value"));
                 }
                 options.threads = Some(threads);
+            }
+            "--fleet" => {
+                index += 1;
+                let manifest = args
+                    .get(index)
+                    .ok_or("--fleet requires a manifest (e.g. local:4,host:9311)")?;
+                FleetManifest::parse(manifest).map_err(|e| e.to_string())?;
+                options.fleet = Some(manifest.clone());
             }
             "--protocols" => {
                 index += 1;
@@ -171,6 +197,19 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown flag {other}")),
         }
         index += 1;
+    }
+    // A fleet manifest only makes sense on the fleet backend; resolve the
+    // implication after the loop so flag order cannot silently decide
+    // whether the manifest is honoured.
+    if options.fleet.is_some() && options.backend != BackendChoice::Fleet {
+        if backend_explicit {
+            return Err(format!(
+                "--fleet conflicts with --backend {:?}; omit --backend or use --backend fleet",
+                options.backend
+            )
+            .to_lowercase());
+        }
+        options.backend = BackendChoice::Fleet;
     }
     Ok(options)
 }
@@ -244,7 +283,7 @@ fn cli_column(name: &str) -> Result<SweepProtocol, SimError> {
 /// command line.
 fn run_sweep(options: &Options) -> Result<(), SimError> {
     let library = ScenarioLibrary::new(options.size)?;
-    let mut matrix = SweepMatrix::new().runner(cli_config(options));
+    let mut matrix = SweepMatrix::new().runner(cli_config(options)?);
     for name in &options.scenarios {
         matrix = matrix.scenario(library.by_name(name)?);
     }
@@ -266,21 +305,38 @@ fn run_sweep(options: &Options) -> Result<(), SimError> {
     Ok(())
 }
 
-/// The runner configuration the command line describes: `--threads` wins
-/// over the `CRP_THREADS` environment variable (which
-/// [`RunnerConfig::default`] already honours).
-fn cli_config(options: &Options) -> RunnerConfig {
+/// The runner configuration the command line describes: `--threads` (or
+/// `--workers`) wins over the `CRP_THREADS` environment variable.
+///
+/// # Errors
+///
+/// Unlike the lenient [`RunnerConfig::default`] fallback, the CLI treats
+/// a `CRP_THREADS` value that is not a positive integer as a hard
+/// [`SimError::Config`] error — a mistyped override should fail loudly,
+/// not silently run on hardware parallelism.
+fn cli_config(options: &Options) -> Result<RunnerConfig, SimError> {
     let mut config = RunnerConfig::with_trials(options.trials)
         .seeded(options.seed)
         .with_backend(options.backend);
-    if let Some(threads) = options.threads {
-        config = config.with_threads(threads);
+    match options.threads {
+        Some(threads) => config = config.with_threads(threads),
+        None => {
+            if let Some(threads) = env_worker_threads()? {
+                config = config.with_threads(threads);
+            }
+        }
     }
-    config
+    Ok(config)
 }
 
 fn run(options: &Options) -> Result<(), SimError> {
-    let config = cli_config(options);
+    // The backend layer reads the manifest from CRP_FLEET; an explicit
+    // --fleet (already validated at parse time) wins over the
+    // environment by overriding it for this process.
+    if let Some(manifest) = &options.fleet {
+        std::env::set_var("CRP_FLEET", manifest);
+    }
+    let config = cli_config(options)?;
     let wants = |name: &str| options.command == "all" || options.command == name;
 
     if options.command == "list" {
@@ -338,6 +394,63 @@ fn run(options: &Options) -> Result<(), SimError> {
     Ok(())
 }
 
+/// The long-lived fleet worker: answers a framed stream of shard specs
+/// over stdio (default) or a TCP listener (`--listen host:port`),
+/// executing many shards per process.  Fault-injection knobs
+/// (`CRP_FLEET_DIE_AFTER`, `CRP_FLEET_GARBAGE_AFTER`) are read from the
+/// environment for the failure tests and smoke jobs.
+fn worker_mode(args: &[String]) -> ExitCode {
+    let mut listen: Option<String> = None;
+    let mut index = 0;
+    while index < args.len() {
+        match args[index].as_str() {
+            "--listen" => {
+                index += 1;
+                match args.get(index) {
+                    Some(addr) => listen = Some(addr.clone()),
+                    None => {
+                        eprintln!("worker: --listen requires a host:port");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--stdio" => listen = None,
+            other => {
+                eprintln!(
+                    "worker: unknown flag {other}; usage: worker [--stdio | --listen host:port]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        index += 1;
+    }
+    let options = ServeOptions::from_env();
+    let handler = |payload: &str| run_shard_worker(payload).map_err(|e| e.to_string());
+    match listen {
+        Some(addr) => {
+            let worker = match TcpWorker::bind(addr.as_str()) {
+                Ok(worker) => worker,
+                Err(err) => {
+                    eprintln!("worker: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match worker.local_addr() {
+                Ok(addr) => eprintln!("fleet worker listening on {addr}"),
+                Err(err) => eprintln!("fleet worker listening (address unknown: {err})"),
+            }
+            worker.serve_forever(&handler, &options)
+        }
+        None => match crp_fleet::serve_stdio(&handler, &options) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("worker: {err}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
 /// The hidden subcommand the process backend spawns: spec in on stdin,
 /// accumulator out on stdout, errors on stderr with a nonzero exit.
 fn shard_worker() -> ExitCode {
@@ -361,6 +474,10 @@ fn shard_worker() -> ExitCode {
 fn main() -> ExitCode {
     if std::env::args().nth(1).as_deref() == Some("shard-worker") {
         return shard_worker();
+    }
+    if std::env::args().nth(1).as_deref() == Some("worker") {
+        let args: Vec<String> = std::env::args().skip(2).collect();
+        return worker_mode(&args);
     }
     let options = match parse_args() {
         Ok(options) => options,

@@ -69,10 +69,11 @@ use crp_channel::ChannelMode;
 
 pub use report::{fmt_f64, Table};
 pub use runner::{
-    measure_cd_strategy, measure_schedule, run_batch, run_batch_with_progress, run_shard_worker,
-    run_trials, sample_contending_size, BackendChoice, BatchProgress, JobDoneFn, ProcessBackend,
-    ProgressFn, RunnerConfig, SerialBackend, ShardBackend, ShardJob, ShardPlan, ShardSpec,
-    ThreadBackend, TrialFn, TrialOutcome,
+    env_fleet_manifest, env_worker_threads, measure_cd_strategy, measure_schedule, run_batch,
+    run_batch_with_progress, run_shard_worker, run_trials, sample_contending_size, BackendChoice,
+    BatchProgress, FleetBackend, JobDoneFn, ProcessBackend, ProgressFn, RunnerConfig,
+    SerialBackend, ShardBackend, ShardJob, ShardPlan, ShardSpec, ThreadBackend, TrialFn,
+    TrialOutcome,
 };
 pub use simulation::{Simulation, SimulationBuilder};
 pub use stats::{QuantileSketch, StreamAccumulator, SummaryStats, TrialAccumulator, TrialStats};
@@ -112,6 +113,18 @@ pub enum SimError {
         /// Human-readable description of the failure.
         what: String,
     },
+    /// An environment variable the harness honours (`CRP_THREADS`,
+    /// `CRP_FLEET`) carried a value it could not use.  Surfaced as a
+    /// typed error instead of being silently ignored, so a mistyped
+    /// override fails loudly.
+    Config {
+        /// The environment variable.
+        var: String,
+        /// The offending value, verbatim.
+        value: String,
+        /// Why it was rejected.
+        what: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -135,6 +148,9 @@ impl fmt::Display for SimError {
             ),
             SimError::Substrate(msg) => write!(f, "substrate error: {msg}"),
             SimError::Backend { what } => write!(f, "backend error: {what}"),
+            SimError::Config { var, value, what } => {
+                write!(f, "invalid {var}={value:?}: {what}")
+            }
         }
     }
 }

@@ -7,15 +7,17 @@
 //! order.  Because the shard plans, the per-shard RNG streams and the
 //! merge order are all fixed before any backend runs, backends only decide
 //! *where* shards execute — inline ([`SerialBackend`]), on scoped worker
-//! threads stealing from a shared queue ([`crate::ThreadBackend`]), or in
+//! threads stealing from a shared queue ([`crate::ThreadBackend`]), in
 //! `crp_experiments shard-worker` subprocesses
-//! ([`crate::ProcessBackend`]) — and the resulting statistics are
-//! bit-identical across all of them.
+//! ([`crate::ProcessBackend`]), or on a pool of persistent local and
+//! remote fleet workers ([`crate::FleetBackend`]) — and the resulting
+//! statistics are bit-identical across all of them.
 
 use rand_chacha::ChaCha8Rng;
 
+use crate::runner::fleet::FleetBackend;
 use crate::runner::plan::{BackendChoice, RunnerConfig, ShardPlan, TrialOutcome};
-use crate::runner::process::{ProcessBackend, ShardSpec};
+use crate::runner::process::ShardSpec;
 use crate::runner::thread::ThreadBackend;
 use crate::stats::{TrialAccumulator, TrialStats};
 use crate::SimError;
@@ -164,12 +166,25 @@ pub(crate) fn steal_jobs(
 }
 
 /// Instantiates the backend a configuration selects.
-pub(crate) fn backend_for(config: &RunnerConfig) -> Box<dyn ShardBackend> {
-    match config.backend {
+///
+/// [`BackendChoice::Process`] builds a pool of `config.threads`
+/// *persistent* local workers (each serving many shard jobs over its
+/// lifetime) rather than the legacy one-subprocess-per-job
+/// [`crate::ProcessBackend`], which remains available for explicit use;
+/// [`BackendChoice::Fleet`] additionally honours the `CRP_FLEET`
+/// manifest, mixing local subprocess workers with remote TCP workers.
+///
+/// # Errors
+///
+/// [`SimError::Config`] for an invalid `CRP_FLEET` manifest and
+/// [`SimError::Backend`] when a needed worker binary cannot be located.
+pub(crate) fn backend_for(config: &RunnerConfig) -> Result<Box<dyn ShardBackend>, SimError> {
+    Ok(match config.backend {
         BackendChoice::Serial => Box::new(SerialBackend),
         BackendChoice::Thread => Box::new(ThreadBackend::new(config.threads)),
-        BackendChoice::Process => Box::new(ProcessBackend::new(config.threads)),
-    }
+        BackendChoice::Process => Box::new(FleetBackend::local(config.threads)?),
+        BackendChoice::Fleet => Box::new(FleetBackend::from_env_or_local(config.threads)?),
+    })
 }
 
 /// Executes `jobs` on `backend` and merges each cell's accumulators in

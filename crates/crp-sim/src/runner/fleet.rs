@@ -1,0 +1,223 @@
+//! The fleet shard backend: shard jobs dispatched to long-lived workers
+//! over the `crp-fleet` transport.
+//!
+//! Where [`crate::ProcessBackend`] pays a fresh subprocess spawn per
+//! shard job, [`FleetBackend`] keeps a pool of persistent workers — local
+//! `crp_experiments worker --stdio` subprocesses, remote
+//! `crp_experiments worker --listen host:port` processes dialled over
+//! TCP, or a mix of both from a [`FleetManifest`] — and streams every
+//! job's [`ShardSpec`] wire message to whichever worker is free.  The
+//! dispatcher re-dispatches the jobs of dead or straggling workers and
+//! deduplicates completions by job id; because a shard's accumulator is a
+//! deterministic function of its spec, retries and duplicates cannot
+//! change the statistics, and the shard-order merge stays bit-identical
+//! to the serial backend.
+
+use std::path::PathBuf;
+
+use crp_fleet::{Dispatcher, FleetError, FleetManifest, WorkerEndpoint};
+
+use crate::runner::backend::{JobDoneFn, ShardBackend, ShardJob};
+use crate::runner::process::worker_binary;
+use crate::stats::TrialAccumulator;
+use crate::SimError;
+
+/// The arguments that put the worker binary into stdio worker mode.
+fn stdio_worker_args() -> Vec<String> {
+    vec!["worker".to_string(), "--stdio".to_string()]
+}
+
+/// Strictly parses the `CRP_FLEET` manifest: `Ok(None)` when unset, the
+/// parsed [`FleetManifest`] when valid, and a typed [`SimError::Config`]
+/// naming the offending value otherwise.
+///
+/// # Errors
+///
+/// [`SimError::Config`] for a manifest [`FleetManifest::parse`] rejects.
+pub fn env_fleet_manifest() -> Result<Option<FleetManifest>, SimError> {
+    let Ok(value) = std::env::var("CRP_FLEET") else {
+        return Ok(None);
+    };
+    match FleetManifest::parse(&value) {
+        Ok(manifest) => Ok(Some(manifest)),
+        Err(err) => Err(SimError::Config {
+            var: "CRP_FLEET".to_string(),
+            value,
+            what: err.to_string(),
+        }),
+    }
+}
+
+/// Executes shard jobs on a pool of persistent fleet workers.
+pub struct FleetBackend {
+    endpoints: Vec<WorkerEndpoint>,
+}
+
+impl FleetBackend {
+    /// A pool of `workers` persistent local subprocesses (clamped to at
+    /// least 1), resolving the worker binary automatically.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Backend`] when the worker binary cannot be located.
+    pub fn local(workers: usize) -> Result<Self, SimError> {
+        Ok(Self::local_with_command(workers, worker_binary(None)?))
+    }
+
+    /// Like [`FleetBackend::local`], with an explicit worker binary (how
+    /// integration tests point the pool at `CARGO_BIN_EXE_crp_experiments`).
+    pub fn local_with_command(workers: usize, command: impl Into<PathBuf>) -> Self {
+        let command = command.into();
+        Self::with_endpoints(
+            (0..workers.max(1))
+                .map(|_| WorkerEndpoint::local(command.clone(), stdio_worker_args()))
+                .collect(),
+        )
+    }
+
+    /// A pool described by a [`FleetManifest`]: `local:N` entries become
+    /// N spawned subprocesses, `host:port` entries are dialled over TCP.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Backend`] when the manifest names local workers and
+    /// the worker binary cannot be located.
+    pub fn from_manifest(manifest: &FleetManifest) -> Result<Self, SimError> {
+        let needs_local = manifest
+            .entries()
+            .iter()
+            .any(|entry| matches!(entry, crp_fleet::FleetEntry::Local { .. }));
+        let program = if needs_local {
+            worker_binary(None)?
+        } else {
+            PathBuf::new()
+        };
+        Ok(Self::with_endpoints(
+            manifest.endpoints(program, stdio_worker_args()),
+        ))
+    }
+
+    /// The pool the `CRP_FLEET` environment variable describes, falling
+    /// back to `workers` local subprocesses when it is unset.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] for an invalid manifest, [`SimError::Backend`]
+    /// when a needed worker binary cannot be located.
+    pub fn from_env_or_local(workers: usize) -> Result<Self, SimError> {
+        match env_fleet_manifest()? {
+            Some(manifest) => Self::from_manifest(&manifest),
+            None => Self::local(workers),
+        }
+    }
+
+    /// A pool over explicit endpoints (the fault-injection tests build
+    /// pools mixing healthy and sabotaged workers this way).
+    pub fn with_endpoints(endpoints: Vec<WorkerEndpoint>) -> Self {
+        Self { endpoints }
+    }
+
+    /// The pool's endpoints.
+    pub fn endpoints(&self) -> &[WorkerEndpoint] {
+        &self.endpoints
+    }
+}
+
+fn fleet_error(err: FleetError) -> SimError {
+    SimError::Backend {
+        what: err.to_string(),
+    }
+}
+
+impl ShardBackend for FleetBackend {
+    fn name(&self) -> &'static str {
+        "fleet"
+    }
+
+    fn execute(
+        &self,
+        jobs: &[ShardJob<'_>],
+        done: JobDoneFn<'_>,
+    ) -> Result<Vec<TrialAccumulator>, SimError> {
+        let payloads = jobs
+            .iter()
+            .map(|job| {
+                let spec = job.spec.ok_or_else(|| SimError::Backend {
+                    what: format!(
+                        "the fleet backend requires a registry-described simulation, but cell {} \
+                         was built from a raw closure or a custom protocol object; use the serial \
+                         or thread backend for it",
+                        job.cell
+                    ),
+                })?;
+                Ok(spec.to_wire(job.plan, job.base_seed, job.shard))
+            })
+            .collect::<Result<Vec<String>, SimError>>()?;
+        // Validate inside the dispatcher, before a job settles: a
+        // well-framed answer whose accumulator body is corrupt is then
+        // retried on another worker instead of failing the whole batch.
+        let answers = Dispatcher::new(self.endpoints.clone())
+            .dispatch_validated(&payloads, done, &|_, answer| {
+                TrialAccumulator::from_wire(answer).map(|_| ())
+            })
+            .map_err(fleet_error)?;
+        answers
+            .iter()
+            .map(|answer| {
+                TrialAccumulator::from_wire(answer).map_err(|e| SimError::Backend {
+                    what: format!("malformed fleet worker accumulator: {e}"),
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_fleet_manifest_surfaces_a_typed_config_error() {
+        // CRP_FLEET is only read here and in the test below; no other
+        // test in this binary touches it, so set/remove is race-free.
+        std::env::set_var("CRP_FLEET", "local:0");
+        let err = env_fleet_manifest().unwrap_err();
+        match &err {
+            SimError::Config { var, value, .. } => {
+                assert_eq!(var, "CRP_FLEET");
+                assert_eq!(value, "local:0");
+            }
+            other => panic!("expected SimError::Config, got {other:?}"),
+        }
+        assert!(err.to_string().contains("local:0"), "{err}");
+
+        std::env::set_var("CRP_FLEET", "local:2,10.0.0.7:9311");
+        let manifest = env_fleet_manifest().unwrap().unwrap();
+        assert_eq!(manifest.entries().len(), 2);
+        std::env::remove_var("CRP_FLEET");
+        assert!(env_fleet_manifest().unwrap().is_none());
+    }
+
+    #[test]
+    fn manifest_pools_expand_local_entries_to_subprocess_endpoints() {
+        let manifest = FleetManifest::parse("local:3,127.0.0.1:9311").unwrap();
+        let backend = FleetBackend::from_manifest(&manifest);
+        // Worker-binary resolution may fail in stripped environments; the
+        // interesting property is the expansion, so only assert on
+        // success.
+        if let Ok(backend) = backend {
+            assert_eq!(backend.endpoints().len(), 4);
+            assert_eq!(backend.name(), "fleet");
+        }
+        let remote_only = FleetManifest::parse("127.0.0.1:9311,127.0.0.1:9312").unwrap();
+        let backend = FleetBackend::from_manifest(&remote_only).unwrap();
+        assert_eq!(
+            backend.endpoints(),
+            &[
+                WorkerEndpoint::tcp("127.0.0.1:9311"),
+                WorkerEndpoint::tcp("127.0.0.1:9312"),
+            ],
+            "remote-only manifests never need the local worker binary"
+        );
+    }
+}

@@ -14,6 +14,10 @@
 //! * [`process`] — [`ProcessBackend`]: `crp_experiments shard-worker`
 //!   subprocesses fed a [`ShardSpec`] on stdin, answering with a
 //!   serialised accumulator on stdout.
+//! * [`fleet`] — [`FleetBackend`]: the same [`ShardSpec`] messages framed
+//!   over long-lived `crp_experiments worker` processes (persistent local
+//!   subprocess pools and/or remote TCP workers from the `CRP_FLEET`
+//!   manifest), with straggler retry and dead-worker re-dispatch.
 //!
 //! Because the plan, the streams and the merge order are all independent
 //! of scheduling *and of the backend*, the resulting [`TrialStats`] are
@@ -28,6 +32,7 @@
 //! backend.
 
 pub(crate) mod backend;
+pub(crate) mod fleet;
 pub(crate) mod plan;
 pub(crate) mod process;
 pub(crate) mod thread;
@@ -42,7 +47,11 @@ use crate::stats::TrialStats;
 use crate::SimError;
 
 pub use backend::{JobDoneFn, SerialBackend, ShardBackend, ShardJob, TrialFn};
-pub use plan::{BackendChoice, BatchProgress, ProgressFn, RunnerConfig, ShardPlan, TrialOutcome};
+pub use fleet::{env_fleet_manifest, FleetBackend};
+pub use plan::{
+    env_worker_threads, BackendChoice, BatchProgress, ProgressFn, RunnerConfig, ShardPlan,
+    TrialOutcome,
+};
 pub use process::{run_shard_worker, ProcessBackend, ShardSpec};
 pub use thread::ThreadBackend;
 
@@ -52,16 +61,23 @@ use backend::execute_and_merge;
 ///
 /// # Errors
 ///
-/// Returns [`SimError::Backend`] when the configuration selects the
-/// process backend, which cannot execute raw closures.
+/// Returns [`SimError::Backend`] when the configuration selects an
+/// out-of-process backend (process or fleet), which cannot execute raw
+/// closures.
 fn closure_backend(config: &RunnerConfig) -> Result<Box<dyn ShardBackend>, SimError> {
     match config.backend {
         BackendChoice::Serial => Ok(Box::new(SerialBackend)),
         BackendChoice::Thread => Ok(Box::new(ThreadBackend::new(config.threads))),
-        BackendChoice::Process => Err(SimError::Backend {
-            what: "the process backend cannot execute raw trial closures; run a \
-                   registry-described Simulation or SweepMatrix instead"
-                .to_string(),
+        BackendChoice::Process | BackendChoice::Fleet => Err(SimError::Backend {
+            what: format!(
+                "the {} backend cannot execute raw trial closures; run a \
+                 registry-described Simulation or SweepMatrix instead",
+                if config.backend == BackendChoice::Process {
+                    "process"
+                } else {
+                    "fleet"
+                }
+            ),
         }),
     }
 }
@@ -128,7 +144,7 @@ where
     F: Fn(&mut ChaCha8Rng) -> TrialOutcome + Sync,
 {
     let config = match config.backend {
-        BackendChoice::Process => config.with_backend(BackendChoice::Thread),
+        BackendChoice::Process | BackendChoice::Fleet => config.with_backend(BackendChoice::Thread),
         _ => *config,
     };
     run_shards(&config, |rng| Ok(trial(rng)), None).expect("infallible trial closures cannot fail")
@@ -324,11 +340,12 @@ mod tests {
             let expected = match name {
                 "serial" => BackendChoice::Serial,
                 "thread" => BackendChoice::Thread,
-                _ => BackendChoice::Process,
+                "process" => BackendChoice::Process,
+                _ => BackendChoice::Fleet,
             };
             assert_eq!(parsed, expected);
         }
-        assert!("fleet".parse::<BackendChoice>().is_err());
+        assert!("cluster".parse::<BackendChoice>().is_err());
     }
 
     #[test]
@@ -368,12 +385,26 @@ mod tests {
         assert_eq!(RunnerConfig::default().threads, 3);
         // Explicit worker counts (the CLI flag path) win over the env.
         assert_eq!(RunnerConfig::default().with_threads(2).threads, 2);
-        // Unparsable or zero values fall back to hardware parallelism.
+        // Unparsable or zero values fall back to hardware parallelism in
+        // the infallible default...
         std::env::set_var("CRP_THREADS", "zero");
         assert!(RunnerConfig::default().threads >= 1);
+        // ...but the strict parser surfaces them as typed Config errors
+        // naming the variable and the offending value.
+        match env_worker_threads() {
+            Err(SimError::Config { var, value, .. }) => {
+                assert_eq!(var, "CRP_THREADS");
+                assert_eq!(value, "zero");
+            }
+            other => panic!("expected SimError::Config, got {other:?}"),
+        }
         std::env::set_var("CRP_THREADS", "0");
         assert!(RunnerConfig::default().threads >= 1);
+        assert!(matches!(env_worker_threads(), Err(SimError::Config { .. })));
+        std::env::set_var("CRP_THREADS", "3");
+        assert_eq!(env_worker_threads().unwrap(), Some(3));
         std::env::remove_var("CRP_THREADS");
+        assert_eq!(env_worker_threads().unwrap(), None);
     }
 
     #[test]

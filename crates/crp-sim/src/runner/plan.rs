@@ -11,6 +11,8 @@ use crp_channel::Execution;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::SimError;
+
 /// Outcome of a single Monte-Carlo trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrialOutcome {
@@ -42,13 +44,21 @@ pub enum BackendChoice {
     /// default).
     #[default]
     Thread,
-    /// `crp_experiments shard-worker` subprocesses, one per shard job.
+    /// A pool of persistent local `crp_experiments worker` subprocesses,
+    /// each serving many shard jobs over its lifetime.  (The legacy
+    /// one-subprocess-per-job [`crate::ProcessBackend`] remains available
+    /// for explicit use and spawn-overhead comparisons.)
     Process,
+    /// The fleet dispatcher: local worker subprocesses and/or remote
+    /// `host:port` workers from the `CRP_FLEET` manifest (or the
+    /// `--fleet` CLI flag), with straggler retry and dead-worker
+    /// re-dispatch.
+    Fleet,
 }
 
 impl BackendChoice {
     /// The stable CLI names, in declaration order.
-    pub const NAMES: [&'static str; 3] = ["serial", "thread", "process"];
+    pub const NAMES: [&'static str; 4] = ["serial", "thread", "process", "fleet"];
 }
 
 impl FromStr for BackendChoice {
@@ -59,6 +69,7 @@ impl FromStr for BackendChoice {
             "serial" => Ok(BackendChoice::Serial),
             "thread" => Ok(BackendChoice::Thread),
             "process" => Ok(BackendChoice::Process),
+            "fleet" => Ok(BackendChoice::Fleet),
             other => Err(format!(
                 "unknown backend {other:?}; expected one of: {}",
                 Self::NAMES.join(", ")
@@ -97,15 +108,44 @@ impl Default for RunnerConfig {
     }
 }
 
+/// Strictly parses the `CRP_THREADS` worker-count override: `Ok(None)`
+/// when unset, `Ok(Some(n))` for a positive integer, and a typed
+/// [`SimError::Config`] naming the offending value otherwise.
+///
+/// [`RunnerConfig::default`] stays infallible (it warns once and falls
+/// back to hardware parallelism); entry points that *can* fail — the CLI,
+/// explicit callers — use this to refuse a misconfigured environment
+/// instead of silently ignoring it.
+///
+/// # Errors
+///
+/// [`SimError::Config`] for a value that is not a positive integer.
+pub fn env_worker_threads() -> Result<Option<usize>, SimError> {
+    let Ok(value) = std::env::var("CRP_THREADS") else {
+        return Ok(None);
+    };
+    match value.trim().parse::<usize>() {
+        Ok(threads) if threads >= 1 => Ok(Some(threads)),
+        _ => Err(SimError::Config {
+            var: "CRP_THREADS".to_string(),
+            value,
+            what: "expected a positive integer worker count".to_string(),
+        }),
+    }
+}
+
 /// The default worker count: `CRP_THREADS` when set to a positive integer
 /// (so CI and benches can pin parallelism without code changes), otherwise
-/// the available hardware parallelism.
+/// the available hardware parallelism.  An invalid override is reported
+/// on stderr (once) and ignored here; strict callers use
+/// [`env_worker_threads`].
 fn default_threads() -> usize {
-    if let Ok(value) = std::env::var("CRP_THREADS") {
-        if let Ok(threads) = value.trim().parse::<usize>() {
-            if threads >= 1 {
-                return threads;
-            }
+    match env_worker_threads() {
+        Ok(Some(threads)) => return threads,
+        Ok(None) => {}
+        Err(err) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| eprintln!("warning: {err}; using hardware parallelism"));
         }
     }
     std::thread::available_parallelism()

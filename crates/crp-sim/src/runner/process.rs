@@ -89,6 +89,52 @@ fn parse_masses(tokens: std::str::SplitAsciiWhitespace<'_>) -> Result<Vec<f64>, 
 }
 
 impl ShardSpec {
+    /// A cell whose participant count is sampled from `truth` each trial.
+    ///
+    /// Public so codec round-trip tests (and external tooling building
+    /// shard jobs) can construct specs directly; simulations obtain
+    /// theirs internally.
+    pub fn sampled(protocol: ProtocolSpec, truth: SizeDistribution, max_rounds: usize) -> Self {
+        Self {
+            protocol,
+            population: WirePopulation::Sampled(truth),
+            max_rounds,
+        }
+    }
+
+    /// A cell with a fixed participant count.
+    pub fn fixed(protocol: ProtocolSpec, participants: usize, max_rounds: usize) -> Self {
+        Self {
+            protocol,
+            population: WirePopulation::Fixed(participants),
+            max_rounds,
+        }
+    }
+
+    /// A cell with an explicit participant-id placement.
+    pub fn placed(protocol: ProtocolSpec, ids: Vec<usize>, max_rounds: usize) -> Self {
+        Self {
+            protocol,
+            population: WirePopulation::Placed(ids),
+            max_rounds,
+        }
+    }
+
+    /// The cell's protocol spec.
+    pub fn protocol(&self) -> &ProtocolSpec {
+        &self.protocol
+    }
+
+    /// The population masses when the cell samples its participant count
+    /// (`None` for fixed or placed populations) — exposed for bit-exact
+    /// round-trip assertions.
+    pub fn sampled_masses(&self) -> Option<&[f64]> {
+        match &self.population {
+            WirePopulation::Sampled(truth) => Some(truth.masses()),
+            _ => None,
+        }
+    }
+
     /// Serialises this spec plus the coordinates of one shard job into the
     /// message a `shard-worker` subprocess consumes on stdin.
     pub fn to_wire(&self, plan: ShardPlan, base_seed: u64, shard: usize) -> String {
@@ -338,35 +384,47 @@ impl ProcessBackend {
     }
 
     fn worker_command(&self) -> Result<PathBuf, SimError> {
-        if let Some(command) = &self.command {
-            return Ok(command.clone());
-        }
-        if let Ok(path) = std::env::var("CRP_SHARD_WORKER_BIN") {
-            if !path.trim().is_empty() {
-                return Ok(PathBuf::from(path));
-            }
-        }
-        let exe = std::env::current_exe()
-            .map_err(|e| wire_error(format!("cannot resolve the current executable: {e}")))?;
-        let worker_name = format!("crp_experiments{}", std::env::consts::EXE_SUFFIX);
-        if exe.file_stem().and_then(|s| s.to_str()) == Some("crp_experiments") {
-            return Ok(exe);
-        }
-        let parent = exe.parent();
-        for dir in [parent, parent.and_then(Path::parent)]
-            .into_iter()
-            .flatten()
-        {
-            let candidate = dir.join(&worker_name);
-            if candidate.is_file() {
-                return Ok(candidate);
-            }
-        }
-        Err(wire_error(
-            "cannot locate the crp_experiments shard-worker binary; build it \
-             (cargo build --bin crp_experiments) or set CRP_SHARD_WORKER_BIN",
-        ))
+        worker_binary(self.command.as_deref())
     }
+}
+
+/// Resolves the `crp_experiments` worker binary for subprocess backends
+/// (the per-job [`ProcessBackend`] and the persistent local pools of
+/// [`crate::FleetBackend`]), in order from: the explicit override, the
+/// `CRP_SHARD_WORKER_BIN` environment variable, the current executable
+/// itself (when it *is* `crp_experiments`), or a `crp_experiments` binary
+/// next to (or one directory above) the current executable — which finds
+/// the right binary from `cargo test` and `cargo bench` processes in the
+/// same target directory.
+pub(crate) fn worker_binary(explicit: Option<&Path>) -> Result<PathBuf, SimError> {
+    if let Some(command) = explicit {
+        return Ok(command.to_path_buf());
+    }
+    if let Ok(path) = std::env::var("CRP_SHARD_WORKER_BIN") {
+        if !path.trim().is_empty() {
+            return Ok(PathBuf::from(path));
+        }
+    }
+    let exe = std::env::current_exe()
+        .map_err(|e| wire_error(format!("cannot resolve the current executable: {e}")))?;
+    let worker_name = format!("crp_experiments{}", std::env::consts::EXE_SUFFIX);
+    if exe.file_stem().and_then(|s| s.to_str()) == Some("crp_experiments") {
+        return Ok(exe);
+    }
+    let parent = exe.parent();
+    for dir in [parent, parent.and_then(Path::parent)]
+        .into_iter()
+        .flatten()
+    {
+        let candidate = dir.join(&worker_name);
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+    }
+    Err(wire_error(
+        "cannot locate the crp_experiments worker binary; build it \
+         (cargo build --bin crp_experiments) or set CRP_SHARD_WORKER_BIN",
+    ))
 }
 
 /// Runs one job in one subprocess: spec in on stdin, accumulator out on

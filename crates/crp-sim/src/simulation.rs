@@ -326,7 +326,7 @@ impl Simulation {
     /// the process backend was selected but the simulation was built from
     /// a custom protocol object it cannot re-describe.
     pub fn run(&self) -> Result<TrialStats, SimError> {
-        self.run_on(backend_for(&self.config).as_ref())
+        self.run_on(backend_for(&self.config)?.as_ref())
     }
 
     /// Like [`Simulation::run`], but on an explicit [`ShardBackend`]

@@ -406,7 +406,7 @@ impl SweepMatrix {
         &self,
         progress: impl Fn(SweepProgress) + Sync,
     ) -> Result<SweepResults, SimError> {
-        self.run_on_with_progress(backend_for(&self.config).as_ref(), progress)
+        self.run_on_with_progress(backend_for(&self.config)?.as_ref(), progress)
     }
 
     /// Runs the grid on an explicit [`ShardBackend`] (ignoring the

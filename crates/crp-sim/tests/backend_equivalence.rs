@@ -1,24 +1,45 @@
 //! The acceptance criterion of the executor-agnostic backend refactor:
-//! `SerialBackend`, `ThreadBackend` (1/2/8 workers) and `ProcessBackend`
-//! must produce **bit-identical** `TrialStats` for the same configuration
-//! — for a single `Simulation` and for a whole `SweepMatrix` executed
-//! through the work-stealing scheduler.
+//! `SerialBackend`, `ThreadBackend` (1/2/8 workers), `ProcessBackend`
+//! and `FleetBackend` (2 persistent workers — including a pool with an
+//! injected worker death) must produce **bit-identical** `TrialStats`
+//! for the same configuration — for a single `Simulation` and for a
+//! whole `SweepMatrix` executed through the work-stealing scheduler.
 //!
-//! The process backend spawns the real `crp_experiments shard-worker`
+//! The process and fleet backends spawn the real `crp_experiments`
 //! binary (cargo exposes its path to integration tests via
 //! `CARGO_BIN_EXE_crp_experiments`), so these tests exercise the full
-//! wire round trip: spec out on stdin, accumulator back on stdout.
+//! wire round trip: spec out, accumulator back — one-shot over stdin for
+//! the process backend, framed over long-lived worker stdio for the
+//! fleet.
 
+use crp_fleet::WorkerEndpoint;
 use crp_predict::ScenarioLibrary;
 use crp_protocols::ProtocolSpec;
 use crp_sim::{
-    ProcessBackend, SerialBackend, ShardBackend, Simulation, SweepMatrix, SweepProtocol,
-    ThreadBackend,
+    FleetBackend, ProcessBackend, SerialBackend, ShardBackend, Simulation, SweepMatrix,
+    SweepProtocol, ThreadBackend,
 };
 
 /// The worker binary cargo built alongside this test.
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_crp_experiments");
+
 fn process_backend(workers: usize) -> ProcessBackend {
-    ProcessBackend::new(workers).with_command(env!("CARGO_BIN_EXE_crp_experiments"))
+    ProcessBackend::new(workers).with_command(WORKER_BIN)
+}
+
+/// A fleet pool of two persistent local workers, one of which is
+/// sabotaged to die after its first job — the dispatcher must respawn /
+/// re-dispatch without changing a single bit of the statistics.
+fn fleet_with_dying_worker() -> FleetBackend {
+    let args = vec!["worker".to_string(), "--stdio".to_string()];
+    FleetBackend::with_endpoints(vec![
+        WorkerEndpoint::local_with_env(
+            WORKER_BIN,
+            args.clone(),
+            vec![("CRP_FLEET_DIE_AFTER".to_string(), "1".to_string())],
+        ),
+        WorkerEndpoint::local(WORKER_BIN, args),
+    ])
 }
 
 /// Every backend the equivalence criterion quantifies over.
@@ -29,6 +50,11 @@ fn all_backends() -> Vec<(&'static str, Box<dyn ShardBackend>)> {
         ("thread-2", Box::new(ThreadBackend::new(2))),
         ("thread-8", Box::new(ThreadBackend::new(8))),
         ("process-2", Box::new(process_backend(2))),
+        (
+            "fleet-2",
+            Box::new(FleetBackend::local_with_command(2, WORKER_BIN)),
+        ),
+        ("fleet-dying-worker", Box::new(fleet_with_dying_worker())),
     ]
 }
 
@@ -114,6 +140,10 @@ fn per_node_placements_survive_the_process_boundary() {
     let serial = simulation.run_on(&SerialBackend).unwrap();
     let process = simulation.run_on(&process_backend(2)).unwrap();
     assert_eq!(serial, process);
+    let fleet = simulation
+        .run_on(&FleetBackend::local_with_command(2, WORKER_BIN))
+        .unwrap();
+    assert_eq!(serial, fleet);
     assert!((serial.success_rate() - 1.0).abs() < 1e-12);
 }
 
@@ -139,8 +169,12 @@ fn custom_protocol_objects_are_rejected_by_the_process_backend() {
         .unwrap();
     // In-process backends run it fine...
     assert_eq!(simulation.run_on(&SerialBackend).unwrap().trials, 10);
-    // ...but it has no serialisable description, so the process backend
-    // reports a typed error instead of silently falling back.
+    // ...but it has no serialisable description, so the out-of-process
+    // backends report a typed error instead of silently falling back.
     let err = simulation.run_on(&process_backend(2)).unwrap_err();
+    assert!(matches!(err, crp_sim::SimError::Backend { .. }));
+    let err = simulation
+        .run_on(&FleetBackend::local_with_command(2, WORKER_BIN))
+        .unwrap_err();
     assert!(matches!(err, crp_sim::SimError::Backend { .. }));
 }

@@ -1,0 +1,229 @@
+//! Property-style round-trip tests for the wire codec the out-of-process
+//! backends live on: `ShardSpec::to_wire`/`from_wire` and
+//! `TrialAccumulator::to_wire`/`from_wire` over seeded random inputs,
+//! plus the float bit-pattern edge cases (±0.0, subnormals, infinities —
+//! the codec ships IEEE-754 bit patterns, so any NaN-free value must
+//! survive bit-for-bit) and truncated / corrupted message rejection.
+
+use crp_info::{CondensedDistribution, SizeDistribution};
+use crp_protocols::ProtocolSpec;
+use crp_sim::{ShardPlan, ShardSpec, TrialAccumulator};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A random distribution whose masses carry "ugly" bit patterns: raw
+/// weights normalised by their sum (so the masses rarely sum to exactly
+/// 1.0), optionally with exact zeros and one subnormal-scale mass mixed
+/// in.
+fn random_distribution(rng: &mut ChaCha8Rng) -> SizeDistribution {
+    let len = 2 + rng.gen_range(0usize..30);
+    let mut weights: Vec<f64> = (0..len).map(|_| rng.gen::<f64>().max(1e-12)).collect();
+    if rng.gen_bool(0.3) {
+        weights[rng.gen_range(0..len)] = 0.0;
+    }
+    SizeDistribution::from_weights(weights).unwrap()
+}
+
+#[test]
+fn shard_specs_round_trip_bit_exactly_over_random_distributions() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC0DEC);
+    for case in 0..60 {
+        let truth = random_distribution(&mut rng);
+        let prediction = CondensedDistribution::from_sizes(&random_distribution(&mut rng));
+        let max_rounds = 1 + rng.gen_range(0usize..100_000);
+        let spec = ShardSpec::sampled(
+            ProtocolSpec::new("sorted-guess-cycling")
+                .universe(truth.max_size().max(2))
+                .prediction(prediction.clone())
+                .advice_bits(rng.gen_range(0usize..8)),
+            truth.clone(),
+            max_rounds,
+        );
+        let plan = ShardPlan::with_shard_size(
+            1 + rng.gen_range(0usize..5000),
+            1 + rng.gen_range(0usize..512),
+        );
+        let seed: u64 = rng.gen();
+        let shard = rng.gen_range(0usize..plan.num_shards().max(1));
+        let wire = spec.to_wire(plan, seed, shard);
+
+        let (parsed, parsed_plan, parsed_seed, parsed_shard) =
+            ShardSpec::from_wire(&wire).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(parsed_plan, plan, "case {case}");
+        assert_eq!(parsed_seed, seed, "case {case}");
+        assert_eq!(parsed_shard, shard, "case {case}");
+        // Every mass must survive bit-for-bit: compare raw bit patterns,
+        // not just values, so a -0.0 flipped to +0.0 would be caught.
+        let original_bits: Vec<u64> = truth.masses().iter().map(|m| m.to_bits()).collect();
+        let parsed_bits: Vec<u64> = parsed
+            .sampled_masses()
+            .expect("population kind survives")
+            .iter()
+            .map(|m| m.to_bits())
+            .collect();
+        assert_eq!(original_bits, parsed_bits, "case {case}: truth masses");
+        let prediction_bits: Vec<u64> = prediction
+            .probabilities()
+            .iter()
+            .map(|m| m.to_bits())
+            .collect();
+        let parsed_prediction_bits: Vec<u64> = parsed
+            .protocol()
+            .params()
+            .prediction
+            .as_ref()
+            .expect("prediction survives")
+            .probabilities()
+            .iter()
+            .map(|m| m.to_bits())
+            .collect();
+        assert_eq!(
+            prediction_bits, parsed_prediction_bits,
+            "case {case}: prediction masses"
+        );
+        // And the re-serialisation is byte-identical, so a spec can relay
+        // through any number of dispatch hops unchanged.
+        assert_eq!(
+            parsed.to_wire(parsed_plan, parsed_seed, parsed_shard),
+            wire,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn shard_spec_masses_survive_signed_zero_and_subnormals() {
+    // -0.0 is a valid (non-negative by IEEE comparison) mass with a bit
+    // pattern distinct from +0.0; 5e-324 is the smallest positive
+    // subnormal.  Both must cross the wire bit-for-bit.
+    let masses = vec![0.5, 0.5, -0.0, 5e-324, 0.0];
+    let truth = SizeDistribution::from_masses_exact(masses.clone()).unwrap();
+    let spec = ShardSpec::sampled(
+        ProtocolSpec::new("decay").universe(truth.max_size()),
+        truth,
+        1000,
+    );
+    let wire = spec.to_wire(ShardPlan::new(100), 7, 0);
+    let (parsed, ..) = ShardSpec::from_wire(&wire).unwrap();
+    let parsed_bits: Vec<u64> = parsed
+        .sampled_masses()
+        .unwrap()
+        .iter()
+        .map(|m| m.to_bits())
+        .collect();
+    let original_bits: Vec<u64> = masses.iter().map(|m| m.to_bits()).collect();
+    assert_eq!(parsed_bits, original_bits);
+    assert_ne!(
+        (-0.0f64).to_bits(),
+        0.0f64.to_bits(),
+        "the test is vacuous unless the zeros differ in bits"
+    );
+}
+
+#[test]
+fn shard_spec_rejects_truncation_at_every_line_and_corrupt_floats() {
+    let truth = SizeDistribution::bimodal(512, 16, 256, 0.9).unwrap();
+    let spec = ShardSpec::sampled(
+        ProtocolSpec::new("sorted-guess-cycling")
+            .universe(512)
+            .prediction(CondensedDistribution::from_sizes(&truth)),
+        truth,
+        4096,
+    );
+    let wire = spec.to_wire(ShardPlan::new(700), 3, 1);
+    let lines: Vec<&str> = wire.lines().collect();
+    // Dropping the trailing end marker — or any suffix — must be
+    // rejected, never silently parsed as a shorter message.
+    for keep in 0..lines.len() {
+        let truncated = lines[..keep].join("\n");
+        assert!(
+            ShardSpec::from_wire(&truncated).is_err(),
+            "truncation to {keep} lines must not parse"
+        );
+    }
+    // A corrupted float hex token is a typed error, not a bogus value.
+    let corrupt = wire.replacen(
+        wire.split_ascii_whitespace()
+            .find(|t| t.len() == 16 && t.chars().all(|c| c.is_ascii_hexdigit()))
+            .expect("the wire carries hex-encoded masses"),
+        "zzzzzzzzzzzzzzzz",
+        1,
+    );
+    assert!(ShardSpec::from_wire(&corrupt).is_err());
+    // As is garbage that was never a spec.
+    assert!(ShardSpec::from_wire("!!fleet-garbage!!\n").is_err());
+}
+
+#[test]
+fn accumulators_round_trip_bit_exactly_over_random_outcome_streams() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xACC);
+    for case in 0..100 {
+        let mut accumulator = TrialAccumulator::new();
+        for _ in 0..rng.gen_range(0usize..500) {
+            // Huge round counts push the sketch into its log-bucketed
+            // range and the Welford moments into large magnitudes.
+            let rounds = 1 + rng.gen::<u64>() % (1 << rng.gen_range(1u32..50));
+            accumulator.record(rng.gen_bool(0.7), rounds);
+        }
+        let round_tripped = TrialAccumulator::from_wire(&accumulator.to_wire())
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        // PartialEq covers every f64 bit of the moments and the whole
+        // sketch bucket vector.
+        assert_eq!(accumulator, round_tripped, "case {case}");
+        assert_eq!(
+            accumulator.finalize(),
+            round_tripped.finalize(),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn accumulator_codec_preserves_nan_free_float_edge_bit_patterns() {
+    // The accumulator's two float fields (Welford mean and M2) travel as
+    // bit patterns.  Craft wire messages whose bits encode the NaN-free
+    // edge cases and require parse → re-serialise to reproduce the exact
+    // message, proving no value is normalised, rounded or re-derived.
+    let edge_bits: [(f64, &str); 5] = [
+        (0.0, "+0.0"),
+        (-0.0, "-0.0"),
+        (5e-324, "min subnormal"),
+        (f64::INFINITY, "+inf"),
+        (f64::NEG_INFINITY, "-inf"),
+    ];
+    for (value, label) in edge_bits {
+        let bits = value.to_bits();
+        let wire = format!(
+            "crp-shard-accumulator v1\n\
+             trials 2\n\
+             resolved 2 {bits:016x} {bits:016x} 1 9\n\
+             resolved-counts 2 0 1 0 0 0 0 0 0 0 1\n\
+             overall 2 {bits:016x} {bits:016x} 1 9\n\
+             overall-counts 2 0 1 0 0 0 0 0 0 0 1\n\
+             end\n"
+        );
+        let parsed = TrialAccumulator::from_wire(&wire).unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(parsed.to_wire(), wire, "{label} must survive bit-for-bit");
+    }
+}
+
+#[test]
+fn accumulator_rejects_truncation_and_corrupt_buckets() {
+    let mut accumulator = TrialAccumulator::new();
+    for i in 0..50u64 {
+        accumulator.record(i % 3 != 0, 1 + i * 17);
+    }
+    let wire = accumulator.to_wire();
+    let lines: Vec<&str> = wire.lines().collect();
+    for keep in 0..lines.len() {
+        let truncated = lines[..keep].join("\n");
+        assert!(
+            TrialAccumulator::from_wire(&truncated).is_err(),
+            "truncation to {keep} lines must not parse"
+        );
+    }
+    // Bucket counts that no longer sum to their declared total are
+    // rejected — the self-check that catches a mid-stream bit flip.
+    let corrupt = wire.replacen("overall-counts 50", "overall-counts 51", 1);
+    assert!(TrialAccumulator::from_wire(&corrupt).is_err());
+}

@@ -21,6 +21,9 @@
 //!   range-finding lower-bound machinery, and the unified
 //!   [`protocols::Protocol`] API with its name-based
 //!   [`protocols::ProtocolRegistry`].
+//! * [`fleet`] (`crp-fleet`) — fleet dispatch: the framed worker wire
+//!   protocol, long-lived stdio/TCP workers, and the straggler-retrying
+//!   job dispatcher behind [`sim::FleetBackend`].
 //! * [`sim`] (`crp-sim`) — the Monte-Carlo experiment harness, fronted by
 //!   the builder-style [`sim::Simulation`].
 //!
@@ -74,6 +77,10 @@ pub use crp_predict as predict;
 
 /// Contention-resolution protocols (re-export of `crp-protocols`).
 pub use crp_protocols as protocols;
+
+/// Fleet dispatch: framed worker protocol, long-lived stdio/TCP workers
+/// and the straggler-retrying dispatcher (re-export of `crp-fleet`).
+pub use crp_fleet as fleet;
 
 /// Monte-Carlo experiment harness (re-export of `crp-sim`).
 pub use crp_sim as sim;
