@@ -21,7 +21,7 @@ fn measure(
     let mut builder = Simulation::builder()
         .protocol(spec)
         .truth(truth)
-        .runner(*config);
+        .runner(config.clone());
     if let Some(budget) = budget {
         builder = builder.max_rounds(budget);
     }
@@ -104,7 +104,7 @@ fn baselines(c: &mut Criterion) {
                 .protocol(ProtocolSpec::new("decay").universe(n))
                 .truth(scenario.distribution().clone())
                 .max_rounds(16 * n)
-                .runner(quick)
+                .runner(quick.clone())
                 .build()
                 .unwrap();
             b.iter(|| simulation.run().unwrap());

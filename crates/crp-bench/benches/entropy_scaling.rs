@@ -30,7 +30,7 @@ fn entropy_scaling(c: &mut Criterion) {
                     .prediction(condensed.clone()),
             )
             .truth(scenario.distribution().clone())
-            .runner(config)
+            .runner(config.clone())
             .run()
             .unwrap();
         let cd = Simulation::builder()
@@ -40,7 +40,7 @@ fn entropy_scaling(c: &mut Criterion) {
                     .prediction(condensed.clone()),
             )
             .truth(scenario.distribution().clone())
-            .runner(config)
+            .runner(config.clone())
             .run()
             .unwrap();
         println!(
@@ -64,7 +64,7 @@ fn entropy_scaling(c: &mut Criterion) {
             let simulation = Simulation::builder()
                 .protocol(spec.clone())
                 .truth(scenario.distribution().clone())
-                .runner(quick)
+                .runner(quick.clone())
                 .build()
                 .unwrap();
             b.iter(|| simulation.run().unwrap());

@@ -54,7 +54,7 @@ fn kl_divergence_bench(c: &mut Criterion) {
             )
             .truth(truth.clone())
             .max_rounds(64 * n)
-            .runner(config)
+            .runner(config.clone())
             .run()
             .unwrap();
         let cd = Simulation::builder()
@@ -64,7 +64,7 @@ fn kl_divergence_bench(c: &mut Criterion) {
                     .prediction(condensed.clone()),
             )
             .truth(truth.clone())
-            .runner(config)
+            .runner(config.clone())
             .run()
             .unwrap();
         println!(
@@ -91,7 +91,7 @@ fn kl_divergence_bench(c: &mut Criterion) {
                 .protocol(spec.clone())
                 .truth(truth.clone())
                 .max_rounds(16 * n)
-                .runner(quick)
+                .runner(quick.clone())
                 .build()
                 .unwrap();
             b.iter(|| simulation.run().unwrap());

@@ -31,7 +31,7 @@ fn table1_cd(c: &mut Criterion) {
         let stats = Simulation::builder()
             .protocol(spec.clone())
             .truth(scenario.distribution().clone())
-            .runner(config)
+            .runner(config.clone())
             .run()
             .expect("library scenarios always yield a code");
         println!(
@@ -53,7 +53,7 @@ fn table1_cd(c: &mut Criterion) {
                 let simulation = Simulation::builder()
                     .protocol(spec.clone())
                     .truth(scenario.distribution().clone())
-                    .runner(quick)
+                    .runner(quick.clone())
                     .build()
                     .unwrap();
                 b.iter(|| simulation.run().unwrap());

@@ -25,7 +25,7 @@ fn measure(b: usize, trials: usize) -> (f64, f64) {
         )
         .truth(truth.clone())
         .max_rounds(64 * UNIVERSE)
-        .runner(config)
+        .runner(config.clone())
         .run()
         .unwrap();
     let willard_stats = Simulation::builder()
@@ -36,7 +36,7 @@ fn measure(b: usize, trials: usize) -> (f64, f64) {
                 .advice_bits(b),
         )
         .truth(truth)
-        .runner(config)
+        .runner(config.clone())
         .run()
         .unwrap();
     (

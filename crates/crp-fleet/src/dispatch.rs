@@ -11,6 +11,11 @@
 //!   malformed answer makes the job go back on the queue for another
 //!   worker; the connection is dropped and re-established (local workers
 //!   are respawned) up to a per-thread limit before the thread gives up.
+//! * **Wedged workers** — a polling (TCP) connection that goes silent
+//!   with work in flight is pinged; a ping that stays unanswered makes
+//!   the connection [`FleetError::Unresponsive`] and its jobs are
+//!   re-dispatched immediately instead of waiting for the batch tail's
+//!   straggler machinery (or forever, on a single-worker pool).
 //! * **Stragglers** — once the queue is empty, idle workers re-dispatch
 //!   the jobs still outstanding on other workers (preferring the least
 //!   duplicated job, and only after a short grace period so an ordinary
@@ -28,16 +33,37 @@
 //!   racing its replacement) are dropped and the per-job completion
 //!   callback fires exactly once.
 //!
+//! Two protocol-v2 capabilities are layered over that core:
+//!
+//! * **Pipelining** — the worker's `hello` advertises a capacity, and
+//!   the dispatcher keeps up to that many jobs in flight on the
+//!   connection (writes run ahead of reads; answers are matched by job
+//!   id, in whatever order they come back).
+//! * **Content-addressed blobs** — a [`JobPayload`] may carry a compact
+//!   encoding referencing blobs from a [`BlobSet`] by hash.  On a v2
+//!   connection the dispatcher ships each blob at most once
+//!   (`scenario-put`, after an optional `scenario-have` query) and sends
+//!   the compact payload; a v1 worker transparently gets the equivalent
+//!   fully inline payload instead.
+//!
+//! Connections are *warm*: a [`Dispatcher`] keeps each endpoint's
+//! connection (and therefore its spawned local worker process) alive
+//! between `dispatch` calls, health-checking it with a ping before
+//! reuse.  This is what lets a long-running sweep service answer
+//! back-to-back submissions without re-paying process spawn or blob
+//! shipping.
+//!
 //! Because a job's answer is required to be a deterministic function of
 //! its payload (shard answers are — that is the whole bit-identical
 //! merge guarantee), *which* worker answers never changes the result,
 //! only the wall-clock time.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use crate::endpoint::{CallOutcome, Connection, WorkerEndpoint};
+use crate::endpoint::{Answer, Connection, WorkerEndpoint};
+use crate::hash::content_hash;
 use crate::FleetError;
 
 /// Per-thread cap on transport failures (failed connects, dropped
@@ -57,10 +83,107 @@ const STRAGGLER_GRACE: Duration = Duration::from_millis(250);
 /// `done` whose accumulator body is corrupt.
 pub type AnswerValidator<'a> = &'a (dyn Fn(u64, &str) -> Result<(), String> + Sync);
 
-/// Schedules batches of jobs over a fixed pool of [`WorkerEndpoint`]s.
+/// One dispatchable job: the canonical fully inline payload every worker
+/// understands, plus an optional compact payload that references
+/// [`BlobSet`] entries by content hash (sent to protocol-v2 workers
+/// after the blobs have been shipped once).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPayload {
+    /// The canonical self-contained payload (protocol v1 compatible).
+    pub inline: String,
+    /// A smaller payload referencing blobs by hash, if the job has one.
+    pub compact: Option<String>,
+    /// The content hashes `compact` references.
+    pub refs: Vec<String>,
+}
+
+impl JobPayload {
+    /// A job with only an inline payload.
+    pub fn inline(payload: impl Into<String>) -> Self {
+        Self {
+            inline: payload.into(),
+            compact: None,
+            refs: Vec::new(),
+        }
+    }
+
+    /// A job with a compact encoding referencing `refs` from the batch's
+    /// [`BlobSet`].
+    pub fn with_compact(
+        inline: impl Into<String>,
+        compact: impl Into<String>,
+        refs: Vec<String>,
+    ) -> Self {
+        Self {
+            inline: inline.into(),
+            compact: Some(compact.into()),
+            refs,
+        }
+    }
+}
+
+impl From<String> for JobPayload {
+    fn from(payload: String) -> Self {
+        Self::inline(payload)
+    }
+}
+
+impl From<&str> for JobPayload {
+    fn from(payload: &str) -> Self {
+        Self::inline(payload.to_string())
+    }
+}
+
+/// The content-addressed blobs a batch's compact payloads reference.
+#[derive(Debug, Clone, Default)]
+pub struct BlobSet {
+    blobs: HashMap<String, String>,
+}
+
+impl BlobSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `blob` under its [`content_hash`] and returns the hash
+    /// (idempotent — the same bytes always land on the same key).
+    pub fn insert(&mut self, blob: impl Into<String>) -> String {
+        let blob = blob.into();
+        let hash = content_hash(blob.as_bytes());
+        self.blobs.entry(hash.clone()).or_insert(blob);
+        hash
+    }
+
+    /// The blob stored under `hash`, if any.
+    pub fn get(&self, hash: &str) -> Option<&str> {
+        self.blobs.get(hash).map(String::as_str)
+    }
+
+    /// Number of stored blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Iterates over `(hash, blob)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.blobs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+/// Schedules batches of jobs over a fixed pool of [`WorkerEndpoint`]s,
+/// keeping each endpoint's connection warm between batches.
 pub struct Dispatcher {
     endpoints: Vec<WorkerEndpoint>,
     max_attempts: usize,
+    /// One warm-connection slot per endpoint, reused across `dispatch`
+    /// calls (and health-checked before reuse).
+    slots: Vec<Mutex<Option<Connection>>>,
 }
 
 /// Shared scheduling state, all under one lock.
@@ -107,9 +230,11 @@ impl Dispatcher {
     /// `max(3, 2 × pool size)` times before it is declared failed.
     pub fn new(endpoints: Vec<WorkerEndpoint>) -> Self {
         let max_attempts = (2 * endpoints.len()).max(3);
+        let slots = endpoints.iter().map(|_| Mutex::new(None)).collect();
         Self {
             endpoints,
             max_attempts,
+            slots,
         }
     }
 
@@ -122,6 +247,17 @@ impl Dispatcher {
     /// The pool this dispatcher schedules over.
     pub fn endpoints(&self) -> &[WorkerEndpoint] {
         &self.endpoints
+    }
+
+    /// Closes every warm connection, politely shutting spawned local
+    /// workers down.  Called automatically on drop; call it explicitly
+    /// to cold-stop a fleet without dropping the dispatcher.
+    pub fn shutdown_workers(&self) {
+        for slot in &self.slots {
+            if let Some(mut live) = slot.lock().expect("no dispatcher panics").take() {
+                live.shutdown();
+            }
+        }
     }
 
     /// Runs every payload to completion on the pool and returns the
@@ -156,7 +292,29 @@ impl Dispatcher {
         done: &(dyn Fn(usize) + Sync),
         validate: AnswerValidator<'_>,
     ) -> Result<Vec<String>, FleetError> {
-        if payloads.is_empty() {
+        let jobs: Vec<JobPayload> = payloads
+            .iter()
+            .map(|payload| JobPayload::inline(payload.clone()))
+            .collect();
+        self.dispatch_jobs(&jobs, &BlobSet::new(), done, validate)
+    }
+
+    /// The full-featured entry point: [`JobPayload`]s whose compact
+    /// encodings may reference `blobs`, answer validation, and per-job
+    /// completion callbacks.  See [`Dispatcher::dispatch`] for the
+    /// scheduling contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Dispatcher::dispatch`].
+    pub fn dispatch_jobs(
+        &self,
+        jobs: &[JobPayload],
+        blobs: &BlobSet,
+        done: &(dyn Fn(usize) + Sync),
+        validate: AnswerValidator<'_>,
+    ) -> Result<Vec<String>, FleetError> {
+        if jobs.is_empty() {
             return Ok(Vec::new());
         }
         if self.endpoints.is_empty() {
@@ -167,27 +325,27 @@ impl Dispatcher {
         }
         let scheduler = Scheduler {
             state: Mutex::new(State {
-                queue: (0..payloads.len()).collect(),
-                in_flight: vec![0; payloads.len()],
-                attempts: vec![0; payloads.len()],
-                claimed_at: vec![None; payloads.len()],
-                results: vec![None; payloads.len()],
-                failures: vec![None; payloads.len()],
+                queue: (0..jobs.len()).collect(),
+                in_flight: vec![0; jobs.len()],
+                attempts: vec![0; jobs.len()],
+                claimed_at: vec![None; jobs.len()],
+                results: vec![None; jobs.len()],
+                failures: vec![None; jobs.len()],
                 last_transport_error: None,
             }),
             wake: Condvar::new(),
         };
 
         std::thread::scope(|scope| {
-            for endpoint in &self.endpoints {
+            for index in 0..self.endpoints.len() {
                 let scheduler = &scheduler;
                 scope
-                    .spawn(move || self.worker_loop(endpoint, scheduler, payloads, done, validate));
+                    .spawn(move || self.worker_loop(index, scheduler, jobs, blobs, done, validate));
             }
         });
 
         let state = scheduler.state.into_inner().expect("no dispatcher panics");
-        for job in 0..payloads.len() {
+        for job in 0..jobs.len() {
             if let Some(error) = &state.failures[job] {
                 return Err(error.clone());
             }
@@ -210,53 +368,147 @@ impl Dispatcher {
             .collect())
     }
 
-    /// One endpoint's thread: claim, connect, call, record — retrying
-    /// transport failures until the batch settles or the reconnect
-    /// budget is spent.
+    /// Sends one claimed job down a live connection: on a v2 connection
+    /// with a compact payload, ships any missing blobs first and sends
+    /// the compact form; otherwise sends the inline form.
+    fn send_claim(
+        connection: &mut Connection,
+        job: usize,
+        jobs: &[JobPayload],
+        blobs: &BlobSet,
+        may_query: bool,
+    ) -> Result<(), FleetError> {
+        let payload = &jobs[job];
+        if connection.version() >= 2 {
+            if let Some(compact) = &payload.compact {
+                for hash in &payload.refs {
+                    let blob = blobs.get(hash).ok_or_else(|| {
+                        FleetError::Malformed(format!(
+                            "job {job} references blob {hash} missing from the batch blob set"
+                        ))
+                    })?;
+                    connection.ensure_blob(hash, blob, may_query)?;
+                }
+                return connection.send_job(job as u64, compact);
+            }
+        }
+        connection.send_job(job as u64, &payload.inline)
+    }
+
+    /// One endpoint's thread: claim (up to the connection's capacity),
+    /// send, read, record — retrying transport failures until the batch
+    /// settles or the reconnect budget is spent, and returning the warm
+    /// connection to its slot at the end.
     fn worker_loop(
         &self,
-        endpoint: &WorkerEndpoint,
+        index: usize,
         scheduler: &Scheduler,
-        payloads: &[String],
+        jobs: &[JobPayload],
+        blobs: &BlobSet,
         done: &(dyn Fn(usize) + Sync),
         validate: AnswerValidator<'_>,
     ) {
-        let mut connection: Option<Connection> = None;
+        let endpoint = &self.endpoints[index];
+        let slot = &self.slots[index];
+        // Reuse the warm connection from the previous batch — but only
+        // after it proves it is still alive (ping/pong), so a worker
+        // that died while idle costs a reconnect, not a batch failure.
+        let mut connection: Option<Connection> = slot
+            .lock()
+            .expect("no dispatcher panics")
+            .take()
+            .and_then(|mut live| live.health_check().is_ok().then_some(live));
         let mut transport_failures = 0usize;
-        while let Some(job) = self.claim_next(scheduler) {
-            if connection.is_none() {
-                match endpoint.connect() {
-                    Ok(live) => connection = Some(live),
+        // Jobs written to the connection and awaiting answers.
+        let mut outstanding: Vec<usize> = Vec::new();
+
+        'batch: loop {
+            // Fill phase: top the pipeline up to the worker's capacity.
+            // The first claim of an empty pipeline may block (waiting on
+            // the queue / straggler machinery); extra claims never do.
+            // Capacity is re-read every iteration: before the first
+            // connect it is unknown (treat as 1), and the moment the
+            // hello arrives the advertised value takes effect.
+            while outstanding.len() < connection.as_ref().map_or(1, |c| c.capacity().max(1)) {
+                let job = if outstanding.is_empty() {
+                    match self.claim_next(scheduler) {
+                        Some(job) => job,
+                        None => break 'batch,
+                    }
+                } else {
+                    match self.try_claim(scheduler, &outstanding) {
+                        Some(job) => job,
+                        None => break,
+                    }
+                };
+                if connection.is_none() {
+                    match endpoint.connect() {
+                        Ok(live) => connection = Some(live),
+                        Err(error) => {
+                            self.release_unattempted(scheduler, job, &error);
+                            transport_failures += 1;
+                            if transport_failures >= RECONNECT_LIMIT {
+                                return;
+                            }
+                            // Back off briefly so a dead endpoint is not
+                            // hammered in a tight loop.
+                            std::thread::sleep(Duration::from_millis(
+                                20 * transport_failures as u64,
+                            ));
+                            continue 'batch;
+                        }
+                    }
+                }
+                let live = connection.as_mut().expect("connected above");
+                // Blob queries need a predictable next frame, so only
+                // query when nothing is in flight.
+                match Self::send_claim(live, job, jobs, blobs, outstanding.is_empty()) {
+                    Ok(()) => outstanding.push(job),
                     Err(error) => {
-                        self.release_unattempted(scheduler, job, &error);
+                        // The connection broke mid-send: everything on it
+                        // (including this claim) goes back for another
+                        // worker.
+                        self.requeue_or_fail(scheduler, job, &error);
+                        for &lost in &outstanding {
+                            self.requeue_or_fail(scheduler, lost, &error);
+                        }
+                        outstanding.clear();
+                        connection = None;
                         transport_failures += 1;
                         if transport_failures >= RECONNECT_LIMIT {
                             return;
                         }
-                        // Back off briefly so a dead endpoint is not
-                        // hammered in a tight loop.
-                        std::thread::sleep(Duration::from_millis(20 * transport_failures as u64));
-                        continue;
+                        continue 'batch;
                     }
                 }
             }
-            let live = connection.as_mut().expect("connected above");
-            let should_abandon = || scheduler.lock().is_settled(job);
-            match live.call(job as u64, &payloads[job], &should_abandon) {
-                Ok(CallOutcome::Done(payload)) => {
+            debug_assert!(!outstanding.is_empty(), "the fill phase claimed a job");
+
+            // Read phase: pull one answer off the connection.
+            let live = connection.as_mut().expect("pipeline holds jobs");
+            let pipeline = &outstanding;
+            let answer = live.read_answer(&|id| pipeline.contains(&(id as usize)), &|| {
+                let state = scheduler.lock();
+                pipeline.iter().all(|&job| state.is_settled(job))
+            });
+            match answer {
+                Ok(Answer::Done { id, payload }) => {
+                    let job = id as usize;
+                    outstanding.retain(|&j| j != job);
                     // A well-framed answer whose body fails validation is
                     // as untrustworthy as garbage bytes: drop the
                     // connection and re-dispatch elsewhere instead of
                     // settling the job with a poisoned answer.
-                    if let Err(reason) = validate(job as u64, &payload) {
+                    if let Err(reason) = validate(id, &payload) {
+                        let error = FleetError::Malformed(format!(
+                            "answer to job {job} failed validation: {reason}"
+                        ));
+                        self.requeue_or_fail(scheduler, job, &error);
+                        for &lost in &outstanding {
+                            self.requeue_or_fail(scheduler, lost, &error);
+                        }
+                        outstanding.clear();
                         connection = None;
-                        self.requeue_or_fail(
-                            scheduler,
-                            job,
-                            &FleetError::Malformed(format!(
-                                "answer to job {job} failed validation: {reason}"
-                            )),
-                        );
                         transport_failures += 1;
                         if transport_failures >= RECONNECT_LIMIT {
                             return;
@@ -276,30 +528,38 @@ impl Dispatcher {
                     }
                     scheduler.wake.notify_all();
                 }
-                Ok(CallOutcome::Failed(message)) => {
+                Ok(Answer::Failed { id, message }) => {
+                    let job = id as usize;
+                    outstanding.retain(|&j| j != job);
                     {
                         let mut state = scheduler.lock();
                         state.in_flight[job] -= 1;
                         if !state.is_settled(job) {
-                            state.failures[job] = Some(FleetError::Job {
-                                id: job as u64,
-                                message,
-                            });
+                            state.failures[job] = Some(FleetError::Job { id, message });
                         }
                     }
                     scheduler.wake.notify_all();
                 }
-                Ok(CallOutcome::Abandoned) => {
-                    // The job settled elsewhere while this worker was
-                    // still chewing on it.  The connection has a stale
-                    // answer in flight, so drop it and start fresh.
-                    scheduler.lock().in_flight[job] -= 1;
+                Ok(Answer::Abandoned) => {
+                    // Every outstanding job settled elsewhere while this
+                    // worker was still chewing.  The connection has stale
+                    // answers in flight, so drop it and start fresh.
+                    {
+                        let mut state = scheduler.lock();
+                        for &job in &outstanding {
+                            state.in_flight[job] -= 1;
+                        }
+                    }
+                    outstanding.clear();
                     scheduler.wake.notify_all();
                     connection = None;
                 }
                 Err(error) => {
                     connection = None;
-                    self.requeue_or_fail(scheduler, job, &error);
+                    for &job in &outstanding {
+                        self.requeue_or_fail(scheduler, job, &error);
+                    }
+                    outstanding.clear();
                     transport_failures += 1;
                     if transport_failures >= RECONNECT_LIMIT {
                         return;
@@ -307,8 +567,9 @@ impl Dispatcher {
                 }
             }
         }
-        if let Some(mut live) = connection {
-            live.shutdown();
+        // Keep the connection warm for the next batch.
+        if let Some(live) = connection {
+            *slot.lock().expect("no dispatcher panics") = Some(live);
         }
     }
 
@@ -381,6 +642,39 @@ impl Dispatcher {
         }
     }
 
+    /// The non-blocking claim used to top a pipeline up: pops fresh or
+    /// retried jobs off the queue, but never waits and never duplicates
+    /// stragglers (those go to fully idle workers via [`claim_next`]).
+    /// Jobs in `exclude` — the caller's own pipeline — are skipped and
+    /// left queued for other workers: a requeued copy of a job this
+    /// connection still has outstanding must not produce a duplicate id
+    /// on the same stream (its second answer would read as a protocol
+    /// violation and tear the healthy connection down).
+    fn try_claim(&self, scheduler: &Scheduler, exclude: &[usize]) -> Option<usize> {
+        let mut state = scheduler.lock();
+        let mut skipped: Vec<usize> = Vec::new();
+        let mut picked = None;
+        while let Some(job) = state.queue.pop_front() {
+            if state.is_settled(job) {
+                continue;
+            }
+            if exclude.contains(&job) {
+                skipped.push(job);
+                continue;
+            }
+            state.attempts[job] += 1;
+            state.in_flight[job] += 1;
+            state.claimed_at[job] = Some(Instant::now());
+            picked = Some(job);
+            break;
+        }
+        // Return the skipped jobs to the front, preserving their order.
+        for job in skipped.into_iter().rev() {
+            state.queue.push_front(job);
+        }
+        picked
+    }
+
     /// Returns a job whose worker could not even be reached: the claim is
     /// undone (connect failures do not count as attempts) and the job
     /// goes back to the front of the queue.
@@ -421,19 +715,27 @@ impl Dispatcher {
     }
 }
 
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        self.shutdown_workers();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::tcp::TcpWorker;
-    use crate::worker::ServeOptions;
+    use crate::worker::{ScenarioStore, ServeOptions};
     use std::net::TcpListener;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
-    /// An echo worker whose handler can also reject (`fail:<message>`)
-    /// or straggle (`slow-once:<ms>:<text>` sleeps on its *first*
-    /// execution in this process only, so a re-dispatched copy of the
-    /// same payload answers promptly — the answer text stays identical
-    /// either way, like a shard answer does).
+    /// An echo worker whose handler can also reject (`fail:<message>`),
+    /// sleep every time (`sleep:<ms>:<text>`) or straggle
+    /// (`slow-once:<ms>:<text>` sleeps on its *first* execution in this
+    /// process only, so a re-dispatched copy of the same payload answers
+    /// promptly — the answer text stays identical either way, like a
+    /// shard answer does).
     fn scripted(payload: &str) -> Result<String, String> {
         static SLOWED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
         if let Some(message) = payload.strip_prefix("fail:") {
@@ -445,17 +747,25 @@ mod tests {
                 std::thread::sleep(Duration::from_millis(ms.parse().expect("sleep ms")));
             }
             text
+        } else if let Some(rest) = payload.strip_prefix("sleep:") {
+            let (ms, text) = rest.split_once(':').expect("sleep:<ms>:<text>");
+            std::thread::sleep(Duration::from_millis(ms.parse().expect("sleep ms")));
+            text
         } else {
             payload
         };
         Ok(format!("echo:{payload}"))
     }
 
-    fn spawn_worker() -> String {
+    fn spawn_worker_with(options: ServeOptions) -> String {
         let worker = TcpWorker::bind("127.0.0.1:0").unwrap();
         let addr = worker.local_addr().unwrap().to_string();
-        std::thread::spawn(move || worker.serve_forever(&scripted, &ServeOptions::default()));
+        std::thread::spawn(move || worker.serve_forever(&scripted, &options));
         addr
+    }
+
+    fn spawn_worker() -> String {
+        spawn_worker_with(ServeOptions::default())
     }
 
     fn dead_endpoint() -> WorkerEndpoint {
@@ -486,6 +796,146 @@ mod tests {
             20,
             "done fires exactly once per job, duplicates are dropped"
         );
+    }
+
+    #[test]
+    fn warm_connections_survive_across_batches() {
+        // One TCP worker, two dispatches through the same dispatcher:
+        // the second batch reuses the health-checked warm connection.
+        let dispatcher = Dispatcher::new(vec![WorkerEndpoint::tcp(spawn_worker())]);
+        let first = dispatcher.dispatch(&["a".to_string()], &|_| {}).unwrap();
+        assert_eq!(first, vec!["echo:a".to_string()]);
+        let second = dispatcher.dispatch(&["b".to_string()], &|_| {}).unwrap();
+        assert_eq!(second, vec!["echo:b".to_string()]);
+    }
+
+    #[test]
+    fn a_capacity_4_worker_gets_its_pipeline_filled() {
+        // Four 300ms jobs on ONE capacity-4 connection: pipelined writes
+        // plus the worker's concurrent execution finish them together;
+        // a one-at-a-time conversation would need ~1200ms.
+        let addr = spawn_worker_with(ServeOptions {
+            capacity: 4,
+            ..Default::default()
+        });
+        let payloads: Vec<String> = (0..4).map(|i| format!("sleep:300:p{i}")).collect();
+        let dispatcher = Dispatcher::new(vec![WorkerEndpoint::tcp(addr)]);
+        let start = Instant::now();
+        let answers = dispatcher.dispatch(&payloads, &|_| {}).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(
+            answers,
+            (0..4).map(|i| format!("echo:p{i}")).collect::<Vec<_>>()
+        );
+        assert!(
+            elapsed < Duration::from_millis(900),
+            "capacity-4 pipelining should overlap the four sleeps (took {elapsed:?})"
+        );
+    }
+
+    #[test]
+    fn an_unresponsive_worker_is_a_typed_error_not_a_hang() {
+        // The worker accepts the job and then goes silent without
+        // closing its socket.  Read timeouts alone would poll forever;
+        // the ping health check must declare it unresponsive.
+        let addr = spawn_worker_with(ServeOptions {
+            wedge_after: Some(0),
+            ..Default::default()
+        });
+        let dispatcher = Dispatcher::new(vec![WorkerEndpoint::tcp(addr)]).with_max_attempts(1);
+        let err = dispatcher
+            .dispatch(&["stuck".to_string()], &|_| {})
+            .unwrap_err();
+        match err {
+            FleetError::Exhausted { last, .. } => {
+                assert!(last.contains("unresponsive"), "last error: {last}");
+            }
+            other => panic!("expected exhaustion via unresponsiveness, got {other}"),
+        }
+    }
+
+    #[test]
+    fn jobs_of_a_wedged_worker_are_requeued_onto_the_healthy_one() {
+        let wedged = spawn_worker_with(ServeOptions {
+            wedge_after: Some(0),
+            ..Default::default()
+        });
+        let healthy = spawn_worker();
+        let payloads: Vec<String> = (0..6).map(|i| format!("w{i}")).collect();
+        let answers = Dispatcher::new(vec![
+            WorkerEndpoint::tcp(wedged),
+            WorkerEndpoint::tcp(healthy),
+        ])
+        .dispatch(&payloads, &|_| {})
+        .unwrap();
+        assert_eq!(
+            answers,
+            (0..6).map(|i| format!("echo:w{i}")).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn compact_payloads_ship_blobs_once_and_v1_workers_get_inline() {
+        // A worker whose handler resolves `resolve:<hash>` out of its
+        // scenario store — the fleet-level shape of scenario-by-hash
+        // shipping.
+        fn spawn_resolving_worker(options: ServeOptions) -> (String, Arc<ScenarioStore>) {
+            let store = Arc::new(ScenarioStore::new());
+            let handler_store = Arc::clone(&store);
+            let serve_store = Arc::clone(&store);
+            let worker = TcpWorker::bind("127.0.0.1:0").unwrap();
+            let addr = worker.local_addr().unwrap().to_string();
+            std::thread::spawn(move || {
+                let handler = move |payload: &str| -> Result<String, String> {
+                    match payload.strip_prefix("resolve:") {
+                        Some(hash) => handler_store
+                            .get(hash)
+                            .map(|blob| format!("resolved:{blob}"))
+                            .ok_or_else(|| format!("unknown blob {hash}")),
+                        None => Ok(format!("inline:{payload}")),
+                    }
+                };
+                worker.serve_forever_with_store(&handler, &options, &serve_store)
+            });
+            (addr, store)
+        }
+
+        let mut blobs = BlobSet::new();
+        let hash = blobs.insert("the-masses");
+        let jobs: Vec<JobPayload> = (0..3)
+            .map(|i| {
+                JobPayload::with_compact(
+                    format!("inline-{i}:the-masses"),
+                    format!("resolve:{hash}"),
+                    vec![hash.clone()],
+                )
+            })
+            .collect();
+
+        // A v2 worker resolves the reference; the blob travels once.
+        let (addr, store) = spawn_resolving_worker(ServeOptions::default());
+        let answers = Dispatcher::new(vec![WorkerEndpoint::tcp(addr)])
+            .dispatch_jobs(&jobs, &blobs, &|_| {}, &|_, _| Ok(()))
+            .unwrap();
+        assert_eq!(answers, vec!["resolved:the-masses".to_string(); 3]);
+        assert_eq!(store.len(), 1, "one scenario-put for three jobs");
+
+        // A legacy v1 worker never sees scenario messages or compact
+        // payloads — it gets the inline encodings and still answers.
+        let (addr, store) = spawn_resolving_worker(ServeOptions {
+            legacy_v1: true,
+            ..Default::default()
+        });
+        let answers = Dispatcher::new(vec![WorkerEndpoint::tcp(addr)])
+            .dispatch_jobs(&jobs, &blobs, &|_| {}, &|_, _| Ok(()))
+            .unwrap();
+        assert_eq!(
+            answers,
+            (0..3)
+                .map(|i| format!("inline:inline-{i}:the-masses"))
+                .collect::<Vec<_>>()
+        );
+        assert!(store.is_empty(), "no blob ever shipped to a v1 worker");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! `local[:N]` (N spawned subprocess workers) or `host:port` (one remote
 //! worker).
 
+use std::collections::HashSet;
 use std::io::{BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
@@ -16,13 +17,21 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use crate::frame::{read_frame, wait_readable, write_frame};
-use crate::protocol::{Message, PROTOCOL_VERSION};
+use crate::protocol::{Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::FleetError;
 
 /// Poll interval for straggler checks on TCP connections.
 const TCP_POLL: Duration = Duration::from_millis(100);
 /// How long a fresh connection may take to deliver its hello.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Silence on a polling connection with work in flight before a
+/// health-check ping goes out.  Workers answer pings from their read
+/// loop even while a job computes, so silence past this plus
+/// [`PING_TIMEOUT`] means the worker process is wedged, not busy.
+const PING_AFTER: Duration = Duration::from_millis(1000);
+/// How long a ping may go unanswered before the connection is declared
+/// unresponsive and its jobs are re-dispatched.
+const PING_TIMEOUT: Duration = Duration::from_millis(2000);
 
 /// Where one fleet worker lives and how to reach it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,12 +130,14 @@ impl WorkerEndpoint {
                     let _ = sender.send((result, reader));
                 });
                 match receiver.recv_timeout(HANDSHAKE_TIMEOUT) {
-                    Ok((Ok(()), reader)) => Ok(Connection {
+                    Ok((Ok((version, capacity)), reader)) => Ok(Connection::new(
                         reader,
-                        writer: Box::new(stdin),
-                        child: Some(child),
-                        polls: false,
-                    }),
+                        Box::new(stdin),
+                        Some(child),
+                        false,
+                        version,
+                        capacity,
+                    )),
                     Ok((Err(error), _)) => {
                         let _ = child.kill();
                         let _ = child.wait();
@@ -156,12 +167,14 @@ impl WorkerEndpoint {
                 let writer = stream
                     .try_clone()
                     .map_err(|e| connect_error(e.to_string()))?;
-                let mut connection = Connection {
-                    reader: BufReader::new(Box::new(stream)),
-                    writer: Box::new(writer),
-                    child: None,
-                    polls: true,
-                };
+                let mut connection = Connection::new(
+                    BufReader::new(Box::new(stream)),
+                    Box::new(writer),
+                    None,
+                    true,
+                    PROTOCOL_VERSION,
+                    1,
+                );
                 connection
                     .expect_hello()
                     .map_err(|e| connect_error(e.to_string()))?;
@@ -171,13 +184,23 @@ impl WorkerEndpoint {
     }
 }
 
-/// Reads and validates a worker hello off a blocking stream.
-fn read_hello(reader: &mut BufReader<Box<dyn Read + Send>>) -> Result<(), FleetError> {
+/// Reads and validates a worker hello off a blocking stream, returning
+/// the negotiated `(version, capacity)`.  Every version in
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] is accepted; the
+/// dispatcher then restricts the conversation to what that version
+/// understands (v1 workers get fully inline payloads and no scenario
+/// messages).
+fn read_hello(reader: &mut BufReader<Box<dyn Read + Send>>) -> Result<(u32, usize), FleetError> {
     let frame = read_frame(reader)?.ok_or(FleetError::Closed)?;
     match Message::decode(&frame)? {
-        Message::Hello { version, .. } if version == PROTOCOL_VERSION => Ok(()),
+        Message::Hello { version, capacity }
+            if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+        {
+            Ok((version, capacity.max(1)))
+        }
         Message::Hello { version, .. } => Err(FleetError::Handshake(format!(
-            "worker speaks protocol v{version}, dispatcher requires v{PROTOCOL_VERSION}"
+            "worker speaks protocol v{version}, dispatcher supports \
+             v{MIN_PROTOCOL_VERSION}..=v{PROTOCOL_VERSION}"
         ))),
         other => Err(FleetError::Handshake(format!(
             "expected hello, worker sent {other:?}"
@@ -185,7 +208,11 @@ fn read_hello(reader: &mut BufReader<Box<dyn Read + Send>>) -> Result<(), FleetE
     }
 }
 
-/// What one [`Connection::call`] produced.
+/// What one [`Connection::call`] produced.  (The dispatcher pipelines
+/// via [`Connection::send_job`] / [`Connection::read_answer`]; the
+/// one-shot `call` survives for transport tests.)
+#[cfg(test)]
+#[allow(dead_code)]
 pub(crate) enum CallOutcome {
     /// The worker answered the job.
     Done(String),
@@ -196,17 +223,74 @@ pub(crate) enum CallOutcome {
     Abandoned,
 }
 
+/// One answer pulled off a pipelined connection by
+/// [`Connection::read_answer`].
+pub(crate) enum Answer {
+    /// The worker answered an outstanding job.
+    Done {
+        /// The answered job id.
+        id: u64,
+        /// The answer payload.
+        payload: String,
+    },
+    /// The worker reported a deterministic failure for an outstanding
+    /// job.
+    Failed {
+        /// The failed job id.
+        id: u64,
+        /// The worker's failure message.
+        message: String,
+    },
+    /// Every outstanding job settled elsewhere, so the caller gave the
+    /// connection up (polling transports only).
+    Abandoned,
+}
+
 /// One live, handshake-checked conversation with a worker.
 pub(crate) struct Connection {
     reader: BufReader<Box<dyn Read + Send>>,
     writer: Box<dyn Write + Send>,
     child: Option<Child>,
     /// True when the underlying stream has a read timeout, enabling the
-    /// between-frames straggler poll.
+    /// between-frames straggler poll and the ping health check.
     polls: bool,
+    /// Negotiated protocol version from the worker's hello.
+    version: u32,
+    /// Jobs the worker is willing to hold in flight (from the hello).
+    capacity: usize,
+    /// Content hashes this connection's worker is known to hold.
+    known_blobs: HashSet<String>,
+    /// When the worker last produced any frame.
+    last_heard: Instant,
+    /// When an unanswered health-check ping went out, if one did.
+    ping_sent: Option<Instant>,
+    /// Id of the next ping.
+    next_ping: u64,
 }
 
 impl Connection {
+    fn new(
+        reader: BufReader<Box<dyn Read + Send>>,
+        writer: Box<dyn Write + Send>,
+        child: Option<Child>,
+        polls: bool,
+        version: u32,
+        capacity: usize,
+    ) -> Self {
+        Self {
+            reader,
+            writer,
+            child,
+            polls,
+            version,
+            capacity,
+            known_blobs: HashSet::new(),
+            last_heard: Instant::now(),
+            ping_sent: None,
+            next_ping: 0,
+        }
+    }
+
     /// Reads and validates the worker's hello on a polling (TCP) stream,
     /// enforcing [`HANDSHAKE_TIMEOUT`] through the read-timeout poll.
     /// (Pipe connections enforce the same deadline with a helper thread
@@ -220,25 +304,166 @@ impl Connection {
                 ));
             }
         }
-        read_hello(&mut self.reader)
+        let (version, capacity) = read_hello(&mut self.reader)?;
+        self.version = version;
+        self.capacity = capacity;
+        self.note_heard();
+        Ok(())
     }
 
-    /// Sends one job and waits for its answer.  While waiting on a TCP
-    /// transport, `should_abandon` is polled between read timeouts so a
-    /// straggling call can be given up once the job has completed on
-    /// another worker.
+    /// The negotiated protocol version.
+    pub(crate) fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// How many jobs the worker advertised it will hold in flight.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records that the worker produced a frame (any frame proves the
+    /// process is alive, so an outstanding ping is considered answered).
+    fn note_heard(&mut self) {
+        self.last_heard = Instant::now();
+        self.ping_sent = None;
+    }
+
+    /// The ping state machine, driven from between read-timeout polls:
+    /// after [`PING_AFTER`] of silence a ping goes out; a ping
+    /// unanswered for [`PING_TIMEOUT`] makes the connection
+    /// [`FleetError::Unresponsive`].
+    fn ping_if_silent(&mut self) -> Result<(), FleetError> {
+        if let Some(sent) = self.ping_sent {
+            if sent.elapsed() >= PING_TIMEOUT {
+                return Err(FleetError::Unresponsive {
+                    silent_ms: self.last_heard.elapsed().as_millis() as u64,
+                });
+            }
+        } else if self.last_heard.elapsed() >= PING_AFTER {
+            let id = self.next_ping;
+            self.next_ping += 1;
+            write_frame(&mut self.writer, &Message::Ping { id }.encode())?;
+            self.ping_sent = Some(Instant::now());
+        }
+        Ok(())
+    }
+
+    /// Health-checks an idle connection with a ping/pong round trip —
+    /// how the dispatcher validates a warm connection before trusting it
+    /// with a new batch.  On a pipe transport the read blocks, which is
+    /// fine: an idle live worker pongs immediately and a dead one closes
+    /// the pipe.
     ///
     /// # Errors
     ///
-    /// Any [`FleetError`] here means the *connection* is unusable (closed
-    /// stream, malformed frame, wrong job id) — the job itself may still
-    /// succeed elsewhere.
-    pub(crate) fn call(
+    /// [`FleetError::Unresponsive`] when no pong arrives in
+    /// [`PING_TIMEOUT`]; any transport error otherwise.
+    pub(crate) fn health_check(&mut self) -> Result<(), FleetError> {
+        let id = self.next_ping;
+        self.next_ping += 1;
+        write_frame(&mut self.writer, &Message::Ping { id }.encode())?;
+        let deadline = Instant::now() + PING_TIMEOUT;
+        loop {
+            if self.polls && !wait_readable(&mut self.reader)? {
+                if Instant::now() >= deadline {
+                    return Err(FleetError::Unresponsive {
+                        silent_ms: PING_TIMEOUT.as_millis() as u64,
+                    });
+                }
+                continue;
+            }
+            let frame = read_frame(&mut self.reader)?.ok_or(FleetError::Closed)?;
+            self.note_heard();
+            match Message::decode(&frame)? {
+                Message::Pong { id: got } if got == id => return Ok(()),
+                // Stale pongs or query answers from a previous batch.
+                Message::Pong { .. } | Message::ScenarioState { .. } => continue,
+                other => {
+                    return Err(FleetError::Malformed(format!(
+                        "expected a pong, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Makes sure the worker holds `blob` under `hash` before a job
+    /// referencing it is sent.  Hashes already confirmed on this
+    /// connection are skipped outright.  With `may_query` (no answers
+    /// outstanding, so the next frame is predictable) the worker is
+    /// asked first via `scenario-have` — a TCP worker's store outlives
+    /// connections, so reconnects usually skip the re-upload; otherwise
+    /// the blob is shipped unconditionally (`scenario-put` is idempotent
+    /// and unacknowledged, safe to interleave with in-flight jobs).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; the connection must then be dropped.
+    pub(crate) fn ensure_blob(
         &mut self,
-        id: u64,
-        payload: &str,
-        should_abandon: &dyn Fn() -> bool,
-    ) -> Result<CallOutcome, FleetError> {
+        hash: &str,
+        blob: &str,
+        may_query: bool,
+    ) -> Result<(), FleetError> {
+        debug_assert!(self.version >= 2, "blob shipping requires protocol v2");
+        if self.known_blobs.contains(hash) {
+            return Ok(());
+        }
+        if may_query {
+            write_frame(
+                &mut self.writer,
+                &Message::ScenarioHave {
+                    hash: hash.to_string(),
+                }
+                .encode(),
+            )?;
+            let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+            let present = loop {
+                if self.polls && !wait_readable(&mut self.reader)? {
+                    if Instant::now() >= deadline {
+                        return Err(FleetError::Unresponsive {
+                            silent_ms: HANDSHAKE_TIMEOUT.as_millis() as u64,
+                        });
+                    }
+                    continue;
+                }
+                let frame = read_frame(&mut self.reader)?.ok_or(FleetError::Closed)?;
+                self.note_heard();
+                match Message::decode(&frame)? {
+                    Message::ScenarioState { hash: got, present } if got == hash => break present,
+                    Message::Pong { .. } => continue,
+                    other => {
+                        return Err(FleetError::Malformed(format!(
+                            "expected scenario-state for {hash}, got {other:?}"
+                        )))
+                    }
+                }
+            };
+            if present {
+                self.known_blobs.insert(hash.to_string());
+                return Ok(());
+            }
+        }
+        write_frame(
+            &mut self.writer,
+            &Message::ScenarioPut {
+                hash: hash.to_string(),
+                blob: blob.to_string(),
+            }
+            .encode(),
+        )?;
+        self.known_blobs.insert(hash.to_string());
+        Ok(())
+    }
+
+    /// Writes one job frame without waiting for its answer — the
+    /// pipelined half of a conversation; answers are pulled back with
+    /// [`Connection::read_answer`].
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; the connection must then be dropped.
+    pub(crate) fn send_job(&mut self, id: u64, payload: &str) -> Result<(), FleetError> {
         write_frame(
             &mut self.writer,
             &Message::Job {
@@ -246,27 +471,72 @@ impl Connection {
                 payload: payload.to_string(),
             }
             .encode(),
-        )?;
+        )
+    }
+
+    /// Waits for the answer to *any* outstanding job (`outstanding`
+    /// decides which ids qualify; answers may arrive out of order when
+    /// several jobs are pipelined).  Between read-timeout polls on a
+    /// polling transport, `should_abandon` lets the caller give up a
+    /// connection whose outstanding jobs all settled elsewhere, and the
+    /// ping health check detects a wedged worker instead of waiting
+    /// forever.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FleetError`] here means the *connection* is unusable
+    /// (closed stream, malformed frame, unexpected job id, unresponsive
+    /// worker) — its jobs may still succeed elsewhere.
+    pub(crate) fn read_answer(
+        &mut self,
+        outstanding: &dyn Fn(u64) -> bool,
+        should_abandon: &dyn Fn() -> bool,
+    ) -> Result<Answer, FleetError> {
         loop {
             if self.polls && !wait_readable(&mut self.reader)? {
                 if should_abandon() {
-                    return Ok(CallOutcome::Abandoned);
+                    return Ok(Answer::Abandoned);
                 }
+                self.ping_if_silent()?;
                 continue;
             }
             let frame = read_frame(&mut self.reader)?.ok_or(FleetError::Closed)?;
+            self.note_heard();
             return match Message::decode(&frame)? {
-                Message::Done { id: got, payload } if got == id => Ok(CallOutcome::Done(payload)),
-                Message::Failed { id: got, message } if got == id => {
-                    Ok(CallOutcome::Failed(message))
+                Message::Done { id, payload } if outstanding(id) => {
+                    Ok(Answer::Done { id, payload })
                 }
-                // A pong from an earlier health check may still be in
-                // flight; skip it and keep waiting for the answer.
-                Message::Pong { .. } => continue,
+                Message::Failed { id, message } if outstanding(id) => {
+                    Ok(Answer::Failed { id, message })
+                }
+                // Pongs (health checks) and stale query answers carry no
+                // job result; keep waiting.
+                Message::Pong { .. } | Message::ScenarioState { .. } => continue,
                 other => Err(FleetError::Malformed(format!(
-                    "expected the answer to job {id}, got {other:?}"
+                    "expected an answer to an outstanding job, got {other:?}"
                 ))),
             };
+        }
+    }
+
+    /// Sends one job and waits for its answer — the unpipelined
+    /// conversation, kept for single-call users and tests.
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::read_answer`].
+    #[cfg(test)]
+    pub(crate) fn call(
+        &mut self,
+        id: u64,
+        payload: &str,
+        should_abandon: &dyn Fn() -> bool,
+    ) -> Result<CallOutcome, FleetError> {
+        self.send_job(id, payload)?;
+        match self.read_answer(&|got| got == id, should_abandon)? {
+            Answer::Done { payload, .. } => Ok(CallOutcome::Done(payload)),
+            Answer::Failed { message, .. } => Ok(CallOutcome::Failed(message)),
+            Answer::Abandoned => Ok(CallOutcome::Abandoned),
         }
     }
 }

@@ -1,0 +1,171 @@
+//! Content addressing: a self-contained SHA-256 and the canonical hex
+//! digest used everywhere a payload is referenced by hash.
+//!
+//! Three layers share this single definition, so a hash computed by any
+//! of them is meaningful to all of them:
+//!
+//! * the wire protocol's `scenario-put` / `scenario-have` messages ship
+//!   and query worker-side blobs by this digest;
+//! * the `crp-serve` result cache keys every job and sweep cell by the
+//!   digest of its canonical (fully inline) wire encoding;
+//! * dispatchers decide what a connection already knows by the same
+//!   digest.
+//!
+//! The workspace is offline and vendors no crypto crates, so the
+//! compression function is implemented here directly from FIPS 180-4.
+//! Collision resistance is what makes content addressing sound — a
+//! cheap mixing hash would let two distinct shard specs share a cache
+//! entry and silently corrupt merged statistics.
+
+/// First 32 bits of the fractional parts of the square roots of the
+/// first 8 primes (FIPS 180-4 §5.3.3).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// First 32 bits of the fractional parts of the cube roots of the first
+/// 64 primes (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Processes one padded 64-byte block into the running state.
+fn compress(state: &mut [u32; 8], block: &[u8]) {
+    debug_assert_eq!(block.len(), 64);
+    let mut w = [0u32; 64];
+    for (t, chunk) in block.chunks_exact(4).enumerate() {
+        w[t] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for t in 16..64 {
+        let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+        let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+        w[t] = w[t - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[t - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for t in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[t])
+            .wrapping_add(w[t]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    for (slot, value) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+        *slot = slot.wrapping_add(value);
+    }
+}
+
+/// The raw SHA-256 digest of `bytes`.
+pub fn sha256(bytes: &[u8]) -> [u8; 32] {
+    let mut state = H0;
+    let mut blocks = bytes.chunks_exact(64);
+    for block in &mut blocks {
+        compress(&mut state, block);
+    }
+    // Padding: the leftover bytes, a 0x80 byte, zeros, and the bit
+    // length as a big-endian u64 closing the final block.
+    let remainder = blocks.remainder();
+    let mut tail = [0u8; 128];
+    tail[..remainder.len()].copy_from_slice(remainder);
+    tail[remainder.len()] = 0x80;
+    let tail_len = if remainder.len() < 56 { 64 } else { 128 };
+    let bit_len = (bytes.len() as u64).wrapping_mul(8);
+    tail[tail_len - 8..tail_len].copy_from_slice(&bit_len.to_be_bytes());
+    for block in tail[..tail_len].chunks_exact(64) {
+        compress(&mut state, block);
+    }
+    let mut digest = [0u8; 32];
+    for (chunk, word) in digest.chunks_exact_mut(4).zip(state) {
+        chunk.copy_from_slice(&word.to_be_bytes());
+    }
+    digest
+}
+
+/// The canonical content address of a payload: the lowercase-hex SHA-256
+/// digest.  64 ASCII characters, safe to embed in message head lines.
+pub fn content_hash(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(64);
+    for byte in sha256(bytes) {
+        out.push_str(&format!("{byte:02x}"));
+    }
+    out
+}
+
+/// True when `token` has the shape of a [`content_hash`] output — the
+/// cheap syntactic check wire decoders apply before trusting a hash.
+pub fn is_content_hash(token: &str) -> bool {
+    token.len() == 64
+        && token
+            .bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_match_the_fips_vectors() {
+        // FIPS 180-4 / NIST CAVP reference vectors.
+        assert_eq!(
+            content_hash(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            content_hash(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            content_hash(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // A million 'a's exercises the multi-block path.
+        let million = vec![b'a'; 1_000_000];
+        assert_eq!(
+            content_hash(&million),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn padding_boundaries_are_handled() {
+        // Lengths straddling the 55/56/63/64-byte padding boundaries all
+        // digest without panicking and produce distinct hashes.
+        let mut seen = std::collections::HashSet::new();
+        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 127, 128, 129] {
+            let bytes = vec![0x5Au8; len];
+            assert!(seen.insert(content_hash(&bytes)), "collision at len {len}");
+        }
+    }
+
+    #[test]
+    fn hash_shape_check_accepts_digests_and_rejects_noise() {
+        assert!(is_content_hash(&content_hash(b"x")));
+        assert!(!is_content_hash(""));
+        assert!(!is_content_hash("abc"));
+        assert!(!is_content_hash(&"A".repeat(64)));
+        assert!(!is_content_hash(&"g".repeat(64)));
+    }
+}

@@ -15,27 +15,39 @@
 //! * [`frame`] — length-prefixed framing over any byte stream (a header
 //!   line carrying the payload size, then exactly that many bytes), with
 //!   truncation and oversize rejection.
+//! * [`hash`] — content addressing: a self-contained SHA-256 and the
+//!   canonical hex digest shared by the blob protocol, the dispatcher,
+//!   and the `crp-serve` result cache.
 //! * [`protocol`] — the messages inside frames: a versioned
-//!   [`protocol::Message::Hello`] handshake, `job` / `done` / `failed`
-//!   requests and answers keyed by job id, and a `ping` / `pong` health
-//!   check.
+//!   [`protocol::Message::Hello`] handshake (v1 peers are negotiated
+//!   down to, v2 adds the blob messages), `job` / `done` / `failed`
+//!   requests and answers keyed by job id, a `ping` / `pong` health
+//!   check, and the content-addressed `scenario-put` / `scenario-have` /
+//!   `scenario-state` blob shipping.
 //! * [`worker`] — the long-lived worker loop: [`worker::serve`] answers a
 //!   stream of jobs over any `(Read, Write)` pair — N jobs per process
-//!   instead of one — with [`worker::ServeOptions`] carrying the
-//!   fault-injection knobs the failure tests use.  [`worker::serve_stdio`]
-//!   binds it to a subprocess's stdio; [`tcp::TcpWorker`] binds it to a
-//!   listening socket, one connection per dispatcher.
+//!   instead of one, executed concurrently so pings are answered even
+//!   mid-job — with a [`worker::ScenarioStore`] of received blobs and
+//!   [`worker::ServeOptions`] carrying the capacity/version knobs and
+//!   the fault injection the failure tests use.
+//!   [`worker::serve_stdio`] binds it to a subprocess's stdio;
+//!   [`tcp::TcpWorker`] binds it to a listening socket with one
+//!   process-wide blob store shared across connections.
 //! * [`endpoint`] — [`endpoint::WorkerEndpoint`]: where a worker lives
 //!   (a local subprocess to spawn, or a `host:port` to dial) and the
 //!   handshake-checked [connection](endpoint::WorkerEndpoint::describe)
-//!   lifecycle, plus the [`endpoint::FleetManifest`] (`local:4,host:9000`)
-//!   the `CRP_FLEET` environment variable and `--fleet` flag carry.
-//! * [`dispatch`] — [`dispatch::Dispatcher`]: schedules a batch of jobs
-//!   over a pool of endpoints with work-stealing semantics (idle workers
-//!   claim the next unassigned job), **re-dispatches the outstanding jobs
-//!   of dead or straggling workers**, and deduplicates completions by job
-//!   id, so duplicated answers are dropped and results always come back
-//!   in job order.
+//!   lifecycle — version/capacity negotiation, pipelined send/read,
+//!   ping-based unresponsiveness detection — plus the
+//!   [`endpoint::FleetManifest`] (`local:4,host:9000`) the `CRP_FLEET`
+//!   environment variable and `--fleet` flag carry.
+//! * [`dispatch`] — [`dispatch::Dispatcher`]: schedules a batch of
+//!   [`dispatch::JobPayload`]s over a pool of endpoints with
+//!   work-stealing semantics (idle workers claim the next unassigned
+//!   job), keeps up to the advertised hello capacity in flight per
+//!   connection, ships [`dispatch::BlobSet`] blobs once per v2 worker,
+//!   **re-dispatches the outstanding jobs of dead, wedged or straggling
+//!   workers**, deduplicates completions by job id, and keeps
+//!   connections (and their spawned workers) warm across batches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +55,7 @@
 pub mod dispatch;
 pub mod endpoint;
 pub mod frame;
+pub mod hash;
 pub mod protocol;
 pub mod tcp;
 pub mod worker;
@@ -50,12 +63,16 @@ pub mod worker;
 use std::error::Error;
 use std::fmt;
 
-pub use dispatch::Dispatcher;
+pub use dispatch::{BlobSet, Dispatcher, JobPayload};
 pub use endpoint::{FleetEntry, FleetManifest, WorkerEndpoint};
 pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
-pub use protocol::{Message, PROTOCOL_VERSION};
+pub use hash::{content_hash, is_content_hash};
+pub use protocol::{Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 pub use tcp::TcpWorker;
-pub use worker::{serve, serve_stdio, JobHandler, ServeOptions};
+pub use worker::{
+    serve, serve_stdio, serve_stdio_with_store, serve_with_store, JobHandler, ScenarioStore,
+    ServeOptions,
+};
 
 /// Errors produced by the fleet transport and dispatcher.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +92,13 @@ pub enum FleetError {
         entry: String,
         /// Why it was rejected.
         reason: String,
+    },
+    /// A polling connection went silent: no answer, and a health-check
+    /// ping got no pong within its deadline.  The worker is presumed
+    /// wedged and its in-flight jobs are re-dispatched.
+    Unresponsive {
+        /// Milliseconds of silence before the worker was given up on.
+        silent_ms: u64,
     },
     /// A worker endpoint could not be reached (spawn or dial failure).
     Connect {
@@ -112,6 +136,10 @@ impl fmt::Display for FleetError {
             FleetError::Manifest { entry, reason } => {
                 write!(f, "invalid fleet manifest entry {entry:?}: {reason}")
             }
+            FleetError::Unresponsive { silent_ms } => write!(
+                f,
+                "fleet worker unresponsive: no frame or pong for {silent_ms}ms"
+            ),
             FleetError::Connect { endpoint, reason } => {
                 write!(f, "cannot reach fleet worker {endpoint}: {reason}")
             }

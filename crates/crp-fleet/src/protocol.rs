@@ -8,20 +8,39 @@
 //! The conversation on one connection:
 //!
 //! ```text
-//! worker     -> dispatcher   hello v1 capacity 1        (handshake)
-//! dispatcher -> worker       job 17\n<payload>
+//! worker     -> dispatcher   hello v2 capacity 4        (handshake)
+//! dispatcher -> worker       scenario-have ab12..       (v2: blob query)
+//! worker     -> dispatcher   scenario-state ab12.. no
+//! dispatcher -> worker       scenario-put ab12..\n<blob> (v2: ship once)
+//! dispatcher -> worker       job 17\n<payload>          (payload may reference ab12..)
+//! dispatcher -> worker       job 18\n<payload>          (pipelined up to the capacity)
 //! worker     -> dispatcher   done 17\n<payload>         (or: failed 17\n<message>)
 //! dispatcher -> worker       ping 99
-//! worker     -> dispatcher   pong 99                    (health check)
+//! worker     -> dispatcher   pong 99                    (health check, answered mid-job)
+//! worker     -> dispatcher   done 18\n<payload>
 //! dispatcher -> worker       shutdown                   (or just closes the stream)
 //! ```
+//!
+//! Protocol v2 adds the `scenario-put` / `scenario-have` /
+//! `scenario-state` blob messages (content-addressed payload shipping:
+//! a scenario's masses travel once per worker and later jobs reference
+//! them by hash).  A v1 worker never receives them — the dispatcher
+//! negotiates the version from the hello and falls back to fully inline
+//! job payloads — so old workers keep interoperating unchanged.
 
+use crate::hash::is_content_hash;
 use crate::FleetError;
 
 /// Version of the fleet wire protocol; sent in the [`Message::Hello`]
-/// handshake and checked by the dispatcher, so a stale worker binary is
-/// rejected with a typed error instead of misparsing frames.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// handshake.  The dispatcher accepts every version in
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and restricts the
+/// conversation to what the worker's version understands; anything
+/// outside the range is rejected with a typed error instead of
+/// misparsing frames.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest worker protocol version the dispatcher still speaks.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// One fleet protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +85,29 @@ pub enum Message {
         /// Echo of the ping id.
         id: u64,
     },
+    /// Dispatcher → worker (v2): store this content-addressed blob so
+    /// later job payloads can reference it by hash.  Fire-and-forget —
+    /// the worker verifies the hash and answers nothing.
+    ScenarioPut {
+        /// The blob's [`crate::hash::content_hash`].
+        hash: String,
+        /// The opaque blob bytes (UTF-8 text in practice).
+        blob: String,
+    },
+    /// Dispatcher → worker (v2): does the worker already hold this blob?
+    /// (A TCP worker's store outlives connections, so a reconnecting
+    /// dispatcher asks before re-shipping.)
+    ScenarioHave {
+        /// The queried content hash.
+        hash: String,
+    },
+    /// Worker → dispatcher (v2): the answer to [`Message::ScenarioHave`].
+    ScenarioState {
+        /// Echo of the queried hash.
+        hash: String,
+        /// True when the worker holds the blob.
+        present: bool,
+    },
     /// Dispatcher → worker: finish up and close the connection.
     Shutdown,
 }
@@ -82,6 +124,14 @@ impl Message {
             Message::Failed { id, message } => format!("failed {id}\n{message}"),
             Message::Ping { id } => format!("ping {id}"),
             Message::Pong { id } => format!("pong {id}"),
+            Message::ScenarioPut { hash, blob } => format!("scenario-put {hash}\n{blob}"),
+            Message::ScenarioHave { hash } => format!("scenario-have {hash}"),
+            Message::ScenarioState { hash, present } => {
+                format!(
+                    "scenario-state {hash} {}",
+                    if *present { "yes" } else { "no" }
+                )
+            }
             Message::Shutdown => "shutdown".to_string(),
         }
         .into_bytes()
@@ -147,10 +197,47 @@ impl Message {
             }),
             "ping" => Ok(Message::Ping { id: id("ping")? }),
             "pong" => Ok(Message::Pong { id: id("pong")? }),
+            "scenario-put" => Ok(Message::ScenarioPut {
+                hash: hash_token(&mut tokens, "scenario-put")?,
+                blob: body.to_string(),
+            }),
+            "scenario-have" => Ok(Message::ScenarioHave {
+                hash: hash_token(&mut tokens, "scenario-have")?,
+            }),
+            "scenario-state" => {
+                let hash = hash_token(&mut tokens, "scenario-state")?;
+                let present = match tokens.next() {
+                    Some("yes") => true,
+                    Some("no") => false,
+                    other => {
+                        return Err(FleetError::Malformed(format!(
+                            "bad scenario-state flag {other:?}"
+                        )))
+                    }
+                };
+                Ok(Message::ScenarioState { hash, present })
+            }
             "shutdown" => Ok(Message::Shutdown),
             other => Err(FleetError::Malformed(format!("unknown message {other:?}"))),
         }
     }
+}
+
+/// Pulls a content-hash token off a head line, rejecting anything that
+/// is not a canonical digest.
+fn hash_token(
+    tokens: &mut std::str::SplitAsciiWhitespace<'_>,
+    label: &str,
+) -> Result<String, FleetError> {
+    let token = tokens
+        .next()
+        .ok_or_else(|| FleetError::Malformed(format!("{label} is missing its hash")))?;
+    if !is_content_hash(token) {
+        return Err(FleetError::Malformed(format!(
+            "{label} hash {token:?} is not a canonical content hash"
+        )));
+    }
+    Ok(token.to_string())
 }
 
 #[cfg(test)]
@@ -178,6 +265,21 @@ mod tests {
             },
             Message::Ping { id: 1 },
             Message::Pong { id: 1 },
+            Message::ScenarioPut {
+                hash: crate::hash::content_hash(b"masses"),
+                blob: "sampled 3fe0\nwith a second line".to_string(),
+            },
+            Message::ScenarioHave {
+                hash: crate::hash::content_hash(b"masses"),
+            },
+            Message::ScenarioState {
+                hash: crate::hash::content_hash(b"masses"),
+                present: true,
+            },
+            Message::ScenarioState {
+                hash: crate::hash::content_hash(b"other"),
+                present: false,
+            },
             Message::Shutdown,
         ];
         for message in messages {
@@ -210,6 +312,10 @@ mod tests {
             b"hello v1 cap 2",
             b"hello v1 capacity x",
             b"warp 9",
+            b"scenario-put",
+            b"scenario-put nothash\nblob",
+            b"scenario-have short",
+            b"scenario-state 0000000000000000000000000000000000000000000000000000000000000000 maybe",
             &[0xFF, 0xFE],
         ] {
             assert!(

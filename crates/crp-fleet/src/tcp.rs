@@ -8,7 +8,7 @@
 
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 
-use crate::worker::{serve, JobHandler, ServeOptions};
+use crate::worker::{serve_with_store, JobHandler, ScenarioStore, ServeOptions};
 use crate::FleetError;
 
 /// A bound TCP worker: accepts dispatcher connections and serves each on
@@ -43,11 +43,19 @@ impl TcpWorker {
         Ok(self.listener.local_addr()?)
     }
 
-    /// Accepts and serves connections until the process is killed.
-    /// Per-connection errors are reported on stderr and do not stop the
-    /// accept loop — one misbehaving dispatcher must not take the worker
-    /// down for everyone else.
-    pub fn serve_forever(&self, handler: JobHandler<'_>, options: &ServeOptions) -> ! {
+    /// Accepts and serves connections until the process is killed, with
+    /// one process-wide [`ScenarioStore`] shared by every connection —
+    /// a blob shipped by one dispatcher run is still present when the
+    /// next run reconnects and asks via `scenario-have`.  Per-connection
+    /// errors are reported on stderr and do not stop the accept loop —
+    /// one misbehaving dispatcher must not take the worker down for
+    /// everyone else.
+    pub fn serve_forever_with_store(
+        &self,
+        handler: JobHandler<'_>,
+        options: &ServeOptions,
+        store: &ScenarioStore,
+    ) -> ! {
         std::thread::scope(|scope| loop {
             match self.listener.accept() {
                 Ok((stream, peer)) => {
@@ -57,7 +65,7 @@ impl TcpWorker {
                             stream.try_clone().expect("accepted sockets clone"),
                         );
                         let mut writer = stream;
-                        match serve(&mut reader, &mut writer, handler, options) {
+                        match serve_with_store(&mut reader, &mut writer, handler, options, store) {
                             Ok(served) => {
                                 eprintln!("fleet worker: {peer} disconnected after {served} jobs");
                             }
@@ -68,6 +76,13 @@ impl TcpWorker {
                 Err(err) => eprintln!("fleet worker: accept failed: {err}"),
             }
         })
+    }
+
+    /// [`TcpWorker::serve_forever_with_store`] with a fresh process-wide
+    /// store.
+    pub fn serve_forever(&self, handler: JobHandler<'_>, options: &ServeOptions) -> ! {
+        let store = ScenarioStore::new();
+        self.serve_forever_with_store(handler, options, &store)
     }
 }
 

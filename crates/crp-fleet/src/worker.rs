@@ -8,10 +8,28 @@
 //! binds it to the process's stdio (the local-pool transport), and
 //! [`crate::TcpWorker`] binds it to an accepted socket (the remote
 //! transport).
+//!
+//! Two protocol-v2 behaviours live here:
+//!
+//! * **Concurrent answering** — the read loop never blocks on a job:
+//!   each job executes on its own scoped thread and its answer is
+//!   written under a lock whenever it finishes.  Pings are therefore
+//!   answered immediately even mid-job (the dispatcher's health checks
+//!   stay meaningful), and a dispatcher that pipelines several jobs up
+//!   to the advertised hello capacity genuinely gets them executed in
+//!   parallel.
+//! * **Scenario blobs** — `scenario-put` stores a content-addressed
+//!   blob (hash-verified) in the connection's [`ScenarioStore`];
+//!   `scenario-have` answers whether a blob is already present.  Job
+//!   handlers resolve payload references out of the same store, so a
+//!   scenario's masses ship once per worker instead of once per shard.
 
+use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::sync::Mutex;
 
 use crate::frame::{read_frame, write_frame};
+use crate::hash::content_hash;
 use crate::protocol::{Message, PROTOCOL_VERSION};
 use crate::FleetError;
 
@@ -19,10 +37,62 @@ use crate::FleetError;
 /// failure message) out.
 pub type JobHandler<'a> = &'a (dyn Fn(&str) -> Result<String, String> + Sync);
 
-/// Options of one serve loop, including the fault-injection knobs the
-/// dispatcher's failure tests (and CI smoke jobs) drive via the
-/// environment.
-#[derive(Debug, Clone, Copy, Default)]
+/// A worker-side store of content-addressed blobs, fed by
+/// `scenario-put` messages and read by job handlers resolving payload
+/// references.  For TCP workers one store outlives all connections, so
+/// a blob shipped by one dispatcher run is still there when the next
+/// run reconnects (`scenario-have` lets the dispatcher discover that).
+#[derive(Debug, Default)]
+pub struct ScenarioStore {
+    blobs: Mutex<HashMap<String, String>>,
+}
+
+impl ScenarioStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The blob stored under `hash`, if any.
+    pub fn get(&self, hash: &str) -> Option<String> {
+        self.blobs
+            .lock()
+            .expect("no store panics")
+            .get(hash)
+            .cloned()
+    }
+
+    /// True when `hash` is present.
+    pub fn contains(&self, hash: &str) -> bool {
+        self.blobs
+            .lock()
+            .expect("no store panics")
+            .contains_key(hash)
+    }
+
+    /// Stores `blob` under `hash` (idempotent).
+    pub fn insert(&self, hash: String, blob: String) {
+        self.blobs
+            .lock()
+            .expect("no store panics")
+            .insert(hash, blob);
+    }
+
+    /// Number of stored blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.lock().expect("no store panics").len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Options of one serve loop: the advertised capacity, the protocol
+/// version to speak, and the fault-injection knobs the dispatcher's
+/// failure tests (and CI smoke jobs) drive via the environment.
+#[derive(Debug, Clone, Copy)]
 pub struct ServeOptions {
     /// Kill the whole process (exit code 17) when the N-th job *arrives*,
     /// after writing a deliberately truncated frame — a worker dying
@@ -36,102 +106,231 @@ pub struct ServeOptions {
     /// whose body is nonsense — a worker whose answers frame correctly
     /// but fail payload validation, from `CRP_FLEET_MANGLE_AFTER`.
     pub mangle_after: Option<usize>,
+    /// Stop reading and answering entirely when the N-th job arrives — a
+    /// wedged worker that holds its connection open but goes silent, the
+    /// failure mode the dispatcher's ping health check exists to catch.
+    /// From `CRP_FLEET_WEDGE_AFTER`.
+    pub wedge_after: Option<usize>,
+    /// How many jobs the dispatcher may keep in flight on one connection
+    /// (advertised in the hello, clamped to at least 1).  From
+    /// `CRP_FLEET_CAPACITY`.
+    pub capacity: usize,
+    /// Speak protocol v1: advertise `hello v1` and reject the v2
+    /// scenario messages, exactly like a worker binary from before the
+    /// blob protocol existed.  From `CRP_FLEET_SPEAK_V1` — this is how
+    /// the version-negotiation tests put a genuine v1 peer in a pool.
+    pub legacy_v1: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            die_after: None,
+            garbage_after: None,
+            mangle_after: None,
+            wedge_after: None,
+            capacity: 1,
+            legacy_v1: false,
+        }
+    }
 }
 
 impl ServeOptions {
-    /// Reads the fault-injection knobs from `CRP_FLEET_DIE_AFTER`,
-    /// `CRP_FLEET_GARBAGE_AFTER` and `CRP_FLEET_MANGLE_AFTER` (unset or
-    /// unparsable values disable the corresponding fault).
+    /// Reads the knobs from `CRP_FLEET_DIE_AFTER`,
+    /// `CRP_FLEET_GARBAGE_AFTER`, `CRP_FLEET_MANGLE_AFTER`,
+    /// `CRP_FLEET_WEDGE_AFTER`, `CRP_FLEET_CAPACITY` and
+    /// `CRP_FLEET_SPEAK_V1` (unset or unparsable values keep the
+    /// defaults).
     pub fn from_env() -> Self {
         let knob = |name: &str| std::env::var(name).ok().and_then(|v| v.trim().parse().ok());
         Self {
             die_after: knob("CRP_FLEET_DIE_AFTER"),
             garbage_after: knob("CRP_FLEET_GARBAGE_AFTER"),
             mangle_after: knob("CRP_FLEET_MANGLE_AFTER"),
+            wedge_after: knob("CRP_FLEET_WEDGE_AFTER"),
+            capacity: knob("CRP_FLEET_CAPACITY").unwrap_or(1usize).max(1),
+            legacy_v1: matches!(
+                std::env::var("CRP_FLEET_SPEAK_V1").as_deref(),
+                Ok("1") | Ok("true") | Ok("yes")
+            ),
+        }
+    }
+
+    /// The protocol version this serve loop speaks.
+    fn version(&self) -> u32 {
+        if self.legacy_v1 {
+            1
+        } else {
+            PROTOCOL_VERSION
         }
     }
 }
 
-/// Serves one connection: sends the hello handshake, then answers jobs
-/// (and pings) until the peer shuts the stream down.  Returns the number
-/// of jobs answered.
+/// Serves one connection with a caller-owned blob store: sends the hello
+/// handshake, then answers jobs (and pings, and scenario messages) until
+/// the peer shuts the stream down.  Returns the number of jobs accepted.
+///
+/// Jobs execute on scoped threads so the read loop keeps draining pings
+/// and pipelined jobs while earlier jobs compute; answers may therefore
+/// leave in completion order, not arrival order (the dispatcher matches
+/// them by id).
 ///
 /// # Errors
 ///
 /// [`FleetError`] for transport failures and malformed or unexpected
-/// incoming messages.
-pub fn serve(
+/// incoming messages (including a `scenario-put` whose blob does not
+/// hash to its claimed address).
+pub fn serve_with_store(
     reader: &mut impl BufRead,
-    writer: &mut impl Write,
+    writer: &mut (impl Write + Send),
     handler: JobHandler<'_>,
     options: &ServeOptions,
+    store: &ScenarioStore,
 ) -> Result<usize, FleetError> {
     write_frame(
         writer,
         &Message::Hello {
-            version: PROTOCOL_VERSION,
-            capacity: 1,
+            version: options.version(),
+            capacity: options.capacity.max(1),
         }
         .encode(),
     )?;
+    let writer: Mutex<&mut (dyn Write + Send)> = Mutex::new(writer);
+    /// Writes one message under the writer lock.
+    fn send(writer: &Mutex<&mut (dyn Write + Send)>, message: &Message) -> Result<(), FleetError> {
+        let mut guard = writer.lock().expect("no serve panics");
+        write_frame(&mut *guard, &message.encode())
+    }
+    // The first write failure a job thread hits; surfaced from the main
+    // loop because scoped threads cannot return early out of it.
+    let write_error: Mutex<Option<FleetError>> = Mutex::new(None);
     let mut served = 0usize;
-    loop {
-        let Some(payload) = read_frame(reader)? else {
-            return Ok(served);
-        };
-        match Message::decode(&payload)? {
-            Message::Job { id, payload } => {
-                if options.die_after == Some(served) {
-                    // Die mid-answer: a frame header promising more bytes
-                    // than ever arrive, then a hard exit.  The dispatcher
-                    // must treat this worker as dead and re-dispatch.
-                    let _ = writer.write_all(b"frame 4096\ntruncat");
-                    let _ = writer.flush();
-                    std::process::exit(17);
-                }
-                if matches!(options.garbage_after, Some(n) if served >= n) {
-                    writer.write_all(b"!!fleet-garbage!!\n")?;
-                    writer.flush()?;
-                    served += 1;
-                    continue;
-                }
-                if matches!(options.mangle_after, Some(n) if served >= n) {
-                    let mangled = Message::Done {
-                        id,
-                        payload: "!!mangled-answer!!".to_string(),
-                    };
-                    write_frame(writer, &mangled.encode())?;
-                    served += 1;
-                    continue;
-                }
-                let answer = match handler(&payload) {
-                    Ok(payload) => Message::Done { id, payload },
-                    Err(message) => Message::Failed { id, message },
-                };
-                write_frame(writer, &answer.encode())?;
-                served += 1;
+    std::thread::scope(|scope| {
+        loop {
+            if let Some(error) = write_error.lock().expect("no serve panics").take() {
+                return Err(error);
             }
-            Message::Ping { id } => write_frame(writer, &Message::Pong { id }.encode())?,
-            Message::Shutdown => return Ok(served),
-            other => {
-                return Err(FleetError::Malformed(format!(
-                    "worker received an unexpected {other:?}"
-                )))
+            let Some(payload) = read_frame(reader)? else {
+                return Ok(served);
+            };
+            match Message::decode(&payload)? {
+                Message::Job { id, payload } => {
+                    if options.die_after == Some(served) {
+                        // Die mid-answer: a frame header promising more bytes
+                        // than ever arrive, then a hard exit.  The dispatcher
+                        // must treat this worker as dead and re-dispatch.
+                        let mut writer = writer.lock().expect("no serve panics");
+                        let _ = writer.write_all(b"frame 4096\ntruncat");
+                        let _ = writer.flush();
+                        std::process::exit(17);
+                    }
+                    if options.wedge_after == Some(served) {
+                        // Go silent without closing anything: the socket
+                        // stays open, nothing is read or written again.
+                        loop {
+                            std::thread::sleep(std::time::Duration::from_secs(3600));
+                        }
+                    }
+                    if matches!(options.garbage_after, Some(n) if served >= n) {
+                        let mut guard = writer.lock().expect("no serve panics");
+                        guard.write_all(b"!!fleet-garbage!!\n")?;
+                        guard.flush()?;
+                        served += 1;
+                        continue;
+                    }
+                    if matches!(options.mangle_after, Some(n) if served >= n) {
+                        send(
+                            &writer,
+                            &Message::Done {
+                                id,
+                                payload: "!!mangled-answer!!".to_string(),
+                            },
+                        )?;
+                        served += 1;
+                        continue;
+                    }
+                    served += 1;
+                    let writer = &writer;
+                    let write_error = &write_error;
+                    scope.spawn(move || {
+                        let answer = match handler(&payload) {
+                            Ok(payload) => Message::Done { id, payload },
+                            Err(message) => Message::Failed { id, message },
+                        };
+                        if let Err(error) = send(writer, &answer) {
+                            write_error
+                                .lock()
+                                .expect("no serve panics")
+                                .get_or_insert(error);
+                        }
+                    });
+                }
+                Message::Ping { id } => send(&writer, &Message::Pong { id })?,
+                Message::ScenarioPut { hash, blob } if !options.legacy_v1 => {
+                    let actual = content_hash(blob.as_bytes());
+                    if actual != hash {
+                        return Err(FleetError::Malformed(format!(
+                            "scenario-put blob hashes to {actual}, not its claimed {hash}"
+                        )));
+                    }
+                    store.insert(hash, blob);
+                }
+                Message::ScenarioHave { hash } if !options.legacy_v1 => {
+                    let present = store.contains(&hash);
+                    send(&writer, &Message::ScenarioState { hash, present })?;
+                }
+                Message::Shutdown => return Ok(served),
+                other => {
+                    return Err(FleetError::Malformed(format!(
+                        "worker received an unexpected {other:?}"
+                    )))
+                }
             }
         }
-    }
+    })
 }
 
-/// Serves the process's stdin/stdout — the transport of a
-/// dispatcher-spawned local pool worker.
+/// Serves one connection with a fresh, connection-scoped blob store.
+/// See [`serve_with_store`].
 ///
 /// # Errors
 ///
-/// As [`serve`].
-pub fn serve_stdio(handler: JobHandler<'_>, options: &ServeOptions) -> Result<usize, FleetError> {
+/// As [`serve_with_store`].
+pub fn serve(
+    reader: &mut impl BufRead,
+    writer: &mut (impl Write + Send),
+    handler: JobHandler<'_>,
+    options: &ServeOptions,
+) -> Result<usize, FleetError> {
+    serve_with_store(reader, writer, handler, options, &ScenarioStore::new())
+}
+
+/// Serves the process's stdin/stdout — the transport of a
+/// dispatcher-spawned local pool worker — with a caller-owned store (so
+/// the handler can resolve blob references out of it).
+///
+/// # Errors
+///
+/// As [`serve_with_store`].
+pub fn serve_stdio_with_store(
+    handler: JobHandler<'_>,
+    options: &ServeOptions,
+    store: &ScenarioStore,
+) -> Result<usize, FleetError> {
     let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    serve(&mut stdin.lock(), &mut stdout.lock(), handler, options)
+    // `Stdout` (not the non-`Send` `StdoutLock`) — every write locks
+    // internally, and the serve loop serialises writers anyway.
+    let mut stdout = std::io::stdout();
+    serve_with_store(&mut stdin.lock(), &mut stdout, handler, options, store)
+}
+
+/// Serves the process's stdin/stdout with a fresh store.
+///
+/// # Errors
+///
+/// As [`serve_with_store`].
+pub fn serve_stdio(handler: JobHandler<'_>, options: &ServeOptions) -> Result<usize, FleetError> {
+    serve_stdio_with_store(handler, options, &ScenarioStore::new())
 }
 
 #[cfg(test)]
@@ -148,27 +347,33 @@ mod tests {
 
     /// Runs a scripted conversation against the serve loop and returns
     /// the worker's decoded answers (skipping the hello).
-    fn converse(messages: &[Message]) -> (Result<usize, FleetError>, Vec<Message>) {
+    fn converse_with(
+        messages: &[Message],
+        options: &ServeOptions,
+    ) -> (Result<usize, FleetError>, Vec<Message>) {
         let mut request_bytes = Vec::new();
         for message in messages {
             write_frame(&mut request_bytes, &message.encode()).unwrap();
         }
         let mut reader = BufReader::new(request_bytes.as_slice());
         let mut response_bytes = Vec::new();
-        let served = serve(
-            &mut reader,
-            &mut response_bytes,
-            &echo,
-            &ServeOptions::default(),
-        );
+        let served = serve(&mut reader, &mut response_bytes, &echo, options);
         let mut responses = Vec::new();
         let mut response_reader = BufReader::new(response_bytes.as_slice());
         while let Some(frame) = read_frame(&mut response_reader).unwrap() {
             responses.push(Message::decode(&frame).unwrap());
         }
         let hello = responses.remove(0);
-        assert!(matches!(hello, Message::Hello { version, .. } if version == PROTOCOL_VERSION));
+        let expected_version = options.version();
+        assert!(
+            matches!(hello, Message::Hello { version, .. } if version == expected_version),
+            "unexpected hello {hello:?}"
+        );
         (served, responses)
+    }
+
+    fn converse(messages: &[Message]) -> (Result<usize, FleetError>, Vec<Message>) {
+        converse_with(messages, &ServeOptions::default())
     }
 
     #[test]
@@ -190,24 +395,27 @@ mod tests {
             Message::Shutdown,
         ]);
         assert_eq!(served.unwrap(), 3, "three jobs on one connection");
-        assert_eq!(
-            responses,
-            vec![
-                Message::Done {
-                    id: 5,
-                    payload: "echo:alpha".into()
-                },
-                Message::Pong { id: 42 },
-                Message::Done {
-                    id: 6,
-                    payload: "echo:beta\nwith body".into()
-                },
-                Message::Failed {
-                    id: 7,
-                    message: "bad spec".into()
-                },
-            ]
-        );
+        // Jobs execute concurrently, so answers may interleave; compare
+        // as sets keyed by id.
+        let expect = vec![
+            Message::Done {
+                id: 5,
+                payload: "echo:alpha".into(),
+            },
+            Message::Pong { id: 42 },
+            Message::Done {
+                id: 6,
+                payload: "echo:beta\nwith body".into(),
+            },
+            Message::Failed {
+                id: 7,
+                message: "bad spec".into(),
+            },
+        ];
+        assert_eq!(responses.len(), expect.len());
+        for message in expect {
+            assert!(responses.contains(&message), "missing {message:?}");
+        }
     }
 
     #[test]
@@ -224,6 +432,110 @@ mod tests {
     fn worker_rejects_messages_only_a_dispatcher_may_send() {
         let (served, _) = converse(&[Message::Pong { id: 9 }]);
         assert!(matches!(served, Err(FleetError::Malformed(_))));
+    }
+
+    #[test]
+    fn scenario_blobs_are_stored_queried_and_hash_verified() {
+        let blob = "sampled 3fe0000000000000".to_string();
+        let hash = content_hash(blob.as_bytes());
+        let (served, responses) = converse(&[
+            Message::ScenarioHave { hash: hash.clone() },
+            Message::ScenarioPut {
+                hash: hash.clone(),
+                blob: blob.clone(),
+            },
+            Message::ScenarioHave { hash: hash.clone() },
+            Message::Shutdown,
+        ]);
+        assert_eq!(served.unwrap(), 0, "blob traffic is not a job");
+        assert_eq!(
+            responses,
+            vec![
+                Message::ScenarioState {
+                    hash: hash.clone(),
+                    present: false,
+                },
+                Message::ScenarioState {
+                    hash: hash.clone(),
+                    present: true,
+                },
+            ]
+        );
+
+        // A blob whose bytes do not hash to the claimed address is a
+        // protocol violation, not a silent cache poisoning.
+        let (served, _) = converse(&[Message::ScenarioPut {
+            hash: content_hash(b"something else"),
+            blob,
+        }]);
+        assert!(matches!(served, Err(FleetError::Malformed(_))));
+    }
+
+    #[test]
+    fn a_legacy_v1_worker_rejects_scenario_messages() {
+        let options = ServeOptions {
+            legacy_v1: true,
+            ..Default::default()
+        };
+        let blob = "blob".to_string();
+        let (served, _) = converse_with(
+            &[Message::ScenarioPut {
+                hash: content_hash(blob.as_bytes()),
+                blob,
+            }],
+            &options,
+        );
+        assert!(
+            matches!(served, Err(FleetError::Malformed(_))),
+            "a v1 worker does not understand scenario-put"
+        );
+        // But plain jobs still work, under a v1 hello.
+        let (served, responses) = converse_with(
+            &[
+                Message::Job {
+                    id: 3,
+                    payload: "old".into(),
+                },
+                Message::Shutdown,
+            ],
+            &options,
+        );
+        assert_eq!(served.unwrap(), 1);
+        assert_eq!(
+            responses,
+            vec![Message::Done {
+                id: 3,
+                payload: "echo:old".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn the_store_outlives_connections() {
+        let store = ScenarioStore::new();
+        let hash = content_hash(b"persistent");
+        let mut request = Vec::new();
+        write_frame(
+            &mut request,
+            &Message::ScenarioPut {
+                hash: hash.clone(),
+                blob: "persistent".to_string(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        write_frame(&mut request, &Message::Shutdown.encode()).unwrap();
+        let mut sink = Vec::new();
+        serve_with_store(
+            &mut BufReader::new(request.as_slice()),
+            &mut sink,
+            &echo,
+            &ServeOptions::default(),
+            &store,
+        )
+        .unwrap();
+        assert!(store.contains(&hash), "the caller-owned store keeps blobs");
+        assert_eq!(store.get(&hash).as_deref(), Some("persistent"));
     }
 
     #[test]
@@ -261,10 +573,19 @@ mod tests {
     fn serve_options_parse_the_environment() {
         std::env::set_var("CRP_FLEET_DIE_AFTER", "2");
         std::env::set_var("CRP_FLEET_GARBAGE_AFTER", "nope");
+        std::env::set_var("CRP_FLEET_CAPACITY", "4");
+        std::env::set_var("CRP_FLEET_SPEAK_V1", "1");
         let options = ServeOptions::from_env();
         assert_eq!(options.die_after, Some(2));
         assert_eq!(options.garbage_after, None);
+        assert_eq!(options.capacity, 4);
+        assert!(options.legacy_v1);
         std::env::remove_var("CRP_FLEET_DIE_AFTER");
         std::env::remove_var("CRP_FLEET_GARBAGE_AFTER");
+        std::env::remove_var("CRP_FLEET_CAPACITY");
+        std::env::remove_var("CRP_FLEET_SPEAK_V1");
+        let options = ServeOptions::from_env();
+        assert_eq!(options.capacity, 1, "capacity defaults to 1");
+        assert!(!options.legacy_v1);
     }
 }

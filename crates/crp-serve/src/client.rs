@@ -1,0 +1,111 @@
+//! The sweep-service client: connect, submit, stream progress, collect
+//! the result.
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crp_fleet::frame::{read_frame, write_frame};
+
+use crate::wire::{ServeMessage, Submission, SubmissionOutcome, SERVICE_VERSION};
+use crate::ServeError;
+
+/// One live connection to a [`crate::SweepServer`].
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl ServeClient {
+    /// Dials the daemon and checks its `serve-hello` greeting (so a
+    /// worker port, whose greeting differs, fails fast with a typed
+    /// error instead of a confusing parse failure later).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] for dial failures, [`ServeError::Malformed`]
+    /// for a peer that does not speak the service protocol.
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Debug) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(&addr)
+            .map_err(|e| ServeError::Io(format!("cannot reach sweep server {addr:?}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        let mut client = Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            next_id: 1,
+        };
+        let frame = read_frame(&mut client.reader)?.ok_or_else(|| {
+            ServeError::Io("the sweep server closed the connection before its hello".to_string())
+        })?;
+        match ServeMessage::decode(&frame)? {
+            ServeMessage::Hello { version } if version == SERVICE_VERSION => Ok(client),
+            ServeMessage::Hello { version } => Err(ServeError::Malformed(format!(
+                "server speaks service protocol v{version}, client requires v{SERVICE_VERSION}"
+            ))),
+            other => Err(ServeError::Malformed(format!(
+                "expected serve-hello, server sent {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits a sweep and blocks until its result, invoking `progress`
+    /// with `(settled_jobs, total_jobs, cache_hits)` as the server
+    /// streams updates.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, malformed frames, and
+    /// [`ServeError::Server`] when the daemon answered with an error
+    /// frame.
+    pub fn submit(
+        &mut self,
+        submission: &Submission,
+        mut progress: impl FnMut(usize, usize, usize),
+    ) -> Result<SubmissionOutcome, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.writer,
+            &ServeMessage::Submit {
+                id,
+                body: submission.encode(),
+            }
+            .encode(),
+        )?;
+        loop {
+            let frame = read_frame(&mut self.reader)?.ok_or_else(|| {
+                ServeError::Io("the sweep server closed the connection mid-submission".to_string())
+            })?;
+            match ServeMessage::decode(&frame)? {
+                ServeMessage::Progress {
+                    id: got,
+                    completed,
+                    total,
+                    hits,
+                } if got == id => progress(completed, total, hits),
+                ServeMessage::Result { id: got, body } if got == id => {
+                    return SubmissionOutcome::decode(&body)
+                }
+                ServeMessage::Error { id: got, message } if got == id => {
+                    return Err(ServeError::Server(message))
+                }
+                other => {
+                    return Err(ServeError::Malformed(format!(
+                        "expected an answer to submission {id}, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Asks the daemon to shut down (used by tests and CI teardown) and
+    /// consumes the client.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown_server(mut self) -> Result<(), ServeError> {
+        write_frame(&mut self.writer, &ServeMessage::Shutdown.encode())?;
+        Ok(())
+    }
+}

@@ -1,0 +1,160 @@
+//! The persistent sweep service: a daemon that keeps a warm fleet of
+//! workers between CLI invocations and memoises every result in a
+//! content-addressed cache.
+//!
+//! The paper's evaluation is a grid of protocol × scenario sweeps, and
+//! adversarial-scenario studies re-run those grids constantly — mostly
+//! recomputing cells that have been computed before.  This crate removes
+//! both recurring costs:
+//!
+//! * **Process lifecycle** — [`SweepServer`] owns a
+//!   [`crp_fleet::Dispatcher`] whose worker connections stay warm across
+//!   submissions, so back-to-back sweeps never re-pay process spawn,
+//!   handshake, or scenario shipping.
+//! * **Recomputation** — every job and every sweep cell is keyed by the
+//!   [`crp_fleet::content_hash`] of its canonical wire encoding, and the
+//!   [`ResultCache`] persists each answer as a bit-exact blob.  A
+//!   resubmitted (or overlapping) sweep settles its cached cells without
+//!   touching a worker, returning *bit-identical* statistics because the
+//!   blobs are the exact accumulator bytes a worker once produced.
+//!
+//! Like `crp-fleet` underneath it, the crate is payload-agnostic: jobs,
+//! answers and blobs are opaque strings, cells are merged by a
+//! caller-supplied function, and answers are vetted by a caller-supplied
+//! validator.  `crp-sim` layers its `ShardSpec` / `TrialAccumulator`
+//! semantics on top, which keeps the dependency arrow `crp-sim` →
+//! `crp-serve` → `crp-fleet` and lets the `crp_experiments` binary host
+//! both the daemon (`serve`) and the client (`submit`).
+//!
+//! The layers:
+//!
+//! * [`cache`] — [`ResultCache`]: the on-disk content-addressed store
+//!   (atomic writes, self-verifying entries, typed corruption errors).
+//! * [`wire`] — the framed service protocol: versioned
+//!   [`wire::ServeMessage`] frames (`submit` / `progress` / `result`)
+//!   and the [`wire::Submission`] / [`wire::SubmissionOutcome`] body
+//!   codecs.
+//! * [`server`] — [`SweepServer`]: the accept loop and the
+//!   cache-then-dispatch submission executor.
+//! * [`client`] — [`ServeClient`]: connect, submit, stream progress,
+//!   collect the result.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod server;
+pub mod wire;
+
+use std::error::Error;
+use std::fmt;
+
+pub use cache::ResultCache;
+pub use client::ServeClient;
+pub use server::{AnswerCheck, Canonicalizer, CellMerger, SubmissionHooks, SweepServer};
+pub use wire::{
+    CellOutcome, ServeMessage, Submission, SubmissionCell, SubmissionJob, SubmissionOutcome,
+    SERVICE_VERSION,
+};
+
+use crp_fleet::FleetError;
+
+/// Errors produced by the sweep service, its cache, and its clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// An I/O operation (socket, cache file) failed.
+    Io(String),
+    /// A service frame or body was malformed.
+    Malformed(String),
+    /// A cache entry exists but is corrupt or truncated; the caller
+    /// recomputes and overwrites it.
+    CorruptCache {
+        /// The entry's content key.
+        key: String,
+        /// What was wrong with it.
+        what: String,
+    },
+    /// A submission referenced or produced inconsistent hashes.
+    HashMismatch {
+        /// What was being hashed.
+        what: String,
+        /// The hash the submission claimed.
+        claimed: String,
+        /// The hash actually computed.
+        actual: String,
+    },
+    /// The underlying fleet transport or dispatcher failed.
+    Fleet(String),
+    /// The server answered a submission with a typed error.
+    Server(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(what) => write!(f, "sweep service I/O error: {what}"),
+            ServeError::Malformed(what) => write!(f, "malformed service message: {what}"),
+            ServeError::CorruptCache { key, what } => {
+                write!(f, "corrupt cache entry {key}: {what}")
+            }
+            ServeError::HashMismatch {
+                what,
+                claimed,
+                actual,
+            } => write!(
+                f,
+                "{what} hash mismatch: submission claims {claimed}, content hashes to {actual}"
+            ),
+            ServeError::Fleet(what) => write!(f, "fleet dispatch failed: {what}"),
+            ServeError::Server(what) => write!(f, "the sweep server reported: {what}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(err: std::io::Error) -> Self {
+        ServeError::Io(err.to_string())
+    }
+}
+
+impl From<FleetError> for ServeError {
+    fn from(err: FleetError) -> Self {
+        match err {
+            FleetError::Io(what) => ServeError::Io(what),
+            FleetError::Malformed(what) => ServeError::Malformed(what),
+            other => ServeError::Fleet(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_names_the_failure() {
+        assert!(ServeError::Io("broken".into())
+            .to_string()
+            .contains("broken"));
+        assert!(ServeError::CorruptCache {
+            key: "abc".into(),
+            what: "truncated".into(),
+        }
+        .to_string()
+        .contains("truncated"));
+        assert!(ServeError::HashMismatch {
+            what: "job".into(),
+            claimed: "x".into(),
+            actual: "y".into(),
+        }
+        .to_string()
+        .contains("mismatch"));
+        let err: ServeError = FleetError::Closed.into();
+        assert!(matches!(err, ServeError::Fleet(_)));
+        let err: ServeError = FleetError::Malformed("bad".into()).into();
+        assert!(matches!(err, ServeError::Malformed(_)));
+    }
+}

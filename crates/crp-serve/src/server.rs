@@ -1,0 +1,615 @@
+//! The sweep daemon: an accept loop owning a warm [`Dispatcher`] fleet
+//! and a [`ResultCache`], executing submissions cache-first.
+//!
+//! For every submission the server settles work at the cheapest level
+//! that can answer it:
+//!
+//! 1. **Cell hits** — a cell whose [`cell hash`](crate::wire::cell_hash)
+//!    is cached returns its merged blob without touching a single job.
+//! 2. **Job hits** — remaining cells probe per-job; cached answers are
+//!    bit-exact worker blobs.
+//! 3. **Dispatch** — only the missing jobs go to the warm fleet (with
+//!    scenario-by-hash shipping on v2 workers); fresh answers and fresh
+//!    cell merges are written back to the cache.
+//!
+//! A corrupt or truncated cache entry is *never* served: the
+//! [`ResultCache`] detects it, the server recomputes, and the overwrite
+//! heals the entry.  Because answers are deterministic functions of
+//! their payloads, a hit and a recompute are bit-identical — the cache
+//! changes wall-clock time, never statistics.
+//!
+//! The server is payload-agnostic: the host supplies the cell `merge`
+//! function and the answer `check` used to vet both worker answers and
+//! cache reads (`crp_experiments serve` plugs in the
+//! `TrialAccumulator` codec).
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+
+use crp_fleet::frame::{read_frame, write_frame};
+use crp_fleet::{BlobSet, Dispatcher, JobPayload, WorkerEndpoint};
+
+use crate::cache::ResultCache;
+use crate::wire::{CellOutcome, ServeMessage, Submission, SubmissionOutcome, SERVICE_VERSION};
+use crate::ServeError;
+
+/// Merges one cell's job answers (in submission order) into the cell's
+/// result blob.  Supplied by the host; `crp-sim` merges accumulators in
+/// shard order here.
+pub type CellMerger<'a> = &'a (dyn Fn(&[String]) -> Result<String, String> + Sync);
+
+/// Validates an answer blob — applied to worker answers *before* they
+/// settle and to cache reads *before* they are served, so a stale or
+/// semantically invalid entry is recomputed instead of returned.
+pub type AnswerCheck<'a> = &'a (dyn Fn(&str) -> Result<(), String> + Sync);
+
+/// Reconstructs a job's canonical inline payload from its compact
+/// payload, resolving blob references through the supplied lookup.  A
+/// compact-only job's hash is verified against this reconstruction
+/// before anything is dispatched or cached — so large masses travel
+/// once per submission (in the blob table) instead of once per shard,
+/// without weakening content addressing.
+pub type Canonicalizer<'a> =
+    &'a (dyn Fn(&str, &dyn Fn(&str) -> Option<String>) -> Result<String, String> + Sync);
+
+/// The three host-supplied hooks a payload-agnostic server needs
+/// (`crp_sim::service::sweep_hooks` supplies the accumulator-codec
+/// implementations the CLI uses).
+#[derive(Clone, Copy)]
+pub struct SubmissionHooks<'a> {
+    /// Merges one cell's job answers (in submission order) into the
+    /// cell's result blob.
+    pub merge: CellMerger<'a>,
+    /// Validates an answer blob — worker answers before they settle and
+    /// cache reads before they are served.
+    pub check: AnswerCheck<'a>,
+    /// Reconstructs a canonical inline payload from a compact one.
+    pub canonicalize: Canonicalizer<'a>,
+}
+
+/// A progress sink: `(settled_jobs, total_jobs, cache_hits)`.
+pub type ProgressSink<'a> = &'a (dyn Fn(usize, usize, usize) + Sync);
+
+/// The sweep service daemon.
+pub struct SweepServer {
+    listener: TcpListener,
+    dispatcher: Dispatcher,
+    cache: Option<ResultCache>,
+}
+
+impl SweepServer {
+    /// Binds the service listener and readies (but does not yet connect)
+    /// the worker fleet.  `addr` may use port 0 for tests; read the
+    /// bound address back with [`SweepServer::local_addr`].  Without a
+    /// cache every submission recomputes (the warm fleet still helps).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the address cannot be bound.
+    pub fn bind(
+        addr: impl ToSocketAddrs + std::fmt::Debug,
+        endpoints: Vec<WorkerEndpoint>,
+        cache: Option<ResultCache>,
+    ) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(&addr)
+            .map_err(|e| ServeError::Io(format!("cannot bind service listener {addr:?}: {e}")))?;
+        Ok(Self {
+            listener,
+            dispatcher: Dispatcher::new(endpoints),
+            cache,
+        })
+    }
+
+    /// The actually bound service address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the socket cannot report its address.
+    pub fn local_addr(&self) -> Result<SocketAddr, ServeError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// The warm fleet behind this server.
+    pub fn dispatcher(&self) -> &Dispatcher {
+        &self.dispatcher
+    }
+
+    /// Accepts and serves client connections — one at a time, so
+    /// submissions are executed sequentially over the shared warm fleet
+    /// — until a client sends `serve-shutdown`.  Per-connection protocol
+    /// errors are reported on stderr and do not stop the daemon.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the accept loop itself fails.
+    pub fn serve(&self, hooks: SubmissionHooks<'_>) -> Result<(), ServeError> {
+        loop {
+            let (stream, peer) = self
+                .listener
+                .accept()
+                .map_err(|e| ServeError::Io(format!("service accept failed: {e}")))?;
+            match self.serve_connection(stream, hooks) {
+                Ok(true) => {
+                    self.dispatcher.shutdown_workers();
+                    return Ok(());
+                }
+                Ok(false) => {}
+                Err(err) => eprintln!("crp-serve: connection {peer}: {err}"),
+            }
+        }
+    }
+
+    /// Serves one client connection.  Returns `Ok(true)` when the client
+    /// asked the daemon to shut down.
+    fn serve_connection(
+        &self,
+        stream: TcpStream,
+        hooks: SubmissionHooks<'_>,
+    ) -> Result<bool, ServeError> {
+        stream.set_nodelay(true).ok();
+        let mut reader = std::io::BufReader::new(stream.try_clone()?);
+        let writer = Mutex::new(stream);
+        let send = |message: &ServeMessage| -> Result<(), ServeError> {
+            let mut guard = writer.lock().expect("no server panics");
+            write_frame(&mut *guard, &message.encode()).map_err(ServeError::from)
+        };
+        send(&ServeMessage::Hello {
+            version: SERVICE_VERSION,
+        })?;
+        loop {
+            let Some(frame) = read_frame(&mut reader)? else {
+                return Ok(false);
+            };
+            match ServeMessage::decode(&frame)? {
+                ServeMessage::Submit { id, body } => {
+                    // Progress write failures are ignored: a vanished
+                    // client must not abort the batch mid-dispatch (the
+                    // results still land in the cache for next time).
+                    let progress = |settled: usize, total: usize, hits: usize| {
+                        let _ = send(&ServeMessage::Progress {
+                            id,
+                            completed: settled,
+                            total,
+                            hits,
+                        });
+                    };
+                    let outcome = Submission::decode(&body)
+                        .and_then(|submission| self.run_submission(&submission, hooks, &progress));
+                    match outcome {
+                        Ok(outcome) => send(&ServeMessage::Result {
+                            id,
+                            body: outcome.encode(),
+                        })?,
+                        Err(err) => send(&ServeMessage::Error {
+                            id,
+                            message: err.to_string(),
+                        })?,
+                    }
+                }
+                ServeMessage::Shutdown => return Ok(true),
+                other => {
+                    return Err(ServeError::Malformed(format!(
+                        "server received an unexpected {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// A cache probe that only ever returns a *trustworthy* value: a
+    /// missing entry, a [`ServeError::CorruptCache`], or a value failing
+    /// the host's `check` all read as a miss (the recompute overwrites
+    /// and heals the entry).  Genuine I/O failures propagate.
+    fn cache_probe(&self, key: &str, check: AnswerCheck<'_>) -> Result<Option<String>, ServeError> {
+        let Some(cache) = &self.cache else {
+            return Ok(None);
+        };
+        match cache.get(key) {
+            Ok(Some(value)) => Ok(check(&value).is_ok().then_some(value)),
+            Ok(None) | Err(ServeError::CorruptCache { .. }) => Ok(None),
+            Err(other) => Err(other),
+        }
+    }
+
+    fn cache_put(&self, key: &str, value: &str) -> Result<(), ServeError> {
+        match &self.cache {
+            Some(cache) => cache.put(key, value),
+            None => Ok(()),
+        }
+    }
+
+    /// Executes one verified submission: cell cache → job cache → warm
+    /// fleet dispatch → merge, writing fresh answers back.  `progress`
+    /// fires as `(settled_jobs, total_jobs, cache_hits)` — once after
+    /// the cache scan, then per dispatched completion.
+    ///
+    /// # Errors
+    ///
+    /// Hash mismatches, cache I/O failures, fleet dispatch failures, and
+    /// merge failures.
+    pub fn run_submission(
+        &self,
+        submission: &Submission,
+        hooks: SubmissionHooks<'_>,
+        progress: ProgressSink<'_>,
+    ) -> Result<SubmissionOutcome, ServeError> {
+        let check = hooks.check;
+        submission.verify_hashes()?;
+        let total = submission.job_count();
+        let mut blob_set = BlobSet::new();
+        for (_, blob) in &submission.blobs {
+            blob_set.insert(blob.clone());
+        }
+
+        // Phase 1+2: settle whole cells, then individual jobs, from the
+        // cache.
+        let mut cell_cached: Vec<Option<String>> = Vec::with_capacity(submission.cells.len());
+        let mut answers: Vec<Vec<Option<String>>> = Vec::with_capacity(submission.cells.len());
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        let mut hits = 0usize;
+        for (cell_index, cell) in submission.cells.iter().enumerate() {
+            if let Some(blob) = self.cache_probe(&cell.hash, check)? {
+                hits += cell.jobs.len();
+                cell_cached.push(Some(blob));
+                answers.push(Vec::new());
+                continue;
+            }
+            cell_cached.push(None);
+            let mut cell_answers = Vec::with_capacity(cell.jobs.len());
+            for (job_index, job) in cell.jobs.iter().enumerate() {
+                match self.cache_probe(&job.hash, check)? {
+                    Some(answer) => {
+                        hits += 1;
+                        cell_answers.push(Some(answer));
+                    }
+                    None => {
+                        pending.push((cell_index, job_index));
+                        cell_answers.push(None);
+                    }
+                }
+            }
+            answers.push(cell_answers);
+        }
+        progress(hits, total, hits);
+
+        // Phase 3: dispatch only the misses to the warm fleet.  Each
+        // pending job needs its canonical inline payload — shipped by
+        // the client, or reconstructed here from the compact form and
+        // the blob table — and the reconstruction is hash-verified, so
+        // a compact job whose claimed key does not match its content
+        // can never reach a worker or the cache.
+        let computed = pending.len();
+        if !pending.is_empty() {
+            let resolve = |hash: &str| blob_set.get(hash).map(str::to_string);
+            let payloads: Vec<JobPayload> = pending
+                .iter()
+                .map(|&(cell, job)| {
+                    let job = &submission.cells[cell].jobs[job];
+                    let inline = match (&job.inline, &job.compact) {
+                        (Some(inline), _) => inline.clone(),
+                        (None, Some(compact)) => {
+                            let inline = (hooks.canonicalize)(compact, &resolve).map_err(|e| {
+                                ServeError::Malformed(format!(
+                                    "cannot canonicalise compact job {}: {e}",
+                                    job.hash
+                                ))
+                            })?;
+                            let actual = crp_fleet::content_hash(inline.as_bytes());
+                            if actual != job.hash {
+                                return Err(ServeError::HashMismatch {
+                                    what: "compact job".to_string(),
+                                    claimed: job.hash.clone(),
+                                    actual,
+                                });
+                            }
+                            inline
+                        }
+                        // The wire decoder rejects payload-less jobs,
+                        // but run_submission also accepts hand-built
+                        // submissions — keep it a typed error.
+                        (None, None) => {
+                            return Err(ServeError::Malformed(format!(
+                                "job {} has neither an inline nor a compact payload",
+                                job.hash
+                            )))
+                        }
+                    };
+                    Ok(match &job.compact {
+                        Some(compact) => {
+                            JobPayload::with_compact(inline, compact.clone(), job.refs.clone())
+                        }
+                        None => JobPayload::inline(inline),
+                    })
+                })
+                .collect::<Result<Vec<JobPayload>, ServeError>>()?;
+            let settled = Mutex::new(hits);
+            let results = self
+                .dispatcher
+                .dispatch_jobs(
+                    &payloads,
+                    &blob_set,
+                    &|_| {
+                        let mut settled = settled.lock().expect("no server panics");
+                        *settled += 1;
+                        progress(*settled, total, hits);
+                    },
+                    &|_, answer| check(answer),
+                )
+                .map_err(ServeError::from)?;
+            for (&(cell, job), answer) in pending.iter().zip(results) {
+                self.cache_put(&submission.cells[cell].jobs[job].hash, &answer)?;
+                answers[cell][job] = Some(answer);
+            }
+        }
+
+        // Phase 4: merge non-cached cells and persist the merges.
+        let mut outcomes = Vec::with_capacity(submission.cells.len());
+        for (cell_index, cell) in submission.cells.iter().enumerate() {
+            if let Some(blob) = cell_cached[cell_index].take() {
+                outcomes.push(CellOutcome {
+                    hash: cell.hash.clone(),
+                    cached: true,
+                    blob,
+                });
+                continue;
+            }
+            let cell_answers: Vec<String> = answers[cell_index]
+                .drain(..)
+                .map(|slot| slot.expect("every pending job settled or dispatch failed"))
+                .collect();
+            let blob = (hooks.merge)(&cell_answers).map_err(|e| {
+                ServeError::Server(format!("merging cell {} failed: {e}", cell.hash))
+            })?;
+            self.cache_put(&cell.hash, &blob)?;
+            outcomes.push(CellOutcome {
+                hash: cell.hash.clone(),
+                cached: false,
+                blob,
+            });
+        }
+        Ok(SubmissionOutcome {
+            cells: outcomes,
+            jobs_total: total,
+            job_hits: hits,
+            computed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ServeClient;
+    use crate::wire::{cell_hash, SubmissionCell, SubmissionJob};
+    use crp_fleet::hash::content_hash;
+    use crp_fleet::worker::ServeOptions;
+    use crp_fleet::TcpWorker;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A deterministic "shard worker": answers `echo:<payload>`, and
+    /// counts executions so tests can prove what the cache absorbed.
+    fn spawn_counting_worker() -> (String, Arc<AtomicUsize>) {
+        let executions = Arc::new(AtomicUsize::new(0));
+        let count = Arc::clone(&executions);
+        let worker = TcpWorker::bind("127.0.0.1:0").unwrap();
+        let addr = worker.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let handler = move |payload: &str| -> Result<String, String> {
+                count.fetch_add(1, Ordering::SeqCst);
+                Ok(format!("echo:{payload}"))
+            };
+            worker.serve_forever(&handler, &ServeOptions::default())
+        });
+        (addr, executions)
+    }
+
+    fn job(text: &str) -> SubmissionJob {
+        SubmissionJob {
+            hash: content_hash(text.as_bytes()),
+            inline: Some(text.to_string()),
+            compact: None,
+            refs: Vec::new(),
+        }
+    }
+
+    fn cell(jobs: Vec<SubmissionJob>) -> SubmissionCell {
+        let hashes: Vec<String> = jobs.iter().map(|j| j.hash.clone()).collect();
+        SubmissionCell {
+            hash: cell_hash(&hashes),
+            jobs,
+        }
+    }
+
+    fn demo_submission() -> Submission {
+        Submission {
+            blobs: Vec::new(),
+            cells: vec![
+                cell(vec![job("cell-a shard 0"), job("cell-a shard 1")]),
+                cell(vec![job("cell-b shard 0")]),
+            ],
+        }
+    }
+
+    fn merge(answers: &[String]) -> Result<String, String> {
+        Ok(answers.join("+"))
+    }
+
+    fn check(answer: &str) -> Result<(), String> {
+        if answer.starts_with("echo:") || answer.contains("+echo:") {
+            Ok(())
+        } else {
+            Err(format!("unexpected answer {answer:?}"))
+        }
+    }
+
+    fn no_canonicalizer(
+        _compact: &str,
+        _resolve: &dyn Fn(&str) -> Option<String>,
+    ) -> Result<String, String> {
+        Err("these tests ship inline payloads".to_string())
+    }
+
+    fn hooks() -> SubmissionHooks<'static> {
+        SubmissionHooks {
+            merge: &merge,
+            check: &check,
+            canonicalize: &no_canonicalizer,
+        }
+    }
+
+    fn scratch_cache(tag: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!("crp-serve-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn submissions_settle_from_cache_on_resubmission() {
+        let (addr, executions) = spawn_counting_worker();
+        let server = SweepServer::bind(
+            "127.0.0.1:0",
+            vec![crp_fleet::WorkerEndpoint::tcp(addr)],
+            Some(scratch_cache("resubmit")),
+        )
+        .unwrap();
+        let submission = demo_submission();
+
+        let first = server
+            .run_submission(&submission, hooks(), &|_, _, _| {})
+            .unwrap();
+        assert_eq!(first.jobs_total, 3);
+        assert_eq!(first.job_hits, 0);
+        assert_eq!(first.computed, 3);
+        assert_eq!(executions.load(Ordering::SeqCst), 3);
+        assert_eq!(
+            first.cells[0].blob,
+            "echo:cell-a shard 0+echo:cell-a shard 1"
+        );
+        assert!(!first.cells[0].cached);
+
+        // Bit-identical answers, zero worker executions, 100% hits.
+        let second = server
+            .run_submission(&submission, hooks(), &|_, _, _| {})
+            .unwrap();
+        assert_eq!(second.job_hits, 3);
+        assert_eq!(second.computed, 0);
+        assert!(second.cells.iter().all(|c| c.cached));
+        assert_eq!(executions.load(Ordering::SeqCst), 3, "nothing recomputed");
+        for (a, b) in first.cells.iter().zip(&second.cells) {
+            assert_eq!(a.blob, b.blob, "cache hits must be bit-identical");
+        }
+
+        // An overlapping submission: one old cell, one new — only the
+        // new cell's job is computed.
+        let overlapping = Submission {
+            blobs: Vec::new(),
+            cells: vec![
+                cell(vec![job("cell-a shard 0"), job("cell-a shard 1")]),
+                cell(vec![job("cell-c shard 0")]),
+            ],
+        };
+        let third = server
+            .run_submission(&overlapping, hooks(), &|_, _, _| {})
+            .unwrap();
+        assert_eq!(third.job_hits, 2);
+        assert_eq!(third.computed, 1);
+        assert_eq!(executions.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn corrupt_cache_entries_are_recomputed_not_served() {
+        let (addr, executions) = spawn_counting_worker();
+        let cache = scratch_cache("corrupt-recompute");
+        let server = SweepServer::bind(
+            "127.0.0.1:0",
+            vec![crp_fleet::WorkerEndpoint::tcp(addr)],
+            Some(cache.clone()),
+        )
+        .unwrap();
+        let submission = demo_submission();
+        let first = server
+            .run_submission(&submission, hooks(), &|_, _, _| {})
+            .unwrap();
+
+        // Vandalise one job entry and one cell entry on disk.
+        for key in [&submission.cells[0].jobs[0].hash, &submission.cells[0].hash] {
+            let path = cache.dir().join(&key[..2]).join(format!("{key}.crp"));
+            std::fs::write(&path, b"crp-cache v1\ngarbage").unwrap();
+            assert!(
+                matches!(cache.get(key), Err(ServeError::CorruptCache { .. })),
+                "vandalised entry must read as a typed corruption error"
+            );
+        }
+
+        let executed_before = executions.load(Ordering::SeqCst);
+        let again = server
+            .run_submission(&submission, hooks(), &|_, _, _| {})
+            .unwrap();
+        // Cell b still hits; cell a recomputes exactly its corrupted job
+        // (the intact shard-1 job entry still serves from cache).
+        assert_eq!(again.computed, 1);
+        assert_eq!(executions.load(Ordering::SeqCst), executed_before + 1);
+        assert_eq!(
+            again.cells[0].blob, first.cells[0].blob,
+            "recomputed cell is bit-identical to the original"
+        );
+        // The overwrite healed the entries.
+        assert!(cache.get(&submission.cells[0].hash).unwrap().is_some());
+    }
+
+    #[test]
+    fn the_daemon_serves_clients_over_tcp_and_shuts_down() {
+        let (addr, _) = spawn_counting_worker();
+        let server = SweepServer::bind(
+            "127.0.0.1:0",
+            vec![crp_fleet::WorkerEndpoint::tcp(addr)],
+            Some(scratch_cache("daemon")),
+        )
+        .unwrap();
+        let service_addr = server.local_addr().unwrap().to_string();
+        let daemon = std::thread::spawn(move || server.serve(hooks()));
+
+        let submission = demo_submission();
+        let mut client = ServeClient::connect(service_addr.as_str()).unwrap();
+        let progress_calls = AtomicUsize::new(0);
+        let outcome = client
+            .submit(&submission, |_, _, _| {
+                progress_calls.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        assert_eq!(outcome.jobs_total, 3);
+        assert_eq!(outcome.computed, 3);
+        assert!(progress_calls.load(Ordering::SeqCst) >= 1);
+
+        // Second client, same submission: served from cache.  (The first
+        // client must actually disconnect — the daemon serves one
+        // connection at a time.)
+        drop(client);
+        let mut client = ServeClient::connect(service_addr.as_str()).unwrap();
+        let outcome = client.submit(&submission, |_, _, _| {}).unwrap();
+        assert_eq!(outcome.job_hits, 3);
+        client.shutdown_server().unwrap();
+        daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn bad_submissions_get_a_typed_error_frame() {
+        let server = SweepServer::bind("127.0.0.1:0", Vec::new(), None).unwrap();
+        let service_addr = server.local_addr().unwrap().to_string();
+        let daemon = std::thread::spawn(move || server.serve(hooks()));
+
+        let mut tampered = demo_submission();
+        tampered.cells[0].jobs[0]
+            .inline
+            .as_mut()
+            .expect("demo jobs ship inline payloads")
+            .push('!');
+        let mut client = ServeClient::connect(service_addr.as_str()).unwrap();
+        let err = client.submit(&tampered, |_, _, _| {}).unwrap_err();
+        assert!(matches!(err, ServeError::Server(_)), "got {err}");
+        assert!(err.to_string().contains("hash mismatch"), "{err}");
+        client.shutdown_server().unwrap();
+        daemon.join().unwrap().unwrap();
+    }
+}

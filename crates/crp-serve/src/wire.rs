@@ -1,0 +1,765 @@
+//! The framed service protocol between `submit` clients and the sweep
+//! daemon, riding on [`crp_fleet::frame`] like the worker protocol does.
+//!
+//! A connection's conversation:
+//!
+//! ```text
+//! server -> client   serve-hello v1
+//! client -> server   submit 1\n<submission body>
+//! server -> client   progress 1 4 16 2        (completed / total / cache hits)
+//! server -> client   ...
+//! server -> client   result 1\n<result body>  (or: error 1\n<message>)
+//! ```
+//!
+//! Bodies are versioned text with byte-exact payload sections, so job
+//! payloads and result blobs may contain anything.  Everything is keyed
+//! by [`crp_fleet::content_hash`]es the *client* computes and the
+//! *server* verifies — a submission whose hashes do not match its bytes
+//! is rejected before it can poison the cache.
+
+use crp_fleet::hash::{content_hash, is_content_hash};
+
+use crate::ServeError;
+
+/// Version of the client ↔ daemon service protocol (independent of the
+/// dispatcher ↔ worker fleet protocol underneath).
+pub const SERVICE_VERSION: u32 = 1;
+
+/// One service message, as carried in a fleet frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeMessage {
+    /// Server → client, first frame on every connection — so a client
+    /// that accidentally dials a *worker* port (whose greeting is a
+    /// plain `hello`) fails fast with a typed error.
+    Hello {
+        /// The server's [`SERVICE_VERSION`].
+        version: u32,
+    },
+    /// Client → server: run this submission.
+    Submit {
+        /// Client-chosen id echoed in every answer frame.
+        id: u64,
+        /// An encoded [`Submission`].
+        body: String,
+    },
+    /// Server → client: live progress of a running submission.
+    Progress {
+        /// Echo of the submission id.
+        id: u64,
+        /// Jobs settled so far (cache hits and computed).
+        completed: usize,
+        /// Total jobs in the submission.
+        total: usize,
+        /// How many of the settled jobs came from the cache.
+        hits: usize,
+    },
+    /// Server → client: the submission's outcome.
+    Result {
+        /// Echo of the submission id.
+        id: u64,
+        /// An encoded [`SubmissionOutcome`].
+        body: String,
+    },
+    /// Server → client: the submission failed as a whole.
+    Error {
+        /// Echo of the submission id.
+        id: u64,
+        /// Human-readable failure.
+        message: String,
+    },
+    /// Client → server: stop the daemon (CI teardown and tests; a
+    /// production deployment just kills the process).
+    Shutdown,
+}
+
+impl ServeMessage {
+    /// Encodes the message into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            ServeMessage::Hello { version } => format!("serve-hello v{version}"),
+            ServeMessage::Submit { id, body } => format!("submit {id}\n{body}"),
+            ServeMessage::Progress {
+                id,
+                completed,
+                total,
+                hits,
+            } => format!("progress {id} {completed} {total} {hits}"),
+            ServeMessage::Result { id, body } => format!("result {id}\n{body}"),
+            ServeMessage::Error { id, message } => format!("error {id}\n{message}"),
+            ServeMessage::Shutdown => "serve-shutdown".to_string(),
+        }
+        .into_bytes()
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Malformed`] for non-UTF-8 payloads, unknown message
+    /// names, and missing or unparsable fields.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| ServeError::Malformed(format!("message is not UTF-8: {e}")))?;
+        let (head, body) = match text.split_once('\n') {
+            Some((head, body)) => (head, body),
+            None => (text, ""),
+        };
+        let mut tokens = head.split_ascii_whitespace();
+        let name = tokens
+            .next()
+            .ok_or_else(|| ServeError::Malformed("empty service message".to_string()))?;
+        let mut field = |label: &str| -> Result<u64, ServeError> {
+            tokens
+                .next()
+                .ok_or_else(|| ServeError::Malformed(format!("{label} is missing a field")))?
+                .parse::<u64>()
+                .map_err(|e| ServeError::Malformed(format!("bad {label} field: {e}")))
+        };
+        match name {
+            "serve-hello" => {
+                let version = tokens
+                    .next()
+                    .and_then(|token| token.strip_prefix('v'))
+                    .and_then(|token| token.parse::<u32>().ok())
+                    .ok_or_else(|| {
+                        ServeError::Malformed(format!("bad serve-hello version in {head:?}"))
+                    })?;
+                Ok(ServeMessage::Hello { version })
+            }
+            "submit" => Ok(ServeMessage::Submit {
+                id: field("submit")?,
+                body: body.to_string(),
+            }),
+            "progress" => Ok(ServeMessage::Progress {
+                id: field("progress")?,
+                completed: field("progress")? as usize,
+                total: field("progress")? as usize,
+                hits: field("progress")? as usize,
+            }),
+            "result" => Ok(ServeMessage::Result {
+                id: field("result")?,
+                body: body.to_string(),
+            }),
+            "error" => Ok(ServeMessage::Error {
+                id: field("error")?,
+                message: body.to_string(),
+            }),
+            "serve-shutdown" => Ok(ServeMessage::Shutdown),
+            // A fleet worker's greeting, reported specifically because
+            // pointing `submit` at a worker port is an easy mistake.
+            "hello" => Err(ServeError::Malformed(
+                "the peer speaks the fleet *worker* protocol, not the sweep service; \
+                 is this a worker port?"
+                    .to_string(),
+            )),
+            other => Err(ServeError::Malformed(format!(
+                "unknown service message {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One job of a submission: its cache key (the content hash of the
+/// inline payload) plus the payload forms the dispatcher can ship.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmissionJob {
+    /// `content_hash(canonical inline encoding)` — the job's identity
+    /// and cache key.
+    pub hash: String,
+    /// The canonical self-contained payload.  `None` when the job ships
+    /// compact-only — the server then reconstructs (and hash-verifies)
+    /// the canonical form from `compact` + the blob table through its
+    /// canonicalizer, so large masses never travel once per shard.
+    pub inline: Option<String>,
+    /// The compact payload referencing blobs by hash, if any.
+    pub compact: Option<String>,
+    /// The blob hashes `compact` references.
+    pub refs: Vec<String>,
+}
+
+/// One cell of a submission: an ordered list of jobs whose answers merge
+/// into the cell's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmissionCell {
+    /// The cell's cache key — see [`cell_hash`].
+    pub hash: String,
+    /// The cell's jobs, in merge order.
+    pub jobs: Vec<SubmissionJob>,
+}
+
+/// A complete sweep submission: cells plus the blob table their compact
+/// payloads reference.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Submission {
+    /// `(hash, blob)` pairs, each blob shipped to a worker at most once.
+    pub blobs: Vec<(String, String)>,
+    /// The cells, in grid order.
+    pub cells: Vec<SubmissionCell>,
+}
+
+/// The canonical cache key of a cell: the content hash of its ordered
+/// job-hash list (newline-terminated lines).  Any change to any job —
+/// protocol spec, masses, plan, seed, shard count or order — changes a
+/// job hash and therefore the cell key.
+pub fn cell_hash(job_hashes: &[String]) -> String {
+    let mut text = String::with_capacity(job_hashes.len() * 65);
+    for hash in job_hashes {
+        text.push_str(hash);
+        text.push('\n');
+    }
+    content_hash(text.as_bytes())
+}
+
+/// A byte-exact cursor over a body: head lines via [`Cursor::line`],
+/// payload sections via [`Cursor::take`].
+struct Cursor<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { rest: text }
+    }
+
+    fn line(&mut self) -> Result<&'a str, ServeError> {
+        let (line, rest) = self
+            .rest
+            .split_once('\n')
+            .ok_or_else(|| ServeError::Malformed("body ended mid-line".to_string()))?;
+        self.rest = rest;
+        Ok(line)
+    }
+
+    /// Takes exactly `n` bytes followed by a newline.
+    fn take(&mut self, n: usize) -> Result<&'a str, ServeError> {
+        if self.rest.len() < n.saturating_add(1) {
+            return Err(ServeError::Malformed(format!(
+                "body truncated: a {n}-byte section overruns the end"
+            )));
+        }
+        if !self.rest.is_char_boundary(n) {
+            return Err(ServeError::Malformed(
+                "section length splits a UTF-8 character".to_string(),
+            ));
+        }
+        let (section, rest) = self.rest.split_at(n);
+        let rest = rest.strip_prefix('\n').ok_or_else(|| {
+            ServeError::Malformed("payload section is not newline-terminated".to_string())
+        })?;
+        self.rest = rest;
+        Ok(section)
+    }
+
+    fn expect_end(&self) -> Result<(), ServeError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(ServeError::Malformed(format!(
+                "trailing bytes after the end marker: {:?}…",
+                &self.rest[..self.rest.len().min(32)]
+            )))
+        }
+    }
+}
+
+fn parse_count(token: Option<&str>, label: &str) -> Result<usize, ServeError> {
+    token
+        .ok_or_else(|| ServeError::Malformed(format!("missing {label}")))?
+        .parse::<usize>()
+        .map_err(|e| ServeError::Malformed(format!("bad {label}: {e}")))
+}
+
+fn parse_hash(token: Option<&str>, label: &str) -> Result<String, ServeError> {
+    let token = token.ok_or_else(|| ServeError::Malformed(format!("missing {label}")))?;
+    if !is_content_hash(token) {
+        return Err(ServeError::Malformed(format!(
+            "{label} {token:?} is not a canonical content hash"
+        )));
+    }
+    Ok(token.to_string())
+}
+
+impl Submission {
+    /// Encodes the submission into a `submit` body.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str("crp-serve-submission v1\n");
+        out.push_str(&format!("blobs {}\n", self.blobs.len()));
+        for (hash, blob) in &self.blobs {
+            out.push_str(&format!("blob {hash} bytes {}\n", blob.len()));
+            out.push_str(blob);
+            out.push('\n');
+        }
+        out.push_str(&format!("cells {}\n", self.cells.len()));
+        for cell in &self.cells {
+            out.push_str(&format!("cell {} jobs {}\n", cell.hash, cell.jobs.len()));
+            for job in &cell.jobs {
+                let refs = if job.refs.is_empty() {
+                    "-".to_string()
+                } else {
+                    job.refs.join(",")
+                };
+                out.push_str(&format!(
+                    "job {} refs {refs} inline {} compact {}\n",
+                    job.hash,
+                    job.inline.as_ref().map_or(0, String::len),
+                    job.compact.as_ref().map_or(0, String::len),
+                ));
+                if let Some(inline) = &job.inline {
+                    out.push_str(inline);
+                    out.push('\n');
+                }
+                if let Some(compact) = &job.compact {
+                    out.push_str(compact);
+                    out.push('\n');
+                }
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a `submit` body.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Malformed`] describing the first offending line or
+    /// section.
+    pub fn decode(body: &str) -> Result<Self, ServeError> {
+        let mut cursor = Cursor::new(body);
+        let header = cursor.line()?;
+        if header != "crp-serve-submission v1" {
+            return Err(ServeError::Malformed(format!(
+                "unexpected submission header {header:?}"
+            )));
+        }
+        let mut tokens = cursor.line()?.split_ascii_whitespace();
+        if tokens.next() != Some("blobs") {
+            return Err(ServeError::Malformed("expected a blobs line".to_string()));
+        }
+        let blob_count = parse_count(tokens.next(), "blob count")?;
+        let mut blobs = Vec::new();
+        for _ in 0..blob_count {
+            let mut tokens = cursor.line()?.split_ascii_whitespace();
+            if tokens.next() != Some("blob") {
+                return Err(ServeError::Malformed("expected a blob line".to_string()));
+            }
+            let hash = parse_hash(tokens.next(), "blob hash")?;
+            if tokens.next() != Some("bytes") {
+                return Err(ServeError::Malformed("expected blob bytes".to_string()));
+            }
+            let len = parse_count(tokens.next(), "blob length")?;
+            blobs.push((hash, cursor.take(len)?.to_string()));
+        }
+        let mut tokens = cursor.line()?.split_ascii_whitespace();
+        if tokens.next() != Some("cells") {
+            return Err(ServeError::Malformed("expected a cells line".to_string()));
+        }
+        let cell_count = parse_count(tokens.next(), "cell count")?;
+        let mut cells = Vec::new();
+        for _ in 0..cell_count {
+            let mut tokens = cursor.line()?.split_ascii_whitespace();
+            if tokens.next() != Some("cell") {
+                return Err(ServeError::Malformed("expected a cell line".to_string()));
+            }
+            let hash = parse_hash(tokens.next(), "cell hash")?;
+            if tokens.next() != Some("jobs") {
+                return Err(ServeError::Malformed("expected cell jobs".to_string()));
+            }
+            let job_count = parse_count(tokens.next(), "job count")?;
+            let mut jobs = Vec::new();
+            for _ in 0..job_count {
+                let mut tokens = cursor.line()?.split_ascii_whitespace();
+                if tokens.next() != Some("job") {
+                    return Err(ServeError::Malformed("expected a job line".to_string()));
+                }
+                let job_hash = parse_hash(tokens.next(), "job hash")?;
+                if tokens.next() != Some("refs") {
+                    return Err(ServeError::Malformed("expected job refs".to_string()));
+                }
+                let refs_token = tokens
+                    .next()
+                    .ok_or_else(|| ServeError::Malformed("missing job refs".to_string()))?;
+                let refs = if refs_token == "-" {
+                    Vec::new()
+                } else {
+                    refs_token
+                        .split(',')
+                        .map(|token| parse_hash(Some(token), "job ref"))
+                        .collect::<Result<Vec<String>, ServeError>>()?
+                };
+                if tokens.next() != Some("inline") {
+                    return Err(ServeError::Malformed(
+                        "expected job inline length".to_string(),
+                    ));
+                }
+                let inline_len = parse_count(tokens.next(), "inline length")?;
+                if tokens.next() != Some("compact") {
+                    return Err(ServeError::Malformed(
+                        "expected job compact length".to_string(),
+                    ));
+                }
+                let compact_len = parse_count(tokens.next(), "compact length")?;
+                let inline = if inline_len == 0 {
+                    None
+                } else {
+                    Some(cursor.take(inline_len)?.to_string())
+                };
+                let compact = if compact_len == 0 {
+                    None
+                } else {
+                    Some(cursor.take(compact_len)?.to_string())
+                };
+                if inline.is_none() && compact.is_none() {
+                    return Err(ServeError::Malformed(
+                        "a job needs an inline or a compact payload".to_string(),
+                    ));
+                }
+                jobs.push(SubmissionJob {
+                    hash: job_hash,
+                    inline,
+                    compact,
+                    refs,
+                });
+            }
+            cells.push(SubmissionCell { hash, jobs });
+        }
+        if cursor.line()? != "end" {
+            return Err(ServeError::Malformed("missing end marker".to_string()));
+        }
+        cursor.expect_end()?;
+        Ok(Self { blobs, cells })
+    }
+
+    /// Verifies every hash against the bytes it claims to address: job
+    /// hashes against inline payloads (compact-only jobs are verified by
+    /// the server after canonicalisation, before anything is written to
+    /// the cache), cell hashes against job-hash lists, blob hashes
+    /// against blob bytes, and every job ref against the blob table.
+    /// Run by the server before anything touches the cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::HashMismatch`] naming the first offender;
+    /// [`ServeError::Malformed`] for a ref with no blob.
+    pub fn verify_hashes(&self) -> Result<(), ServeError> {
+        let mismatch = |what: String, claimed: &str, actual: String| ServeError::HashMismatch {
+            what,
+            claimed: claimed.to_string(),
+            actual,
+        };
+        let mut blob_hashes = std::collections::HashSet::new();
+        for (hash, blob) in &self.blobs {
+            let actual = content_hash(blob.as_bytes());
+            if &actual != hash {
+                return Err(mismatch("blob".to_string(), hash, actual));
+            }
+            blob_hashes.insert(hash.as_str());
+        }
+        for (index, cell) in self.cells.iter().enumerate() {
+            for job in &cell.jobs {
+                if let Some(inline) = &job.inline {
+                    let actual = content_hash(inline.as_bytes());
+                    if actual != job.hash {
+                        return Err(mismatch(format!("cell {index} job"), &job.hash, actual));
+                    }
+                }
+                for reference in &job.refs {
+                    if !blob_hashes.contains(reference.as_str()) {
+                        return Err(ServeError::Malformed(format!(
+                            "cell {index} references blob {reference} missing from the \
+                             submission blob table"
+                        )));
+                    }
+                }
+            }
+            let job_hashes: Vec<String> = cell.jobs.iter().map(|j| j.hash.clone()).collect();
+            let actual = cell_hash(&job_hashes);
+            if actual != cell.hash {
+                return Err(mismatch(format!("cell {index}"), &cell.hash, actual));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of jobs across all cells.
+    pub fn job_count(&self) -> usize {
+        self.cells.iter().map(|cell| cell.jobs.len()).sum()
+    }
+}
+
+/// One cell of a [`SubmissionOutcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellOutcome {
+    /// Echo of the submitted cell hash.
+    pub hash: String,
+    /// True when the whole cell came out of the result cache.
+    pub cached: bool,
+    /// The cell's merged answer blob, bit-exact.
+    pub blob: String,
+}
+
+/// The outcome of a submission: per-cell merged blobs plus cache
+/// statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SubmissionOutcome {
+    /// One outcome per submitted cell, in submission order.
+    pub cells: Vec<CellOutcome>,
+    /// Total jobs in the submission.
+    pub jobs_total: usize,
+    /// Jobs settled from the cache (including jobs of cached cells).
+    pub job_hits: usize,
+    /// Jobs actually dispatched to workers.
+    pub computed: usize,
+}
+
+impl SubmissionOutcome {
+    /// Encodes the outcome into a `result` body.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str("crp-serve-result v1\n");
+        out.push_str(&format!(
+            "jobs {} hits {} computed {}\n",
+            self.jobs_total, self.job_hits, self.computed
+        ));
+        out.push_str(&format!("cells {}\n", self.cells.len()));
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "cell {} cached {} bytes {}\n",
+                cell.hash,
+                if cell.cached { 1 } else { 0 },
+                cell.blob.len()
+            ));
+            out.push_str(&cell.blob);
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a `result` body.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Malformed`] describing the first offending line or
+    /// section.
+    pub fn decode(body: &str) -> Result<Self, ServeError> {
+        let mut cursor = Cursor::new(body);
+        let header = cursor.line()?;
+        if header != "crp-serve-result v1" {
+            return Err(ServeError::Malformed(format!(
+                "unexpected result header {header:?}"
+            )));
+        }
+        let mut tokens = cursor.line()?.split_ascii_whitespace();
+        let (jobs_total, job_hits, computed) = match (
+            tokens.next(),
+            tokens.next(),
+            tokens.next(),
+            tokens.next(),
+            tokens.next(),
+            tokens.next(),
+        ) {
+            (Some("jobs"), total, Some("hits"), hits, Some("computed"), computed) => (
+                parse_count(total, "jobs total")?,
+                parse_count(hits, "job hits")?,
+                parse_count(computed, "computed count")?,
+            ),
+            _ => return Err(ServeError::Malformed("bad result stats line".to_string())),
+        };
+        let mut tokens = cursor.line()?.split_ascii_whitespace();
+        if tokens.next() != Some("cells") {
+            return Err(ServeError::Malformed("expected a cells line".to_string()));
+        }
+        let cell_count = parse_count(tokens.next(), "cell count")?;
+        let mut cells = Vec::new();
+        for _ in 0..cell_count {
+            let mut tokens = cursor.line()?.split_ascii_whitespace();
+            if tokens.next() != Some("cell") {
+                return Err(ServeError::Malformed("expected a cell line".to_string()));
+            }
+            let hash = parse_hash(tokens.next(), "cell hash")?;
+            if tokens.next() != Some("cached") {
+                return Err(ServeError::Malformed("expected cached flag".to_string()));
+            }
+            let cached = match tokens.next() {
+                Some("1") => true,
+                Some("0") => false,
+                other => return Err(ServeError::Malformed(format!("bad cached flag {other:?}"))),
+            };
+            if tokens.next() != Some("bytes") {
+                return Err(ServeError::Malformed("expected cell bytes".to_string()));
+            }
+            let len = parse_count(tokens.next(), "cell blob length")?;
+            cells.push(CellOutcome {
+                hash,
+                cached,
+                blob: cursor.take(len)?.to_string(),
+            });
+        }
+        if cursor.line()? != "end" {
+            return Err(ServeError::Malformed("missing end marker".to_string()));
+        }
+        cursor.expect_end()?;
+        Ok(Self {
+            cells,
+            jobs_total,
+            job_hits,
+            computed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_submission() -> Submission {
+        let blob = "sampled 3fe0000000000000 3fd0000000000000".to_string();
+        let blob_hash = content_hash(blob.as_bytes());
+        let job = |text: &str| SubmissionJob {
+            hash: content_hash(text.as_bytes()),
+            inline: Some(text.to_string()),
+            compact: Some(format!("ref {blob_hash}")),
+            refs: vec![blob_hash.clone()],
+        };
+        let jobs_a = vec![
+            job("spec a shard 0\nmasses inline\n"),
+            job("spec a shard 1\n"),
+        ];
+        let jobs_b = vec![job("spec b shard 0\n")];
+        let cell = |jobs: Vec<SubmissionJob>| {
+            let hashes: Vec<String> = jobs.iter().map(|j| j.hash.clone()).collect();
+            SubmissionCell {
+                hash: cell_hash(&hashes),
+                jobs,
+            }
+        };
+        Submission {
+            blobs: vec![(blob_hash, blob)],
+            cells: vec![cell(jobs_a), cell(jobs_b)],
+        }
+    }
+
+    #[test]
+    fn service_messages_round_trip() {
+        let messages = [
+            ServeMessage::Hello {
+                version: SERVICE_VERSION,
+            },
+            ServeMessage::Submit {
+                id: 7,
+                body: demo_submission().encode(),
+            },
+            ServeMessage::Progress {
+                id: 7,
+                completed: 3,
+                total: 16,
+                hits: 2,
+            },
+            ServeMessage::Result {
+                id: 7,
+                body: "crp-serve-result v1\n…".to_string(),
+            },
+            ServeMessage::Error {
+                id: 7,
+                message: "cache on fire".to_string(),
+            },
+            ServeMessage::Shutdown,
+        ];
+        for message in messages {
+            assert_eq!(ServeMessage::decode(&message.encode()).unwrap(), message);
+        }
+    }
+
+    #[test]
+    fn a_worker_hello_is_reported_as_a_port_mixup() {
+        let err = ServeMessage::decode(b"hello v2 capacity 1").unwrap_err();
+        assert!(err.to_string().contains("worker"), "{err}");
+    }
+
+    #[test]
+    fn submissions_round_trip_byte_exactly() {
+        let submission = demo_submission();
+        let decoded = Submission::decode(&submission.encode()).unwrap();
+        assert_eq!(decoded, submission);
+        assert_eq!(decoded.job_count(), 3);
+        decoded.verify_hashes().unwrap();
+    }
+
+    #[test]
+    fn tampered_submissions_fail_hash_verification() {
+        let mut submission = demo_submission();
+        submission.cells[0].jobs[0]
+            .inline
+            .as_mut()
+            .expect("demo jobs carry inline payloads")
+            .push('!');
+        match submission.verify_hashes().unwrap_err() {
+            ServeError::HashMismatch { what, .. } => assert!(what.contains("job"), "{what}"),
+            other => panic!("expected a job hash mismatch, got {other}"),
+        }
+
+        let mut submission = demo_submission();
+        submission.cells[1].hash = content_hash(b"someone else's cell");
+        assert!(matches!(
+            submission.verify_hashes(),
+            Err(ServeError::HashMismatch { .. })
+        ));
+
+        let mut submission = demo_submission();
+        submission.blobs[0].1.push('x');
+        assert!(matches!(
+            submission.verify_hashes(),
+            Err(ServeError::HashMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_bodies_are_rejected() {
+        let body = demo_submission().encode();
+        for cut in [body.len() / 4, body.len() / 2, body.len() - 2] {
+            assert!(
+                Submission::decode(&body[..cut]).is_err(),
+                "cut at {cut} must not parse"
+            );
+        }
+        assert!(Submission::decode(&format!("{body}trailing")).is_err());
+    }
+
+    #[test]
+    fn outcomes_round_trip() {
+        let outcome = SubmissionOutcome {
+            cells: vec![
+                CellOutcome {
+                    hash: content_hash(b"cell-a"),
+                    cached: true,
+                    blob: "crp-shard-accumulator v1\ntrials 3\nend\n".to_string(),
+                },
+                CellOutcome {
+                    hash: content_hash(b"cell-b"),
+                    cached: false,
+                    blob: "blob with\nnewlines".to_string(),
+                },
+            ],
+            jobs_total: 5,
+            job_hits: 2,
+            computed: 3,
+        };
+        assert_eq!(
+            SubmissionOutcome::decode(&outcome.encode()).unwrap(),
+            outcome
+        );
+    }
+
+    #[test]
+    fn cell_hash_is_order_sensitive() {
+        let a = content_hash(b"a");
+        let b = content_hash(b"b");
+        assert_ne!(
+            cell_hash(&[a.clone(), b.clone()]),
+            cell_hash(&[b, a]),
+            "job order is part of a cell's identity"
+        );
+    }
+}

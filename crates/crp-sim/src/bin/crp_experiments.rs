@@ -13,9 +13,9 @@
 //! ```
 //!
 //! where `command` is one of `list`, `table1`, `table2`, `entropy`, `kl`,
-//! `baselines`, `range-finding`, `sweep`, `worker` or `all` (the
-//! default).  Experiment output is markdown, suitable for pasting into
-//! `EXPERIMENTS.md`; `sweep --csv` emits CSV instead.
+//! `baselines`, `range-finding`, `sweep`, `worker`, `serve`, `submit` or
+//! `all` (the default).  Experiment output is markdown, suitable for
+//! pasting into `EXPERIMENTS.md`; `sweep --csv` emits CSV instead.
 //!
 //! `--backend` selects the shard backend every experiment executes on
 //! (statistics are bit-identical across backends); `--threads` / its
@@ -29,7 +29,18 @@
 //! framed stream of shard specs — many shards per process — over stdio
 //! (the default, used by the dispatcher-spawned local pools) or over TCP
 //! with `worker --listen host:port` (start one per remote machine and
-//! list the addresses in the manifest).
+//! list the addresses in the manifest).  `worker --capacity N` lets the
+//! dispatcher keep N jobs in flight on one connection, executed
+//! concurrently.
+//!
+//! The `serve` subcommand runs the persistent sweep service: a daemon
+//! that keeps a warm worker fleet between CLI invocations and memoises
+//! every `(shard spec, seed)` job and every merged sweep cell in a
+//! content-addressed result cache (`--cache DIR`).  `submit` sends the
+//! same grid a `sweep` invocation would run to a daemon
+//! (`--connect host:port`) and prints the identical table or CSV;
+//! repeated or overlapping submissions settle from the cache,
+//! bit-identically and near-instantly.
 //!
 //! There is also a hidden `shard-worker` subcommand — the entry point the
 //! legacy one-shot process backend spawns: it reads a single shard spec
@@ -39,15 +50,17 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use crp_fleet::{FleetManifest, ServeOptions, TcpWorker};
+use crp_fleet::{FleetManifest, ScenarioStore, ServeOptions, TcpWorker};
 use crp_predict::ScenarioLibrary;
 use crp_protocols::{ProtocolRegistry, ProtocolSpec};
+use crp_serve::{ResultCache, SweepServer};
 use crp_sim::experiments::{
     baselines, entropy_sweep, kl_degradation, range_finding, table1, table2,
 };
+use crp_sim::service::{submit_matrix, sweep_hooks};
 use crp_sim::{
-    env_worker_threads, run_shard_worker, BackendChoice, RunnerConfig, SimError, SweepMatrix,
-    SweepProtocol, Table,
+    env_fleet_manifest, env_worker_threads, run_shard_worker, run_shard_worker_with, BackendChoice,
+    RunnerConfig, SimError, SweepMatrix, SweepProtocol, Table,
 };
 
 /// Parsed command-line options.
@@ -58,17 +71,27 @@ struct Options {
     seed: u64,
     backend: BackendChoice,
     threads: Option<usize>,
-    fleet: Option<String>,
+    fleet: Option<FleetManifest>,
     protocols: Vec<String>,
     scenarios: Vec<String>,
     csv: bool,
+    /// `serve --listen` address.
+    listen: String,
+    /// `submit --connect` address.
+    connect: String,
+    /// `serve --cache` directory (`None` disables the result cache).
+    cache: Option<String>,
 }
 
+/// The default loopback address `serve` listens on and `submit` dials.
+const DEFAULT_SERVICE_ADDR: &str = "127.0.0.1:9317";
+
 const USAGE: &str = "usage: crp_experiments \
-[list|table1|table2|entropy|kl|baselines|range-finding|sweep|worker|all] \
+[list|table1|table2|entropy|kl|baselines|range-finding|sweep|worker|serve|submit|all] \
 [--trials T] [--size N] [--seed S] [--backend serial|thread|process|fleet] \
 [--threads T] [--workers N] [--fleet local[:N],host:port,..] \
-[--protocols a,b,..] [--scenarios x,y,..] [--csv]";
+[--protocols a,b,..] [--scenarios x,y,..] [--csv] \
+[--listen host:port] [--connect host:port] [--cache DIR]";
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
@@ -90,6 +113,9 @@ fn parse_args() -> Result<Options, String> {
             "adversarial-drift".into(),
         ],
         csv: false,
+        listen: DEFAULT_SERVICE_ADDR.to_string(),
+        connect: DEFAULT_SERVICE_ADDR.to_string(),
+        cache: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut backend_explicit = false;
@@ -145,8 +171,29 @@ fn parse_args() -> Result<Options, String> {
                 let manifest = args
                     .get(index)
                     .ok_or("--fleet requires a manifest (e.g. local:4,host:9311)")?;
-                FleetManifest::parse(manifest).map_err(|e| e.to_string())?;
-                options.fleet = Some(manifest.clone());
+                options.fleet = Some(FleetManifest::parse(manifest).map_err(|e| e.to_string())?);
+            }
+            "--listen" => {
+                index += 1;
+                options.listen = args
+                    .get(index)
+                    .ok_or("--listen requires a host:port")?
+                    .clone();
+            }
+            "--connect" => {
+                index += 1;
+                options.connect = args
+                    .get(index)
+                    .ok_or("--connect requires a host:port")?
+                    .clone();
+            }
+            "--cache" => {
+                index += 1;
+                options.cache = Some(
+                    args.get(index)
+                        .ok_or("--cache requires a directory")?
+                        .clone(),
+                );
             }
             "--protocols" => {
                 index += 1;
@@ -175,7 +222,7 @@ fn parse_args() -> Result<Options, String> {
                 return Err(USAGE.to_string());
             }
             other if !other.starts_with("--") => {
-                const KNOWN: [&str; 9] = [
+                const KNOWN: [&str; 11] = [
                     "list",
                     "table1",
                     "table2",
@@ -184,6 +231,8 @@ fn parse_args() -> Result<Options, String> {
                     "baselines",
                     "range-finding",
                     "sweep",
+                    "serve",
+                    "submit",
                     "all",
                 ];
                 if !KNOWN.contains(&other) {
@@ -279,9 +328,10 @@ fn cli_column(name: &str) -> Result<SweepProtocol, SimError> {
     )
 }
 
-/// Runs an arbitrary (registry protocol × scenario) grid declared from the
-/// command line.
-fn run_sweep(options: &Options) -> Result<(), SimError> {
+/// The (registry protocol × scenario) grid the command line declares —
+/// shared by `sweep` (local execution) and `submit` (service execution),
+/// so both produce identical cells, seeds, and therefore statistics.
+fn cli_matrix(options: &Options) -> Result<SweepMatrix, SimError> {
     let library = ScenarioLibrary::new(options.size)?;
     let mut matrix = SweepMatrix::new().runner(cli_config(options)?);
     for name in &options.scenarios {
@@ -290,7 +340,11 @@ fn run_sweep(options: &Options) -> Result<(), SimError> {
     for name in &options.protocols {
         matrix = matrix.protocol(cli_column(name)?);
     }
-    let results = matrix.run()?;
+    Ok(matrix)
+}
+
+/// Prints sweep results the way the command line asked for them.
+fn print_results(options: &Options, results: &crp_sim::SweepResults) {
     if options.csv {
         print!("{}", results.to_csv());
     } else {
@@ -302,6 +356,71 @@ fn run_sweep(options: &Options) -> Result<(), SimError> {
             ))
         );
     }
+}
+
+/// Runs an arbitrary (registry protocol × scenario) grid declared from the
+/// command line.
+fn run_sweep(options: &Options) -> Result<(), SimError> {
+    let results = cli_matrix(options)?.run()?;
+    print_results(options, &results);
+    Ok(())
+}
+
+fn backend_error(what: impl std::fmt::Display) -> SimError {
+    SimError::Backend {
+        what: what.to_string(),
+    }
+}
+
+/// The worker pool a `serve` daemon owns, resolved like any fleet run:
+/// `--fleet`, then `CRP_FLEET`, then `--threads` local workers.
+fn fleet_endpoints(options: &Options) -> Result<Vec<crp_fleet::WorkerEndpoint>, SimError> {
+    let config = cli_config(options)?;
+    let manifest = match (&config.fleet, env_fleet_manifest()?) {
+        (Some(manifest), _) => Some(manifest.clone()),
+        (None, manifest) => manifest,
+    };
+    let backend = match manifest {
+        Some(manifest) => crp_sim::FleetBackend::from_manifest(&manifest)?,
+        None => crp_sim::FleetBackend::local(config.threads)?,
+    };
+    Ok(backend.endpoints().to_vec())
+}
+
+/// The persistent sweep service: a warm fleet plus the content-addressed
+/// result cache, serving framed submissions until shut down.
+fn serve_mode(options: &Options) -> Result<(), SimError> {
+    let endpoints = fleet_endpoints(options)?;
+    let cache = match &options.cache {
+        Some(dir) => Some(ResultCache::open(dir).map_err(backend_error)?),
+        None => None,
+    };
+    let server =
+        SweepServer::bind(options.listen.as_str(), endpoints, cache).map_err(backend_error)?;
+    match server.local_addr() {
+        Ok(addr) => eprintln!(
+            "sweep service listening on {addr} ({} workers, cache: {})",
+            server.dispatcher().endpoints().len(),
+            options.cache.as_deref().unwrap_or("disabled"),
+        ),
+        Err(err) => eprintln!("sweep service listening (address unknown: {err})"),
+    }
+    server.serve(sweep_hooks()).map_err(backend_error)
+}
+
+/// Submits the `sweep`-equivalent grid to a running daemon and prints
+/// the identical table or CSV, plus cache statistics on stderr.
+fn submit_mode(options: &Options) -> Result<(), SimError> {
+    let matrix = cli_matrix(options)?;
+    let (results, outcome) = submit_matrix(&options.connect, &matrix, |_, _, _| {})?;
+    print_results(options, &results);
+    let percent = (outcome.job_hits * 100)
+        .checked_div(outcome.jobs_total)
+        .unwrap_or(100);
+    eprintln!(
+        "submit: {}/{} job cache hits ({percent}%), {} computed on the fleet",
+        outcome.job_hits, outcome.jobs_total, outcome.computed
+    );
     Ok(())
 }
 
@@ -326,16 +445,16 @@ fn cli_config(options: &Options) -> Result<RunnerConfig, SimError> {
             }
         }
     }
+    // An explicit --fleet (already validated at parse time) travels as a
+    // typed RunnerConfig field — no environment-variable side channel —
+    // and wins over CRP_FLEET, which the backend layer falls back to.
+    if let Some(manifest) = &options.fleet {
+        config = config.with_fleet(manifest.clone());
+    }
     Ok(config)
 }
 
 fn run(options: &Options) -> Result<(), SimError> {
-    // The backend layer reads the manifest from CRP_FLEET; an explicit
-    // --fleet (already validated at parse time) wins over the
-    // environment by overriding it for this process.
-    if let Some(manifest) = &options.fleet {
-        std::env::set_var("CRP_FLEET", manifest);
-    }
     let config = cli_config(options)?;
     let wants = |name: &str| options.command == "all" || options.command == name;
 
@@ -345,6 +464,12 @@ fn run(options: &Options) -> Result<(), SimError> {
     }
     if options.command == "sweep" {
         return run_sweep(options);
+    }
+    if options.command == "serve" {
+        return serve_mode(options);
+    }
+    if options.command == "submit" {
+        return submit_mode(options);
     }
     if wants("table1") {
         println!(
@@ -401,6 +526,7 @@ fn run(options: &Options) -> Result<(), SimError> {
 /// environment for the failure tests and smoke jobs.
 fn worker_mode(args: &[String]) -> ExitCode {
     let mut listen: Option<String> = None;
+    let mut capacity: Option<usize> = None;
     let mut index = 0;
     while index < args.len() {
         match args[index].as_str() {
@@ -415,17 +541,38 @@ fn worker_mode(args: &[String]) -> ExitCode {
                 }
             }
             "--stdio" => listen = None,
+            "--capacity" => {
+                index += 1;
+                match args.get(index).and_then(|value| value.parse().ok()) {
+                    Some(value) if value >= 1 => capacity = Some(value),
+                    _ => {
+                        eprintln!("worker: --capacity requires a positive job count");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => {
                 eprintln!(
-                    "worker: unknown flag {other}; usage: worker [--stdio | --listen host:port]"
+                    "worker: unknown flag {other}; usage: worker \
+                     [--stdio | --listen host:port] [--capacity N]"
                 );
                 return ExitCode::FAILURE;
             }
         }
         index += 1;
     }
-    let options = ServeOptions::from_env();
-    let handler = |payload: &str| run_shard_worker(payload).map_err(|e| e.to_string());
+    let mut options = ServeOptions::from_env();
+    if let Some(capacity) = capacity {
+        options.capacity = capacity;
+    }
+    // One process-wide scenario store: `scenario-put` frames fill it,
+    // and the handler resolves compact `ref <hash>` spec sections out of
+    // it — a scenario's masses arrive once per worker, not once per
+    // shard.
+    let store = ScenarioStore::new();
+    let handler = |payload: &str| {
+        run_shard_worker_with(payload, &|hash| store.get(hash)).map_err(|e| e.to_string())
+    };
     match listen {
         Some(addr) => {
             let worker = match TcpWorker::bind(addr.as_str()) {
@@ -439,9 +586,9 @@ fn worker_mode(args: &[String]) -> ExitCode {
                 Ok(addr) => eprintln!("fleet worker listening on {addr}"),
                 Err(err) => eprintln!("fleet worker listening (address unknown: {err})"),
             }
-            worker.serve_forever(&handler, &options)
+            worker.serve_forever_with_store(&handler, &options, &store)
         }
-        None => match crp_fleet::serve_stdio(&handler, &options) {
+        None => match crp_fleet::serve_stdio_with_store(&handler, &options, &store) {
             Ok(_) => ExitCode::SUCCESS,
             Err(err) => {
                 eprintln!("worker: {err}");

@@ -139,7 +139,7 @@ pub fn run(universe_sizes: &[usize], config: &RunnerConfig) -> Result<BaselineRe
             })
             .max_rounds_with(|s| Some(64 * universe_of(s))),
         )
-        .runner(*config);
+        .runner(config.clone());
     for &n in universe_sizes {
         let library = ScenarioLibrary::new(n)?;
         matrix = matrix.scenario(Scenario::new(

@@ -94,7 +94,7 @@ pub fn run(
                 .universe(s.distribution().max_size())
                 .prediction(s.advice_condensed())
         }))
-        .runner(*config);
+        .runner(config.clone());
     let results = matrix.run()?;
 
     let mut points = Vec::new();

@@ -119,7 +119,7 @@ pub fn run(max_size: usize, config: &RunnerConfig) -> Result<KlSweepResult, SimE
                 .universe(s.distribution().max_size())
                 .prediction(s.advice_condensed())
         }))
-        .runner(*config);
+        .runner(config.clone());
     let results = matrix.run()?;
 
     let mut points = Vec::new();

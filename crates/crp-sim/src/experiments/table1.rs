@@ -121,7 +121,7 @@ pub fn run(max_size: usize, config: &RunnerConfig) -> Result<Table1Result, SimEr
                 .universe(s.distribution().max_size())
                 .prediction(s.advice_condensed())
         }))
-        .runner(*config);
+        .runner(config.clone());
     let results = matrix.run()?;
 
     let mut rows = Vec::new();

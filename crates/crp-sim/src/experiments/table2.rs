@@ -210,7 +210,7 @@ pub fn run(
     // randomized ones keep the Monte-Carlo budget.
     let mut matrix = SweepMatrix::new()
         .scenario(Scenario::new("jitter", jitter))
-        .runner(*config);
+        .runner(config.clone());
     for b in 0..=max_bits {
         let adversarial = adversarial_participants(universe_size, participants.min(16), b);
         matrix = matrix

@@ -183,7 +183,7 @@ pub(crate) fn backend_for(config: &RunnerConfig) -> Result<Box<dyn ShardBackend>
         BackendChoice::Serial => Box::new(SerialBackend),
         BackendChoice::Thread => Box::new(ThreadBackend::new(config.threads)),
         BackendChoice::Process => Box::new(FleetBackend::local(config.threads)?),
-        BackendChoice::Fleet => Box::new(FleetBackend::from_env_or_local(config.threads)?),
+        BackendChoice::Fleet => Box::new(FleetBackend::from_config(config)?),
     })
 }
 

@@ -15,9 +15,10 @@
 
 use std::path::PathBuf;
 
-use crp_fleet::{Dispatcher, FleetError, FleetManifest, WorkerEndpoint};
+use crp_fleet::{BlobSet, Dispatcher, FleetError, FleetManifest, JobPayload, WorkerEndpoint};
 
 use crate::runner::backend::{JobDoneFn, ShardBackend, ShardJob};
+use crate::runner::plan::RunnerConfig;
 use crate::runner::process::worker_binary;
 use crate::stats::TrialAccumulator;
 use crate::SimError;
@@ -49,8 +50,14 @@ pub fn env_fleet_manifest() -> Result<Option<FleetManifest>, SimError> {
 }
 
 /// Executes shard jobs on a pool of persistent fleet workers.
+///
+/// The backend owns its [`Dispatcher`], whose worker connections stay
+/// *warm* across [`ShardBackend::execute`] calls: repeated runs through
+/// the same backend (a sweep service answering submissions, a bench
+/// re-running a grid) reuse the same live worker processes, their
+/// scenario stores, and their shipped blobs.
 pub struct FleetBackend {
-    endpoints: Vec<WorkerEndpoint>,
+    dispatcher: Dispatcher,
 }
 
 impl FleetBackend {
@@ -111,15 +118,37 @@ impl FleetBackend {
         }
     }
 
+    /// The pool a [`RunnerConfig`] selects: its typed
+    /// [`RunnerConfig::fleet`] manifest when set, otherwise the
+    /// `CRP_FLEET` environment variable, otherwise `config.threads`
+    /// local subprocess workers.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetBackend::from_env_or_local`].
+    pub fn from_config(config: &RunnerConfig) -> Result<Self, SimError> {
+        match &config.fleet {
+            Some(manifest) => Self::from_manifest(manifest),
+            None => Self::from_env_or_local(config.threads),
+        }
+    }
+
     /// A pool over explicit endpoints (the fault-injection tests build
     /// pools mixing healthy and sabotaged workers this way).
     pub fn with_endpoints(endpoints: Vec<WorkerEndpoint>) -> Self {
-        Self { endpoints }
+        Self {
+            dispatcher: Dispatcher::new(endpoints),
+        }
     }
 
     /// The pool's endpoints.
     pub fn endpoints(&self) -> &[WorkerEndpoint] {
-        &self.endpoints
+        self.dispatcher.endpoints()
+    }
+
+    /// The warm dispatcher behind this backend.
+    pub fn dispatcher(&self) -> &Dispatcher {
+        &self.dispatcher
     }
 }
 
@@ -139,6 +168,11 @@ impl ShardBackend for FleetBackend {
         jobs: &[ShardJob<'_>],
         done: JobDoneFn<'_>,
     ) -> Result<Vec<TrialAccumulator>, SimError> {
+        // Each job ships as an inline payload plus (when the spec has
+        // masses) a compact payload referencing the scenario blobs by
+        // hash — the dispatcher ships each blob once per v2 worker and
+        // falls back to inline for v1 workers.
+        let mut blobs = BlobSet::new();
         let payloads = jobs
             .iter()
             .map(|job| {
@@ -150,14 +184,21 @@ impl ShardBackend for FleetBackend {
                         job.cell
                     ),
                 })?;
-                Ok(spec.to_wire(job.plan, job.base_seed, job.shard))
+                let inline = spec.to_wire(job.plan, job.base_seed, job.shard);
+                Ok(
+                    match spec.to_wire_compact(job.plan, job.base_seed, job.shard, &mut blobs) {
+                        Some((compact, refs)) => JobPayload::with_compact(inline, compact, refs),
+                        None => JobPayload::inline(inline),
+                    },
+                )
             })
-            .collect::<Result<Vec<String>, SimError>>()?;
+            .collect::<Result<Vec<JobPayload>, SimError>>()?;
         // Validate inside the dispatcher, before a job settles: a
         // well-framed answer whose accumulator body is corrupt is then
         // retried on another worker instead of failing the whole batch.
-        let answers = Dispatcher::new(self.endpoints.clone())
-            .dispatch_validated(&payloads, done, &|_, answer| {
+        let answers = self
+            .dispatcher
+            .dispatch_jobs(&payloads, &blobs, done, &|_, answer| {
                 TrialAccumulator::from_wire(answer).map(|_| ())
             })
             .map_err(fleet_error)?;

@@ -52,7 +52,7 @@ pub use plan::{
     env_worker_threads, BackendChoice, BatchProgress, ProgressFn, RunnerConfig, ShardPlan,
     TrialOutcome,
 };
-pub use process::{run_shard_worker, ProcessBackend, ShardSpec};
+pub use process::{run_shard_worker, run_shard_worker_with, ProcessBackend, ShardSpec};
 pub use thread::ThreadBackend;
 
 use backend::execute_and_merge;
@@ -144,8 +144,10 @@ where
     F: Fn(&mut ChaCha8Rng) -> TrialOutcome + Sync,
 {
     let config = match config.backend {
-        BackendChoice::Process | BackendChoice::Fleet => config.with_backend(BackendChoice::Thread),
-        _ => *config,
+        BackendChoice::Process | BackendChoice::Fleet => {
+            config.clone().with_backend(BackendChoice::Thread)
+        }
+        _ => config.clone(),
     };
     run_shards(&config, |rng| Ok(trial(rng)), None).expect("infallible trial closures cannot fail")
 }

@@ -8,6 +8,7 @@
 use std::str::FromStr;
 
 use crp_channel::Execution;
+use crp_fleet::FleetManifest;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -79,7 +80,11 @@ impl FromStr for BackendChoice {
 }
 
 /// Configuration of a batch of trials.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// (`RunnerConfig` is `Clone` but deliberately not `Copy`: the optional
+/// [`FleetManifest`] makes per-run fleet pools a first-class config
+/// field instead of an environment-variable side channel.)
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunnerConfig {
     /// Number of independent trials.
     pub trials: usize,
@@ -95,6 +100,12 @@ pub struct RunnerConfig {
     pub threads: usize,
     /// Which shard backend executes the batch.
     pub backend: BackendChoice,
+    /// The worker pool a [`BackendChoice::Fleet`] run dispatches to.
+    /// `None` falls back to the `CRP_FLEET` environment variable (and
+    /// then to `threads` local subprocess workers) — so library callers
+    /// can pin a per-run pool without touching the process environment.
+    /// The CLI's `--fleet` flag populates this field.
+    pub fleet: Option<FleetManifest>,
 }
 
 impl Default for RunnerConfig {
@@ -104,6 +115,7 @@ impl Default for RunnerConfig {
             base_seed: 0xC0FFEE,
             threads: default_threads(),
             backend: BackendChoice::default(),
+            fleet: None,
         }
     }
 }
@@ -185,6 +197,15 @@ impl RunnerConfig {
     /// Returns a copy selecting a different shard backend.
     pub fn with_backend(mut self, backend: BackendChoice) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Returns a copy pinned to a fleet manifest (and therefore the
+    /// fleet backend) — the typed equivalent of the `CRP_FLEET`
+    /// environment variable, which this field wins over.
+    pub fn with_fleet(mut self, manifest: FleetManifest) -> Self {
+        self.fleet = Some(manifest);
+        self.backend = BackendChoice::Fleet;
         self
     }
 }

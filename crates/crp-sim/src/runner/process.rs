@@ -21,6 +21,7 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 
+use crp_fleet::BlobSet;
 use crp_info::{CondensedDistribution, SizeDistribution};
 use crp_protocols::ProtocolSpec;
 
@@ -32,6 +33,7 @@ use crate::SimError;
 
 /// How a cell chooses its per-trial participant population, in
 /// serialisable form.
+#[derive(Debug)]
 pub(crate) enum WirePopulation {
     /// A fixed participant count.
     Fixed(usize),
@@ -48,6 +50,7 @@ pub(crate) enum WirePopulation {
 /// Obtained from a [`Simulation`] that was built from a registry
 /// [`ProtocolSpec`] (cells built around custom protocol *objects* have no
 /// serialisable description and cannot run on the process backend).
+#[derive(Debug)]
 pub struct ShardSpec {
     pub(crate) protocol: ProtocolSpec,
     pub(crate) population: WirePopulation,
@@ -184,13 +187,90 @@ impl ShardSpec {
         out
     }
 
+    /// Like [`ShardSpec::to_wire`], but with every masses section
+    /// (sampled population, prediction) replaced by a `ref <hash>` line
+    /// whose blob is registered in `blobs` — the scenario-by-hash form a
+    /// protocol-v2 fleet worker accepts once it holds the blobs.
+    /// Returns `None` when the spec has no masses to reference (the
+    /// compact form would equal the inline form).
+    ///
+    /// The inline encoding remains the *canonical* one: job identity and
+    /// cache keys hash the [`ShardSpec::to_wire`] bytes, so how a spec
+    /// was shipped can never change what it is.
+    pub fn to_wire_compact(
+        &self,
+        plan: ShardPlan,
+        base_seed: u64,
+        shard: usize,
+        blobs: &mut BlobSet,
+    ) -> Option<(String, Vec<String>)> {
+        let prediction_blob = self
+            .protocol
+            .params()
+            .prediction
+            .as_ref()
+            .map(|prediction| {
+                let mut blob = format!("{}", prediction.max_size());
+                push_masses(&mut blob, prediction.probabilities());
+                blob
+            });
+        let population_blob = match &self.population {
+            WirePopulation::Sampled(truth) => {
+                let mut blob = "sampled".to_string();
+                push_masses(&mut blob, truth.masses());
+                Some(blob)
+            }
+            _ => None,
+        };
+        if prediction_blob.is_none() && population_blob.is_none() {
+            return None;
+        }
+        let inline = self.to_wire(plan, base_seed, shard);
+        let mut refs = Vec::new();
+        let mut out = String::with_capacity(256);
+        for line in inline.lines() {
+            if line.starts_with("prediction ") && prediction_blob.is_some() {
+                let hash = blobs.insert(prediction_blob.clone().expect("checked above"));
+                out.push_str(&format!("prediction ref {hash}\n"));
+                refs.push(hash);
+            } else if line.starts_with("population sampled") && population_blob.is_some() {
+                let hash = blobs.insert(population_blob.clone().expect("checked above"));
+                out.push_str(&format!("population ref {hash}\n"));
+                refs.push(hash);
+            } else {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        refs.dedup();
+        Some((out, refs))
+    }
+
     /// Parses the message produced by [`ShardSpec::to_wire`], returning the
-    /// spec and the job coordinates `(plan, base_seed, shard)`.
+    /// spec and the job coordinates `(plan, base_seed, shard)`.  Compact
+    /// messages (with `ref <hash>` sections) are rejected here — use
+    /// [`ShardSpec::from_wire_with`] with a blob resolver for those.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Backend`] describing the first malformed line.
     pub fn from_wire(input: &str) -> Result<(Self, ShardPlan, u64, usize), SimError> {
+        Self::from_wire_with(input, &|_| None)
+    }
+
+    /// Parses an inline or compact shard-spec message, resolving
+    /// `ref <hash>` sections (compact scenario-by-hash shipping) through
+    /// `resolve` — a fleet worker passes a lookup into its
+    /// [`crp_fleet::ScenarioStore`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Backend`] describing the first malformed line
+    /// or an unresolvable blob reference.
+    pub fn from_wire_with(
+        input: &str,
+        resolve: &dyn Fn(&str) -> Option<String>,
+    ) -> Result<(Self, ShardPlan, u64, usize), SimError> {
         fn expect<'a>(lines: &mut std::str::Lines<'a>, label: &str) -> Result<&'a str, SimError> {
             let line = lines
                 .next()
@@ -219,9 +299,24 @@ impl ShardSpec {
             "none" => None,
             token => Some(parse_usize(token, "estimate")?),
         };
+        // A `ref <hash>` payload (compact scenario-by-hash shipping)
+        // dereferences to the text an inline message would have carried.
+        let deref = |payload: &str, label: &str| -> Result<Option<String>, SimError> {
+            let Some(hash) = payload.strip_prefix("ref ") else {
+                return Ok(None);
+            };
+            let hash = hash.trim();
+            resolve(hash).map(Some).ok_or_else(|| {
+                wire_error(format!(
+                    "{label} references scenario blob {hash}, which this worker does not hold"
+                ))
+            })
+        };
         let prediction = match expect(lines, "prediction")? {
             "none" => None,
             payload => {
+                let resolved = deref(payload, "prediction")?;
+                let payload = resolved.as_deref().unwrap_or(payload);
                 let mut tokens = payload.split_ascii_whitespace();
                 let max_size = parse_usize(
                     tokens
@@ -238,6 +333,8 @@ impl ShardSpec {
         };
         let population = {
             let payload = expect(lines, "population")?;
+            let resolved = deref(payload, "population")?;
+            let payload = resolved.as_deref().unwrap_or(payload);
             let mut tokens = payload.split_ascii_whitespace();
             match tokens.next() {
                 Some("fixed") => WirePopulation::Fixed(parse_usize(
@@ -327,7 +424,22 @@ impl ShardSpec {
 /// Returns [`SimError`] for malformed input or a failing trial; the worker
 /// process reports it on stderr and exits nonzero.
 pub fn run_shard_worker(input: &str) -> Result<String, SimError> {
-    let (spec, plan, base_seed, shard) = ShardSpec::from_wire(input)?;
+    run_shard_worker_with(input, &|_| None)
+}
+
+/// Like [`run_shard_worker`], but resolving compact `ref <hash>`
+/// sections through `resolve` — the long-lived fleet worker passes a
+/// lookup into its per-process [`crp_fleet::ScenarioStore`], so a
+/// scenario's masses arrive once per worker instead of once per shard.
+///
+/// # Errors
+///
+/// As [`run_shard_worker`], plus unresolvable blob references.
+pub fn run_shard_worker_with(
+    input: &str,
+    resolve: &dyn Fn(&str) -> Option<String>,
+) -> Result<String, SimError> {
+    let (spec, plan, base_seed, shard) = ShardSpec::from_wire_with(input, resolve)?;
     if shard >= plan.num_shards() {
         return Err(wire_error(format!(
             "shard {shard} out of range for a plan of {} shards",

@@ -1,0 +1,364 @@
+//! The sweep-service glue: how a [`SweepMatrix`] becomes a `crp-serve`
+//! submission and how a daemon's outcome becomes [`SweepResults`].
+//!
+//! The split of responsibilities:
+//!
+//! * **This module (client side)** compiles the matrix exactly like a
+//!   local run would, serialises every `(cell, shard)` job to its
+//!   canonical [`ShardSpec::to_wire`] encoding, keys jobs and cells by
+//!   [`content_hash`], and reassembles the daemon's bit-exact
+//!   accumulator blobs into the same [`SweepResults`] a local run
+//!   produces — so `crp_experiments submit --csv` is byte-for-byte
+//!   compatible with `sweep --csv`.
+//! * **This module (server side)** supplies the two closures a
+//!   payload-agnostic [`crp_serve::SweepServer`] needs:
+//!   [`merge_cell_answers`] (shard-order accumulator merge) and
+//!   [`check_answer`] (accumulator-codec validation of worker answers
+//!   and cache reads).
+//!
+//! Because a job's cache key is the hash of its canonical wire encoding,
+//! *any* change to the protocol spec, the scenario masses, the shard
+//! plan, or the seed produces a different key — cache invalidation is
+//! structural, with no versioning bookkeeping to forget.
+
+use crp_fleet::content_hash;
+use crp_serve::wire::{cell_hash, Submission, SubmissionCell, SubmissionJob};
+use crp_serve::{ServeClient, SubmissionHooks, SubmissionOutcome};
+
+use crate::runner::{ShardPlan, ShardSpec};
+use crate::stats::TrialAccumulator;
+use crate::sweep::{SweepCellResult, SweepMatrix, SweepResults};
+use crate::SimError;
+
+/// Everything the client keeps per cell to reassemble [`SweepResults`]
+/// from a daemon outcome (the daemon only ever sees hashes and blobs).
+pub struct CellTicket {
+    /// Scenario-axis label.
+    pub scenario: String,
+    /// Protocol-axis label.
+    pub protocol: String,
+    /// Monte-Carlo trial budget of the cell.
+    pub trials: usize,
+    /// Condensed entropy `H(c(X))` of the scenario truth.
+    pub condensed_entropy: f64,
+    /// Divergence `D_KL(c(X) ‖ c(Y))` between truth and advice.
+    pub advice_divergence: f64,
+}
+
+/// Compiles a matrix into a `crp-serve` submission plus the per-cell
+/// tickets needed to interpret the result.
+///
+/// # Errors
+///
+/// Compilation errors (unknown protocols, invalid cells), and
+/// [`SimError::Backend`] for cells built from custom protocol objects —
+/// those have no wire encoding and cannot be shipped to a service.
+pub fn compile_submission(matrix: &SweepMatrix) -> Result<(Submission, Vec<CellTicket>), SimError> {
+    let cells = matrix.compile()?;
+    let mut blobs = crp_fleet::BlobSet::new();
+    let mut submission_cells = Vec::with_capacity(cells.len());
+    let mut tickets = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        let spec = cell
+            .simulation
+            .shard_spec()
+            .ok_or_else(|| SimError::Backend {
+                what: format!(
+                    "cell {}/{} was built from a custom protocol object and has no wire \
+                 encoding; run it locally on the serial or thread backend",
+                    cell.scenario, cell.protocol
+                ),
+            })?;
+        let config = cell.simulation.config();
+        let plan = ShardPlan::new(config.trials);
+        let mut jobs = Vec::with_capacity(plan.num_shards());
+        for shard in 0..plan.num_shards() {
+            let inline = spec.to_wire(plan, config.base_seed, shard);
+            let (compact, refs) =
+                match spec.to_wire_compact(plan, config.base_seed, shard, &mut blobs) {
+                    Some((compact, refs)) => (Some(compact), refs),
+                    None => (None, Vec::new()),
+                };
+            let hash = content_hash(inline.as_bytes());
+            // A job with a compact form ships compact-only: the masses
+            // travel once in the submission's blob table, and the
+            // server reconstructs (and hash-verifies) the canonical
+            // inline through the canonicalizer hook.  Without one, the
+            // canonical encoding ships directly.
+            let inline = if compact.is_some() {
+                None
+            } else {
+                Some(inline)
+            };
+            jobs.push(SubmissionJob {
+                hash,
+                inline,
+                compact,
+                refs,
+            });
+        }
+        let hashes: Vec<String> = jobs.iter().map(|job| job.hash.clone()).collect();
+        submission_cells.push(SubmissionCell {
+            hash: cell_hash(&hashes),
+            jobs,
+        });
+        tickets.push(CellTicket {
+            scenario: cell.scenario.clone(),
+            protocol: cell.protocol.clone(),
+            trials: cell.trials,
+            condensed_entropy: cell.condensed_entropy,
+            advice_divergence: cell.advice_divergence,
+        });
+    }
+    Ok((
+        Submission {
+            blobs: blobs
+                .iter()
+                .map(|(hash, blob)| (hash.to_string(), blob.to_string()))
+                .collect(),
+            cells: submission_cells,
+        },
+        tickets,
+    ))
+}
+
+/// Reassembles a daemon outcome into the [`SweepResults`] the local
+/// sweep path produces — bit-identical statistics, same grid order.
+///
+/// # Errors
+///
+/// [`SimError::Backend`] when the outcome does not match the submission
+/// (cell count) or a blob fails the accumulator codec.
+pub fn results_from_outcome(
+    tickets: Vec<CellTicket>,
+    outcome: &SubmissionOutcome,
+) -> Result<SweepResults, SimError> {
+    if outcome.cells.len() != tickets.len() {
+        return Err(SimError::Backend {
+            what: format!(
+                "the sweep server answered {} cells for a {}-cell submission",
+                outcome.cells.len(),
+                tickets.len()
+            ),
+        });
+    }
+    let cells = tickets
+        .into_iter()
+        .zip(&outcome.cells)
+        .map(|(ticket, cell)| {
+            let accumulator =
+                TrialAccumulator::from_wire(&cell.blob).map_err(|e| SimError::Backend {
+                    what: format!("malformed cell blob from the sweep server: {e}"),
+                })?;
+            Ok(SweepCellResult {
+                scenario: ticket.scenario,
+                protocol: ticket.protocol,
+                trials: ticket.trials,
+                condensed_entropy: ticket.condensed_entropy,
+                advice_divergence: ticket.advice_divergence,
+                stats: accumulator.finalize(),
+            })
+        })
+        .collect::<Result<Vec<SweepCellResult>, SimError>>()?;
+    Ok(SweepResults::from_cells(cells))
+}
+
+/// Submits a matrix to a running sweep daemon and returns the results
+/// plus the daemon's cache statistics.  `progress` receives
+/// `(settled_jobs, total_jobs, cache_hits)` as the server streams them.
+///
+/// # Errors
+///
+/// Compilation errors, connection/protocol failures, and server-reported
+/// submission errors (all as typed [`SimError`]s).
+pub fn submit_matrix(
+    addr: &str,
+    matrix: &SweepMatrix,
+    mut progress: impl FnMut(usize, usize, usize),
+) -> Result<(SweepResults, SubmissionOutcome), SimError> {
+    let (submission, tickets) = compile_submission(matrix)?;
+    let mut client = ServeClient::connect(addr).map_err(|e| SimError::Backend {
+        what: e.to_string(),
+    })?;
+    let outcome = client
+        .submit(&submission, |settled, total, hits| {
+            progress(settled, total, hits)
+        })
+        .map_err(|e| SimError::Backend {
+            what: e.to_string(),
+        })?;
+    let results = results_from_outcome(tickets, &outcome)?;
+    Ok((results, outcome))
+}
+
+/// The server-side canonicalizer: parses a compact shard-spec payload
+/// (resolving `ref <hash>` sections through the submission's blob
+/// table) and re-serialises it to the canonical inline encoding the
+/// job's cache key hashes.
+///
+/// # Errors
+///
+/// The codec's description of a malformed payload or an unresolvable
+/// blob reference.
+pub fn canonicalize_compact_spec(
+    compact: &str,
+    resolve: &dyn Fn(&str) -> Option<String>,
+) -> Result<String, String> {
+    let (spec, plan, base_seed, shard) =
+        ShardSpec::from_wire_with(compact, resolve).map_err(|e| e.to_string())?;
+    Ok(spec.to_wire(plan, base_seed, shard))
+}
+
+/// The hooks a [`crp_serve::SweepServer`] needs to host sweep
+/// submissions: accumulator merge, accumulator validation, and the
+/// compact-spec canonicalizer.
+pub fn sweep_hooks() -> SubmissionHooks<'static> {
+    SubmissionHooks {
+        merge: &merge_cell_answers,
+        check: &check_answer,
+        canonicalize: &canonicalize_compact_spec,
+    }
+}
+
+/// The server-side cell merger: parses each shard answer, merges in
+/// submission (= shard) order, and re-serialises — producing exactly the
+/// accumulator a local run would have merged, bit for bit.
+///
+/// # Errors
+///
+/// A description of the first malformed answer (the server turns it into
+/// a submission error; in practice [`check_answer`] has already vetted
+/// every answer).
+pub fn merge_cell_answers(answers: &[String]) -> Result<String, String> {
+    let mut merged = TrialAccumulator::new();
+    for answer in answers {
+        merged.merge(&TrialAccumulator::from_wire(answer)?);
+    }
+    Ok(merged.to_wire())
+}
+
+/// The server-side answer check: a blob (worker answer or cache read)
+/// must round-trip the accumulator codec before it is trusted.
+///
+/// # Errors
+///
+/// The codec's description of the first malformed line.
+pub fn check_answer(answer: &str) -> Result<(), String> {
+    TrialAccumulator::from_wire(answer).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepProtocol;
+    use crp_predict::ScenarioLibrary;
+    use crp_protocols::ProtocolSpec;
+
+    fn demo_matrix(trials: usize) -> SweepMatrix {
+        let library = ScenarioLibrary::new(256).unwrap();
+        SweepMatrix::new()
+            .scenarios([library.bimodal(), library.adversarial_drift()])
+            .protocol(
+                SweepProtocol::from_scenario("decay", |s| {
+                    ProtocolSpec::new("decay").universe(s.distribution().max_size())
+                })
+                .max_rounds_with(|s| Some(64 * s.distribution().max_size())),
+            )
+            .trials(trials)
+            .seed(11)
+    }
+
+    #[test]
+    fn submissions_share_scenario_blobs_across_jobs() {
+        // 600 trials = 3 shards per cell; both cells of a scenario share
+        // its masses blob, so the blob table stays small.
+        let (submission, tickets) = compile_submission(&demo_matrix(600)).unwrap();
+        assert_eq!(submission.cells.len(), 2);
+        assert_eq!(tickets.len(), 2);
+        assert_eq!(submission.job_count(), 6);
+        submission.verify_hashes().unwrap();
+        // Two scenarios → two truth blobs (no predictions in this grid);
+        // every job references its scenario's blob.
+        assert_eq!(submission.blobs.len(), 2);
+        for cell in &submission.cells {
+            for job in &cell.jobs {
+                assert!(job.compact.is_some());
+                assert!(
+                    job.inline.is_none(),
+                    "compact jobs must not duplicate their masses inline"
+                );
+                assert_eq!(job.refs.len(), 1);
+                // The server can reconstruct the canonical bytes the
+                // hash addresses from compact + blobs alone.
+                let resolve = |hash: &str| {
+                    submission
+                        .blobs
+                        .iter()
+                        .find(|(h, _)| h == hash)
+                        .map(|(_, blob)| blob.clone())
+                };
+                let canonical =
+                    canonicalize_compact_spec(job.compact.as_deref().unwrap(), &resolve).unwrap();
+                assert_eq!(content_hash(canonical.as_bytes()), job.hash);
+            }
+        }
+    }
+
+    #[test]
+    fn job_hashes_change_with_spec_masses_plan_and_seed() {
+        let library = ScenarioLibrary::new(256).unwrap();
+        let base = |matrix: &SweepMatrix| {
+            let (submission, _) = compile_submission(matrix).unwrap();
+            submission.cells[0].jobs[0].hash.clone()
+        };
+        let reference = base(&demo_matrix(600));
+        // Different seed → different hash.
+        assert_ne!(reference, base(&demo_matrix(600).seed(12)));
+        // Different plan (trial budget) → different hash.
+        assert_ne!(reference, base(&demo_matrix(900)));
+        // Different protocol spec → different hash.
+        let other_protocol = SweepMatrix::new()
+            .scenario(library.bimodal())
+            .protocol(
+                SweepProtocol::from_scenario("willard", |s| {
+                    ProtocolSpec::new("willard").universe(s.distribution().max_size())
+                })
+                .max_rounds_with(|s| Some(64 * s.distribution().max_size())),
+            )
+            .trials(600)
+            .seed(11);
+        assert_ne!(reference, base(&other_protocol));
+        // Different scenario masses → different hash.
+        let other_scenario = SweepMatrix::new()
+            .scenario(library.geometric())
+            .protocol(
+                SweepProtocol::from_scenario("decay", |s| {
+                    ProtocolSpec::new("decay").universe(s.distribution().max_size())
+                })
+                .max_rounds_with(|s| Some(64 * s.distribution().max_size())),
+            )
+            .trials(600)
+            .seed(11);
+        assert_ne!(reference, base(&other_scenario));
+    }
+
+    #[test]
+    fn merge_matches_the_local_shard_order_merge() {
+        // Merging wire answers shard by shard must equal merging the
+        // accumulators in process.
+        let mut a = TrialAccumulator::new();
+        let mut b = TrialAccumulator::new();
+        for i in 0..100u64 {
+            a.record(i % 7 != 0, i + 1);
+            b.record(i % 3 != 0, 2 * i + 5);
+        }
+        let merged_wire =
+            merge_cell_answers(&[a.to_wire(), b.to_wire()]).expect("well-formed answers merge");
+        let mut local = TrialAccumulator::new();
+        local.merge(&a);
+        local.merge(&b);
+        assert_eq!(merged_wire, local.to_wire());
+        check_answer(&merged_wire).unwrap();
+        assert!(check_answer("not an accumulator").is_err());
+    }
+}

@@ -350,7 +350,7 @@ impl SweepMatrix {
                         .runner(RunnerConfig {
                             trials,
                             base_seed: seed,
-                            ..self.config
+                            ..self.config.clone()
                         });
                     let population = protocol
                         .population
@@ -520,6 +520,13 @@ pub struct SweepResults {
 }
 
 impl SweepResults {
+    /// Assembles a results grid from already-computed cells — the
+    /// sweep-service client path, where cells arrive as cached or
+    /// remotely merged accumulators instead of local executions.
+    pub fn from_cells(cells: Vec<SweepCellResult>) -> Self {
+        Self { cells }
+    }
+
     /// Every cell, in grid order (scenario-major).
     pub fn cells(&self) -> &[SweepCellResult] {
         &self.cells

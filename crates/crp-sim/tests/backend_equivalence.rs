@@ -42,6 +42,37 @@ fn fleet_with_dying_worker() -> FleetBackend {
     ])
 }
 
+/// One worker whose hello advertises capacity 4: the dispatcher keeps up
+/// to four jobs pipelined on the single connection (answers tagged by
+/// id, possibly out of order) — and the statistics must not move a bit.
+fn fleet_with_capacity_4_worker() -> FleetBackend {
+    FleetBackend::with_endpoints(vec![WorkerEndpoint::local(
+        WORKER_BIN,
+        vec![
+            "worker".to_string(),
+            "--stdio".to_string(),
+            "--capacity".to_string(),
+            "4".to_string(),
+        ],
+    )])
+}
+
+/// A mixed-version pool: one worker forced to speak protocol v1 (no
+/// scenario messages, fully inline payloads) next to a current v2
+/// worker.  Version negotiation must keep both productive and the
+/// statistics identical.
+fn fleet_with_v1_worker() -> FleetBackend {
+    let args = vec!["worker".to_string(), "--stdio".to_string()];
+    FleetBackend::with_endpoints(vec![
+        WorkerEndpoint::local_with_env(
+            WORKER_BIN,
+            args.clone(),
+            vec![("CRP_FLEET_SPEAK_V1".to_string(), "1".to_string())],
+        ),
+        WorkerEndpoint::local(WORKER_BIN, args),
+    ])
+}
+
 /// Every backend the equivalence criterion quantifies over.
 fn all_backends() -> Vec<(&'static str, Box<dyn ShardBackend>)> {
     vec![
@@ -55,6 +86,8 @@ fn all_backends() -> Vec<(&'static str, Box<dyn ShardBackend>)> {
             Box::new(FleetBackend::local_with_command(2, WORKER_BIN)),
         ),
         ("fleet-dying-worker", Box::new(fleet_with_dying_worker())),
+        ("fleet-capacity-4", Box::new(fleet_with_capacity_4_worker())),
+        ("fleet-v1-worker", Box::new(fleet_with_v1_worker())),
     ]
 }
 

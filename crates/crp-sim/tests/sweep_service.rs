@@ -1,0 +1,129 @@
+//! End-to-end acceptance of the sweep service: a real `SweepServer`
+//! over loopback TCP, dispatching to real `crp_experiments worker`
+//! subprocesses, with the content-addressed result cache in the middle.
+//!
+//! The criteria under test:
+//!
+//! * a submission's statistics are **bit-identical** to a local
+//!   `SerialBackend` run of the same matrix;
+//! * a resubmission settles 100% from the cache — zero fleet work —
+//!   and is again bit-identical;
+//! * a corrupt cache entry is rejected (typed error inside, never a
+//!   panic), recomputed, healed, and the result still does not move by
+//!   a bit;
+//! * overlapping sweeps only compute their new cells.
+
+use crp_fleet::WorkerEndpoint;
+use crp_predict::ScenarioLibrary;
+use crp_protocols::ProtocolSpec;
+use crp_serve::{ResultCache, ServeClient, SweepServer};
+use crp_sim::service::{compile_submission, submit_matrix, sweep_hooks};
+use crp_sim::{SerialBackend, SweepMatrix, SweepProtocol};
+
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_crp_experiments");
+
+fn worker_endpoints(workers: usize) -> Vec<WorkerEndpoint> {
+    (0..workers)
+        .map(|_| {
+            WorkerEndpoint::local(
+                WORKER_BIN,
+                vec!["worker".to_string(), "--stdio".to_string()],
+            )
+        })
+        .collect()
+}
+
+fn demo_matrix() -> SweepMatrix {
+    let library = ScenarioLibrary::new(256).unwrap();
+    SweepMatrix::new()
+        .scenarios([library.bimodal(), library.adversarial_drift()])
+        .protocol(
+            SweepProtocol::from_scenario("decay", |s| {
+                ProtocolSpec::new("decay").universe(s.distribution().max_size())
+            })
+            .max_rounds_with(|s| Some(64 * s.distribution().max_size())),
+        )
+        .protocol(
+            SweepProtocol::from_scenario("sorted-guess", |s| {
+                ProtocolSpec::new("sorted-guess-cycling")
+                    .universe(s.distribution().max_size())
+                    .prediction(s.advice_condensed())
+            })
+            .max_rounds_with(|s| Some(64 * s.distribution().max_size())),
+        )
+        .trials(300)
+        .seed(0xCAFE)
+}
+
+#[test]
+fn service_results_are_bit_identical_cached_and_self_healing() {
+    let cache_dir =
+        std::env::temp_dir().join(format!("crp-sweep-service-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cache = ResultCache::open(&cache_dir).unwrap();
+    let server =
+        SweepServer::bind("127.0.0.1:0", worker_endpoints(2), Some(cache.clone())).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let daemon = std::thread::spawn(move || server.serve(sweep_hooks()));
+
+    let matrix = demo_matrix();
+    let reference = matrix.run_on(&SerialBackend).unwrap();
+
+    // Cold: everything computed on the fleet, results bit-identical to
+    // the local serial run.
+    let (results, outcome) = submit_matrix(&addr, &matrix, |_, _, _| {}).unwrap();
+    assert_eq!(reference, results, "service run diverged from serial");
+    assert_eq!(outcome.jobs_total, 8, "4 cells x 2 shards");
+    assert_eq!(outcome.job_hits, 0);
+    assert_eq!(outcome.computed, 8);
+
+    // Warm: 100% cache hits, zero fleet work, still bit-identical.
+    let mut progress_hits = 0;
+    let (results, outcome) = submit_matrix(&addr, &matrix, |_, _, hits| {
+        progress_hits = hits;
+    })
+    .unwrap();
+    assert_eq!(reference, results, "cache hits diverged from serial");
+    assert_eq!(outcome.job_hits, outcome.jobs_total);
+    assert_eq!(outcome.computed, 0);
+    assert_eq!(progress_hits, outcome.jobs_total);
+    assert!(outcome.cells.iter().all(|cell| cell.cached));
+
+    // Vandalise the first cell's cache entry and one of its job
+    // entries: the service must detect the corruption, recompute
+    // exactly the corrupted job, heal the entries, and return the same
+    // bits as ever.
+    let (submission, _) = compile_submission(&matrix).unwrap();
+    for key in [&submission.cells[0].hash, &submission.cells[0].jobs[0].hash] {
+        let path = cache_dir.join(&key[..2]).join(format!("{key}.crp"));
+        std::fs::write(&path, b"crp-cache v1\nvandalised").unwrap();
+        assert!(
+            matches!(
+                cache.get(key),
+                Err(crp_serve::ServeError::CorruptCache { .. })
+            ),
+            "the vandalised entry must surface as a typed corruption error"
+        );
+    }
+    let (results, outcome) = submit_matrix(&addr, &matrix, |_, _, _| {}).unwrap();
+    assert_eq!(reference, results, "recomputed cell diverged");
+    assert_eq!(outcome.computed, 1, "only the corrupted job recomputes");
+    assert!(cache.get(&submission.cells[0].hash).unwrap().is_some());
+
+    // Overlap: two old cells plus two new ones (different seed) — only
+    // the new cells' jobs run.
+    let overlapping = demo_matrix().seed(0xBEEF);
+    let overlap_reference = overlapping.run_on(&SerialBackend).unwrap();
+    let (results, outcome) = submit_matrix(&addr, &overlapping, |_, _, _| {}).unwrap();
+    assert_eq!(overlap_reference, results);
+    assert_eq!(outcome.job_hits, 0, "a new seed shares no jobs");
+    let (_, outcome) = submit_matrix(&addr, &overlapping, |_, _, _| {}).unwrap();
+    assert_eq!(outcome.job_hits, outcome.jobs_total);
+
+    ServeClient::connect(addr.as_str())
+        .unwrap()
+        .shutdown_server()
+        .unwrap();
+    daemon.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

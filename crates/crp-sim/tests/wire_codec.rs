@@ -227,3 +227,58 @@ fn accumulator_rejects_truncation_and_corrupt_buckets() {
     let corrupt = wire.replacen("overall-counts 50", "overall-counts 51", 1);
     assert!(TrialAccumulator::from_wire(&corrupt).is_err());
 }
+
+#[test]
+fn compact_specs_resolve_refs_to_the_exact_inline_parse() {
+    // The compact (scenario-by-hash) encoding must parse to the same
+    // spec as the inline encoding once its blobs are resolved, and it
+    // must be rejected with a typed error when a blob is missing.
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED);
+    for _ in 0..8 {
+        let truth = random_distribution(&mut rng);
+        let prediction = CondensedDistribution::from_sizes(&random_distribution(&mut rng));
+        let spec = ShardSpec::sampled(
+            ProtocolSpec::new("sorted-guess-cycling")
+                .universe(truth.max_size())
+                .prediction(prediction),
+            truth,
+            4096,
+        );
+        let plan = ShardPlan::new(700);
+        let inline = spec.to_wire(plan, 42, 1);
+        let mut blobs = crp_fleet::BlobSet::new();
+        let (compact, refs) = spec
+            .to_wire_compact(plan, 42, 1, &mut blobs)
+            .expect("a spec with masses has a compact form");
+        assert!(compact.len() < inline.len(), "compact must actually shrink");
+        assert_eq!(refs.len(), 2, "population + prediction references");
+        for hash in &refs {
+            assert!(blobs.get(hash).is_some(), "every ref has its blob");
+        }
+
+        // Resolving through the blob set reproduces the inline parse —
+        // and re-serialising yields the identical canonical bytes.
+        let resolve = |hash: &str| blobs.get(hash).map(str::to_string);
+        let (parsed, parsed_plan, seed, shard) =
+            ShardSpec::from_wire_with(&compact, &resolve).unwrap();
+        assert_eq!((parsed_plan, seed, shard), (plan, 42, 1));
+        assert_eq!(parsed.to_wire(plan, 42, 1), inline);
+
+        // A worker without the blobs must refuse, not guess.
+        let err = ShardSpec::from_wire(&compact).unwrap_err();
+        assert!(
+            err.to_string().contains("does not hold"),
+            "unexpected error: {err}"
+        );
+    }
+}
+
+#[test]
+fn specs_without_masses_have_no_compact_form() {
+    let spec = ShardSpec::fixed(ProtocolSpec::new("decay").universe(64), 8, 100);
+    let mut blobs = crp_fleet::BlobSet::new();
+    assert!(spec
+        .to_wire_compact(ShardPlan::new(10), 1, 0, &mut blobs)
+        .is_none());
+    assert!(blobs.is_empty());
+}

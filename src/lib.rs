@@ -22,8 +22,12 @@
 //!   [`protocols::Protocol`] API with its name-based
 //!   [`protocols::ProtocolRegistry`].
 //! * [`fleet`] (`crp-fleet`) — fleet dispatch: the framed worker wire
-//!   protocol, long-lived stdio/TCP workers, and the straggler-retrying
-//!   job dispatcher behind [`sim::FleetBackend`].
+//!   protocol (v2: capacity pipelining, scenario-by-hash blobs, ping
+//!   health checks), long-lived stdio/TCP workers, and the
+//!   straggler-retrying job dispatcher behind [`sim::FleetBackend`].
+//! * [`serve`] (`crp-serve`) — the persistent sweep service: a
+//!   warm-fleet daemon with a content-addressed result cache, fronted
+//!   by `crp_experiments serve` / `submit`.
 //! * [`sim`] (`crp-sim`) — the Monte-Carlo experiment harness, fronted by
 //!   the builder-style [`sim::Simulation`].
 //!
@@ -81,6 +85,11 @@ pub use crp_protocols as protocols;
 /// Fleet dispatch: framed worker protocol, long-lived stdio/TCP workers
 /// and the straggler-retrying dispatcher (re-export of `crp-fleet`).
 pub use crp_fleet as fleet;
+
+/// The persistent sweep service: warm-fleet daemon, content-addressed
+/// result cache, and the framed submit/progress/result client protocol
+/// (re-export of `crp-serve`).
+pub use crp_serve as serve;
 
 /// Monte-Carlo experiment harness (re-export of `crp-sim`).
 pub use crp_sim as sim;
