@@ -1,0 +1,124 @@
+//! Bench F-FUZZ: campaign throughput and shrink cost of the fuzzing
+//! subsystem, recorded as `BENCH_fuzz.json` at the workspace root so the
+//! numbers accumulate a perf history across revisions.
+//!
+//! Two measured workloads:
+//!
+//! * **campaign** — a fixed-seed 12-trace campaign over the shipped
+//!   protocols (which must stay violation-free); the headline number is
+//!   traces evaluated per second.
+//! * **shrink** — the calibrated blind-trust bait campaign with
+//!   minimisation enabled; the recorded numbers are the predicate
+//!   evaluations spent and the size of the minimal reproducer.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use crp_fuzz::{run_campaign, FuzzConfig};
+
+/// The shipped-protocol campaign: must be clean, measures throughput.
+fn campaign_config() -> FuzzConfig {
+    FuzzConfig {
+        budget: 12,
+        seed: 0xBE7C,
+        universe: 64,
+        steps: 8,
+        trials: 80,
+        protocols: vec!["decay".into(), "sorted-guess-cycling".into()],
+        ..FuzzConfig::default()
+    }
+}
+
+/// The blind-trust bait campaign: must fail and shrink, measures the
+/// minimisation cost (mirrors `crp-fuzz/tests/oracle_and_shrink.rs`).
+fn shrink_config() -> FuzzConfig {
+    FuzzConfig {
+        budget: 6,
+        seed: 7,
+        universe: 64,
+        steps: 8,
+        trials: 60,
+        protocols: vec!["blind-trust".into()],
+        shrink: true,
+        max_shrink_evals: 200,
+        ..FuzzConfig::default()
+    }
+}
+
+/// Minimal hand-rolled JSON emission (the workspace has no serde).
+fn write_json(fields: &[(&str, String)]) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fuzz.json");
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(key, value)| format!("  \"{key}\": {value}"))
+        .collect();
+    std::fs::write(&path, format!("{{\n{}\n}}\n", body.join(",\n")))?;
+    Ok(path)
+}
+
+fn record_history() {
+    let campaign = campaign_config();
+    let start = Instant::now();
+    let report = run_campaign(&campaign).expect("campaign config is valid");
+    let elapsed = start.elapsed();
+    assert!(
+        report.clean(),
+        "the shipped protocols must stay violation-free: {:?}",
+        report.failures
+    );
+    let traces_per_sec = report.traces_run as f64 / elapsed.as_secs_f64().max(1e-12);
+
+    let bait = shrink_config();
+    let shrink_start = Instant::now();
+    let bait_report = run_campaign(&bait).expect("bait config is valid");
+    let shrink_elapsed = shrink_start.elapsed();
+    assert!(
+        !bait_report.failures.is_empty(),
+        "the bait protocol must fail so the shrinker has work"
+    );
+    let shrink_evals: usize = bait_report.failures.iter().map(|f| f.shrink_evals).sum();
+    let minimal_events: usize = bait_report
+        .failures
+        .iter()
+        .filter_map(|f| f.minimal.as_ref())
+        .map(crp_fuzz::Trace::len)
+        .max()
+        .expect("shrinking was enabled");
+
+    let fields = [
+        ("bench", "\"fuzz\"".to_string()),
+        ("traces_run", report.traces_run.to_string()),
+        ("campaign_sec", format!("{:.6}", elapsed.as_secs_f64())),
+        ("traces_per_sec", format!("{traces_per_sec:.1}")),
+        ("shrink_failures", bait_report.failures.len().to_string()),
+        ("shrink_evals", shrink_evals.to_string()),
+        ("minimal_events", minimal_events.to_string()),
+        ("shrink_sec", format!("{:.6}", shrink_elapsed.as_secs_f64())),
+    ];
+    match write_json(&fields) {
+        Ok(path) => println!(
+            "\n=== Fuzz campaign ===\n{} traces in {elapsed:?} ({traces_per_sec:.1}/s); \
+             bait shrunk to {minimal_events} events in {shrink_evals} evaluations \
+             ({shrink_elapsed:?})\nhistory written to {}",
+            report.traces_run,
+            path.display()
+        ),
+        Err(err) => println!("could not write BENCH_fuzz.json: {err}"),
+    }
+}
+
+fn fuzz_campaign(c: &mut Criterion) {
+    record_history();
+    let config = campaign_config();
+    let mut group = c.benchmark_group("fuzz_campaign");
+    group.sample_size(10);
+    group.bench_with_input(
+        criterion::BenchmarkId::new("campaign", config.budget),
+        &config,
+        |b, config| b.iter(|| black_box(run_campaign(config).unwrap())),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, fuzz_campaign);
+criterion_main!(benches);

@@ -1,0 +1,379 @@
+//! Declarative chaos plans: typed, scheduled fault injection.
+//!
+//! The fault-injection knobs ([`crate::ServeOptions`]'s
+//! `CRP_FLEET_DIE_AFTER` family) started life as ad-hoc environment
+//! variables set by hand in the failure tests.  A [`ChaosPlan`] promotes
+//! them to a first-class value: an ordered set of [`ChaosEvent`]s — *which
+//! worker* suffers *which fault* *after how many jobs* — that sweeps and
+//! fuzz campaigns can declare, persist, and minimise with the same
+//! machinery as scenario faults.  [`ChaosPlan::apply`] compiles the plan
+//! back down to the env knobs on a pool's local subprocess endpoints, so
+//! the worker side needs no new protocol: the env variables remain as the
+//! compatibility layer the plan targets.
+//!
+//! Plans have a canonical text form, `WORKER:FAULT@JOBS` entries joined by
+//! commas (e.g. `0:die@2,1:wedge@5`), carried by the `--chaos` CLI flag
+//! and round-tripped by [`ChaosPlan::parse`] / [`std::fmt::Display`].
+
+use std::fmt;
+
+use crate::endpoint::WorkerEndpoint;
+use crate::FleetError;
+
+/// One injectable fault family, mirroring the [`crate::ServeOptions`]
+/// knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker process exits (code 17) mid-answer when the scheduled
+    /// job arrives, leaving a truncated frame.
+    Die,
+    /// Every answer from the scheduled job onwards is unframable bytes.
+    Garbage,
+    /// Every answer from the scheduled job onwards is a well-framed
+    /// `done` whose body fails payload validation.
+    Mangle,
+    /// The worker goes silent when the scheduled job arrives, holding
+    /// its connection open.
+    Wedge,
+}
+
+impl FaultKind {
+    /// Every fault kind, in a stable order.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::Die,
+        FaultKind::Garbage,
+        FaultKind::Mangle,
+        FaultKind::Wedge,
+    ];
+
+    /// The canonical plan-entry name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Die => "die",
+            FaultKind::Garbage => "garbage",
+            FaultKind::Mangle => "mangle",
+            FaultKind::Wedge => "wedge",
+        }
+    }
+
+    /// The legacy environment knob this fault compiles down to.
+    pub fn env_var(&self) -> &'static str {
+        match self {
+            FaultKind::Die => "CRP_FLEET_DIE_AFTER",
+            FaultKind::Garbage => "CRP_FLEET_GARBAGE_AFTER",
+            FaultKind::Mangle => "CRP_FLEET_MANGLE_AFTER",
+            FaultKind::Wedge => "CRP_FLEET_WEDGE_AFTER",
+        }
+    }
+
+    fn parse(text: &str, entry: &str) -> Result<Self, FleetError> {
+        Self::ALL
+            .into_iter()
+            .find(|kind| kind.name() == text)
+            .ok_or_else(|| FleetError::Chaos {
+                entry: entry.to_string(),
+                reason: format!(
+                    "unknown fault {text:?}; expected one of: {}",
+                    Self::ALL.map(|k| k.name()).join(", ")
+                ),
+            })
+    }
+}
+
+/// One scheduled fault: `worker` suffers `fault` once it has accepted
+/// `after_jobs` jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Zero-based index of the targeted worker in the pool's endpoint
+    /// order.
+    pub worker: usize,
+    /// Which fault to inject.
+    pub fault: FaultKind,
+    /// How many jobs the worker accepts before the fault fires.
+    pub after_jobs: usize,
+}
+
+impl fmt::Display for ChaosEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}@{}",
+            self.worker,
+            self.fault.name(),
+            self.after_jobs
+        )
+    }
+}
+
+/// A declarative schedule of infrastructure faults over a worker pool.
+///
+/// The empty plan is a no-op; [`ChaosPlan::apply`] then returns the
+/// endpoints unchanged, which is why chaos-configured runs stay available
+/// on every backend.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChaosPlan {
+    events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// The empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: adds one scheduled fault.
+    #[must_use]
+    pub fn with(mut self, worker: usize, fault: FaultKind, after_jobs: usize) -> Self {
+        self.events.push(ChaosEvent {
+            worker,
+            fault,
+            after_jobs,
+        });
+        self
+    }
+
+    /// The scheduled events, in declaration order.
+    pub fn events(&self) -> &[ChaosEvent] {
+        &self.events
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Rejects plans scheduling the same fault kind twice on one worker
+    /// (each kind compiles to a single env knob, so a duplicate would
+    /// silently drop one of the two schedules).
+    fn check_duplicates(&self) -> Result<(), FleetError> {
+        for (index, event) in self.events.iter().enumerate() {
+            if self.events[..index]
+                .iter()
+                .any(|e| e.worker == event.worker && e.fault == event.fault)
+            {
+                return Err(FleetError::Chaos {
+                    entry: event.to_string(),
+                    reason: format!(
+                        "worker {} already schedules {:?}; one schedule per fault kind per worker",
+                        event.worker,
+                        event.fault.name()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses the canonical text form: comma-separated
+    /// `WORKER:FAULT@JOBS` entries (e.g. `0:die@2,1:wedge@5`).  The empty
+    /// string is the empty plan.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Chaos`] naming the offending entry for malformed
+    /// syntax, unknown fault names, or duplicate (worker, fault) pairs.
+    pub fn parse(text: &str) -> Result<Self, FleetError> {
+        let mut plan = Self::new();
+        for entry in text.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let malformed = |reason: &str| FleetError::Chaos {
+                entry: entry.to_string(),
+                reason: reason.to_string(),
+            };
+            let (worker, rest) = entry
+                .split_once(':')
+                .ok_or_else(|| malformed("expected WORKER:FAULT@JOBS"))?;
+            let (fault, after) = rest
+                .split_once('@')
+                .ok_or_else(|| malformed("expected WORKER:FAULT@JOBS"))?;
+            let worker = worker
+                .parse::<usize>()
+                .map_err(|_| malformed("worker index must be a non-negative integer"))?;
+            let fault = FaultKind::parse(fault, entry)?;
+            let after_jobs = after
+                .parse::<usize>()
+                .map_err(|_| malformed("job count must be a non-negative integer"))?;
+            plan.events.push(ChaosEvent {
+                worker,
+                fault,
+                after_jobs,
+            });
+        }
+        plan.check_duplicates()?;
+        Ok(plan)
+    }
+
+    /// The environment variables the plan schedules for one worker, in
+    /// event order — the compatibility layer the legacy knobs remain as.
+    pub fn env_for_worker(&self, worker: usize) -> Vec<(String, String)> {
+        self.events
+            .iter()
+            .filter(|event| event.worker == worker)
+            .map(|event| {
+                (
+                    event.fault.env_var().to_string(),
+                    event.after_jobs.to_string(),
+                )
+            })
+            .collect()
+    }
+
+    /// The highest worker index the plan targets, if any.
+    pub fn max_worker(&self) -> Option<usize> {
+        self.events.iter().map(|event| event.worker).max()
+    }
+
+    /// Compiles the plan onto a pool: returns the endpoints with each
+    /// targeted local worker's spawn environment extended by the fault
+    /// knobs.  Untargeted endpoints pass through unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Chaos`] if the plan targets a worker index outside
+    /// the pool, a TCP endpoint (faults are injected at spawn time, so
+    /// only local subprocess workers can be sabotaged), or schedules
+    /// duplicate (worker, fault) pairs.
+    pub fn apply(&self, endpoints: &[WorkerEndpoint]) -> Result<Vec<WorkerEndpoint>, FleetError> {
+        self.check_duplicates()?;
+        for event in &self.events {
+            match endpoints.get(event.worker) {
+                None => {
+                    return Err(FleetError::Chaos {
+                        entry: event.to_string(),
+                        reason: format!(
+                            "worker index {} out of range for a pool of {}",
+                            event.worker,
+                            endpoints.len()
+                        ),
+                    })
+                }
+                Some(WorkerEndpoint::Tcp { addr }) => {
+                    return Err(FleetError::Chaos {
+                        entry: event.to_string(),
+                        reason: format!(
+                            "worker {} is the TCP endpoint {addr}; chaos plans can only \
+                             sabotage local subprocess workers",
+                            event.worker
+                        ),
+                    })
+                }
+                Some(WorkerEndpoint::Local { .. }) => {}
+            }
+        }
+        Ok(endpoints
+            .iter()
+            .enumerate()
+            .map(|(index, endpoint)| match endpoint {
+                WorkerEndpoint::Local {
+                    program,
+                    args,
+                    envs,
+                } => {
+                    let mut envs = envs.clone();
+                    envs.extend(self.env_for_worker(index));
+                    WorkerEndpoint::local_with_env(program.clone(), args.clone(), envs)
+                }
+                other => other.clone(),
+            })
+            .collect())
+    }
+}
+
+impl fmt::Display for ChaosPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for event in &self.events {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{event}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_the_canonical_form() {
+        let plan = ChaosPlan::parse("0:die@2,1:wedge@5,1:garbage@0").unwrap();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.to_string(), "0:die@2,1:wedge@5,1:garbage@0");
+        assert_eq!(ChaosPlan::parse(&plan.to_string()).unwrap(), plan);
+        assert!(ChaosPlan::parse("").unwrap().is_empty());
+        assert_eq!(ChaosPlan::parse(" 0:mangle@1 , ").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries_with_typed_errors() {
+        for bad in [
+            "die@2",
+            "0:die",
+            "x:die@2",
+            "0:explode@2",
+            "0:die@x",
+            "0:die@2,0:die@9",
+        ] {
+            match ChaosPlan::parse(bad) {
+                Err(FleetError::Chaos { .. }) => {}
+                other => panic!("expected FleetError::Chaos for {bad:?}, got {other:?}"),
+            }
+        }
+        let err = ChaosPlan::parse("0:explode@2").unwrap_err();
+        assert!(err.to_string().contains("wedge"), "{err}");
+    }
+
+    #[test]
+    fn apply_extends_local_spawn_environments() {
+        let endpoints = vec![
+            WorkerEndpoint::local("worker", vec!["--stdio".into()]),
+            WorkerEndpoint::local("worker", vec!["--stdio".into()]),
+        ];
+        let plan = ChaosPlan::new()
+            .with(1, FaultKind::Die, 2)
+            .with(1, FaultKind::Garbage, 4);
+        let sabotaged = plan.apply(&endpoints).unwrap();
+        assert_eq!(sabotaged[0], endpoints[0]);
+        match &sabotaged[1] {
+            WorkerEndpoint::Local { envs, .. } => {
+                assert_eq!(
+                    envs,
+                    &vec![
+                        ("CRP_FLEET_DIE_AFTER".to_string(), "2".to_string()),
+                        ("CRP_FLEET_GARBAGE_AFTER".to_string(), "4".to_string()),
+                    ]
+                );
+            }
+            other => panic!("expected a local endpoint, got {other:?}"),
+        }
+        // The empty plan is the identity.
+        assert_eq!(ChaosPlan::new().apply(&endpoints).unwrap(), endpoints);
+    }
+
+    #[test]
+    fn apply_rejects_out_of_range_and_tcp_targets() {
+        let endpoints = vec![
+            WorkerEndpoint::local("worker", vec![]),
+            WorkerEndpoint::tcp("10.0.0.7:9311"),
+        ];
+        let out_of_range = ChaosPlan::new().with(2, FaultKind::Die, 0);
+        assert!(matches!(
+            out_of_range.apply(&endpoints),
+            Err(FleetError::Chaos { .. })
+        ));
+        let tcp_target = ChaosPlan::new().with(1, FaultKind::Wedge, 1);
+        let err = tcp_target.apply(&endpoints).unwrap_err();
+        assert!(err.to_string().contains("TCP"), "{err}");
+        let duplicate = ChaosPlan::new()
+            .with(0, FaultKind::Die, 1)
+            .with(0, FaultKind::Die, 2);
+        assert!(duplicate.apply(&endpoints).is_err());
+    }
+}

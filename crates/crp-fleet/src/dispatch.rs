@@ -11,20 +11,19 @@
 //!   malformed answer makes the job go back on the queue for another
 //!   worker; the connection is dropped and re-established (local workers
 //!   are respawned) up to a per-thread limit before the thread gives up.
-//! * **Wedged workers** — a polling (TCP) connection that goes silent
-//!   with work in flight is pinged; a ping that stays unanswered makes
-//!   the connection [`FleetError::Unresponsive`] and its jobs are
+//! * **Wedged workers** — every connection (TCP natively, local pipes
+//!   via a timed-read adapter) polls, so one that goes silent with work
+//!   in flight is pinged; a ping that stays unanswered makes the
+//!   connection [`FleetError::Unresponsive`] and its jobs are
 //!   re-dispatched immediately instead of waiting for the batch tail's
 //!   straggler machinery (or forever, on a single-worker pool).
 //! * **Stragglers** — once the queue is empty, idle workers re-dispatch
 //!   the jobs still outstanding on other workers (preferring the least
 //!   duplicated job, and only after a short grace period so an ordinary
 //!   batch tail is not duplicated pointlessly).  Whichever copy answers
-//!   first wins.  A TCP worker blocked on an already-settled job is
-//!   abandoned at the next read-timeout poll; a *local* (pipe) worker's
-//!   read is blocking, so while its jobs settle promptly via
-//!   re-dispatch, a local worker wedged forever delays the final return
-//!   of [`Dispatcher::dispatch`] until it answers or dies.
+//!   first wins.  A worker blocked on an already-settled job is
+//!   abandoned at the next read-timeout poll, so a wedged worker can
+//!   delay but never hang the final return of [`Dispatcher::dispatch`].
 //! * **Poisoned answers** — [`Dispatcher::dispatch_validated`] checks
 //!   every answer before its job settles; a well-framed reply whose body
 //!   fails validation is retried elsewhere like any transport failure.

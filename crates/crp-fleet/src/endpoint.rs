@@ -20,7 +20,8 @@ use crate::frame::{read_frame, wait_readable, write_frame};
 use crate::protocol::{Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::FleetError;
 
-/// Poll interval for straggler checks on TCP connections.
+/// Poll interval for straggler checks on timed-read connections (TCP
+/// sockets natively; subprocess pipes via [`TimedPipeReader`]).
 const TCP_POLL: Duration = Duration::from_millis(100);
 /// How long a fresh connection may take to deliver its hello.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
@@ -117,40 +118,27 @@ impl WorkerEndpoint {
                 let mut child = command.spawn().map_err(|e| connect_error(e.to_string()))?;
                 let stdout = child.stdout.take().expect("stdout was piped");
                 let stdin = child.stdin.take().expect("stdin was piped");
-                // Pipe reads have no timeout, so enforce the handshake
-                // deadline with a helper thread: a spawned binary that
-                // never says hello must become a typed connect error,
-                // not a dispatcher hang.  On timeout the child is
-                // killed, which closes the pipe and unblocks (and ends)
-                // the helper.
-                let mut reader: BufReader<Box<dyn Read + Send>> = BufReader::new(Box::new(stdout));
-                let (sender, receiver) = std::sync::mpsc::channel();
-                std::thread::spawn(move || {
-                    let result = read_hello(&mut reader);
-                    let _ = sender.send((result, reader));
-                });
-                match receiver.recv_timeout(HANDSHAKE_TIMEOUT) {
-                    Ok((Ok((version, capacity)), reader)) => Ok(Connection::new(
-                        reader,
-                        Box::new(stdin),
-                        Some(child),
-                        false,
-                        version,
-                        capacity,
-                    )),
-                    Ok((Err(error), _)) => {
-                        let _ = child.kill();
-                        let _ = child.wait();
-                        Err(connect_error(error.to_string()))
-                    }
-                    Err(_) => {
-                        let _ = child.kill();
-                        let _ = child.wait();
-                        Err(connect_error(
-                            "timed out waiting for the worker hello".to_string(),
-                        ))
-                    }
-                }
+                // A raw pipe read has no timeout, so a worker that goes
+                // silent while staying alive (a wedge) would pin its
+                // dispatcher thread in the kernel forever.  Routing the
+                // pipe through [`TimedPipeReader`] gives the connection
+                // the same timed-read semantics as a TCP socket, which
+                // enables the straggler poll, the abandon check, and the
+                // ping health check — and lets the handshake deadline be
+                // enforced by the ordinary polling `expect_hello` path.
+                let mut connection = Connection::new(
+                    BufReader::new(Box::new(TimedPipeReader::new(stdout))),
+                    Box::new(stdin),
+                    Some(child),
+                    true,
+                    PROTOCOL_VERSION,
+                    1,
+                );
+                // On failure dropping the connection kills the child.
+                connection
+                    .expect_hello()
+                    .map_err(|e| connect_error(e.to_string()))?;
+                Ok(connection)
             }
             WorkerEndpoint::Tcp { addr } => {
                 let resolved = addr
@@ -246,6 +234,78 @@ pub(crate) enum Answer {
     Abandoned,
 }
 
+/// A subprocess stdout pipe with TCP-like timed reads: a feeder thread
+/// performs the blocking pipe reads and hands chunks over a channel, so
+/// [`Read::read`] can report [`std::io::ErrorKind::TimedOut`] after
+/// [`TCP_POLL`] of silence exactly like a socket with a read timeout.
+/// That is what lets pipe connections run the between-frames straggler
+/// poll, the abandon check, and the ping health check — without it, a
+/// worker that wedges (process alive, pipe open, nothing ever written)
+/// would pin its dispatcher thread in an untimed kernel read forever and
+/// hang the whole batch at join.
+///
+/// The feeder thread exits when the pipe closes (worker death or the
+/// connection's [`Drop`] killing the child) or when the reader itself is
+/// dropped mid-stream.
+struct TimedPipeReader {
+    chunks: std::sync::mpsc::Receiver<std::io::Result<Vec<u8>>>,
+    pending: Vec<u8>,
+    offset: usize,
+}
+
+impl TimedPipeReader {
+    fn new(mut pipe: impl Read + Send + 'static) -> Self {
+        let (sender, chunks) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let mut buffer = [0u8; 8192];
+            loop {
+                match pipe.read(&mut buffer) {
+                    // EOF: dropping the sender is the signal.
+                    Ok(0) => break,
+                    Ok(n) => {
+                        if sender.send(Ok(buffer[..n].to_vec())).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        let _ = sender.send(Err(e));
+                        break;
+                    }
+                }
+            }
+        });
+        Self {
+            chunks,
+            pending: Vec::new(),
+            offset: 0,
+        }
+    }
+}
+
+impl Read for TimedPipeReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.offset >= self.pending.len() {
+            match self.chunks.recv_timeout(TCP_POLL) {
+                Ok(Ok(chunk)) => {
+                    self.pending = chunk;
+                    self.offset = 0;
+                }
+                Ok(Err(error)) => return Err(error),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    return Err(std::io::ErrorKind::TimedOut.into())
+                }
+                // Feeder gone and channel drained: end of stream.
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return Ok(0),
+            }
+        }
+        let take = (self.pending.len() - self.offset).min(buf.len());
+        buf[..take].copy_from_slice(&self.pending[self.offset..self.offset + take]);
+        self.offset += take;
+        Ok(take)
+    }
+}
+
 /// One live, handshake-checked conversation with a worker.
 pub(crate) struct Connection {
     reader: BufReader<Box<dyn Read + Send>>,
@@ -291,10 +351,10 @@ impl Connection {
         }
     }
 
-    /// Reads and validates the worker's hello on a polling (TCP) stream,
-    /// enforcing [`HANDSHAKE_TIMEOUT`] through the read-timeout poll.
-    /// (Pipe connections enforce the same deadline with a helper thread
-    /// at connect time.)
+    /// Reads and validates the worker's hello, enforcing
+    /// [`HANDSHAKE_TIMEOUT`] through the read-timeout poll (every
+    /// transport polls: TCP via socket read timeouts, pipes via
+    /// [`TimedPipeReader`]).
     fn expect_hello(&mut self) -> Result<(), FleetError> {
         let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
         while self.polls && !wait_readable(&mut self.reader)? {
@@ -350,9 +410,9 @@ impl Connection {
 
     /// Health-checks an idle connection with a ping/pong round trip —
     /// how the dispatcher validates a warm connection before trusting it
-    /// with a new batch.  On a pipe transport the read blocks, which is
-    /// fine: an idle live worker pongs immediately and a dead one closes
-    /// the pipe.
+    /// with a new batch.  An idle live worker pongs immediately; a dead
+    /// one closes its stream; a wedged one stays silent and runs out the
+    /// [`PING_TIMEOUT`] deadline on the read-timeout poll.
     ///
     /// # Errors
     ///

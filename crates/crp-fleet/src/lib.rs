@@ -40,6 +40,11 @@
 //!   ping-based unresponsiveness detection — plus the
 //!   [`endpoint::FleetManifest`] (`local:4,host:9000`) the `CRP_FLEET`
 //!   environment variable and `--fleet` flag carry.
+//! * [`chaos`] — [`chaos::ChaosPlan`]: typed, declarative schedules of
+//!   the fault injections above (`0:die@2,1:wedge@5`), compiled down
+//!   onto the spawn environment of a pool's local endpoints so fuzz
+//!   campaigns and sweeps can declare — and minimise — infrastructure
+//!   faults like any other input.
 //! * [`dispatch`] — [`dispatch::Dispatcher`]: schedules a batch of
 //!   [`dispatch::JobPayload`]s over a pool of endpoints with
 //!   work-stealing semantics (idle workers claim the next unassigned
@@ -52,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod dispatch;
 pub mod endpoint;
 pub mod frame;
@@ -63,6 +69,7 @@ pub mod worker;
 use std::error::Error;
 use std::fmt;
 
+pub use chaos::{ChaosEvent, ChaosPlan, FaultKind};
 pub use dispatch::{BlobSet, Dispatcher, JobPayload};
 pub use endpoint::{FleetEntry, FleetManifest, WorkerEndpoint};
 pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
@@ -124,6 +131,25 @@ pub enum FleetError {
         /// The last transport or connect failure observed.
         last: String,
     },
+    /// A chaos-plan entry was malformed or could not be applied to the
+    /// pool.
+    Chaos {
+        /// The offending plan entry (canonical `WORKER:FAULT@JOBS` form).
+        entry: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A fleet environment variable carried a value that cannot be used
+    /// (strict parsing; the lenient [`ServeOptions::from_env`] compat
+    /// path ignores such values instead).
+    Env {
+        /// The environment variable name.
+        var: String,
+        /// The offending value.
+        value: String,
+        /// Why it was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -150,6 +176,12 @@ impl fmt::Display for FleetError {
                 f,
                 "fleet job {id} failed on every worker ({attempts} attempts; last error: {last})"
             ),
+            FleetError::Chaos { entry, reason } => {
+                write!(f, "invalid chaos-plan entry {entry:?}: {reason}")
+            }
+            FleetError::Env { var, value, reason } => {
+                write!(f, "invalid {var} value {value:?}: {reason}")
+            }
         }
     }
 }
@@ -191,5 +223,17 @@ mod tests {
         assert!(err.to_string().contains("connection refused"));
         let err: FleetError = std::io::Error::other("oops").into();
         assert!(matches!(err, FleetError::Io(_)));
+        let err = FleetError::Chaos {
+            entry: "0:die@x".into(),
+            reason: "job count must be a non-negative integer".into(),
+        };
+        assert!(err.to_string().contains("0:die@x"));
+        let err = FleetError::Env {
+            var: "CRP_FLEET_DIE_AFTER".into(),
+            value: "nope".into(),
+            reason: "expected a job count".into(),
+        };
+        assert!(err.to_string().contains("CRP_FLEET_DIE_AFTER"));
+        assert!(err.to_string().contains("nope"));
     }
 }

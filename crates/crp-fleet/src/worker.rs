@@ -141,6 +141,10 @@ impl ServeOptions {
     /// `CRP_FLEET_WEDGE_AFTER`, `CRP_FLEET_CAPACITY` and
     /// `CRP_FLEET_SPEAK_V1` (unset or unparsable values keep the
     /// defaults).
+    ///
+    /// This is the lenient compatibility path; new callers should prefer
+    /// [`ServeOptions::try_from_env`], which surfaces unusable values as
+    /// typed errors instead of silently ignoring them.
     pub fn from_env() -> Self {
         let knob = |name: &str| std::env::var(name).ok().and_then(|v| v.trim().parse().ok());
         Self {
@@ -154,6 +158,65 @@ impl ServeOptions {
                 Ok("1") | Ok("true") | Ok("yes")
             ),
         }
+    }
+
+    /// Like [`ServeOptions::from_env`], but strict: a set-but-unusable
+    /// value is a typed [`FleetError::Env`] naming the variable and the
+    /// offending value, matching how `CRP_THREADS` / `CRP_FLEET` are
+    /// already validated on the dispatcher side.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Env`] when a fault knob or `CRP_FLEET_CAPACITY` is
+    /// not a non-negative integer, `CRP_FLEET_CAPACITY` is zero, or
+    /// `CRP_FLEET_SPEAK_V1` is not one of `1/true/yes/0/false/no`.
+    pub fn try_from_env() -> Result<Self, FleetError> {
+        fn knob(name: &'static str) -> Result<Option<usize>, FleetError> {
+            match std::env::var(name) {
+                Err(_) => Ok(None),
+                Ok(value) => match value.trim().parse::<usize>() {
+                    Ok(parsed) => Ok(Some(parsed)),
+                    Err(_) => Err(FleetError::Env {
+                        var: name.to_string(),
+                        value,
+                        reason: "expected a non-negative job count".to_string(),
+                    }),
+                },
+            }
+        }
+        let capacity = match knob("CRP_FLEET_CAPACITY")? {
+            None => 1,
+            Some(0) => {
+                return Err(FleetError::Env {
+                    var: "CRP_FLEET_CAPACITY".to_string(),
+                    value: "0".to_string(),
+                    reason: "capacity must be at least 1".to_string(),
+                })
+            }
+            Some(capacity) => capacity,
+        };
+        let legacy_v1 = match std::env::var("CRP_FLEET_SPEAK_V1") {
+            Err(_) => false,
+            Ok(value) => match value.trim() {
+                "1" | "true" | "yes" => true,
+                "0" | "false" | "no" | "" => false,
+                _ => {
+                    return Err(FleetError::Env {
+                        var: "CRP_FLEET_SPEAK_V1".to_string(),
+                        value,
+                        reason: "expected one of 1/true/yes/0/false/no".to_string(),
+                    })
+                }
+            },
+        };
+        Ok(Self {
+            die_after: knob("CRP_FLEET_DIE_AFTER")?,
+            garbage_after: knob("CRP_FLEET_GARBAGE_AFTER")?,
+            mangle_after: knob("CRP_FLEET_MANGLE_AFTER")?,
+            wedge_after: knob("CRP_FLEET_WEDGE_AFTER")?,
+            capacity,
+            legacy_v1,
+        })
     }
 
     /// The protocol version this serve loop speaks.
@@ -571,6 +634,9 @@ mod tests {
 
     #[test]
     fn serve_options_parse_the_environment() {
+        // The CRP_FLEET_* knobs are only read by this test in this
+        // binary, so the lenient and strict paths are checked here
+        // back-to-back without racing another test over the same vars.
         std::env::set_var("CRP_FLEET_DIE_AFTER", "2");
         std::env::set_var("CRP_FLEET_GARBAGE_AFTER", "nope");
         std::env::set_var("CRP_FLEET_CAPACITY", "4");
@@ -580,12 +646,37 @@ mod tests {
         assert_eq!(options.garbage_after, None);
         assert_eq!(options.capacity, 4);
         assert!(options.legacy_v1);
-        std::env::remove_var("CRP_FLEET_DIE_AFTER");
+        // Strict parsing surfaces the value from_env silently dropped.
+        match ServeOptions::try_from_env() {
+            Err(FleetError::Env { var, value, .. }) => {
+                assert_eq!(var, "CRP_FLEET_GARBAGE_AFTER");
+                assert_eq!(value, "nope");
+            }
+            other => panic!("expected FleetError::Env, got {other:?}"),
+        }
         std::env::remove_var("CRP_FLEET_GARBAGE_AFTER");
+        let options = ServeOptions::try_from_env().unwrap();
+        assert_eq!(options.die_after, Some(2));
+        assert_eq!(options.garbage_after, None);
+        assert_eq!(options.capacity, 4);
+        assert!(options.legacy_v1);
+        std::env::set_var("CRP_FLEET_CAPACITY", "0");
+        assert!(matches!(
+            ServeOptions::try_from_env(),
+            Err(FleetError::Env { .. })
+        ));
+        std::env::set_var("CRP_FLEET_CAPACITY", "4");
+        std::env::set_var("CRP_FLEET_SPEAK_V1", "maybe");
+        assert!(matches!(
+            ServeOptions::try_from_env(),
+            Err(FleetError::Env { .. })
+        ));
+        std::env::remove_var("CRP_FLEET_DIE_AFTER");
         std::env::remove_var("CRP_FLEET_CAPACITY");
         std::env::remove_var("CRP_FLEET_SPEAK_V1");
         let options = ServeOptions::from_env();
         assert_eq!(options.capacity, 1, "capacity defaults to 1");
         assert!(!options.legacy_v1);
+        assert_eq!(ServeOptions::try_from_env().unwrap().capacity, 1);
     }
 }

@@ -1,0 +1,97 @@
+//! Error type for the fuzzing subsystem.
+
+use std::error::Error;
+use std::fmt;
+
+use crp_predict::PredictError;
+use crp_sim::SimError;
+
+use crate::property::PROPERTY_NAMES;
+
+/// Errors produced while configuring or running fuzz campaigns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuzzError {
+    /// A campaign or shrink parameter was invalid.
+    InvalidParameter {
+        /// Human-readable description of the offending parameter.
+        what: String,
+    },
+    /// An unknown property-oracle name was requested.
+    UnknownProperty {
+        /// The offending name.
+        name: String,
+    },
+    /// A corpus file could not be read, written, or parsed.
+    Corpus {
+        /// The offending file (or directory) path.
+        path: String,
+        /// What went wrong.
+        what: String,
+    },
+    /// Trace generation or compilation failed.
+    Predict(PredictError),
+    /// Evaluating a trace through the sweep machinery failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for FuzzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            FuzzError::UnknownProperty { name } => write!(
+                f,
+                "unknown property {name:?}; expected one of: {}",
+                PROPERTY_NAMES.join(", ")
+            ),
+            FuzzError::Corpus { path, what } => write!(f, "corpus file {path}: {what}"),
+            FuzzError::Predict(err) => write!(f, "trace error: {err}"),
+            FuzzError::Sim(err) => write!(f, "evaluation error: {err}"),
+        }
+    }
+}
+
+impl Error for FuzzError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FuzzError::Predict(err) => Some(err),
+            FuzzError::Sim(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<PredictError> for FuzzError {
+    fn from(err: PredictError) -> Self {
+        FuzzError::Predict(err)
+    }
+}
+
+impl From<SimError> for FuzzError {
+    fn from(err: SimError) -> Self {
+        FuzzError::Sim(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = FuzzError::UnknownProperty {
+            name: "nope".into(),
+        };
+        assert!(err.to_string().contains("robustness-floor"), "{err}");
+        assert!(err.source().is_none());
+        let err = FuzzError::from(PredictError::InvalidParameter {
+            what: "bad weight".into(),
+        });
+        assert!(err.to_string().contains("bad weight"));
+        assert!(err.source().is_some());
+        let err = FuzzError::Corpus {
+            path: "fuzz/corpus/x.trace".into(),
+            what: "missing end marker".into(),
+        };
+        assert!(err.to_string().contains("x.trace"));
+    }
+}

@@ -1,0 +1,328 @@
+//! Property oracles: the paper's envelopes as executable checks.
+//!
+//! A [`Property`] inspects the [`SweepResults`] of an evaluated trace and
+//! returns zero or more [`Violation`]s.  The three shipped oracles encode
+//! the envelope claims the reproduction rests on:
+//!
+//! * [`ThroughputFloor`] — *consistency*: when advice is accurate (cell
+//!   divergence below a cap), throughput must stay near the optimum
+//!   (success rate above a floor within the generous sweep budget).
+//! * [`RobustnessFloor`] — *robustness*: no matter how far the advice
+//!   has diverged, a sound protocol still resolves within the worst-case
+//!   budget (the paper's `O(2^{2H+2D})` / decay-style fallback bounds);
+//!   a protocol that trusts advice past the divergence bound collapses
+//!   here.
+//! * [`MonotoneDegradation`] — *monotone degradation in divergence*:
+//!   better advice can never hurt — a cell with strictly lower
+//!   divergence must not succeed materially less than the same
+//!   protocol's cell at higher divergence.
+//!
+//! The thresholds are deliberately loose envelopes, not tight bounds:
+//! every shipped protocol clears them with margin across the whole
+//! generative trace space (the CI smoke job enforces exactly that), so a
+//! violation is a genuine property failure, not statistical noise.
+
+use crp_sim::SweepResults;
+
+use crate::error::FuzzError;
+
+/// One concrete property failure, tied to the grid cell that exhibits it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Name of the violated property.
+    pub property: &'static str,
+    /// Scenario label of the offending cell.
+    pub scenario: String,
+    /// Protocol label of the offending cell.
+    pub protocol: String,
+    /// Human-readable description with the measured and required values.
+    pub what: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} × {}: {}",
+            self.property, self.scenario, self.protocol, self.what
+        )
+    }
+}
+
+/// An executable envelope check over one evaluated grid.
+pub trait Property: Send + Sync {
+    /// Stable name (what `--property` selects and violations report).
+    fn name(&self) -> &'static str;
+
+    /// All violations the grid exhibits (empty = the property holds).
+    fn check(&self, results: &SweepResults) -> Vec<Violation>;
+}
+
+/// Consistency: cells whose advice divergence is at most
+/// `divergence_cap` bits must reach at least `min_success`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputFloor {
+    /// Cells at or below this divergence count as "accurate advice".
+    pub divergence_cap: f64,
+    /// Required success rate on accurate-advice cells.
+    pub min_success: f64,
+}
+
+impl Default for ThroughputFloor {
+    fn default() -> Self {
+        Self {
+            divergence_cap: 0.25,
+            min_success: 0.95,
+        }
+    }
+}
+
+impl Property for ThroughputFloor {
+    fn name(&self) -> &'static str {
+        "throughput-floor"
+    }
+
+    fn check(&self, results: &SweepResults) -> Vec<Violation> {
+        results
+            .cells()
+            .iter()
+            .filter(|cell| cell.advice_divergence <= self.divergence_cap)
+            .filter(|cell| cell.stats.success_rate() < self.min_success)
+            .map(|cell| Violation {
+                property: self.name(),
+                scenario: cell.scenario.clone(),
+                protocol: cell.protocol.clone(),
+                what: format!(
+                    "success rate {:.4} < {:.4} with accurate advice (divergence {:.4} <= {:.4} \
+                     bits)",
+                    cell.stats.success_rate(),
+                    self.min_success,
+                    cell.advice_divergence,
+                    self.divergence_cap
+                ),
+            })
+            .collect()
+    }
+}
+
+/// Robustness: every cell — however far the advice diverged — must reach
+/// at least `min_success` within the sweep's worst-case budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustnessFloor {
+    /// Required success rate on every cell.
+    pub min_success: f64,
+}
+
+impl Default for RobustnessFloor {
+    fn default() -> Self {
+        Self { min_success: 0.9 }
+    }
+}
+
+impl Property for RobustnessFloor {
+    fn name(&self) -> &'static str {
+        "robustness-floor"
+    }
+
+    fn check(&self, results: &SweepResults) -> Vec<Violation> {
+        results
+            .cells()
+            .iter()
+            .filter(|cell| cell.stats.success_rate() < self.min_success)
+            .map(|cell| Violation {
+                property: self.name(),
+                scenario: cell.scenario.clone(),
+                protocol: cell.protocol.clone(),
+                what: format!(
+                    "success rate {:.4} < {:.4} at divergence {:.4} bits — the protocol does \
+                     not degrade gracefully",
+                    cell.stats.success_rate(),
+                    self.min_success,
+                    cell.advice_divergence
+                ),
+            })
+            .collect()
+    }
+}
+
+/// Monotone degradation: for one protocol, a cell with *lower* advice
+/// divergence must not succeed more than `tolerance` less than a cell
+/// with higher divergence (better advice can never hurt).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonotoneDegradation {
+    /// Allowed Monte-Carlo slack between the two success rates.
+    pub tolerance: f64,
+}
+
+impl Default for MonotoneDegradation {
+    fn default() -> Self {
+        Self { tolerance: 0.15 }
+    }
+}
+
+impl Property for MonotoneDegradation {
+    fn name(&self) -> &'static str {
+        "monotone-degradation"
+    }
+
+    fn check(&self, results: &SweepResults) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let cells = results.cells();
+        for low in cells {
+            for high in cells {
+                let comparable =
+                    low.protocol == high.protocol && low.advice_divergence < high.advice_divergence;
+                if comparable
+                    && low.stats.success_rate() + self.tolerance < high.stats.success_rate()
+                {
+                    violations.push(Violation {
+                        property: self.name(),
+                        scenario: low.scenario.clone(),
+                        protocol: low.protocol.clone(),
+                        what: format!(
+                            "success {:.4} at divergence {:.4} bits, but {:.4} at the *worse* \
+                             divergence {:.4} bits ({}) — degradation is not monotone",
+                            low.stats.success_rate(),
+                            low.advice_divergence,
+                            high.stats.success_rate(),
+                            high.advice_divergence,
+                            high.scenario
+                        ),
+                    });
+                }
+            }
+        }
+        violations
+    }
+}
+
+/// Combinator: every violation of every inner property.
+pub struct AllOf {
+    properties: Vec<Box<dyn Property>>,
+}
+
+impl AllOf {
+    /// Combines a set of properties into one.
+    pub fn new(properties: Vec<Box<dyn Property>>) -> Self {
+        Self { properties }
+    }
+
+    /// The three standard oracles at their default thresholds.
+    pub fn standard() -> Self {
+        Self::new(vec![
+            Box::new(ThroughputFloor::default()),
+            Box::new(RobustnessFloor::default()),
+            Box::new(MonotoneDegradation::default()),
+        ])
+    }
+}
+
+impl Property for AllOf {
+    fn name(&self) -> &'static str {
+        "all"
+    }
+
+    fn check(&self, results: &SweepResults) -> Vec<Violation> {
+        self.properties
+            .iter()
+            .flat_map(|property| property.check(results))
+            .collect()
+    }
+}
+
+/// Every name [`property_by_name`] accepts, in a stable order.
+pub const PROPERTY_NAMES: [&str; 4] = [
+    "throughput-floor",
+    "robustness-floor",
+    "monotone-degradation",
+    "all",
+];
+
+/// Looks a property oracle up by its stable name (default thresholds).
+///
+/// # Errors
+///
+/// [`FuzzError::UnknownProperty`] listing the valid names.
+pub fn property_by_name(name: &str) -> Result<Box<dyn Property>, FuzzError> {
+    match name {
+        "throughput-floor" => Ok(Box::new(ThroughputFloor::default())),
+        "robustness-floor" => Ok(Box::new(RobustnessFloor::default())),
+        "monotone-degradation" => Ok(Box::new(MonotoneDegradation::default())),
+        "all" => Ok(Box::new(AllOf::standard())),
+        other => Err(FuzzError::UnknownProperty {
+            name: other.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crp_sim::{SweepCellResult, TrialStats};
+
+    use super::*;
+
+    fn cell(protocol: &str, scenario: &str, divergence: f64, resolved: usize) -> SweepCellResult {
+        SweepCellResult {
+            scenario: scenario.to_string(),
+            protocol: protocol.to_string(),
+            trials: 100,
+            condensed_entropy: 1.0,
+            advice_divergence: divergence,
+            stats: TrialStats {
+                trials: 100,
+                resolved,
+                rounds_when_resolved: None,
+                rounds_overall: None,
+            },
+        }
+    }
+
+    #[test]
+    fn floors_flag_only_failing_cells() {
+        let results = SweepResults::from_cells(vec![
+            cell("good", "accurate", 0.0, 100),
+            cell("good", "drifted", 3.0, 95),
+            cell("naive", "accurate", 0.0, 99),
+            cell("naive", "drifted", 3.0, 12),
+        ]);
+        assert!(ThroughputFloor::default().check(&results).is_empty());
+        let violations = RobustnessFloor::default().check(&results);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].protocol, "naive");
+        assert!(violations[0].to_string().contains("0.12"));
+        // The naive protocol degrades monotonically — collapsing is not a
+        // monotonicity violation, it is a robustness violation.
+        assert!(MonotoneDegradation::default().check(&results).is_empty());
+        assert_eq!(AllOf::standard().check(&results).len(), 1);
+    }
+
+    #[test]
+    fn throughput_floor_ignores_diverged_cells() {
+        let results = SweepResults::from_cells(vec![cell("slow", "drifted", 2.0, 10)]);
+        assert!(ThroughputFloor::default().check(&results).is_empty());
+        let results = SweepResults::from_cells(vec![cell("slow", "accurate", 0.1, 10)]);
+        assert_eq!(ThroughputFloor::default().check(&results).len(), 1);
+    }
+
+    #[test]
+    fn monotone_degradation_flags_advice_that_hurts() {
+        let results = SweepResults::from_cells(vec![
+            cell("odd", "accurate", 0.0, 60),
+            cell("odd", "drifted", 2.0, 90),
+        ]);
+        let violations = MonotoneDegradation::default().check(&results);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].what.contains("not monotone"));
+    }
+
+    #[test]
+    fn names_resolve_and_unknown_names_are_typed() {
+        for name in PROPERTY_NAMES {
+            assert_eq!(property_by_name(name).unwrap().name(), name);
+        }
+        assert!(matches!(
+            property_by_name("nope"),
+            Err(FuzzError::UnknownProperty { .. })
+        ));
+    }
+}

@@ -1,0 +1,282 @@
+//! Deterministic failure minimisation.
+//!
+//! [`shrink_trace`] reduces a violating trace to a minimal reproducer in
+//! two deterministic passes:
+//!
+//! 1. **Delta debugging** over the event list: try removing
+//!    progressively smaller chunks (halves, quarters, … singles),
+//!    keeping any candidate that still violates, until no single event
+//!    can be removed.
+//! 2. **Scalar shrinking** per surviving event and for the universe:
+//!    replace each field with its simplest still-violating value (level
+//!    → 1, weight → 1, fidelity → the canonical cap, shift → ±1,
+//!    universe halved towards the floor of 8).
+//!
+//! The predicate is called at most `max_evals` times, every candidate is
+//! produced by a fixed schedule with no randomness, and ties always
+//! resolve the same way — so the same input trace and predicate yield a
+//! byte-identical minimal reproducer on every run (the corpus-replay
+//! test relies on this).  In practice the shipped oracle failures shrink
+//! to **at most 4 events** (truth, observe, and at most two
+//! drift/truth events); that bound is asserted by the regression tests.
+
+use crp_predict::{Trace, TraceEvent, MAX_FIDELITY};
+
+/// Outcome of a shrink: the minimal trace found and how many candidate
+/// evaluations the predicate was asked for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrinkOutcome {
+    /// The smallest still-violating trace found.
+    pub trace: Trace,
+    /// Number of candidate evaluations spent.
+    pub evals: usize,
+}
+
+struct Shrinker<'a> {
+    failing: &'a mut dyn FnMut(&Trace) -> bool,
+    max_evals: usize,
+    evals: usize,
+}
+
+impl Shrinker<'_> {
+    fn budget_left(&self) -> bool {
+        self.evals < self.max_evals
+    }
+
+    /// Evaluates one candidate against the predicate (within budget).
+    fn still_fails(&mut self, candidate: &Trace) -> bool {
+        if !self.budget_left() {
+            return false;
+        }
+        self.evals += 1;
+        (self.failing)(candidate)
+    }
+
+    /// ddmin over the event list: chunked removal from halves down to
+    /// single events, restarting at the current granularity after every
+    /// successful removal.
+    fn minimise_events(&mut self, trace: &mut Trace) {
+        let mut chunk = (trace.len() / 2).max(1);
+        loop {
+            let mut removed_any = false;
+            let mut start = 0;
+            while start < trace.len() {
+                let end = (start + chunk).min(trace.len());
+                let mut events = trace.events().to_vec();
+                events.drain(start..end);
+                let candidate = Trace::new(trace.universe(), events)
+                    .expect("removing events keeps a trace valid");
+                if self.still_fails(&candidate) {
+                    *trace = candidate;
+                    removed_any = true;
+                    // Re-try the same offset: the next chunk slid into it.
+                } else {
+                    start = end;
+                }
+                if !self.budget_left() {
+                    return;
+                }
+            }
+            if !removed_any && chunk == 1 {
+                return;
+            }
+            if !removed_any {
+                chunk = (chunk / 2).max(1);
+            }
+        }
+    }
+
+    /// The fixed simplification schedule for one event, simplest first.
+    fn simplifications(event: TraceEvent) -> Vec<TraceEvent> {
+        match event {
+            TraceEvent::Truth { level, weight } => {
+                let mut candidates = vec![
+                    TraceEvent::Truth {
+                        level: 1,
+                        weight: 1.0,
+                    },
+                    TraceEvent::Truth { level, weight: 1.0 },
+                ];
+                if level > 1 {
+                    candidates.push(TraceEvent::Truth {
+                        level: level / 2,
+                        weight,
+                    });
+                }
+                candidates
+            }
+            TraceEvent::Observe { .. } => vec![TraceEvent::Observe {
+                fidelity: MAX_FIDELITY,
+            }],
+            TraceEvent::Drift { shift } => {
+                if shift.abs() > 1 {
+                    vec![TraceEvent::Drift {
+                        shift: shift.signum(),
+                    }]
+                } else {
+                    vec![]
+                }
+            }
+        }
+    }
+
+    /// One pass of per-field scalar shrinking; returns whether anything
+    /// simplified.
+    fn simplify_fields(&mut self, trace: &mut Trace) -> bool {
+        let mut changed = false;
+        for index in 0..trace.len() {
+            for replacement in Self::simplifications(trace.events()[index]) {
+                if replacement == trace.events()[index] {
+                    continue;
+                }
+                let mut events = trace.events().to_vec();
+                events[index] = replacement;
+                let candidate = Trace::new(trace.universe(), events)
+                    .expect("simplified fields stay within the validated ranges");
+                if self.still_fails(&candidate) {
+                    *trace = candidate;
+                    changed = true;
+                    break;
+                }
+                if !self.budget_left() {
+                    return changed;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Halves the universe towards the floor of 8 while the violation
+    /// persists.
+    fn shrink_universe(&mut self, trace: &mut Trace) {
+        while trace.universe() / 2 >= 8 && self.budget_left() {
+            let candidate = Trace::new(trace.universe() / 2, trace.events().to_vec())
+                .expect("halving the universe keeps a trace valid");
+            if self.still_fails(&candidate) {
+                *trace = candidate;
+            } else {
+                return;
+            }
+        }
+    }
+}
+
+/// Deterministically minimises `trace` against `failing` (true = the
+/// candidate still violates).  The input trace is assumed to fail;
+/// whatever minimal candidate survives is returned along with the number
+/// of predicate evaluations spent (capped at `max_evals`).
+pub fn shrink_trace(
+    trace: &Trace,
+    max_evals: usize,
+    failing: &mut dyn FnMut(&Trace) -> bool,
+) -> ShrinkOutcome {
+    let mut shrinker = Shrinker {
+        failing,
+        max_evals,
+        evals: 0,
+    };
+    let mut minimal = trace.clone();
+    shrinker.minimise_events(&mut minimal);
+    // Interleave scalar and structural passes to a fixpoint: simplifying
+    // a field can unlock another event removal and vice versa.
+    loop {
+        let simplified = shrinker.simplify_fields(&mut minimal);
+        if simplified && shrinker.budget_left() {
+            shrinker.minimise_events(&mut minimal);
+            continue;
+        }
+        break;
+    }
+    shrinker.shrink_universe(&mut minimal);
+    ShrinkOutcome {
+        trace: minimal,
+        evals: shrinker.evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(universe: usize, events: Vec<TraceEvent>) -> Trace {
+        Trace::new(universe, events).unwrap()
+    }
+
+    #[test]
+    fn shrinks_to_the_single_load_bearing_event() {
+        // The predicate: "some truth event puts mass at level >= 6".
+        let original = trace(
+            256,
+            vec![
+                TraceEvent::Truth {
+                    level: 2,
+                    weight: 0.3,
+                },
+                TraceEvent::Observe { fidelity: 0.7 },
+                TraceEvent::Truth {
+                    level: 7,
+                    weight: 0.9,
+                },
+                TraceEvent::Drift { shift: -3 },
+                TraceEvent::Truth {
+                    level: 1,
+                    weight: 0.2,
+                },
+            ],
+        );
+        let mut predicate = |t: &Trace| {
+            t.events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Truth { level, .. } if *level >= 6))
+        };
+        let outcome = shrink_trace(&original, 512, &mut predicate);
+        assert_eq!(
+            outcome.trace.events(),
+            &[TraceEvent::Truth {
+                level: 7,
+                weight: 1.0,
+            }],
+            "everything but the load-bearing truth event must go"
+        );
+        assert_eq!(outcome.trace.universe(), 8, "the universe shrinks too");
+        assert!(outcome.evals > 0);
+        // Determinism: an identical run takes identical steps.
+        let again = shrink_trace(&original, 512, &mut predicate);
+        assert_eq!(again, outcome);
+    }
+
+    #[test]
+    fn respects_the_evaluation_budget() {
+        let original = trace(
+            64,
+            (0..16)
+                .map(|i| TraceEvent::Truth {
+                    level: (i % 5) + 1,
+                    weight: 0.5,
+                })
+                .collect(),
+        );
+        let mut calls = 0usize;
+        let mut predicate = |_: &Trace| {
+            calls += 1;
+            true
+        };
+        let outcome = shrink_trace(&original, 3, &mut predicate);
+        assert_eq!(outcome.evals, 3, "the budget is a hard cap");
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn an_unshrinkable_trace_survives_unchanged() {
+        let original = trace(
+            8,
+            vec![TraceEvent::Truth {
+                level: 1,
+                weight: 1.0,
+            }],
+        );
+        let mut predicate = |t: &Trace| !t.is_empty();
+        let outcome = shrink_trace(&original, 64, &mut predicate);
+        assert_eq!(outcome.trace, original);
+    }
+}

@@ -23,6 +23,10 @@
 //! * [`advice`] — perfect-advice oracles: functions with full knowledge of
 //!   the participant set that emit the best possible `b`-bit advice for the
 //!   §3 protocols.
+//! * [`TraceModel`] / [`Trace`] — the fuzzing layer's generative adversary
+//!   models: seeded state machines emitting adversarial arrival/advice
+//!   traces with a canonical hash-stable wire form, compiled down to
+//!   ordinary [`Scenario`]s.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,8 +36,10 @@ mod error;
 mod learned;
 pub mod noise;
 mod scenario;
+mod trace;
 
 pub use advice::{Advice, AdviceOracle, IdPrefixOracle, RangeOracle};
 pub use error::PredictError;
 pub use learned::LearnedPredictor;
 pub use scenario::{Scenario, ScenarioLibrary};
+pub use trace::{AdversaryKind, Trace, TraceEvent, TraceModel, MAX_FIDELITY};

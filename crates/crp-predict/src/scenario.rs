@@ -93,10 +93,16 @@ impl Scenario {
 /// The standard library of scenarios used by the experiment harness.
 ///
 /// Every scenario is defined for a maximum network size `n`, so the same
-/// set can be regenerated at different scales for the `n`-sweeps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// set can be regenerated at different scales for the `n`-sweeps.  Beyond
+/// the built-in families, callers can [`register`] extension scenarios —
+/// the fuzzing layer registers shrunk corpus reproducers this way, so
+/// `--scenarios` can address them by name like any built-in.
+///
+/// [`register`]: ScenarioLibrary::register
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioLibrary {
     max_size: usize,
+    extensions: Vec<Scenario>,
 }
 
 impl ScenarioLibrary {
@@ -112,7 +118,60 @@ impl ScenarioLibrary {
                 what: format!("scenario library requires n >= 8, got {max_size}"),
             });
         }
-        Ok(Self { max_size })
+        Ok(Self {
+            max_size,
+            extensions: Vec::new(),
+        })
+    }
+
+    /// Registers an extension scenario addressable through
+    /// [`ScenarioLibrary::by_name`].
+    ///
+    /// Re-registering an extension with the same name replaces it (a
+    /// re-shrunk reproducer supersedes the old one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::InvalidParameter`] if the name is empty or
+    /// collides with a built-in scenario name.
+    pub fn register(&mut self, scenario: Scenario) -> Result<(), PredictError> {
+        if scenario.name().is_empty() {
+            return Err(PredictError::InvalidParameter {
+                what: "registered scenarios need a non-empty name".to_string(),
+            });
+        }
+        if Self::names().contains(&scenario.name()) {
+            return Err(PredictError::InvalidParameter {
+                what: format!(
+                    "scenario name {:?} collides with a built-in scenario",
+                    scenario.name()
+                ),
+            });
+        }
+        match self
+            .extensions
+            .iter_mut()
+            .find(|existing| existing.name() == scenario.name())
+        {
+            Some(existing) => *existing = scenario,
+            None => self.extensions.push(scenario),
+        }
+        Ok(())
+    }
+
+    /// The registered extension scenarios, in registration order.
+    pub fn registered(&self) -> &[Scenario] {
+        &self.extensions
+    }
+
+    /// Every name [`ScenarioLibrary::by_name`] currently accepts: the
+    /// built-ins followed by registered extensions.
+    pub fn available_names(&self) -> Vec<String> {
+        Self::names()
+            .iter()
+            .map(|&name| name.to_string())
+            .chain(self.extensions.iter().map(|s| s.name().to_string()))
+            .collect()
     }
 
     /// The maximum network size the scenarios are defined over.
@@ -272,11 +331,13 @@ impl ScenarioLibrary {
         ]
     }
 
-    /// Looks a scenario up by its stable name.
+    /// Looks a scenario up by its stable name: first the built-ins, then
+    /// any [registered](ScenarioLibrary::register) extensions.
     ///
     /// # Errors
     ///
-    /// Returns [`PredictError::InvalidParameter`] for an unknown name.
+    /// Returns [`PredictError::InvalidParameter`] for an unknown name,
+    /// listing every valid (built-in and registered) name.
     pub fn by_name(&self, name: &str) -> Result<Scenario, PredictError> {
         match name {
             "point-mass" => Ok(self.point_mass()),
@@ -288,12 +349,17 @@ impl ScenarioLibrary {
             "bursty" => Ok(self.bursty()),
             "correlated-drift" => Ok(self.correlated_drift()),
             "adversarial-drift" => Ok(self.adversarial_drift()),
-            other => Err(PredictError::InvalidParameter {
-                what: format!(
-                    "unknown scenario {other:?}; expected one of: {}",
-                    Self::names().join(", ")
-                ),
-            }),
+            other => self
+                .extensions
+                .iter()
+                .find(|scenario| scenario.name() == other)
+                .cloned()
+                .ok_or_else(|| PredictError::InvalidParameter {
+                    what: format!(
+                        "unknown scenario {other:?}; expected one of: {}",
+                        self.available_names().join(", ")
+                    ),
+                }),
         }
     }
 
@@ -427,6 +493,43 @@ mod tests {
             assert_eq!(scenario.name(), name);
         }
         assert!(lib.by_name("no-such-scenario").is_err());
+    }
+
+    #[test]
+    fn register_extends_the_name_space_without_shadowing_builtins() {
+        let mut lib = ScenarioLibrary::new(256).unwrap();
+        let repro = Scenario::new(
+            "fuzz-deadbeef",
+            SizeDistribution::point_mass(256, 32).unwrap(),
+        );
+        lib.register(repro.clone()).unwrap();
+        assert_eq!(lib.by_name("fuzz-deadbeef").unwrap(), repro);
+        assert_eq!(lib.registered(), std::slice::from_ref(&repro));
+        // Unknown-name errors list the extension alongside the built-ins.
+        let err = lib.by_name("missing").unwrap_err();
+        assert!(err.to_string().contains("fuzz-deadbeef"), "{err}");
+        assert!(err.to_string().contains("point-mass"), "{err}");
+        // Same-name re-registration replaces; built-in collisions are
+        // rejected; empty names are rejected.
+        let replacement = Scenario::new(
+            "fuzz-deadbeef",
+            SizeDistribution::point_mass(256, 64).unwrap(),
+        );
+        lib.register(replacement.clone()).unwrap();
+        assert_eq!(lib.by_name("fuzz-deadbeef").unwrap(), replacement);
+        assert_eq!(lib.registered().len(), 1);
+        assert!(lib
+            .register(Scenario::new(
+                "bimodal",
+                SizeDistribution::point_mass(256, 2).unwrap()
+            ))
+            .is_err());
+        assert!(lib
+            .register(Scenario::new(
+                "",
+                SizeDistribution::point_mass(256, 2).unwrap()
+            ))
+            .is_err());
     }
 
     #[test]

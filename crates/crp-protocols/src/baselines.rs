@@ -7,7 +7,7 @@
 //! a correct size estimate `k̂ = Θ(k)` achieves `O(1)` rounds.
 
 use crp_channel::CollisionHistory;
-use crp_info::{log2_ceil, range_index_for_size};
+use crp_info::{log2_ceil, range_index_for_size, range_interval, CondensedDistribution};
 
 use crate::error::ProtocolError;
 use crate::traits::{CdStrategy, NoCdSchedule};
@@ -97,6 +97,61 @@ impl NoCdSchedule for FixedProbability {
 
     fn name(&self) -> &str {
         "fixed-probability"
+    }
+}
+
+/// The deliberately naive prediction consumer: trust the advice past any
+/// divergence bound.
+///
+/// It reads the prediction's single most likely condensed range, takes
+/// that range's top size as `k̂`, and transmits with probability `1/k̂`
+/// forever — no decay, no cycling, no hedge against the prediction being
+/// wrong.  When the advice is accurate this matches the `O(1)`-round
+/// [`FixedProbability`] baseline; when the truth drifts away from the
+/// advice, its success probability collapses like `(k/k̂)·e^{−k/k̂}` and it
+/// violates the paper's robustness envelope — exactly the failure the
+/// fuzzing layer's property oracles exist to catch, which is why this is
+/// registered as the standard oracle-bait target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlindTrust {
+    schedule: FixedProbability,
+}
+
+impl BlindTrust {
+    /// Derives `k̂` from the prediction's modal condensed range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidParameter`] for a prediction with
+    /// no ranges.
+    pub fn from_prediction(prediction: &CondensedDistribution) -> Result<Self, ProtocolError> {
+        let modal = prediction
+            .ranges_by_likelihood()
+            .first()
+            .copied()
+            .ok_or_else(|| ProtocolError::InvalidParameter {
+                what: "blind-trust needs a prediction with at least one range".into(),
+            })?;
+        let (_, high) = range_interval(modal);
+        let estimate = high.min(prediction.max_size()).max(2);
+        Ok(Self {
+            schedule: FixedProbability::new(estimate)?,
+        })
+    }
+
+    /// The size estimate `k̂` the protocol trusts.
+    pub fn estimate(&self) -> usize {
+        self.schedule.estimate()
+    }
+}
+
+impl NoCdSchedule for BlindTrust {
+    fn probability(&self, round: usize) -> Option<f64> {
+        self.schedule.probability(round)
+    }
+
+    fn name(&self) -> &str {
+        "blind-trust"
     }
 }
 
@@ -274,6 +329,19 @@ mod tests {
     #[test]
     fn decay_rejects_degenerate_universe() {
         assert!(Decay::new(1).is_err());
+    }
+
+    #[test]
+    fn blind_trust_trusts_the_modal_range_forever() {
+        let truth = crp_info::SizeDistribution::point_mass(1024, 32).unwrap();
+        let prediction = CondensedDistribution::from_sizes(&truth);
+        let blind = BlindTrust::from_prediction(&prediction).unwrap();
+        // Size 32 lives in range (17..=32]; the range's top size is k̂.
+        assert_eq!(blind.estimate(), 32);
+        assert_eq!(blind.name(), "blind-trust");
+        // The schedule never decays or cycles: same probability forever.
+        assert_eq!(blind.probability(1), Some(1.0 / 32.0));
+        assert_eq!(blind.probability(1_000_000), Some(1.0 / 32.0));
     }
 
     #[test]

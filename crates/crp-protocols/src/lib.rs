@@ -76,7 +76,7 @@ pub use advice::{
     AdvisedDecay, AdvisedWillard, DeterministicCdAdvice, DeterministicNoCdAdvice,
     NonInteractiveScheme,
 };
-pub use baselines::{Decay, FixedProbability, Willard};
+pub use baselines::{BlindTrust, Decay, FixedProbability, Willard};
 pub use error::ProtocolError;
 pub use predicted::{CodeChoice, CodedSearch, SortedGuess};
 pub use protocol::{

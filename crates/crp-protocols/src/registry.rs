@@ -16,7 +16,7 @@ use crp_info::CondensedDistribution;
 use crp_predict::{Advice, AdviceOracle, IdPrefixOracle, RangeOracle};
 
 use crate::advice::{AdvisedDecay, AdvisedWillard, DeterministicCdAdvice, DeterministicNoCdAdvice};
-use crate::baselines::{Decay, FixedProbability, Willard};
+use crate::baselines::{BlindTrust, Decay, FixedProbability, Willard};
 use crate::error::ProtocolError;
 use crate::predicted::{CodeChoice, CodedSearch, SortedGuess};
 use crate::protocol::{Behavior, NodeFactory, Protocol, ScheduleProtocol, StrategyProtocol};
@@ -244,6 +244,17 @@ impl ProtocolRegistry {
                         what: "a size estimate (estimate or participants)".to_string(),
                     })?;
                 Ok(Box::new(ScheduleProtocol(FixedProbability::new(estimate)?)))
+            },
+        });
+        registry.register(ProtocolEntry {
+            name: "blind-trust",
+            kind: ProtocolKind::NoCollisionDetection,
+            summary: "oracle-bait baseline: trust the prediction's modal range unconditionally, transmitting at 1/k̂ forever — collapses when the advice diverges",
+            constructor: |params| {
+                let prediction = params.require_prediction("blind-trust")?;
+                Ok(Box::new(ScheduleProtocol(BlindTrust::from_prediction(
+                    prediction,
+                )?)))
             },
         });
         registry.register(ProtocolEntry {
@@ -543,6 +554,7 @@ mod tests {
         for name in [
             "decay",
             "fixed-probability",
+            "blind-trust",
             "willard",
             "sorted-guess",
             "sorted-guess-cycling",

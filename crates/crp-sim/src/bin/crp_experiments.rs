@@ -8,14 +8,25 @@
 //! ```text
 //! crp_experiments [command] [--trials T] [--size N] [--seed S]
 //!                 [--backend serial|thread|process|fleet] [--threads T]
-//!                 [--workers N] [--fleet MANIFEST]
+//!                 [--workers N] [--fleet MANIFEST] [--chaos PLAN]
 //!                 [--protocols a,b,..] [--scenarios x,y,..] [--csv]
 //! ```
 //!
 //! where `command` is one of `list`, `table1`, `table2`, `entropy`, `kl`,
-//! `baselines`, `range-finding`, `sweep`, `worker`, `serve`, `submit` or
-//! `all` (the default).  Experiment output is markdown, suitable for
-//! pasting into `EXPERIMENTS.md`; `sweep --csv` emits CSV instead.
+//! `baselines`, `range-finding`, `sweep`, `worker`, `serve`, `submit`,
+//! `fuzz` or `all` (the default).  Experiment output is markdown,
+//! suitable for pasting into `EXPERIMENTS.md`; `sweep --csv` emits CSV
+//! instead.
+//!
+//! A `--scenarios` entry ending in `.trace` is loaded as a fuzz-trace
+//! wire file (see the `crp-fuzz` crate), compiled, and registered into
+//! the scenario library under the file stem — so shrunk reproducers from
+//! `fuzz/corpus/` can ride in any sweep next to the built-in scenarios.
+//!
+//! `--chaos PLAN` (e.g. `0:die@2,1:wedge@5`) applies a declarative
+//! fault schedule to the local workers of a fleet run; the dispatcher's
+//! re-dispatch keeps completed chaos runs bit-identical to the serial
+//! backend.  Like `--fleet`, the flag implies `--backend fleet`.
 //!
 //! `--backend` selects the shard backend every experiment executes on
 //! (statistics are bit-identical across backends); `--threads` / its
@@ -42,6 +53,11 @@
 //! repeated or overlapping submissions settle from the cache,
 //! bit-identically and near-instantly.
 //!
+//! The `fuzz` subcommand delegates to the sibling `crp_fuzz` binary
+//! (the fuzzing layer depends on this crate, so it cannot link back) —
+//! all remaining arguments are forwarded verbatim; set `CRP_FUZZ_BIN`
+//! to point at an explicit binary.
+//!
 //! There is also a hidden `shard-worker` subcommand — the entry point the
 //! legacy one-shot process backend spawns: it reads a single shard spec
 //! from stdin, executes that one shard, and writes the serialised
@@ -50,8 +66,8 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use crp_fleet::{FleetManifest, ScenarioStore, ServeOptions, TcpWorker};
-use crp_predict::ScenarioLibrary;
+use crp_fleet::{ChaosPlan, FleetManifest, ScenarioStore, ServeOptions, TcpWorker};
+use crp_predict::{ScenarioLibrary, Trace};
 use crp_protocols::{ProtocolRegistry, ProtocolSpec};
 use crp_serve::{ResultCache, SweepServer};
 use crp_sim::experiments::{
@@ -72,6 +88,8 @@ struct Options {
     backend: BackendChoice,
     threads: Option<usize>,
     fleet: Option<FleetManifest>,
+    /// `--chaos` fault schedule for the fleet's local workers.
+    chaos: Option<ChaosPlan>,
     protocols: Vec<String>,
     scenarios: Vec<String>,
     csv: bool,
@@ -87,10 +105,10 @@ struct Options {
 const DEFAULT_SERVICE_ADDR: &str = "127.0.0.1:9317";
 
 const USAGE: &str = "usage: crp_experiments \
-[list|table1|table2|entropy|kl|baselines|range-finding|sweep|worker|serve|submit|all] \
+[list|table1|table2|entropy|kl|baselines|range-finding|sweep|worker|serve|submit|fuzz|all] \
 [--trials T] [--size N] [--seed S] [--backend serial|thread|process|fleet] \
 [--threads T] [--workers N] [--fleet local[:N],host:port,..] \
-[--protocols a,b,..] [--scenarios x,y,..] [--csv] \
+[--chaos W:FAULT@N,..] [--protocols a,b,..] [--scenarios x,y,..|file.trace,..] [--csv] \
 [--listen host:port] [--connect host:port] [--cache DIR]";
 
 fn parse_args() -> Result<Options, String> {
@@ -102,6 +120,7 @@ fn parse_args() -> Result<Options, String> {
         backend: BackendChoice::default(),
         threads: None,
         fleet: None,
+        chaos: None,
         protocols: vec![
             "decay".into(),
             "willard".into(),
@@ -172,6 +191,13 @@ fn parse_args() -> Result<Options, String> {
                     .get(index)
                     .ok_or("--fleet requires a manifest (e.g. local:4,host:9311)")?;
                 options.fleet = Some(FleetManifest::parse(manifest).map_err(|e| e.to_string())?);
+            }
+            "--chaos" => {
+                index += 1;
+                let plan = args
+                    .get(index)
+                    .ok_or("--chaos requires a plan (e.g. 0:die@2,1:wedge@5)")?;
+                options.chaos = Some(ChaosPlan::parse(plan).map_err(|e| e.to_string())?);
             }
             "--listen" => {
                 index += 1;
@@ -260,6 +286,18 @@ fn parse_args() -> Result<Options, String> {
         }
         options.backend = BackendChoice::Fleet;
     }
+    // A chaos plan sabotages a fleet's local workers, so it carries the
+    // same implication.
+    if options.chaos.is_some() && options.backend != BackendChoice::Fleet {
+        if backend_explicit {
+            return Err(format!(
+                "--chaos conflicts with --backend {:?}; omit --backend or use --backend fleet",
+                options.backend
+            )
+            .to_lowercase());
+        }
+        options.backend = BackendChoice::Fleet;
+    }
     Ok(options)
 }
 
@@ -331,10 +369,37 @@ fn cli_column(name: &str) -> Result<SweepProtocol, SimError> {
 /// The (registry protocol × scenario) grid the command line declares —
 /// shared by `sweep` (local execution) and `submit` (service execution),
 /// so both produce identical cells, seeds, and therefore statistics.
+/// The library name of a `--scenarios` trace-file entry: the file stem.
+/// `None` for ordinary scenario names.
+fn trace_stem(name: &str) -> Option<&str> {
+    name.strip_suffix(".trace")
+        .map(|stem| stem.rsplit(['/', '\\']).next().unwrap_or(stem))
+}
+
+/// Loads a fuzz-trace wire file and compiles it into a scenario named
+/// after the file stem.
+fn load_trace_scenario(path: &str) -> Result<crp_predict::Scenario, SimError> {
+    let text = std::fs::read_to_string(path).map_err(|err| SimError::InvalidParameter {
+        what: format!("cannot read trace file {path}: {err}"),
+    })?;
+    let trace = Trace::from_wire(&text)?;
+    let stem = trace_stem(path).expect("only .trace entries reach the loader");
+    Ok(trace.compile(stem)?)
+}
+
 fn cli_matrix(options: &Options) -> Result<SweepMatrix, SimError> {
-    let library = ScenarioLibrary::new(options.size)?;
+    let mut library = ScenarioLibrary::new(options.size)?;
+    // Trace-file entries (shrunk fuzz reproducers) are compiled and
+    // registered first, so they are addressable by stem like any
+    // built-in — including from *other* entries of the same run.
+    for name in &options.scenarios {
+        if name.ends_with(".trace") {
+            library.register(load_trace_scenario(name)?)?;
+        }
+    }
     let mut matrix = SweepMatrix::new().runner(cli_config(options)?);
     for name in &options.scenarios {
+        let name = trace_stem(name).unwrap_or(name);
         matrix = matrix.scenario(library.by_name(name)?);
     }
     for name in &options.protocols {
@@ -451,6 +516,9 @@ fn cli_config(options: &Options) -> Result<RunnerConfig, SimError> {
     if let Some(manifest) = &options.fleet {
         config = config.with_fleet(manifest.clone());
     }
+    if let Some(plan) = &options.chaos {
+        config.chaos = Some(plan.clone());
+    }
     Ok(config)
 }
 
@@ -561,7 +629,16 @@ fn worker_mode(args: &[String]) -> ExitCode {
         }
         index += 1;
     }
-    let mut options = ServeOptions::from_env();
+    // Strict environment parsing: a mistyped CRP_FLEET_* knob refuses to
+    // start the worker instead of silently running without the fault (or
+    // capacity) it was meant to carry.
+    let mut options = match ServeOptions::try_from_env() {
+        Ok(options) => options,
+        Err(err) => {
+            eprintln!("worker: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
     if let Some(capacity) = capacity {
         options.capacity = capacity;
     }
@@ -618,9 +695,43 @@ fn shard_worker() -> ExitCode {
     }
 }
 
+/// The `fuzz` subcommand: delegates to the sibling `crp_fuzz` binary
+/// (the fuzzing crate depends on this one, so the fuzzer cannot be
+/// linked in), forwarding all remaining arguments verbatim.  The binary
+/// is resolved from `CRP_FUZZ_BIN` when set, otherwise from the
+/// directory of the current executable.
+fn fuzz_mode(args: &[String]) -> ExitCode {
+    let binary = match std::env::var_os("CRP_FUZZ_BIN") {
+        Some(path) => std::path::PathBuf::from(path),
+        None => match std::env::current_exe() {
+            Ok(exe) => exe.with_file_name("crp_fuzz"),
+            Err(err) => {
+                eprintln!("fuzz: cannot locate the crp_fuzz binary: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    match std::process::Command::new(&binary).args(args).status() {
+        Ok(status) if status.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(err) => {
+            eprintln!(
+                "fuzz: cannot run {} ({err}); build it with `cargo build -p crp-fuzz` or set \
+                 CRP_FUZZ_BIN",
+                binary.display()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     if std::env::args().nth(1).as_deref() == Some("shard-worker") {
         return shard_worker();
+    }
+    if std::env::args().nth(1).as_deref() == Some("fuzz") {
+        let args: Vec<String> = std::env::args().skip(2).collect();
+        return fuzz_mode(&args);
     }
     if std::env::args().nth(1).as_deref() == Some("worker") {
         let args: Vec<String> = std::env::args().skip(2).collect();

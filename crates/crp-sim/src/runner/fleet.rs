@@ -121,15 +121,26 @@ impl FleetBackend {
     /// The pool a [`RunnerConfig`] selects: its typed
     /// [`RunnerConfig::fleet`] manifest when set, otherwise the
     /// `CRP_FLEET` environment variable, otherwise `config.threads`
-    /// local subprocess workers.
+    /// local subprocess workers — with the config's
+    /// [`RunnerConfig::chaos`] plan (if any) compiled onto the pool's
+    /// local endpoints as fault-injection spawn environment.
     ///
     /// # Errors
     ///
-    /// As [`FleetBackend::from_env_or_local`].
+    /// As [`FleetBackend::from_env_or_local`], plus [`SimError::Backend`]
+    /// when the chaos plan targets an endpoint it cannot sabotage.
     pub fn from_config(config: &RunnerConfig) -> Result<Self, SimError> {
-        match &config.fleet {
+        let backend = match &config.fleet {
             Some(manifest) => Self::from_manifest(manifest),
             None => Self::from_env_or_local(config.threads),
+        }?;
+        match &config.chaos {
+            None => Ok(backend),
+            Some(plan) if plan.is_empty() => Ok(backend),
+            Some(plan) => {
+                let sabotaged = plan.apply(backend.endpoints()).map_err(fleet_error)?;
+                Ok(Self::with_endpoints(sabotaged))
+            }
         }
     }
 

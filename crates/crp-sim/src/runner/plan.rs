@@ -8,7 +8,7 @@
 use std::str::FromStr;
 
 use crp_channel::Execution;
-use crp_fleet::FleetManifest;
+use crp_fleet::{ChaosPlan, FleetManifest};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -106,6 +106,16 @@ pub struct RunnerConfig {
     /// can pin a per-run pool without touching the process environment.
     /// The CLI's `--fleet` flag populates this field.
     pub fleet: Option<FleetManifest>,
+    /// A declarative fault schedule applied to the worker pool of a
+    /// [`BackendChoice::Fleet`] run: each event extends one local
+    /// worker's spawn environment with the corresponding legacy
+    /// `CRP_FLEET_*_AFTER` knob.  `None` (and the empty plan) injects
+    /// nothing.  Because the dispatcher re-dispatches the jobs of dead,
+    /// garbled or wedged workers and shard statistics are deterministic
+    /// functions of their specs, a chaos run that completes stays
+    /// bit-identical to the serial backend.  The CLI's `--chaos` flag
+    /// populates this field.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for RunnerConfig {
@@ -116,6 +126,7 @@ impl Default for RunnerConfig {
             threads: default_threads(),
             backend: BackendChoice::default(),
             fleet: None,
+            chaos: None,
         }
     }
 }
@@ -205,6 +216,15 @@ impl RunnerConfig {
     /// environment variable, which this field wins over.
     pub fn with_fleet(mut self, manifest: FleetManifest) -> Self {
         self.fleet = Some(manifest);
+        self.backend = BackendChoice::Fleet;
+        self
+    }
+
+    /// Returns a copy scheduling a [`ChaosPlan`] over the fleet pool (and
+    /// therefore selecting the fleet backend, the only one whose workers
+    /// can be sabotaged).
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
         self.backend = BackendChoice::Fleet;
         self
     }

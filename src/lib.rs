@@ -30,6 +30,11 @@
 //!   by `crp_experiments serve` / `submit`.
 //! * [`sim`] (`crp-sim`) — the Monte-Carlo experiment harness, fronted by
 //!   the builder-style [`sim::Simulation`].
+//! * [`fuzz`] (`crp-fuzz`) — model-based scenario fuzzing: seeded
+//!   adversarial trace models, property oracles encoding the paper's
+//!   envelopes, a deterministic shrinker, declarative chaos plans, and
+//!   the content-addressed reproducer corpus, fronted by
+//!   `crp_experiments fuzz` / the `crp_fuzz` binary.
 //!
 //! # Quickstart
 //!
@@ -93,3 +98,8 @@ pub use crp_serve as serve;
 
 /// Monte-Carlo experiment harness (re-export of `crp-sim`).
 pub use crp_sim as sim;
+
+/// Model-based scenario fuzzing: adversarial trace models, property
+/// oracles over sweep results, the deterministic shrinker and the
+/// reproducer corpus (re-export of `crp-fuzz`).
+pub use crp_fuzz as fuzz;
