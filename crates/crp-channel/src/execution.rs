@@ -306,26 +306,55 @@ where
     })
 }
 
+/// The exact outcome-category probabilities of a round in which `k`
+/// participants each transmit independently with probability `p ∈ (0, 1)`:
+/// `(Pr[silence], Pr[success]) = ((1−p)^k, k·p·(1−p)^{k−1})`.
+///
+/// A uniform draw `u ∈ [0, 1)` classifies as silence when
+/// `u < Pr[silence]`, success when `u < Pr[silence] + Pr[success]`, and
+/// collision otherwise — see [`classify_uniform_draw`].  Exposed so batched
+/// trial kernels can precompute and memoize the thresholds once per
+/// `(p, k)` pair instead of paying the two `powf` calls every round; the
+/// edge cases `p ≤ 0` (always silence, **no draw consumed**) and `p ≥ 1`
+/// ([`RoundOutcome::from_transmitter_count`], **no draw consumed**) must be
+/// handled before calling this.
+pub fn uniform_outcome_thresholds(k: usize, p: f64) -> (f64, f64) {
+    let kf = k as f64;
+    let p_silence = (1.0 - p).powf(kf);
+    let p_success = kf * p * (1.0 - p).powf(kf - 1.0);
+    (p_silence, p_success)
+}
+
+/// Classifies one uniform draw against [`uniform_outcome_thresholds`].
+///
+/// The comparison chain is exactly the one [`sample_uniform_outcome`]
+/// applies, so a kernel that draws `u` from the same RNG stream position
+/// reproduces the scalar executor's outcome bit for bit.
+pub fn classify_uniform_draw(u: f64, p_silence: f64, p_success: f64) -> RoundOutcome {
+    // Branchless: category = (u ≥ s) + (u ≥ s + c) ∈ {0, 1, 2}.
+    let category = u8::from(u >= p_silence) + u8::from(u >= p_silence + p_success);
+    match category {
+        0 => RoundOutcome::Silence,
+        1 => RoundOutcome::Success,
+        _ => RoundOutcome::Collision,
+    }
+}
+
 /// Samples the outcome category of a round in which `k` participants each
 /// transmit independently with probability `p`.
-fn sample_uniform_outcome<R: Rng + ?Sized>(k: usize, p: f64, rng: &mut R) -> RoundOutcome {
+///
+/// Consumes exactly one `f64` draw for `p ∈ (0, 1)` and none otherwise —
+/// the draw discipline batched kernels rely on.
+pub fn sample_uniform_outcome<R: Rng + ?Sized>(k: usize, p: f64, rng: &mut R) -> RoundOutcome {
     if p <= 0.0 {
         return RoundOutcome::Silence;
     }
     if p >= 1.0 {
         return RoundOutcome::from_transmitter_count(k);
     }
-    let kf = k as f64;
-    let p_silence = (1.0 - p).powf(kf);
-    let p_success = kf * p * (1.0 - p).powf(kf - 1.0);
+    let (p_silence, p_success) = uniform_outcome_thresholds(k, p);
     let u: f64 = rng.gen();
-    if u < p_silence {
-        RoundOutcome::Silence
-    } else if u < p_silence + p_success {
-        RoundOutcome::Success
-    } else {
-        RoundOutcome::Collision
-    }
+    classify_uniform_draw(u, p_silence, p_success)
 }
 
 #[cfg(test)]

@@ -54,7 +54,9 @@ pub use error::ChannelError;
 #[allow(deprecated)]
 pub use execution::execute_uniform_schedule;
 pub use execution::{
-    execute, try_execute, try_execute_uniform_schedule, Execution, ExecutionConfig, NodeProtocol,
+    classify_uniform_draw, execute, sample_uniform_outcome, try_execute,
+    try_execute_uniform_schedule, uniform_outcome_thresholds, Execution, ExecutionConfig,
+    NodeProtocol,
 };
 pub use history::CollisionHistory;
 pub use participant::{ParticipantId, ParticipantSet};

@@ -98,6 +98,10 @@ impl NoCdSchedule for FixedProbability {
     fn name(&self) -> &str {
         "fixed-probability"
     }
+
+    fn constant_probability(&self) -> Option<f64> {
+        Some(1.0 / self.estimate as f64)
+    }
 }
 
 /// The deliberately naive prediction consumer: trust the advice past any
@@ -152,6 +156,10 @@ impl NoCdSchedule for BlindTrust {
 
     fn name(&self) -> &str {
         "blind-trust"
+    }
+
+    fn constant_probability(&self) -> Option<f64> {
+        self.schedule.constant_probability()
     }
 }
 

@@ -70,7 +70,22 @@ pub trait UniformPolicy: Send + Sync {
     /// The transmission probability for (1-based) round `round` given the
     /// collision history observed so far, or `None` once the protocol has
     /// given up.
+    ///
+    /// Implementations must be pure functions of `(round, history)`: the
+    /// scalar executor queries once per trial per round, while batched
+    /// kernels may query once per *shard* per round (no-CD policies see
+    /// the same empty history in every trial) and rely on getting the
+    /// same answer.
     fn probability(&self, round: usize, history: &CollisionHistory) -> Option<f64>;
+
+    /// The single probability the policy emits in every round, when it is
+    /// constant (e.g. the known-size baseline).  Must be bit-identical to
+    /// [`UniformPolicy::probability`]'s answer for every round; batched
+    /// kernels use it to skip per-round dynamic dispatch.  Defaults to
+    /// `None`.
+    fn constant_probability(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// Builds per-node protocol instances for a concrete participant set.
@@ -91,6 +106,17 @@ pub trait NodeFactory: Send + Sync {
     fn round_budget(&self, participants: &[ParticipantId]) -> Option<usize> {
         let _ = participants;
         None
+    }
+
+    /// Whether the nodes this factory builds are *deterministic*: their
+    /// [`NodeProtocol::decide`] never reads the RNG, so an execution's
+    /// outcome is a pure function of the participant set (the §3 advice
+    /// schedules are the canonical case).  Batched kernels use this to
+    /// execute once per distinct participant set and replicate the
+    /// outcome; a factory must only return `true` when that replication
+    /// is exact.  Defaults to `false`.
+    fn deterministic(&self) -> bool {
+        false
     }
 }
 
@@ -119,6 +145,10 @@ impl<S: NoCdSchedule + Send + Sync> Protocol for ScheduleProtocol<S> {
 impl<S: NoCdSchedule + Send + Sync> UniformPolicy for ScheduleProtocol<S> {
     fn probability(&self, round: usize, _history: &CollisionHistory) -> Option<f64> {
         self.0.probability(round)
+    }
+
+    fn constant_probability(&self) -> Option<f64> {
+        self.0.constant_probability()
     }
 }
 

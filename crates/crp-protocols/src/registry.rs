@@ -537,6 +537,13 @@ impl NodeFactory for DeterministicAdviceProtocol {
         };
         Some(budget.max(1))
     }
+
+    fn deterministic(&self) -> bool {
+        // The §3 advice schedules are precomputed transmission schedules:
+        // `decide` is a pure function of (id, advice, round) and never
+        // touches the RNG, so outcomes depend only on the participant set.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,16 @@ pub trait NoCdSchedule {
     fn horizon(&self) -> Option<usize> {
         None
     }
+
+    /// The single probability this schedule emits in *every* round, when
+    /// it has one (constant-rate protocols such as the known-size
+    /// baseline).  Batched trial kernels use this to skip the per-round
+    /// dynamic dispatch entirely; the returned value must be bit-identical
+    /// to what [`NoCdSchedule::probability`] returns for every round.
+    /// Defaults to `None` (not constant).
+    fn constant_probability(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// A uniform algorithm for the collision-detection setting: a function from

@@ -8,7 +8,8 @@
 //! ```text
 //! crp_experiments [command] [--trials T] [--size N] [--seed S]
 //!                 [--backend serial|thread|process|fleet] [--threads T]
-//!                 [--workers N] [--fleet MANIFEST] [--chaos PLAN]
+//!                 [--workers N] [--kernel auto|scalar|batched]
+//!                 [--fleet MANIFEST] [--chaos PLAN]
 //!                 [--protocols a,b,..] [--scenarios x,y,..] [--csv]
 //! ```
 //!
@@ -35,6 +36,13 @@
 //! the pool the `--fleet` manifest (or the `CRP_FLEET` environment
 //! variable) describes — comma-separated `local[:N]` and `host:port`
 //! entries — and `--fleet` by itself implies `--backend fleet`.
+//!
+//! `--kernel` selects the trial-kernel path (`auto`, the default, uses
+//! the batched struct-of-arrays kernels where the protocol admits one;
+//! `scalar` forces the trial-at-a-time executor) and wins over the
+//! `CRP_KERNEL` environment variable.  Like the backend choice, the
+//! kernel choice only affects wall-clock time: statistics are
+//! bit-identical either way.
 //!
 //! The `worker` subcommand runs the long-lived fleet worker: it answers a
 //! framed stream of shard specs — many shards per process — over stdio
@@ -75,8 +83,9 @@ use crp_sim::experiments::{
 };
 use crp_sim::service::{submit_matrix, sweep_hooks};
 use crp_sim::{
-    env_fleet_manifest, env_worker_threads, run_shard_worker, run_shard_worker_with, BackendChoice,
-    RunnerConfig, SimError, SweepMatrix, SweepProtocol, Table,
+    env_fleet_manifest, env_kernel_choice, env_worker_threads, run_shard_worker,
+    run_shard_worker_with, BackendChoice, KernelChoice, RunnerConfig, SimError, SweepMatrix,
+    SweepProtocol, Table,
 };
 
 /// Parsed command-line options.
@@ -87,6 +96,9 @@ struct Options {
     seed: u64,
     backend: BackendChoice,
     threads: Option<usize>,
+    /// `--kernel` trial-kernel choice (`None` defers to `CRP_KERNEL`,
+    /// then auto).
+    kernel: Option<KernelChoice>,
     fleet: Option<FleetManifest>,
     /// `--chaos` fault schedule for the fleet's local workers.
     chaos: Option<ChaosPlan>,
@@ -107,7 +119,8 @@ const DEFAULT_SERVICE_ADDR: &str = "127.0.0.1:9317";
 const USAGE: &str = "usage: crp_experiments \
 [list|table1|table2|entropy|kl|baselines|range-finding|sweep|worker|serve|submit|fuzz|all] \
 [--trials T] [--size N] [--seed S] [--backend serial|thread|process|fleet] \
-[--threads T] [--workers N] [--fleet local[:N],host:port,..] \
+[--threads T] [--workers N] [--kernel auto|scalar|batched] \
+[--fleet local[:N],host:port,..] \
 [--chaos W:FAULT@N,..] [--protocols a,b,..] [--scenarios x,y,..|file.trace,..] [--csv] \
 [--listen host:port] [--connect host:port] [--cache DIR]";
 
@@ -119,6 +132,7 @@ fn parse_args() -> Result<Options, String> {
         seed: 0xC0FFEE,
         backend: BackendChoice::default(),
         threads: None,
+        kernel: None,
         fleet: None,
         chaos: None,
         protocols: vec![
@@ -184,6 +198,14 @@ fn parse_args() -> Result<Options, String> {
                     return Err(format!("{flag} requires a positive value"));
                 }
                 options.threads = Some(threads);
+            }
+            "--kernel" => {
+                index += 1;
+                options.kernel = Some(
+                    args.get(index)
+                        .ok_or("--kernel requires one of: auto, scalar, batched")?
+                        .parse()?,
+                );
             }
             "--fleet" => {
                 index += 1;
@@ -507,6 +529,17 @@ fn cli_config(options: &Options) -> Result<RunnerConfig, SimError> {
         None => {
             if let Some(threads) = env_worker_threads()? {
                 config = config.with_threads(threads);
+            }
+        }
+    }
+    // Same precedence as --threads: an explicit --kernel wins, otherwise
+    // a *strictly* parsed CRP_KERNEL (the CLI refuses a misspelt value
+    // instead of warning like the lenient RunnerConfig default does).
+    match options.kernel {
+        Some(kernel) => config = config.with_kernel(kernel),
+        None => {
+            if let Some(kernel) = env_kernel_choice()? {
+                config = config.with_kernel(kernel);
             }
         }
     }

@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn rounds_grow_with_entropy() {
-        let config = RunnerConfig::with_trials(250).seeded(17);
+        let config = RunnerConfig::with_trials(250).seeded(7);
         let result = run(1 << 12, 6, &config).unwrap();
         assert_eq!(result.points.len(), 6);
         let first = result.points.first().unwrap();

@@ -16,6 +16,7 @@
 use rand_chacha::ChaCha8Rng;
 
 use crate::runner::fleet::FleetBackend;
+use crate::runner::kernel::CellKernel;
 use crate::runner::plan::{BackendChoice, RunnerConfig, ShardPlan, TrialOutcome};
 use crate::runner::process::ShardSpec;
 use crate::runner::thread::ThreadBackend;
@@ -50,15 +51,27 @@ pub struct ShardJob<'a> {
     /// (absent when the cell was built around a raw closure or a custom
     /// protocol object).
     pub spec: Option<&'a ShardSpec>,
+    /// The cell's batched trial kernel, when the configured
+    /// [`crate::KernelChoice`] and the protocol admit one.  `None` runs
+    /// the scalar trial-at-a-time path; either way the statistics are
+    /// bit-identical (both consume the same per-trial RNG streams in the
+    /// same order).
+    pub(crate) kernel: Option<&'a CellKernel<'a>>,
 }
 
 impl ShardJob<'_> {
-    /// Runs this job inline on the calling thread: folds the shard's
-    /// trials into a fresh accumulator, stopping at the first failed trial.
+    /// Runs this job inline on the calling thread: the cell's batched
+    /// kernel when one was selected, otherwise the scalar path folding
+    /// the shard's trials into a fresh accumulator in trial order,
+    /// stopping at the first failed trial.
     pub fn run_inline(&self) -> Result<TrialAccumulator, SimError> {
-        let mut rng = self.plan.shard_rng(self.base_seed, self.shard);
+        if let Some(kernel) = self.kernel {
+            return kernel.run_shard(self.plan, self.base_seed, self.shard);
+        }
         let mut accumulator = TrialAccumulator::new();
-        for _ in 0..self.plan.shard_trials(self.shard) {
+        for offset in 0..self.plan.shard_trials(self.shard) {
+            let trial = self.plan.trial_index(self.shard, offset);
+            let mut rng = ShardPlan::trial_rng(self.base_seed, trial);
             let outcome = (self.trial)(&mut rng)?;
             accumulator.record(outcome.resolved, outcome.rounds as u64);
         }

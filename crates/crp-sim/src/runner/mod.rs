@@ -2,13 +2,18 @@
 //! layers:
 //!
 //! * [`plan`] — deterministic batch planning: [`RunnerConfig`] (trials,
-//!   seed, worker count, [`BackendChoice`]), the [`ShardPlan`] that splits
-//!   a batch into fixed-size shards with per-shard `ChaCha8Rng` streams
-//!   derived from `(base_seed, shard_index)`, and the progress/outcome
-//!   value types.
+//!   seed, worker count, [`BackendChoice`], [`KernelChoice`]), the
+//!   [`ShardPlan`] that splits a batch into fixed-size shards of trials
+//!   with per-trial `ChaCha8Rng` streams derived from
+//!   `(base_seed, trial_index)`, and the progress/outcome value types.
 //! * [`backend`] — the object-safe [`ShardBackend`] trait over
 //!   [`ShardJob`]s (one shard of one cell) plus the inline
 //!   [`SerialBackend`], and the shared execute-and-merge driver.
+//! * [`kernel`] — batched struct-of-arrays trial kernels
+//!   ([`CellKernel`]): whole shards run in lockstep with monomorphized
+//!   uniform/deterministic fast paths, memoized outcome thresholds and
+//!   block-buffered RNG, bit-identical to the scalar path by shared
+//!   per-trial streams.
 //! * [`thread`] — [`ThreadBackend`]: scoped worker threads stealing jobs
 //!   from a shared queue (the former hard-wired parallel path).
 //! * [`process`] — [`ProcessBackend`]: `crp_experiments shard-worker`
@@ -33,6 +38,7 @@
 
 pub(crate) mod backend;
 pub(crate) mod fleet;
+pub(crate) mod kernel;
 pub(crate) mod plan;
 pub(crate) mod process;
 pub(crate) mod thread;
@@ -48,6 +54,7 @@ use crate::SimError;
 
 pub use backend::{JobDoneFn, SerialBackend, ShardBackend, ShardJob, TrialFn};
 pub use fleet::{env_fleet_manifest, FleetBackend};
+pub use kernel::{env_kernel_choice, KernelChoice};
 pub use plan::{
     env_worker_threads, BackendChoice, BatchProgress, ProgressFn, RunnerConfig, ShardPlan,
     TrialOutcome,
@@ -104,6 +111,7 @@ where
             base_seed: config.base_seed,
             trial,
             spec: None,
+            kernel: None,
         })
         .collect();
 
@@ -365,17 +373,22 @@ mod tests {
     }
 
     #[test]
-    fn shard_rng_streams_differ_per_shard_and_seed() {
+    fn trial_rng_streams_differ_per_trial_and_seed() {
         use rand::RngCore;
-        let plan = ShardPlan::new(512);
-        let mut a = plan.shard_rng(7, 0);
-        let mut b = plan.shard_rng(7, 1);
-        let mut c = plan.shard_rng(8, 0);
-        let mut a2 = plan.shard_rng(7, 0);
+        let mut a = ShardPlan::trial_rng(7, 0);
+        let mut b = ShardPlan::trial_rng(7, 1);
+        let mut c = ShardPlan::trial_rng(8, 0);
+        let mut a2 = ShardPlan::trial_rng(7, 0);
         let first: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
         assert_eq!(first, (0..4).map(|_| a2.next_u64()).collect::<Vec<_>>());
         assert_ne!(first, (0..4).map(|_| b.next_u64()).collect::<Vec<_>>());
         assert_ne!(first, (0..4).map(|_| c.next_u64()).collect::<Vec<_>>());
+        // Shard boundaries do not affect the streams: the same global
+        // trial index maps to the same stream under any shard size.
+        let plan_a = ShardPlan::with_shard_size(512, 256);
+        let plan_b = ShardPlan::with_shard_size(512, 64);
+        assert_eq!(plan_a.trial_index(1, 3), 259);
+        assert_eq!(plan_b.trial_index(4, 3), 259);
     }
 
     #[test]
@@ -407,6 +420,40 @@ mod tests {
         assert_eq!(env_worker_threads().unwrap(), Some(3));
         std::env::remove_var("CRP_THREADS");
         assert_eq!(env_worker_threads().unwrap(), None);
+    }
+
+    #[test]
+    fn crp_kernel_env_overrides_the_default_kernel_choice() {
+        // Concurrent tests may observe the variable while it is set; that
+        // is harmless by design — kernels are bit-identical to the scalar
+        // path, so the statistics never depend on this choice.
+        std::env::set_var("CRP_KERNEL", "scalar");
+        assert_eq!(RunnerConfig::default().kernel, KernelChoice::Scalar);
+        // Explicit choices (the CLI flag path) win over the environment.
+        assert_eq!(
+            RunnerConfig::default()
+                .with_kernel(KernelChoice::Batched)
+                .kernel,
+            KernelChoice::Batched
+        );
+        // Invalid values fall back to Auto in the infallible default...
+        std::env::set_var("CRP_KERNEL", "simd");
+        assert_eq!(RunnerConfig::default().kernel, KernelChoice::Auto);
+        // ...but the strict parser surfaces them as typed Config errors
+        // naming the variable, the value, and the valid choices.
+        match env_kernel_choice() {
+            Err(SimError::Config { var, value, what }) => {
+                assert_eq!(var, "CRP_KERNEL");
+                assert_eq!(value, "simd");
+                assert!(what.contains("auto, scalar, batched"), "{what}");
+            }
+            other => panic!("expected SimError::Config, got {other:?}"),
+        }
+        std::env::set_var("CRP_KERNEL", "batched");
+        assert_eq!(env_kernel_choice().unwrap(), Some(KernelChoice::Batched));
+        std::env::remove_var("CRP_KERNEL");
+        assert_eq!(env_kernel_choice().unwrap(), None);
+        assert_eq!(RunnerConfig::default().kernel, KernelChoice::Auto);
     }
 
     #[test]
@@ -575,6 +622,7 @@ mod tests {
             base_seed: 42,
             trial: &trial,
             spec: None,
+            kernel: None,
         }
         .run_inline()
         .unwrap();

@@ -12,6 +12,7 @@ use crp_fleet::{ChaosPlan, FleetManifest};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::runner::kernel::{default_kernel, KernelChoice};
 use crate::SimError;
 
 /// Outcome of a single Monte-Carlo trial.
@@ -88,8 +89,8 @@ impl FromStr for BackendChoice {
 pub struct RunnerConfig {
     /// Number of independent trials.
     pub trials: usize,
-    /// Base seed; shard `s` of the batch draws from a `ChaCha8Rng` stream
-    /// derived from `(base_seed, s)`.
+    /// Base seed; trial `i` of the batch draws from a `ChaCha8Rng` stream
+    /// derived from `(base_seed, i)` (see [`ShardPlan::trial_rng`]).
     pub base_seed: u64,
     /// Number of worker threads or processes (1 = run inline).  The
     /// statistics do not depend on this value, only the wall-clock time
@@ -116,6 +117,16 @@ pub struct RunnerConfig {
     /// bit-identical to the serial backend.  The CLI's `--chaos` flag
     /// populates this field.
     pub chaos: Option<ChaosPlan>,
+    /// Which trial-kernel path executes shards: the batched
+    /// struct-of-arrays fast paths where a protocol supports them
+    /// ([`KernelChoice::Auto`], the default, and [`KernelChoice::Batched`]
+    /// — identical selection, the scalar executor remains the universal
+    /// fallback), or never ([`KernelChoice::Scalar`], for debugging and
+    /// equivalence baselines).  The choice affects wall-clock time only,
+    /// never the statistics.  Defaults to the `CRP_KERNEL` environment
+    /// variable when set to a valid choice; explicit builder calls and
+    /// CLI flags win over the environment.
+    pub kernel: KernelChoice,
 }
 
 impl Default for RunnerConfig {
@@ -127,6 +138,7 @@ impl Default for RunnerConfig {
             backend: BackendChoice::default(),
             fleet: None,
             chaos: None,
+            kernel: default_kernel(),
         }
     }
 }
@@ -228,13 +240,20 @@ impl RunnerConfig {
         self.backend = BackendChoice::Fleet;
         self
     }
+
+    /// Returns a copy selecting a trial-kernel path (wins over the
+    /// `CRP_KERNEL` default).
+    pub fn with_kernel(mut self, kernel: KernelChoice) -> Self {
+        self.kernel = kernel;
+        self
+    }
 }
 
 /// How a batch of trials is split into deterministic shards.
 ///
 /// The plan is a function of the trial count alone — never of the thread
 /// count — so the same configuration always yields the same shards, the
-/// same per-shard RNG streams, and therefore bit-identical statistics no
+/// same per-trial RNG streams, and therefore bit-identical statistics no
 /// matter how many threads execute it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardPlan {
@@ -282,14 +301,25 @@ impl ShardPlan {
         self.trials.saturating_sub(start).min(self.shard_size)
     }
 
-    /// The deterministic RNG stream of shard `shard`: a `ChaCha8Rng` whose
-    /// 256-bit seed encodes `(base_seed, shard)` plus a fixed domain salt,
-    /// so distinct shards get statistically independent streams.
-    pub fn shard_rng(&self, base_seed: u64, shard: usize) -> ChaCha8Rng {
+    /// The global index of trial `offset` within shard `shard`.
+    pub fn trial_index(&self, shard: usize, offset: usize) -> usize {
+        shard * self.shard_size + offset
+    }
+
+    /// The deterministic RNG stream of one trial: a `ChaCha8Rng` whose
+    /// 256-bit seed encodes `(base_seed, trial)` plus a fixed domain salt,
+    /// so distinct trials get statistically independent streams.
+    ///
+    /// Seeding per *trial* rather than per shard is what lets batched
+    /// kernels process many trials of a shard in lockstep (round-major)
+    /// while consuming each trial's draws in exactly the order the scalar
+    /// trial-at-a-time path does — the two paths share the streams by
+    /// construction, so their statistics are bit-identical.
+    pub fn trial_rng(base_seed: u64, trial: usize) -> ChaCha8Rng {
         let mut seed = [0u8; 32];
         seed[..8].copy_from_slice(&base_seed.to_le_bytes());
-        seed[8..16].copy_from_slice(&(shard as u64).to_le_bytes());
-        seed[16..32].copy_from_slice(b"crp-shard-stream");
+        seed[8..16].copy_from_slice(&(trial as u64).to_le_bytes());
+        seed[16..32].copy_from_slice(b"crp-trial-stream");
         ChaCha8Rng::from_seed(seed)
     }
 }

@@ -447,6 +447,11 @@ pub fn run_shard_worker_with(
         )));
     }
     let simulation = spec.to_simulation(plan.trials(), base_seed)?;
+    // The kernel choice is not carried on the wire: the worker honours its
+    // own `CRP_KERNEL` environment (default: auto).  Kernels are
+    // bit-identical to the scalar path, so dispatcher and worker may
+    // disagree without affecting the statistics.
+    let kernel = simulation.cell_kernel();
     let trial = simulation.trial_fn();
     let job = ShardJob {
         cell: 0,
@@ -455,6 +460,7 @@ pub fn run_shard_worker_with(
         base_seed,
         trial: &trial,
         spec: None,
+        kernel: kernel.as_ref(),
     };
     Ok(job.run_inline()?.to_wire())
 }

@@ -31,10 +31,11 @@ use crp_protocols::{try_run_protocol, try_run_protocol_with, Behavior, Protocol,
 use rand_chacha::ChaCha8Rng;
 
 use crate::runner::backend::{backend_for, execute_and_merge};
+use crate::runner::kernel::{CellKernel, KernelPopulation};
 use crate::runner::process::{ShardSpec, WirePopulation};
 use crate::runner::{
-    sample_contending_size, BackendChoice, RunnerConfig, ShardBackend, ShardJob, ShardPlan,
-    TrialOutcome,
+    sample_contending_size, BackendChoice, KernelChoice, RunnerConfig, ShardBackend, ShardJob,
+    ShardPlan, TrialOutcome,
 };
 use crate::stats::TrialStats;
 use crate::SimError;
@@ -135,7 +136,8 @@ impl SimulationBuilder {
         self
     }
 
-    /// Base seed; trial `i` derives its own RNG from `seed ^ i`.
+    /// Base seed; trial `i` derives its own `ChaCha8Rng` stream from
+    /// `(seed, i)` (see [`ShardPlan::trial_rng`]).
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.base_seed = seed;
         self
@@ -150,6 +152,14 @@ impl SimulationBuilder {
     /// Selects the shard backend [`Simulation::run`] executes on.
     pub fn backend(mut self, backend: BackendChoice) -> Self {
         self.config.backend = backend;
+        self
+    }
+
+    /// Selects the trial-kernel path (batched struct-of-arrays fast paths
+    /// vs. the scalar executor).  The statistics are bit-identical either
+    /// way; see [`KernelChoice`].
+    pub fn kernel(mut self, kernel: KernelChoice) -> Self {
+        self.config.kernel = kernel;
         self
     }
 
@@ -338,6 +348,7 @@ impl Simulation {
     pub fn run_on(&self, backend: &dyn ShardBackend) -> Result<TrialStats, SimError> {
         let plan = ShardPlan::new(self.config.trials);
         let spec = self.shard_spec();
+        let kernel = self.cell_kernel();
         let trial = self.trial_fn();
         let trial_ref: &(dyn Fn(&mut ChaCha8Rng) -> Result<TrialOutcome, SimError> + Sync) = &trial;
         let jobs: Vec<ShardJob<'_>> = (0..plan.num_shards())
@@ -348,6 +359,7 @@ impl Simulation {
                 base_seed: self.config.base_seed,
                 trial: trial_ref,
                 spec: spec.as_ref(),
+                kernel: kernel.as_ref(),
             })
             .collect();
         let stats = execute_and_merge(backend, &jobs, 1, &|_| {})?;
@@ -375,6 +387,34 @@ impl Simulation {
                 run_with_count(protocol, k, max_rounds, rng)
             }
         }
+    }
+
+    /// The batched trial kernel of this cell, when the configured
+    /// [`KernelChoice`] and the protocol's execution style admit one
+    /// (`None` falls back to the scalar trial-at-a-time path).  Built
+    /// once per cell and shared, immutably, by every shard job and
+    /// worker thread.
+    pub(crate) fn cell_kernel(&self) -> Option<CellKernel<'_>> {
+        let population = match &self.population {
+            Population::Fixed(k) => KernelPopulation::Fixed(*k),
+            Population::Placed(ids) => KernelPopulation::Placed(ids),
+            Population::Sampled(truth) => KernelPopulation::Sampled(truth),
+        };
+        CellKernel::select(
+            self.config.kernel,
+            self.protocol.as_ref(),
+            population,
+            self.max_rounds,
+        )
+    }
+
+    /// The name of the batched fast path this simulation selects
+    /// (`"uniform-constant"`, `"uniform-no-cd"`, `"uniform-cd"` or
+    /// `"deterministic"`), or `None` when shards run on the scalar
+    /// trial-at-a-time executor.  Diagnostics only — the choice never
+    /// affects the statistics.
+    pub fn kernel_name(&self) -> Option<&'static str> {
+        self.cell_kernel().map(|kernel| kernel.name())
     }
 
     /// The serialisable description out-of-process backends ship to their

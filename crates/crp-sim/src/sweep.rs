@@ -62,7 +62,7 @@ use crp_protocols::ProtocolSpec;
 
 use crate::report::{fmt_f64, Table};
 use crate::runner::backend::{backend_for, execute_and_merge};
-use crate::runner::{RunnerConfig, ShardBackend, ShardJob, ShardPlan};
+use crate::runner::{KernelChoice, RunnerConfig, ShardBackend, ShardJob, ShardPlan};
 use crate::simulation::Simulation;
 use crate::stats::TrialStats;
 use crate::SimError;
@@ -289,6 +289,15 @@ impl SweepMatrix {
         self
     }
 
+    /// Selects the trial-kernel path every cell executes with.  Like the
+    /// backend choice, this affects wall-clock time only — statistics
+    /// are bit-identical between the scalar executor and the batched
+    /// kernels.
+    pub fn kernel(mut self, kernel: KernelChoice) -> Self {
+        self.config.kernel = kernel;
+        self
+    }
+
     /// Replaces the whole runner configuration (trials, seed, threads).
     pub fn runner(mut self, config: RunnerConfig) -> Self {
         self.config = config;
@@ -442,6 +451,7 @@ impl SweepMatrix {
             .map(|cell| ShardPlan::new(cell.simulation.config().trials))
             .collect();
         let specs: Vec<_> = cells.iter().map(|c| c.simulation.shard_spec()).collect();
+        let kernels: Vec<_> = cells.iter().map(|c| c.simulation.cell_kernel()).collect();
         let trials: Vec<_> = cells.iter().map(|c| c.simulation.trial_fn()).collect();
 
         let mut jobs: Vec<ShardJob<'_>> = Vec::new();
@@ -454,6 +464,7 @@ impl SweepMatrix {
                     base_seed: cell.simulation.config().base_seed,
                     trial: &trials[index],
                     spec: specs[index].as_ref(),
+                    kernel: kernels[index].as_ref(),
                 });
             }
         }
@@ -495,6 +506,7 @@ impl SweepMatrix {
         drop(on_done);
         drop(jobs);
         drop(trials);
+        drop(kernels);
         drop(specs);
 
         let results = cells

@@ -16,8 +16,8 @@ use crp_fleet::WorkerEndpoint;
 use crp_predict::ScenarioLibrary;
 use crp_protocols::ProtocolSpec;
 use crp_sim::{
-    FleetBackend, ProcessBackend, SerialBackend, ShardBackend, Simulation, SweepMatrix,
-    SweepProtocol, ThreadBackend,
+    FleetBackend, KernelChoice, ProcessBackend, SerialBackend, ShardBackend, Simulation,
+    SweepMatrix, SweepProtocol, ThreadBackend,
 };
 
 /// The worker binary cargo built alongside this test.
@@ -94,29 +94,38 @@ fn all_backends() -> Vec<(&'static str, Box<dyn ShardBackend>)> {
 #[test]
 fn simulation_stats_are_bit_identical_across_all_backends() {
     // 700 trials = 3 shards, so the merge path is genuinely exercised;
-    // a sampled population exercises the distribution wire codec.
+    // a sampled population exercises the distribution wire codec.  The
+    // equivalence quantifies over backends *and* trial kernels: the
+    // batched struct-of-arrays kernel must agree with the scalar
+    // executor on every backend.
     let library = ScenarioLibrary::new(512).unwrap();
     let scenario = library.bimodal();
-    let simulation = Simulation::builder()
-        .protocol(
-            ProtocolSpec::new("sorted-guess-cycling")
-                .universe(512)
-                .prediction(scenario.advice_condensed()),
-        )
-        .truth(scenario.distribution().clone())
-        .max_rounds(64 * 512)
-        .trials(700)
-        .seed(0xFEED)
-        .build()
-        .unwrap();
+    let build = |kernel: KernelChoice| {
+        Simulation::builder()
+            .protocol(
+                ProtocolSpec::new("sorted-guess-cycling")
+                    .universe(512)
+                    .prediction(scenario.advice_condensed()),
+            )
+            .truth(scenario.distribution().clone())
+            .max_rounds(64 * 512)
+            .trials(700)
+            .seed(0xFEED)
+            .kernel(kernel)
+            .build()
+            .unwrap()
+    };
 
-    let reference = simulation.run_on(&SerialBackend).unwrap();
+    let reference = build(KernelChoice::Scalar).run_on(&SerialBackend).unwrap();
     assert_eq!(reference.trials, 700);
-    for (name, backend) in all_backends() {
-        let stats = simulation.run_on(backend.as_ref()).unwrap();
-        // PartialEq on TrialStats compares every field, including every
-        // f64 bit of the Welford moments and sketch quantiles.
-        assert_eq!(reference, stats, "backend {name} diverged");
+    for kernel in [KernelChoice::Scalar, KernelChoice::Batched] {
+        let simulation = build(kernel);
+        for (name, backend) in all_backends() {
+            let stats = simulation.run_on(backend.as_ref()).unwrap();
+            // PartialEq on TrialStats compares every field, including
+            // every f64 bit of the Welford moments and sketch quantiles.
+            assert_eq!(reference, stats, "backend {name} diverged ({kernel:?})");
+        }
     }
 }
 
@@ -127,30 +136,39 @@ fn sweep_stats_are_bit_identical_across_all_backends_and_seeds() {
     // the work-stealing (cell, shard) queue on every backend.
     let library = ScenarioLibrary::new(256).unwrap();
     for seed in [1u64, 99, 0xC0FFEE] {
-        let matrix = SweepMatrix::new()
-            .scenarios([library.bimodal(), library.adversarial_drift()])
-            .protocol(
-                SweepProtocol::from_scenario("decay", |s| {
-                    ProtocolSpec::new("decay").universe(s.distribution().max_size())
-                })
-                .max_rounds_with(|s| Some(64 * s.distribution().max_size())),
-            )
-            .protocol(
-                SweepProtocol::from_scenario("sorted-guess", |s| {
-                    ProtocolSpec::new("sorted-guess-cycling")
-                        .universe(s.distribution().max_size())
-                        .prediction(s.advice_condensed())
-                })
-                .max_rounds_with(|s| Some(64 * s.distribution().max_size())),
-            )
-            .trials(300)
-            .seed(seed);
+        let build = |kernel: KernelChoice| {
+            SweepMatrix::new()
+                .scenarios([library.bimodal(), library.adversarial_drift()])
+                .protocol(
+                    SweepProtocol::from_scenario("decay", |s| {
+                        ProtocolSpec::new("decay").universe(s.distribution().max_size())
+                    })
+                    .max_rounds_with(|s| Some(64 * s.distribution().max_size())),
+                )
+                .protocol(
+                    SweepProtocol::from_scenario("sorted-guess", |s| {
+                        ProtocolSpec::new("sorted-guess-cycling")
+                            .universe(s.distribution().max_size())
+                            .prediction(s.advice_condensed())
+                    })
+                    .max_rounds_with(|s| Some(64 * s.distribution().max_size())),
+                )
+                .trials(300)
+                .seed(seed)
+                .kernel(kernel)
+        };
 
-        let reference = matrix.run_on(&SerialBackend).unwrap();
+        let reference = build(KernelChoice::Scalar).run_on(&SerialBackend).unwrap();
         assert_eq!(reference.cells().len(), 4);
-        for (name, backend) in all_backends() {
-            let results = matrix.run_on(backend.as_ref()).unwrap();
-            assert_eq!(reference, results, "backend {name} diverged at seed {seed}");
+        for kernel in [KernelChoice::Scalar, KernelChoice::Batched] {
+            let matrix = build(kernel);
+            for (name, backend) in all_backends() {
+                let results = matrix.run_on(backend.as_ref()).unwrap();
+                assert_eq!(
+                    reference, results,
+                    "backend {name} diverged at seed {seed} ({kernel:?})"
+                );
+            }
         }
     }
 }
