@@ -1,0 +1,214 @@
+//! Bench F-SCALE: the multiplexed event-loop dispatcher versus the
+//! legacy thread-per-endpoint scheduler as the fleet grows.
+//!
+//! The workload isolates *dispatch overhead*: batches of tiny echo jobs
+//! over loopback TCP workers whose compute is effectively free, so the
+//! drain time is dominated by what the scheduler itself costs — thread
+//! spawns and poll tails for the threaded mode, readiness bookkeeping
+//! for the event loop.  The threaded scheduler pays one OS thread per
+//! endpoint per batch; the event loop multiplexes every endpoint from a
+//! single thread, which is the property that lets a dispatcher drive a
+//! 100+-worker fleet without 100+ threads.
+//!
+//! Both modes are timed at a small pool (4 workers, where they must be
+//! comparable) and a large one (128 workers, where the event loop must
+//! drain at least 3× faster), the overhead is recorded as
+//! `BENCH_dispatch.json` at the workspace root, and both modes are
+//! checked to produce identical answers.
+
+use std::io::BufReader;
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use crp_fleet::{
+    read_frame, write_frame, DispatchMode, DispatchTuning, Dispatcher, Message, WorkerEndpoint,
+    PROTOCOL_VERSION,
+};
+
+/// The small pool where the two schedulers must be comparable.
+const SMALL_FLEET: usize = 4;
+/// The large pool where single-thread multiplexing must win outright.
+const LARGE_FLEET: usize = 128;
+/// Tiny jobs per batch, per fleet size: enough that every worker sees
+/// work, small enough that compute never dominates.
+const JOBS_PER_WORKER: usize = 1;
+/// Timed repetitions (the minimum is reported, robust to scheduler
+/// noise).
+const REPETITIONS: usize = 5;
+/// The event loop may be up to this factor slower than the threaded
+/// scheduler at the small pool before the assertion fires.
+const SMALL_TOLERANCE: f64 = 1.25;
+/// The threaded scheduler must be at least this factor slower at the
+/// large pool.
+const LARGE_FLOOR: f64 = 3.0;
+
+/// Binds `n` in-process loopback echo workers, each served forever from
+/// a detached thread.
+///
+/// These are deliberately *minimal* frame-level workers — hello, then
+/// an inline `job` → `done` echo loop — rather than the full
+/// `crp_fleet::serve` worker, which spawns a thread per job so pings
+/// are answered mid-job.  A tiny echo needs no such concurrency, and
+/// leaving it out keeps the measured drain time the *dispatcher's*
+/// overhead instead of worker-side thread churn that both modes pay
+/// identically.
+fn spawn_echo_fleet(n: usize) -> Vec<WorkerEndpoint> {
+    (0..n)
+        .map(|_| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+            let addr = listener.local_addr().expect("bound address");
+            std::thread::spawn(move || {
+                for stream in listener.incoming().flatten() {
+                    std::thread::spawn(move || {
+                        stream.set_nodelay(true).ok();
+                        let mut reader = BufReader::new(stream.try_clone().expect("sockets clone"));
+                        let mut writer = stream;
+                        let hello = Message::Hello {
+                            version: PROTOCOL_VERSION,
+                            capacity: 1,
+                        };
+                        if write_frame(&mut writer, &hello.encode()).is_err() {
+                            return;
+                        }
+                        while let Ok(Some(frame)) = read_frame(&mut reader) {
+                            let answer = match Message::decode(&frame) {
+                                Ok(Message::Job { id, payload }) => Message::Done {
+                                    id,
+                                    payload: format!("echo:{payload}"),
+                                },
+                                Ok(Message::Ping { id }) => Message::Pong { id },
+                                Ok(Message::Shutdown) | Err(_) => return,
+                                Ok(_) => continue,
+                            };
+                            if write_frame(&mut writer, &answer.encode()).is_err() {
+                                return;
+                            }
+                        }
+                    });
+                }
+            });
+            WorkerEndpoint::tcp(addr.to_string())
+        })
+        .collect()
+}
+
+/// A dispatcher over `endpoints` in `mode` at the default tuning (pinned
+/// explicitly so a CI `CRP_FLEET_POLL_MS` cannot skew the comparison).
+/// The threaded scheduler's drain is quantized by its per-thread poll
+/// interval; the event loop's idle sleep is capped at 2ms regardless of
+/// the poll setting — that asymmetry at identical tuning is the win
+/// being measured.
+fn dispatcher(endpoints: Vec<WorkerEndpoint>, mode: DispatchMode) -> Dispatcher {
+    Dispatcher::new(endpoints)
+        .with_tuning(DispatchTuning::default())
+        .with_mode(mode)
+}
+
+/// Best-of-N time to drain one batch of tiny jobs on a *warm* pool (the
+/// untimed warm-up batch connects every worker and verifies answers).
+fn drain_time(dispatcher: &Dispatcher, jobs: &[String]) -> Duration {
+    let answers = dispatcher
+        .dispatch(jobs, &|_| {})
+        .expect("echo fleet answers");
+    assert_eq!(answers.len(), jobs.len());
+    for (job, answer) in jobs.iter().zip(&answers) {
+        assert_eq!(answer, &format!("echo:{job}"), "echo fleet must echo");
+    }
+    (0..REPETITIONS)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(dispatcher.dispatch(jobs, &|_| {}).expect("warm batch"));
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one repetition")
+}
+
+fn batch(workers: usize) -> Vec<String> {
+    (0..workers * JOBS_PER_WORKER)
+        .map(|i| format!("j{i}"))
+        .collect()
+}
+
+/// Minimal hand-rolled JSON emission (the workspace has no serde).
+fn write_json(fields: &[(String, String)]) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dispatch.json");
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(key, value)| format!("  \"{key}\": {value}"))
+        .collect();
+    std::fs::write(&path, format!("{{\n{}\n}}\n", body.join(",\n")))?;
+    Ok(path)
+}
+
+fn scale_comparison() {
+    let mut fields = vec![
+        ("bench".to_string(), "\"dispatch\"".to_string()),
+        ("jobs_per_worker".to_string(), JOBS_PER_WORKER.to_string()),
+    ];
+    let mut ratios = Vec::new();
+    for workers in [SMALL_FLEET, LARGE_FLEET] {
+        let endpoints = spawn_echo_fleet(workers);
+        let jobs = batch(workers);
+        let event = dispatcher(endpoints.clone(), DispatchMode::EventLoop);
+        let threaded = dispatcher(endpoints, DispatchMode::Threaded);
+        let event_time = drain_time(&event, &jobs);
+        let threaded_time = drain_time(&threaded, &jobs);
+        let ratio = threaded_time.as_secs_f64() / event_time.as_secs_f64().max(1e-12);
+        println!(
+            "{workers:>4} workers, {} jobs: event loop {event_time:?}   \
+             threaded {threaded_time:?}   threaded/event: {ratio:.2}x",
+            jobs.len(),
+        );
+        fields.push((
+            format!("event_us_{workers}"),
+            event_time.as_micros().to_string(),
+        ));
+        fields.push((
+            format!("threaded_us_{workers}"),
+            threaded_time.as_micros().to_string(),
+        ));
+        fields.push((format!("ratio_{workers}"), format!("{ratio:.2}")));
+        ratios.push((workers, ratio));
+    }
+    for (workers, ratio) in ratios {
+        if workers == SMALL_FLEET {
+            assert!(
+                ratio >= 1.0 / SMALL_TOLERANCE,
+                "event loop slower than threaded at {workers} workers: \
+                 threaded/event {ratio:.2}x < {:.2}x",
+                1.0 / SMALL_TOLERANCE
+            );
+        } else {
+            assert!(
+                ratio >= LARGE_FLOOR,
+                "event loop must drain at least {LARGE_FLOOR}x faster than \
+                 thread-per-endpoint at {workers} workers, got {ratio:.2}x"
+            );
+        }
+    }
+    match write_json(&fields) {
+        Ok(path) => println!("history written to {}", path.display()),
+        Err(err) => println!("could not write BENCH_dispatch.json: {err}"),
+    }
+}
+
+fn fleet_scale(c: &mut Criterion) {
+    scale_comparison();
+    let mut group = c.benchmark_group("fleet_scale");
+    group.sample_size(10);
+    for workers in [SMALL_FLEET, LARGE_FLEET] {
+        let jobs = batch(workers);
+        let event = dispatcher(spawn_echo_fleet(workers), DispatchMode::EventLoop);
+        group.bench_with_input(
+            criterion::BenchmarkId::new("event-loop", workers),
+            &jobs,
+            |b, jobs| b.iter(|| event.dispatch(jobs, &|_| {}).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fleet_scale);
+criterion_main!(benches);

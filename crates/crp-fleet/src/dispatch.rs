@@ -58,22 +58,60 @@
 //! only the wall-clock time.
 
 use std::collections::{HashMap, VecDeque};
+use std::net::SocketAddr;
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use crate::endpoint::{Answer, Connection, WorkerEndpoint};
+use crate::endpoint::{Answer, Connection, DispatchTuning, WorkerEndpoint};
+use crate::event_loop::{self, WarmPool};
 use crate::hash::content_hash;
 use crate::FleetError;
 
-/// Per-thread cap on transport failures (failed connects, dropped
-/// connections) before the thread stops retrying its endpoint.
-const RECONNECT_LIMIT: usize = 3;
+/// Per-endpoint cap on transport failures (failed connects, dropped
+/// connections) before the dispatcher stops retrying that endpoint.
+pub(crate) const RECONNECT_LIMIT: usize = 3;
 
-/// How long a job must have been in flight before an idle worker may
-/// speculatively re-dispatch it.  Without a grace period, every batch
-/// tail would duplicate its last jobs onto all idle workers the instant
-/// the queue drains.
-const STRAGGLER_GRACE: Duration = Duration::from_millis(250);
+/// How the dispatcher drives its pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// One readiness event loop on the dispatching thread multiplexes
+    /// every endpoint over non-blocking I/O — no per-endpoint threads,
+    /// so fleets of hundreds of workers cost one poll loop.  Supports
+    /// elastic membership via [`Dispatcher::listen_for_workers`].
+    #[default]
+    EventLoop,
+    /// The legacy thread-per-endpoint scheduler: each endpoint gets a
+    /// worker thread with timed-poll blocking reads.  Kept as the
+    /// reference implementation and for the `fleet_scale` bench's
+    /// baseline.
+    Threaded,
+}
+
+impl DispatchMode {
+    /// Reads `CRP_FLEET_DISPATCH` (`event-loop` or `threaded`)
+    /// leniently: unset keeps the default, an unknown value warns once
+    /// and keeps the default.
+    fn from_env() -> Self {
+        match std::env::var("CRP_FLEET_DISPATCH") {
+            Err(_) => Self::default(),
+            Ok(value) => match value.trim() {
+                "event-loop" | "event_loop" | "eventloop" => Self::EventLoop,
+                "threaded" | "threads" => Self::Threaded,
+                other => {
+                    static WARNED: std::sync::Once = std::sync::Once::new();
+                    let shown = other.to_string();
+                    WARNED.call_once(move || {
+                        eprintln!(
+                            "warning: unknown CRP_FLEET_DISPATCH value {shown:?} \
+                             (expected event-loop or threaded); using the default"
+                        );
+                    });
+                    Self::default()
+                }
+            },
+        }
+    }
+}
 
 /// Validates a worker's answer *before* the job settles: return `Err`
 /// and the answer is treated exactly like a transport failure — the
@@ -175,37 +213,85 @@ impl BlobSet {
     }
 }
 
-/// Schedules batches of jobs over a fixed pool of [`WorkerEndpoint`]s,
+/// Schedules batches of jobs over a pool of [`WorkerEndpoint`]s,
 /// keeping each endpoint's connection warm between batches.
 pub struct Dispatcher {
-    endpoints: Vec<WorkerEndpoint>,
-    max_attempts: usize,
+    pub(crate) endpoints: Vec<WorkerEndpoint>,
+    /// Capacity multiplier per endpoint: the scheduler keeps up to
+    /// `hello capacity × weight` jobs in flight on that connection.
+    pub(crate) weights: Vec<usize>,
+    pub(crate) max_attempts: usize,
+    pub(crate) tuning: DispatchTuning,
+    mode: DispatchMode,
     /// One warm-connection slot per endpoint, reused across `dispatch`
-    /// calls (and health-checked before reuse).
+    /// calls (and health-checked before reuse).  Threaded mode only.
     slots: Vec<Mutex<Option<Connection>>>,
+    /// The event loop's warm connections, registration listener, and
+    /// elastically joined workers, carried across `dispatch` calls.
+    pub(crate) warm: Mutex<WarmPool>,
 }
 
-/// Shared scheduling state, all under one lock.
-struct State {
+/// Shared scheduling state.  The threaded dispatcher keeps it under one
+/// lock; the event loop owns it outright on a single thread.
+pub(crate) struct State {
     /// Jobs waiting for a (first or retry) dispatch.
-    queue: VecDeque<usize>,
+    pub(crate) queue: VecDeque<usize>,
     /// How many workers are currently running each job.
-    in_flight: Vec<usize>,
+    pub(crate) in_flight: Vec<usize>,
     /// Calls actually made per job (connect failures do not count).
-    attempts: Vec<usize>,
+    pub(crate) attempts: Vec<usize>,
     /// When each job was last claimed, for the straggler grace period.
-    claimed_at: Vec<Option<Instant>>,
+    pub(crate) claimed_at: Vec<Option<Instant>>,
     /// Successful answers, in job order.
-    results: Vec<Option<String>>,
+    pub(crate) results: Vec<Option<String>>,
     /// Permanent failures (worker-reported, or retries exhausted).
-    failures: Vec<Option<FleetError>>,
+    pub(crate) failures: Vec<Option<FleetError>>,
     /// The most recent transport-level failure, for diagnostics.
-    last_transport_error: Option<String>,
+    pub(crate) last_transport_error: Option<String>,
 }
 
 impl State {
-    fn is_settled(&self, job: usize) -> bool {
+    pub(crate) fn new(jobs: usize) -> Self {
+        Self {
+            queue: (0..jobs).collect(),
+            in_flight: vec![0; jobs],
+            attempts: vec![0; jobs],
+            claimed_at: vec![None; jobs],
+            results: vec![None; jobs],
+            failures: vec![None; jobs],
+            last_transport_error: None,
+        }
+    }
+
+    pub(crate) fn is_settled(&self, job: usize) -> bool {
         self.results[job].is_some() || self.failures[job].is_some()
+    }
+
+    /// Marks a claim: one more attempt, one more copy in flight.
+    pub(crate) fn claim(&mut self, job: usize) {
+        self.attempts[job] += 1;
+        self.in_flight[job] += 1;
+        self.claimed_at[job] = Some(Instant::now());
+    }
+
+    /// The single-threaded equivalent of the scheduler's
+    /// `requeue_or_fail`: a transport failure mid-job re-dispatches it
+    /// while attempts remain, otherwise (and only once no copy is still
+    /// in flight) declares the job failed.
+    pub(crate) fn requeue_or_fail(&mut self, job: usize, error: &FleetError, max_attempts: usize) {
+        self.in_flight[job] -= 1;
+        self.last_transport_error = Some(error.to_string());
+        if !self.is_settled(job) {
+            if self.attempts[job] < max_attempts {
+                self.queue.push_back(job);
+            } else if self.in_flight[job] == 0 {
+                self.failures[job] = Some(FleetError::Exhausted {
+                    id: job as u64,
+                    attempts: self.attempts[job],
+                    last: error.to_string(),
+                });
+            }
+        }
     }
 }
 
@@ -225,15 +311,41 @@ impl Scheduler {
 }
 
 impl Dispatcher {
-    /// A dispatcher over the given pool.  Each job is attempted at most
-    /// `max(3, 2 × pool size)` times before it is declared failed.
+    /// A dispatcher over the given pool (every endpoint at weight 1).
+    /// Each job is attempted at most `max(3, 2 × pool size)` times
+    /// before it is declared failed.
+    ///
+    /// The dispatch mode defaults to [`DispatchMode::EventLoop`];
+    /// `CRP_FLEET_DISPATCH=threaded` (read leniently) selects the
+    /// legacy thread-per-endpoint scheduler, and timing knobs come from
+    /// [`DispatchTuning::from_env`].  Use [`Dispatcher::with_mode`] /
+    /// [`Dispatcher::with_tuning`] for explicit control.
     pub fn new(endpoints: Vec<WorkerEndpoint>) -> Self {
+        let weights = vec![1; endpoints.len()];
+        Self::new_weighted(endpoints.into_iter().zip(weights).collect())
+    }
+
+    /// A dispatcher over a pool with per-endpoint capacity weights: the
+    /// scheduler keeps up to `hello capacity × weight` jobs in flight
+    /// on each connection, so a beefy host can be oversubscribed
+    /// relative to its peers (`host:port*4` in a [`crate::FleetManifest`]).
+    /// Zero weights are promoted to 1.
+    pub fn new_weighted(endpoints: Vec<(WorkerEndpoint, usize)>) -> Self {
+        let (endpoints, weights): (Vec<_>, Vec<_>) = endpoints
+            .into_iter()
+            .map(|(endpoint, weight)| (endpoint, weight.max(1)))
+            .unzip();
         let max_attempts = (2 * endpoints.len()).max(3);
         let slots = endpoints.iter().map(|_| Mutex::new(None)).collect();
+        let warm = Mutex::new(WarmPool::with_fixed(endpoints.len()));
         Self {
             endpoints,
+            weights,
             max_attempts,
+            tuning: DispatchTuning::from_env(),
+            mode: DispatchMode::from_env(),
             slots,
+            warm,
         }
     }
 
@@ -243,9 +355,71 @@ impl Dispatcher {
         self
     }
 
+    /// Overrides the timing knobs (polling, pings, straggler grace).
+    pub fn with_tuning(mut self, tuning: DispatchTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Selects the dispatch mode explicitly, overriding the
+    /// environment.
+    pub fn with_mode(mut self, mode: DispatchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The dispatch mode in effect.
+    pub fn mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    /// The timing knobs in effect.
+    pub fn tuning(&self) -> DispatchTuning {
+        self.tuning
+    }
+
     /// The pool this dispatcher schedules over.
     pub fn endpoints(&self) -> &[WorkerEndpoint] {
         &self.endpoints
+    }
+
+    /// The per-endpoint capacity weights, parallel to
+    /// [`Dispatcher::endpoints`] (always ≥ 1).
+    pub fn weights(&self) -> &[usize] {
+        &self.weights
+    }
+
+    /// Opens a registration listener for elastic membership: workers
+    /// that dial `addr` (see `crp_fleet::join_fleet` or
+    /// `crp_experiments worker --join`) are folded into the event loop
+    /// of every subsequent — or currently running — `dispatch` call as
+    /// weight-1 endpoints.  A joined worker that disconnects mid-batch
+    /// has its in-flight jobs requeued exactly like a dead fixed
+    /// worker.  Returns the bound address (useful with port 0).
+    ///
+    /// Joined workers are only consumed by [`DispatchMode::EventLoop`];
+    /// the threaded scheduler ignores the listener.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Connect`] when the address cannot be bound.
+    pub fn listen_for_workers(&self, addr: &str) -> Result<SocketAddr, FleetError> {
+        let listener = std::net::TcpListener::bind(addr).map_err(|e| FleetError::Connect {
+            endpoint: addr.to_string(),
+            reason: format!("bind worker registration listener: {e}"),
+        })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| FleetError::Connect {
+                endpoint: addr.to_string(),
+                reason: format!("set registration listener non-blocking: {e}"),
+            })?;
+        let bound = listener.local_addr().map_err(|e| FleetError::Connect {
+            endpoint: addr.to_string(),
+            reason: format!("query registration listener address: {e}"),
+        })?;
+        self.warm.lock().expect("no dispatcher panics").listener = Some(listener);
+        Ok(bound)
     }
 
     /// Closes every warm connection, politely shutting spawned local
@@ -257,6 +431,7 @@ impl Dispatcher {
                 live.shutdown();
             }
         }
+        self.warm.lock().expect("no dispatcher panics").shutdown();
     }
 
     /// Runs every payload to completion on the pool and returns the
@@ -316,34 +491,16 @@ impl Dispatcher {
         if jobs.is_empty() {
             return Ok(Vec::new());
         }
-        if self.endpoints.is_empty() {
+        if self.endpoints.is_empty() && !self.has_elastic_sources() {
             return Err(FleetError::Connect {
                 endpoint: "fleet pool".to_string(),
                 reason: "no worker endpoints configured".to_string(),
             });
         }
-        let scheduler = Scheduler {
-            state: Mutex::new(State {
-                queue: (0..jobs.len()).collect(),
-                in_flight: vec![0; jobs.len()],
-                attempts: vec![0; jobs.len()],
-                claimed_at: vec![None; jobs.len()],
-                results: vec![None; jobs.len()],
-                failures: vec![None; jobs.len()],
-                last_transport_error: None,
-            }),
-            wake: Condvar::new(),
+        let state = match self.mode {
+            DispatchMode::EventLoop => event_loop::run(self, jobs, blobs, done, validate),
+            DispatchMode::Threaded => self.dispatch_threaded(jobs, blobs, done, validate),
         };
-
-        std::thread::scope(|scope| {
-            for index in 0..self.endpoints.len() {
-                let scheduler = &scheduler;
-                scope
-                    .spawn(move || self.worker_loop(index, scheduler, jobs, blobs, done, validate));
-            }
-        });
-
-        let state = scheduler.state.into_inner().expect("no dispatcher panics");
         for job in 0..jobs.len() {
             if let Some(error) = &state.failures[job] {
                 return Err(error.clone());
@@ -365,6 +522,42 @@ impl Dispatcher {
             .into_iter()
             .map(|slot| slot.expect("every unsettled job was reported above"))
             .collect())
+    }
+
+    /// True when an empty fixed pool can still find workers: a
+    /// registration listener is open, or joined workers are parked warm
+    /// from a previous batch.
+    fn has_elastic_sources(&self) -> bool {
+        if self.mode != DispatchMode::EventLoop {
+            return false;
+        }
+        let warm = self.warm.lock().expect("no dispatcher panics");
+        warm.listener.is_some() || !warm.joined.is_empty()
+    }
+
+    /// The legacy thread-per-endpoint scheduler: one blocking
+    /// `worker_loop` thread per endpoint over a shared locked queue.
+    fn dispatch_threaded(
+        &self,
+        jobs: &[JobPayload],
+        blobs: &BlobSet,
+        done: &(dyn Fn(usize) + Sync),
+        validate: AnswerValidator<'_>,
+    ) -> State {
+        let scheduler = Scheduler {
+            state: Mutex::new(State::new(jobs.len())),
+            wake: Condvar::new(),
+        };
+
+        std::thread::scope(|scope| {
+            for index in 0..self.endpoints.len() {
+                let scheduler = &scheduler;
+                scope
+                    .spawn(move || self.worker_loop(index, scheduler, jobs, blobs, done, validate));
+            }
+        });
+
+        scheduler.state.into_inner().expect("no dispatcher panics")
     }
 
     /// Sends one claimed job down a live connection: on a v2 connection
@@ -422,13 +615,19 @@ impl Dispatcher {
         let mut outstanding: Vec<usize> = Vec::new();
 
         'batch: loop {
-            // Fill phase: top the pipeline up to the worker's capacity.
-            // The first claim of an empty pipeline may block (waiting on
-            // the queue / straggler machinery); extra claims never do.
-            // Capacity is re-read every iteration: before the first
-            // connect it is unknown (treat as 1), and the moment the
-            // hello arrives the advertised value takes effect.
-            while outstanding.len() < connection.as_ref().map_or(1, |c| c.capacity().max(1)) {
+            // Fill phase: top the pipeline up to the worker's capacity
+            // times the endpoint's configured weight.  The first claim
+            // of an empty pipeline may block (waiting on the queue /
+            // straggler machinery); extra claims never do.  Capacity is
+            // re-read every iteration: before the first connect it is
+            // unknown (treat as 1), and the moment the hello arrives
+            // the advertised value takes effect.
+            let weight = self.weights[index].max(1);
+            while outstanding.len()
+                < connection
+                    .as_ref()
+                    .map_or(1, |c| c.capacity().max(1) * weight)
+            {
                 let job = if outstanding.is_empty() {
                     match self.claim_next(scheduler) {
                         Some(job) => job,
@@ -441,7 +640,7 @@ impl Dispatcher {
                     }
                 };
                 if connection.is_none() {
-                    match endpoint.connect() {
+                    match endpoint.connect_with(&self.tuning) {
                         Ok(live) => connection = Some(live),
                         Err(error) => {
                             self.release_unattempted(scheduler, job, &error);
@@ -574,10 +773,10 @@ impl Dispatcher {
 
     /// Claims the next job: first from the retry/fresh queue, then — once
     /// the queue is dry — the least-duplicated job still outstanding on
-    /// another worker for longer than [`STRAGGLER_GRACE`] (straggler
-    /// re-dispatch; the grace period keeps an ordinary batch tail from
-    /// being duplicated onto every idle worker the moment the queue
-    /// drains).  Sleeps on the scheduler's condition variable while
+    /// another worker for longer than the tuning's straggler grace
+    /// (straggler re-dispatch; the grace period keeps an ordinary batch
+    /// tail from being duplicated onto every idle worker the moment the
+    /// queue drains).  Sleeps on the scheduler's condition variable while
     /// in-flight jobs exist that may yet become re-dispatchable; returns
     /// `None` once this worker can never contribute again.
     fn claim_next(&self, scheduler: &Scheduler) -> Option<usize> {
@@ -606,8 +805,8 @@ impl Dispatcher {
                 {
                     continue;
                 }
-                let ready_at =
-                    state.claimed_at[job].map_or(now, |claimed| claimed + STRAGGLER_GRACE);
+                let ready_at = state.claimed_at[job]
+                    .map_or(now, |claimed| claimed + self.tuning.straggler_grace);
                 if ready_at <= now {
                     let better = eligible.is_none_or(|best| {
                         (state.in_flight[job], state.attempts[job], job)
@@ -1045,5 +1244,206 @@ mod tests {
             .dispatch(&[], &|_| {})
             .unwrap();
         assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn the_threaded_mode_still_answers_batches() {
+        // The legacy scheduler stays available behind an explicit mode
+        // switch (and the CRP_FLEET_DISPATCH env override).
+        let endpoints = (0..3)
+            .map(|_| WorkerEndpoint::tcp(spawn_worker()))
+            .collect();
+        let payloads: Vec<String> = (0..12).map(|i| format!("t{i}")).collect();
+        let completions = AtomicUsize::new(0);
+        let dispatcher = Dispatcher::new(endpoints).with_mode(DispatchMode::Threaded);
+        assert_eq!(dispatcher.mode(), DispatchMode::Threaded);
+        let answers = dispatcher
+            .dispatch(&payloads, &|_| {
+                completions.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        assert_eq!(
+            answers,
+            (0..12).map(|i| format!("echo:t{i}")).collect::<Vec<_>>()
+        );
+        assert_eq!(completions.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn a_weighted_endpoint_holds_capacity_times_weight_in_flight() {
+        // One capacity-1 worker at weight 4: the event loop may keep
+        // 1 × 4 jobs in flight, and the worker executes them
+        // concurrently — four 300ms sleeps overlap instead of queueing.
+        let addr = spawn_worker();
+        let payloads: Vec<String> = (0..4).map(|i| format!("sleep:300:w{i}")).collect();
+        let dispatcher = Dispatcher::new_weighted(vec![(WorkerEndpoint::tcp(addr), 4)]);
+        let start = Instant::now();
+        let answers = dispatcher.dispatch(&payloads, &|_| {}).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(
+            answers,
+            (0..4).map(|i| format!("echo:w{i}")).collect::<Vec<_>>()
+        );
+        assert!(
+            elapsed < Duration::from_millis(900),
+            "weight-4 oversubscription should overlap the four sleeps (took {elapsed:?})"
+        );
+    }
+
+    /// A worker that joins via the registration listener, answers
+    /// exactly one job, then hangs up — an elastic *leave* with work
+    /// possibly still in flight.
+    fn join_answer_one_then_leave(addr: String) {
+        use crate::frame::{read_frame, write_frame};
+        use crate::protocol::Message;
+        let stream = std::net::TcpStream::connect(addr).expect("dispatcher listener is up");
+        let mut reader = std::io::BufReader::new(stream.try_clone().expect("sockets clone"));
+        let mut writer = stream;
+        write_frame(
+            &mut writer,
+            &Message::Hello {
+                version: crate::protocol::PROTOCOL_VERSION,
+                capacity: 2,
+            }
+            .encode(),
+        )
+        .expect("hello goes out");
+        while let Ok(Some(frame)) = read_frame(&mut reader) {
+            match Message::decode(&frame) {
+                Ok(Message::Job { id, payload }) => {
+                    let _ = write_frame(
+                        &mut writer,
+                        &Message::Done {
+                            id,
+                            payload: format!("echo:{payload}"),
+                        }
+                        .encode(),
+                    );
+                    // Hang up with the pipeline possibly non-empty: the
+                    // dispatcher must requeue whatever was outstanding.
+                    return;
+                }
+                Ok(Message::Ping { id }) => {
+                    let _ = write_frame(&mut writer, &Message::Pong { id }.encode());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn workers_join_elastically_and_a_leaver_is_requeued() {
+        // No fixed endpoints at all: the whole pool is elastic.
+        let dispatcher = Dispatcher::new(Vec::new());
+        let addr = dispatcher
+            .listen_for_workers("127.0.0.1:0")
+            .unwrap()
+            .to_string();
+        // A capacity-2 worker joins, answers one job and leaves — its
+        // still-outstanding job must be requeued, not lost.
+        {
+            let addr = addr.clone();
+            std::thread::spawn(move || join_answer_one_then_leave(addr));
+        }
+        // A healthy worker joins 200ms into the batch and drains it.
+        {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(200));
+                let _ = crate::tcp::join_fleet(&addr, &scripted, &ServeOptions::default());
+            });
+        }
+        let payloads: Vec<String> = (0..8).map(|i| format!("e{i}")).collect();
+        let completions = AtomicUsize::new(0);
+        let answers = dispatcher
+            .dispatch(&payloads, &|_| {
+                completions.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        assert_eq!(
+            answers,
+            (0..8).map(|i| format!("echo:e{i}")).collect::<Vec<_>>()
+        );
+        assert_eq!(completions.load(Ordering::Relaxed), 8);
+    }
+
+    /// A hand-rolled worker whose hello advertises capacity 0 — the
+    /// clamp-vs-error policy split lives on the dispatcher side, so the
+    /// stock [`ServeOptions`] worker (which clamps at write time) cannot
+    /// produce it.
+    fn spawn_capacity_zero_worker() -> String {
+        use crate::frame::{read_frame, write_frame};
+        use crate::protocol::Message;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                std::thread::spawn(move || {
+                    let mut reader =
+                        std::io::BufReader::new(stream.try_clone().expect("sockets clone"));
+                    let mut writer = stream;
+                    if write_frame(
+                        &mut writer,
+                        &Message::Hello {
+                            version: crate::protocol::PROTOCOL_VERSION,
+                            capacity: 0,
+                        }
+                        .encode(),
+                    )
+                    .is_err()
+                    {
+                        return;
+                    }
+                    while let Ok(Some(frame)) = read_frame(&mut reader) {
+                        match Message::decode(&frame) {
+                            Ok(Message::Job { id, payload }) => {
+                                let _ = write_frame(
+                                    &mut writer,
+                                    &Message::Done {
+                                        id,
+                                        payload: format!("echo:{payload}"),
+                                    }
+                                    .encode(),
+                                );
+                            }
+                            Ok(Message::Ping { id }) => {
+                                let _ = write_frame(&mut writer, &Message::Pong { id }.encode());
+                            }
+                            Ok(Message::Shutdown) | Err(_) => return,
+                            _ => {}
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn capacity_zero_hellos_clamp_leniently_and_exhaust_strictly() {
+        let addr = spawn_capacity_zero_worker();
+        // Lenient (the default): warn once, clamp to capacity 1, and
+        // the batch completes.
+        let answers = Dispatcher::new(vec![WorkerEndpoint::tcp(addr.clone())])
+            .dispatch(&["a".to_string()], &|_| {})
+            .unwrap();
+        assert_eq!(answers, vec!["echo:a".to_string()]);
+        // Strict: the hello is a typed handshake failure, the endpoint
+        // never becomes usable, and the batch exhausts with the
+        // capacity-0 diagnosis as its last error.
+        let strict = DispatchTuning {
+            strict_hello_capacity: true,
+            ..Default::default()
+        };
+        let err = Dispatcher::new(vec![WorkerEndpoint::tcp(addr)])
+            .with_tuning(strict)
+            .dispatch(&["a".to_string()], &|_| {})
+            .unwrap_err();
+        match err {
+            FleetError::Exhausted { last, .. } => {
+                assert!(last.contains("capacity 0"), "last error: {last}");
+            }
+            other => panic!("expected exhaustion via the strict hello policy, got {other}"),
+        }
     }
 }

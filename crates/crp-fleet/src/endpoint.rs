@@ -14,25 +14,151 @@ use std::io::{BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::frame::{read_frame, wait_readable, write_frame};
 use crate::protocol::{Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::FleetError;
 
-/// Poll interval for straggler checks on timed-read connections (TCP
-/// sockets natively; subprocess pipes via [`TimedPipeReader`]).
+/// Default poll interval for straggler checks on timed-read connections
+/// (TCP sockets natively; subprocess pipes via [`TimedPipeReader`]).
 const TCP_POLL: Duration = Duration::from_millis(100);
-/// How long a fresh connection may take to deliver its hello.
+/// Default deadline for a fresh connection to deliver its hello.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
-/// Silence on a polling connection with work in flight before a
+/// Default silence on a polling connection with work in flight before a
 /// health-check ping goes out.  Workers answer pings from their read
 /// loop even while a job computes, so silence past this plus
-/// [`PING_TIMEOUT`] means the worker process is wedged, not busy.
+/// [`DispatchTuning::ping_timeout`] means the worker process is wedged,
+/// not busy.
 const PING_AFTER: Duration = Duration::from_millis(1000);
-/// How long a ping may go unanswered before the connection is declared
-/// unresponsive and its jobs are re-dispatched.
+/// Default deadline for an unanswered ping before the connection is
+/// declared unresponsive and its jobs are re-dispatched.
 const PING_TIMEOUT: Duration = Duration::from_millis(2000);
+/// Default grace a job must be in flight before an idle worker may
+/// speculatively re-dispatch it.
+const STRAGGLER_GRACE: Duration = Duration::from_millis(250);
+
+/// Every timing knob of a dispatcher and its connections, hoisted out of
+/// the old hardcoded constants so benches and chaos tests can tighten
+/// them deterministically.  [`DispatchTuning::default`] reproduces the
+/// historical values; `CRP_FLEET_POLL_MS` scales the whole family down
+/// from a faster base poll (strictly parsed on config paths via
+/// [`DispatchTuning::try_from_env`], mirroring the `CRP_THREADS` error
+/// style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchTuning {
+    /// Read-poll interval between frames (straggler/abandon checks).
+    pub poll: Duration,
+    /// How long a fresh connection may take to deliver its hello.
+    pub handshake_timeout: Duration,
+    /// Silence with work in flight before a health-check ping goes out.
+    pub ping_after: Duration,
+    /// How long a ping may go unanswered before the connection is
+    /// declared unresponsive.
+    pub ping_timeout: Duration,
+    /// How long a job must be in flight before an idle worker may
+    /// speculatively re-dispatch it.
+    pub straggler_grace: Duration,
+    /// Treat a capacity-0 hello as a typed handshake error instead of
+    /// warning once and clamping to 1.
+    pub strict_hello_capacity: bool,
+}
+
+impl Default for DispatchTuning {
+    fn default() -> Self {
+        Self {
+            poll: TCP_POLL,
+            handshake_timeout: HANDSHAKE_TIMEOUT,
+            ping_after: PING_AFTER,
+            ping_timeout: PING_TIMEOUT,
+            straggler_grace: STRAGGLER_GRACE,
+            strict_hello_capacity: false,
+        }
+    }
+}
+
+impl DispatchTuning {
+    /// A tuning family scaled from a base poll interval, preserving the
+    /// default ratios (ping after 10 polls, ping timeout 20, straggler
+    /// grace 2.5, handshake deadline 100).
+    pub fn with_poll_ms(poll_ms: u64) -> Self {
+        let poll_ms = poll_ms.max(1);
+        Self {
+            poll: Duration::from_millis(poll_ms),
+            handshake_timeout: Duration::from_millis(poll_ms * 100),
+            ping_after: Duration::from_millis(poll_ms * 10),
+            ping_timeout: Duration::from_millis(poll_ms * 20),
+            straggler_grace: Duration::from_millis(poll_ms * 5 / 2),
+            strict_hello_capacity: false,
+        }
+    }
+
+    /// Reads `CRP_FLEET_POLL_MS` leniently: an unset variable keeps the
+    /// defaults, an unusable value warns once and keeps the defaults.
+    /// Config/CLI paths should prefer the strict
+    /// [`DispatchTuning::try_from_env`].
+    pub fn from_env() -> Self {
+        match Self::try_from_env() {
+            Ok(tuning) => tuning,
+            Err(error) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!("warning: {error}; using the default dispatch tuning");
+                });
+                Self::default()
+            }
+        }
+    }
+
+    /// Like [`DispatchTuning::from_env`], but strict: a set-but-unusable
+    /// `CRP_FLEET_POLL_MS` is a typed [`FleetError::Env`].
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Env`] when `CRP_FLEET_POLL_MS` is set but is not a
+    /// positive integer count of milliseconds.
+    pub fn try_from_env() -> Result<Self, FleetError> {
+        match std::env::var("CRP_FLEET_POLL_MS") {
+            Err(_) => Ok(Self::default()),
+            Ok(value) => match value.trim().parse::<u64>() {
+                Ok(ms) if ms > 0 => Ok(Self::with_poll_ms(ms)),
+                _ => Err(FleetError::Env {
+                    var: "CRP_FLEET_POLL_MS".to_string(),
+                    value,
+                    reason: "expected a positive poll interval in milliseconds".to_string(),
+                }),
+            },
+        }
+    }
+}
+
+/// Applies the capacity-0 hello policy: a worker advertising `capacity 0`
+/// is either a typed handshake error (strict paths) or a once-per-endpoint
+/// warning with the capacity clamped to 1 — never a silent promotion.
+pub(crate) fn accept_hello_capacity(
+    endpoint: &str,
+    capacity: usize,
+    strict: bool,
+) -> Result<usize, FleetError> {
+    if capacity > 0 {
+        return Ok(capacity);
+    }
+    if strict {
+        return Err(FleetError::Handshake(format!(
+            "{endpoint} advertised hello capacity 0 (a worker must accept at least one job)"
+        )));
+    }
+    static WARNED: Mutex<Option<HashSet<String>>> = Mutex::new(None);
+    let mut warned = WARNED.lock().expect("no hello-capacity panics");
+    if warned
+        .get_or_insert_with(HashSet::new)
+        .insert(endpoint.to_string())
+    {
+        eprintln!("warning: {endpoint} advertised hello capacity 0; treating it as capacity 1");
+    }
+    Ok(1)
+}
 
 /// Where one fleet worker lives and how to reach it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,28 +220,26 @@ impl WorkerEndpoint {
         }
     }
 
-    /// Connects and completes the hello handshake.
+    /// Connects and completes the hello handshake under the default
+    /// [`DispatchTuning`] (transport tests; the dispatcher threads its
+    /// own tuning through [`WorkerEndpoint::connect_with`]).
+    #[cfg(test)]
     pub(crate) fn connect(&self) -> Result<Connection, FleetError> {
+        self.connect_with(&DispatchTuning::default())
+    }
+
+    /// Connects and completes the hello handshake, timing every poll and
+    /// deadline from `tuning`.
+    pub(crate) fn connect_with(&self, tuning: &DispatchTuning) -> Result<Connection, FleetError> {
         let connect_error = |reason: String| FleetError::Connect {
             endpoint: self.describe(),
             reason,
         };
         match self {
-            WorkerEndpoint::Local {
-                program,
-                args,
-                envs,
-            } => {
-                let mut command = Command::new(program);
-                command
-                    .args(args)
-                    .stdin(Stdio::piped())
-                    .stdout(Stdio::piped())
-                    .stderr(Stdio::inherit());
-                for (key, value) in envs {
-                    command.env(key, value);
-                }
-                let mut child = command.spawn().map_err(|e| connect_error(e.to_string()))?;
+            WorkerEndpoint::Local { .. } => {
+                let mut child = self
+                    .spawn_local()
+                    .map_err(|e| connect_error(e.to_string()))?;
                 let stdout = child.stdout.take().expect("stdout was piped");
                 let stdin = child.stdin.take().expect("stdin was piped");
                 // A raw pipe read has no timeout, so a worker that goes
@@ -127,30 +251,26 @@ impl WorkerEndpoint {
                 // ping health check — and lets the handshake deadline be
                 // enforced by the ordinary polling `expect_hello` path.
                 let mut connection = Connection::new(
-                    BufReader::new(Box::new(TimedPipeReader::new(stdout))),
+                    BufReader::new(Box::new(TimedPipeReader::new(stdout, tuning.poll))),
                     Box::new(stdin),
                     Some(child),
                     true,
                     PROTOCOL_VERSION,
                     1,
+                    *tuning,
                 );
                 // On failure dropping the connection kills the child.
                 connection
-                    .expect_hello()
+                    .expect_hello(&self.describe())
                     .map_err(|e| connect_error(e.to_string()))?;
                 Ok(connection)
             }
-            WorkerEndpoint::Tcp { addr } => {
-                let resolved = addr
-                    .to_socket_addrs()
-                    .map_err(|e| connect_error(format!("cannot resolve {addr:?}: {e}")))?
-                    .next()
-                    .ok_or_else(|| connect_error(format!("{addr:?} resolves to no address")))?;
-                let stream = TcpStream::connect_timeout(&resolved, HANDSHAKE_TIMEOUT)
+            WorkerEndpoint::Tcp { .. } => {
+                let stream = self
+                    .dial_tcp(tuning)
                     .map_err(|e| connect_error(e.to_string()))?;
-                stream.set_nodelay(true).ok();
                 stream
-                    .set_read_timeout(Some(TCP_POLL))
+                    .set_read_timeout(Some(tuning.poll))
                     .map_err(|e| connect_error(e.to_string()))?;
                 let writer = stream
                     .try_clone()
@@ -162,29 +282,71 @@ impl WorkerEndpoint {
                     true,
                     PROTOCOL_VERSION,
                     1,
+                    *tuning,
                 );
                 connection
-                    .expect_hello()
+                    .expect_hello(&self.describe())
                     .map_err(|e| connect_error(e.to_string()))?;
                 Ok(connection)
             }
         }
     }
+
+    /// Spawns the subprocess of a [`WorkerEndpoint::Local`] with piped
+    /// stdio (shared by the threaded connector above and the event-loop
+    /// transport).
+    pub(crate) fn spawn_local(&self) -> std::io::Result<Child> {
+        let WorkerEndpoint::Local {
+            program,
+            args,
+            envs,
+        } = self
+        else {
+            return Err(std::io::Error::other("not a local endpoint"));
+        };
+        let mut command = Command::new(program);
+        command
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (key, value) in envs {
+            command.env(key, value);
+        }
+        command.spawn()
+    }
+
+    /// Resolves and dials the socket of a [`WorkerEndpoint::Tcp`] with
+    /// nodelay set (shared by the threaded connector above and the
+    /// event-loop transport).
+    pub(crate) fn dial_tcp(&self, tuning: &DispatchTuning) -> std::io::Result<TcpStream> {
+        let WorkerEndpoint::Tcp { addr } = self else {
+            return Err(std::io::Error::other("not a TCP endpoint"));
+        };
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(|e| std::io::Error::other(format!("cannot resolve {addr:?}: {e}")))?
+            .next()
+            .ok_or_else(|| std::io::Error::other(format!("{addr:?} resolves to no address")))?;
+        let stream = TcpStream::connect_timeout(&resolved, tuning.handshake_timeout)?;
+        stream.set_nodelay(true).ok();
+        Ok(stream)
+    }
 }
 
-/// Reads and validates a worker hello off a blocking stream, returning
-/// the negotiated `(version, capacity)`.  Every version in
+/// Validates a decoded hello message, returning the negotiated
+/// `(version, capacity)` exactly as advertised (capacity 0 included —
+/// the caller applies [`accept_hello_capacity`]).  Every version in
 /// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] is accepted; the
 /// dispatcher then restricts the conversation to what that version
 /// understands (v1 workers get fully inline payloads and no scenario
 /// messages).
-fn read_hello(reader: &mut BufReader<Box<dyn Read + Send>>) -> Result<(u32, usize), FleetError> {
-    let frame = read_frame(reader)?.ok_or(FleetError::Closed)?;
-    match Message::decode(&frame)? {
+pub(crate) fn negotiate_hello(message: Message) -> Result<(u32, usize), FleetError> {
+    match message {
         Message::Hello { version, capacity }
             if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
         {
-            Ok((version, capacity.max(1)))
+            Ok((version, capacity))
         }
         Message::Hello { version, .. } => Err(FleetError::Handshake(format!(
             "worker speaks protocol v{version}, dispatcher supports \
@@ -194,6 +356,12 @@ fn read_hello(reader: &mut BufReader<Box<dyn Read + Send>>) -> Result<(u32, usiz
             "expected hello, worker sent {other:?}"
         ))),
     }
+}
+
+/// Reads and negotiates a worker hello off a blocking stream.
+fn read_hello(reader: &mut BufReader<Box<dyn Read + Send>>) -> Result<(u32, usize), FleetError> {
+    let frame = read_frame(reader)?.ok_or(FleetError::Closed)?;
+    negotiate_hello(Message::decode(&frame)?)
 }
 
 /// What one [`Connection::call`] produced.  (The dispatcher pipelines
@@ -251,42 +419,55 @@ struct TimedPipeReader {
     chunks: std::sync::mpsc::Receiver<std::io::Result<Vec<u8>>>,
     pending: Vec<u8>,
     offset: usize,
+    poll: Duration,
 }
 
 impl TimedPipeReader {
-    fn new(mut pipe: impl Read + Send + 'static) -> Self {
-        let (sender, chunks) = std::sync::mpsc::channel();
-        std::thread::spawn(move || {
-            let mut buffer = [0u8; 8192];
-            loop {
-                match pipe.read(&mut buffer) {
-                    // EOF: dropping the sender is the signal.
-                    Ok(0) => break,
-                    Ok(n) => {
-                        if sender.send(Ok(buffer[..n].to_vec())).is_err() {
-                            break;
-                        }
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                    Err(e) => {
-                        let _ = sender.send(Err(e));
+    fn new(pipe: impl Read + Send + 'static, poll: Duration) -> Self {
+        Self {
+            chunks: spawn_pipe_feeder(pipe),
+            pending: Vec::new(),
+            offset: 0,
+            poll,
+        }
+    }
+}
+
+/// Spawns the feeder thread performing the blocking pipe reads, handing
+/// chunks back over a channel.  The channel is what gives pipe endpoints
+/// timed reads ([`TimedPipeReader`]) *and* what lets the event-loop
+/// dispatcher drain a pipe non-blockingly (`try_recv`) — stdio endpoints
+/// register as readable sources exactly like sockets.
+pub(crate) fn spawn_pipe_feeder(
+    mut pipe: impl Read + Send + 'static,
+) -> std::sync::mpsc::Receiver<std::io::Result<Vec<u8>>> {
+    let (sender, chunks) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let mut buffer = [0u8; 8192];
+        loop {
+            match pipe.read(&mut buffer) {
+                // EOF: dropping the sender is the signal.
+                Ok(0) => break,
+                Ok(n) => {
+                    if sender.send(Ok(buffer[..n].to_vec())).is_err() {
                         break;
                     }
                 }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    let _ = sender.send(Err(e));
+                    break;
+                }
             }
-        });
-        Self {
-            chunks,
-            pending: Vec::new(),
-            offset: 0,
         }
-    }
+    });
+    chunks
 }
 
 impl Read for TimedPipeReader {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         if self.offset >= self.pending.len() {
-            match self.chunks.recv_timeout(TCP_POLL) {
+            match self.chunks.recv_timeout(self.poll) {
                 Ok(Ok(chunk)) => {
                     self.pending = chunk;
                     self.offset = 0;
@@ -326,9 +507,12 @@ pub(crate) struct Connection {
     ping_sent: Option<Instant>,
     /// Id of the next ping.
     next_ping: u64,
+    /// Timing knobs (poll/ping/handshake deadlines).
+    tuning: DispatchTuning,
 }
 
 impl Connection {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         reader: BufReader<Box<dyn Read + Send>>,
         writer: Box<dyn Write + Send>,
@@ -336,6 +520,7 @@ impl Connection {
         polls: bool,
         version: u32,
         capacity: usize,
+        tuning: DispatchTuning,
     ) -> Self {
         Self {
             reader,
@@ -348,15 +533,16 @@ impl Connection {
             last_heard: Instant::now(),
             ping_sent: None,
             next_ping: 0,
+            tuning,
         }
     }
 
-    /// Reads and validates the worker's hello, enforcing
-    /// [`HANDSHAKE_TIMEOUT`] through the read-timeout poll (every
-    /// transport polls: TCP via socket read timeouts, pipes via
-    /// [`TimedPipeReader`]).
-    fn expect_hello(&mut self) -> Result<(), FleetError> {
-        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    /// Reads and validates the worker's hello, enforcing the handshake
+    /// deadline through the read-timeout poll (every transport polls:
+    /// TCP via socket read timeouts, pipes via [`TimedPipeReader`]).
+    /// `endpoint` names the peer in the capacity-0 warning/error.
+    fn expect_hello(&mut self, endpoint: &str) -> Result<(), FleetError> {
+        let deadline = Instant::now() + self.tuning.handshake_timeout;
         while self.polls && !wait_readable(&mut self.reader)? {
             if Instant::now() >= deadline {
                 return Err(FleetError::Handshake(
@@ -366,7 +552,8 @@ impl Connection {
         }
         let (version, capacity) = read_hello(&mut self.reader)?;
         self.version = version;
-        self.capacity = capacity;
+        self.capacity =
+            accept_hello_capacity(endpoint, capacity, self.tuning.strict_hello_capacity)?;
         self.note_heard();
         Ok(())
     }
@@ -389,17 +576,17 @@ impl Connection {
     }
 
     /// The ping state machine, driven from between read-timeout polls:
-    /// after [`PING_AFTER`] of silence a ping goes out; a ping
-    /// unanswered for [`PING_TIMEOUT`] makes the connection
-    /// [`FleetError::Unresponsive`].
+    /// after [`DispatchTuning::ping_after`] of silence a ping goes out; a
+    /// ping unanswered for [`DispatchTuning::ping_timeout`] makes the
+    /// connection [`FleetError::Unresponsive`].
     fn ping_if_silent(&mut self) -> Result<(), FleetError> {
         if let Some(sent) = self.ping_sent {
-            if sent.elapsed() >= PING_TIMEOUT {
+            if sent.elapsed() >= self.tuning.ping_timeout {
                 return Err(FleetError::Unresponsive {
                     silent_ms: self.last_heard.elapsed().as_millis() as u64,
                 });
             }
-        } else if self.last_heard.elapsed() >= PING_AFTER {
+        } else if self.last_heard.elapsed() >= self.tuning.ping_after {
             let id = self.next_ping;
             self.next_ping += 1;
             write_frame(&mut self.writer, &Message::Ping { id }.encode())?;
@@ -417,17 +604,17 @@ impl Connection {
     /// # Errors
     ///
     /// [`FleetError::Unresponsive`] when no pong arrives in
-    /// [`PING_TIMEOUT`]; any transport error otherwise.
+    /// [`DispatchTuning::ping_timeout`]; any transport error otherwise.
     pub(crate) fn health_check(&mut self) -> Result<(), FleetError> {
         let id = self.next_ping;
         self.next_ping += 1;
         write_frame(&mut self.writer, &Message::Ping { id }.encode())?;
-        let deadline = Instant::now() + PING_TIMEOUT;
+        let deadline = Instant::now() + self.tuning.ping_timeout;
         loop {
             if self.polls && !wait_readable(&mut self.reader)? {
                 if Instant::now() >= deadline {
                     return Err(FleetError::Unresponsive {
-                        silent_ms: PING_TIMEOUT.as_millis() as u64,
+                        silent_ms: self.tuning.ping_timeout.as_millis() as u64,
                     });
                 }
                 continue;
@@ -477,12 +664,12 @@ impl Connection {
                 }
                 .encode(),
             )?;
-            let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+            let deadline = Instant::now() + self.tuning.handshake_timeout;
             let present = loop {
                 if self.polls && !wait_readable(&mut self.reader)? {
                     if Instant::now() >= deadline {
                         return Err(FleetError::Unresponsive {
-                            silent_ms: HANDSHAKE_TIMEOUT.as_millis() as u64,
+                            silent_ms: self.tuning.handshake_timeout.as_millis() as u64,
                         });
                     }
                     continue;
@@ -625,15 +812,21 @@ impl Drop for Connection {
 /// One entry of a [`FleetManifest`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FleetEntry {
-    /// `local[:N]` — N dispatcher-spawned subprocess workers.
+    /// `local[:N][*w]` — N dispatcher-spawned subprocess workers, each
+    /// with capacity weight `w`.
     Local {
         /// Pool size (at least 1).
         workers: usize,
+        /// Capacity weight (at least 1): the scheduler keeps up to
+        /// `hello capacity × weight` jobs in flight per connection.
+        weight: usize,
     },
-    /// `host:port` — one remote TCP worker.
+    /// `host:port[*w]` — one remote TCP worker with capacity weight `w`.
     Tcp {
         /// The address to dial.
         addr: String,
+        /// Capacity weight (at least 1).
+        weight: usize,
     },
 }
 
@@ -644,14 +837,18 @@ pub struct FleetManifest {
 }
 
 impl FleetManifest {
-    /// Parses `local[:N]` and `host:port` entries from a comma-separated
-    /// manifest, e.g. `local:4,10.0.0.7:9311,10.0.0.8:9311`.
+    /// Parses `local[:N][*w]` and `host:port[*w]` entries from a
+    /// comma-separated manifest, e.g.
+    /// `local:4,10.0.0.7:9311*2,10.0.0.8:9311`.  The optional `*w`
+    /// suffix is a capacity weight: the scheduler keeps up to
+    /// `hello capacity × w` jobs in flight on that worker's connection.
     ///
     /// # Errors
     ///
     /// [`FleetError::Manifest`] naming the first offending entry: empty
     /// manifests and entries, `local:0`, an unparsable local count, a
-    /// missing or out-of-range port, or an empty host.
+    /// missing or out-of-range port, an empty host, or a weight suffix
+    /// that is not a positive integer (`*0`, `*-1`, garbage).
     pub fn parse(text: &str) -> Result<Self, FleetError> {
         let reject = |entry: &str, reason: &str| FleetError::Manifest {
             entry: entry.to_string(),
@@ -663,18 +860,35 @@ impl FleetManifest {
             if entry.is_empty() {
                 return Err(reject(raw, "empty entry"));
             }
-            if entry == "local" {
-                entries.push(FleetEntry::Local { workers: 1 });
-            } else if let Some(count) = entry.strip_prefix("local:") {
+            let (body, weight) = match entry.rsplit_once('*') {
+                Some((body, suffix)) => {
+                    let weight = suffix
+                        .trim()
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&weight| weight > 0)
+                        .ok_or_else(|| {
+                            reject(entry, "expected a positive integer weight after '*'")
+                        })?;
+                    (body.trim(), weight)
+                }
+                None => (entry, 1),
+            };
+            if body.is_empty() {
+                return Err(reject(entry, "empty entry before the '*' weight"));
+            }
+            if body == "local" {
+                entries.push(FleetEntry::Local { workers: 1, weight });
+            } else if let Some(count) = body.strip_prefix("local:") {
                 let workers = count
                     .parse::<usize>()
                     .map_err(|_| reject(entry, "expected local:<positive worker count>"))?;
                 if workers == 0 {
                     return Err(reject(entry, "a local pool needs at least one worker"));
                 }
-                entries.push(FleetEntry::Local { workers });
+                entries.push(FleetEntry::Local { workers, weight });
             } else {
-                let (host, port) = entry
+                let (host, port) = body
                     .rsplit_once(':')
                     .ok_or_else(|| reject(entry, "expected local[:N] or host:port"))?;
                 if host.is_empty() {
@@ -683,7 +897,8 @@ impl FleetManifest {
                 port.parse::<u16>()
                     .map_err(|_| reject(entry, "expected a port in 0..=65535"))?;
                 entries.push(FleetEntry::Tcp {
-                    addr: entry.to_string(),
+                    addr: body.to_string(),
+                    weight,
                 });
             }
         }
@@ -700,18 +915,37 @@ impl FleetManifest {
 
     /// Expands the manifest into endpoints: each `local:N` entry becomes
     /// N subprocess endpoints running `program args`, each `host:port`
-    /// entry one TCP endpoint.
+    /// entry one TCP endpoint.  Capacity weights are dropped; use
+    /// [`FleetManifest::weighted_endpoints`] to keep them.
     pub fn endpoints(&self, program: impl Into<PathBuf>, args: Vec<String>) -> Vec<WorkerEndpoint> {
+        self.weighted_endpoints(program, args)
+            .into_iter()
+            .map(|(endpoint, _)| endpoint)
+            .collect()
+    }
+
+    /// Expands the manifest into `(endpoint, weight)` pairs, in manifest
+    /// order — the form [`crate::Dispatcher::new_weighted`] consumes.
+    pub fn weighted_endpoints(
+        &self,
+        program: impl Into<PathBuf>,
+        args: Vec<String>,
+    ) -> Vec<(WorkerEndpoint, usize)> {
         let program = program.into();
         let mut endpoints = Vec::new();
         for entry in &self.entries {
             match entry {
-                FleetEntry::Local { workers } => {
+                FleetEntry::Local { workers, weight } => {
                     for _ in 0..*workers {
-                        endpoints.push(WorkerEndpoint::local(program.clone(), args.clone()));
+                        endpoints.push((
+                            WorkerEndpoint::local(program.clone(), args.clone()),
+                            *weight,
+                        ));
                     }
                 }
-                FleetEntry::Tcp { addr } => endpoints.push(WorkerEndpoint::tcp(addr.clone())),
+                FleetEntry::Tcp { addr, weight } => {
+                    endpoints.push((WorkerEndpoint::tcp(addr.clone()), *weight));
+                }
             }
         }
         endpoints
@@ -728,13 +962,21 @@ mod tests {
         assert_eq!(
             manifest.entries(),
             &[
-                FleetEntry::Local { workers: 3 },
-                FleetEntry::Tcp {
-                    addr: "10.0.0.7:9311".into()
+                FleetEntry::Local {
+                    workers: 3,
+                    weight: 1
                 },
-                FleetEntry::Local { workers: 1 },
                 FleetEntry::Tcp {
-                    addr: "worker-a:80".into()
+                    addr: "10.0.0.7:9311".into(),
+                    weight: 1
+                },
+                FleetEntry::Local {
+                    workers: 1,
+                    weight: 1
+                },
+                FleetEntry::Tcp {
+                    addr: "worker-a:80".into(),
+                    weight: 1
                 },
             ]
         );
@@ -752,6 +994,48 @@ mod tests {
     }
 
     #[test]
+    fn manifest_weights_round_trip_through_weighted_endpoints() {
+        let manifest = FleetManifest::parse("local:2*3, 10.0.0.7:9311*2 ,local*4,worker-a:80")
+            .expect("weighted manifest parses");
+        assert_eq!(
+            manifest.entries(),
+            &[
+                FleetEntry::Local {
+                    workers: 2,
+                    weight: 3
+                },
+                FleetEntry::Tcp {
+                    addr: "10.0.0.7:9311".into(),
+                    weight: 2
+                },
+                FleetEntry::Local {
+                    workers: 1,
+                    weight: 4
+                },
+                FleetEntry::Tcp {
+                    addr: "worker-a:80".into(),
+                    weight: 1
+                },
+            ]
+        );
+        let weighted = manifest.weighted_endpoints("/bin/worker", vec!["worker".into()]);
+        let weights: Vec<usize> = weighted.iter().map(|(_, weight)| *weight).collect();
+        assert_eq!(weights, vec![3, 3, 2, 4, 1]);
+        assert_eq!(
+            weighted[2].0,
+            WorkerEndpoint::tcp("10.0.0.7:9311"),
+            "the weight suffix is stripped off the dialed address"
+        );
+        // The weight-dropping expansion stays consistent with the
+        // weighted one.
+        let flat = manifest.endpoints("/bin/worker", vec!["worker".into()]);
+        assert_eq!(flat.len(), weighted.len());
+        for (endpoint, (weighted_endpoint, _)) in flat.iter().zip(&weighted) {
+            assert_eq!(endpoint, weighted_endpoint);
+        }
+    }
+
+    #[test]
     fn bad_manifest_entries_name_the_offender() {
         for (text, needle) in [
             ("", "empty"),
@@ -762,6 +1046,11 @@ mod tests {
             (":9311", "empty host"),
             ("host:notaport", "port"),
             ("host:99999", "port"),
+            ("local:2*0", "weight"),
+            ("local:2*-1", "weight"),
+            ("host:9311*lots", "weight"),
+            ("local*", "weight"),
+            ("*3", "empty entry"),
         ] {
             match FleetManifest::parse(text) {
                 Err(FleetError::Manifest { reason, .. }) => {
@@ -769,6 +1058,74 @@ mod tests {
                 }
                 other => panic!("{text:?} parsed to {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn tuning_scales_from_the_poll_interval() {
+        let default = DispatchTuning::default();
+        assert_eq!(default.poll, Duration::from_millis(100));
+        assert_eq!(default.ping_after, Duration::from_millis(1000));
+        assert_eq!(default.ping_timeout, Duration::from_millis(2000));
+        assert_eq!(default.straggler_grace, Duration::from_millis(250));
+        assert!(!default.strict_hello_capacity);
+        let tight = DispatchTuning::with_poll_ms(10);
+        assert_eq!(tight.poll, Duration::from_millis(10));
+        assert_eq!(tight.ping_after, Duration::from_millis(100));
+        assert_eq!(tight.ping_timeout, Duration::from_millis(200));
+        assert_eq!(tight.straggler_grace, Duration::from_millis(25));
+        assert_eq!(tight.handshake_timeout, Duration::from_millis(1000));
+    }
+
+    #[test]
+    fn poll_env_is_parsed_strictly_on_the_strict_path() {
+        // Only this test touches CRP_FLEET_POLL_MS in this binary, so
+        // the set/remove pairs do not race another test.
+        std::env::set_var("CRP_FLEET_POLL_MS", "25");
+        assert_eq!(
+            DispatchTuning::try_from_env().unwrap(),
+            DispatchTuning::with_poll_ms(25)
+        );
+        assert_eq!(DispatchTuning::from_env(), DispatchTuning::with_poll_ms(25));
+        for bad in ["0", "-5", "fast", "10ms"] {
+            std::env::set_var("CRP_FLEET_POLL_MS", bad);
+            match DispatchTuning::try_from_env() {
+                Err(FleetError::Env { var, value, .. }) => {
+                    assert_eq!(var, "CRP_FLEET_POLL_MS");
+                    assert_eq!(value, bad);
+                }
+                other => panic!("{bad:?} parsed to {other:?}"),
+            }
+            // The lenient path warns and falls back to the defaults.
+            assert_eq!(DispatchTuning::from_env(), DispatchTuning::default());
+        }
+        std::env::remove_var("CRP_FLEET_POLL_MS");
+        assert_eq!(
+            DispatchTuning::try_from_env().unwrap(),
+            DispatchTuning::default()
+        );
+    }
+
+    #[test]
+    fn capacity_zero_hellos_warn_and_clamp_or_error_strictly() {
+        // Lenient: clamped to 1 (with a once-per-endpoint warning).
+        assert_eq!(
+            accept_hello_capacity("tcp worker x:1", 0, false).unwrap(),
+            1
+        );
+        assert_eq!(
+            accept_hello_capacity("tcp worker x:1", 0, false).unwrap(),
+            1
+        );
+        // Positive capacities pass through untouched either way.
+        assert_eq!(accept_hello_capacity("tcp worker x:1", 7, true).unwrap(), 7);
+        // Strict: a typed handshake error naming the endpoint.
+        match accept_hello_capacity("tcp worker x:1", 0, true) {
+            Err(FleetError::Handshake(reason)) => {
+                assert!(reason.contains("capacity 0"), "reason: {reason}");
+                assert!(reason.contains("x:1"), "reason: {reason}");
+            }
+            other => panic!("expected a handshake error, got {other:?}"),
         }
     }
 

@@ -1,0 +1,990 @@
+//! The multiplexed event-loop dispatcher: one thread, all endpoints.
+//!
+//! [`run`] drives an entire batch from the dispatching thread itself.
+//! Every endpoint is a non-blocking source — TCP sockets via
+//! `set_nonblocking`, subprocess stdio pipes via the feeder channel a
+//! [`crate::endpoint`] helper spawns (drained with `try_recv`) — and
+//! one loop round-robins accept / read / schedule / write over all of
+//! them.  Compared to the thread-per-endpoint scheduler this removes a
+//! thread spawn + join and a 100ms-granularity poll loop per worker per
+//! batch, which is what makes fleets of hundreds of tiny-shard workers
+//! practical (see the `fleet_scale` bench).
+//!
+//! The crate forbids `unsafe`, so there is no raw `poll(2)` over fds;
+//! readiness is approximated by draining every source each round and
+//! sleeping adaptively (sub-millisecond, bounded by the tuning's poll
+//! interval) when a round made no progress.  With tens or hundreds of
+//! sources the loop is effectively always busy and the sleep never
+//! matters; on an idle tail it bounds wakeup latency to ~2ms.
+//!
+//! Scheduling semantics are identical to the threaded dispatcher — same
+//! shared [`State`], same attempt accounting, straggler re-dispatch,
+//! ping health checks, capacity pipelining, blob shipping, and
+//! validation — with two additions:
+//!
+//! * **Weights** — a connection may hold up to `hello capacity ×
+//!   endpoint weight` jobs, and fresh jobs go to the least-loaded
+//!   eligible connection (load compared as a fraction of that limit).
+//! * **Elastic membership** — when [`crate::Dispatcher::listen_for_workers`]
+//!   opened a registration listener, workers dialing it mid-run are
+//!   accepted into the loop as weight-1 connections (a worker speaks
+//!   hello first, so a dialed-in connection is byte-identical to an
+//!   accepted one); a joined worker that leaves has its in-flight jobs
+//!   requeued exactly like a dead fixed worker.
+//!
+//! Because a job's answer is a deterministic function of its payload and
+//! results merge in job order, none of this changes any result bit —
+//! only wall-clock time.
+
+use std::collections::HashSet;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, ChildStdin};
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::time::{Duration, Instant};
+
+use crate::dispatch::{AnswerValidator, BlobSet, Dispatcher, JobPayload, State, RECONNECT_LIMIT};
+use crate::endpoint::{
+    accept_hello_capacity, negotiate_hello, spawn_pipe_feeder, DispatchTuning, WorkerEndpoint,
+};
+use crate::frame::{MAX_FRAME_BYTES, MAX_HEADER_BYTES};
+use crate::protocol::{Message, PROTOCOL_VERSION};
+use crate::FleetError;
+
+/// Incremental frame parser for a non-blocking stream: bytes are fed in
+/// as they arrive and complete `frame <len>\n<payload>` frames are
+/// extracted, however the reads happened to chunk them.
+pub(crate) struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (drained lazily to amortise the memmove).
+    start: usize,
+}
+
+impl FrameDecoder {
+    fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            start: 0,
+        }
+    }
+
+    fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when bytes of an unfinished frame are pending — an EOF here
+    /// is a truncation, not a clean close.
+    fn is_mid_frame(&self) -> bool {
+        self.start < self.buf.len()
+    }
+
+    /// Extracts the next complete frame, `Ok(None)` when more bytes are
+    /// needed.
+    fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FleetError> {
+        let pending = &self.buf[self.start..];
+        let Some(newline) = pending.iter().position(|&byte| byte == b'\n') else {
+            if pending.len() > MAX_HEADER_BYTES {
+                return Err(FleetError::Malformed(format!(
+                    "frame header exceeds {MAX_HEADER_BYTES} bytes"
+                )));
+            }
+            self.compact();
+            return Ok(None);
+        };
+        let header = std::str::from_utf8(&pending[..newline])
+            .map_err(|_| FleetError::Malformed("frame header is not UTF-8".into()))?;
+        let len = header
+            .strip_prefix("frame ")
+            .and_then(|token| token.trim().parse::<usize>().ok())
+            .ok_or_else(|| FleetError::Malformed(format!("bad frame header {header:?}")))?;
+        if len > MAX_FRAME_BYTES {
+            return Err(FleetError::Malformed(format!(
+                "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+            )));
+        }
+        let total = newline + 1 + len;
+        if pending.len() < total {
+            self.compact();
+            return Ok(None);
+        }
+        let frame = pending[newline + 1..total].to_vec();
+        self.start += total;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(Some(frame))
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// The byte transport under one event-loop connection.
+enum Transport {
+    /// A non-blocking TCP socket (reads and writes both ride
+    /// `WouldBlock`).
+    Tcp(TcpStream),
+    /// A subprocess's stdio: stdout drained non-blockingly off the
+    /// feeder channel, stdin written blockingly (frames are small and a
+    /// subprocess pipe has kernel buffering, so a blocking write only
+    /// stalls against a worker that stopped reading — which the ping
+    /// machinery then catches).
+    Pipe {
+        chunks: Receiver<std::io::Result<Vec<u8>>>,
+        stdin: ChildStdin,
+    },
+}
+
+/// One live connection inside the event loop: transport, incremental
+/// decoder, a write-behind outbox, hello state, and the same
+/// pipelining/ping bookkeeping [`crate::endpoint`]'s blocking
+/// `Connection` keeps.
+pub(crate) struct LoopConn {
+    transport: Transport,
+    /// The spawned subprocess of a local endpoint, if any (killed on
+    /// drop, reaped on [`LoopConn::shutdown`]).
+    child: Option<Child>,
+    decoder: FrameDecoder,
+    /// Bytes queued for the peer but not yet accepted by the kernel.
+    outbox: Vec<u8>,
+    /// Clean end-of-stream seen (remaining decoder frames still drain).
+    eof: bool,
+    /// Hello received and negotiated.
+    ready: bool,
+    hello_deadline: Instant,
+    version: u32,
+    capacity: usize,
+    known_blobs: HashSet<String>,
+    /// Jobs written to this connection and awaiting answers.
+    outstanding: Vec<usize>,
+    last_heard: Instant,
+    ping_sent: Option<Instant>,
+    next_ping: u64,
+    /// Human-readable peer description for diagnostics.
+    peer: String,
+}
+
+impl LoopConn {
+    fn with_transport(
+        transport: Transport,
+        child: Option<Child>,
+        peer: String,
+        tuning: &DispatchTuning,
+    ) -> Self {
+        Self {
+            transport,
+            child,
+            decoder: FrameDecoder::new(),
+            outbox: Vec::new(),
+            eof: false,
+            ready: false,
+            hello_deadline: Instant::now() + tuning.handshake_timeout,
+            version: PROTOCOL_VERSION,
+            capacity: 1,
+            known_blobs: HashSet::new(),
+            outstanding: Vec::new(),
+            last_heard: Instant::now(),
+            ping_sent: None,
+            next_ping: 0,
+            peer,
+        }
+    }
+
+    /// Connects a fixed endpoint as a non-blocking source: a local
+    /// endpoint is spawned with its stdout routed through the feeder
+    /// channel, a TCP endpoint is dialed and switched to non-blocking.
+    fn from_endpoint(
+        endpoint: &WorkerEndpoint,
+        tuning: &DispatchTuning,
+    ) -> Result<Self, FleetError> {
+        let connect_error = |reason: String| FleetError::Connect {
+            endpoint: endpoint.describe(),
+            reason,
+        };
+        match endpoint {
+            WorkerEndpoint::Local { .. } => {
+                let mut child = endpoint
+                    .spawn_local()
+                    .map_err(|e| connect_error(e.to_string()))?;
+                let stdout = child.stdout.take().expect("stdout was piped");
+                let stdin = child.stdin.take().expect("stdin was piped");
+                Ok(Self::with_transport(
+                    Transport::Pipe {
+                        chunks: spawn_pipe_feeder(stdout),
+                        stdin,
+                    },
+                    Some(child),
+                    endpoint.describe(),
+                    tuning,
+                ))
+            }
+            WorkerEndpoint::Tcp { .. } => {
+                let stream = endpoint
+                    .dial_tcp(tuning)
+                    .map_err(|e| connect_error(e.to_string()))?;
+                stream
+                    .set_nonblocking(true)
+                    .map_err(|e| connect_error(e.to_string()))?;
+                Ok(Self::with_transport(
+                    Transport::Tcp(stream),
+                    None,
+                    endpoint.describe(),
+                    tuning,
+                ))
+            }
+        }
+    }
+
+    /// Wraps a worker that dialed the registration listener.  Workers
+    /// speak hello first, so an accepted stream is indistinguishable
+    /// from one the dispatcher dialed.
+    fn from_joined(
+        stream: TcpStream,
+        peer: String,
+        tuning: &DispatchTuning,
+    ) -> Result<Self, FleetError> {
+        stream.set_nodelay(true).ok();
+        stream.set_nonblocking(true).map_err(FleetError::from)?;
+        Ok(Self::with_transport(
+            Transport::Tcp(stream),
+            None,
+            format!("joined worker {peer}"),
+            tuning,
+        ))
+    }
+
+    fn note_heard(&mut self) {
+        self.last_heard = Instant::now();
+        self.ping_sent = None;
+    }
+
+    /// Drains every byte the transport has ready into the decoder
+    /// without blocking.  Returns whether any bytes arrived; a clean
+    /// end-of-stream sets `eof` instead of erroring so already-buffered
+    /// answers are still delivered first.
+    fn drain_transport(&mut self) -> Result<bool, FleetError> {
+        let mut progressed = false;
+        match &mut self.transport {
+            Transport::Tcp(stream) => {
+                let mut buffer = [0u8; 8192];
+                loop {
+                    match stream.read(&mut buffer) {
+                        Ok(0) => {
+                            self.eof = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            self.decoder.feed(&buffer[..n]);
+                            progressed = true;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            Transport::Pipe { chunks, .. } => loop {
+                match chunks.try_recv() {
+                    Ok(Ok(chunk)) => {
+                        self.decoder.feed(&chunk);
+                        progressed = true;
+                    }
+                    Ok(Err(error)) => return Err(error.into()),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        self.eof = true;
+                        break;
+                    }
+                }
+            },
+        }
+        Ok(progressed)
+    }
+
+    /// The next decoded message, `Ok(None)` when the buffered bytes hold
+    /// no complete frame.
+    fn next_message(&mut self) -> Result<Option<Message>, FleetError> {
+        match self.decoder.next_frame()? {
+            None => Ok(None),
+            Some(frame) => {
+                self.note_heard();
+                Message::decode(&frame).map(Some)
+            }
+        }
+    }
+
+    /// Appends one frame (header + payload) to the outbox.
+    fn queue_frame(&mut self, payload: &[u8]) -> Result<(), FleetError> {
+        if payload.len() > MAX_FRAME_BYTES {
+            return Err(FleetError::Malformed(format!(
+                "refusing to send a {}-byte frame (limit {MAX_FRAME_BYTES})",
+                payload.len()
+            )));
+        }
+        self.outbox
+            .extend_from_slice(format!("frame {}\n", payload.len()).as_bytes());
+        self.outbox.extend_from_slice(payload);
+        Ok(())
+    }
+
+    /// Queues one claimed job: on a v2 connection with a compact
+    /// payload, any blobs this connection has not seen are shipped first
+    /// (`scenario-put` is idempotent and unacknowledged) and the compact
+    /// form is sent; otherwise the inline form.  Mirrors the threaded
+    /// dispatcher's `send_claim`.
+    fn queue_job(
+        &mut self,
+        job: usize,
+        jobs: &[JobPayload],
+        blobs: &BlobSet,
+    ) -> Result<(), FleetError> {
+        let payload = &jobs[job];
+        if self.version >= 2 {
+            if let Some(compact) = &payload.compact {
+                for hash in &payload.refs {
+                    if self.known_blobs.contains(hash) {
+                        continue;
+                    }
+                    let blob = blobs.get(hash).ok_or_else(|| {
+                        FleetError::Malformed(format!(
+                            "job {job} references blob {hash} missing from the batch blob set"
+                        ))
+                    })?;
+                    self.queue_frame(
+                        &Message::ScenarioPut {
+                            hash: hash.clone(),
+                            blob: blob.to_string(),
+                        }
+                        .encode(),
+                    )?;
+                    self.known_blobs.insert(hash.clone());
+                }
+                self.queue_frame(
+                    &Message::Job {
+                        id: job as u64,
+                        payload: compact.clone(),
+                    }
+                    .encode(),
+                )?;
+                self.outstanding.push(job);
+                return Ok(());
+            }
+        }
+        self.queue_frame(
+            &Message::Job {
+                id: job as u64,
+                payload: payload.inline.clone(),
+            }
+            .encode(),
+        )?;
+        self.outstanding.push(job);
+        Ok(())
+    }
+
+    /// The ping state machine, identical to the blocking connection's:
+    /// silence past `ping_after` with work in flight sends a ping; a
+    /// ping unanswered for `ping_timeout` is [`FleetError::Unresponsive`].
+    fn ping_if_silent(&mut self, tuning: &DispatchTuning) -> Result<(), FleetError> {
+        if let Some(sent) = self.ping_sent {
+            if sent.elapsed() >= tuning.ping_timeout {
+                return Err(FleetError::Unresponsive {
+                    silent_ms: self.last_heard.elapsed().as_millis() as u64,
+                });
+            }
+        } else if self.last_heard.elapsed() >= tuning.ping_after {
+            let id = self.next_ping;
+            self.next_ping += 1;
+            self.queue_frame(&Message::Ping { id }.encode())?;
+            self.ping_sent = Some(Instant::now());
+        }
+        Ok(())
+    }
+
+    /// Pushes outbox bytes to the peer: TCP writes as much as the kernel
+    /// accepts (the rest stays queued), pipe writes complete.
+    fn flush(&mut self) -> Result<(), FleetError> {
+        if self.outbox.is_empty() {
+            return Ok(());
+        }
+        match &mut self.transport {
+            Transport::Tcp(stream) => {
+                while !self.outbox.is_empty() {
+                    match stream.write(&self.outbox) {
+                        Ok(0) => {
+                            return Err(std::io::Error::from(std::io::ErrorKind::WriteZero).into())
+                        }
+                        Ok(n) => {
+                            self.outbox.drain(..n);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            Transport::Pipe { stdin, .. } => {
+                stdin.write_all(&self.outbox)?;
+                stdin.flush()?;
+                self.outbox.clear();
+            }
+        }
+        Ok(())
+    }
+
+    /// Best-effort goodbye so a worker exits instead of being killed by
+    /// [`Drop`] — the warm pool's cold-stop path.
+    pub(crate) fn shutdown(mut self) {
+        let _ = self.queue_frame(&Message::Shutdown.encode());
+        if let Transport::Tcp(stream) = &self.transport {
+            // Switch back to blocking so the goodbye actually leaves.
+            let _ = stream.set_nonblocking(false);
+        }
+        let _ = self.flush();
+        if let Some(mut child) = self.child.take() {
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for LoopConn {
+    fn drop(&mut self) {
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// The event-loop state a [`Dispatcher`] carries *between* batches: the
+/// registration listener, one warm connection slot per fixed endpoint,
+/// and the still-connected elastically joined workers.
+pub(crate) struct WarmPool {
+    /// The elastic-membership listener, if
+    /// [`Dispatcher::listen_for_workers`] opened one.
+    pub(crate) listener: Option<TcpListener>,
+    /// Warm connection per fixed endpoint, by endpoint index.
+    pub(crate) fixed: Vec<Option<LoopConn>>,
+    /// Warm connections of joined workers.
+    pub(crate) joined: Vec<LoopConn>,
+}
+
+impl WarmPool {
+    pub(crate) fn with_fixed(endpoints: usize) -> Self {
+        Self {
+            listener: None,
+            fixed: (0..endpoints).map(|_| None).collect(),
+            joined: Vec::new(),
+        }
+    }
+
+    /// Politely shuts every warm worker down and closes the listener.
+    pub(crate) fn shutdown(&mut self) {
+        for conn in self.fixed.iter_mut().filter_map(Option::take) {
+            conn.shutdown();
+        }
+        for conn in self.joined.drain(..) {
+            conn.shutdown();
+        }
+        self.listener = None;
+    }
+}
+
+/// One scheduling slot of the loop: a fixed endpoint (reconnected with
+/// backoff up to [`RECONNECT_LIMIT`] failures) or an elastically joined
+/// worker (`endpoint: None`; never reconnected — the worker re-dials).
+struct Slot {
+    endpoint: Option<usize>,
+    weight: usize,
+    conn: Option<LoopConn>,
+    failures: usize,
+    retry_at: Instant,
+}
+
+impl Slot {
+    /// Jobs this slot's connection may hold: negotiated capacity times
+    /// the endpoint's configured weight.
+    fn limit(&self) -> usize {
+        self.conn
+            .as_ref()
+            .map_or(0, |conn| conn.capacity.max(1) * self.weight.max(1))
+    }
+}
+
+/// Tears a connection down: its outstanding jobs are requeued (or
+/// declared exhausted), the failure is recorded, and the slot backs off
+/// before any reconnect.
+fn fail_conn(slot: &mut Slot, error: &FleetError, state: &mut State, max_attempts: usize) {
+    if let Some(conn) = slot.conn.take() {
+        for &job in &conn.outstanding {
+            state.requeue_or_fail(job, error, max_attempts);
+        }
+    }
+    state.last_transport_error = Some(error.to_string());
+    slot.failures += 1;
+    slot.retry_at = Instant::now() + Duration::from_millis(20 * slot.failures as u64);
+}
+
+/// Reads and handles everything one connection has ready: the hello (if
+/// still pending), answers, failures, pongs.  Returns whether anything
+/// arrived; an `Err` means the connection is unusable and the caller
+/// must [`fail_conn`] it.
+fn pump(
+    conn: &mut LoopConn,
+    state: &mut State,
+    done: &(dyn Fn(usize) + Sync),
+    validate: AnswerValidator<'_>,
+    tuning: &DispatchTuning,
+    max_attempts: usize,
+) -> Result<bool, FleetError> {
+    let mut progressed = conn.drain_transport()?;
+    while let Some(message) = conn.next_message()? {
+        progressed = true;
+        if !conn.ready {
+            let (version, capacity) = negotiate_hello(message)?;
+            conn.capacity =
+                accept_hello_capacity(&conn.peer, capacity, tuning.strict_hello_capacity)?;
+            conn.version = version;
+            conn.ready = true;
+            continue;
+        }
+        match message {
+            Message::Done { id, payload } if conn.outstanding.contains(&(id as usize)) => {
+                let job = id as usize;
+                conn.outstanding.retain(|&j| j != job);
+                // A well-framed answer whose body fails validation is as
+                // untrustworthy as garbage bytes: this job's attempt is
+                // spent and the connection goes down.
+                if let Err(reason) = validate(id, &payload) {
+                    let error = FleetError::Malformed(format!(
+                        "answer to job {job} failed validation: {reason}"
+                    ));
+                    state.requeue_or_fail(job, &error, max_attempts);
+                    return Err(error);
+                }
+                state.in_flight[job] -= 1;
+                if !state.is_settled(job) {
+                    state.results[job] = Some(payload);
+                    // Completions are delivered from the loop thread, so
+                    // they are serialised exactly like the threaded
+                    // dispatcher's under-lock delivery.
+                    done(job);
+                }
+            }
+            Message::Failed { id, message } if conn.outstanding.contains(&(id as usize)) => {
+                let job = id as usize;
+                conn.outstanding.retain(|&j| j != job);
+                state.in_flight[job] -= 1;
+                if !state.is_settled(job) {
+                    state.failures[job] = Some(FleetError::Job { id, message });
+                }
+            }
+            // Pongs (health checks) and stale query answers carry no job
+            // result.
+            Message::Pong { .. } | Message::ScenarioState { .. } => {}
+            other => {
+                return Err(FleetError::Malformed(format!(
+                    "expected an answer to an outstanding job, got {other:?}"
+                )))
+            }
+        }
+    }
+    if conn.eof {
+        return Err(if conn.decoder.is_mid_frame() {
+            FleetError::Malformed("stream ended inside a frame".to_string())
+        } else {
+            FleetError::Closed
+        });
+    }
+    Ok(progressed)
+}
+
+/// Runs one batch on the event loop.  Shares the [`State`] shape (and
+/// therefore the final-assembly and error-reporting code) with the
+/// threaded dispatcher.
+pub(crate) fn run(
+    dispatcher: &Dispatcher,
+    jobs: &[JobPayload],
+    blobs: &BlobSet,
+    done: &(dyn Fn(usize) + Sync),
+    validate: AnswerValidator<'_>,
+) -> State {
+    let tuning = dispatcher.tuning;
+    let max_attempts = dispatcher.max_attempts;
+    let mut state = State::new(jobs.len());
+
+    // Adopt the warm pool: the registration listener, per-endpoint warm
+    // connections, and previously joined workers.  Warm connections get
+    // their silence clock reset so the idle time between batches is not
+    // mistaken for unresponsiveness.
+    let (listener, mut slots) = {
+        let mut warm = dispatcher.warm.lock().expect("no dispatcher panics");
+        let listener = warm.listener.take();
+        let mut slots: Vec<Slot> = (0..dispatcher.endpoints.len())
+            .map(|index| Slot {
+                endpoint: Some(index),
+                weight: dispatcher.weights[index].max(1),
+                conn: warm.fixed[index].take().map(|mut conn| {
+                    conn.note_heard();
+                    conn
+                }),
+                failures: 0,
+                retry_at: Instant::now(),
+            })
+            .collect();
+        for mut conn in warm.joined.drain(..) {
+            conn.note_heard();
+            slots.push(Slot {
+                endpoint: None,
+                weight: 1,
+                conn: Some(conn),
+                failures: 0,
+                retry_at: Instant::now(),
+            });
+        }
+        (listener, slots)
+    };
+
+    const MIN_IDLE: Duration = Duration::from_micros(100);
+    let max_idle = tuning.poll.min(Duration::from_millis(2)).max(MIN_IDLE);
+    let mut idle = MIN_IDLE;
+    // While the pool is empty but a listener is open, how long to keep
+    // waiting for a worker to join before giving the batch up.
+    let mut join_grace_start: Option<Instant> = None;
+
+    loop {
+        let mut progressed = false;
+
+        // Accept elastically joining workers.
+        if let Some(listener) = &listener {
+            loop {
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        match LoopConn::from_joined(stream, peer.to_string(), &tuning) {
+                            Ok(conn) => {
+                                slots.push(Slot {
+                                    endpoint: None,
+                                    weight: 1,
+                                    conn: Some(conn),
+                                    failures: 0,
+                                    retry_at: Instant::now(),
+                                });
+                                progressed = true;
+                            }
+                            Err(error) => {
+                                state.last_transport_error = Some(error.to_string());
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        state.last_transport_error = Some(e.to_string());
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Reconnect fixed endpoints whose backoff expired.  Connecting
+        // *before* claiming means a connect failure never burns a job
+        // attempt, exactly like the threaded release-unattempted path.
+        let now = Instant::now();
+        for slot in &mut slots {
+            let Some(index) = slot.endpoint else { continue };
+            if slot.conn.is_some() || slot.failures >= RECONNECT_LIMIT || slot.retry_at > now {
+                continue;
+            }
+            match LoopConn::from_endpoint(&dispatcher.endpoints[index], &tuning) {
+                Ok(conn) => {
+                    slot.conn = Some(conn);
+                    progressed = true;
+                }
+                Err(error) => {
+                    state.last_transport_error = Some(error.to_string());
+                    slot.failures += 1;
+                    slot.retry_at = now + Duration::from_millis(20 * slot.failures as u64);
+                }
+            }
+        }
+
+        // Read phase: handle everything every connection has ready.
+        for slot in &mut slots {
+            if slot.conn.is_none() {
+                continue;
+            }
+            match pump(
+                slot.conn.as_mut().expect("checked above"),
+                &mut state,
+                done,
+                validate,
+                &tuning,
+                max_attempts,
+            ) {
+                Ok(p) => progressed |= p,
+                Err(error) => fail_conn(slot, &error, &mut state, max_attempts),
+            }
+        }
+
+        // Deadline phase: hello timeouts and ping health checks.
+        let now = Instant::now();
+        for slot in &mut slots {
+            let Some(conn) = slot.conn.as_mut() else {
+                continue;
+            };
+            if !conn.ready {
+                if now >= conn.hello_deadline {
+                    let error = FleetError::Handshake(format!(
+                        "timed out waiting for the hello of {}",
+                        conn.peer
+                    ));
+                    fail_conn(slot, &error, &mut state, max_attempts);
+                }
+                continue;
+            }
+            if conn.outstanding.is_empty() {
+                continue;
+            }
+            if let Err(error) = conn.ping_if_silent(&tuning) {
+                fail_conn(slot, &error, &mut state, max_attempts);
+            }
+        }
+
+        // Fill phase: queued jobs go to the least-loaded eligible
+        // connection (load as a fraction of capacity × weight, compared
+        // by cross-multiplication), skipping connections that already
+        // hold the job — a duplicate id on one stream would read as a
+        // protocol violation.  Jobs nobody can take yet return to the
+        // queue front in order.
+        let mut held: Vec<usize> = Vec::new();
+        while let Some(job) = state.queue.pop_front() {
+            if state.is_settled(job) {
+                continue;
+            }
+            let mut best: Option<usize> = None;
+            let mut any_spare = false;
+            for (i, slot) in slots.iter().enumerate() {
+                let Some(conn) = slot.conn.as_ref() else {
+                    continue;
+                };
+                if !conn.ready || conn.outstanding.len() >= slot.limit() {
+                    continue;
+                }
+                any_spare = true;
+                if conn.outstanding.contains(&job) {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let best_conn = slots[b].conn.as_ref().expect("best slot is live");
+                        conn.outstanding.len() * slots[b].limit()
+                            < best_conn.outstanding.len() * slot.limit()
+                    }
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+            match best {
+                Some(i) => {
+                    state.claim(job);
+                    let slot = &mut slots[i];
+                    let conn = slot.conn.as_mut().expect("picked a live slot");
+                    match conn.queue_job(job, jobs, blobs) {
+                        Ok(()) => progressed = true,
+                        Err(error) => {
+                            state.requeue_or_fail(job, &error, max_attempts);
+                            fail_conn(slot, &error, &mut state, max_attempts);
+                        }
+                    }
+                }
+                None => {
+                    held.push(job);
+                    if !any_spare {
+                        break;
+                    }
+                }
+            }
+        }
+        for job in held.into_iter().rev() {
+            state.queue.push_front(job);
+        }
+
+        // Straggler phase: once the queue is dry, fully idle connections
+        // speculatively duplicate the least-duplicated job still in
+        // flight elsewhere, after the grace period — whichever copy
+        // answers first wins.
+        if state.queue.is_empty() {
+            let now = Instant::now();
+            for slot in &mut slots {
+                let idle_conn = slot
+                    .conn
+                    .as_ref()
+                    .is_some_and(|conn| conn.ready && conn.outstanding.is_empty());
+                if !idle_conn {
+                    continue;
+                }
+                let mut pick: Option<usize> = None;
+                for job in 0..jobs.len() {
+                    if state.is_settled(job)
+                        || state.in_flight[job] == 0
+                        || state.attempts[job] >= max_attempts
+                    {
+                        continue;
+                    }
+                    let ready_at = state.claimed_at[job]
+                        .map_or(now, |claimed| claimed + tuning.straggler_grace);
+                    if ready_at > now {
+                        continue;
+                    }
+                    let better = pick.is_none_or(|best| {
+                        (state.in_flight[job], state.attempts[job], job)
+                            < (state.in_flight[best], state.attempts[best], best)
+                    });
+                    if better {
+                        pick = Some(job);
+                    }
+                }
+                let Some(job) = pick else { break };
+                state.claim(job);
+                let conn = slot.conn.as_mut().expect("idle slot is live");
+                match conn.queue_job(job, jobs, blobs) {
+                    Ok(()) => progressed = true,
+                    Err(error) => {
+                        state.requeue_or_fail(job, &error, max_attempts);
+                        fail_conn(slot, &error, &mut state, max_attempts);
+                    }
+                }
+            }
+        }
+
+        // Write phase: push the outboxes out.
+        for slot in &mut slots {
+            let Some(conn) = slot.conn.as_mut() else {
+                continue;
+            };
+            if let Err(error) = conn.flush() {
+                fail_conn(slot, &error, &mut state, max_attempts);
+            }
+        }
+
+        if (0..jobs.len()).all(|job| state.is_settled(job)) {
+            break;
+        }
+
+        // Hopelessness: nothing connected and nothing left to connect.
+        // With a registration listener open, wait one handshake timeout
+        // for a worker to join before giving the batch up.
+        let now = Instant::now();
+        let any_live = slots.iter().any(|slot| slot.conn.is_some());
+        let any_connectable = slots.iter().any(|slot| {
+            slot.endpoint.is_some() && slot.conn.is_none() && slot.failures < RECONNECT_LIMIT
+        });
+        if !any_live && !any_connectable {
+            if listener.is_none() {
+                break;
+            }
+            let since = *join_grace_start.get_or_insert(now);
+            if now.duration_since(since) >= tuning.handshake_timeout {
+                break;
+            }
+        } else {
+            join_grace_start = None;
+        }
+
+        // Joined workers that died never reconnect; drop their slots so
+        // a long sweep with churn does not accumulate dead weight.
+        slots.retain(|slot| slot.endpoint.is_some() || slot.conn.is_some());
+
+        if progressed {
+            idle = MIN_IDLE;
+        } else {
+            std::thread::sleep(idle);
+            idle = (idle * 2).min(max_idle);
+        }
+    }
+
+    // Park the warm state back on the dispatcher: ready connections with
+    // nothing in flight survive to the next batch; connections with
+    // stale answers still coming are dropped (their workers re-dial or
+    // are respawned).
+    let mut warm = dispatcher.warm.lock().expect("no dispatcher panics");
+    warm.listener = listener;
+    for slot in slots {
+        if let Some(conn) = slot.conn {
+            if conn.ready && conn.outstanding.is_empty() {
+                match slot.endpoint {
+                    Some(index) => warm.fixed[index] = Some(conn),
+                    None => warm.joined.push(conn),
+                }
+            }
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_decoder_reassembles_arbitrarily_chunked_frames() {
+        let mut wire = Vec::new();
+        crate::frame::write_frame(&mut wire, b"first\npayload").unwrap();
+        crate::frame::write_frame(&mut wire, b"").unwrap();
+        crate::frame::write_frame(&mut wire, b"third").unwrap();
+        // Feed one byte at a time: every split point is exercised.
+        let mut decoder = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for &byte in &wire {
+            decoder.feed(&[byte]);
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(
+            frames,
+            vec![b"first\npayload".to_vec(), b"".to_vec(), b"third".to_vec()]
+        );
+        assert!(!decoder.is_mid_frame(), "no partial frame left over");
+    }
+
+    #[test]
+    fn frame_decoder_rejects_garbage_and_oversize() {
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(b"!!fleet-garbage!!\n");
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(FleetError::Malformed(_))
+        ));
+
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(format!("frame {}\n", MAX_FRAME_BYTES + 1).as_bytes());
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(FleetError::Malformed(_))
+        ));
+
+        // A header that never terminates is rejected at the length cap
+        // instead of buffering forever.
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&[b'x'; MAX_HEADER_BYTES + 1]);
+        assert!(matches!(
+            decoder.next_frame(),
+            Err(FleetError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frame_decoder_tracks_mid_frame_state_for_truncation() {
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(b"frame 4096\ntruncat");
+        assert!(decoder.next_frame().unwrap().is_none(), "incomplete frame");
+        assert!(decoder.is_mid_frame(), "an EOF here is a truncation");
+    }
+}

@@ -48,7 +48,7 @@ fn is_timeout(kind: std::io::ErrorKind) -> bool {
 
 /// Longest header line a well-formed frame can produce
 /// (`frame <len>\n` with `len <= MAX_FRAME_BYTES`).
-const MAX_HEADER_BYTES: usize = 32;
+pub(crate) const MAX_HEADER_BYTES: usize = 32;
 
 /// Reads the header line byte-wise off the buffered stream, retrying
 /// read timeouts: once a frame has *started* arriving the read is

@@ -52,7 +52,14 @@
 //!   connection, ships [`dispatch::BlobSet`] blobs once per v2 worker,
 //!   **re-dispatches the outstanding jobs of dead, wedged or straggling
 //!   workers**, deduplicates completions by job id, and keeps
-//!   connections (and their spawned workers) warm across batches.
+//!   connections (and their spawned workers) warm across batches.  By
+//!   default the batch runs on a single-threaded readiness event loop
+//!   multiplexing every endpoint over non-blocking I/O
+//!   ([`dispatch::DispatchMode::EventLoop`]) with per-endpoint capacity
+//!   weights and elastic membership
+//!   ([`dispatch::Dispatcher::listen_for_workers`]); the legacy
+//!   thread-per-endpoint scheduler survives as
+//!   [`dispatch::DispatchMode::Threaded`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,6 +67,7 @@
 pub mod chaos;
 pub mod dispatch;
 pub mod endpoint;
+pub(crate) mod event_loop;
 pub mod frame;
 pub mod hash;
 pub mod protocol;
@@ -70,12 +78,12 @@ use std::error::Error;
 use std::fmt;
 
 pub use chaos::{ChaosEvent, ChaosPlan, FaultKind};
-pub use dispatch::{BlobSet, Dispatcher, JobPayload};
-pub use endpoint::{FleetEntry, FleetManifest, WorkerEndpoint};
+pub use dispatch::{BlobSet, DispatchMode, Dispatcher, JobPayload};
+pub use endpoint::{DispatchTuning, FleetEntry, FleetManifest, WorkerEndpoint};
 pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
 pub use hash::{content_hash, is_content_hash};
 pub use protocol::{Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
-pub use tcp::TcpWorker;
+pub use tcp::{join_fleet, join_fleet_with_store, TcpWorker};
 pub use worker::{
     serve, serve_stdio, serve_stdio_with_store, serve_with_store, JobHandler, ScenarioStore,
     ServeOptions,

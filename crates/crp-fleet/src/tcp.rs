@@ -6,10 +6,53 @@
 //! dispatcher at `host:port` via the fleet manifest, and the same framed
 //! protocol that runs over subprocess stdio runs over the socket.
 
-use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 
 use crate::worker::{serve_with_store, JobHandler, ScenarioStore, ServeOptions};
 use crate::FleetError;
+
+/// Dials a dispatcher's worker-registration listener (see
+/// [`crate::Dispatcher::listen_for_workers`]) and serves jobs over the
+/// connection until the dispatcher says shutdown or hangs up — the
+/// elastic-membership worker half.  Because a worker speaks hello first,
+/// the dialed-out conversation is byte-identical to an accepted one.
+///
+/// Returns the number of jobs served once the dispatcher disconnects.
+///
+/// # Errors
+///
+/// [`FleetError::Connect`] when the dispatcher cannot be reached; any
+/// transport error the serve loop hits afterwards.
+pub fn join_fleet(
+    addr: impl ToSocketAddrs + std::fmt::Debug,
+    handler: JobHandler<'_>,
+    options: &ServeOptions,
+) -> Result<usize, FleetError> {
+    let store = ScenarioStore::new();
+    join_fleet_with_store(addr, handler, options, &store)
+}
+
+/// [`join_fleet`] with a caller-owned [`ScenarioStore`], so a worker
+/// that re-joins keeps the blobs it already received.
+///
+/// # Errors
+///
+/// As [`join_fleet`].
+pub fn join_fleet_with_store(
+    addr: impl ToSocketAddrs + std::fmt::Debug,
+    handler: JobHandler<'_>,
+    options: &ServeOptions,
+    store: &ScenarioStore,
+) -> Result<usize, FleetError> {
+    let stream = TcpStream::connect(&addr).map_err(|e| FleetError::Connect {
+        endpoint: format!("dispatcher {addr:?}"),
+        reason: e.to_string(),
+    })?;
+    stream.set_nodelay(true).ok();
+    let mut reader = std::io::BufReader::new(stream.try_clone().map_err(FleetError::from)?);
+    let mut writer = stream;
+    serve_with_store(&mut reader, &mut writer, handler, options, store)
+}
 
 /// A bound TCP worker: accepts dispatcher connections and serves each on
 /// its own thread (several dispatchers — or several connections of one

@@ -114,6 +114,21 @@ impl SweepServer {
         &self.dispatcher
     }
 
+    /// Opens the elastic worker-registration listener on the warm
+    /// fleet: workers that dial the returned address
+    /// (`crp_experiments worker --join host:port`) are folded into the
+    /// event loop of every subsequent — or currently dispatching —
+    /// submission.  Returns the bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Fleet`] when the address cannot be bound.
+    pub fn listen_for_workers(&self, addr: &str) -> Result<SocketAddr, ServeError> {
+        self.dispatcher
+            .listen_for_workers(addr)
+            .map_err(ServeError::from)
+    }
+
     /// Accepts and serves client connections — one at a time, so
     /// submissions are executed sequentially over the shared warm fleet
     /// — until a client sends `serve-shutdown`.  Per-connection protocol
@@ -591,6 +606,30 @@ mod tests {
         assert_eq!(outcome.job_hits, 3);
         client.shutdown_server().unwrap();
         daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn elastically_joined_workers_serve_submissions() {
+        // No fixed endpoints: the whole fleet joins through the
+        // registration listener.
+        let server = SweepServer::bind("127.0.0.1:0", Vec::new(), None).unwrap();
+        let join_addr = server
+            .listen_for_workers("127.0.0.1:0")
+            .unwrap()
+            .to_string();
+        std::thread::spawn(move || {
+            let handler =
+                |payload: &str| -> Result<String, String> { Ok(format!("echo:{payload}")) };
+            let _ = crp_fleet::join_fleet(join_addr.as_str(), &handler, &ServeOptions::default());
+        });
+        let outcome = server
+            .run_submission(&demo_submission(), hooks(), &|_, _, _| {})
+            .unwrap();
+        assert_eq!(outcome.computed, 3);
+        assert_eq!(
+            outcome.cells[0].blob,
+            "echo:cell-a shard 0+echo:cell-a shard 1"
+        );
     }
 
     #[test]

@@ -111,6 +111,9 @@ struct Options {
     connect: String,
     /// `serve --cache` directory (`None` disables the result cache).
     cache: Option<String>,
+    /// `--accept-workers` elastic-registration address for fleet runs
+    /// and the serve daemon (`None` accepts no joiners).
+    accept_workers: Option<String>,
 }
 
 /// The default loopback address `serve` listens on and `submit` dials.
@@ -122,7 +125,7 @@ const USAGE: &str = "usage: crp_experiments \
 [--threads T] [--workers N] [--kernel auto|scalar|batched] \
 [--fleet local[:N],host:port,..] \
 [--chaos W:FAULT@N,..] [--protocols a,b,..] [--scenarios x,y,..|file.trace,..] [--csv] \
-[--listen host:port] [--connect host:port] [--cache DIR]";
+[--listen host:port] [--connect host:port] [--cache DIR] [--accept-workers host:port]";
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
@@ -149,6 +152,7 @@ fn parse_args() -> Result<Options, String> {
         listen: DEFAULT_SERVICE_ADDR.to_string(),
         connect: DEFAULT_SERVICE_ADDR.to_string(),
         cache: None,
+        accept_workers: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut backend_explicit = false;
@@ -243,6 +247,14 @@ fn parse_args() -> Result<Options, String> {
                         .clone(),
                 );
             }
+            "--accept-workers" => {
+                index += 1;
+                options.accept_workers = Some(
+                    args.get(index)
+                        .ok_or("--accept-workers requires a host:port")?
+                        .clone(),
+                );
+            }
             "--protocols" => {
                 index += 1;
                 options.protocols = args
@@ -314,6 +326,20 @@ fn parse_args() -> Result<Options, String> {
         if backend_explicit {
             return Err(format!(
                 "--chaos conflicts with --backend {:?}; omit --backend or use --backend fleet",
+                options.backend
+            )
+            .to_lowercase());
+        }
+        options.backend = BackendChoice::Fleet;
+    }
+    // Only the fleet dispatcher can fold elastically joining workers
+    // into a run (serve always runs a fleet, so the implication is
+    // harmless there).
+    if options.accept_workers.is_some() && options.backend != BackendChoice::Fleet {
+        if backend_explicit {
+            return Err(format!(
+                "--accept-workers conflicts with --backend {:?}; omit --backend or use \
+                 --backend fleet",
                 options.backend
             )
             .to_lowercase());
@@ -484,6 +510,10 @@ fn serve_mode(options: &Options) -> Result<(), SimError> {
     };
     let server =
         SweepServer::bind(options.listen.as_str(), endpoints, cache).map_err(backend_error)?;
+    if let Some(addr) = &options.accept_workers {
+        let bound = server.listen_for_workers(addr).map_err(backend_error)?;
+        eprintln!("sweep service accepting elastic workers on {bound}");
+    }
     match server.local_addr() {
         Ok(addr) => eprintln!(
             "sweep service listening on {addr} ({} workers, cache: {})",
@@ -551,6 +581,9 @@ fn cli_config(options: &Options) -> Result<RunnerConfig, SimError> {
     }
     if let Some(plan) = &options.chaos {
         config.chaos = Some(plan.clone());
+    }
+    if let Some(addr) = &options.accept_workers {
+        config = config.with_accept_workers(addr.clone());
     }
     Ok(config)
 }
@@ -621,12 +654,15 @@ fn run(options: &Options) -> Result<(), SimError> {
 }
 
 /// The long-lived fleet worker: answers a framed stream of shard specs
-/// over stdio (default) or a TCP listener (`--listen host:port`),
-/// executing many shards per process.  Fault-injection knobs
-/// (`CRP_FLEET_DIE_AFTER`, `CRP_FLEET_GARBAGE_AFTER`) are read from the
-/// environment for the failure tests and smoke jobs.
+/// over stdio (default), a TCP listener (`--listen host:port`), or by
+/// dialling a dispatcher's registration listener (`--join host:port`,
+/// the elastic-membership direction), executing many shards per
+/// process.  Fault-injection knobs (`CRP_FLEET_DIE_AFTER`,
+/// `CRP_FLEET_GARBAGE_AFTER`) are read from the environment for the
+/// failure tests and smoke jobs.
 fn worker_mode(args: &[String]) -> ExitCode {
     let mut listen: Option<String> = None;
+    let mut join: Option<String> = None;
     let mut capacity: Option<usize> = None;
     let mut index = 0;
     while index < args.len() {
@@ -637,6 +673,16 @@ fn worker_mode(args: &[String]) -> ExitCode {
                     Some(addr) => listen = Some(addr.clone()),
                     None => {
                         eprintln!("worker: --listen requires a host:port");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--join" => {
+                index += 1;
+                match args.get(index) {
+                    Some(addr) => join = Some(addr.clone()),
+                    None => {
+                        eprintln!("worker: --join requires a dispatcher host:port");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -655,12 +701,16 @@ fn worker_mode(args: &[String]) -> ExitCode {
             other => {
                 eprintln!(
                     "worker: unknown flag {other}; usage: worker \
-                     [--stdio | --listen host:port] [--capacity N]"
+                     [--stdio | --listen host:port | --join host:port] [--capacity N]"
                 );
                 return ExitCode::FAILURE;
             }
         }
         index += 1;
+    }
+    if join.is_some() && listen.is_some() {
+        eprintln!("worker: --join and --listen are mutually exclusive");
+        return ExitCode::FAILURE;
     }
     // Strict environment parsing: a mistyped CRP_FLEET_* knob refuses to
     // start the worker instead of silently running without the fault (or
@@ -683,6 +733,29 @@ fn worker_mode(args: &[String]) -> ExitCode {
     let handler = |payload: &str| {
         run_shard_worker_with(payload, &|hash| store.get(hash)).map_err(|e| e.to_string())
     };
+    if let Some(addr) = join {
+        // Elastic membership: dial the dispatcher and serve over the
+        // dialled connection.  The initial connect is retried — an
+        // elastic worker is typically started before (or independently
+        // of) the run that will consume it.
+        let mut attempts = 0;
+        loop {
+            match crp_fleet::join_fleet_with_store(addr.as_str(), &handler, &options, &store) {
+                Ok(served) => {
+                    eprintln!("fleet worker: dispatcher {addr} disconnected after {served} jobs");
+                    return ExitCode::SUCCESS;
+                }
+                Err(crp_fleet::FleetError::Connect { .. }) if attempts < 50 => {
+                    attempts += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                }
+                Err(err) => {
+                    eprintln!("worker: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
     match listen {
         Some(addr) => {
             let worker = match TcpWorker::bind(addr.as_str()) {

@@ -13,9 +13,13 @@
 //! change the statistics, and the shard-order merge stays bit-identical
 //! to the serial backend.
 
+use std::net::SocketAddr;
 use std::path::PathBuf;
 
-use crp_fleet::{BlobSet, Dispatcher, FleetError, FleetManifest, JobPayload, WorkerEndpoint};
+use crp_fleet::{
+    BlobSet, DispatchMode, DispatchTuning, Dispatcher, FleetError, FleetManifest, JobPayload,
+    WorkerEndpoint,
+};
 
 use crate::runner::backend::{JobDoneFn, ShardBackend, ShardJob};
 use crate::runner::plan::RunnerConfig;
@@ -99,8 +103,8 @@ impl FleetBackend {
         } else {
             PathBuf::new()
         };
-        Ok(Self::with_endpoints(
-            manifest.endpoints(program, stdio_worker_args()),
+        Ok(Self::with_weighted_endpoints(
+            manifest.weighted_endpoints(program, stdio_worker_args()),
         ))
     }
 
@@ -123,25 +127,49 @@ impl FleetBackend {
     /// `CRP_FLEET` environment variable, otherwise `config.threads`
     /// local subprocess workers — with the config's
     /// [`RunnerConfig::chaos`] plan (if any) compiled onto the pool's
-    /// local endpoints as fault-injection spawn environment.
+    /// local endpoints as fault-injection spawn environment, the
+    /// dispatch tuning parsed *strictly* from `CRP_FLEET_POLL_MS`
+    /// (a malformed value is a typed error here, not a warning), and a
+    /// [`RunnerConfig::accept_workers`] registration listener bound
+    /// when configured.
     ///
     /// # Errors
     ///
     /// As [`FleetBackend::from_env_or_local`], plus [`SimError::Backend`]
-    /// when the chaos plan targets an endpoint it cannot sabotage.
+    /// when the chaos plan targets an endpoint it cannot sabotage or
+    /// the registration listener cannot be bound, and
+    /// [`SimError::Config`] for a malformed `CRP_FLEET_POLL_MS`.
     pub fn from_config(config: &RunnerConfig) -> Result<Self, SimError> {
+        let tuning = DispatchTuning::try_from_env().map_err(|err| match err {
+            FleetError::Env { var, value, reason } => SimError::Config {
+                var,
+                value,
+                what: reason,
+            },
+            other => fleet_error(other),
+        })?;
         let backend = match &config.fleet {
             Some(manifest) => Self::from_manifest(manifest),
             None => Self::from_env_or_local(config.threads),
         }?;
-        match &config.chaos {
-            None => Ok(backend),
-            Some(plan) if plan.is_empty() => Ok(backend),
+        let backend = match &config.chaos {
+            None => backend,
+            Some(plan) if plan.is_empty() => backend,
             Some(plan) => {
+                // Chaos rewrites endpoints in place (same order), so the
+                // capacity weights re-pair positionally.
                 let sabotaged = plan.apply(backend.endpoints()).map_err(fleet_error)?;
-                Ok(Self::with_endpoints(sabotaged))
+                let weights = backend.dispatcher.weights().to_vec();
+                Self::with_weighted_endpoints(sabotaged.into_iter().zip(weights).collect())
             }
+        };
+        let backend = Self {
+            dispatcher: backend.dispatcher.with_tuning(tuning),
+        };
+        if let Some(addr) = &config.accept_workers {
+            backend.listen_for_workers(addr)?;
         }
+        Ok(backend)
     }
 
     /// A pool over explicit endpoints (the fault-injection tests build
@@ -150,6 +178,36 @@ impl FleetBackend {
         Self {
             dispatcher: Dispatcher::new(endpoints),
         }
+    }
+
+    /// A pool over explicit `(endpoint, capacity weight)` pairs — the
+    /// scheduler keeps up to `hello capacity × weight` jobs in flight
+    /// per connection.
+    pub fn with_weighted_endpoints(endpoints: Vec<(WorkerEndpoint, usize)>) -> Self {
+        Self {
+            dispatcher: Dispatcher::new_weighted(endpoints),
+        }
+    }
+
+    /// Returns a copy pinned to a dispatch mode (tests compare the
+    /// event-loop and legacy threaded schedulers through this).
+    pub fn with_dispatch_mode(self, mode: DispatchMode) -> Self {
+        Self {
+            dispatcher: self.dispatcher.with_mode(mode),
+        }
+    }
+
+    /// Opens the elastic-membership registration listener: workers that
+    /// run `crp_experiments worker --join <addr>` are folded into
+    /// subsequent (or running) batches.  Returns the bound address.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Backend`] when the address cannot be bound.
+    pub fn listen_for_workers(&self, addr: &str) -> Result<SocketAddr, SimError> {
+        self.dispatcher
+            .listen_for_workers(addr)
+            .map_err(fleet_error)
     }
 
     /// The pool's endpoints.
@@ -246,6 +304,28 @@ mod tests {
         std::env::set_var("CRP_FLEET", "local:2,10.0.0.7:9311");
         let manifest = env_fleet_manifest().unwrap().unwrap();
         assert_eq!(manifest.entries().len(), 2);
+
+        // Capacity weights ride through the environment variable too.
+        std::env::set_var("CRP_FLEET", "local:2*3,10.0.0.7:9311*2");
+        let manifest = env_fleet_manifest().unwrap().unwrap();
+        assert_eq!(
+            manifest.entries(),
+            &[
+                crp_fleet::FleetEntry::Local {
+                    workers: 2,
+                    weight: 3
+                },
+                crp_fleet::FleetEntry::Tcp {
+                    addr: "10.0.0.7:9311".to_string(),
+                    weight: 2
+                },
+            ]
+        );
+        // And a malformed weight is a typed config error, not a clamp.
+        std::env::set_var("CRP_FLEET", "local:2*0");
+        let err = env_fleet_manifest().unwrap_err();
+        assert!(err.to_string().contains("weight"), "{err}");
+
         std::env::remove_var("CRP_FLEET");
         assert!(env_fleet_manifest().unwrap().is_none());
     }
@@ -271,5 +351,12 @@ mod tests {
             ],
             "remote-only manifests never need the local worker binary"
         );
+    }
+
+    #[test]
+    fn manifest_weights_reach_the_dispatcher() {
+        let weighted = FleetManifest::parse("127.0.0.1:9311*4,127.0.0.1:9312").unwrap();
+        let backend = FleetBackend::from_manifest(&weighted).unwrap();
+        assert_eq!(backend.dispatcher().weights(), &[4, 1]);
     }
 }

@@ -117,6 +117,12 @@ pub struct RunnerConfig {
     /// bit-identical to the serial backend.  The CLI's `--chaos` flag
     /// populates this field.
     pub chaos: Option<ChaosPlan>,
+    /// The `host:port` address (port 0 allowed) on which a
+    /// [`BackendChoice::Fleet`] run listens for elastically joining
+    /// workers (`crp_experiments worker --join host:port`).  `None`
+    /// (the default) accepts no elastic joiners.  The CLI's
+    /// `--accept-workers` flag populates this field.
+    pub accept_workers: Option<String>,
     /// Which trial-kernel path executes shards: the batched
     /// struct-of-arrays fast paths where a protocol supports them
     /// ([`KernelChoice::Auto`], the default, and [`KernelChoice::Batched`]
@@ -138,6 +144,7 @@ impl Default for RunnerConfig {
             backend: BackendChoice::default(),
             fleet: None,
             chaos: None,
+            accept_workers: None,
             kernel: default_kernel(),
         }
     }
@@ -237,6 +244,15 @@ impl RunnerConfig {
     /// can be sabotaged).
     pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
         self.chaos = Some(plan);
+        self.backend = BackendChoice::Fleet;
+        self
+    }
+
+    /// Returns a copy listening for elastically joining workers on
+    /// `addr` during fleet runs (and therefore selecting the fleet
+    /// backend, the only one workers can join mid-run).
+    pub fn with_accept_workers(mut self, addr: impl Into<String>) -> Self {
+        self.accept_workers = Some(addr.into());
         self.backend = BackendChoice::Fleet;
         self
     }

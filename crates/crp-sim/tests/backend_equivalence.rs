@@ -12,7 +12,7 @@
 //! the process backend, framed over long-lived worker stdio for the
 //! fleet.
 
-use crp_fleet::WorkerEndpoint;
+use crp_fleet::{DispatchMode, WorkerEndpoint};
 use crp_predict::ScenarioLibrary;
 use crp_protocols::ProtocolSpec;
 use crp_sim::{
@@ -73,6 +73,27 @@ fn fleet_with_v1_worker() -> FleetBackend {
     ])
 }
 
+/// A pool whose second worker joins *elastically*: the backend starts
+/// with one fixed local worker plus a registration listener, and a
+/// `worker --join` subprocess dials in while (or just before) the batch
+/// runs.  The join, and the joiner's eventual departure, must not move
+/// a bit of the statistics.
+// The joiner exits on its own once the dispatcher hangs up; the test
+// process is short-lived, so it is never reaped explicitly.
+#[allow(clippy::zombie_processes)]
+fn fleet_with_elastic_joiner() -> FleetBackend {
+    let backend = FleetBackend::local_with_command(1, WORKER_BIN);
+    let addr = backend
+        .listen_for_workers("127.0.0.1:0")
+        .expect("bind registration listener");
+    std::process::Command::new(WORKER_BIN)
+        .args(["worker", "--join", &addr.to_string()])
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn joining worker");
+    backend
+}
+
 /// Every backend the equivalence criterion quantifies over.
 fn all_backends() -> Vec<(&'static str, Box<dyn ShardBackend>)> {
     vec![
@@ -85,6 +106,33 @@ fn all_backends() -> Vec<(&'static str, Box<dyn ShardBackend>)> {
             "fleet-2",
             Box::new(FleetBackend::local_with_command(2, WORKER_BIN)),
         ),
+        (
+            "fleet-2-threaded",
+            Box::new(
+                FleetBackend::local_with_command(2, WORKER_BIN)
+                    .with_dispatch_mode(DispatchMode::Threaded),
+            ),
+        ),
+        (
+            "fleet-weighted",
+            Box::new(FleetBackend::with_weighted_endpoints(vec![
+                (
+                    WorkerEndpoint::local(
+                        WORKER_BIN,
+                        vec!["worker".to_string(), "--stdio".to_string()],
+                    ),
+                    3,
+                ),
+                (
+                    WorkerEndpoint::local(
+                        WORKER_BIN,
+                        vec!["worker".to_string(), "--stdio".to_string()],
+                    ),
+                    1,
+                ),
+            ])),
+        ),
+        ("fleet-elastic-join", Box::new(fleet_with_elastic_joiner())),
         ("fleet-dying-worker", Box::new(fleet_with_dying_worker())),
         ("fleet-capacity-4", Box::new(fleet_with_capacity_4_worker())),
         ("fleet-v1-worker", Box::new(fleet_with_v1_worker())),
