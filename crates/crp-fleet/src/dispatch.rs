@@ -65,6 +65,7 @@ use std::time::{Duration, Instant};
 use crate::endpoint::{Answer, Connection, DispatchTuning, WorkerEndpoint};
 use crate::event_loop::{self, WarmPool};
 use crate::hash::content_hash;
+use crate::obs::{FleetObs, FleetSnapshot};
 use crate::FleetError;
 
 /// Per-endpoint cap on transport failures (failed connects, dropped
@@ -88,27 +89,56 @@ pub enum DispatchMode {
 }
 
 impl DispatchMode {
-    /// Reads `CRP_FLEET_DISPATCH` (`event-loop` or `threaded`)
-    /// leniently: unset keeps the default, an unknown value warns once
-    /// and keeps the default.
+    /// The canonical mode names, in the order the strict parser's
+    /// error message lists them.
+    pub const NAMES: [&'static str; 2] = ["event-loop", "threaded"];
+
+    /// The environment variable selecting the dispatch mode.
+    pub const ENV: &'static str = "CRP_FLEET_DISPATCH";
+
+    /// Strictly reads [`DispatchMode::ENV`]: `Ok(None)` when unset, a
+    /// typed [`FleetError::Env`] listing the valid names on a value
+    /// that parses as neither mode.  The CLI calls this so a mistyped
+    /// override fails loudly; the lenient [`Dispatcher::new`] default
+    /// warns once and falls back instead.
+    pub fn try_from_env() -> Result<Option<Self>, FleetError> {
+        let Ok(value) = std::env::var(Self::ENV) else {
+            return Ok(None);
+        };
+        match value.trim().parse() {
+            Ok(mode) => Ok(Some(mode)),
+            Err(reason) => Err(FleetError::Env {
+                var: Self::ENV.to_string(),
+                value,
+                reason,
+            }),
+        }
+    }
+
+    /// Reads [`DispatchMode::ENV`] leniently: unset keeps the default,
+    /// an unknown value warns once and keeps the default.
     fn from_env() -> Self {
-        match std::env::var("CRP_FLEET_DISPATCH") {
-            Err(_) => Self::default(),
-            Ok(value) => match value.trim() {
-                "event-loop" | "event_loop" | "eventloop" => Self::EventLoop,
-                "threaded" | "threads" => Self::Threaded,
-                other => {
-                    static WARNED: std::sync::Once = std::sync::Once::new();
-                    let shown = other.to_string();
-                    WARNED.call_once(move || {
-                        eprintln!(
-                            "warning: unknown CRP_FLEET_DISPATCH value {shown:?} \
-                             (expected event-loop or threaded); using the default"
-                        );
-                    });
-                    Self::default()
-                }
-            },
+        match Self::try_from_env() {
+            Ok(mode) => mode.unwrap_or_default(),
+            Err(error) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(move || {
+                    eprintln!("warning: {error}; using the default dispatch mode");
+                });
+                Self::default()
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for DispatchMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "event-loop" | "event_loop" | "eventloop" => Ok(Self::EventLoop),
+            "threaded" | "threads" => Ok(Self::Threaded),
+            _ => Err(format!("expected one of: {}", Self::NAMES.join(", "))),
         }
     }
 }
@@ -229,6 +259,9 @@ pub struct Dispatcher {
     /// The event loop's warm connections, registration listener, and
     /// elastically joined workers, carried across `dispatch` calls.
     pub(crate) warm: Mutex<WarmPool>,
+    /// Per-worker health counters behind [`Dispatcher::snapshot`],
+    /// accumulated across batches by both dispatch modes.
+    pub(crate) obs: FleetObs,
 }
 
 /// Shared scheduling state.  The threaded dispatcher keeps it under one
@@ -346,6 +379,7 @@ impl Dispatcher {
             mode: DispatchMode::from_env(),
             slots,
             warm,
+            obs: FleetObs::default(),
         }
     }
 
@@ -387,6 +421,14 @@ impl Dispatcher {
     /// [`Dispatcher::endpoints`] (always ≥ 1).
     pub fn weights(&self) -> &[usize] {
         &self.weights
+    }
+
+    /// An on-demand view of per-worker health: jobs dispatched,
+    /// completed, requeued, pings sent, and jobs currently in flight —
+    /// accumulated since this dispatcher was created, spanning fixed
+    /// and elastically joined workers.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        self.obs.snapshot()
     }
 
     /// Opens a registration listener for elastic membership: workers
@@ -601,6 +643,7 @@ impl Dispatcher {
         validate: AnswerValidator<'_>,
     ) {
         let endpoint = &self.endpoints[index];
+        let peer = endpoint.describe();
         let slot = &self.slots[index];
         // Reuse the warm connection from the previous batch — but only
         // after it proves it is still alive (ping/pong), so a worker
@@ -661,14 +704,20 @@ impl Dispatcher {
                 // Blob queries need a predictable next frame, so only
                 // query when nothing is in flight.
                 match Self::send_claim(live, job, jobs, blobs, outstanding.is_empty()) {
-                    Ok(()) => outstanding.push(job),
+                    Ok(()) => {
+                        self.obs.dispatched(&peer, job as u64);
+                        outstanding.push(job);
+                    }
                     Err(error) => {
                         // The connection broke mid-send: everything on it
                         // (including this claim) goes back for another
-                        // worker.
+                        // worker.  (The failed claim was never recorded
+                        // as dispatched, so only the in-flight jobs are
+                        // counted as requeued off this worker.)
                         self.requeue_or_fail(scheduler, job, &error);
                         for &lost in &outstanding {
                             self.requeue_or_fail(scheduler, lost, &error);
+                            self.obs.requeued(&peer, lost as u64, &error.to_string());
                         }
                         outstanding.clear();
                         connection = None;
@@ -701,9 +750,11 @@ impl Dispatcher {
                         let error = FleetError::Malformed(format!(
                             "answer to job {job} failed validation: {reason}"
                         ));
+                        self.obs.requeued(&peer, job as u64, &error.to_string());
                         self.requeue_or_fail(scheduler, job, &error);
                         for &lost in &outstanding {
                             self.requeue_or_fail(scheduler, lost, &error);
+                            self.obs.requeued(&peer, lost as u64, &error.to_string());
                         }
                         outstanding.clear();
                         connection = None;
@@ -713,8 +764,10 @@ impl Dispatcher {
                         }
                         continue;
                     }
-                    {
+                    let micros = {
                         let mut state = scheduler.lock();
+                        let micros = state.claimed_at[job]
+                            .map_or(0, |claimed| claimed.elapsed().as_micros() as u64);
                         state.in_flight[job] -= 1;
                         if !state.is_settled(job) {
                             state.results[job] = Some(payload);
@@ -723,7 +776,9 @@ impl Dispatcher {
                             // the in-process progress callbacks.
                             done(job);
                         }
-                    }
+                        micros
+                    };
+                    self.obs.completed(&peer, micros);
                     scheduler.wake.notify_all();
                 }
                 Ok(Answer::Failed { id, message }) => {
@@ -736,6 +791,7 @@ impl Dispatcher {
                             state.failures[job] = Some(FleetError::Job { id, message });
                         }
                     }
+                    self.obs.failed(&peer);
                     scheduler.wake.notify_all();
                 }
                 Ok(Answer::Abandoned) => {
@@ -748,6 +804,7 @@ impl Dispatcher {
                             state.in_flight[job] -= 1;
                         }
                     }
+                    self.obs.abandoned(&peer, outstanding.len() as u64);
                     outstanding.clear();
                     scheduler.wake.notify_all();
                     connection = None;
@@ -756,6 +813,7 @@ impl Dispatcher {
                     connection = None;
                     for &job in &outstanding {
                         self.requeue_or_fail(scheduler, job, &error);
+                        self.obs.requeued(&peer, job as u64, &error.to_string());
                     }
                     outstanding.clear();
                     transport_failures += 1;

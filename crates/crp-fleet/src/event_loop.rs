@@ -48,6 +48,7 @@ use crate::endpoint::{
     accept_hello_capacity, negotiate_hello, spawn_pipe_feeder, DispatchTuning, WorkerEndpoint,
 };
 use crate::frame::{MAX_FRAME_BYTES, MAX_HEADER_BYTES};
+use crate::obs::FleetObs;
 use crate::protocol::{Message, PROTOCOL_VERSION};
 use crate::FleetError;
 
@@ -518,10 +519,17 @@ impl Slot {
 /// Tears a connection down: its outstanding jobs are requeued (or
 /// declared exhausted), the failure is recorded, and the slot backs off
 /// before any reconnect.
-fn fail_conn(slot: &mut Slot, error: &FleetError, state: &mut State, max_attempts: usize) {
+fn fail_conn(
+    slot: &mut Slot,
+    error: &FleetError,
+    state: &mut State,
+    max_attempts: usize,
+    obs: &FleetObs,
+) {
     if let Some(conn) = slot.conn.take() {
         for &job in &conn.outstanding {
             state.requeue_or_fail(job, error, max_attempts);
+            obs.requeued(&conn.peer, job as u64, &error.to_string());
         }
     }
     state.last_transport_error = Some(error.to_string());
@@ -540,6 +548,7 @@ fn pump(
     validate: AnswerValidator<'_>,
     tuning: &DispatchTuning,
     max_attempts: usize,
+    obs: &FleetObs,
 ) -> Result<bool, FleetError> {
     let mut progressed = conn.drain_transport()?;
     while let Some(message) = conn.next_message()? {
@@ -564,9 +573,13 @@ fn pump(
                         "answer to job {job} failed validation: {reason}"
                     ));
                     state.requeue_or_fail(job, &error, max_attempts);
+                    obs.requeued(&conn.peer, id, &error.to_string());
                     return Err(error);
                 }
+                let micros =
+                    state.claimed_at[job].map_or(0, |claimed| claimed.elapsed().as_micros() as u64);
                 state.in_flight[job] -= 1;
+                obs.completed(&conn.peer, micros);
                 if !state.is_settled(job) {
                     state.results[job] = Some(payload);
                     // Completions are delivered from the loop thread, so
@@ -579,6 +592,7 @@ fn pump(
                 let job = id as usize;
                 conn.outstanding.retain(|&j| j != job);
                 state.in_flight[job] -= 1;
+                obs.failed(&conn.peer);
                 if !state.is_settled(job) {
                     state.failures[job] = Some(FleetError::Job { id, message });
                 }
@@ -615,6 +629,7 @@ pub(crate) fn run(
 ) -> State {
     let tuning = dispatcher.tuning;
     let max_attempts = dispatcher.max_attempts;
+    let obs = &dispatcher.obs;
     let mut state = State::new(jobs.len());
 
     // Adopt the warm pool: the registration listener, per-endpoint warm
@@ -724,9 +739,10 @@ pub(crate) fn run(
                 validate,
                 &tuning,
                 max_attempts,
+                obs,
             ) {
                 Ok(p) => progressed |= p,
-                Err(error) => fail_conn(slot, &error, &mut state, max_attempts),
+                Err(error) => fail_conn(slot, &error, &mut state, max_attempts, obs),
             }
         }
 
@@ -742,15 +758,21 @@ pub(crate) fn run(
                         "timed out waiting for the hello of {}",
                         conn.peer
                     ));
-                    fail_conn(slot, &error, &mut state, max_attempts);
+                    fail_conn(slot, &error, &mut state, max_attempts, obs);
                 }
                 continue;
             }
             if conn.outstanding.is_empty() {
                 continue;
             }
-            if let Err(error) = conn.ping_if_silent(&tuning) {
-                fail_conn(slot, &error, &mut state, max_attempts);
+            let was_pinging = conn.ping_sent.is_some();
+            match conn.ping_if_silent(&tuning) {
+                Ok(()) => {
+                    if !was_pinging && conn.ping_sent.is_some() {
+                        obs.pinged(&conn.peer);
+                    }
+                }
+                Err(error) => fail_conn(slot, &error, &mut state, max_attempts, obs),
             }
         }
 
@@ -796,10 +818,13 @@ pub(crate) fn run(
                     let slot = &mut slots[i];
                     let conn = slot.conn.as_mut().expect("picked a live slot");
                     match conn.queue_job(job, jobs, blobs) {
-                        Ok(()) => progressed = true,
+                        Ok(()) => {
+                            obs.dispatched(&conn.peer, job as u64);
+                            progressed = true;
+                        }
                         Err(error) => {
                             state.requeue_or_fail(job, &error, max_attempts);
-                            fail_conn(slot, &error, &mut state, max_attempts);
+                            fail_conn(slot, &error, &mut state, max_attempts, obs);
                         }
                     }
                 }
@@ -854,10 +879,13 @@ pub(crate) fn run(
                 state.claim(job);
                 let conn = slot.conn.as_mut().expect("idle slot is live");
                 match conn.queue_job(job, jobs, blobs) {
-                    Ok(()) => progressed = true,
+                    Ok(()) => {
+                        obs.dispatched(&conn.peer, job as u64);
+                        progressed = true;
+                    }
                     Err(error) => {
                         state.requeue_or_fail(job, &error, max_attempts);
-                        fail_conn(slot, &error, &mut state, max_attempts);
+                        fail_conn(slot, &error, &mut state, max_attempts, obs);
                     }
                 }
             }
@@ -869,7 +897,7 @@ pub(crate) fn run(
                 continue;
             };
             if let Err(error) = conn.flush() {
-                fail_conn(slot, &error, &mut state, max_attempts);
+                fail_conn(slot, &error, &mut state, max_attempts, obs);
             }
         }
 
@@ -922,6 +950,11 @@ pub(crate) fn run(
                     Some(index) => warm.fixed[index] = Some(conn),
                     None => warm.joined.push(conn),
                 }
+            } else {
+                // Dropped with stale straggler answers still owed: the
+                // jobs settled elsewhere, so only the health counters
+                // need to forget them.
+                obs.abandoned(&conn.peer, conn.outstanding.len() as u64);
             }
         }
     }

@@ -70,6 +70,7 @@ pub mod endpoint;
 pub(crate) mod event_loop;
 pub mod frame;
 pub mod hash;
+pub mod obs;
 pub mod protocol;
 pub mod tcp;
 pub mod worker;
@@ -82,6 +83,7 @@ pub use dispatch::{BlobSet, DispatchMode, Dispatcher, JobPayload};
 pub use endpoint::{DispatchTuning, FleetEntry, FleetManifest, WorkerEndpoint};
 pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
 pub use hash::{content_hash, is_content_hash};
+pub use obs::{FleetSnapshot, WorkerHealth};
 pub use protocol::{Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 pub use tcp::{join_fleet, join_fleet_with_store, TcpWorker};
 pub use worker::{

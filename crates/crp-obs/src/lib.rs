@@ -1,0 +1,78 @@
+//! # crp-obs
+//!
+//! The workspace's observability layer: a lock-free
+//! [`MetricsRegistry`] of named counters, gauges, and log-bucketed
+//! latency histograms, plus a structured JSONL trace-event sink
+//! ([`TraceSink`]) behind a zero-cost-when-disabled guard
+//! ([`trace_enabled`]).
+//!
+//! The crate is std-only and dependency-free so it can sit underneath
+//! every runtime crate (crp-fleet, crp-serve, crp-sim).  Two
+//! invariants the rest of the workspace leans on:
+//!
+//! * **Metrics never perturb results.**  Instrumentation touches
+//!   atomics and (when tracing is on) an output file; it never touches
+//!   RNG streams, shard ordering, or merge order, so `TrialStats` are
+//!   bit-identical with tracing on or off.
+//! * **Snapshots are deterministic.**  [`MetricsSnapshot`] renders
+//!   with names sorted and merges order-independently, so a report
+//!   assembled from per-worker pieces is byte-identical no matter the
+//!   interleaving — the property the daemon `stats` report and the
+//!   CLI cache summary share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use trace::{
+    check_trace_line, emit, env_trace_path, init_trace, init_trace_from_env,
+    init_trace_from_env_lenient, install_trace_sink, trace_enabled, TraceEvent, TraceSink,
+    TRACE_ENV,
+};
+
+use std::sync::OnceLock;
+
+/// Errors the observability layer reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObsError {
+    /// An I/O failure opening or writing a trace sink, or a malformed
+    /// trace line.
+    Io {
+        /// What went wrong.
+        what: String,
+    },
+    /// A strictly parsed environment variable carried an unusable
+    /// value (mirrors the fleet's `FleetError::Env`).
+    Env {
+        /// The variable name.
+        var: &'static str,
+        /// The rejected value.
+        value: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ObsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsError::Io { what } => write!(f, "{what}"),
+            ObsError::Env { var, value, reason } => {
+                write!(f, "invalid {var}={value:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObsError {}
+
+/// The process-wide metrics registry every runtime crate records
+/// into.  Separate registries (for tests, or per-submission deltas)
+/// are just [`MetricsRegistry::new`].
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}

@@ -1,0 +1,111 @@
+//! Golden trace-event encodings: the JSONL schema is a wire format, so
+//! each representative event is pinned to its exact rendered line —
+//! stable field order (`ts_us` first, then `event`, then fields in
+//! insertion order) and hash-stable floats (bit-pattern hex, like the
+//! accumulator wire codecs).  Every golden line must also pass the
+//! strict [`crp_obs::check_trace_line`] validator the `trace-check`
+//! subcommand applies.
+
+use crp_obs::{check_trace_line, TraceEvent};
+
+#[test]
+fn representative_events_render_their_golden_lines() {
+    let cases: Vec<(TraceEvent, &str)> = vec![
+        (
+            TraceEvent::new("sweep.cell")
+                .u64("cell", 3)
+                .str("scenario", "bimodal")
+                .str("protocol", "decay"),
+            r#"{"ts_us":17,"event":"sweep.cell","cell":3,"scenario":"bimodal","protocol":"decay"}"#,
+        ),
+        (
+            TraceEvent::new("shard.execute")
+                .u64("cell", 0)
+                .u64("shard", 2)
+                .u64("trials", 256)
+                .str("kernel", "uniform-no-cd")
+                .u64("micros", 1234),
+            r#"{"ts_us":17,"event":"shard.execute","cell":0,"shard":2,"trials":256,"kernel":"uniform-no-cd","micros":1234}"#,
+        ),
+        (
+            TraceEvent::new("kernel.select")
+                .u64("cell", 1)
+                .str("protocol", "sorted-guess")
+                .str("kernel", "scalar"),
+            r#"{"ts_us":17,"event":"kernel.select","cell":1,"protocol":"sorted-guess","kernel":"scalar"}"#,
+        ),
+        (
+            TraceEvent::new("fleet.dispatch")
+                .u64("job", 7)
+                .str("endpoint", "local worker #0"),
+            r#"{"ts_us":17,"event":"fleet.dispatch","job":7,"endpoint":"local worker #0"}"#,
+        ),
+        (
+            TraceEvent::new("fleet.requeue")
+                .u64("job", 7)
+                .str("endpoint", "10.0.0.7:9311")
+                .str("reason", "the peer closed the fleet stream"),
+            r#"{"ts_us":17,"event":"fleet.requeue","job":7,"endpoint":"10.0.0.7:9311","reason":"the peer closed the fleet stream"}"#,
+        ),
+        (
+            TraceEvent::new("fleet.ping").str("endpoint", "10.0.0.7:9311"),
+            r#"{"ts_us":17,"event":"fleet.ping","endpoint":"10.0.0.7:9311"}"#,
+        ),
+        (
+            TraceEvent::new("cache.hit")
+                .str("kind", "job")
+                .str("key", "ab12cd"),
+            r#"{"ts_us":17,"event":"cache.hit","kind":"job","key":"ab12cd"}"#,
+        ),
+        (
+            TraceEvent::new("cache.miss")
+                .str("kind", "cell")
+                .str("key", "ab12cd"),
+            r#"{"ts_us":17,"event":"cache.miss","kind":"cell","key":"ab12cd"}"#,
+        ),
+        (
+            TraceEvent::new("cache.heal")
+                .str("kind", "job")
+                .str("key", "ab12cd"),
+            r#"{"ts_us":17,"event":"cache.heal","kind":"job","key":"ab12cd"}"#,
+        ),
+        (
+            TraceEvent::new("serve.submit")
+                .u64("jobs", 12)
+                .u64("hits", 9)
+                .u64("computed", 3)
+                .u64("micros", 41999),
+            r#"{"ts_us":17,"event":"serve.submit","jobs":12,"hits":9,"computed":3,"micros":41999}"#,
+        ),
+        // Floats travel as the full bit pattern, never a rounded decimal:
+        // 0.5 is exactly 0x3fe0000000000000.
+        (
+            TraceEvent::new("serve.submit").f64_bits("hit_rate", 0.5),
+            r#"{"ts_us":17,"event":"serve.submit","hit_rate":"3fe0000000000000"}"#,
+        ),
+    ];
+    for (event, expected) in cases {
+        let name = event.name();
+        assert_eq!(event.render(17), expected, "golden line moved for {name}");
+        assert_eq!(
+            check_trace_line(expected).as_deref(),
+            Ok(name),
+            "golden line for {name} must satisfy the validator"
+        );
+    }
+}
+
+#[test]
+fn the_validator_rejects_lines_outside_the_schema() {
+    for bad in [
+        "",
+        "not json",
+        r#"{"event":"x","ts_us":1}"#,           // wrong member order
+        r#"{"ts_us":"1","event":"x"}"#,         // ts_us must be a number
+        r#"{"ts_us":1,"event":"x","v":-3}"#,    // signed values are not in the schema
+        r#"{"ts_us":1,"event":"x","v":[1,2]}"#, // nested values are not in the schema
+        r#"{"ts_us":1,"event":"x"} trailing"#,  // trailing garbage
+    ] {
+        assert!(check_trace_line(bad).is_err(), "accepted {bad:?}");
+    }
+}

@@ -98,6 +98,33 @@ impl ServeClient {
         }
     }
 
+    /// Requests the daemon's live observability report — the rendered
+    /// workspace metrics registry plus the per-worker fleet health
+    /// snapshot — as a deterministic text body.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, malformed frames, and
+    /// [`ServeError::Server`] when the daemon answered with an error
+    /// frame.
+    pub fn stats(&mut self) -> Result<String, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.writer, &ServeMessage::Stats { id }.encode())?;
+        let frame = read_frame(&mut self.reader)?.ok_or_else(|| {
+            ServeError::Io("the sweep server closed the connection mid-stats-request".to_string())
+        })?;
+        match ServeMessage::decode(&frame)? {
+            ServeMessage::StatsReport { id: got, body } if got == id => Ok(body),
+            ServeMessage::Error { id: got, message } if got == id => {
+                Err(ServeError::Server(message))
+            }
+            other => Err(ServeError::Malformed(format!(
+                "expected an answer to stats request {id}, got {other:?}"
+            ))),
+        }
+    }
+
     /// Asks the daemon to shut down (used by tests and CI teardown) and
     /// consumes the client.
     ///

@@ -38,12 +38,16 @@
 //!   cache-then-dispatch submission executor.
 //! * [`client`] — [`ServeClient`]: connect, submit, stream progress,
 //!   collect the result.
+//! * [`obs`] — the `serve.*` counter names, cache instrumentation, and
+//!   the shared cache-summary formatter behind both the `submit` CLI
+//!   line and the daemon's framed `stats` report.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod client;
+pub mod obs;
 pub mod server;
 pub mod wire;
 
@@ -52,6 +56,7 @@ use std::fmt;
 
 pub use cache::ResultCache;
 pub use client::ServeClient;
+pub use obs::{cache_summary, cache_summary_from, record_submission};
 pub use server::{AnswerCheck, Canonicalizer, CellMerger, SubmissionHooks, SweepServer};
 pub use wire::{
     CellOutcome, ServeMessage, Submission, SubmissionCell, SubmissionJob, SubmissionOutcome,

@@ -1,0 +1,105 @@
+//! Serve-side observability: the `serve.*` counter names, the cache
+//! probe/put instrumentation hooks, and the single cache-summary
+//! formatter shared by the `submit` CLI line and the daemon `stats`
+//! report — both derive from the same counters through the same code,
+//! so they can never disagree.
+//!
+//! Counters and trace events never influence what is served: probes
+//! and puts behave identically with observability on or off, and the
+//! trace emission is guarded by [`crp_obs::trace_enabled`].
+
+use crp_obs::{MetricsSnapshot, TraceEvent};
+
+/// Counter: whole cells served from the cell cache.
+pub const CACHE_CELL_HIT: &str = "serve.cache.cell_hit";
+/// Counter: individual jobs served from the job cache.
+pub const CACHE_JOB_HIT: &str = "serve.cache.job_hit";
+/// Counter: cache probes that found nothing usable.
+pub const CACHE_MISS: &str = "serve.cache.miss";
+/// Counter: corrupt or invalid entries detected at probe time; the
+/// recompute's write-back overwrites (heals) them.
+pub const CACHE_HEAL: &str = "serve.cache.heal";
+/// Counter: bytes served out of the cache.
+pub const CACHE_READ_BYTES: &str = "serve.cache.read_bytes";
+/// Counter: bytes written into the cache.
+pub const CACHE_WRITE_BYTES: &str = "serve.cache.write_bytes";
+/// Counter: submissions executed.
+pub const SUBMIT: &str = "serve.submit";
+/// Counter: jobs carried by executed submissions.
+pub const SUBMIT_JOBS: &str = "serve.submit.jobs";
+/// Counter: jobs settled from the cache (cell- or job-level).
+pub const SUBMIT_HITS: &str = "serve.submit.hits";
+/// Counter: jobs computed on the fleet.
+pub const SUBMIT_COMPUTED: &str = "serve.submit.computed";
+/// Histogram: wall-clock microseconds per executed submission.
+pub const SUBMIT_MICROS: &str = "serve.submit_micros";
+
+/// Formats the canonical cache summary — the one wording both the
+/// `submit` CLI stderr line and the daemon `stats` report print.
+pub fn cache_summary(hits: u64, total: u64, computed: u64) -> String {
+    let percent = (hits * 100).checked_div(total).unwrap_or(100);
+    format!("{hits}/{total} job cache hits ({percent}%), {computed} computed on the fleet")
+}
+
+/// Derives the cache summary from the `serve.submit.*` counters of a
+/// registry snapshot.
+pub fn cache_summary_from(snapshot: &MetricsSnapshot) -> String {
+    cache_summary(
+        snapshot.counter(SUBMIT_HITS),
+        snapshot.counter(SUBMIT_JOBS),
+        snapshot.counter(SUBMIT_COMPUTED),
+    )
+}
+
+/// Records the aggregate numbers of one executed submission into the
+/// `serve.submit.*` counters of `registry`.  The server calls this
+/// after every submission; the `submit` CLI calls it on the outcome it
+/// received so its summary line is counter-derived too.
+pub fn record_submission(registry: &crp_obs::MetricsRegistry, jobs: u64, hits: u64, computed: u64) {
+    registry.inc(SUBMIT);
+    registry.add(SUBMIT_JOBS, jobs);
+    registry.add(SUBMIT_HITS, hits);
+    registry.add(SUBMIT_COMPUTED, computed);
+}
+
+/// One cache probe served a usable value.
+pub(crate) fn probe_hit(kind: &'static str, key: &str, bytes: usize) {
+    let registry = crp_obs::global();
+    registry.inc(match kind {
+        "cell" => CACHE_CELL_HIT,
+        _ => CACHE_JOB_HIT,
+    });
+    registry.add(CACHE_READ_BYTES, bytes as u64);
+    if crp_obs::trace_enabled() {
+        crp_obs::emit(
+            &TraceEvent::new("cache.hit")
+                .str("kind", kind)
+                .str("key", key),
+        );
+    }
+}
+
+/// One cache probe found no entry.
+pub(crate) fn probe_miss(kind: &'static str, key: &str) {
+    crp_obs::global().inc(CACHE_MISS);
+    if crp_obs::trace_enabled() {
+        crp_obs::emit(
+            &TraceEvent::new("cache.miss")
+                .str("kind", kind)
+                .str("key", key),
+        );
+    }
+}
+
+/// One cache probe found a corrupt or invalid entry; the recompute
+/// path will overwrite it.
+pub(crate) fn probe_heal(kind: &'static str, key: &str) {
+    crp_obs::global().inc(CACHE_HEAL);
+    if crp_obs::trace_enabled() {
+        crp_obs::emit(
+            &TraceEvent::new("cache.heal")
+                .str("kind", kind)
+                .str("key", key),
+        );
+    }
+}

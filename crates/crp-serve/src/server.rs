@@ -201,6 +201,10 @@ impl SweepServer {
                         })?,
                     }
                 }
+                ServeMessage::Stats { id } => send(&ServeMessage::StatsReport {
+                    id,
+                    body: self.stats_report(),
+                })?,
                 ServeMessage::Shutdown => return Ok(true),
                 other => {
                     return Err(ServeError::Malformed(format!(
@@ -211,24 +215,63 @@ impl SweepServer {
         }
     }
 
+    /// Renders the daemon's live observability report: the shared
+    /// cache summary, every workspace counter/gauge/histogram, and the
+    /// per-worker fleet health snapshot.  This is the body of the
+    /// `stats-report` frame answering a [`ServeMessage::Stats`]
+    /// request.
+    pub fn stats_report(&self) -> String {
+        let snapshot = crp_obs::global().snapshot();
+        let mut body = format!("submit: {}\n", crate::obs::cache_summary_from(&snapshot));
+        body.push_str(&snapshot.render());
+        let fleet = self.dispatcher.snapshot();
+        if !fleet.workers.is_empty() {
+            body.push_str(&fleet.render());
+        }
+        body
+    }
+
     /// A cache probe that only ever returns a *trustworthy* value: a
     /// missing entry, a [`ServeError::CorruptCache`], or a value failing
     /// the host's `check` all read as a miss (the recompute overwrites
     /// and heals the entry).  Genuine I/O failures propagate.
-    fn cache_probe(&self, key: &str, check: AnswerCheck<'_>) -> Result<Option<String>, ServeError> {
+    fn cache_probe(
+        &self,
+        key: &str,
+        kind: &'static str,
+        check: AnswerCheck<'_>,
+    ) -> Result<Option<String>, ServeError> {
         let Some(cache) = &self.cache else {
             return Ok(None);
         };
         match cache.get(key) {
-            Ok(Some(value)) => Ok(check(&value).is_ok().then_some(value)),
-            Ok(None) | Err(ServeError::CorruptCache { .. }) => Ok(None),
+            Ok(Some(value)) => {
+                if check(&value).is_ok() {
+                    crate::obs::probe_hit(kind, key, value.len());
+                    Ok(Some(value))
+                } else {
+                    crate::obs::probe_heal(kind, key);
+                    Ok(None)
+                }
+            }
+            Ok(None) => {
+                crate::obs::probe_miss(kind, key);
+                Ok(None)
+            }
+            Err(ServeError::CorruptCache { .. }) => {
+                crate::obs::probe_heal(kind, key);
+                Ok(None)
+            }
             Err(other) => Err(other),
         }
     }
 
     fn cache_put(&self, key: &str, value: &str) -> Result<(), ServeError> {
         match &self.cache {
-            Some(cache) => cache.put(key, value),
+            Some(cache) => {
+                crp_obs::global().add(crate::obs::CACHE_WRITE_BYTES, value.len() as u64);
+                cache.put(key, value)
+            }
             None => Ok(()),
         }
     }
@@ -248,6 +291,7 @@ impl SweepServer {
         hooks: SubmissionHooks<'_>,
         progress: ProgressSink<'_>,
     ) -> Result<SubmissionOutcome, ServeError> {
+        let started = std::time::Instant::now();
         let check = hooks.check;
         submission.verify_hashes()?;
         let total = submission.job_count();
@@ -263,7 +307,7 @@ impl SweepServer {
         let mut pending: Vec<(usize, usize)> = Vec::new();
         let mut hits = 0usize;
         for (cell_index, cell) in submission.cells.iter().enumerate() {
-            if let Some(blob) = self.cache_probe(&cell.hash, check)? {
+            if let Some(blob) = self.cache_probe(&cell.hash, "cell", check)? {
                 hits += cell.jobs.len();
                 cell_cached.push(Some(blob));
                 answers.push(Vec::new());
@@ -272,7 +316,7 @@ impl SweepServer {
             cell_cached.push(None);
             let mut cell_answers = Vec::with_capacity(cell.jobs.len());
             for (job_index, job) in cell.jobs.iter().enumerate() {
-                match self.cache_probe(&job.hash, check)? {
+                match self.cache_probe(&job.hash, "job", check)? {
                     Some(answer) => {
                         hits += 1;
                         cell_answers.push(Some(answer));
@@ -381,6 +425,23 @@ impl SweepServer {
                 cached: false,
                 blob,
             });
+        }
+        crate::obs::record_submission(
+            crp_obs::global(),
+            total as u64,
+            hits as u64,
+            computed as u64,
+        );
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        crp_obs::global().observe(crate::obs::SUBMIT_MICROS, micros);
+        if crp_obs::trace_enabled() {
+            crp_obs::emit(
+                &crp_obs::TraceEvent::new("serve.submit")
+                    .u64("jobs", total as u64)
+                    .u64("hits", hits as u64)
+                    .u64("computed", computed as u64)
+                    .u64("micros", micros),
+            );
         }
         Ok(SubmissionOutcome {
             cells: outcomes,
@@ -604,6 +665,17 @@ mod tests {
         let mut client = ServeClient::connect(service_addr.as_str()).unwrap();
         let outcome = client.submit(&submission, |_, _, _| {}).unwrap();
         assert_eq!(outcome.job_hits, 3);
+
+        // The live stats report renders the shared cache summary, the
+        // workspace counters, and the per-worker fleet health.
+        let report = client.stats().unwrap();
+        assert!(report.contains("job cache hits"), "{report}");
+        assert!(
+            report.contains(crate::obs::CACHE_CELL_HIT),
+            "cell hits from the resubmission must show: {report}"
+        );
+        assert!(report.contains("counter fleet.dispatch"), "{report}");
+        assert!(report.contains("worker "), "{report}");
         client.shutdown_server().unwrap();
         daemon.join().unwrap().unwrap();
     }

@@ -67,6 +67,21 @@ pub enum ServeMessage {
         /// Human-readable failure.
         message: String,
     },
+    /// Client → server: dump the daemon's live observability state
+    /// (cache counters, submission timings, per-worker fleet health).
+    Stats {
+        /// Client-chosen id echoed in the report frame.
+        id: u64,
+    },
+    /// Server → client: the text report a [`ServeMessage::Stats`]
+    /// request asked for — the deterministic render of the daemon's
+    /// metrics snapshot plus the fleet health snapshot.
+    StatsReport {
+        /// Echo of the stats request id.
+        id: u64,
+        /// The rendered report.
+        body: String,
+    },
     /// Client → server: stop the daemon (CI teardown and tests; a
     /// production deployment just kills the process).
     Shutdown,
@@ -86,6 +101,8 @@ impl ServeMessage {
             } => format!("progress {id} {completed} {total} {hits}"),
             ServeMessage::Result { id, body } => format!("result {id}\n{body}"),
             ServeMessage::Error { id, message } => format!("error {id}\n{message}"),
+            ServeMessage::Stats { id } => format!("stats {id}"),
+            ServeMessage::StatsReport { id, body } => format!("stats-report {id}\n{body}"),
             ServeMessage::Shutdown => "serve-shutdown".to_string(),
         }
         .into_bytes()
@@ -143,6 +160,13 @@ impl ServeMessage {
             "error" => Ok(ServeMessage::Error {
                 id: field("error")?,
                 message: body.to_string(),
+            }),
+            "stats" => Ok(ServeMessage::Stats {
+                id: field("stats")?,
+            }),
+            "stats-report" => Ok(ServeMessage::StatsReport {
+                id: field("stats-report")?,
+                body: body.to_string(),
             }),
             "serve-shutdown" => Ok(ServeMessage::Shutdown),
             // A fleet worker's greeting, reported specifically because

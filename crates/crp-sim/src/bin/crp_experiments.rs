@@ -15,9 +15,18 @@
 //!
 //! where `command` is one of `list`, `table1`, `table2`, `entropy`, `kl`,
 //! `baselines`, `range-finding`, `sweep`, `worker`, `serve`, `submit`,
-//! `fuzz` or `all` (the default).  Experiment output is markdown,
-//! suitable for pasting into `EXPERIMENTS.md`; `sweep --csv` emits CSV
-//! instead.
+//! `stats`, `trace-check`, `fuzz` or `all` (the default).  Experiment
+//! output is markdown, suitable for pasting into `EXPERIMENTS.md`;
+//! `sweep --csv` emits CSV instead.
+//!
+//! `--trace-out PATH` (or a strictly parsed `CRP_TRACE` environment
+//! variable) streams structured JSONL trace events — `sweep.cell`,
+//! `shard.execute`, `kernel.select`, `fleet.dispatch`, `fleet.requeue`,
+//! `fleet.ping`, `cache.hit`/`miss`/`heal`, `serve.submit` — to a file;
+//! tracing never changes statistics, only wall-clock time.
+//! `trace-check FILE` validates such a file line by line and prints
+//! per-event counts; `stats --connect host:port` dumps the live
+//! metrics and fleet-health report of a running `serve` daemon.
 //!
 //! A `--scenarios` entry ending in `.trace` is loaded as a fuzz-trace
 //! wire file (see the `crp-fuzz` crate), compiled, and registered into
@@ -77,15 +86,15 @@ use std::process::ExitCode;
 use crp_fleet::{ChaosPlan, FleetManifest, ScenarioStore, ServeOptions, TcpWorker};
 use crp_predict::{ScenarioLibrary, Trace};
 use crp_protocols::{ProtocolRegistry, ProtocolSpec};
-use crp_serve::{ResultCache, SweepServer};
+use crp_serve::{ResultCache, ServeClient, SweepServer};
 use crp_sim::experiments::{
     baselines, entropy_sweep, kl_degradation, range_finding, table1, table2,
 };
 use crp_sim::service::{submit_matrix, sweep_hooks};
 use crp_sim::{
-    env_fleet_manifest, env_kernel_choice, env_worker_threads, run_shard_worker,
-    run_shard_worker_with, BackendChoice, KernelChoice, RunnerConfig, SimError, SweepMatrix,
-    SweepProtocol, Table,
+    env_fleet_dispatch, env_fleet_manifest, env_kernel_choice, env_worker_threads,
+    run_shard_worker, run_shard_worker_with, BackendChoice, KernelChoice, RunnerConfig, SimError,
+    SweepMatrix, SweepProtocol, Table,
 };
 
 /// Parsed command-line options.
@@ -114,18 +123,23 @@ struct Options {
     /// `--accept-workers` elastic-registration address for fleet runs
     /// and the serve daemon (`None` accepts no joiners).
     accept_workers: Option<String>,
+    /// `--trace-out` structured-trace JSONL destination (`None` defers
+    /// to the strictly parsed `CRP_TRACE` environment variable).
+    trace_out: Option<String>,
 }
 
 /// The default loopback address `serve` listens on and `submit` dials.
 const DEFAULT_SERVICE_ADDR: &str = "127.0.0.1:9317";
 
 const USAGE: &str = "usage: crp_experiments \
-[list|table1|table2|entropy|kl|baselines|range-finding|sweep|worker|serve|submit|fuzz|all] \
+[list|table1|table2|entropy|kl|baselines|range-finding|sweep|worker|serve|submit|stats|\
+trace-check FILE|fuzz|all] \
 [--trials T] [--size N] [--seed S] [--backend serial|thread|process|fleet] \
 [--threads T] [--workers N] [--kernel auto|scalar|batched] \
 [--fleet local[:N],host:port,..] \
 [--chaos W:FAULT@N,..] [--protocols a,b,..] [--scenarios x,y,..|file.trace,..] [--csv] \
-[--listen host:port] [--connect host:port] [--cache DIR] [--accept-workers host:port]";
+[--listen host:port] [--connect host:port] [--cache DIR] [--accept-workers host:port] \
+[--trace-out PATH]";
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
@@ -153,6 +167,7 @@ fn parse_args() -> Result<Options, String> {
         connect: DEFAULT_SERVICE_ADDR.to_string(),
         cache: None,
         accept_workers: None,
+        trace_out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut backend_explicit = false;
@@ -255,6 +270,14 @@ fn parse_args() -> Result<Options, String> {
                         .clone(),
                 );
             }
+            "--trace-out" => {
+                index += 1;
+                options.trace_out = Some(
+                    args.get(index)
+                        .ok_or("--trace-out requires a file path")?
+                        .clone(),
+                );
+            }
             "--protocols" => {
                 index += 1;
                 options.protocols = args
@@ -282,7 +305,7 @@ fn parse_args() -> Result<Options, String> {
                 return Err(USAGE.to_string());
             }
             other if !other.starts_with("--") => {
-                const KNOWN: [&str; 11] = [
+                const KNOWN: [&str; 12] = [
                     "list",
                     "table1",
                     "table2",
@@ -293,6 +316,7 @@ fn parse_args() -> Result<Options, String> {
                     "sweep",
                     "serve",
                     "submit",
+                    "stats",
                     "all",
                 ];
                 if !KNOWN.contains(&other) {
@@ -531,13 +555,30 @@ fn submit_mode(options: &Options) -> Result<(), SimError> {
     let matrix = cli_matrix(options)?;
     let (results, outcome) = submit_matrix(&options.connect, &matrix, |_, _, _| {})?;
     print_results(options, &results);
-    let percent = (outcome.job_hits * 100)
-        .checked_div(outcome.jobs_total)
-        .unwrap_or(100);
-    eprintln!(
-        "submit: {}/{} job cache hits ({percent}%), {} computed on the fleet",
-        outcome.job_hits, outcome.jobs_total, outcome.computed
+    // The outcome feeds the local crp-obs counters and the summary line
+    // is rendered from them through the same formatter the daemon's
+    // `stats` report uses, so the two can never disagree.
+    let registry = crp_obs::global();
+    crp_serve::record_submission(
+        registry,
+        outcome.jobs_total as u64,
+        outcome.job_hits as u64,
+        outcome.computed as u64,
     );
+    eprintln!(
+        "submit: {}",
+        crp_serve::cache_summary_from(&registry.snapshot())
+    );
+    Ok(())
+}
+
+/// Dumps the live observability report of a running `serve` daemon:
+/// the shared cache summary, every workspace counter and histogram,
+/// and the per-worker fleet health lines.
+fn stats_mode(options: &Options) -> Result<(), SimError> {
+    let mut client = ServeClient::connect(options.connect.as_str()).map_err(backend_error)?;
+    let report = client.stats().map_err(backend_error)?;
+    print!("{report}");
     Ok(())
 }
 
@@ -551,6 +592,11 @@ fn submit_mode(options: &Options) -> Result<(), SimError> {
 /// [`SimError::Config`] error — a mistyped override should fail loudly,
 /// not silently run on hardware parallelism.
 fn cli_config(options: &Options) -> Result<RunnerConfig, SimError> {
+    // Strictly validate the CRP_FLEET_DISPATCH override up front: the
+    // dispatcher itself reads it leniently (library default, warn once),
+    // but a mistyped value on the CLI fails loudly like CRP_KERNEL and
+    // CRP_FLEET_POLL_MS do.
+    env_fleet_dispatch()?;
     let mut config = RunnerConfig::with_trials(options.trials)
         .seeded(options.seed)
         .with_backend(options.backend);
@@ -588,7 +634,31 @@ fn cli_config(options: &Options) -> Result<RunnerConfig, SimError> {
     Ok(config)
 }
 
+/// Installs the structured-trace sink the command line asked for:
+/// `--trace-out PATH` wins, otherwise the strictly parsed `CRP_TRACE`
+/// environment variable.  A path that cannot be opened is a typed
+/// configuration error, not a warning.
+fn init_tracing(options: &Options) -> Result<(), SimError> {
+    match &options.trace_out {
+        Some(path) => crp_obs::init_trace(path).map_err(|err| SimError::Config {
+            var: "--trace-out".to_string(),
+            value: path.clone(),
+            what: err.to_string(),
+        }),
+        None => match crp_obs::init_trace_from_env() {
+            Ok(_) => Ok(()),
+            Err(crp_obs::ObsError::Env { var, value, reason }) => Err(SimError::Config {
+                var: var.to_string(),
+                value,
+                what: reason,
+            }),
+            Err(other) => Err(backend_error(other)),
+        },
+    }
+}
+
 fn run(options: &Options) -> Result<(), SimError> {
+    init_tracing(options)?;
     let config = cli_config(options)?;
     let wants = |name: &str| options.command == "all" || options.command == name;
 
@@ -604,6 +674,9 @@ fn run(options: &Options) -> Result<(), SimError> {
     }
     if options.command == "submit" {
         return submit_mode(options);
+    }
+    if options.command == "stats" {
+        return stats_mode(options);
     }
     if wants("table1") {
         println!(
@@ -712,9 +785,14 @@ fn worker_mode(args: &[String]) -> ExitCode {
         eprintln!("worker: --join and --listen are mutually exclusive");
         return ExitCode::FAILURE;
     }
-    // Strict environment parsing: a mistyped CRP_FLEET_* knob refuses to
-    // start the worker instead of silently running without the fault (or
-    // capacity) it was meant to carry.
+    // Strict environment parsing: a mistyped CRP_FLEET_* knob (or an
+    // unopenable CRP_TRACE path) refuses to start the worker instead of
+    // silently running without the fault, capacity, or trace it was
+    // meant to carry.
+    if let Err(err) = crp_obs::init_trace_from_env() {
+        eprintln!("worker: {err}");
+        return ExitCode::FAILURE;
+    }
     let mut options = match ServeOptions::try_from_env() {
         Ok(options) => options,
         Err(err) => {
@@ -801,6 +879,44 @@ fn shard_worker() -> ExitCode {
     }
 }
 
+/// The `trace-check` subcommand: validates every line of a structured
+/// trace JSONL file against the schema (`ts_us` first, then `event`,
+/// flat string/unsigned members) and prints per-event counts — the CI
+/// smoke job greps these for the events a fleet sweep must have
+/// produced.
+fn trace_check_mode(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("trace-check: requires a trace JSONL file");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("trace-check: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut counts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for (number, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        match crp_obs::check_trace_line(line) {
+            Ok(event) => *counts.entry(event).or_insert(0) += 1,
+            Err(err) => {
+                eprintln!("trace-check: {path}:{}: {err}", number + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let total: u64 = counts.values().sum();
+    println!("trace-check: {total} events across {} kinds", counts.len());
+    for (event, count) in &counts {
+        println!("  {count} {event}");
+    }
+    ExitCode::SUCCESS
+}
+
 /// The `fuzz` subcommand: delegates to the sibling `crp_fuzz` binary
 /// (the fuzzing crate depends on this one, so the fuzzer cannot be
 /// linked in), forwarding all remaining arguments verbatim.  The binary
@@ -842,6 +958,10 @@ fn main() -> ExitCode {
     if std::env::args().nth(1).as_deref() == Some("worker") {
         let args: Vec<String> = std::env::args().skip(2).collect();
         return worker_mode(&args);
+    }
+    if std::env::args().nth(1).as_deref() == Some("trace-check") {
+        let args: Vec<String> = std::env::args().skip(2).collect();
+        return trace_check_mode(&args);
     }
     let options = match parse_args() {
         Ok(options) => options,

@@ -65,6 +65,30 @@ impl ShardJob<'_> {
     /// the shard's trials into a fresh accumulator in trial order,
     /// stopping at the first failed trial.
     pub fn run_inline(&self) -> Result<TrialAccumulator, SimError> {
+        let started = std::time::Instant::now();
+        let accumulator = self.run_uninstrumented()?;
+        // Counters and the guarded trace event only observe the shard
+        // after its accumulator is final: nothing here can perturb RNG
+        // streams or merge order, so statistics stay bit-identical with
+        // observability on or off.
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let registry = crp_obs::global();
+        registry.inc("sim.shard.execute");
+        registry.observe("sim.shard_micros", micros);
+        if crp_obs::trace_enabled() {
+            crp_obs::emit(
+                &crp_obs::TraceEvent::new("shard.execute")
+                    .u64("cell", self.cell as u64)
+                    .u64("shard", self.shard as u64)
+                    .u64("trials", self.plan.shard_trials(self.shard) as u64)
+                    .str("kernel", self.kernel.map_or("scalar", |k| k.name()))
+                    .u64("micros", micros),
+            );
+        }
+        Ok(accumulator)
+    }
+
+    fn run_uninstrumented(&self) -> Result<TrialAccumulator, SimError> {
         if let Some(kernel) = self.kernel {
             return kernel.run_shard(self.plan, self.base_seed, self.shard);
         }

@@ -53,6 +53,27 @@ pub fn env_fleet_manifest() -> Result<Option<FleetManifest>, SimError> {
     }
 }
 
+/// Strictly parses the `CRP_FLEET_DISPATCH` dispatch-mode override:
+/// `Ok(None)` when unset, the parsed [`DispatchMode`] when valid, and a
+/// typed [`SimError::Config`] listing the valid names otherwise — the
+/// CLI convention `CRP_KERNEL` and `CRP_FLEET_POLL_MS` follow.  The
+/// lenient library default ([`DispatchMode::from_env`] inside the
+/// dispatcher) warns once and falls back instead.
+///
+/// # Errors
+///
+/// [`SimError::Config`] for a value [`DispatchMode`] cannot parse.
+pub fn env_fleet_dispatch() -> Result<Option<DispatchMode>, SimError> {
+    DispatchMode::try_from_env().map_err(|err| match err {
+        FleetError::Env { var, value, reason } => SimError::Config {
+            var,
+            value,
+            what: reason,
+        },
+        other => fleet_error(other),
+    })
+}
+
 /// Executes shard jobs on a pool of persistent fleet workers.
 ///
 /// The backend owns its [`Dispatcher`], whose worker connections stay

@@ -349,6 +349,18 @@ impl Simulation {
         let plan = ShardPlan::new(self.config.trials);
         let spec = self.shard_spec();
         let kernel = self.cell_kernel();
+        crp_obs::global().inc(if kernel.is_some() {
+            "sim.kernel.batched"
+        } else {
+            "sim.kernel.scalar"
+        });
+        if crp_obs::trace_enabled() {
+            crp_obs::emit(
+                &crp_obs::TraceEvent::new("kernel.select")
+                    .u64("cell", 0)
+                    .str("kernel", kernel.as_ref().map_or("scalar", |k| k.name())),
+            );
+        }
         let trial = self.trial_fn();
         let trial_ref: &(dyn Fn(&mut ChaCha8Rng) -> Result<TrialOutcome, SimError> + Sync) = &trial;
         let jobs: Vec<ShardJob<'_>> = (0..plan.num_shards())

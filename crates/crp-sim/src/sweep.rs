@@ -452,6 +452,21 @@ impl SweepMatrix {
             .collect();
         let specs: Vec<_> = cells.iter().map(|c| c.simulation.shard_spec()).collect();
         let kernels: Vec<_> = cells.iter().map(|c| c.simulation.cell_kernel()).collect();
+        for (index, (cell, kernel)) in cells.iter().zip(&kernels).enumerate() {
+            crp_obs::global().inc(if kernel.is_some() {
+                "sim.kernel.batched"
+            } else {
+                "sim.kernel.scalar"
+            });
+            if crp_obs::trace_enabled() {
+                crp_obs::emit(
+                    &crp_obs::TraceEvent::new("kernel.select")
+                        .u64("cell", index as u64)
+                        .str("protocol", &cell.protocol)
+                        .str("kernel", kernel.as_ref().map_or("scalar", |k| k.name())),
+                );
+            }
+        }
         let trials: Vec<_> = cells.iter().map(|c| c.simulation.trial_fn()).collect();
 
         let mut jobs: Vec<ShardJob<'_>> = Vec::new();
@@ -488,6 +503,15 @@ impl SweepMatrix {
             state.1 += 1;
             if cell_completed {
                 state.2 += 1;
+                crp_obs::global().inc("sim.sweep.cell");
+                if crp_obs::trace_enabled() {
+                    crp_obs::emit(
+                        &crp_obs::TraceEvent::new("sweep.cell")
+                            .u64("cell", job.cell as u64)
+                            .str("scenario", &cell.scenario)
+                            .str("protocol", &cell.protocol),
+                    );
+                }
             }
             progress(SweepProgress {
                 completed_cells: state.2,

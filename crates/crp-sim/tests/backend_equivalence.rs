@@ -222,6 +222,57 @@ fn sweep_stats_are_bit_identical_across_all_backends_and_seeds() {
 }
 
 #[test]
+fn tracing_does_not_move_a_bit_of_the_statistics() {
+    // The observability acceptance bar: enabling the JSONL trace sink
+    // must not move a single bit of the statistics on any backend.
+    // The reference runs *before* the sink is installed (tracing off);
+    // this test is the only one in the workspace that installs the
+    // process-wide sink, so every other test in this binary keeps
+    // exercising the disabled path concurrently.
+    let library = ScenarioLibrary::new(256).unwrap();
+    let scenario = library.bimodal();
+    let simulation = Simulation::builder()
+        .protocol(
+            ProtocolSpec::new("sorted-guess-cycling")
+                .universe(256)
+                .prediction(scenario.advice_condensed()),
+        )
+        .truth(scenario.distribution().clone())
+        .max_rounds(64 * 256)
+        .trials(700)
+        .seed(0xBEE5)
+        .build()
+        .unwrap();
+    let reference = simulation.run_on(&SerialBackend).unwrap();
+
+    let path = std::env::temp_dir().join(format!(
+        "crp-backend-equivalence-trace-{}.jsonl",
+        std::process::id()
+    ));
+    crp_obs::init_trace(path.to_str().unwrap()).unwrap();
+    assert!(crp_obs::trace_enabled());
+    for (name, backend) in all_backends() {
+        let stats = simulation.run_on(backend.as_ref()).unwrap();
+        assert_eq!(
+            reference, stats,
+            "backend {name} diverged with tracing enabled"
+        );
+    }
+
+    // Every line the run wrote must satisfy the schema, and the file
+    // must contain the runner and dispatcher event families.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let mut seen = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        seen.insert(crp_obs::check_trace_line(line).expect("schema-valid trace line"));
+    }
+    for required in ["kernel.select", "shard.execute", "fleet.dispatch"] {
+        assert!(seen.contains(required), "no {required} event in the trace");
+    }
+}
+
+#[test]
 fn per_node_placements_survive_the_process_boundary() {
     // The deterministic §3 protocols run under explicit placements; the
     // placement must round-trip through the wire spec.

@@ -1,0 +1,90 @@
+//! Backend-level metrics determinism: the instrumentation counters the
+//! runner feeds into [`crp_obs::global`] must advance by the *same*
+//! deltas no matter which in-process backend executes the shards, and a
+//! fleet run must account its work on the fleet counters (the shards
+//! execute inside worker processes, so the local shard counter stays
+//! flat while `fleet.dispatch` advances).
+//!
+//! The global registry is process-wide, so every assertion lives in one
+//! `#[test]` in its own integration-test binary — parallel tests in a
+//! shared process would contaminate each other's counter deltas.
+
+use crp_protocols::ProtocolSpec;
+use crp_sim::{FleetBackend, SerialBackend, Simulation, ThreadBackend};
+
+/// The worker binary cargo built alongside this test.
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_crp_experiments");
+
+fn counter(name: &str) -> u64 {
+    crp_obs::global().snapshot().counter(name)
+}
+
+fn shard_micros_samples() -> u64 {
+    crp_obs::global()
+        .snapshot()
+        .histogram("sim.shard_micros")
+        .map_or(0, |h| h.total)
+}
+
+#[test]
+fn counter_deltas_are_identical_across_backends_and_fleet_accounted() {
+    let simulation = Simulation::builder()
+        .protocol(ProtocolSpec::new("decay").universe(256))
+        .participants(40)
+        .max_rounds(16 * 256)
+        .trials(700)
+        .seed(0xAB5E)
+        .build()
+        .unwrap();
+
+    // Serial reference: one sim.shard.execute tick and one
+    // sim.shard_micros sample per shard.
+    let before_exec = counter("sim.shard.execute");
+    let before_samples = shard_micros_samples();
+    let reference = simulation.run_on(&SerialBackend).unwrap();
+    let shards = counter("sim.shard.execute") - before_exec;
+    assert!(shards >= 2, "700 trials should split into multiple shards");
+    assert_eq!(
+        shard_micros_samples() - before_samples,
+        shards,
+        "one latency sample per shard"
+    );
+
+    // Thread backends: identical stats AND identical counter deltas,
+    // independent of the worker count.
+    for workers in [2usize, 8] {
+        let before_exec = counter("sim.shard.execute");
+        let before_samples = shard_micros_samples();
+        let stats = simulation.run_on(&ThreadBackend::new(workers)).unwrap();
+        assert_eq!(reference, stats, "thread-{workers} stats diverged");
+        assert_eq!(
+            counter("sim.shard.execute") - before_exec,
+            shards,
+            "thread-{workers} shard count diverged"
+        );
+        assert_eq!(
+            shard_micros_samples() - before_samples,
+            shards,
+            "thread-{workers} sample count diverged"
+        );
+    }
+
+    // Fleet backend: the shards run inside worker subprocesses, so the
+    // local shard counter must stay flat while the dispatcher accounts
+    // every job (one per shard, plus any requeues) on fleet.dispatch.
+    let before_exec = counter("sim.shard.execute");
+    let before_dispatch = counter("fleet.dispatch");
+    let stats = simulation
+        .run_on(&FleetBackend::local_with_command(2, WORKER_BIN))
+        .unwrap();
+    assert_eq!(reference, stats, "fleet stats diverged");
+    assert_eq!(
+        counter("sim.shard.execute") - before_exec,
+        0,
+        "fleet shards must not tick the local shard counter"
+    );
+    assert!(
+        counter("fleet.dispatch") - before_dispatch >= shards,
+        "the dispatcher must account at least one dispatch per shard"
+    );
+}
