@@ -73,7 +73,7 @@ fn spawn_echo_fleet(n: usize) -> Vec<WorkerEndpoint> {
                         }
                         while let Ok(Some(frame)) = read_frame(&mut reader) {
                             let answer = match Message::decode(&frame) {
-                                Ok(Message::Job { id, payload }) => Message::Done {
+                                Ok(Message::Job { id, payload, .. }) => Message::Done {
                                     id,
                                     payload: format!("echo:{payload}"),
                                 },

@@ -14,7 +14,10 @@
 //! * it measures the disabled-path sequence in isolation (a micro loop
 //!   over the exact operations `ShardJob::run_inline` added) and
 //!   asserts `per_event_cost x events_per_run <= 5%` of the measured
-//!   run time on every ladder step.
+//!   run time on every ladder step;
+//! * it measures the span-propagation probe (the trace guard plus the
+//!   thread-local `current_span` read a span-aware site performs) the
+//!   same way, and pins it to the same 5% bar.
 //!
 //! The bench never installs a trace sink, so the criterion groups below
 //! time the same disabled path the history asserts on.
@@ -90,6 +93,23 @@ fn disabled_path_cost_ns() -> f64 {
     start.elapsed().as_secs_f64() * 1e9 / ITERS as f64
 }
 
+/// Nanoseconds per span probe on the disabled path: the relaxed-load
+/// trace guard plus the thread-local `current_span` read — the two
+/// operations a span-aware instrumentation site performs before
+/// deciding whether to stamp.  No sink is installed and no span is
+/// set on the thread, so this times exactly what an uninstrumented
+/// run pays for span propagation being compiled in.
+fn span_disabled_path_cost_ns() -> f64 {
+    const ITERS: u64 = 1_000_000;
+    let start = Instant::now();
+    for index in 0..ITERS {
+        let stamp = crp_obs::trace_enabled();
+        let span = crp_obs::current_span();
+        black_box((stamp, span, index));
+    }
+    start.elapsed().as_secs_f64() * 1e9 / ITERS as f64
+}
+
 /// Minimal hand-rolled JSON emission (the workspace has no serde).
 fn write_json(fields: &[(String, String)]) -> std::io::Result<std::path::PathBuf> {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json");
@@ -103,12 +123,17 @@ fn write_json(fields: &[(String, String)]) -> std::io::Result<std::path::PathBuf
 
 fn record_history() {
     let per_event_ns = disabled_path_cost_ns();
+    let span_probe_ns = span_disabled_path_cost_ns();
     let mut fields = vec![
         ("bench".to_string(), "\"obs\"".to_string()),
         ("trials".to_string(), TRIALS.to_string()),
         (
             "disabled_path_ns_per_event".to_string(),
             format!("{per_event_ns:.1}"),
+        ),
+        (
+            "span_disabled_ns_per_event".to_string(),
+            format!("{span_probe_ns:.1}"),
         ),
     ];
     for universe in LADDER {
@@ -128,9 +153,22 @@ fn record_history() {
             "disabled-path instrumentation exceeds the 5% bar at n = {universe}: \
              {per_event_ns:.0} ns x {events} events over {seconds:.4}s"
         );
+        // Span propagation rides the same per-shard sites, so it is
+        // pinned to the same bar: guard-plus-probe cost x events must
+        // also stay under 5% of the run with tracing disabled.
+        let span_ratio = span_probe_ns * 1e-9 * events as f64 / seconds.max(1e-12);
+        assert!(
+            span_ratio <= 0.05,
+            "span-disabled probe exceeds the 5% bar at n = {universe}: \
+             {span_probe_ns:.0} ns x {events} events over {seconds:.4}s"
+        );
         fields.push((format!("rps_{universe}"), format!("{rps:.0}")));
         fields.push((format!("events_{universe}"), events.to_string()));
         fields.push((format!("overhead_ratio_{universe}"), format!("{ratio:.6}")));
+        fields.push((
+            format!("span_overhead_ratio_{universe}"),
+            format!("{span_ratio:.6}"),
+        ));
     }
     match write_json(&fields) {
         Ok(path) => println!("history written to {}", path.display()),

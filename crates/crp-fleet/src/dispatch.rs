@@ -65,7 +65,8 @@ use std::time::{Duration, Instant};
 use crate::endpoint::{Answer, Connection, DispatchTuning, WorkerEndpoint};
 use crate::event_loop::{self, WarmPool};
 use crate::hash::content_hash;
-use crate::obs::{FleetObs, FleetSnapshot};
+use crate::obs::{FleetMetrics, FleetObs, FleetSnapshot, WorkerMetrics};
+use crate::protocol::JobSpan;
 use crate::FleetError;
 
 /// Per-endpoint cap on transport failures (failed connects, dropped
@@ -162,6 +163,10 @@ pub struct JobPayload {
     pub compact: Option<String>,
     /// The content hashes `compact` references.
     pub refs: Vec<String>,
+    /// The job's trace span, carried in the job frame on protocol-v3
+    /// connections so the worker's trace events correlate with the
+    /// dispatcher's.  Never affects scheduling or answers.
+    pub span: Option<JobSpan>,
 }
 
 impl JobPayload {
@@ -171,6 +176,7 @@ impl JobPayload {
             inline: payload.into(),
             compact: None,
             refs: Vec::new(),
+            span: None,
         }
     }
 
@@ -185,7 +191,14 @@ impl JobPayload {
             inline: inline.into(),
             compact: Some(compact.into()),
             refs,
+            span: None,
         }
+    }
+
+    /// Attaches a trace span (builder style).
+    pub fn with_span(mut self, span: JobSpan) -> Self {
+        self.span = Some(span);
+        self
     }
 }
 
@@ -431,6 +444,73 @@ impl Dispatcher {
         self.obs.snapshot()
     }
 
+    /// Pulls every warm worker's shipped [`crp_obs::MetricsSnapshot`]
+    /// with a `metrics`/`metrics-report` round trip and returns the
+    /// per-worker results plus the merged fleet-wide rollup.  Workers
+    /// that are not connected, speak a pre-v3 protocol, or fail the
+    /// pull are reported with `snapshot: None` (rendered as
+    /// `metrics: unavailable`) — a metrics pull never tears a healthy
+    /// batch down, and the failed connection is simply dropped to be
+    /// re-established on the next dispatch.
+    ///
+    /// Call between batches only (the serve daemon does): a pull
+    /// interleaved with outstanding jobs on the threaded path would
+    /// race the worker thread for the connection.
+    pub fn worker_metrics(&self) -> FleetMetrics {
+        let decode = |endpoint: String, body: Option<String>| WorkerMetrics {
+            snapshot: body.and_then(|body| crp_obs::MetricsSnapshot::decode(&body).ok()),
+            endpoint,
+        };
+        let mut workers: Vec<WorkerMetrics> = Vec::new();
+        match self.mode {
+            DispatchMode::Threaded => {
+                for (index, slot) in self.slots.iter().enumerate() {
+                    let endpoint = self.endpoints[index].describe();
+                    let mut guard = slot.lock().expect("no dispatcher panics");
+                    match guard.as_mut().map(Connection::fetch_metrics) {
+                        Some(Ok(body)) => workers.push(decode(endpoint, body)),
+                        Some(Err(_)) => {
+                            // The connection broke mid-pull; drop it.
+                            *guard = None;
+                            workers.push(decode(endpoint, None));
+                        }
+                        None => workers.push(decode(endpoint, None)),
+                    }
+                }
+            }
+            DispatchMode::EventLoop => {
+                let mut warm = self.warm.lock().expect("no dispatcher panics");
+                for (index, slot) in warm.fixed.iter_mut().enumerate() {
+                    let endpoint = self.endpoints[index].describe();
+                    match slot.as_mut().map(|conn| conn.fetch_metrics(&self.tuning)) {
+                        Some(Ok(body)) => workers.push(decode(endpoint, body)),
+                        Some(Err(_)) => {
+                            *slot = None;
+                            workers.push(decode(endpoint, None));
+                        }
+                        None => workers.push(decode(endpoint, None)),
+                    }
+                }
+                let mut dead: Vec<usize> = Vec::new();
+                for (index, conn) in warm.joined.iter_mut().enumerate() {
+                    let endpoint = conn.peer().to_string();
+                    match conn.fetch_metrics(&self.tuning) {
+                        Ok(body) => workers.push(decode(endpoint, body)),
+                        Err(_) => {
+                            dead.push(index);
+                            workers.push(decode(endpoint, None));
+                        }
+                    }
+                }
+                for index in dead.into_iter().rev() {
+                    warm.joined.remove(index);
+                }
+            }
+        }
+        workers.sort_by(|a, b| a.endpoint.cmp(&b.endpoint));
+        FleetMetrics { workers }
+    }
+
     /// Opens a registration listener for elastic membership: workers
     /// that dial `addr` (see `crp_fleet::join_fleet` or
     /// `crp_experiments worker --join`) are folded into the event loop
@@ -623,10 +703,10 @@ impl Dispatcher {
                     })?;
                     connection.ensure_blob(hash, blob, may_query)?;
                 }
-                return connection.send_job(job as u64, compact);
+                return connection.send_job(job as u64, compact, payload.span.as_ref());
             }
         }
-        connection.send_job(job as u64, &payload.inline)
+        connection.send_job(job as u64, &payload.inline, payload.span.as_ref())
     }
 
     /// One endpoint's thread: claim (up to the connection's capacity),
@@ -705,7 +785,8 @@ impl Dispatcher {
                 // query when nothing is in flight.
                 match Self::send_claim(live, job, jobs, blobs, outstanding.is_empty()) {
                     Ok(()) => {
-                        self.obs.dispatched(&peer, job as u64);
+                        self.obs
+                            .dispatched(&peer, job as u64, jobs[job].span.as_ref());
                         outstanding.push(job);
                     }
                     Err(error) => {
@@ -1368,7 +1449,7 @@ mod tests {
         .expect("hello goes out");
         while let Ok(Some(frame)) = read_frame(&mut reader) {
             match Message::decode(&frame) {
-                Ok(Message::Job { id, payload }) => {
+                Ok(Message::Job { id, payload, .. }) => {
                     let _ = write_frame(
                         &mut writer,
                         &Message::Done {
@@ -1454,7 +1535,7 @@ mod tests {
                     }
                     while let Ok(Some(frame)) = read_frame(&mut reader) {
                         match Message::decode(&frame) {
-                            Ok(Message::Job { id, payload }) => {
+                            Ok(Message::Job { id, payload, .. }) => {
                                 let _ = write_frame(
                                     &mut writer,
                                     &Message::Done {
@@ -1475,6 +1556,67 @@ mod tests {
             }
         });
         addr
+    }
+
+    #[test]
+    fn worker_metrics_merge_a_rollup_and_flag_v1_workers_unavailable() {
+        // Two v3 workers plus one legacy v1 worker.  After a batch, a
+        // metrics pull must report the two v3 snapshots (merged into
+        // the rollup) and flag the v1 worker unavailable — without
+        // disturbing the warm connections.
+        let v3a = spawn_worker();
+        let v3b = spawn_worker();
+        let v1 = spawn_worker_with(ServeOptions {
+            legacy_v1: true,
+            ..Default::default()
+        });
+        // A generous pull timeout: under a fully loaded test host a
+        // worker thread can legitimately stall past the 2s default,
+        // and this test asserts on *protocol* availability, not
+        // scheduling latency.
+        let tuning = DispatchTuning {
+            ping_timeout: Duration::from_secs(30),
+            ..Default::default()
+        };
+        let dispatcher = Dispatcher::new(vec![
+            WorkerEndpoint::tcp(v3a),
+            WorkerEndpoint::tcp(v3b),
+            WorkerEndpoint::tcp(v1),
+        ])
+        .with_tuning(tuning);
+        let payloads: Vec<String> = (0..9).map(|i| format!("m{i}")).collect();
+        dispatcher.dispatch(&payloads, &|_| {}).unwrap();
+        // A pull reports whichever connections are warm right now; on a
+        // loaded host a batch can finish before every handshake does,
+        // leaving a worker legitimately unavailable.  Re-dispatch until
+        // both v3 workers are warm — what stays pinned is that the v1
+        // worker NEVER reports and the v3 workers eventually both do.
+        let mut metrics = dispatcher.worker_metrics();
+        for round in 0..50 {
+            if metrics.reporting() >= 2 {
+                break;
+            }
+            let warmup: Vec<String> = (0..3).map(|i| format!("warm{round}-{i}")).collect();
+            dispatcher.dispatch(&warmup, &|_| {}).unwrap();
+            metrics = dispatcher.worker_metrics();
+        }
+        assert_eq!(metrics.workers.len(), 3, "every endpoint is listed");
+        assert_eq!(metrics.reporting(), 2, "both v3 workers ship snapshots");
+        let rendered = metrics.render();
+        assert!(
+            rendered.starts_with("fleet metrics: 2 reporting, 1 unavailable\n"),
+            "render: {rendered}"
+        );
+        assert!(
+            rendered.contains("metrics: unavailable"),
+            "the v1 worker renders as unavailable: {rendered}"
+        );
+        // The pull is repeatable and the pool still answers afterwards.
+        assert_eq!(dispatcher.worker_metrics().reporting(), 2);
+        let again = dispatcher
+            .dispatch(&["after".to_string()], &|_| {})
+            .unwrap();
+        assert_eq!(again, vec!["echo:after".to_string()]);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::frame::{read_frame, wait_readable, write_frame};
-use crate::protocol::{Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+use crate::protocol::{JobSpan, Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::FleetError;
 
 /// Default poll interval for straggler checks on timed-read connections
@@ -295,6 +295,15 @@ impl WorkerEndpoint {
     /// Spawns the subprocess of a [`WorkerEndpoint::Local`] with piped
     /// stdio (shared by the threaded connector above and the event-loop
     /// transport).
+    ///
+    /// When the dispatcher itself is tracing (`CRP_TRACE`), each spawned
+    /// worker gets its *own* derived trace path
+    /// (`<path>.worker-<n>`, see [`crp_obs::derive_worker_trace_path`])
+    /// instead of inheriting the dispatcher's path — concurrent
+    /// appenders from several processes would interleave bytes mid-line
+    /// and corrupt the file.  `trace-join` picks the sibling files back
+    /// up.  An endpoint env that sets `CRP_TRACE` explicitly (the
+    /// fault-injection hook) wins over the derived path.
     pub(crate) fn spawn_local(&self) -> std::io::Result<Child> {
         let WorkerEndpoint::Local {
             program,
@@ -310,6 +319,16 @@ impl WorkerEndpoint {
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit());
+        if !envs.iter().any(|(key, _)| key == "CRP_TRACE") {
+            if let Some(base) = crp_obs::active_trace_path()
+                .or_else(|| std::env::var("CRP_TRACE").ok().filter(|v| !v.is_empty()))
+            {
+                static NEXT_WORKER_TRACE: std::sync::atomic::AtomicUsize =
+                    std::sync::atomic::AtomicUsize::new(0);
+                let n = NEXT_WORKER_TRACE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                command.env("CRP_TRACE", crp_obs::derive_worker_trace_path(&base, n));
+            }
+        }
         for (key, value) in envs {
             command.env(key, value);
         }
@@ -623,11 +642,61 @@ impl Connection {
             self.note_heard();
             match Message::decode(&frame)? {
                 Message::Pong { id: got } if got == id => return Ok(()),
-                // Stale pongs or query answers from a previous batch.
-                Message::Pong { .. } | Message::ScenarioState { .. } => continue,
+                // Stale pongs, query answers, or metrics reports from a
+                // previous batch.
+                Message::Pong { .. }
+                | Message::ScenarioState { .. }
+                | Message::MetricsReport { .. } => continue,
                 other => {
                     return Err(FleetError::Malformed(format!(
                         "expected a pong, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Pulls the worker's current [`crp_obs::MetricsSnapshot`] wire body
+    /// with a `metrics`/`metrics-report` round trip.  Returns `Ok(None)`
+    /// on connections whose negotiated protocol predates v3 — old
+    /// workers would reject the frame, so the dispatcher reports them as
+    /// `metrics: unavailable` instead of asking.  Called only on idle
+    /// connections (between batches), so the only interleaved frames
+    /// are stale pongs or query answers.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Unresponsive`] when no report arrives in
+    /// [`DispatchTuning::ping_timeout`]; any transport error otherwise
+    /// (the connection must then be dropped).
+    pub(crate) fn fetch_metrics(&mut self) -> Result<Option<String>, FleetError> {
+        if self.version < 3 {
+            return Ok(None);
+        }
+        let id = self.next_ping;
+        self.next_ping += 1;
+        write_frame(&mut self.writer, &Message::Metrics { id }.encode())?;
+        let deadline = Instant::now() + self.tuning.ping_timeout;
+        loop {
+            if self.polls && !wait_readable(&mut self.reader)? {
+                if Instant::now() >= deadline {
+                    return Err(FleetError::Unresponsive {
+                        silent_ms: self.tuning.ping_timeout.as_millis() as u64,
+                    });
+                }
+                continue;
+            }
+            let frame = read_frame(&mut self.reader)?.ok_or(FleetError::Closed)?;
+            self.note_heard();
+            match Message::decode(&frame)? {
+                Message::MetricsReport { id: got, body } if got == id => return Ok(Some(body)),
+                // Stale answers from a previous round trip.
+                Message::Pong { .. }
+                | Message::ScenarioState { .. }
+                | Message::MetricsReport { .. } => continue,
+                other => {
+                    return Err(FleetError::Malformed(format!(
+                        "expected a metrics report, got {other:?}"
                     )))
                 }
             }
@@ -678,7 +747,7 @@ impl Connection {
                 self.note_heard();
                 match Message::decode(&frame)? {
                     Message::ScenarioState { hash: got, present } if got == hash => break present,
-                    Message::Pong { .. } => continue,
+                    Message::Pong { .. } | Message::MetricsReport { .. } => continue,
                     other => {
                         return Err(FleetError::Malformed(format!(
                             "expected scenario-state for {hash}, got {other:?}"
@@ -705,17 +774,30 @@ impl Connection {
 
     /// Writes one job frame without waiting for its answer — the
     /// pipelined half of a conversation; answers are pulled back with
-    /// [`Connection::read_answer`].
+    /// [`Connection::read_answer`].  The span is only put on the wire
+    /// when the negotiated protocol is v3 or newer — older workers
+    /// would reject the extra tokens, and execution is unaffected
+    /// either way.
     ///
     /// # Errors
     ///
     /// Transport errors; the connection must then be dropped.
-    pub(crate) fn send_job(&mut self, id: u64, payload: &str) -> Result<(), FleetError> {
+    pub(crate) fn send_job(
+        &mut self,
+        id: u64,
+        payload: &str,
+        span: Option<&JobSpan>,
+    ) -> Result<(), FleetError> {
         write_frame(
             &mut self.writer,
             &Message::Job {
                 id,
                 payload: payload.to_string(),
+                span: if self.version >= 3 {
+                    span.cloned()
+                } else {
+                    None
+                },
             }
             .encode(),
         )
@@ -756,9 +838,11 @@ impl Connection {
                 Message::Failed { id, message } if outstanding(id) => {
                     Ok(Answer::Failed { id, message })
                 }
-                // Pongs (health checks) and stale query answers carry no
-                // job result; keep waiting.
-                Message::Pong { .. } | Message::ScenarioState { .. } => continue,
+                // Pongs (health checks), stale query answers, and
+                // metrics reports carry no job result; keep waiting.
+                Message::Pong { .. }
+                | Message::ScenarioState { .. }
+                | Message::MetricsReport { .. } => continue,
                 other => Err(FleetError::Malformed(format!(
                     "expected an answer to an outstanding job, got {other:?}"
                 ))),
@@ -779,7 +863,7 @@ impl Connection {
         payload: &str,
         should_abandon: &dyn Fn() -> bool,
     ) -> Result<CallOutcome, FleetError> {
-        self.send_job(id, payload)?;
+        self.send_job(id, payload, None)?;
         match self.read_answer(&|got| got == id, should_abandon)? {
             Answer::Done { payload, .. } => Ok(CallOutcome::Done(payload)),
             Answer::Failed { message, .. } => Ok(CallOutcome::Failed(message)),

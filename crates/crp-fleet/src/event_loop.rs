@@ -336,8 +336,9 @@ impl LoopConn {
     /// Queues one claimed job: on a v2 connection with a compact
     /// payload, any blobs this connection has not seen are shipped first
     /// (`scenario-put` is idempotent and unacknowledged) and the compact
-    /// form is sent; otherwise the inline form.  Mirrors the threaded
-    /// dispatcher's `send_claim`.
+    /// form is sent; otherwise the inline form.  The span rides along on
+    /// v3+ connections only.  Mirrors the threaded dispatcher's
+    /// `send_claim`.
     fn queue_job(
         &mut self,
         job: usize,
@@ -345,6 +346,11 @@ impl LoopConn {
         blobs: &BlobSet,
     ) -> Result<(), FleetError> {
         let payload = &jobs[job];
+        let span = if self.version >= 3 {
+            payload.span.clone()
+        } else {
+            None
+        };
         if self.version >= 2 {
             if let Some(compact) = &payload.compact {
                 for hash in &payload.refs {
@@ -369,6 +375,7 @@ impl LoopConn {
                     &Message::Job {
                         id: job as u64,
                         payload: compact.clone(),
+                        span,
                     }
                     .encode(),
                 )?;
@@ -380,11 +387,70 @@ impl LoopConn {
             &Message::Job {
                 id: job as u64,
                 payload: payload.inline.clone(),
+                span,
             }
             .encode(),
         )?;
         self.outstanding.push(job);
         Ok(())
+    }
+
+    /// The peer description (for per-worker metrics labelling).
+    pub(crate) fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    /// Pulls the worker's current metrics-snapshot wire body with a
+    /// `metrics`/`metrics-report` round trip, polling the non-blocking
+    /// transport until the report (or the ping timeout).  `Ok(None)` on
+    /// pre-v3 or not-yet-ready connections — those workers are reported
+    /// as `metrics: unavailable`.  Called only on warm (idle) connections
+    /// between batches, so the only interleaved frames are stale pongs
+    /// or query answers.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Unresponsive`] when no report arrives in
+    /// [`DispatchTuning::ping_timeout`]; any transport error otherwise
+    /// (the connection must then be dropped).
+    pub(crate) fn fetch_metrics(
+        &mut self,
+        tuning: &DispatchTuning,
+    ) -> Result<Option<String>, FleetError> {
+        if !self.ready || self.version < 3 {
+            return Ok(None);
+        }
+        let id = self.next_ping;
+        self.next_ping += 1;
+        self.queue_frame(&Message::Metrics { id }.encode())?;
+        let deadline = Instant::now() + tuning.ping_timeout;
+        loop {
+            self.flush()?;
+            self.drain_transport()?;
+            while let Some(message) = self.next_message()? {
+                match message {
+                    Message::MetricsReport { id: got, body } if got == id => return Ok(Some(body)),
+                    // Stale answers from a previous round trip.
+                    Message::Pong { .. }
+                    | Message::ScenarioState { .. }
+                    | Message::MetricsReport { .. } => {}
+                    other => {
+                        return Err(FleetError::Malformed(format!(
+                            "expected a metrics report, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            if self.eof {
+                return Err(FleetError::Closed);
+            }
+            if Instant::now() >= deadline {
+                return Err(FleetError::Unresponsive {
+                    silent_ms: tuning.ping_timeout.as_millis() as u64,
+                });
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
     }
 
     /// The ping state machine, identical to the blocking connection's:
@@ -597,9 +663,11 @@ fn pump(
                     state.failures[job] = Some(FleetError::Job { id, message });
                 }
             }
-            // Pongs (health checks) and stale query answers carry no job
-            // result.
-            Message::Pong { .. } | Message::ScenarioState { .. } => {}
+            // Pongs (health checks), stale query answers, and metrics
+            // reports carry no job result.
+            Message::Pong { .. }
+            | Message::ScenarioState { .. }
+            | Message::MetricsReport { .. } => {}
             other => {
                 return Err(FleetError::Malformed(format!(
                     "expected an answer to an outstanding job, got {other:?}"
@@ -819,7 +887,7 @@ pub(crate) fn run(
                     let conn = slot.conn.as_mut().expect("picked a live slot");
                     match conn.queue_job(job, jobs, blobs) {
                         Ok(()) => {
-                            obs.dispatched(&conn.peer, job as u64);
+                            obs.dispatched(&conn.peer, job as u64, jobs[job].span.as_ref());
                             progressed = true;
                         }
                         Err(error) => {
@@ -880,7 +948,7 @@ pub(crate) fn run(
                 let conn = slot.conn.as_mut().expect("idle slot is live");
                 match conn.queue_job(job, jobs, blobs) {
                     Ok(()) => {
-                        obs.dispatched(&conn.peer, job as u64);
+                        obs.dispatched(&conn.peer, job as u64, jobs[job].span.as_ref());
                         progressed = true;
                     }
                     Err(error) => {

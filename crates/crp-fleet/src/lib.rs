@@ -83,8 +83,8 @@ pub use dispatch::{BlobSet, DispatchMode, Dispatcher, JobPayload};
 pub use endpoint::{DispatchTuning, FleetEntry, FleetManifest, WorkerEndpoint};
 pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
 pub use hash::{content_hash, is_content_hash};
-pub use obs::{FleetSnapshot, WorkerHealth};
-pub use protocol::{Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
+pub use obs::{FleetMetrics, FleetSnapshot, WorkerHealth, WorkerMetrics};
+pub use protocol::{JobSpan, Message, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 pub use tcp::{join_fleet, join_fleet_with_store, TcpWorker};
 pub use worker::{
     serve, serve_stdio, serve_stdio_with_store, serve_with_store, JobHandler, ScenarioStore,

@@ -17,7 +17,9 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Mutex;
 
-use crp_obs::TraceEvent;
+use crp_obs::{MetricsSnapshot, TraceEvent};
+
+use crate::protocol::JobSpan;
 
 /// The health counters of one worker, as accumulated by the
 /// dispatcher since it was created.
@@ -81,6 +83,76 @@ impl FleetSnapshot {
     }
 }
 
+/// One worker's shipped metrics, as pulled by
+/// [`crate::Dispatcher::worker_metrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerMetrics {
+    /// The worker's peer description (endpoint, or joined address).
+    pub endpoint: String,
+    /// The worker's decoded metrics snapshot — `None` when the worker
+    /// speaks a pre-v3 protocol, is not connected, or failed to answer
+    /// the pull (rendered as `metrics: unavailable`).
+    pub snapshot: Option<MetricsSnapshot>,
+}
+
+/// A fleet-wide metrics pull: every known worker's shipped snapshot
+/// plus the merged rollup, rendered deterministically for the `stats`
+/// report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetMetrics {
+    /// Per-worker shipped metrics, sorted by endpoint description.
+    pub workers: Vec<WorkerMetrics>,
+}
+
+impl FleetMetrics {
+    /// How many workers shipped a snapshot.
+    pub fn reporting(&self) -> usize {
+        self.workers.iter().filter(|w| w.snapshot.is_some()).count()
+    }
+
+    /// The fleet-wide rollup: every reporting worker's snapshot merged
+    /// (counters summed, gauges maxed, histograms merged bucket-wise).
+    pub fn rollup(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        for worker in &self.workers {
+            if let Some(snapshot) = &worker.snapshot {
+                merged.merge(snapshot);
+            }
+        }
+        merged
+    }
+
+    /// Renders the pull as a deterministic text report: a header line,
+    /// the merged rollup (each line prefixed `rollup `), then each
+    /// worker's own snapshot (indented) or `metrics: unavailable`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let reporting = self.reporting();
+        let _ = writeln!(
+            out,
+            "fleet metrics: {reporting} reporting, {} unavailable",
+            self.workers.len() - reporting
+        );
+        for line in self.rollup().render().lines() {
+            let _ = writeln!(out, "rollup {line}");
+        }
+        for worker in &self.workers {
+            match &worker.snapshot {
+                Some(snapshot) => {
+                    let _ = writeln!(out, "worker {} metrics:", worker.endpoint);
+                    for line in snapshot.render().lines() {
+                        let _ = writeln!(out, "  {line}");
+                    }
+                }
+                None => {
+                    let _ = writeln!(out, "worker {} metrics: unavailable", worker.endpoint);
+                }
+            }
+        }
+        out
+    }
+}
+
 /// The dispatcher's accumulator behind [`FleetSnapshot`]: a peer-keyed
 /// map both dispatch modes report into.
 #[derive(Debug, Default)]
@@ -100,15 +172,22 @@ impl FleetObs {
         update(entry);
     }
 
-    /// A job was sent to `peer`.
-    pub(crate) fn dispatched(&self, peer: &str, job: u64) {
+    /// A job was sent to `peer`.  A span stamped on the dispatch event
+    /// is what lets `trace-join` tie the dispatcher's timeline to the
+    /// worker's `shard.execute` events for the same job.
+    pub(crate) fn dispatched(&self, peer: &str, job: u64, span: Option<&JobSpan>) {
         crp_obs::global().inc("fleet.dispatch");
         if crp_obs::trace_enabled() {
-            crp_obs::emit(
-                &TraceEvent::new("fleet.dispatch")
-                    .u64("job", job)
-                    .str("endpoint", peer),
-            );
+            let mut event = TraceEvent::new("fleet.dispatch")
+                .u64("job", job)
+                .str("endpoint", peer);
+            if let Some(span) = span {
+                event = event.str("span", &span.id);
+                if let Some(parent) = &span.parent {
+                    event = event.str("parent", parent);
+                }
+            }
+            crp_obs::emit(&event);
         }
         self.with(peer, |w| {
             w.dispatched += 1;

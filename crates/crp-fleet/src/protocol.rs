@@ -8,15 +8,17 @@
 //! The conversation on one connection:
 //!
 //! ```text
-//! worker     -> dispatcher   hello v2 capacity 4        (handshake)
+//! worker     -> dispatcher   hello v3 capacity 4        (handshake)
 //! dispatcher -> worker       scenario-have ab12..       (v2: blob query)
 //! worker     -> dispatcher   scenario-state ab12.. no
 //! dispatcher -> worker       scenario-put ab12..\n<blob> (v2: ship once)
-//! dispatcher -> worker       job 17\n<payload>          (payload may reference ab12..)
+//! dispatcher -> worker       job 17 span cd34..\n<payload> (v3: trace span rides along)
 //! dispatcher -> worker       job 18\n<payload>          (pipelined up to the capacity)
 //! worker     -> dispatcher   done 17\n<payload>         (or: failed 17\n<message>)
 //! dispatcher -> worker       ping 99
 //! worker     -> dispatcher   pong 99                    (health check, answered mid-job)
+//! dispatcher -> worker       metrics 7                  (v3: registry pull)
+//! worker     -> dispatcher   metrics-report 7\n<snapshot>
 //! worker     -> dispatcher   done 18\n<payload>
 //! dispatcher -> worker       shutdown                   (or just closes the stream)
 //! ```
@@ -24,9 +26,13 @@
 //! Protocol v2 adds the `scenario-put` / `scenario-have` /
 //! `scenario-state` blob messages (content-addressed payload shipping:
 //! a scenario's masses travel once per worker and later jobs reference
-//! them by hash).  A v1 worker never receives them — the dispatcher
-//! negotiates the version from the hello and falls back to fully inline
-//! job payloads — so old workers keep interoperating unchanged.
+//! them by hash).  Protocol v3 adds the `metrics` / `metrics-report`
+//! registry pull and the optional `span`/`parent` trace-context tokens
+//! on `job` head lines.  Older workers never receive any of them — the
+//! dispatcher negotiates the version from the hello, falls back to
+//! fully inline unstamped payloads, and reports a pre-v3 worker's
+//! metrics as unavailable — so old workers keep interoperating
+//! unchanged.
 
 use crate::hash::is_content_hash;
 use crate::FleetError;
@@ -37,10 +43,24 @@ use crate::FleetError;
 /// conversation to what the worker's version understands; anything
 /// outside the range is rejected with a typed error instead of
 /// misparsing frames.
-pub const PROTOCOL_VERSION: u32 = 2;
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Oldest worker protocol version the dispatcher still speaks.
 pub const MIN_PROTOCOL_VERSION: u32 = 1;
+
+/// The trace context a v3 `job` head line carries: the job's
+/// deterministic span id plus its parent span, both derived from
+/// content hashes on the dispatching side (see `crp_obs::span_from_hash`),
+/// never from randomness.  Workers stamp both onto the trace events
+/// they emit while executing the job, which is what lets `trace-join`
+/// correlate dispatcher and worker files causally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpan {
+    /// The job's span id (16 lowercase hex digits).
+    pub id: String,
+    /// The enclosing span (a cell, on the serve path), when known.
+    pub parent: Option<String>,
+}
 
 /// One fleet protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +79,9 @@ pub enum Message {
         id: u64,
         /// Opaque job description.
         payload: String,
+        /// The job's trace context (v3; absent on unstamped jobs and on
+        /// connections negotiated below v3).
+        span: Option<JobSpan>,
     },
     /// Worker → dispatcher: the job's successful answer.
     Done {
@@ -108,6 +131,20 @@ pub enum Message {
         /// True when the worker holds the blob.
         present: bool,
     },
+    /// Dispatcher → worker (v3): report the worker's process-wide
+    /// metrics registry.
+    Metrics {
+        /// Echoed in the matching [`Message::MetricsReport`].
+        id: u64,
+    },
+    /// Worker → dispatcher (v3): the answer to [`Message::Metrics`] — a
+    /// `MetricsSnapshot` in its canonical wire encoding.
+    MetricsReport {
+        /// Echo of the request id.
+        id: u64,
+        /// The snapshot wire body (`crp_obs::MetricsSnapshot::encode`).
+        body: String,
+    },
     /// Dispatcher → worker: finish up and close the connection.
     Shutdown,
 }
@@ -119,7 +156,18 @@ impl Message {
             Message::Hello { version, capacity } => {
                 format!("hello v{version} capacity {capacity}")
             }
-            Message::Job { id, payload } => format!("job {id}\n{payload}"),
+            Message::Job { id, payload, span } => {
+                let mut head = format!("job {id}");
+                if let Some(span) = span {
+                    head.push_str(" span ");
+                    head.push_str(&span.id);
+                    if let Some(parent) = &span.parent {
+                        head.push_str(" parent ");
+                        head.push_str(parent);
+                    }
+                }
+                format!("{head}\n{payload}")
+            }
             Message::Done { id, payload } => format!("done {id}\n{payload}"),
             Message::Failed { id, message } => format!("failed {id}\n{message}"),
             Message::Ping { id } => format!("ping {id}"),
@@ -132,6 +180,8 @@ impl Message {
                     if *present { "yes" } else { "no" }
                 )
             }
+            Message::Metrics { id } => format!("metrics {id}"),
+            Message::MetricsReport { id, body } => format!("metrics-report {id}\n{body}"),
             Message::Shutdown => "shutdown".to_string(),
         }
         .into_bytes()
@@ -183,10 +233,38 @@ impl Message {
                 };
                 Ok(Message::Hello { version, capacity })
             }
-            "job" => Ok(Message::Job {
-                id: id("job")?,
-                payload: body.to_string(),
-            }),
+            "job" => {
+                let id = id("job")?;
+                let span = match tokens.next() {
+                    None => None,
+                    Some("span") => {
+                        let span_id = span_token(&mut tokens, "job span")?;
+                        let parent = match tokens.next() {
+                            None => None,
+                            Some("parent") => Some(span_token(&mut tokens, "job parent")?),
+                            Some(other) => {
+                                return Err(FleetError::Malformed(format!(
+                                    "unexpected job trailer token {other:?}"
+                                )))
+                            }
+                        };
+                        Some(JobSpan {
+                            id: span_id,
+                            parent,
+                        })
+                    }
+                    Some(other) => {
+                        return Err(FleetError::Malformed(format!(
+                            "unexpected job trailer token {other:?}"
+                        )))
+                    }
+                };
+                Ok(Message::Job {
+                    id,
+                    payload: body.to_string(),
+                    span,
+                })
+            }
             "done" => Ok(Message::Done {
                 id: id("done")?,
                 payload: body.to_string(),
@@ -217,10 +295,32 @@ impl Message {
                 };
                 Ok(Message::ScenarioState { hash, present })
             }
+            "metrics" => Ok(Message::Metrics { id: id("metrics")? }),
+            "metrics-report" => Ok(Message::MetricsReport {
+                id: id("metrics-report")?,
+                body: body.to_string(),
+            }),
             "shutdown" => Ok(Message::Shutdown),
             other => Err(FleetError::Malformed(format!("unknown message {other:?}"))),
         }
     }
+}
+
+/// Pulls a span-id token off a head line, rejecting anything that is
+/// not 16 lowercase hex digits.
+fn span_token(
+    tokens: &mut std::str::SplitAsciiWhitespace<'_>,
+    label: &str,
+) -> Result<String, FleetError> {
+    let token = tokens
+        .next()
+        .ok_or_else(|| FleetError::Malformed(format!("{label} is missing its span id")))?;
+    if !crp_obs::is_span_id(token) {
+        return Err(FleetError::Malformed(format!(
+            "{label} id {token:?} is not a canonical span id"
+        )));
+    }
+    Ok(token.to_string())
 }
 
 /// Pulls a content-hash token off a head line, rejecting anything that
@@ -254,6 +354,23 @@ mod tests {
             Message::Job {
                 id: 17,
                 payload: "crp-shard-spec v1\nprotocol decay\nend\n".to_string(),
+                span: None,
+            },
+            Message::Job {
+                id: 21,
+                payload: "crp-shard-spec v1\nprotocol decay\nend\n".to_string(),
+                span: Some(JobSpan {
+                    id: "ab12cd34ef56ab78".to_string(),
+                    parent: None,
+                }),
+            },
+            Message::Job {
+                id: 22,
+                payload: "payload".to_string(),
+                span: Some(JobSpan {
+                    id: "ab12cd34ef56ab78".to_string(),
+                    parent: Some("0011223344556677".to_string()),
+                }),
             },
             Message::Done {
                 id: 17,
@@ -279,6 +396,12 @@ mod tests {
             Message::ScenarioState {
                 hash: crate::hash::content_hash(b"other"),
                 present: false,
+            },
+            Message::Metrics { id: 7 },
+            Message::MetricsReport {
+                id: 7,
+                body: "crp-metrics-snapshot v1\ncounters 0\ngauges 0\nhistograms 0\nend\n"
+                    .to_string(),
             },
             Message::Shutdown,
         ];
@@ -312,6 +435,14 @@ mod tests {
             b"hello v1 cap 2",
             b"hello v1 capacity x",
             b"warp 9",
+            b"job 1 span\npayload",
+            b"job 1 span SHOUTYHEXDIGITS\npayload",
+            b"job 1 span ab12cd34ef56ab78 parent\npayload",
+            b"job 1 span ab12cd34ef56ab78 parent nope\npayload",
+            b"job 1 parent ab12cd34ef56ab78\npayload",
+            b"job 1 span ab12cd34ef56ab78 extra\npayload",
+            b"metrics",
+            b"metrics-report",
             b"scenario-put",
             b"scenario-put nothash\nblob",
             b"scenario-have short",
@@ -331,6 +462,7 @@ mod tests {
         let encoded = Message::Job {
             id: 0,
             payload: payload.to_string(),
+            span: None,
         }
         .encode();
         match Message::decode(&encoded).unwrap() {

@@ -277,7 +277,7 @@ pub fn serve_with_store(
                 return Ok(served);
             };
             match Message::decode(&payload)? {
-                Message::Job { id, payload } => {
+                Message::Job { id, payload, span } => {
                     if options.die_after == Some(served) {
                         // Die mid-answer: a frame header promising more bytes
                         // than ever arrive, then a hard exit.  The dispatcher
@@ -316,10 +316,19 @@ pub fn serve_with_store(
                     let writer = &writer;
                     let write_error = &write_error;
                     scope.spawn(move || {
+                        // The job's trace context rides the frame head;
+                        // park it in the execution thread so the
+                        // instrumentation deep in the handler (e.g. the
+                        // simulator's `shard.execute` event) can stamp it.
+                        crp_obs::set_current_span(span.map(|span| crp_obs::SpanContext {
+                            id: span.id,
+                            parent: span.parent,
+                        }));
                         let answer = match handler(&payload) {
                             Ok(payload) => Message::Done { id, payload },
                             Err(message) => Message::Failed { id, message },
                         };
+                        crp_obs::set_current_span(None);
                         if let Err(error) = send(writer, &answer) {
                             write_error
                                 .lock()
@@ -341,6 +350,13 @@ pub fn serve_with_store(
                 Message::ScenarioHave { hash } if !options.legacy_v1 => {
                     let present = store.contains(&hash);
                     send(&writer, &Message::ScenarioState { hash, present })?;
+                }
+                Message::Metrics { id } if !options.legacy_v1 => {
+                    // Ship the whole process-wide registry: the worker's
+                    // job/ shard counters live there, and snapshots merge
+                    // order-independently on the dispatcher side.
+                    let body = crp_obs::global().snapshot().encode();
+                    send(&writer, &Message::MetricsReport { id, body })?;
                 }
                 Message::Shutdown => return Ok(served),
                 other => {
@@ -445,15 +461,18 @@ mod tests {
             Message::Job {
                 id: 5,
                 payload: "alpha".into(),
+                span: None,
             },
             Message::Ping { id: 42 },
             Message::Job {
                 id: 6,
                 payload: "beta\nwith body".into(),
+                span: None,
             },
             Message::Job {
                 id: 7,
                 payload: "fail:bad spec".into(),
+                span: None,
             },
             Message::Shutdown,
         ]);
@@ -486,6 +505,7 @@ mod tests {
         let (served, responses) = converse(&[Message::Job {
             id: 1,
             payload: "only".into(),
+            span: None,
         }]);
         assert_eq!(served.unwrap(), 1);
         assert_eq!(responses.len(), 1);
@@ -558,6 +578,7 @@ mod tests {
                 Message::Job {
                     id: 3,
                     payload: "old".into(),
+                    span: None,
                 },
                 Message::Shutdown,
             ],
@@ -571,6 +592,63 @@ mod tests {
                 payload: "echo:old".into(),
             }]
         );
+    }
+
+    #[test]
+    fn workers_answer_metrics_pulls_and_v1_workers_reject_them() {
+        let (served, responses) = converse(&[Message::Metrics { id: 9 }, Message::Shutdown]);
+        assert_eq!(served.unwrap(), 0, "a metrics pull is not a job");
+        match &responses[..] {
+            [Message::MetricsReport { id: 9, body }] => {
+                // The body is the canonical snapshot codec (contents vary
+                // with whatever other tests recorded into the global
+                // registry, so only decodability is asserted).
+                crp_obs::MetricsSnapshot::decode(body).unwrap();
+            }
+            other => panic!("expected one metrics-report, got {other:?}"),
+        }
+        // A v1 worker predates the message entirely.
+        let options = ServeOptions {
+            legacy_v1: true,
+            ..Default::default()
+        };
+        let (served, _) = converse_with(&[Message::Metrics { id: 9 }], &options);
+        assert!(matches!(served, Err(FleetError::Malformed(_))));
+    }
+
+    #[test]
+    fn job_spans_reach_the_handler_thread() {
+        let seen = Mutex::new(None);
+        let handler = |payload: &str| {
+            *seen.lock().unwrap() = crp_obs::current_span();
+            Ok(format!("echo:{payload}"))
+        };
+        let mut request = Vec::new();
+        write_frame(
+            &mut request,
+            &Message::Job {
+                id: 1,
+                payload: "x".into(),
+                span: Some(crate::protocol::JobSpan {
+                    id: "ab12cd34ef56ab78".into(),
+                    parent: Some("0011223344556677".into()),
+                }),
+            }
+            .encode(),
+        )
+        .unwrap();
+        write_frame(&mut request, &Message::Shutdown.encode()).unwrap();
+        let mut sink = Vec::new();
+        serve(
+            &mut BufReader::new(request.as_slice()),
+            &mut sink,
+            &handler,
+            &ServeOptions::default(),
+        )
+        .unwrap();
+        let span = seen.lock().unwrap().clone().expect("handler saw a span");
+        assert_eq!(span.id, "ab12cd34ef56ab78");
+        assert_eq!(span.parent.as_deref(), Some("0011223344556677"));
     }
 
     #[test]
@@ -609,6 +687,7 @@ mod tests {
             &Message::Job {
                 id: 0,
                 payload: "x".into(),
+                span: None,
             }
             .encode(),
         )

@@ -24,13 +24,17 @@
 #![warn(missing_docs)]
 
 mod metrics;
+mod span;
 mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use span::{
+    current_span, is_span_id, set_current_span, span_from_hash, SpanContext, SPAN_HEX_LEN,
+};
 pub use trace::{
-    check_trace_line, emit, env_trace_path, init_trace, init_trace_from_env,
-    init_trace_from_env_lenient, install_trace_sink, trace_enabled, TraceEvent, TraceSink,
-    TRACE_ENV,
+    active_trace_path, check_trace_line, derive_worker_trace_path, emit, env_trace_path,
+    init_trace, init_trace_from_env, init_trace_from_env_lenient, install_trace_sink,
+    trace_enabled, trace_line_fields, TraceEvent, TraceSink, TRACE_ENV,
 };
 
 use std::sync::OnceLock;
@@ -54,6 +58,12 @@ pub enum ObsError {
         /// Why it was rejected.
         reason: String,
     },
+    /// A wire payload (a [`MetricsSnapshot`] codec body) that could not
+    /// be decoded.
+    Malformed {
+        /// What was wrong with the payload.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for ObsError {
@@ -63,6 +73,7 @@ impl std::fmt::Display for ObsError {
             ObsError::Env { var, value, reason } => {
                 write!(f, "invalid {var}={value:?}: {reason}")
             }
+            ObsError::Malformed { what } => write!(f, "malformed snapshot: {what}"),
         }
     }
 }

@@ -24,6 +24,8 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::ObsError;
+
 /// Linear buckets below this value; log-spaced with this many
 /// sub-buckets per octave above it.  Matches `SKETCH_PRECISION` in the
 /// crp-sim statistics module so the two codecs share error bounds.
@@ -361,6 +363,27 @@ impl MetricsSnapshot {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// All counters, in sorted name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters
+            .iter()
+            .map(|(name, &value)| (name.as_str(), value))
+    }
+
+    /// All gauges, in sorted name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges
+            .iter()
+            .map(|(name, &value)| (name.as_str(), value))
+    }
+
+    /// All histograms, in sorted name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSnapshot)> {
+        self.histograms
+            .iter()
+            .map(|(name, snapshot)| (name.as_str(), snapshot))
+    }
+
     /// Merges another snapshot into this one: counters sum, gauges
     /// take the maximum, histograms add bucket-wise.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
@@ -407,6 +430,194 @@ impl MetricsSnapshot {
             );
         }
         out
+    }
+
+    /// Encodes the snapshot into its canonical wire text — the body of
+    /// a fleet `metrics-report` frame.
+    ///
+    /// The format follows the `ShardSpec` codec discipline: line-based,
+    /// headed and terminated, with every histogram scalar as its raw
+    /// 64-bit pattern in `{:016x}` hex so values that happen to be
+    /// IEEE-754 bit patterns (signed zeros, subnormals, infinities fed
+    /// through `f64::to_bits`) survive byte-exactly.  Encoding a decoded
+    /// snapshot reproduces the input bytes: maps iterate sorted and
+    /// bucket lines are emitted sparsely in index order.
+    pub fn encode(&self) -> String {
+        let mut out = String::from("crp-metrics-snapshot v1\n");
+        let _ = writeln!(out, "counters {}", self.counters.len());
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "counter {name} {value}");
+        }
+        let _ = writeln!(out, "gauges {}", self.gauges.len());
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "gauge {name} {value}");
+        }
+        let _ = writeln!(out, "histograms {}", self.histograms.len());
+        for (name, histogram) in &self.histograms {
+            let occupied = histogram.counts.iter().filter(|&&count| count != 0).count();
+            let _ = writeln!(
+                out,
+                "histogram {name} {:016x} {:016x} {:016x} {:016x} buckets {occupied}",
+                histogram.total, histogram.sum, histogram.min, histogram.max,
+            );
+            for (index, &count) in histogram.counts.iter().enumerate() {
+                if count != 0 {
+                    let _ = writeln!(out, "bucket {index} {count}");
+                }
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Decodes the canonical wire text produced by
+    /// [`MetricsSnapshot::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`ObsError::Malformed`] for a missing or wrong header, truncation
+    /// at any line (section counts must match exactly and the `end`
+    /// terminator must be present, with nothing after it), duplicate or
+    /// whitespace-bearing names, non-canonical hex scalars, out-of-range
+    /// or out-of-order bucket indices, and zero bucket counts.
+    pub fn decode(text: &str) -> Result<Self, ObsError> {
+        fn fail<T>(what: String) -> Result<T, ObsError> {
+            Err(ObsError::Malformed { what })
+        }
+        fn section_len(line: &str, section: &str) -> Result<usize, ObsError> {
+            match line
+                .strip_prefix(section)
+                .and_then(|rest| rest.strip_prefix(' '))
+            {
+                Some(token) => token.parse::<usize>().map_err(|_| ObsError::Malformed {
+                    what: format!("bad {section} count {token:?}"),
+                }),
+                None => fail(format!("expected \"{section} <n>\", got {line:?}")),
+            }
+        }
+        fn name_token(token: &str) -> Result<String, ObsError> {
+            if token.is_empty() {
+                return fail("empty metric name".to_string());
+            }
+            Ok(token.to_string())
+        }
+        fn hex_u64(token: &str) -> Result<u64, ObsError> {
+            if token.len() != 16
+                || !token
+                    .bytes()
+                    .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+            {
+                return fail(format!("scalar {token:?} is not 16 lowercase hex digits"));
+            }
+            u64::from_str_radix(token, 16).map_err(|_| ObsError::Malformed {
+                what: format!("bad hex scalar {token:?}"),
+            })
+        }
+        let mut lines = text.lines();
+        let mut next = |what: &str| -> Result<&str, ObsError> {
+            lines.next().ok_or_else(|| ObsError::Malformed {
+                what: format!("truncated before {what}"),
+            })
+        };
+        if next("header")? != "crp-metrics-snapshot v1" {
+            return fail("bad header".to_string());
+        }
+
+        let mut snapshot = MetricsSnapshot::new();
+        let counter_count = section_len(next("counters section")?, "counters")?;
+        for _ in 0..counter_count {
+            let line = next("a counter line")?;
+            let mut tokens = line.split(' ');
+            match (tokens.next(), tokens.next(), tokens.next(), tokens.next()) {
+                (Some("counter"), Some(name), Some(value), None) => {
+                    let value = value.parse::<u64>().map_err(|_| ObsError::Malformed {
+                        what: format!("bad counter value in {line:?}"),
+                    })?;
+                    if snapshot.counters.insert(name_token(name)?, value).is_some() {
+                        return fail(format!("duplicate counter {name:?}"));
+                    }
+                }
+                _ => return fail(format!("expected \"counter <name> <value>\", got {line:?}")),
+            }
+        }
+        let gauge_count = section_len(next("gauges section")?, "gauges")?;
+        for _ in 0..gauge_count {
+            let line = next("a gauge line")?;
+            let mut tokens = line.split(' ');
+            match (tokens.next(), tokens.next(), tokens.next(), tokens.next()) {
+                (Some("gauge"), Some(name), Some(value), None) => {
+                    let value = value.parse::<i64>().map_err(|_| ObsError::Malformed {
+                        what: format!("bad gauge value in {line:?}"),
+                    })?;
+                    if snapshot.gauges.insert(name_token(name)?, value).is_some() {
+                        return fail(format!("duplicate gauge {name:?}"));
+                    }
+                }
+                _ => return fail(format!("expected \"gauge <name> <value>\", got {line:?}")),
+            }
+        }
+        let histogram_count = section_len(next("histograms section")?, "histograms")?;
+        for _ in 0..histogram_count {
+            let line = next("a histogram line")?;
+            let tokens: Vec<&str> = line.split(' ').collect();
+            let [head, name, total, sum, min, max, buckets_word, occupied] = tokens[..] else {
+                return fail(format!("expected a histogram head line, got {line:?}"));
+            };
+            if head != "histogram" || buckets_word != "buckets" {
+                return fail(format!("expected a histogram head line, got {line:?}"));
+            }
+            let occupied = occupied.parse::<usize>().map_err(|_| ObsError::Malformed {
+                what: format!("bad bucket count in {line:?}"),
+            })?;
+            let mut counts: Vec<u64> = Vec::new();
+            for _ in 0..occupied {
+                let line = next("a bucket line")?;
+                let mut tokens = line.split(' ');
+                match (tokens.next(), tokens.next(), tokens.next(), tokens.next()) {
+                    (Some("bucket"), Some(index), Some(count), None) => {
+                        let index = index.parse::<usize>().map_err(|_| ObsError::Malformed {
+                            what: format!("bad bucket index in {line:?}"),
+                        })?;
+                        let count = count.parse::<u64>().map_err(|_| ObsError::Malformed {
+                            what: format!("bad bucket count in {line:?}"),
+                        })?;
+                        if index >= BUCKETS {
+                            return fail(format!("bucket index {index} out of range"));
+                        }
+                        if index < counts.len() {
+                            return fail(format!("bucket index {index} out of order"));
+                        }
+                        if count == 0 {
+                            return fail(format!("empty bucket {index} must be omitted"));
+                        }
+                        counts.resize(index, 0);
+                        counts.push(count);
+                    }
+                    _ => return fail(format!("expected \"bucket <i> <n>\", got {line:?}")),
+                }
+            }
+            let histogram = HistogramSnapshot {
+                counts,
+                total: hex_u64(total)?,
+                sum: hex_u64(sum)?,
+                min: hex_u64(min)?,
+                max: hex_u64(max)?,
+            };
+            if snapshot
+                .histograms
+                .insert(name_token(name)?, histogram)
+                .is_some()
+            {
+                return fail(format!("duplicate histogram {name:?}"));
+            }
+        }
+        if next("the end marker")? != "end" {
+            return fail("expected the end marker".to_string());
+        }
+        if let Some(extra) = lines.next() {
+            return fail(format!("unexpected content after end: {extra:?}"));
+        }
+        Ok(snapshot)
     }
 }
 
@@ -469,6 +680,39 @@ mod tests {
         let mut merged = left.snapshot();
         merged.merge(&right.snapshot());
         assert_eq!(merged.histogram("lat"), Some(lat));
+    }
+
+    #[test]
+    fn the_wire_codec_round_trips_and_rejects_truncation() {
+        let registry = MetricsRegistry::new();
+        registry.add("jobs", 41);
+        registry.gauge("depth").set(-3);
+        registry.observe("lat", 0);
+        registry.observe("lat", 70_000);
+        let snapshot = registry.snapshot();
+        let wire = snapshot.encode();
+        let decoded = MetricsSnapshot::decode(&wire).unwrap();
+        assert_eq!(decoded, snapshot);
+        assert_eq!(decoded.encode(), wire, "re-encoding is byte-identical");
+
+        // The empty snapshot is representable.
+        let empty = MetricsSnapshot::new().encode();
+        assert_eq!(
+            empty,
+            "crp-metrics-snapshot v1\ncounters 0\ngauges 0\nhistograms 0\nend\n"
+        );
+        assert!(MetricsSnapshot::decode(&empty).unwrap().is_empty());
+
+        // Dropping any line (including `end`) breaks the decode.
+        let lines: Vec<&str> = wire.lines().collect();
+        for keep in 0..lines.len() {
+            let truncated = lines[..keep].join("\n");
+            assert!(
+                MetricsSnapshot::decode(&truncated).is_err(),
+                "decoded a snapshot truncated to {keep} lines"
+            );
+        }
+        assert!(MetricsSnapshot::decode(&format!("{wire}counters 0\n")).is_err());
     }
 
     #[test]

@@ -40,6 +40,31 @@ static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
 /// from.
 static SINK: OnceLock<TraceSink> = OnceLock::new();
 
+/// The file path of the installed sink, when it was opened from a path
+/// (rather than a caller-supplied writer).  Worker spawning reads this
+/// to derive per-worker sibling paths.
+static ACTIVE_PATH: OnceLock<String> = OnceLock::new();
+
+/// The path of the installed trace sink, when tracing is enabled and
+/// the sink was opened from a path (via [`init_trace`] or the
+/// environment initialisers).  `None` for writer-backed sinks and when
+/// tracing is off.
+pub fn active_trace_path() -> Option<String> {
+    if trace_enabled() {
+        ACTIVE_PATH.get().cloned()
+    } else {
+        None
+    }
+}
+
+/// The derived trace path for spawned worker `n` of a process tracing
+/// to `base` — each subprocess writes its own sibling JSONL file, so
+/// two processes never interleave lines in one file.  `trace-join`
+/// discovers these siblings automatically.
+pub fn derive_worker_trace_path(base: &str, n: usize) -> String {
+    format!("{base}.worker-{n}")
+}
+
 /// A destination for trace events.  Normally installed process-wide
 /// with [`install_trace_sink`]; owning one directly is useful in tests.
 pub struct TraceSink {
@@ -104,7 +129,9 @@ pub fn install_trace_sink(sink: TraceSink) -> Result<(), ObsError> {
 
 /// Opens `path` and installs it as the process-wide trace sink.
 pub fn init_trace(path: &str) -> Result<(), ObsError> {
-    install_trace_sink(TraceSink::to_file(path)?)
+    install_trace_sink(TraceSink::to_file(path)?)?;
+    let _ = ACTIVE_PATH.set(path.to_string());
+    Ok(())
 }
 
 /// Emits `event` to the installed sink; a no-op when tracing is
@@ -252,12 +279,17 @@ impl TraceEvent {
     }
 }
 
-/// Validates one rendered trace line against the schema: a flat JSON
-/// object whose first two members are a numeric `ts_us` and a string
-/// `event`, followed by string/number members only.  Returns the event
-/// name on success; used by the CLI `trace-check` helper and the CI
-/// smoke job.
-pub fn check_trace_line(line: &str) -> Result<String, ObsError> {
+/// Parses one rendered trace line into its `(key, value)` members, in
+/// order.  String values keep their surrounding quotes (escapes are
+/// not resolved — trace values never need them for the fields tools
+/// consume); numeric values are their digit text.  This is the shared
+/// scanner under [`check_trace_line`] and the CLI `trace-join`.
+///
+/// # Errors
+///
+/// [`ObsError::Io`] when the line is not a flat JSON object of
+/// string/unsigned-integer members.
+pub fn trace_line_fields(line: &str) -> Result<Vec<(String, String)>, ObsError> {
     let fail = |what: &str| {
         Err(ObsError::Io {
             what: format!("invalid trace line ({what}): {line}"),
@@ -322,6 +354,42 @@ pub fn check_trace_line(line: &str) -> Result<String, ObsError> {
             return fail("trailing comma");
         }
     }
+    Ok(members)
+}
+
+/// Validates one rendered trace line against the schema: a flat JSON
+/// object whose first two members are a numeric `ts_us` and a string
+/// `event`, followed by string/number members only.  A `span` member,
+/// when present, must be a canonical span id ([`crate::is_span_id`]);
+/// a `parent` member additionally requires a `span`.  Returns the
+/// event name on success; used by the CLI `trace-check` helper and the
+/// CI smoke job.
+pub fn check_trace_line(line: &str) -> Result<String, ObsError> {
+    let fail = |what: &str| {
+        Err(ObsError::Io {
+            what: format!("invalid trace line ({what}): {line}"),
+        })
+    };
+    let members = trace_line_fields(line)?;
+    let find = |key: &str| {
+        members
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, value)| value.as_str())
+    };
+    for key in ["span", "parent"] {
+        if let Some(value) = find(key) {
+            let Some(id) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+                return fail(&format!("{key} must be a string"));
+            };
+            if !crate::is_span_id(id) {
+                return fail(&format!("{key} {id:?} is not a span id"));
+            }
+        }
+    }
+    if find("parent").is_some() && find("span").is_none() {
+        return fail("an event with a parent must carry its own span");
+    }
     match (members.first(), members.get(1)) {
         (Some((first_key, first_value)), Some((second_key, second_value)))
             if first_key == "ts_us"
@@ -383,6 +451,37 @@ mod tests {
         ] {
             assert!(check_trace_line(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn the_checker_validates_span_fields() {
+        let stamped = crate::SpanContext::with_parent("aaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbb")
+            .stamp(TraceEvent::new("shard.execute").u64("shard", 0))
+            .render(1);
+        assert_eq!(check_trace_line(&stamped).unwrap(), "shard.execute");
+        for bad in [
+            // Malformed span id shapes.
+            "{\"ts_us\":1,\"event\":\"x\",\"span\":\"short\"}",
+            "{\"ts_us\":1,\"event\":\"x\",\"span\":\"AAAAAAAAAAAAAAAA\"}",
+            "{\"ts_us\":1,\"event\":\"x\",\"span\":7}",
+            "{\"ts_us\":1,\"event\":\"x\",\"span\":\"aaaaaaaaaaaaaaaa\",\"parent\":\"zz\"}",
+            // A parent without its own span.
+            "{\"ts_us\":1,\"event\":\"x\",\"parent\":\"aaaaaaaaaaaaaaaa\"}",
+        ] {
+            assert!(check_trace_line(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn worker_trace_paths_derive_as_siblings() {
+        assert_eq!(
+            derive_worker_trace_path("trace.jsonl", 0),
+            "trace.jsonl.worker-0"
+        );
+        assert_eq!(
+            derive_worker_trace_path("/tmp/t.jsonl", 12),
+            "/tmp/t.jsonl.worker-12"
+        );
     }
 
     #[test]

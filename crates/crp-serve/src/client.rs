@@ -26,6 +26,30 @@ impl ServeClient {
     /// [`ServeError::Io`] for dial failures, [`ServeError::Malformed`]
     /// for a peer that does not speak the service protocol.
     pub fn connect(addr: impl ToSocketAddrs + std::fmt::Debug) -> Result<Self, ServeError> {
+        Self::dial(addr, None)
+    }
+
+    /// Like [`ServeClient::connect`], but names the tenant this
+    /// connection submits on behalf of: a `client-hello` frame follows
+    /// the greeting, and the daemon accounts every submission on the
+    /// connection to `serve.tenant.<tenant>.*` counters (sanitised
+    /// server-side).  Plain [`ServeClient::connect`] connections are
+    /// accounted to the `anonymous` tenant.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeClient::connect`].
+    pub fn connect_as(
+        addr: impl ToSocketAddrs + std::fmt::Debug,
+        tenant: &str,
+    ) -> Result<Self, ServeError> {
+        Self::dial(addr, Some(tenant))
+    }
+
+    fn dial(
+        addr: impl ToSocketAddrs + std::fmt::Debug,
+        tenant: Option<&str>,
+    ) -> Result<Self, ServeError> {
         let stream = TcpStream::connect(&addr)
             .map_err(|e| ServeError::Io(format!("cannot reach sweep server {addr:?}: {e}")))?;
         stream.set_nodelay(true).ok();
@@ -38,14 +62,28 @@ impl ServeClient {
             ServeError::Io("the sweep server closed the connection before its hello".to_string())
         })?;
         match ServeMessage::decode(&frame)? {
-            ServeMessage::Hello { version } if version == SERVICE_VERSION => Ok(client),
-            ServeMessage::Hello { version } => Err(ServeError::Malformed(format!(
-                "server speaks service protocol v{version}, client requires v{SERVICE_VERSION}"
-            ))),
-            other => Err(ServeError::Malformed(format!(
-                "expected serve-hello, server sent {other:?}"
-            ))),
+            ServeMessage::Hello { version } if version == SERVICE_VERSION => {}
+            ServeMessage::Hello { version } => {
+                return Err(ServeError::Malformed(format!(
+                    "server speaks service protocol v{version}, client requires v{SERVICE_VERSION}"
+                )))
+            }
+            other => {
+                return Err(ServeError::Malformed(format!(
+                    "expected serve-hello, server sent {other:?}"
+                )))
+            }
         }
+        if let Some(tenant) = tenant {
+            write_frame(
+                &mut client.writer,
+                &ServeMessage::ClientHello {
+                    tenant: crate::obs::sanitize_tenant(tenant),
+                }
+                .encode(),
+            )?;
+        }
+        Ok(client)
     }
 
     /// Submits a sweep and blocks until its result, invoking `progress`

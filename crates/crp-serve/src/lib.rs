@@ -38,9 +38,13 @@
 //!   cache-then-dispatch submission executor.
 //! * [`client`] — [`ServeClient`]: connect, submit, stream progress,
 //!   collect the result.
-//! * [`obs`] — the `serve.*` counter names, cache instrumentation, and
-//!   the shared cache-summary formatter behind both the `submit` CLI
-//!   line and the daemon's framed `stats` report.
+//! * [`obs`] — the `serve.*` counter names, cache instrumentation,
+//!   the per-tenant `serve.tenant.<id>.*` accounting, and the shared
+//!   cache-summary formatter behind both the `submit` CLI line and the
+//!   daemon's framed `stats` report.
+//! * [`watch`] — the `stats --watch` rate computer: counter deltas
+//!   between successive reports rendered as deterministic per-second
+//!   rates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +53,7 @@ pub mod cache;
 pub mod client;
 pub mod obs;
 pub mod server;
+pub mod watch;
 pub mod wire;
 
 use std::error::Error;
@@ -56,8 +61,12 @@ use std::fmt;
 
 pub use cache::ResultCache;
 pub use client::ServeClient;
-pub use obs::{cache_summary, cache_summary_from, record_submission};
+pub use obs::{
+    cache_summary, cache_summary_from, record_submission, record_tenant_submission,
+    sanitize_tenant, tenant_summary,
+};
 pub use server::{AnswerCheck, Canonicalizer, CellMerger, SubmissionHooks, SweepServer};
+pub use watch::{counters_from_report, rates_line};
 pub use wire::{
     CellOutcome, ServeMessage, Submission, SubmissionCell, SubmissionJob, SubmissionOutcome,
     SERVICE_VERSION,

@@ -33,6 +33,83 @@ pub const SUBMIT_HITS: &str = "serve.submit.hits";
 pub const SUBMIT_COMPUTED: &str = "serve.submit.computed";
 /// Histogram: wall-clock microseconds per executed submission.
 pub const SUBMIT_MICROS: &str = "serve.submit_micros";
+/// Prefix of the per-tenant counters: `serve.tenant.<id>.submit`,
+/// `.jobs`, `.hits` and `.computed`, keyed by the sanitised tenant id
+/// of the connection's `client-hello` (or `anonymous`).
+pub const TENANT_PREFIX: &str = "serve.tenant.";
+
+/// Maximum length of a sanitised tenant id.
+pub const TENANT_MAX_LEN: usize = 32;
+
+/// Sanitises a client-supplied tenant id into a counter-name-safe
+/// token: characters outside `[A-Za-z0-9_-]` become `-`, the result is
+/// capped at [`TENANT_MAX_LEN`] characters, and an empty input maps to
+/// `anonymous`.
+pub fn sanitize_tenant(raw: &str) -> String {
+    let cleaned: String = raw
+        .chars()
+        .take(TENANT_MAX_LEN)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "anonymous".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// Records the aggregate numbers of one executed submission into the
+/// submitting tenant's `serve.tenant.<id>.*` counters.  `tenant` must
+/// already be sanitised (the server sanitises at `client-hello` time).
+pub fn record_tenant_submission(
+    registry: &crp_obs::MetricsRegistry,
+    tenant: &str,
+    jobs: u64,
+    hits: u64,
+    computed: u64,
+) {
+    registry.inc(&format!("{TENANT_PREFIX}{tenant}.submit"));
+    registry.add(&format!("{TENANT_PREFIX}{tenant}.jobs"), jobs);
+    registry.add(&format!("{TENANT_PREFIX}{tenant}.hits"), hits);
+    registry.add(&format!("{TENANT_PREFIX}{tenant}.computed"), computed);
+}
+
+/// Renders the per-tenant summary section of the daemon `stats` report
+/// from the `serve.tenant.<id>.*` counters of a snapshot: one
+/// deterministic line per tenant in sorted order, empty when no tenant
+/// has submitted yet.
+pub fn tenant_summary(snapshot: &MetricsSnapshot) -> String {
+    let mut tenants: std::collections::BTreeMap<&str, [u64; 4]> = std::collections::BTreeMap::new();
+    for (name, value) in snapshot.counters() {
+        let Some(rest) = name.strip_prefix(TENANT_PREFIX) else {
+            continue;
+        };
+        let Some((tenant, field)) = rest.rsplit_once('.') else {
+            continue;
+        };
+        let slot = match field {
+            "submit" => 0,
+            "jobs" => 1,
+            "hits" => 2,
+            "computed" => 3,
+            _ => continue,
+        };
+        tenants.entry(tenant).or_default()[slot] = value;
+    }
+    let mut out = String::new();
+    for (tenant, [submits, jobs, hits, computed]) in tenants {
+        out.push_str(&format!(
+            "tenant {tenant}: submits={submits} jobs={jobs} hits={hits} computed={computed}\n"
+        ));
+    }
+    out
+}
 
 /// Formats the canonical cache summary — the one wording both the
 /// `submit` CLI stderr line and the daemon `stats` report print.
@@ -101,5 +178,34 @@ pub(crate) fn probe_heal(kind: &'static str, key: &str) {
                 .str("kind", kind)
                 .str("key", key),
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_ids_are_sanitised_to_counter_safe_tokens() {
+        assert_eq!(sanitize_tenant("team-red_7"), "team-red_7");
+        assert_eq!(sanitize_tenant("a b/c"), "a-b-c");
+        assert_eq!(sanitize_tenant(""), "anonymous");
+        let long = "x".repeat(100);
+        assert_eq!(sanitize_tenant(&long).len(), TENANT_MAX_LEN);
+    }
+
+    #[test]
+    fn tenant_summary_groups_counters_per_tenant_in_sorted_order() {
+        let registry = crp_obs::MetricsRegistry::default();
+        record_tenant_submission(&registry, "beta", 4, 1, 3);
+        record_tenant_submission(&registry, "alpha", 2, 2, 0);
+        record_tenant_submission(&registry, "beta", 6, 6, 0);
+        let summary = tenant_summary(&registry.snapshot());
+        assert_eq!(
+            summary,
+            "tenant alpha: submits=1 jobs=2 hits=2 computed=0\n\
+             tenant beta: submits=2 jobs=10 hits=7 computed=3\n"
+        );
+        assert_eq!(tenant_summary(&MetricsSnapshot::default()), "");
     }
 }

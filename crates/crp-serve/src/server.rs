@@ -171,11 +171,15 @@ impl SweepServer {
         send(&ServeMessage::Hello {
             version: SERVICE_VERSION,
         })?;
+        let mut tenant = "anonymous".to_string();
         loop {
             let Some(frame) = read_frame(&mut reader)? else {
                 return Ok(false);
             };
             match ServeMessage::decode(&frame)? {
+                ServeMessage::ClientHello { tenant: raw } => {
+                    tenant = crate::obs::sanitize_tenant(&raw);
+                }
                 ServeMessage::Submit { id, body } => {
                     // Progress write failures are ignored: a vanished
                     // client must not abort the batch mid-dispatch (the
@@ -191,10 +195,19 @@ impl SweepServer {
                     let outcome = Submission::decode(&body)
                         .and_then(|submission| self.run_submission(&submission, hooks, &progress));
                     match outcome {
-                        Ok(outcome) => send(&ServeMessage::Result {
-                            id,
-                            body: outcome.encode(),
-                        })?,
+                        Ok(outcome) => {
+                            crate::obs::record_tenant_submission(
+                                crp_obs::global(),
+                                &tenant,
+                                outcome.jobs_total as u64,
+                                outcome.job_hits as u64,
+                                outcome.computed as u64,
+                            );
+                            send(&ServeMessage::Result {
+                                id,
+                                body: outcome.encode(),
+                            })?
+                        }
                         Err(err) => send(&ServeMessage::Error {
                             id,
                             message: err.to_string(),
@@ -216,17 +229,24 @@ impl SweepServer {
     }
 
     /// Renders the daemon's live observability report: the shared
-    /// cache summary, every workspace counter/gauge/histogram, and the
-    /// per-worker fleet health snapshot.  This is the body of the
+    /// cache summary, the per-tenant submission summary, every
+    /// workspace counter/gauge/histogram, the per-worker fleet health
+    /// snapshot, and the fleet-wide metrics pull (the merged rollup
+    /// plus every worker's shipped snapshot).  This is the body of the
     /// `stats-report` frame answering a [`ServeMessage::Stats`]
     /// request.
     pub fn stats_report(&self) -> String {
         let snapshot = crp_obs::global().snapshot();
         let mut body = format!("submit: {}\n", crate::obs::cache_summary_from(&snapshot));
+        body.push_str(&crate::obs::tenant_summary(&snapshot));
         body.push_str(&snapshot.render());
         let fleet = self.dispatcher.snapshot();
         if !fleet.workers.is_empty() {
             body.push_str(&fleet.render());
+        }
+        let metrics = self.dispatcher.worker_metrics();
+        if !metrics.workers.is_empty() {
+            body.push_str(&metrics.render());
         }
         body
     }
@@ -295,6 +315,19 @@ impl SweepServer {
         let check = hooks.check;
         submission.verify_hashes()?;
         let total = submission.job_count();
+        // The submission's trace span is derived from content the
+        // client already hashed — the hash of the ordered cell-hash
+        // list — so identical submissions carry identical spans across
+        // processes and reruns, and stamping never consumes randomness.
+        let cell_hashes: Vec<String> = submission.cells.iter().map(|c| c.hash.clone()).collect();
+        let submission_span = crp_obs::span_from_hash(&crate::wire::cell_hash(&cell_hashes));
+        if crp_obs::trace_enabled() {
+            let mut event = crp_obs::TraceEvent::new("serve.submission")
+                .u64("cells", submission.cells.len() as u64)
+                .u64("jobs", total as u64);
+            event = crp_obs::SpanContext::new(&submission_span).stamp(event);
+            crp_obs::emit(&event);
+        }
         let mut blob_set = BlobSet::new();
         for (_, blob) in &submission.blobs {
             blob_set.insert(blob.clone());
@@ -307,6 +340,21 @@ impl SweepServer {
         let mut pending: Vec<(usize, usize)> = Vec::new();
         let mut hits = 0usize;
         for (cell_index, cell) in submission.cells.iter().enumerate() {
+            // Emitted before any of the cell's jobs dispatch, so within
+            // this file a job span's parent (the cell span) always
+            // appears first — the ordering `trace-check` verifies.
+            if crp_obs::trace_enabled() {
+                let event = crp_obs::TraceEvent::new("serve.cell")
+                    .str("hash", &cell.hash)
+                    .u64("jobs", cell.jobs.len() as u64);
+                crp_obs::emit(
+                    &crp_obs::SpanContext::with_parent(
+                        crp_obs::span_from_hash(&cell.hash),
+                        submission_span.clone(),
+                    )
+                    .stamp(event),
+                );
+            }
             if let Some(blob) = self.cache_probe(&cell.hash, "cell", check)? {
                 hits += cell.jobs.len();
                 cell_cached.push(Some(blob));
@@ -373,12 +421,22 @@ impl SweepServer {
                             )))
                         }
                     };
+                    // Every dispatched job carries its deterministic
+                    // span (derived from the hashes the client already
+                    // computed), parented on its cell — unconditionally,
+                    // because stamping costs two string slices and never
+                    // influences execution.
+                    let span = crp_fleet::JobSpan {
+                        id: crp_obs::span_from_hash(&job.hash),
+                        parent: Some(crp_obs::span_from_hash(&submission.cells[cell].hash)),
+                    };
                     Ok(match &job.compact {
                         Some(compact) => {
                             JobPayload::with_compact(inline, compact.clone(), job.refs.clone())
                         }
                         None => JobPayload::inline(inline),
-                    })
+                    }
+                    .with_span(span))
                 })
                 .collect::<Result<Vec<JobPayload>, ServeError>>()?;
             let settled = Mutex::new(hits);
@@ -435,13 +493,12 @@ impl SweepServer {
         let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         crp_obs::global().observe(crate::obs::SUBMIT_MICROS, micros);
         if crp_obs::trace_enabled() {
-            crp_obs::emit(
-                &crp_obs::TraceEvent::new("serve.submit")
-                    .u64("jobs", total as u64)
-                    .u64("hits", hits as u64)
-                    .u64("computed", computed as u64)
-                    .u64("micros", micros),
-            );
+            let event = crp_obs::TraceEvent::new("serve.submit")
+                .u64("jobs", total as u64)
+                .u64("hits", hits as u64)
+                .u64("computed", computed as u64)
+                .u64("micros", micros);
+            crp_obs::emit(&crp_obs::SpanContext::new(&submission_span).stamp(event));
         }
         Ok(SubmissionOutcome {
             cells: outcomes,
@@ -676,6 +733,42 @@ mod tests {
         );
         assert!(report.contains("counter fleet.dispatch"), "{report}");
         assert!(report.contains("worker "), "{report}");
+        client.shutdown_server().unwrap();
+        daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn tenant_hellos_key_counters_and_stats_carry_fleet_metrics() {
+        let (addr, _) = spawn_counting_worker();
+        let server = SweepServer::bind(
+            "127.0.0.1:0",
+            vec![crp_fleet::WorkerEndpoint::tcp(addr)],
+            Some(scratch_cache("tenant")),
+        )
+        .unwrap();
+        let service_addr = server.local_addr().unwrap().to_string();
+        let daemon = std::thread::spawn(move || server.serve(hooks()));
+
+        // The raw tenant name is sanitised server-side.
+        let mut client = ServeClient::connect_as(service_addr.as_str(), "team red/7").unwrap();
+        client.submit(&demo_submission(), |_, _, _| {}).unwrap();
+        let report = client.stats().unwrap();
+        assert!(
+            report.contains("tenant team-red-7: submits=1 jobs=3"),
+            "{report}"
+        );
+        assert!(
+            report.contains("counter serve.tenant.team-red-7.jobs 3"),
+            "{report}"
+        );
+        // The fleet-wide metrics pull: a rollup plus the (v3) worker's
+        // own shipped snapshot.
+        assert!(
+            report.contains("fleet metrics: 1 reporting, 0 unavailable"),
+            "{report}"
+        );
+        assert!(report.contains("rollup counter "), "{report}");
+        assert!(report.contains(" metrics:\n"), "{report}");
         client.shutdown_server().unwrap();
         daemon.join().unwrap().unwrap();
     }

@@ -1,0 +1,117 @@
+//! The `stats --watch` rate computer: parse successive daemon stats
+//! reports, diff their counters, and render deterministic per-second
+//! rates.
+//!
+//! Rates are pure functions of two reports and the polling interval —
+//! no wall clocks are read here — so the formatter is unit-testable
+//! and two watchers polling the same daemon print the same lines.
+
+use std::collections::BTreeMap;
+
+use crate::obs::{CACHE_READ_BYTES, CACHE_WRITE_BYTES, SUBMIT_HITS, SUBMIT_JOBS};
+
+/// Extracts the daemon's own `counter <name> <value>` lines from a
+/// rendered stats report into a name → value map.  Only unindented,
+/// unprefixed lines count: the `rollup counter …` lines of the fleet
+/// metrics section and the indented per-worker snapshot lines belong
+/// to workers, not the daemon, and are skipped.
+pub fn counters_from_report(report: &str) -> BTreeMap<String, u64> {
+    let mut counters = BTreeMap::new();
+    for line in report.lines() {
+        let Some(rest) = line.strip_prefix("counter ") else {
+            continue;
+        };
+        let mut tokens = rest.split_ascii_whitespace();
+        if let (Some(name), Some(value)) = (tokens.next(), tokens.next()) {
+            if let Ok(value) = value.parse::<u64>() {
+                counters.insert(name.to_string(), value);
+            }
+        }
+    }
+    counters
+}
+
+/// Renders one watch line from the counter deltas between two
+/// successive reports polled `interval_secs` apart: jobs/s, the cache
+/// hit-rate of the interval's jobs, and cache read/write bytes/s.
+/// Counters that went backwards (a restarted daemon) read as zero
+/// deltas rather than underflowing.
+pub fn rates_line(
+    prev: &BTreeMap<String, u64>,
+    next: &BTreeMap<String, u64>,
+    interval_secs: u64,
+) -> String {
+    let delta = |name: &str| -> u64 {
+        next.get(name)
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(prev.get(name).copied().unwrap_or(0))
+    };
+    let secs = interval_secs.max(1) as f64;
+    let jobs = delta(SUBMIT_JOBS);
+    let hits = delta(SUBMIT_HITS);
+    let read = delta(CACHE_READ_BYTES);
+    let write = delta(CACHE_WRITE_BYTES);
+    let hit_rate = if jobs == 0 {
+        0.0
+    } else {
+        hits as f64 * 100.0 / jobs as f64
+    };
+    format!(
+        "watch: {:.1} jobs/s, {hit_rate:.1}% cache hit-rate, {:.1} read B/s, {:.1} write B/s",
+        jobs as f64 / secs,
+        read as f64 / secs,
+        write as f64 / secs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_the_daemons_own_counter_lines_are_parsed() {
+        let report = "submit: 2/4 job cache hits (50%), 2 computed on the fleet\n\
+                      counter serve.submit.jobs 4\n\
+                      counter serve.submit.hits 2\n\
+                      gauge fleet.in_flight 0\n\
+                      rollup counter kernel.calls 900\n\
+                      worker 127.0.0.1:9000 metrics:\n  \
+                      counter kernel.calls 900\n";
+        let counters = counters_from_report(report);
+        assert_eq!(counters.get("serve.submit.jobs"), Some(&4));
+        assert_eq!(counters.get("serve.submit.hits"), Some(&2));
+        assert!(
+            !counters.contains_key("kernel.calls"),
+            "rollup and per-worker lines must not leak into the daemon's counters"
+        );
+    }
+
+    #[test]
+    fn rates_come_from_counter_deltas_and_render_deterministically() {
+        let mut prev = BTreeMap::new();
+        prev.insert(SUBMIT_JOBS.to_string(), 10);
+        prev.insert(SUBMIT_HITS.to_string(), 4);
+        prev.insert(CACHE_READ_BYTES.to_string(), 1000);
+        let mut next = prev.clone();
+        next.insert(SUBMIT_JOBS.to_string(), 30);
+        next.insert(SUBMIT_HITS.to_string(), 9);
+        next.insert(CACHE_READ_BYTES.to_string(), 1500);
+        next.insert(CACHE_WRITE_BYTES.to_string(), 250);
+        assert_eq!(
+            rates_line(&prev, &next, 2),
+            "watch: 10.0 jobs/s, 25.0% cache hit-rate, 250.0 read B/s, 125.0 write B/s"
+        );
+    }
+
+    #[test]
+    fn an_idle_interval_and_a_restarted_daemon_both_read_as_zero() {
+        let steady = counters_from_report("counter serve.submit.jobs 8\n");
+        assert_eq!(
+            rates_line(&steady, &steady, 5),
+            "watch: 0.0 jobs/s, 0.0% cache hit-rate, 0.0 read B/s, 0.0 write B/s"
+        );
+        let restarted = counters_from_report("counter serve.submit.jobs 1\n");
+        assert!(rates_line(&steady, &restarted, 5).starts_with("watch: 0.0 jobs/s"));
+    }
+}

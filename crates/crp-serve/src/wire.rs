@@ -82,6 +82,16 @@ pub enum ServeMessage {
         /// The rendered report.
         body: String,
     },
+    /// Client → server, optional, at most once per connection: name the
+    /// tenant this connection submits on behalf of.  The server keys its
+    /// `serve.tenant.<id>.*` counters by it; connections that never send
+    /// one are accounted to the `anonymous` tenant, so pre-existing
+    /// clients keep working unchanged.
+    ClientHello {
+        /// The tenant identifier (the server sanitises it to
+        /// `[A-Za-z0-9_-]`, capped at 32 characters).
+        tenant: String,
+    },
     /// Client → server: stop the daemon (CI teardown and tests; a
     /// production deployment just kills the process).
     Shutdown,
@@ -103,6 +113,7 @@ impl ServeMessage {
             ServeMessage::Error { id, message } => format!("error {id}\n{message}"),
             ServeMessage::Stats { id } => format!("stats {id}"),
             ServeMessage::StatsReport { id, body } => format!("stats-report {id}\n{body}"),
+            ServeMessage::ClientHello { tenant } => format!("client-hello {tenant}"),
             ServeMessage::Shutdown => "serve-shutdown".to_string(),
         }
         .into_bytes()
@@ -167,6 +178,14 @@ impl ServeMessage {
             "stats-report" => Ok(ServeMessage::StatsReport {
                 id: field("stats-report")?,
                 body: body.to_string(),
+            }),
+            "client-hello" => Ok(ServeMessage::ClientHello {
+                tenant: tokens
+                    .next()
+                    .ok_or_else(|| {
+                        ServeError::Malformed("client-hello is missing a tenant".to_string())
+                    })?
+                    .to_string(),
             }),
             "serve-shutdown" => Ok(ServeMessage::Shutdown),
             // A fleet worker's greeting, reported specifically because
@@ -688,6 +707,9 @@ mod tests {
             ServeMessage::Error {
                 id: 7,
                 message: "cache on fire".to_string(),
+            },
+            ServeMessage::ClientHello {
+                tenant: "team-red".to_string(),
             },
             ServeMessage::Shutdown,
         ];

@@ -22,11 +22,24 @@
 //! `--trace-out PATH` (or a strictly parsed `CRP_TRACE` environment
 //! variable) streams structured JSONL trace events — `sweep.cell`,
 //! `shard.execute`, `kernel.select`, `fleet.dispatch`, `fleet.requeue`,
-//! `fleet.ping`, `cache.hit`/`miss`/`heal`, `serve.submit` — to a file;
-//! tracing never changes statistics, only wall-clock time.
-//! `trace-check FILE` validates such a file line by line and prints
-//! per-event counts; `stats --connect host:port` dumps the live
-//! metrics and fleet-health report of a running `serve` daemon.
+//! `fleet.ping`, `cache.hit`/`miss`/`heal`, `serve.submission`,
+//! `serve.cell`, `serve.submit` — to a file; tracing never changes
+//! statistics, only wall-clock time.  Traced jobs carry deterministic,
+//! content-hash-derived span ids across process boundaries, and
+//! dispatcher-spawned local workers write to derived
+//! `<path>.worker-<n>` sibling files instead of interleaving with the
+//! dispatcher's own trace.
+//! `trace-check FILE` validates such a file line by line (schema, span
+//! id shape, parent-before-child order) and prints per-event counts;
+//! `trace-join A.jsonl B.jsonl ..` merges the files of a multi-process
+//! run (worker siblings included automatically) into one causally
+//! ordered timeline on stdout; `stats --connect host:port` dumps the
+//! live report of a running `serve` daemon — cache summary, per-tenant
+//! submission counters, workspace metrics, per-worker fleet health,
+//! and the fleet-wide metrics rollup pulled from every (v3) worker —
+//! and `stats --watch SECS` keeps polling, printing per-second rates
+//! from counter deltas.  `submit --tenant NAME` accounts a submission
+//! to `serve.tenant.<name>.*` counters on the daemon.
 //!
 //! A `--scenarios` entry ending in `.trace` is loaded as a fuzz-trace
 //! wire file (see the `crp-fuzz` crate), compiled, and registered into
@@ -90,7 +103,7 @@ use crp_serve::{ResultCache, ServeClient, SweepServer};
 use crp_sim::experiments::{
     baselines, entropy_sweep, kl_degradation, range_finding, table1, table2,
 };
-use crp_sim::service::{submit_matrix, sweep_hooks};
+use crp_sim::service::{submit_matrix_as, sweep_hooks};
 use crp_sim::{
     env_fleet_dispatch, env_fleet_manifest, env_kernel_choice, env_worker_threads,
     run_shard_worker, run_shard_worker_with, BackendChoice, KernelChoice, RunnerConfig, SimError,
@@ -126,6 +139,12 @@ struct Options {
     /// `--trace-out` structured-trace JSONL destination (`None` defers
     /// to the strictly parsed `CRP_TRACE` environment variable).
     trace_out: Option<String>,
+    /// `--tenant` name `submit`/`stats` connections identify as (the
+    /// daemon accounts submissions to `serve.tenant.<id>.*` counters).
+    tenant: Option<String>,
+    /// `stats --watch` polling interval in seconds (`None` prints one
+    /// report and exits).
+    watch: Option<u64>,
 }
 
 /// The default loopback address `serve` listens on and `submit` dials.
@@ -133,13 +152,13 @@ const DEFAULT_SERVICE_ADDR: &str = "127.0.0.1:9317";
 
 const USAGE: &str = "usage: crp_experiments \
 [list|table1|table2|entropy|kl|baselines|range-finding|sweep|worker|serve|submit|stats|\
-trace-check FILE|fuzz|all] \
+trace-check FILE|trace-join FILE..|fuzz|all] \
 [--trials T] [--size N] [--seed S] [--backend serial|thread|process|fleet] \
 [--threads T] [--workers N] [--kernel auto|scalar|batched] \
 [--fleet local[:N],host:port,..] \
 [--chaos W:FAULT@N,..] [--protocols a,b,..] [--scenarios x,y,..|file.trace,..] [--csv] \
 [--listen host:port] [--connect host:port] [--cache DIR] [--accept-workers host:port] \
-[--trace-out PATH]";
+[--trace-out PATH] [--tenant NAME] [--watch SECS]";
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
@@ -168,6 +187,8 @@ fn parse_args() -> Result<Options, String> {
         cache: None,
         accept_workers: None,
         trace_out: None,
+        tenant: None,
+        watch: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut backend_explicit = false;
@@ -277,6 +298,26 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--trace-out requires a file path")?
                         .clone(),
                 );
+            }
+            "--tenant" => {
+                index += 1;
+                options.tenant = Some(
+                    args.get(index)
+                        .ok_or("--tenant requires a tenant name")?
+                        .clone(),
+                );
+            }
+            "--watch" => {
+                index += 1;
+                let secs: u64 = args
+                    .get(index)
+                    .ok_or("--watch requires a polling interval in seconds")?
+                    .parse()
+                    .map_err(|e| format!("invalid --watch value: {e}"))?;
+                if secs == 0 {
+                    return Err("--watch requires a positive interval".to_string());
+                }
+                options.watch = Some(secs);
             }
             "--protocols" => {
                 index += 1;
@@ -553,7 +594,12 @@ fn serve_mode(options: &Options) -> Result<(), SimError> {
 /// the identical table or CSV, plus cache statistics on stderr.
 fn submit_mode(options: &Options) -> Result<(), SimError> {
     let matrix = cli_matrix(options)?;
-    let (results, outcome) = submit_matrix(&options.connect, &matrix, |_, _, _| {})?;
+    let (results, outcome) = submit_matrix_as(
+        &options.connect,
+        options.tenant.as_deref(),
+        &matrix,
+        |_, _, _| {},
+    )?;
     print_results(options, &results);
     // The outcome feeds the local crp-obs counters and the summary line
     // is rendered from them through the same formatter the daemon's
@@ -573,13 +619,30 @@ fn submit_mode(options: &Options) -> Result<(), SimError> {
 }
 
 /// Dumps the live observability report of a running `serve` daemon:
-/// the shared cache summary, every workspace counter and histogram,
-/// and the per-worker fleet health lines.
+/// the shared cache summary, the per-tenant submission summary, every
+/// workspace counter and histogram, the per-worker fleet health lines,
+/// and the fleet-wide metrics pull (merged rollup plus per-worker
+/// snapshots).  With `--watch SECS` it keeps polling, printing one
+/// deterministic rates line per interval from the counter deltas.
 fn stats_mode(options: &Options) -> Result<(), SimError> {
-    let mut client = ServeClient::connect(options.connect.as_str()).map_err(backend_error)?;
+    let mut client = match &options.tenant {
+        Some(tenant) => ServeClient::connect_as(options.connect.as_str(), tenant),
+        None => ServeClient::connect(options.connect.as_str()),
+    }
+    .map_err(backend_error)?;
     let report = client.stats().map_err(backend_error)?;
     print!("{report}");
-    Ok(())
+    let Some(secs) = options.watch else {
+        return Ok(());
+    };
+    let mut previous = crp_serve::counters_from_report(&report);
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+        let report = client.stats().map_err(backend_error)?;
+        let next = crp_serve::counters_from_report(&report);
+        println!("{}", crp_serve::rates_line(&previous, &next, secs));
+        previous = next;
+    }
 }
 
 /// The runner configuration the command line describes: `--threads` (or
@@ -879,11 +942,33 @@ fn shard_worker() -> ExitCode {
     }
 }
 
+/// The unquoted `span` / `parent` values of a schema-valid trace line
+/// (`check_trace_line` has already vetted their hex shape).
+fn span_fields(line: &str) -> (Option<String>, Option<String>) {
+    let mut span = None;
+    let mut parent = None;
+    if let Ok(fields) = crp_obs::trace_line_fields(line) {
+        for (name, value) in fields {
+            let unquoted = value.trim_matches('"').to_string();
+            match name.as_str() {
+                "span" => span = Some(unquoted),
+                "parent" => parent = Some(unquoted),
+                _ => {}
+            }
+        }
+    }
+    (span, parent)
+}
+
 /// The `trace-check` subcommand: validates every line of a structured
 /// trace JSONL file against the schema (`ts_us` first, then `event`,
-/// flat string/unsigned members) and prints per-event counts — the CI
-/// smoke job greps these for the events a fleet sweep must have
-/// produced.
+/// flat string/unsigned members, canonically shaped `span`/`parent`
+/// ids) and prints per-event counts — the CI smoke job greps these for
+/// the events a fleet sweep must have produced.  Span parentage is
+/// checked for causal order: a `parent` whose span is defined in the
+/// same file must appear *after* that span's first event (parents
+/// defined in other processes' files are fine — `trace-join` resolves
+/// those).
 fn trace_check_mode(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         eprintln!("trace-check: requires a trace JSONL file");
@@ -896,7 +981,18 @@ fn trace_check_mode(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Pass 1: every span id the file defines (appears as a `span`
+    // field), so pass 2 can tell a local ordering violation from a
+    // parent that lives in another process's file.
+    let mut defined: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for line in text.lines().filter(|line| !line.is_empty()) {
+        if let (Some(span), _) = span_fields(line) {
+            defined.insert(span);
+        }
+    }
     let mut counts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut spans = 0u64;
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
     for (number, line) in text.lines().enumerate() {
         if line.is_empty() {
             continue;
@@ -908,12 +1004,153 @@ fn trace_check_mode(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        let (span, parent) = span_fields(line);
+        if let Some(parent) = parent {
+            if defined.contains(&parent) && !seen.contains(&parent) {
+                eprintln!(
+                    "trace-check: {path}:{}: parent span {parent} is defined in this file but \
+                     only after this event — parents must precede children",
+                    number + 1
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(span) = span {
+            spans += 1;
+            seen.insert(span);
+        }
     }
     let total: u64 = counts.values().sum();
-    println!("trace-check: {total} events across {} kinds", counts.len());
+    println!(
+        "trace-check: {total} events across {} kinds ({spans} span-stamped)",
+        counts.len()
+    );
     for (event, count) in &counts {
         println!("  {count} {event}");
     }
+    ExitCode::SUCCESS
+}
+
+/// The `.worker-<n>` sibling trace files next to `path` — the derived
+/// per-worker destinations [`crp_obs::derive_worker_trace_path`] routes
+/// dispatcher-spawned local workers to — sorted by worker number.
+fn worker_siblings(path: &str) -> Vec<String> {
+    let base = std::path::Path::new(path);
+    let Some(name) = base.file_name().and_then(|name| name.to_str()) else {
+        return Vec::new();
+    };
+    let dir = match base.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let prefix = format!("{name}.worker-");
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    let mut found: Vec<(usize, String)> = Vec::new();
+    for entry in entries.flatten() {
+        let file_name = entry.file_name();
+        let Some(file_name) = file_name.to_str() else {
+            continue;
+        };
+        if let Some(n) = file_name
+            .strip_prefix(&prefix)
+            .and_then(|rest| rest.parse::<usize>().ok())
+        {
+            found.push((n, dir.join(file_name).to_string_lossy().into_owned()));
+        }
+    }
+    found.sort();
+    found.into_iter().map(|(_, path)| path).collect()
+}
+
+/// The `trace-join` subcommand: merges the trace JSONL files of a
+/// multi-process run (dispatcher plus workers; `.worker-<n>` siblings
+/// are picked up automatically) into one causally ordered timeline on
+/// stdout.  Ordering is by span parentage only — an event whose parent
+/// span is defined in any input file is emitted after that span's first
+/// event; wall clocks from different hosts are never compared.  Lines
+/// are emitted verbatim, so the output is itself `trace-check`-clean,
+/// and the merge is deterministic: among emittable events, file order
+/// (then line order) decides.
+fn trace_join_mode(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("trace-join: requires one or more trace JSONL files");
+        return ExitCode::FAILURE;
+    }
+    let mut paths: Vec<String> = Vec::new();
+    for arg in args {
+        for path in std::iter::once(arg.clone()).chain(worker_siblings(arg)) {
+            if !paths.contains(&path) {
+                paths.push(path);
+            }
+        }
+    }
+    // Load and validate every line up front: a malformed input must
+    // fail the join, not poison the merged timeline.  Each loaded line
+    // keeps its span and parent ids alongside the verbatim text.
+    type JoinLine = (String, Option<String>, Option<String>);
+    let mut files: Vec<Vec<JoinLine>> = Vec::new();
+    let mut defined: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("trace-join: cannot read {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut lines = Vec::new();
+        for (number, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Err(err) = crp_obs::check_trace_line(line) {
+                eprintln!("trace-join: {path}:{}: {err}", number + 1);
+                return ExitCode::FAILURE;
+            }
+            let (span, parent) = span_fields(line);
+            if let Some(span) = &span {
+                defined.insert(span.clone());
+            }
+            lines.push((line.to_string(), span, parent));
+        }
+        files.push(lines);
+    }
+    // Deterministic topological merge: repeatedly emit the head line of
+    // the lowest-indexed file whose parent constraint is satisfied (no
+    // parent, a parent no input defines, or an already-emitted parent).
+    let total: usize = files.iter().map(Vec::len).sum();
+    let mut heads = vec![0usize; files.len()];
+    let mut emitted_spans: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut emitted = 0usize;
+    while emitted < total {
+        let next = files.iter().enumerate().position(|(index, file)| {
+            file.get(heads[index])
+                .is_some_and(|(_, _, parent)| match parent {
+                    Some(parent) => !defined.contains(parent) || emitted_spans.contains(parent),
+                    None => true,
+                })
+        });
+        let Some(index) = next else {
+            eprintln!(
+                "trace-join: unresolvable span parentage — a parent span is defined only by \
+                 events that (transitively) wait on it"
+            );
+            return ExitCode::FAILURE;
+        };
+        let (line, span, _) = &files[index][heads[index]];
+        println!("{line}");
+        if let Some(span) = span {
+            emitted_spans.insert(span.clone());
+        }
+        heads[index] += 1;
+        emitted += 1;
+    }
+    eprintln!(
+        "trace-join: merged {emitted} events from {} files",
+        files.len()
+    );
     ExitCode::SUCCESS
 }
 
@@ -962,6 +1199,10 @@ fn main() -> ExitCode {
     if std::env::args().nth(1).as_deref() == Some("trace-check") {
         let args: Vec<String> = std::env::args().skip(2).collect();
         return trace_check_mode(&args);
+    }
+    if std::env::args().nth(1).as_deref() == Some("trace-join") {
+        let args: Vec<String> = std::env::args().skip(2).collect();
+        return trace_join_mode(&args);
     }
     let options = match parse_args() {
         Ok(options) => options,

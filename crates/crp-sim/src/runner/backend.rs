@@ -76,14 +76,20 @@ impl ShardJob<'_> {
         registry.inc("sim.shard.execute");
         registry.observe("sim.shard_micros", micros);
         if crp_obs::trace_enabled() {
-            crp_obs::emit(
-                &crp_obs::TraceEvent::new("shard.execute")
-                    .u64("cell", self.cell as u64)
-                    .u64("shard", self.shard as u64)
-                    .u64("trials", self.plan.shard_trials(self.shard) as u64)
-                    .str("kernel", self.kernel.map_or("scalar", |k| k.name()))
-                    .u64("micros", micros),
-            );
+            let mut event = crp_obs::TraceEvent::new("shard.execute")
+                .u64("cell", self.cell as u64)
+                .u64("shard", self.shard as u64)
+                .u64("trials", self.plan.shard_trials(self.shard) as u64)
+                .str("kernel", self.kernel.map_or("scalar", |k| k.name()))
+                .u64("micros", micros);
+            // A fleet worker sets the thread's span from the job frame
+            // before invoking the handler; stamping it here is what
+            // lets `trace-join` tie this worker-side event to the
+            // dispatcher's `fleet.dispatch` for the same job.
+            if let Some(span) = crp_obs::current_span() {
+                event = span.stamp(event);
+            }
+            crp_obs::emit(&event);
         }
         Ok(accumulator)
     }

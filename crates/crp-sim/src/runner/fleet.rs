@@ -263,6 +263,13 @@ impl ShardBackend for FleetBackend {
         // hash — the dispatcher ships each blob once per v2 worker and
         // falls back to inline for v1 workers.
         let mut blobs = BlobSet::new();
+        // When tracing, every job also carries a deterministic span —
+        // derived from the content hash of its inline payload, never
+        // randomness — so the dispatcher's `fleet.dispatch` and the
+        // worker's `shard.execute` events correlate across processes.
+        // Spans ride outside the payload and never reach the handler's
+        // input, so statistics are bit-identical either way.
+        let stamp_spans = crp_obs::trace_enabled();
         let payloads = jobs
             .iter()
             .map(|job| {
@@ -275,12 +282,19 @@ impl ShardBackend for FleetBackend {
                     ),
                 })?;
                 let inline = spec.to_wire(job.plan, job.base_seed, job.shard);
-                Ok(
+                let span = stamp_spans.then(|| crp_fleet::JobSpan {
+                    id: crp_obs::span_from_hash(&crp_fleet::content_hash(inline.as_bytes())),
+                    parent: None,
+                });
+                let payload =
                     match spec.to_wire_compact(job.plan, job.base_seed, job.shard, &mut blobs) {
                         Some((compact, refs)) => JobPayload::with_compact(inline, compact, refs),
                         None => JobPayload::inline(inline),
-                    },
-                )
+                    };
+                Ok(match span {
+                    Some(span) => payload.with_span(span),
+                    None => payload,
+                })
             })
             .collect::<Result<Vec<JobPayload>, SimError>>()?;
         // Validate inside the dispatcher, before a job settles: a

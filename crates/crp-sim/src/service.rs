@@ -174,10 +174,30 @@ pub fn results_from_outcome(
 pub fn submit_matrix(
     addr: &str,
     matrix: &SweepMatrix,
+    progress: impl FnMut(usize, usize, usize),
+) -> Result<(SweepResults, SubmissionOutcome), SimError> {
+    submit_matrix_as(addr, None, matrix, progress)
+}
+
+/// Like [`submit_matrix`], naming the tenant the daemon should account
+/// the submission to (its `serve.tenant.<id>.*` counters); `None`
+/// submits as the `anonymous` tenant.
+///
+/// # Errors
+///
+/// As [`submit_matrix`].
+pub fn submit_matrix_as(
+    addr: &str,
+    tenant: Option<&str>,
+    matrix: &SweepMatrix,
     mut progress: impl FnMut(usize, usize, usize),
 ) -> Result<(SweepResults, SubmissionOutcome), SimError> {
     let (submission, tickets) = compile_submission(matrix)?;
-    let mut client = ServeClient::connect(addr).map_err(|e| SimError::Backend {
+    let mut client = match tenant {
+        Some(tenant) => ServeClient::connect_as(addr, tenant),
+        None => ServeClient::connect(addr),
+    }
+    .map_err(|e| SimError::Backend {
         what: e.to_string(),
     })?;
     let outcome = client

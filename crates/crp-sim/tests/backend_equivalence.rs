@@ -264,12 +264,31 @@ fn tracing_does_not_move_a_bit_of_the_statistics() {
     let text = std::fs::read_to_string(&path).unwrap();
     let _ = std::fs::remove_file(&path);
     let mut seen = std::collections::BTreeSet::new();
+    let mut stamped_dispatches = 0usize;
     for line in text.lines() {
-        seen.insert(crp_obs::check_trace_line(line).expect("schema-valid trace line"));
+        let kind = crp_obs::check_trace_line(line).expect("schema-valid trace line");
+        if kind == "fleet.dispatch" {
+            // With tracing on, dispatched jobs carry content-derived
+            // span ids; the bit-identity assertion above therefore
+            // quantifies over the span-stamped path, not just the sink.
+            let fields = crp_obs::trace_line_fields(line).expect("parseable trace line");
+            let span = fields
+                .iter()
+                .find(|(name, _)| name == "span")
+                .map(|(_, value)| value.trim_matches('"').to_string())
+                .expect("fleet.dispatch is span-stamped when tracing is on");
+            assert!(crp_obs::is_span_id(&span), "malformed span id {span:?}");
+            stamped_dispatches += 1;
+        }
+        seen.insert(kind);
     }
     for required in ["kernel.select", "shard.execute", "fleet.dispatch"] {
         assert!(seen.contains(required), "no {required} event in the trace");
     }
+    assert!(
+        stamped_dispatches > 0,
+        "no span-stamped dispatches recorded"
+    );
 }
 
 #[test]

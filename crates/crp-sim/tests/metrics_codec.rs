@@ -1,0 +1,232 @@
+//! Property tests for the `MetricsSnapshot` wire codec — the body of a
+//! fleet `metrics-report` frame.
+//!
+//! Mirrors `tests/wire_codec.rs`: seeded random snapshots round-trip
+//! bit-exactly, re-encoding a decoded body reproduces the input bytes,
+//! and every truncation or corruption of a valid body is rejected.
+//! Histogram scalars travel as raw `{:016x}` bit patterns, so the edge
+//! cases here push IEEE-754 patterns (signed zeros, subnormals,
+//! infinities) through `f64::to_bits` and demand byte-exact survival.
+
+use crp_obs::{MetricsRegistry, MetricsSnapshot};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a random registry snapshot: a few counters, gauges spanning
+/// the i64 range, and histograms whose observations cover the full u64
+/// magnitude spectrum (so bucket indices, sums and extrema all vary).
+fn random_snapshot(rng: &mut ChaCha8Rng) -> MetricsSnapshot {
+    let registry = MetricsRegistry::new();
+    for i in 0..rng.gen_range(0usize..6) {
+        registry.add(
+            &format!("counter.{i}"),
+            rng.gen::<u64>() >> rng.gen_range(0u32..64),
+        );
+    }
+    for i in 0..rng.gen_range(0usize..5) {
+        registry
+            .gauge(&format!("gauge.{i}"))
+            .set(rng.gen::<u64>() as i64);
+    }
+    for i in 0..rng.gen_range(0usize..4) {
+        let name = format!("histogram.{i}");
+        for _ in 0..rng.gen_range(0usize..40) {
+            registry.observe(&name, rng.gen::<u64>() >> rng.gen_range(0u32..64));
+        }
+        if rng.gen_bool(0.2) {
+            // A touched-but-empty histogram still appears in the snapshot.
+            let _ = registry.histogram(&name);
+        }
+    }
+    registry.snapshot()
+}
+
+#[test]
+fn random_snapshots_round_trip_bit_exactly() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x0B5E);
+    for _ in 0..200 {
+        let snapshot = random_snapshot(&mut rng);
+        let body = snapshot.encode();
+        let decoded = MetricsSnapshot::decode(&body).expect("encoded snapshot decodes");
+        assert_eq!(decoded, snapshot, "decode(encode(s)) == s");
+        assert_eq!(
+            decoded.encode(),
+            body,
+            "re-encoding a decoded body is byte-identical"
+        );
+    }
+}
+
+#[test]
+fn awkward_float_bit_patterns_survive_histogram_scalars() {
+    // Histogram sums/extrema are u64 on the wire; feeding f64 bit
+    // patterns through `to_bits` exercises the values a metrics
+    // producer would ship for float-valued observations.
+    let edges: [(f64, &str); 6] = [
+        (0.0, "+0.0"),
+        (-0.0, "-0.0"),
+        (5e-324, "min positive subnormal"),
+        (-5e-324, "min negative subnormal"),
+        (f64::INFINITY, "+inf"),
+        (f64::NEG_INFINITY, "-inf"),
+    ];
+    for (value, label) in edges {
+        let registry = MetricsRegistry::new();
+        registry.observe("edge", value.to_bits());
+        let snapshot = registry.snapshot();
+        let decoded = MetricsSnapshot::decode(&snapshot.encode()).expect("edge snapshot decodes");
+        let histogram = decoded.histogram("edge").expect("histogram present");
+        assert_eq!(
+            histogram.sum,
+            value.to_bits(),
+            "bit pattern of {label} survives the sum scalar"
+        );
+        assert_eq!(histogram.min, value.to_bits(), "{label} survives min");
+        assert_eq!(histogram.max, value.to_bits(), "{label} survives max");
+        assert_eq!(
+            f64::from_bits(histogram.sum).to_bits(),
+            value.to_bits(),
+            "{label} reconstitutes to the same float"
+        );
+        assert_eq!(decoded, snapshot, "{label} snapshot round-trips");
+    }
+}
+
+#[test]
+fn empty_snapshot_has_the_canonical_five_line_body() {
+    let snapshot = MetricsRegistry::default().snapshot();
+    let body = snapshot.encode();
+    assert_eq!(
+        body,
+        "crp-metrics-snapshot v1\ncounters 0\ngauges 0\nhistograms 0\nend\n"
+    );
+    let decoded = MetricsSnapshot::decode(&body).expect("empty snapshot decodes");
+    assert_eq!(decoded, snapshot);
+}
+
+/// A representative non-trivial body used by the rejection tests.
+fn busy_body() -> String {
+    let registry = MetricsRegistry::new();
+    registry.add("jobs", 41);
+    registry.inc("jobs");
+    registry.inc("hits");
+    registry.gauge("depth").set(-3);
+    registry.gauge("pool").set(i64::MAX);
+    for value in [0, 1, 63, 4096, u64::MAX, (-0.0f64).to_bits()] {
+        registry.observe("latency", value);
+    }
+    registry.observe("bytes", 1 << 20);
+    registry.snapshot().encode()
+}
+
+#[test]
+fn truncation_at_every_line_is_rejected() {
+    let body = busy_body();
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(lines.len() > 10, "busy body should be multi-section");
+    for keep in 0..lines.len() {
+        let mut truncated: String = lines[..keep].join("\n");
+        truncated.push('\n');
+        assert!(
+            MetricsSnapshot::decode(&truncated).is_err(),
+            "truncation after {keep} lines must be rejected"
+        );
+    }
+}
+
+#[test]
+fn trailing_content_after_end_is_rejected() {
+    let mut body = busy_body();
+    body.push_str("counter extra 1\n");
+    assert!(MetricsSnapshot::decode(&body).is_err());
+}
+
+#[test]
+fn corrupt_hex_scalars_are_rejected() {
+    let body = busy_body();
+    let hex_token = body
+        .lines()
+        .find_map(|line| {
+            line.strip_prefix("histogram ")
+                .and_then(|rest| rest.split(' ').nth(1))
+        })
+        .expect("busy body has a histogram scalar")
+        .to_string();
+    for bad in [
+        "zzzzzzzzzzzzzzzz",
+        "00000000DEADBEEF",
+        "0000000000000abc0",
+        "abc",
+    ] {
+        let corrupted = body.replacen(&hex_token, bad, 1);
+        assert_ne!(corrupted, body, "replacement must change the body");
+        assert!(
+            MetricsSnapshot::decode(&corrupted).is_err(),
+            "hex scalar {bad:?} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn duplicate_and_malformed_entries_are_rejected() {
+    let cases = [
+        // Wrong header.
+        "crp-metrics-snapshot v2\ncounters 0\ngauges 0\nhistograms 0\nend\n",
+        // Duplicate counter name.
+        "crp-metrics-snapshot v1\ncounters 2\ncounter a 1\ncounter a 2\n\
+         gauges 0\nhistograms 0\nend\n",
+        // Bucket index out of order.
+        "crp-metrics-snapshot v1\ncounters 0\ngauges 0\nhistograms 1\n\
+         histogram h 0000000000000002 0000000000000003 0000000000000001 \
+         0000000000000002 buckets 2\nbucket 5 1\nbucket 3 1\nend\n",
+        // Zero bucket count must be omitted, not written.
+        "crp-metrics-snapshot v1\ncounters 0\ngauges 0\nhistograms 1\n\
+         histogram h 0000000000000000 0000000000000000 0000000000000000 \
+         0000000000000000 buckets 1\nbucket 0 0\nend\n",
+        // Negative counter value.
+        "crp-metrics-snapshot v1\ncounters 1\ncounter a -1\n\
+         gauges 0\nhistograms 0\nend\n",
+    ];
+    for body in cases {
+        assert!(
+            MetricsSnapshot::decode(body).is_err(),
+            "body must be rejected: {body:?}"
+        );
+    }
+}
+
+#[test]
+fn merge_sums_counters_maxes_gauges_and_adds_histograms() {
+    let a = {
+        let registry = MetricsRegistry::new();
+        registry.add("jobs", 10);
+        registry.gauge("depth").set(4);
+        registry.observe("latency", 100);
+        registry.snapshot()
+    };
+    let b = {
+        let registry = MetricsRegistry::new();
+        registry.add("jobs", 5);
+        registry.inc("hits");
+        registry.gauge("depth").set(2);
+        registry.observe("latency", 7);
+        registry.snapshot()
+    };
+    let mut merged = a.clone();
+    merged.merge(&b);
+    assert_eq!(merged.counter("jobs"), 15);
+    assert_eq!(merged.counter("hits"), 1);
+    assert_eq!(merged.gauge("depth"), 4, "gauges take the maximum");
+    let latency = merged.histogram("latency").expect("histogram merged");
+    assert_eq!(latency.total, 2);
+    assert_eq!(latency.sum, 107);
+    assert_eq!(latency.min, 7);
+    assert_eq!(latency.max, 100);
+    // Merging through the wire codec gives the same result.
+    let rewired = {
+        let mut base = MetricsSnapshot::decode(&a.encode()).expect("a decodes");
+        base.merge(&MetricsSnapshot::decode(&b.encode()).expect("b decodes"));
+        base
+    };
+    assert_eq!(rewired, merged);
+}
